@@ -1,0 +1,72 @@
+//! Micro-benchmarks for the XAI baselines — LEWIS's per-query costs are
+//! only meaningful next to what LIME/SHAP spend on the same instance.
+
+use bench::harness::{prepare, ModelKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::GermanSynDataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xai::{KernelShap, LimeExplainer, LimeOptions, ShapOptions};
+
+fn bench_lime(c: &mut Criterion) {
+    let p = prepare(
+        GermanSynDataset::standard().generate(5000, 42),
+        ModelKind::ForestRegressor { threshold: 0.5 },
+        Some(5),
+        42,
+    );
+    let lime = LimeExplainer::new(
+        &p.table,
+        &p.features,
+        LimeOptions { n_samples: 500, ..LimeOptions::default() },
+    )
+    .unwrap();
+    let row = p.table.row(0).unwrap();
+    let score = p.score.clone();
+    c.bench_function("lime_single_instance_500_samples", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| lime.explain(&row, &|r| score(r), &mut rng).unwrap().len())
+    });
+}
+
+fn bench_shap(c: &mut Criterion) {
+    let p = prepare(
+        GermanSynDataset::standard().generate(5000, 42),
+        ModelKind::ForestRegressor { threshold: 0.5 },
+        Some(5),
+        42,
+    );
+    let shap = KernelShap::new(
+        &p.table,
+        &p.features,
+        ShapOptions { n_background: 20, ..ShapOptions::default() },
+    )
+    .unwrap();
+    let row = p.table.row(0).unwrap();
+    let score = p.score.clone();
+    c.bench_function("kernelshap_single_instance_exact", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| shap.explain(&row, &|r| score(r), &mut rng).unwrap().len())
+    });
+}
+
+fn bench_lewis_local_for_contrast(c: &mut Criterion) {
+    let p = prepare(
+        GermanSynDataset::standard().generate(5000, 42),
+        ModelKind::ForestRegressor { threshold: 0.5 },
+        Some(5),
+        42,
+    );
+    let lewis = p.lewis();
+    let row = p.table.row(0).unwrap();
+    c.bench_function("lewis_local_single_instance", |b| {
+        b.iter(|| lewis.local(&row).unwrap().contributions.len())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lime, bench_shap, bench_lewis_local_for_contrast
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Micro-benchmarks for the causal engine: d-separation, SCM sampling,
+//! and exact counterfactual queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::{GermanDataset, GermanSynDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tabular::Value;
+
+fn bench_d_separation(c: &mut Criterion) {
+    let scm = GermanDataset::scm();
+    let g = scm.graph();
+    c.bench_function("d_separation_german_graph", |b| {
+        b.iter(|| {
+            causal::is_d_separated(
+                g,
+                &[GermanDataset::SEX.index()],
+                &[GermanDataset::OUTCOME.index()],
+                &[GermanDataset::EMPLOYMENT.index(), GermanDataset::SKILL.index()],
+            )
+        })
+    });
+}
+
+fn bench_backdoor_search(c: &mut Criterion) {
+    let scm = GermanDataset::scm();
+    let g = scm.graph();
+    c.bench_function("backdoor_set_search_german", |b| {
+        b.iter(|| {
+            causal::backdoor_adjustment_set(
+                g,
+                &[GermanDataset::SAVINGS.index()],
+                &[GermanDataset::OUTCOME.index()],
+                &[],
+            )
+            .unwrap()
+            .len()
+        })
+    });
+}
+
+fn bench_scm_sampling(c: &mut Criterion) {
+    let scm = GermanDataset::scm();
+    c.bench_function("scm_generate_1k_rows_german", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| scm.generate(1000, &mut rng).n_rows())
+    });
+}
+
+fn bench_exact_counterfactual(c: &mut Criterion) {
+    let scm = GermanSynDataset::standard().scm();
+    let engine = causal::CounterfactualEngine::exact(&scm).unwrap();
+    let f = |w: &[Value]| u32::from(w[GermanSynDataset::SCORE.index()] >= 5);
+    c.bench_function("exact_counterfactual_query_german_syn", |b| {
+        b.iter(|| {
+            engine
+                .query(
+                    |w| w[GermanSynDataset::STATUS.index()] == 0 && f(w) == 0,
+                    &[(GermanSynDataset::STATUS.index(), 3)],
+                    |w| f(w) == 1,
+                )
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_d_separation, bench_backdoor_search, bench_scm_sampling,
+              bench_exact_counterfactual
+}
+criterion_main!(benches);

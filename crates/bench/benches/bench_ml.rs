@@ -1,0 +1,83 @@
+//! Micro-benchmarks for the black-box model families (training and
+//! inference).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ml::forest::ForestParams;
+use ml::gbdt::GbdtParams;
+use ml::tree::TreeParams;
+use ml::{Classifier, GradientBoostedTrees, RandomForestClassifier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn make_data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..4.0)).collect();
+        let y = u32::from(x[0] + x[1] * 0.5 - x[2] * 0.3 > 2.0);
+        xs.push(x);
+        ys.push(y);
+    }
+    (xs, ys)
+}
+
+fn bench_forest_training(c: &mut Criterion) {
+    let (xs, ys) = make_data(2000, 12, 3);
+    c.bench_function("rf_train_2k_rows_20_trees", |b| {
+        b.iter(|| {
+            RandomForestClassifier::fit(
+                &xs,
+                &ys,
+                2,
+                &ForestParams { n_trees: 20, ..ForestParams::default() },
+                7,
+            )
+            .unwrap()
+            .n_trees()
+        })
+    });
+}
+
+fn bench_forest_inference(c: &mut Criterion) {
+    let (xs, ys) = make_data(2000, 12, 5);
+    let forest = RandomForestClassifier::fit(
+        &xs,
+        &ys,
+        2,
+        &ForestParams { n_trees: 40, ..ForestParams::default() },
+        7,
+    )
+    .unwrap();
+    c.bench_function("rf_predict_single", |b| {
+        let x = &xs[0];
+        b.iter(|| forest.proba_of(x, 1))
+    });
+}
+
+fn bench_gbdt_training(c: &mut Criterion) {
+    let (xs, ys) = make_data(2000, 12, 9);
+    c.bench_function("gbdt_train_2k_rows_30_rounds", |b| {
+        b.iter(|| {
+            GradientBoostedTrees::fit(
+                &xs,
+                &ys,
+                &GbdtParams {
+                    n_rounds: 30,
+                    tree: TreeParams { max_depth: 4, ..TreeParams::default() },
+                    ..GbdtParams::default()
+                },
+                7,
+            )
+            .unwrap()
+            .n_rounds()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_forest_training, bench_forest_inference, bench_gbdt_training
+}
+criterion_main!(benches);

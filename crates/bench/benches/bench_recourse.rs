@@ -1,0 +1,79 @@
+//! Micro-benchmarks for recourse — the §5.5 scalability story as a
+//! Criterion sweep over the number of actionable variables.
+
+use bench::harness::{prepare, ModelKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::ScalableDataset;
+use lewis_core::{CostModel, RecourseOptions};
+use optim::{Group, Item, MckpSolver};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_ip_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ip_solver");
+    for &n_groups in &[10usize, 50, 100] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let groups: Vec<Group> = (0..n_groups)
+            .map(|gid| Group {
+                id: gid,
+                items: (0..6)
+                    .map(|iid| Item {
+                        id: iid,
+                        cost: rng.gen_range(0.1..5.0),
+                        gain: rng.gen_range(0.1..2.0),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let target = n_groups as f64 * 0.3;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_groups),
+            &(groups, target),
+            |b, (groups, target)| {
+                b.iter(|| {
+                    MckpSolver::new(groups.clone(), *target)
+                        .unwrap()
+                        .solve()
+                        .unwrap()
+                        .total_cost
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_recourse_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recourse_end_to_end");
+    group.sample_size(10);
+    for &n_actionable in &[5usize, 25] {
+        let p = prepare(
+            ScalableDataset::new(n_actionable).generate(3000, 42),
+            ModelKind::RandomForest,
+            None,
+            42,
+        );
+        let est = p.estimator();
+        let engine = lewis_core::recourse::RecourseEngine::new(&est, &p.actionable).unwrap();
+        let idx = p.find_individual(0).unwrap();
+        let row = p.table.row(idx).unwrap();
+        let opts = RecourseOptions {
+            alpha: 0.7,
+            cost: CostModel::Unit,
+            ..RecourseOptions::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_actionable),
+            &(engine, row, opts),
+            |b, (engine, row, opts)| b.iter(|| engine.recourse(row, opts).map(|r| r.total_cost)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ip_solver, bench_recourse_end_to_end
+}
+criterion_main!(benches);

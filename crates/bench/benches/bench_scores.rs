@@ -1,0 +1,82 @@
+//! Micro-benchmarks for the explanation scores — the quantities behind
+//! Table 2's "Global" and "Local" columns.
+
+use bench::harness::{prepare, ModelKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::{GermanDataset, GermanSynDataset};
+use tabular::Context;
+
+fn bench_single_score(c: &mut Criterion) {
+    let p = prepare(
+        GermanSynDataset::standard().generate(10_000, 42),
+        ModelKind::ForestRegressor { threshold: 0.5 },
+        Some(5),
+        42,
+    );
+    let est = p.estimator();
+    c.bench_function("scores_single_contrast_10k_rows", |b| {
+        b.iter(|| {
+            est.scores(GermanSynDataset::STATUS, 3, 0, &Context::empty())
+                .unwrap()
+                .nesuf
+        })
+    });
+}
+
+fn bench_global_explanation(c: &mut Criterion) {
+    let p = prepare(
+        GermanDataset::generate(1000, 42),
+        ModelKind::RandomForest,
+        None,
+        42,
+    );
+    let lewis = p.lewis();
+    c.bench_function("global_explanation_german_1k", |b| {
+        b.iter(|| lewis.global().unwrap().attributes.len())
+    });
+}
+
+fn bench_local_explanation(c: &mut Criterion) {
+    let p = prepare(
+        GermanDataset::generate(1000, 42),
+        ModelKind::RandomForest,
+        None,
+        42,
+    );
+    let lewis = p.lewis();
+    let idx = p.find_individual(0).unwrap();
+    let row = p.table.row(idx).unwrap();
+    c.bench_function("local_explanation_german", |b| {
+        b.iter(|| lewis.local(&row).unwrap().contributions.len())
+    });
+}
+
+fn bench_score_bounds(c: &mut Criterion) {
+    let p = prepare(
+        GermanSynDataset::standard().generate(10_000, 42),
+        ModelKind::ForestRegressor { threshold: 0.5 },
+        Some(5),
+        42,
+    );
+    let est = p.estimator();
+    c.bench_function("frechet_bounds_single_contrast", |b| {
+        b.iter(|| {
+            est.bounds(
+                lewis_core::ScoreKind::Sufficiency,
+                GermanSynDataset::STATUS,
+                3,
+                0,
+                &Context::empty(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_score, bench_global_explanation, bench_local_explanation,
+              bench_score_bounds
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Micro-benchmarks for the tabular counting engine — the hot path under
+//! every probability estimate (DESIGN.md ablation ⚖: dictionary-coded
+//! columnar scans vs row-oriented counting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tabular::{AttrId, Context, Counter, Domain, Schema, Table};
+
+fn make_table(n_rows: usize, n_attrs: usize, card: usize, seed: u64) -> Table {
+    let mut schema = Schema::new();
+    for i in 0..n_attrs {
+        schema.push(
+            format!("a{i}"),
+            Domain::categorical((0..card).map(|v| v.to_string())),
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::with_capacity(schema, n_rows);
+    let mut row = vec![0u32; n_attrs];
+    for _ in 0..n_rows {
+        for cell in row.iter_mut() {
+            *cell = rng.gen_range(0..card as u32);
+        }
+        t.push_row(&row).unwrap();
+    }
+    t
+}
+
+fn bench_counter_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counter_build");
+    for &n in &[10_000usize, 50_000] {
+        let t = make_table(n, 12, 4, 7);
+        let attrs = [AttrId(0), AttrId(1), AttrId(2), AttrId(3)];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| Counter::build(t, &attrs, &Context::empty()).unwrap().total())
+        });
+    }
+    group.finish();
+}
+
+fn bench_conditional_probability(c: &mut Criterion) {
+    let t = make_table(50_000, 12, 4, 9);
+    let ctx = Context::of([(AttrId(1), 2), (AttrId(2), 0)]);
+    c.bench_function("conditional_probability_50k", |b| {
+        b.iter(|| t.conditional_probability(AttrId(0), 1, &ctx, 1.0).unwrap())
+    });
+}
+
+fn bench_row_filter(c: &mut Criterion) {
+    let t = make_table(50_000, 12, 4, 11);
+    let ctx = Context::of([(AttrId(3), 1)]);
+    c.bench_function("filter_50k", |b| b.iter(|| t.filter(&ctx).len()));
+}
+
+/// Row-oriented counting baseline: materialize rows, then match — the
+/// naive alternative to columnar scans.
+fn bench_row_oriented_baseline(c: &mut Criterion) {
+    let t = make_table(50_000, 12, 4, 13);
+    let ctx = Context::of([(AttrId(1), 2), (AttrId(2), 0)]);
+    c.bench_function("row_oriented_count_50k", |b| {
+        b.iter(|| {
+            t.rows()
+                .filter(|row| ctx.matches_row(row))
+                .count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_counter_build, bench_conditional_probability, bench_row_filter,
+              bench_row_oriented_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Runs every experiment of the paper's evaluation section in sequence,
+//! writing each report to `target/experiments/<name>.txt`.
+//!
+//! Set `LEWIS_FAST=1` for a quick smoke run with reduced dataset sizes.
+
+use bench::experiments::{self, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("running all experiments at {scale:?} scale\n");
+    type Run = Box<dyn Fn(Scale) -> String>;
+    let runs: Vec<(&str, Run)> = vec![
+        ("table2", Box::new(experiments::table2::run)),
+        ("fig01", Box::new(experiments::fig01::run)),
+        ("fig03", Box::new(experiments::fig03::run)),
+        ("fig04", Box::new(experiments::fig04::run)),
+        ("fig05", Box::new(experiments::fig05_06::run_fig05)),
+        ("fig06", Box::new(experiments::fig05_06::run_fig06)),
+        ("fig07", Box::new(experiments::fig07::run)),
+        ("fig08", Box::new(experiments::fig08::run)),
+        ("fig09", Box::new(experiments::fig09::run)),
+        ("fig10", Box::new(experiments::fig10::run)),
+        ("fig11", Box::new(experiments::fig11::run)),
+        ("exp_monotonicity", Box::new(experiments::monotonicity::run)),
+        ("exp_recourse", Box::new(experiments::recourse_eval::run)),
+        ("exp_scalability", Box::new(experiments::scalability::run)),
+        ("exp_linearip", Box::new(experiments::linearip::run)),
+        ("exp_ablation", Box::new(experiments::ablation::run)),
+    ];
+    for (name, run) in runs {
+        eprintln!(">>> {name}");
+        let t0 = std::time::Instant::now();
+        let report = run(scale);
+        bench::emit(name, &report);
+        eprintln!("<<< {name} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    println!("\nall experiment reports written to target/experiments/");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the graph/no-graph/bounds and smoothing ablations.
+fn main() {
+    let scale = bench::experiments::Scale::from_env();
+    bench::emit("exp_ablation", &bench::experiments::ablation::run(scale));
+}

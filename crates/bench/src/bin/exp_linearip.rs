@@ -1,0 +1,5 @@
+//! Regenerates the §5.4 LEWIS vs LinearIP comparison.
+fn main() {
+    let scale = bench::experiments::Scale::from_env();
+    bench::emit("exp_linearip", &bench::experiments::linearip::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 1 (the paper's opening example).
+fn main() {
+    let scale = bench::experiments::Scale::from_env();
+    bench::emit("fig01", &bench::experiments::fig01::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 3 (global explanations, four datasets).
+fn main() {
+    let scale = bench::experiments::Scale::from_env();
+    bench::emit("fig03", &bench::experiments::fig03::run(scale));
+}

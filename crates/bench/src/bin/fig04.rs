@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 (contextual explanations).
+fn main() {
+    let scale = bench::experiments::Scale::from_env();
+    bench::emit("fig04", &bench::experiments::fig04::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 5 (local explanations, German).
+fn main() {
+    let scale = bench::experiments::Scale::from_env();
+    bench::emit("fig05", &bench::experiments::fig05_06::run_fig05(scale));
+}

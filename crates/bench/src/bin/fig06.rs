@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (local explanations, Adult).
+fn main() {
+    let scale = bench::experiments::Scale::from_env();
+    bench::emit("fig06", &bench::experiments::fig05_06::run_fig06(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 (local explanations vs LIME/SHAP, Drug).
+fn main() {
+    let scale = bench::experiments::Scale::from_env();
+    bench::emit("fig07", &bench::experiments::fig07::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 (generalizability: GBDT and neural nets).
+fn main() {
+    let scale = bench::experiments::Scale::from_env();
+    bench::emit("fig08", &bench::experiments::fig08::run(scale));
+}

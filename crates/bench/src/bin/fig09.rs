@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 (global comparison vs SHAP/Feat).
+fn main() {
+    let scale = bench::experiments::Scale::from_env();
+    bench::emit("fig09", &bench::experiments::fig09::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 (local comparison vs LIME/SHAP).
+fn main() {
+    let scale = bench::experiments::Scale::from_env();
+    bench::emit("fig10", &bench::experiments::fig10::run(scale));
+}

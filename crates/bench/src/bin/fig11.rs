@@ -1,0 +1,5 @@
+//! Regenerates Figure 11 (correctness vs ground truth, German-syn).
+fn main() {
+    let scale = bench::experiments::Scale::from_env();
+    bench::emit("fig11", &bench::experiments::fig11::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (runtimes).
+fn main() {
+    let scale = bench::experiments::Scale::from_env();
+    bench::emit("table2", &bench::experiments::table2::run(scale));
+}

@@ -1,0 +1,122 @@
+//! Figure 4: contextual explanations — the effect of intervening on one
+//! attribute inside different sub-populations.
+//!
+//! (a) German: status across age groups; (b) Adult: marital across age
+//! groups; (c)/(d) COMPAS: priors and juvenile counts across race.
+
+use super::Scale;
+use crate::harness::{header, prepare, ModelKind, Prepared};
+use datasets::{AdultDataset, CompasDataset, GermanDataset};
+use tabular::{AttrId, Context};
+
+fn contextual_rows(
+    p: &Prepared,
+    attr: AttrId,
+    group_attr: AttrId,
+    groups: &[(u32, &str)],
+) -> String {
+    let lewis = p.lewis();
+    let mut out = String::new();
+    let name = p.table.schema().name(attr);
+    out.push_str(&format!(
+        "{:<10}  {:>7}  {:>7}  {:>7}\n",
+        format!("[{name}]"),
+        "Nec",
+        "Suf",
+        "NeSuf"
+    ));
+    for &(code, label) in groups {
+        let ctx = Context::of([(group_attr, code)]);
+        let c = lewis.contextual(attr, &ctx).expect("contextual scores");
+        out.push_str(&format!(
+            "{label:<10}  {:>7.3}  {:>7.3}  {:>7.3}\n",
+            c.scores.necessity, c.scores.sufficiency, c.scores.nesuf
+        ));
+    }
+    out
+}
+
+/// Run the full figure.
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+
+    let german = prepare(
+        GermanDataset::generate(scale.rows(1000), 42),
+        ModelKind::RandomForest,
+        None,
+        42,
+    );
+    out.push_str(&header("Fig 4a — effect of status across age groups (German)"));
+    out.push_str(&contextual_rows(
+        &german,
+        GermanDataset::STATUS,
+        GermanDataset::AGE,
+        &[(0, "young"), (2, "old")],
+    ));
+
+    let adult = prepare(
+        AdultDataset::generate(scale.rows(48_000), 42),
+        ModelKind::RandomForest,
+        None,
+        42,
+    );
+    out.push_str(&header("Fig 4b — effect of marital across age groups (Adult)"));
+    out.push_str(&contextual_rows(
+        &adult,
+        AdultDataset::MARITAL,
+        AdultDataset::AGE,
+        &[(0, "young"), (2, "old")],
+    ));
+
+    let compas = prepare(
+        CompasDataset::generate(scale.rows(5_200), 42),
+        ModelKind::RandomForest,
+        None,
+        42,
+    );
+    out.push_str(&header("Fig 4c — effect of prior count across race (COMPAS score)"));
+    out.push_str(&contextual_rows(
+        &compas,
+        CompasDataset::PRIORS,
+        CompasDataset::RACE,
+        &[(0, "white"), (1, "black")],
+    ));
+    out.push_str(&header("Fig 4d — effect of juvenile crime across race (COMPAS score)"));
+    out.push_str(&contextual_rows(
+        &compas,
+        CompasDataset::JUV_FEL,
+        CompasDataset::RACE,
+        &[(0, "white"), (1, "black")],
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compas_priors_more_sufficient_for_black() {
+        // the Fig 4c headline: raising priors flips the score to
+        // high-risk more easily for Black defendants
+        let p = prepare(
+            CompasDataset::generate(8000, 42),
+            ModelKind::RandomForest,
+            None,
+            42,
+        );
+        let lewis = p.lewis();
+        let white = lewis
+            .contextual(CompasDataset::PRIORS, &Context::of([(CompasDataset::RACE, 0)]))
+            .unwrap();
+        let black = lewis
+            .contextual(CompasDataset::PRIORS, &Context::of([(CompasDataset::RACE, 1)]))
+            .unwrap();
+        assert!(
+            black.scores.sufficiency > white.scores.sufficiency,
+            "black {} vs white {}",
+            black.scores.sufficiency,
+            white.scores.sufficiency
+        );
+    }
+}

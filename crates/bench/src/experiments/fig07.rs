@@ -1,0 +1,92 @@
+//! Figure 7: local explanations on the Drug dataset (multi-class
+//! outcome, "used at least once"), with LIME and SHAP rank columns.
+
+use super::Scale;
+use crate::harness::{header, prepare, ModelKind, Prepared};
+use lewis_core::report::ranks_desc;
+use rand::SeedableRng;
+use xai::{LimeExplainer, LimeOptions, KernelShap, ShapOptions};
+
+fn one(p: &Prepared, idx: usize, label: &str) -> String {
+    let lewis = p.lewis();
+    let row = p.table.row(idx).expect("row in range");
+    let local = lewis.local(&row).expect("local explanation");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let lime = LimeExplainer::new(&p.table, &p.features, LimeOptions::default())
+        .expect("lime builds");
+    let score = p.score.clone();
+    let lime_w = lime
+        .explain(&row, &|r| score(r), &mut rng)
+        .expect("lime explains");
+    let shap = KernelShap::new(&p.table, &p.features, ShapOptions::default())
+        .expect("shap builds");
+    let shap_w = shap
+        .explain(&row, &|r| score(r), &mut rng)
+        .expect("shap explains");
+
+    // ranks by |weight| for the baselines; LEWIS by max contribution
+    let lime_mag: Vec<f64> = lime_w.iter().map(|&(_, w)| w.abs()).collect();
+    let shap_mag: Vec<f64> = shap_w.iter().map(|&(_, w)| w.abs()).collect();
+    let lime_rank = ranks_desc(&lime_mag);
+    let shap_rank = ranks_desc(&shap_mag);
+
+    let mut out = header(&format!("Fig 7 — {label} outcome example (drug)"));
+    out.push_str(&format!(
+        "{:<28}  {:>9}  {:>9}  {:>5}  {:>5}\n",
+        "attribute=value", "Lewis:-ve", "Lewis:+ve", "LIME", "SHAP"
+    ));
+    for c in &local.contributions {
+        let fi = p
+            .features
+            .iter()
+            .position(|&a| a == c.attr)
+            .expect("feature present");
+        out.push_str(&format!(
+            "{:<28}  {:>9.3}  {:>9.3}  {:>5}  {:>5}\n",
+            format!("{}={}", c.name, c.label),
+            c.negative,
+            c.positive,
+            lime_rank[fi],
+            shap_rank[fi]
+        ));
+    }
+    out
+}
+
+/// Run the full figure.
+pub fn run(scale: Scale) -> String {
+    let p = prepare(
+        datasets::DrugDataset::generate(scale.rows(1886), 42),
+        ModelKind::RandomForest,
+        Some(1),
+        42,
+    );
+    let mut out = String::new();
+    if let Some(neg) = p.find_individual(0) {
+        out.push_str(&one(&p, neg, "negative"));
+    }
+    if let Some(pos) = p.find_individual(1) {
+        out.push_str(&one(&p, pos, "positive"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drug_local_report_includes_all_methods() {
+        let p = prepare(
+            datasets::DrugDataset::generate(1200, 42),
+            ModelKind::RandomForest,
+            Some(1),
+            42,
+        );
+        let idx = p.find_individual(1).expect("positive example exists");
+        let s = one(&p, idx, "positive");
+        assert!(s.contains("LIME") && s.contains("SHAP") && s.contains("Lewis"));
+        assert!(s.contains("country") || s.contains("sensation"));
+    }
+}

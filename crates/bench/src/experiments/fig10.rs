@@ -1,0 +1,100 @@
+//! Figure 10: local comparison — LEWIS vs LIME vs SHAP on German and
+//! Adult, one negative and one positive individual each.
+
+use super::Scale;
+use crate::harness::{header, prepare, ModelKind, Prepared};
+use lewis_core::report::ranks_desc;
+use rand::SeedableRng;
+use xai::{KernelShap, LimeExplainer, LimeOptions, ShapOptions};
+
+fn one(p: &Prepared, idx: usize, label: &str) -> String {
+    let lewis = p.lewis();
+    let row = p.table.row(idx).expect("row in range");
+    let local = lewis.local(&row).expect("local explanation");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let score = p.score.clone();
+    let lime = LimeExplainer::new(&p.table, &p.features, LimeOptions::default())
+        .expect("lime builds");
+    let lime_w = lime.explain(&row, &|r| score(r), &mut rng).expect("lime");
+    let shap = KernelShap::new(
+        &p.table,
+        &p.features,
+        ShapOptions { n_background: 30, ..ShapOptions::default() },
+    )
+    .expect("shap builds");
+    let shap_w = shap.explain(&row, &|r| score(r), &mut rng).expect("shap");
+    let lime_rank = ranks_desc(&lime_w.iter().map(|&(_, w)| w.abs()).collect::<Vec<_>>());
+    let shap_rank = ranks_desc(&shap_w.iter().map(|&(_, w)| w.abs()).collect::<Vec<_>>());
+
+    let neg_rank = ranks_desc(&local.contributions.iter().map(|c| c.negative).collect::<Vec<_>>());
+    let pos_rank = ranks_desc(&local.contributions.iter().map(|c| c.positive).collect::<Vec<_>>());
+
+    let mut out = header(&format!("Fig 10 — {label} outcome ({})", p.name));
+    out.push_str(&format!(
+        "{:<30}  {:>9}  {:>9}  {:>5}  {:>5}\n",
+        "attribute=value", "Lewis:-ve", "Lewis:+ve", "LIME", "SHAP"
+    ));
+    for (ci, c) in local.contributions.iter().enumerate() {
+        let fi = p
+            .features
+            .iter()
+            .position(|&a| a == c.attr)
+            .expect("feature present");
+        out.push_str(&format!(
+            "{:<30}  {:>9}  {:>9}  {:>5}  {:>5}\n",
+            format!("{}={}", c.name, c.label),
+            neg_rank[ci],
+            pos_rank[ci],
+            lime_rank[fi],
+            shap_rank[fi]
+        ));
+    }
+    out
+}
+
+/// Run the full figure.
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    for p in [
+        prepare(
+            datasets::GermanDataset::generate(scale.rows(1000), 42),
+            ModelKind::RandomForest,
+            None,
+            42,
+        ),
+        prepare(
+            datasets::AdultDataset::generate(scale.rows(48_000), 42),
+            ModelKind::RandomForest,
+            None,
+            42,
+        ),
+    ] {
+        if let Some(neg) = p.find_individual(0) {
+            out.push_str(&one(&p, neg, "negative"));
+        }
+        if let Some(pos) = p.find_individual(1) {
+            out.push_str(&one(&p, pos, "positive"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_from_all_three_methods() {
+        let p = prepare(
+            datasets::GermanDataset::generate(1200, 42),
+            ModelKind::RandomForest,
+            None,
+            42,
+        );
+        let idx = p.find_individual(0).expect("negative exists");
+        let s = one(&p, idx, "negative");
+        assert!(s.contains("LIME") && s.contains("SHAP"));
+        assert!(s.lines().count() > 10);
+    }
+}

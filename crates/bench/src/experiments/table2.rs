@@ -1,0 +1,127 @@
+//! Table 2: end-to-end runtime of LEWIS's global explanations, local
+//! explanations, and recourse per dataset (seconds).
+
+use super::Scale;
+use crate::harness::{header, prepare, ModelKind, Prepared};
+use lewis_core::RecourseOptions;
+use std::time::Instant;
+
+struct Row {
+    name: String,
+    attrs: usize,
+    rows: usize,
+    global_s: f64,
+    local_s: f64,
+    recourse_s: Option<f64>,
+}
+
+fn measure(p: &Prepared) -> Row {
+    let lewis = p.lewis();
+    let t0 = Instant::now();
+    let _g = lewis.global().expect("global");
+    let global_s = t0.elapsed().as_secs_f64();
+
+    let idx = p.find_individual(0).or_else(|| p.find_individual(1)).expect("rows exist");
+    let row = p.table.row(idx).expect("row in range");
+    let t1 = Instant::now();
+    let _l = lewis.local(&row).expect("local");
+    let local_s = t1.elapsed().as_secs_f64();
+
+    let recourse_s = if p.actionable.is_empty() {
+        None
+    } else {
+        let est = p.estimator();
+        let t2 = Instant::now();
+        let engine = lewis_core::recourse::RecourseEngine::new(&est, &p.actionable)
+            .expect("engine");
+        // find a negative individual; recourse may legitimately be
+        // infeasible at the default alpha — we time the attempt either way
+        if let Some(neg) = p.find_individual(0) {
+            let neg_row = p.table.row(neg).expect("row");
+            let _ = engine.recourse(&neg_row, &RecourseOptions::default());
+        }
+        Some(t2.elapsed().as_secs_f64())
+    };
+
+    Row {
+        name: p.name.clone(),
+        attrs: p.features.len(),
+        rows: p.table.n_rows(),
+        global_s,
+        local_s,
+        recourse_s,
+    }
+}
+
+/// Run the full table.
+pub fn run(scale: Scale) -> String {
+    let preps = vec![
+        prepare(
+            datasets::AdultDataset::generate(scale.rows(48_000), 42),
+            ModelKind::RandomForest,
+            None,
+            42,
+        ),
+        prepare(
+            datasets::GermanDataset::generate(scale.rows(1_000), 42),
+            ModelKind::RandomForest,
+            None,
+            42,
+        ),
+        prepare(
+            datasets::CompasDataset::generate(scale.rows(5_200), 42),
+            ModelKind::RandomForest,
+            None,
+            42,
+        ),
+        prepare(
+            datasets::DrugDataset::generate(scale.rows(1_886), 42),
+            ModelKind::RandomForest,
+            Some(1),
+            42,
+        ),
+        prepare(
+            datasets::GermanSynDataset::standard().generate(scale.rows(10_000), 42),
+            ModelKind::ForestRegressor { threshold: 0.5 },
+            Some(5),
+            42,
+        ),
+    ];
+    let mut out = header("Table 2 — LEWIS runtime in seconds");
+    out.push_str(&format!(
+        "{:<12}  {:>6}  {:>7}  {:>8}  {:>8}  {:>8}\n",
+        "dataset", "attrs", "rows", "global", "local", "recourse"
+    ));
+    for p in &preps {
+        let r = measure(p);
+        out.push_str(&format!(
+            "{:<12}  {:>6}  {:>7}  {:>8.2}  {:>8.2}  {:>8}\n",
+            r.name,
+            r.attrs,
+            r.rows,
+            r.global_s,
+            r.local_s,
+            r.recourse_s.map_or("-".to_string(), |s| format!("{s:.2}"))
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_are_positive_and_bounded() {
+        let p = prepare(
+            datasets::GermanDataset::generate(800, 42),
+            ModelKind::RandomForest,
+            None,
+            42,
+        );
+        let r = measure(&p);
+        assert!(r.global_s > 0.0 && r.global_s < 120.0);
+        assert!(r.local_s > 0.0 && r.local_s < 120.0);
+        assert!(r.recourse_s.is_some(), "german has actionable attributes");
+    }
+}

@@ -1,0 +1,11 @@
+//! # bench — experiment harness for the LEWIS reproduction
+//!
+//! One binary per table/figure of the paper's evaluation (§5) lives in
+//! `src/bin/`; Criterion micro-benchmarks live in `benches/`. Shared
+//! setup (trained models, labelled datasets, printing) is in this
+//! library.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::*;

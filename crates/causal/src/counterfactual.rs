@@ -1,0 +1,299 @@
+//! Pearl's three-step counterfactual inference (paper eq. 3).
+//!
+//! Given a fully specified [`Scm`], a counterfactual query
+//! `Pr(Y_{X←x} = y | e)` is answered by
+//!
+//! 1. **abduction** — condition the noise prior on the evidence `e`,
+//! 2. **action** — replace the mechanisms of `X` with the constant `x`,
+//! 3. **prediction** — evaluate the event in the modified model.
+//!
+//! With finite discrete noise both an **exact** engine (weighted
+//! enumeration of all joint noise assignments) and a **Monte-Carlo**
+//! engine (sampled assignments) are provided. Evidence and events are
+//! arbitrary predicates over worlds so that queries can reference a
+//! black-box model's output `f(world)` — which is not an SCM node — as the
+//! paper's ground-truth evaluation (§5.5) requires.
+
+use crate::scm::Scm;
+use crate::{CausalError, Result};
+use rand::Rng;
+use tabular::Value;
+
+/// Maximum noise-space size the exact engine will enumerate.
+const EXACT_LIMIT: u128 = 1 << 22;
+
+/// A set of weighted joint noise assignments representing `Pr(u)`.
+#[derive(Debug, Clone)]
+pub struct CounterfactualEngine<'a> {
+    scm: &'a Scm,
+    /// `(noise assignment, prior weight)`; weights sum to 1 for the exact
+    /// engine and to ~1 for Monte-Carlo (uniform 1/N).
+    particles: Vec<(Vec<usize>, f64)>,
+}
+
+impl<'a> CounterfactualEngine<'a> {
+    /// Exact engine: enumerate the entire joint noise space.
+    ///
+    /// Fails with [`CausalError::NoiseSpaceTooLarge`] when enumeration is
+    /// infeasible; use [`CounterfactualEngine::monte_carlo`] then.
+    pub fn exact(scm: &'a Scm) -> Result<Self> {
+        let size = scm.noise_space_size();
+        if size > EXACT_LIMIT {
+            return Err(CausalError::NoiseSpaceTooLarge { size, limit: EXACT_LIMIT });
+        }
+        let n = scm.schema().len();
+        let mut particles = Vec::with_capacity(size as usize);
+        let mut noise = vec![0usize; n];
+        loop {
+            let w = scm.noise_probability(&noise);
+            if w > 0.0 {
+                particles.push((noise.clone(), w));
+            }
+            // mixed-radix increment
+            let mut i = 0;
+            while i < n {
+                noise[i] += 1;
+                if noise[i] < scm.mechanism(i).noise_levels() {
+                    break;
+                }
+                noise[i] = 0;
+                i += 1;
+            }
+            if i == n {
+                break;
+            }
+        }
+        Ok(CounterfactualEngine { scm, particles })
+    }
+
+    /// Monte-Carlo engine with `n` sampled noise assignments.
+    pub fn monte_carlo<R: Rng>(scm: &'a Scm, n: usize, rng: &mut R) -> Self {
+        let w = 1.0 / n as f64;
+        let particles = (0..n).map(|_| (scm.sample_noise(rng), w)).collect();
+        CounterfactualEngine { scm, particles }
+    }
+
+    /// Number of noise particles.
+    pub fn n_particles(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// `Pr(event(world under interventions) | evidence(factual world))`.
+    ///
+    /// `evidence` filters factual worlds (abduction); `interventions` are
+    /// applied to the surviving particles (action); `event` is evaluated
+    /// on the resulting counterfactual worlds (prediction).
+    pub fn query(
+        &self,
+        evidence: impl Fn(&[Value]) -> bool,
+        interventions: &[(usize, Value)],
+        event: impl Fn(&[Value]) -> bool,
+    ) -> Result<f64> {
+        let mut mass = 0.0f64;
+        let mut hit = 0.0f64;
+        for (noise, w) in &self.particles {
+            let factual = self.scm.world(noise, &[]);
+            if !evidence(&factual) {
+                continue;
+            }
+            mass += w;
+            let cf = self.scm.world(noise, interventions);
+            if event(&cf) {
+                hit += w;
+            }
+        }
+        if mass == 0.0 {
+            return Err(CausalError::ZeroProbabilityEvidence);
+        }
+        Ok(hit / mass)
+    }
+
+    /// Joint counterfactual across *two* intervention worlds:
+    /// `Pr(event1(world₁) ∧ event2(world₂) | evidence)`, where world `i`
+    /// is generated under `interventions_i`. Needed for the necessity-and-
+    /// sufficiency score `Pr(o_{X←x}, o'_{X←x'} | k)` (paper eq. 7).
+    pub fn joint_query(
+        &self,
+        evidence: impl Fn(&[Value]) -> bool,
+        interventions1: &[(usize, Value)],
+        event1: impl Fn(&[Value]) -> bool,
+        interventions2: &[(usize, Value)],
+        event2: impl Fn(&[Value]) -> bool,
+    ) -> Result<f64> {
+        let mut mass = 0.0f64;
+        let mut hit = 0.0f64;
+        for (noise, w) in &self.particles {
+            let factual = self.scm.world(noise, &[]);
+            if !evidence(&factual) {
+                continue;
+            }
+            mass += w;
+            let w1 = self.scm.world(noise, interventions1);
+            if !event1(&w1) {
+                continue;
+            }
+            let w2 = self.scm.world(noise, interventions2);
+            if event2(&w2) {
+                hit += w;
+            }
+        }
+        if mass == 0.0 {
+            return Err(CausalError::ZeroProbabilityEvidence);
+        }
+        Ok(hit / mass)
+    }
+
+    /// Interventional query `Pr(event | do(interventions))` — abduction-
+    /// free, population level (the do-operator of §2).
+    pub fn interventional(
+        &self,
+        interventions: &[(usize, Value)],
+        event: impl Fn(&[Value]) -> bool,
+    ) -> f64 {
+        let mut hit = 0.0f64;
+        let mut mass = 0.0f64;
+        for (noise, w) in &self.particles {
+            mass += w;
+            let world = self.scm.world(noise, interventions);
+            if event(&world) {
+                hit += w;
+            }
+        }
+        if mass == 0.0 {
+            return 0.0;
+        }
+        hit / mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scm::{Mechanism, ScmBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tabular::{Domain, Schema};
+
+    /// X → Y, X ~ Bern(0.5), Y = X with prob 0.8, flipped with prob 0.2.
+    fn noisy_copy() -> Scm {
+        let mut schema = Schema::new();
+        schema.push("x", Domain::boolean());
+        schema.push("y", Domain::boolean());
+        let mut b = ScmBuilder::new(schema);
+        b.edge(0, 1).unwrap();
+        b.mechanism(0, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        b.mechanism(
+            1,
+            Mechanism::with_noise(vec![0.8, 0.2], |pa, u| pa[0] ^ (u as Value)),
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exact_engine_enumerates_all() {
+        let scm = noisy_copy();
+        let eng = CounterfactualEngine::exact(&scm).unwrap();
+        assert_eq!(eng.n_particles(), 4);
+    }
+
+    #[test]
+    fn interventional_matches_hand_computation() {
+        let scm = noisy_copy();
+        let eng = CounterfactualEngine::exact(&scm).unwrap();
+        // Pr(y = 1 | do(x = 1)) = 0.8
+        let p = eng.interventional(&[(0, 1)], |w| w[1] == 1);
+        assert!((p - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counterfactual_uses_abduction() {
+        let scm = noisy_copy();
+        let eng = CounterfactualEngine::exact(&scm).unwrap();
+        // For individuals with x = 1, y = 1 (noise u_y = 0 for sure):
+        // Pr(y_{x←0} = 1 | x = 1, y = 1) = Pr(0 ^ u_y = 1 | u_y = 0) = 0.
+        let p = eng
+            .query(|w| w[0] == 1 && w[1] == 1, &[(0, 0)], |w| w[1] == 1)
+            .unwrap();
+        assert!(p.abs() < 1e-12, "abduction pins u_y = 0, got {p}");
+        // For x = 1, y = 0 (u_y = 1): Pr(y_{x←0} = 1) = 1.
+        let p = eng
+            .query(|w| w[0] == 1 && w[1] == 0, &[(0, 0)], |w| w[1] == 1)
+            .unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counterfactual_differs_from_interventional() {
+        // This is the paper's point (§2): Pr(y_{X←x} | e) is generally not
+        // Pr(y | do(x)).
+        let scm = noisy_copy();
+        let eng = CounterfactualEngine::exact(&scm).unwrap();
+        let interventional = eng.interventional(&[(0, 0)], |w| w[1] == 1); // 0.2
+        let counterfactual = eng
+            .query(|w| w[1] == 1, &[(0, 0)], |w| w[1] == 1)
+            .unwrap();
+        assert!((interventional - 0.2).abs() < 1e-12);
+        // conditioned on y=1, the noise is biased toward u_y=0 when x=1:
+        // Pr(u_y=0|y=1) = 0.8·0.5/0.5 = 0.8 ⇒ Pr(y_{x←0}=1|y=1) = 0.2... but
+        // careful: particles with x=0,y=1 have u_y=1 and then y_{x←0}=1.
+        // Pr = Pr(x=0,y=1)·1 + Pr(x=1,y=1)·0 over Pr(y=1) = 0.1/0.5 = 0.2.
+        // Equality here is a coincidence of symmetric priors; verify a
+        // conditional where they differ:
+        let cf2 = eng
+            .query(|w| w[0] == 1 && w[1] == 1, &[(0, 0)], |w| w[1] == 1)
+            .unwrap();
+        assert!((counterfactual - 0.2).abs() < 1e-12);
+        assert!((cf2 - 0.0).abs() < 1e-12);
+        assert!((interventional - cf2).abs() > 0.1);
+    }
+
+    #[test]
+    fn joint_query_consistency() {
+        let scm = noisy_copy();
+        let eng = CounterfactualEngine::exact(&scm).unwrap();
+        // Pr(y_{x←1} = 1 ∧ y_{x←0} = 0) = Pr(u_y = 0) = 0.8  (monotone case)
+        let p = eng
+            .joint_query(|_| true, &[(0, 1)], |w| w[1] == 1, &[(0, 0)], |w| w[1] == 0)
+            .unwrap();
+        assert!((p - 0.8).abs() < 1e-12);
+        // and the reversed joint event has probability 0.2
+        let p_rev = eng
+            .joint_query(|_| true, &[(0, 1)], |w| w[1] == 0, &[(0, 0)], |w| w[1] == 1)
+            .unwrap();
+        assert!((p_rev - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impossible_evidence_errors() {
+        let scm = noisy_copy();
+        let eng = CounterfactualEngine::exact(&scm).unwrap();
+        let r = eng.query(|_| false, &[], |_| true);
+        assert!(matches!(r, Err(CausalError::ZeroProbabilityEvidence)));
+    }
+
+    #[test]
+    fn monte_carlo_approximates_exact() {
+        let scm = noisy_copy();
+        let exact = CounterfactualEngine::exact(&scm).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mc = CounterfactualEngine::monte_carlo(&scm, 50_000, &mut rng);
+        let q_exact = exact
+            .query(|w| w[1] == 1, &[(0, 0)], |w| w[1] == 1)
+            .unwrap();
+        let q_mc = mc.query(|w| w[1] == 1, &[(0, 0)], |w| w[1] == 1).unwrap();
+        assert!((q_exact - q_mc).abs() < 0.02, "exact {q_exact} vs mc {q_mc}");
+    }
+
+    #[test]
+    fn consistency_rule_holds() {
+        // Paper eq. 2: X(u) = x ⟹ Y_{X←x}(u) = y. Conditioning on X = x
+        // and intervening X ← x must reproduce the factual outcome.
+        let scm = noisy_copy();
+        let eng = CounterfactualEngine::exact(&scm).unwrap();
+        let p = eng
+            .query(|w| w[0] == 1 && w[1] == 1, &[(0, 1)], |w| w[1] == 1)
+            .unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+}

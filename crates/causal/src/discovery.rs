@@ -1,0 +1,405 @@
+//! Constraint-based causal discovery (the PC algorithm).
+//!
+//! The paper's framework assumes background knowledge of the causal
+//! diagram but notes (§6) that diagrams "can be learned from a mixture
+//! of historical and interventional data" (its ref. 27). This module
+//! implements
+//! the classic PC algorithm (Spirtes–Glymour) over the crate's
+//! chi-square independence test:
+//!
+//! 1. **skeleton** — start complete; remove edges `x — y` whenever a
+//!    conditioning set `S ⊆ adj(x) ∪ adj(y)` renders them independent,
+//!    growing `|S|` level by level and recording separating sets;
+//! 2. **v-structures** — orient `x → z ← y` for non-adjacent `x, y`
+//!    whose separating set excludes `z`;
+//! 3. **Meek rules** — propagate forced orientations (R1–R3).
+//!
+//! The output is a CPDAG: some edges stay undirected when the data
+//! cannot distinguish their direction (Markov equivalence).
+
+use crate::validate::conditional_independence_test;
+use crate::Result;
+use tabular::{AttrId, Table};
+
+/// A partially directed graph (CPDAG) produced by [`pc_algorithm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cpdag {
+    n: usize,
+    /// `directed[x]` holds y for every oriented edge `x → y`.
+    directed: Vec<Vec<usize>>,
+    /// Undirected edges as `(min, max)` pairs.
+    undirected: Vec<(usize, usize)>,
+}
+
+impl Cpdag {
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the oriented edge `x → y` is present.
+    pub fn has_directed(&self, x: usize, y: usize) -> bool {
+        self.directed[x].contains(&y)
+    }
+
+    /// Whether `x — y` is present but unoriented.
+    pub fn has_undirected(&self, x: usize, y: usize) -> bool {
+        let key = (x.min(y), x.max(y));
+        self.undirected.contains(&key)
+    }
+
+    /// Whether the pair is adjacent in any orientation.
+    pub fn adjacent(&self, x: usize, y: usize) -> bool {
+        self.has_directed(x, y) || self.has_directed(y, x) || self.has_undirected(x, y)
+    }
+
+    /// All directed edges, sorted.
+    pub fn directed_edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (x, ys) in self.directed.iter().enumerate() {
+            for &y in ys {
+                out.push((x, y));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All undirected edges, sorted.
+    pub fn undirected_edges(&self) -> Vec<(usize, usize)> {
+        let mut out = self.undirected.clone();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Options for [`pc_algorithm`].
+#[derive(Debug, Clone)]
+pub struct PcOptions {
+    /// Largest conditioning-set size explored.
+    pub max_cond_size: usize,
+    /// Minimum rows per stratum for the chi-square test.
+    pub min_stratum: usize,
+}
+
+impl Default for PcOptions {
+    fn default() -> Self {
+        PcOptions { max_cond_size: 2, min_stratum: 20 }
+    }
+}
+
+/// Run the PC algorithm over the first `n_vars` attributes of `table`.
+pub fn pc_algorithm(table: &Table, n_vars: usize, opts: &PcOptions) -> Result<Cpdag> {
+    let n = n_vars.min(table.schema().len());
+    // adjacency matrix of the working skeleton
+    let mut adj = vec![vec![false; n]; n];
+    for x in 0..n {
+        for y in 0..n {
+            if x != y {
+                adj[x][y] = true;
+            }
+        }
+    }
+    // sepset[x][y] = the set that separated x and y (if any)
+    let mut sepset: Vec<Vec<Option<Vec<usize>>>> = vec![vec![None; n]; n];
+
+    let independent = |x: usize, y: usize, s: &[usize]| -> Result<bool> {
+        let z: Vec<AttrId> = s.iter().map(|&v| AttrId(v as u32)).collect();
+        let t = conditional_independence_test(
+            table,
+            AttrId(x as u32),
+            AttrId(y as u32),
+            &z,
+            opts.min_stratum,
+        )?;
+        Ok(!t.rejected)
+    };
+
+    // Phase 1: skeleton
+    for level in 0..=opts.max_cond_size {
+        let mut removed_any = false;
+        for x in 0..n {
+            for y in x + 1..n {
+                if !adj[x][y] {
+                    continue;
+                }
+                // candidate conditioning variables: neighbours of x or y
+                let mut candidates: Vec<usize> = (0..n)
+                    .filter(|&v| v != x && v != y && (adj[x][v] || adj[y][v]))
+                    .collect();
+                candidates.dedup();
+                if candidates.len() < level {
+                    continue;
+                }
+                let mut found: Option<Vec<usize>> = None;
+                for_each_subset(&candidates, level, &mut |s| {
+                    if found.is_some() {
+                        return Ok(true);
+                    }
+                    if independent(x, y, s)? {
+                        found = Some(s.to_vec());
+                        return Ok(true);
+                    }
+                    Ok(false)
+                })?;
+                if let Some(s) = found {
+                    adj[x][y] = false;
+                    adj[y][x] = false;
+                    sepset[x][y] = Some(s.clone());
+                    sepset[y][x] = Some(s);
+                    removed_any = true;
+                }
+            }
+        }
+        if !removed_any && level > 0 {
+            break;
+        }
+    }
+
+    // Phase 2: v-structures. oriented[x][y] means x → y.
+    let mut oriented = vec![vec![false; n]; n];
+    for z in 0..n {
+        for x in 0..n {
+            if x == z || !adj[x][z] {
+                continue;
+            }
+            for y in x + 1..n {
+                if y == z || !adj[y][z] || adj[x][y] {
+                    continue;
+                }
+                let sep = sepset[x][y].as_deref().unwrap_or(&[]);
+                if !sep.contains(&z) {
+                    oriented[x][z] = true;
+                    oriented[y][z] = true;
+                }
+            }
+        }
+    }
+
+    // Phase 3: Meek rules until fixpoint.
+    let is_oriented = |o: &Vec<Vec<bool>>, a: usize, b: usize| o[a][b] && !o[b][a];
+    loop {
+        let mut changed = false;
+        for a in 0..n {
+            for b in 0..n {
+                if a == b || !adj[a][b] || oriented[a][b] || oriented[b][a] {
+                    continue;
+                }
+                // R1: c → a, a — b, c and b non-adjacent  ⇒  a → b
+                let r1 = (0..n).any(|c| {
+                    c != a && c != b && adj[c][a] && is_oriented(&oriented, c, a) && !adj[c][b]
+                });
+                // R2: a → c → b and a — b  ⇒  a → b
+                let r2 = (0..n).any(|c| {
+                    c != a
+                        && c != b
+                        && adj[a][c]
+                        && adj[c][b]
+                        && is_oriented(&oriented, a, c)
+                        && is_oriented(&oriented, c, b)
+                });
+                // R3: a — c → b, a — d → b, c,d non-adjacent, a — b ⇒ a → b
+                let mut r3 = false;
+                for c in 0..n {
+                    if r3 || c == a || c == b {
+                        continue;
+                    }
+                    for d in 0..n {
+                        if d == a || d == b || d == c {
+                            continue;
+                        }
+                        if adj[a][c]
+                            && adj[a][d]
+                            && !oriented[a][c]
+                            && !oriented[c][a]
+                            && !oriented[a][d]
+                            && !oriented[d][a]
+                            && is_oriented(&oriented, c, b)
+                            && is_oriented(&oriented, d, b)
+                            && !adj[c][d]
+                        {
+                            r3 = true;
+                            break;
+                        }
+                    }
+                }
+                if r1 || r2 || r3 {
+                    oriented[a][b] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Materialize the CPDAG. Conflicting double orientations (x→z←y both
+    // claiming z→…) degrade to undirected.
+    let mut directed = vec![Vec::new(); n];
+    let mut undirected = Vec::new();
+    for x in 0..n {
+        for y in x + 1..n {
+            if !adj[x][y] {
+                continue;
+            }
+            match (oriented[x][y], oriented[y][x]) {
+                (true, false) => directed[x].push(y),
+                (false, true) => directed[y].push(x),
+                _ => undirected.push((x, y)),
+            }
+        }
+    }
+    for d in directed.iter_mut() {
+        d.sort_unstable();
+    }
+    Ok(Cpdag { n, directed, undirected })
+}
+
+/// Visit every size-`k` subset of `items`; the callback returns
+/// `Ok(true)` to stop early.
+fn for_each_subset(
+    items: &[usize],
+    k: usize,
+    f: &mut impl FnMut(&[usize]) -> Result<bool>,
+) -> Result<()> {
+    fn rec(
+        items: &[usize],
+        start: usize,
+        k: usize,
+        cur: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize]) -> Result<bool>,
+    ) -> Result<bool> {
+        if cur.len() == k {
+            return f(cur);
+        }
+        for i in start..items.len() {
+            cur.push(items[i]);
+            if rec(items, i + 1, k, cur, f)? {
+                return Ok(true);
+            }
+            cur.pop();
+        }
+        Ok(false)
+    }
+    let mut cur = Vec::with_capacity(k);
+    rec(items, 0, k, &mut cur, f)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scm::{Mechanism, ScmBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tabular::{Domain, Schema};
+
+    fn flip_mech(flip: f64) -> Mechanism {
+        Mechanism::with_noise(vec![1.0 - flip, flip], |pa, u| pa[0] ^ (u as u32))
+    }
+
+    /// collider: a → c ← b
+    fn collider_data(n: usize) -> Table {
+        let mut schema = Schema::new();
+        schema.push("a", Domain::boolean());
+        schema.push("b", Domain::boolean());
+        schema.push("c", Domain::boolean());
+        let mut builder = ScmBuilder::new(schema);
+        builder.edge(0, 2).unwrap();
+        builder.edge(1, 2).unwrap();
+        builder.mechanism(0, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        builder.mechanism(1, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        builder
+            .mechanism(
+                2,
+                Mechanism::with_noise(vec![0.85, 0.15], |pa, u| (pa[0] | pa[1]) ^ (u as u32)),
+            )
+            .unwrap();
+        let scm = builder.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        scm.generate(n, &mut rng)
+    }
+
+    #[test]
+    fn collider_is_fully_oriented() {
+        let t = collider_data(20_000);
+        let g = pc_algorithm(&t, 3, &PcOptions::default()).unwrap();
+        assert!(g.has_directed(0, 2), "a → c: {g:?}");
+        assert!(g.has_directed(1, 2), "b → c: {g:?}");
+        assert!(!g.adjacent(0, 1), "a and b must be non-adjacent");
+    }
+
+    #[test]
+    fn chain_skeleton_is_found_but_direction_is_equivalence_class() {
+        // a → b → c: PC recovers the skeleton; the chain's orientation is
+        // not identifiable (Markov-equivalent to a ← b ← c and a ← b → c)
+        let mut schema = Schema::new();
+        schema.push("a", Domain::boolean());
+        schema.push("b", Domain::boolean());
+        schema.push("c", Domain::boolean());
+        let mut builder = ScmBuilder::new(schema);
+        builder.edge(0, 1).unwrap();
+        builder.edge(1, 2).unwrap();
+        builder.mechanism(0, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        builder.mechanism(1, flip_mech(0.15)).unwrap();
+        builder.mechanism(2, flip_mech(0.15)).unwrap();
+        let scm = builder.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(18);
+        let t = scm.generate(20_000, &mut rng);
+        let g = pc_algorithm(&t, 3, &PcOptions::default()).unwrap();
+        assert!(g.adjacent(0, 1));
+        assert!(g.adjacent(1, 2));
+        assert!(!g.adjacent(0, 2), "a ⫫ c | b must remove the edge");
+        // no v-structure at b, so both edges stay undirected
+        assert!(g.has_undirected(0, 1));
+        assert!(g.has_undirected(1, 2));
+    }
+
+    #[test]
+    fn meek_r1_propagates_after_v_structure() {
+        // a → c ← b plus c — d: R1 orients c → d (else a new v-structure
+        // at c would have been detected)
+        let mut schema = Schema::new();
+        schema.push("a", Domain::boolean());
+        schema.push("b", Domain::boolean());
+        schema.push("c", Domain::boolean());
+        schema.push("d", Domain::boolean());
+        let mut builder = ScmBuilder::new(schema);
+        builder.edge(0, 2).unwrap();
+        builder.edge(1, 2).unwrap();
+        builder.edge(2, 3).unwrap();
+        builder.mechanism(0, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        builder.mechanism(1, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        builder
+            .mechanism(
+                2,
+                Mechanism::with_noise(vec![0.85, 0.15], |pa, u| (pa[0] | pa[1]) ^ (u as u32)),
+            )
+            .unwrap();
+        builder.mechanism(3, flip_mech(0.15)).unwrap();
+        let scm = builder.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(19);
+        let t = scm.generate(30_000, &mut rng);
+        let g = pc_algorithm(&t, 4, &PcOptions::default()).unwrap();
+        assert!(g.has_directed(0, 2) && g.has_directed(1, 2), "{g:?}");
+        assert!(g.has_directed(2, 3), "Meek R1 must orient c → d: {g:?}");
+    }
+
+    #[test]
+    fn independent_variables_stay_disconnected() {
+        let mut schema = Schema::new();
+        schema.push("a", Domain::boolean());
+        schema.push("b", Domain::boolean());
+        let mut builder = ScmBuilder::new(schema);
+        builder.mechanism(0, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        builder.mechanism(1, Mechanism::root(vec![0.3, 0.7])).unwrap();
+        let scm = builder.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(20);
+        let t = scm.generate(10_000, &mut rng);
+        let g = pc_algorithm(&t, 2, &PcOptions::default()).unwrap();
+        assert!(!g.adjacent(0, 1));
+        assert!(g.directed_edges().is_empty());
+        assert!(g.undirected_edges().is_empty());
+    }
+}

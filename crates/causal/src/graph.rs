@@ -1,0 +1,309 @@
+//! Causal diagrams as directed acyclic graphs.
+//!
+//! Nodes are `usize` indices aligned with the attribute ids of the
+//! [`tabular::Schema`] the diagram describes, so node `i` *is* attribute
+//! `AttrId(i)`. Exogenous variables are not nodes — the paper assumes only
+//! the diagram over endogenous variables is known (§2).
+
+use crate::{CausalError, Result};
+
+/// Index of a node in a [`Dag`]; equal to the attribute's `AttrId.0`.
+pub type NodeId = usize;
+
+/// A directed acyclic graph with adjacency stored both ways.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dag {
+    parents: Vec<Vec<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+}
+
+impl Dag {
+    /// A graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Dag { parents: vec![Vec::new(); n], children: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    fn check(&self, node: NodeId) -> Result<()> {
+        if node < self.n_nodes() {
+            Ok(())
+        } else {
+            Err(CausalError::UnknownNode { node, n_nodes: self.n_nodes() })
+        }
+    }
+
+    /// Add the edge `from → to`, rejecting duplicates silently and cycles
+    /// with an error.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        self.check(from)?;
+        self.check(to)?;
+        if from == to {
+            return Err(CausalError::CycleDetected { from, to });
+        }
+        if self.children[from].contains(&to) {
+            return Ok(());
+        }
+        // A cycle appears iff `to` can already reach `from`.
+        if self.reaches(to, from) {
+            return Err(CausalError::CycleDetected { from, to });
+        }
+        self.children[from].push(to);
+        self.parents[to].push(from);
+        Ok(())
+    }
+
+    /// Whether the edge `from → to` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.children.get(from).is_some_and(|c| c.contains(&to))
+    }
+
+    /// Direct causes of `node`.
+    pub fn parents(&self, node: NodeId) -> &[NodeId] {
+        &self.parents[node]
+    }
+
+    /// Direct effects of `node`.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node]
+    }
+
+    /// Nodes with no parents.
+    pub fn roots(&self) -> Vec<NodeId> {
+        (0..self.n_nodes()).filter(|&n| self.parents[n].is_empty()).collect()
+    }
+
+    fn reaches(&self, from: NodeId, target: NodeId) -> bool {
+        if from == target {
+            return true;
+        }
+        let mut seen = vec![false; self.n_nodes()];
+        let mut stack = vec![from];
+        seen[from] = true;
+        while let Some(n) = stack.pop() {
+            for &c in &self.children[n] {
+                if c == target {
+                    return true;
+                }
+                if !seen[c] {
+                    seen[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// All descendants of `node` (excluding `node` itself).
+    pub fn descendants(&self, node: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.n_nodes()];
+        let mut stack = vec![node];
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            for &c in &self.children[n] {
+                if !seen[c] {
+                    seen[c] = true;
+                    out.push(c);
+                    stack.push(c);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All ancestors of `node` (excluding `node` itself).
+    pub fn ancestors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.n_nodes()];
+        let mut stack = vec![node];
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            for &p in &self.parents[n] {
+                if !seen[p] {
+                    seen[p] = true;
+                    out.push(p);
+                    stack.push(p);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether `a` is a (strict or reflexive) ancestor of `b`, i.e. there
+    /// is a directed path `a ⇝ b` (paper's "descendant" relation, eq. 2
+    /// context). `is_ancestor(a, a)` is `true`.
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        self.reaches(a, b)
+    }
+
+    /// Whether `b` is causally downstream of `a` *strictly*.
+    pub fn is_strict_descendant(&self, b: NodeId, a: NodeId) -> bool {
+        a != b && self.reaches(a, b)
+    }
+
+    /// A topological order of all nodes (Kahn's algorithm). The graph is
+    /// acyclic by construction so this always succeeds.
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let n = self.n_nodes();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
+        let mut queue: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(u);
+            for &c in &self.children[u] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "graph invariant violated: cycle");
+        order
+    }
+
+    /// A copy of the graph with all edges *leaving* the nodes in `xs`
+    /// removed (the backdoor criterion's mutilated graph `G_X̲`).
+    #[must_use]
+    pub fn without_outgoing(&self, xs: &[NodeId]) -> Dag {
+        let mut g = Dag::new(self.n_nodes());
+        for from in 0..self.n_nodes() {
+            if xs.contains(&from) {
+                continue;
+            }
+            for &to in &self.children[from] {
+                g.children[from].push(to);
+                g.parents[to].push(from);
+            }
+        }
+        g
+    }
+
+    /// A copy with all edges *entering* the nodes in `xs` removed (the
+    /// interventional graph `G_X̄` of the do-operator).
+    #[must_use]
+    pub fn without_incoming(&self, xs: &[NodeId]) -> Dag {
+        let mut g = Dag::new(self.n_nodes());
+        for from in 0..self.n_nodes() {
+            for &to in &self.children[from] {
+                if xs.contains(&to) {
+                    continue;
+                }
+                g.children[from].push(to);
+                g.parents[to].push(from);
+            }
+        }
+        g
+    }
+
+    /// Edges as `(from, to)` pairs, sorted.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.n_edges());
+        for from in 0..self.n_nodes() {
+            for &to in &self.children[from] {
+                out.push((from, to));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The diamond 0 → 1 → 3, 0 → 2 → 3.
+    fn diamond() -> Dag {
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(1, 3).unwrap();
+        g.add_edge(2, 3).unwrap();
+        g
+    }
+
+    #[test]
+    fn edges_and_adjacency() {
+        let g = diamond();
+        assert_eq!(g.n_edges(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.parents(3), &[1, 2]);
+        assert_eq!(g.children(0), &[1, 2]);
+        assert_eq!(g.roots(), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = diamond();
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.n_edges(), 4);
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut g = diamond();
+        assert_eq!(g.add_edge(3, 0), Err(CausalError::CycleDetected { from: 3, to: 0 }));
+        assert_eq!(g.add_edge(1, 1), Err(CausalError::CycleDetected { from: 1, to: 1 }));
+        // graph unchanged after the failed inserts
+        assert_eq!(g.n_edges(), 4);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut g = Dag::new(2);
+        assert!(matches!(g.add_edge(0, 5), Err(CausalError::UnknownNode { .. })));
+    }
+
+    #[test]
+    fn ancestry() {
+        let g = diamond();
+        assert_eq!(g.descendants(0), vec![1, 2, 3]);
+        assert_eq!(g.ancestors(3), vec![0, 1, 2]);
+        assert!(g.is_ancestor(0, 3));
+        assert!(g.is_ancestor(2, 2), "reflexive");
+        assert!(!g.is_strict_descendant(2, 2));
+        assert!(g.is_strict_descendant(3, 0));
+        assert!(!g.is_ancestor(3, 0));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = diamond();
+        let order = g.topological_order();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        for (from, to) in g.edges() {
+            assert!(pos(from) < pos(to), "{from} must precede {to}");
+        }
+    }
+
+    #[test]
+    fn mutilated_graphs() {
+        let g = diamond();
+        let no_out = g.without_outgoing(&[0]);
+        assert_eq!(no_out.edges(), vec![(1, 3), (2, 3)]);
+        let no_in = g.without_incoming(&[3]);
+        assert_eq!(no_in.edges(), vec![(0, 1), (0, 2)]);
+        // original untouched
+        assert_eq!(g.n_edges(), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Dag::new(0);
+        assert_eq!(g.topological_order(), Vec::<NodeId>::new());
+        assert_eq!(g.roots(), Vec::<NodeId>::new());
+    }
+}

@@ -1,0 +1,407 @@
+//! Structural causal models with finite discrete exogenous noise.
+//!
+//! A probabilistic causal model `⟨M, Pr(u)⟩` (paper §2) assigns each
+//! endogenous variable `X` a structural equation
+//! `F_X : Dom(Pa(X)) × Dom(U_X) → Dom(X)`. We restrict every exogenous
+//! variable `U_X` to a *finite discrete* domain with an explicit prior.
+//! That restriction loses no generality for finite endogenous domains and
+//! buys exact counterfactual inference: a full noise assignment
+//! determines the entire world deterministically, so Pearl's three-step
+//! procedure reduces to (weighted) enumeration of noise assignments.
+
+use crate::graph::{Dag, NodeId};
+use crate::{CausalError, Result};
+use rand::Rng;
+use std::sync::Arc;
+use tabular::{Schema, Table, Value};
+
+/// Deterministic map `(parent values, noise level) → value code`.
+pub type MechanismFn = Arc<dyn Fn(&[Value], usize) -> Value + Send + Sync>;
+
+/// The structural equation of one endogenous variable.
+#[derive(Clone)]
+pub struct Mechanism {
+    /// Prior over this variable's exogenous noise levels; must sum to 1.
+    pub noise_probs: Vec<f64>,
+    /// Deterministic map `(parent values, noise level) → value code`.
+    /// Parent values arrive in the order given by [`Dag::parents`].
+    pub func: MechanismFn,
+}
+
+impl std::fmt::Debug for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mechanism")
+            .field("noise_levels", &self.noise_probs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Mechanism {
+    /// A mechanism whose output is a deterministic function of its parents
+    /// (one trivial noise level).
+    pub fn deterministic(func: impl Fn(&[Value]) -> Value + Send + Sync + 'static) -> Self {
+        Mechanism { noise_probs: vec![1.0], func: Arc::new(move |pa, _| func(pa)) }
+    }
+
+    /// An exogenous (root) categorical variable with the given prior.
+    ///
+    /// Noise level `u` maps directly to value code `u`.
+    pub fn root(prior: Vec<f64>) -> Self {
+        Mechanism { noise_probs: prior, func: Arc::new(|_, u| u as Value) }
+    }
+
+    /// A mechanism with explicit noise levels and transition function.
+    pub fn with_noise(
+        noise_probs: Vec<f64>,
+        func: impl Fn(&[Value], usize) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        Mechanism { noise_probs, func: Arc::new(func) }
+    }
+
+    /// Number of noise levels.
+    pub fn noise_levels(&self) -> usize {
+        self.noise_probs.len()
+    }
+}
+
+/// A complete structural causal model over a schema.
+#[derive(Debug, Clone)]
+pub struct Scm {
+    schema: Schema,
+    graph: Dag,
+    mechanisms: Vec<Mechanism>,
+    topo: Vec<NodeId>,
+}
+
+impl Scm {
+    /// The schema of endogenous variables.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The causal diagram.
+    pub fn graph(&self) -> &Dag {
+        &self.graph
+    }
+
+    /// The mechanism of node `v`.
+    pub fn mechanism(&self, v: NodeId) -> &Mechanism {
+        &self.mechanisms[v]
+    }
+
+    /// Total number of joint noise assignments `∏ |Dom(U_X)|`.
+    pub fn noise_space_size(&self) -> u128 {
+        self.mechanisms
+            .iter()
+            .map(|m| m.noise_levels() as u128)
+            .product()
+    }
+
+    /// Draw a joint noise assignment from the prior.
+    pub fn sample_noise<R: Rng>(&self, rng: &mut R) -> Vec<usize> {
+        self.mechanisms
+            .iter()
+            .map(|m| sample_categorical(&m.noise_probs, rng))
+            .collect()
+    }
+
+    /// Prior probability of a joint noise assignment.
+    pub fn noise_probability(&self, noise: &[usize]) -> f64 {
+        self.mechanisms
+            .iter()
+            .zip(noise)
+            .map(|(m, &u)| m.noise_probs[u])
+            .product()
+    }
+
+    /// Deterministically compute the world (all endogenous values) induced
+    /// by `noise`, with the structural equations of `interventions`
+    /// replaced by constants (paper's action step). Pass an empty slice
+    /// for the factual world.
+    pub fn world(&self, noise: &[usize], interventions: &[(NodeId, Value)]) -> Vec<Value> {
+        debug_assert_eq!(noise.len(), self.mechanisms.len());
+        let mut values = vec![0 as Value; self.mechanisms.len()];
+        let mut parent_buf: Vec<Value> = Vec::with_capacity(8);
+        for &v in &self.topo {
+            if let Some(&(_, x)) = interventions.iter().find(|&&(n, _)| n == v) {
+                values[v] = x;
+                continue;
+            }
+            parent_buf.clear();
+            parent_buf.extend(self.graph.parents(v).iter().map(|&p| values[p]));
+            values[v] = (self.mechanisms[v].func)(&parent_buf, noise[v]);
+        }
+        values
+    }
+
+    /// Sample one world from the observational distribution.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<Value> {
+        let noise = self.sample_noise(rng);
+        self.world(&noise, &[])
+    }
+
+    /// Generate an observational dataset of `n` rows.
+    pub fn generate<R: Rng>(&self, n: usize, rng: &mut R) -> Table {
+        let mut t = Table::with_capacity(self.schema.clone(), n);
+        for _ in 0..n {
+            let row = self.sample(rng);
+            t.push_row(&row).expect("SCM produced a row outside its schema");
+        }
+        t
+    }
+
+    /// Generate a dataset under an intervention (`do(x)` semantics).
+    pub fn generate_interventional<R: Rng>(
+        &self,
+        n: usize,
+        interventions: &[(NodeId, Value)],
+        rng: &mut R,
+    ) -> Table {
+        let mut t = Table::with_capacity(self.schema.clone(), n);
+        for _ in 0..n {
+            let noise = self.sample_noise(rng);
+            let row = self.world(&noise, interventions);
+            t.push_row(&row).expect("SCM produced a row outside its schema");
+        }
+        t
+    }
+}
+
+/// Draw an index from a categorical distribution.
+pub(crate) fn sample_categorical<R: Rng>(probs: &[f64], rng: &mut R) -> usize {
+    let mut r: f64 = rng.gen::<f64>();
+    for (i, &p) in probs.iter().enumerate() {
+        if r < p {
+            return i;
+        }
+        r -= p;
+    }
+    probs.len() - 1 // numeric slack: return the last level
+}
+
+/// Incremental [`Scm`] constructor that validates as it goes.
+pub struct ScmBuilder {
+    schema: Schema,
+    graph: Dag,
+    mechanisms: Vec<Option<Mechanism>>,
+}
+
+impl ScmBuilder {
+    /// Start building an SCM over `schema`; the graph starts edgeless and
+    /// every mechanism unset.
+    pub fn new(schema: Schema) -> Self {
+        let n = schema.len();
+        ScmBuilder { schema, graph: Dag::new(n), mechanisms: (0..n).map(|_| None).collect() }
+    }
+
+    /// Add the causal edge `from → to`.
+    pub fn edge(&mut self, from: NodeId, to: NodeId) -> Result<&mut Self> {
+        self.graph.add_edge(from, to)?;
+        Ok(self)
+    }
+
+    /// Set the mechanism of node `v`.
+    pub fn mechanism(&mut self, v: NodeId, m: Mechanism) -> Result<&mut Self> {
+        if v >= self.mechanisms.len() {
+            return Err(CausalError::UnknownNode { node: v, n_nodes: self.mechanisms.len() });
+        }
+        self.mechanisms[v] = Some(m);
+        Ok(self)
+    }
+
+    /// Validate and finish. Checks: every node has a mechanism, every
+    /// noise prior is a distribution, and every mechanism's output stays
+    /// inside its domain on a probe of all parent-value/noise combinations
+    /// (probed only when the local grid is small).
+    pub fn build(self) -> Result<Scm> {
+        let mut mechanisms = Vec::with_capacity(self.mechanisms.len());
+        for (v, m) in self.mechanisms.into_iter().enumerate() {
+            let m = m.ok_or_else(|| {
+                CausalError::InvalidScm(format!(
+                    "node {v} ({}) has no mechanism",
+                    self.schema.name(tabular::AttrId(v as u32))
+                ))
+            })?;
+            if m.noise_probs.is_empty() {
+                return Err(CausalError::InvalidScm(format!("node {v}: empty noise prior")));
+            }
+            let sum: f64 = m.noise_probs.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 || m.noise_probs.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+                return Err(CausalError::InvalidScm(format!(
+                    "node {v}: noise prior is not a distribution (sum = {sum})"
+                )));
+            }
+            mechanisms.push(m);
+        }
+
+        let topo = self.graph.topological_order();
+        let scm = Scm { schema: self.schema, graph: self.graph, mechanisms, topo };
+
+        // Probe mechanisms for domain violations on small local grids.
+        for v in 0..scm.mechanisms.len() {
+            let parents = scm.graph.parents(v);
+            let card_out = scm
+                .schema
+                .cardinality(tabular::AttrId(v as u32))
+                .map_err(CausalError::Tabular)?;
+            let mut grid: u128 = scm.mechanisms[v].noise_levels() as u128;
+            for &p in parents {
+                grid = grid.saturating_mul(
+                    scm.schema
+                        .cardinality(tabular::AttrId(p as u32))
+                        .map_err(CausalError::Tabular)? as u128,
+                );
+            }
+            if grid > 100_000 {
+                continue; // too large to probe exhaustively; trust the caller
+            }
+            let mut parent_values = vec![0 as Value; parents.len()];
+            loop {
+                for u in 0..scm.mechanisms[v].noise_levels() {
+                    let out = (scm.mechanisms[v].func)(&parent_values, u);
+                    if out as usize >= card_out {
+                        return Err(CausalError::InvalidScm(format!(
+                            "node {v}: mechanism output {out} out of domain (cardinality {card_out}) for parents {parent_values:?}, noise {u}"
+                        )));
+                    }
+                }
+                // advance mixed-radix counter over parent values
+                let mut i = 0;
+                loop {
+                    if i == parents.len() {
+                        break;
+                    }
+                    let card = scm
+                        .schema
+                        .cardinality(tabular::AttrId(parents[i] as u32))
+                        .map_err(CausalError::Tabular)? as Value;
+                    parent_values[i] += 1;
+                    if parent_values[i] < card {
+                        break;
+                    }
+                    parent_values[i] = 0;
+                    i += 1;
+                }
+                if i == parents.len() {
+                    break;
+                }
+            }
+        }
+        Ok(scm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tabular::{Context, Domain};
+
+    /// X → Y where X ~ Bernoulli(0.3) and Y = X XOR noise(0.1).
+    fn xor_scm() -> Scm {
+        let mut schema = Schema::new();
+        schema.push("x", Domain::boolean());
+        schema.push("y", Domain::boolean());
+        let mut b = ScmBuilder::new(schema);
+        b.edge(0, 1).unwrap();
+        b.mechanism(0, Mechanism::root(vec![0.7, 0.3])).unwrap();
+        b.mechanism(
+            1,
+            Mechanism::with_noise(vec![0.9, 0.1], |pa, u| pa[0] ^ (u as Value)),
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sampling_matches_prior() {
+        let scm = xor_scm();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = scm.generate(20_000, &mut rng);
+        let p_x = t.probability(&Context::of([(tabular::AttrId(0), 1)]));
+        assert!((p_x - 0.3).abs() < 0.02, "Pr(x=1) = {p_x}");
+        // Pr(y=1) = Pr(x=1)·0.9 + Pr(x=0)·0.1 = 0.27 + 0.07 = 0.34
+        let p_y = t.probability(&Context::of([(tabular::AttrId(1), 1)]));
+        assert!((p_y - 0.34).abs() < 0.02, "Pr(y=1) = {p_y}");
+    }
+
+    #[test]
+    fn world_is_deterministic_given_noise() {
+        let scm = xor_scm();
+        assert_eq!(scm.world(&[1, 0], &[]), vec![1, 1]);
+        assert_eq!(scm.world(&[1, 1], &[]), vec![1, 0]);
+        assert_eq!(scm.world(&[0, 1], &[]), vec![0, 1]);
+    }
+
+    #[test]
+    fn interventions_override_mechanisms() {
+        let scm = xor_scm();
+        // do(x = 0) with noise that would have made x = 1
+        let w = scm.world(&[1, 0], &[(0, 0)]);
+        assert_eq!(w, vec![0, 0]);
+        // consistency rule (paper eq. 2): intervening with the factual
+        // value changes nothing
+        let factual = scm.world(&[1, 0], &[]);
+        let forced = scm.world(&[1, 0], &[(0, factual[0])]);
+        assert_eq!(factual, forced);
+    }
+
+    #[test]
+    fn interventional_sampling_breaks_dependence() {
+        let scm = xor_scm();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = scm.generate_interventional(20_000, &[(0, 1)], &mut rng);
+        // everyone has x = 1; Pr(y=1) = 0.9
+        assert_eq!(t.count(&Context::of([(tabular::AttrId(0), 1)])), 20_000);
+        let p_y = t.probability(&Context::of([(tabular::AttrId(1), 1)]));
+        assert!((p_y - 0.9).abs() < 0.02, "Pr(y=1 | do(x=1)) = {p_y}");
+    }
+
+    #[test]
+    fn noise_space_size() {
+        let scm = xor_scm();
+        assert_eq!(scm.noise_space_size(), 4);
+    }
+
+    #[test]
+    fn builder_rejects_incomplete_models() {
+        let mut schema = Schema::new();
+        schema.push("x", Domain::boolean());
+        let b = ScmBuilder::new(schema);
+        assert!(matches!(b.build(), Err(CausalError::InvalidScm(_))));
+    }
+
+    #[test]
+    fn builder_rejects_bad_priors() {
+        let mut schema = Schema::new();
+        schema.push("x", Domain::boolean());
+        let mut b = ScmBuilder::new(schema);
+        b.mechanism(0, Mechanism::root(vec![0.5, 0.6])).unwrap();
+        assert!(matches!(b.build(), Err(CausalError::InvalidScm(_))));
+    }
+
+    #[test]
+    fn builder_probes_domain_violations() {
+        let mut schema = Schema::new();
+        schema.push("x", Domain::boolean());
+        let mut b = ScmBuilder::new(schema);
+        // outputs 5 on a boolean domain
+        b.mechanism(0, Mechanism::deterministic(|_| 5)).unwrap();
+        assert!(matches!(b.build(), Err(CausalError::InvalidScm(_))));
+    }
+
+    #[test]
+    fn categorical_sampler_is_distributed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let probs = [0.2, 0.5, 0.3];
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_categorical(&probs, &mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / 30_000.0;
+            assert!((freq - probs[i]).abs() < 0.02, "level {i}: {freq}");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Validating a hypothesized causal diagram against data (paper §6).
+//!
+//! The paper argues that assumptions about the causal diagram "can be
+//! validated using historical data": every d-separation the graph
+//! implies is a testable conditional independence. This module
+//! enumerates (a subset of) those implications and tests them with a
+//! chi-square conditional-independence test, reporting which are
+//! violated.
+
+use crate::dsep::is_d_separated;
+use crate::graph::Dag;
+use crate::Result;
+use tabular::{AttrId, Context, Counter, Table};
+
+/// One testable implication `X ⫫ Y | Z` and its empirical verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndependenceTest {
+    /// First variable.
+    pub x: AttrId,
+    /// Second variable.
+    pub y: AttrId,
+    /// Conditioning set.
+    pub z: Vec<AttrId>,
+    /// Chi-square statistic summed over conditioning strata.
+    pub chi_square: f64,
+    /// Degrees of freedom.
+    pub dof: usize,
+    /// Whether the independence is *rejected* at the configured
+    /// threshold (i.e. the data contradicts the graph).
+    pub rejected: bool,
+}
+
+/// Summary of a graph-vs-data validation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// All implications tested.
+    pub tests: Vec<IndependenceTest>,
+    /// How many were rejected.
+    pub n_rejected: usize,
+}
+
+impl ValidationReport {
+    /// Fraction of implications consistent with the data.
+    pub fn consistency(&self) -> f64 {
+        if self.tests.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.n_rejected as f64 / self.tests.len() as f64
+    }
+}
+
+/// Critical values of the chi-square distribution at significance 0.01
+/// for dof 1..=30 (standard table); larger dofs use the Wilson–Hilferty
+/// approximation.
+fn chi2_critical_01(dof: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        6.635, 9.210, 11.345, 13.277, 15.086, 16.812, 18.475, 20.090, 21.666, 23.209, 24.725,
+        26.217, 27.688, 29.141, 30.578, 32.000, 33.409, 34.805, 36.191, 37.566, 38.932, 40.289,
+        41.638, 42.980, 44.314, 45.642, 46.963, 48.278, 49.588, 50.892,
+    ];
+    if dof == 0 {
+        return f64::INFINITY;
+    }
+    if dof <= 30 {
+        TABLE[dof - 1]
+    } else {
+        // Wilson–Hilferty: χ²_p(k) ≈ k(1 − 2/(9k) + z_p √(2/(9k)))³,
+        // z_0.99 ≈ 2.326
+        let k = dof as f64;
+        let z = 2.326;
+        k * (1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt()).powi(3)
+    }
+}
+
+/// Chi-square test of `X ⫫ Y | Z` on `table`. Strata with fewer than
+/// `min_stratum` rows are skipped (sparse cells make chi-square
+/// unreliable).
+pub fn conditional_independence_test(
+    table: &Table,
+    x: AttrId,
+    y: AttrId,
+    z: &[AttrId],
+    min_stratum: usize,
+) -> Result<IndependenceTest> {
+    let card_x = table.schema().cardinality(x)?;
+    let card_y = table.schema().cardinality(y)?;
+    let mut attrs: Vec<AttrId> = z.to_vec();
+    attrs.push(x);
+    attrs.push(y);
+    let counter = Counter::build(table, &attrs, &Context::empty())?;
+    let nz = z.len();
+
+    // group counts per stratum
+    let mut strata: tabular::FxHashMap<Vec<u32>, Vec<u64>> = tabular::FxHashMap::default();
+    counter.for_each_nonzero(|values, n| {
+        let key = values[..nz].to_vec();
+        let cell = strata
+            .entry(key)
+            .or_insert_with(|| vec![0u64; card_x * card_y]);
+        let xi = values[nz] as usize;
+        let yi = values[nz + 1] as usize;
+        cell[xi * card_y + yi] += n;
+    });
+
+    let mut chi_square = 0.0f64;
+    let mut dof = 0usize;
+    for cell in strata.values() {
+        let total: u64 = cell.iter().sum();
+        if (total as usize) < min_stratum {
+            continue;
+        }
+        let mut row_sums = vec![0f64; card_x];
+        let mut col_sums = vec![0f64; card_y];
+        for xi in 0..card_x {
+            for yi in 0..card_y {
+                let n = cell[xi * card_y + yi] as f64;
+                row_sums[xi] += n;
+                col_sums[yi] += n;
+            }
+        }
+        let n_total = total as f64;
+        let active_rows = row_sums.iter().filter(|&&r| r > 0.0).count();
+        let active_cols = col_sums.iter().filter(|&&c| c > 0.0).count();
+        if active_rows < 2 || active_cols < 2 {
+            continue;
+        }
+        for xi in 0..card_x {
+            for yi in 0..card_y {
+                let expected = row_sums[xi] * col_sums[yi] / n_total;
+                if expected > 0.0 {
+                    let observed = cell[xi * card_y + yi] as f64;
+                    chi_square += (observed - expected) * (observed - expected) / expected;
+                }
+            }
+        }
+        dof += (active_rows - 1) * (active_cols - 1);
+    }
+    let rejected = dof > 0 && chi_square > chi2_critical_01(dof);
+    Ok(IndependenceTest { x, y, z: z.to_vec(), chi_square, dof, rejected })
+}
+
+/// Validate `graph` against `table`: for every non-adjacent pair, test
+/// the independence implied by conditioning on one node's parents (the
+/// local Markov property restricted to pairs, which keeps the test count
+/// quadratic). Only attributes `0..graph.n_nodes()` participate.
+pub fn validate_graph(
+    table: &Table,
+    graph: &Dag,
+    min_stratum: usize,
+) -> Result<ValidationReport> {
+    let n = graph.n_nodes().min(table.schema().len());
+    let mut tests = Vec::new();
+    for xi in 0..n {
+        for yi in xi + 1..n {
+            if graph.has_edge(xi, yi) || graph.has_edge(yi, xi) {
+                continue;
+            }
+            // condition on the parents of the causally later node
+            let (late, early) = if graph.is_ancestor(xi, yi) { (yi, xi) } else { (xi, yi) };
+            let z: Vec<usize> = graph
+                .parents(late)
+                .iter()
+                .copied()
+                .filter(|&p| p != early)
+                .collect();
+            // only test what the graph actually implies
+            if !is_d_separated(graph, &[early], &[late], &z) {
+                continue;
+            }
+            let z_attrs: Vec<AttrId> = z.iter().map(|&p| AttrId(p as u32)).collect();
+            tests.push(conditional_independence_test(
+                table,
+                AttrId(early as u32),
+                AttrId(late as u32),
+                &z_attrs,
+                min_stratum,
+            )?);
+        }
+    }
+    let n_rejected = tests.iter().filter(|t| t.rejected).count();
+    Ok(ValidationReport { tests, n_rejected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scm::{Mechanism, ScmBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tabular::{Domain, Schema};
+
+    /// chain world: a → b → c
+    fn chain_scm() -> crate::Scm {
+        let mut schema = Schema::new();
+        schema.push("a", Domain::boolean());
+        schema.push("b", Domain::boolean());
+        schema.push("c", Domain::boolean());
+        let mut b = ScmBuilder::new(schema);
+        b.edge(0, 1).unwrap();
+        b.edge(1, 2).unwrap();
+        b.mechanism(0, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        b.mechanism(
+            1,
+            Mechanism::with_noise(vec![0.8, 0.2], |pa, u| pa[0] ^ (u as u32)),
+        )
+        .unwrap();
+        b.mechanism(
+            2,
+            Mechanism::with_noise(vec![0.8, 0.2], |pa, u| pa[0] ^ (u as u32)),
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn correct_graph_passes_validation() {
+        let scm = chain_scm();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = scm.generate(20_000, &mut rng);
+        let report = validate_graph(&t, scm.graph(), 50).unwrap();
+        assert_eq!(report.n_rejected, 0, "{report:?}");
+        assert!(report.consistency() > 0.99);
+        // the a ⫫ c | b implication was actually tested
+        assert!(!report.tests.is_empty());
+    }
+
+    #[test]
+    fn wrong_graph_is_rejected() {
+        // claim a ⫫ b (no edge) when the data has a → b
+        let scm = chain_scm();
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = scm.generate(20_000, &mut rng);
+        let mut wrong = Dag::new(3);
+        wrong.add_edge(1, 2).unwrap(); // only keeps b → c
+        let report = validate_graph(&t, &wrong, 50).unwrap();
+        assert!(report.n_rejected >= 1, "{report:?}");
+        assert!(report.consistency() < 1.0);
+    }
+
+    #[test]
+    fn dependent_pair_detected_directly() {
+        let scm = chain_scm();
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = scm.generate(20_000, &mut rng);
+        // a and b are directly dependent
+        let test =
+            conditional_independence_test(&t, AttrId(0), AttrId(1), &[], 50).unwrap();
+        assert!(test.rejected, "chi2 {}", test.chi_square);
+        // a and c are independent given b
+        let test2 =
+            conditional_independence_test(&t, AttrId(0), AttrId(2), &[AttrId(1)], 50)
+                .unwrap();
+        assert!(!test2.rejected, "chi2 {}", test2.chi_square);
+    }
+
+    #[test]
+    fn critical_values_are_monotone() {
+        let mut prev = 0.0;
+        for dof in 1..60 {
+            let c = chi2_critical_01(dof);
+            assert!(c > prev, "dof {dof}");
+            prev = c;
+        }
+        assert_eq!(chi2_critical_01(0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,269 @@
+//! Synthetic Adult income data (UCI Adult substitute).
+//!
+//! 14 attributes + the `income > 50K` outcome, generated from an SCM
+//! following Chiappa (2019): age/sex/race/country are roots; education,
+//! marital status and occupation mediate; the outcome leans heavily on
+//! marital status (the dataset's well-documented household-income quirk,
+//! §5.3) and working hours. Sex affects the outcome both directly (the
+//! reported bias) and through mediators.
+
+use crate::mech::{noisy_logistic, noisy_ordinal};
+use crate::Dataset;
+use causal::{Mechanism, Scm, ScmBuilder};
+use tabular::{AttrId, Domain, Schema};
+
+/// Generator for the synthetic Adult income dataset.
+pub struct AdultDataset;
+
+impl AdultDataset {
+    /// Age group.
+    pub const AGE: AttrId = AttrId(0);
+    /// Sex.
+    pub const SEX: AttrId = AttrId(1);
+    /// Race (binarized as in the paper's fairness analyses).
+    pub const RACE: AttrId = AttrId(2);
+    /// Native country (US / other).
+    pub const COUNTRY: AttrId = AttrId(3);
+    /// Education level.
+    pub const EDU: AttrId = AttrId(4);
+    /// Marital status.
+    pub const MARITAL: AttrId = AttrId(5);
+    /// Relationship in household.
+    pub const RELATIONSHIP: AttrId = AttrId(6);
+    /// Occupation family.
+    pub const OCCUP: AttrId = AttrId(7);
+    /// Work class (employer type).
+    pub const CLASS: AttrId = AttrId(8);
+    /// Weekly working hours bracket.
+    pub const HOURS: AttrId = AttrId(9);
+    /// Capital gains flag.
+    pub const CAPGAIN: AttrId = AttrId(10);
+    /// Capital losses flag.
+    pub const CAPLOSS: AttrId = AttrId(11);
+    /// Census sampling weight bucket (pure noise feature).
+    pub const FNLWGT: AttrId = AttrId(12);
+    /// Industry sector.
+    pub const INDUSTRY: AttrId = AttrId(13);
+    /// Binary income outcome (1 = >50K).
+    pub const OUTCOME: AttrId = AttrId(14);
+
+    /// The schema of the synthetic Adult data.
+    pub fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.push("age", Domain::categorical(["young", "mid", "senior"]));
+        s.push("sex", Domain::categorical(["female", "male"]));
+        s.push("race", Domain::categorical(["nonwhite", "white"]));
+        s.push("country", Domain::categorical(["other", "us"]));
+        s.push("edu", Domain::categorical(["dropout", "hs_grad", "bachelors", "advanced"]));
+        s.push("marital", Domain::categorical(["never", "divorced", "married"]));
+        s.push(
+            "relationship",
+            Domain::categorical(["own_child", "not_in_family", "spouse"]),
+        );
+        s.push(
+            "occup",
+            Domain::categorical(["service", "blue_collar", "sales", "professional"]),
+        );
+        s.push("class", Domain::categorical(["gov", "private", "self_emp"]));
+        s.push("hours", Domain::categorical(["part_time", "full_time", "overtime"]));
+        s.push("capgain", Domain::categorical(["none", "some"]));
+        s.push("caploss", Domain::categorical(["none", "some"]));
+        s.push("fnlwgt", Domain::categorical(["low", "high"]));
+        s.push("industry", Domain::categorical(["primary", "manufacturing", "services"]));
+        s.push("income", Domain::boolean());
+        s
+    }
+
+    /// The ground-truth SCM.
+    pub fn scm() -> Scm {
+        let mut b = ScmBuilder::new(Self::schema());
+        let e = |b: &mut ScmBuilder, from: AttrId, to: AttrId| {
+            b.edge(from.index(), to.index()).expect("acyclic by construction");
+        };
+        b.mechanism(Self::AGE.index(), Mechanism::root(vec![0.3, 0.45, 0.25])).unwrap();
+        b.mechanism(Self::SEX.index(), Mechanism::root(vec![0.33, 0.67])).unwrap();
+        b.mechanism(Self::RACE.index(), Mechanism::root(vec![0.15, 0.85])).unwrap();
+        b.mechanism(Self::COUNTRY.index(), Mechanism::root(vec![0.1, 0.9])).unwrap();
+        // edu <- age, sex, country
+        e(&mut b, Self::AGE, Self::EDU);
+        e(&mut b, Self::SEX, Self::EDU);
+        e(&mut b, Self::COUNTRY, Self::EDU);
+        b.mechanism(
+            Self::EDU.index(),
+            noisy_ordinal(vec![0.4, 0.15, 0.3], 0.0, vec![0.3, 1.0, 1.7], 1.8, 9),
+        )
+        .unwrap();
+        // marital <- age, sex
+        e(&mut b, Self::AGE, Self::MARITAL);
+        e(&mut b, Self::SEX, Self::MARITAL);
+        b.mechanism(
+            Self::MARITAL.index(),
+            noisy_ordinal(vec![0.9, 0.4], -0.2, vec![0.6, 1.2], 1.5, 9),
+        )
+        .unwrap();
+        // relationship <- marital, sex
+        e(&mut b, Self::MARITAL, Self::RELATIONSHIP);
+        e(&mut b, Self::SEX, Self::RELATIONSHIP);
+        b.mechanism(
+            Self::RELATIONSHIP.index(),
+            noisy_ordinal(vec![0.8, 0.2], 0.0, vec![0.5, 1.4], 1.5, 7),
+        )
+        .unwrap();
+        // occup <- edu, sex
+        e(&mut b, Self::EDU, Self::OCCUP);
+        e(&mut b, Self::SEX, Self::OCCUP);
+        b.mechanism(
+            Self::OCCUP.index(),
+            noisy_ordinal(vec![0.8, 0.3], -0.1, vec![0.6, 1.4, 2.2], 2.3, 9),
+        )
+        .unwrap();
+        // class <- edu, country, sex (the Fig 8b neural-network story)
+        e(&mut b, Self::EDU, Self::CLASS);
+        e(&mut b, Self::COUNTRY, Self::CLASS);
+        e(&mut b, Self::SEX, Self::CLASS);
+        b.mechanism(
+            Self::CLASS.index(),
+            noisy_ordinal(vec![0.3, 0.3, 0.2], 0.0, vec![0.4, 1.6], 1.7, 7),
+        )
+        .unwrap();
+        // hours <- occup, sex, marital
+        e(&mut b, Self::OCCUP, Self::HOURS);
+        e(&mut b, Self::SEX, Self::HOURS);
+        e(&mut b, Self::MARITAL, Self::HOURS);
+        b.mechanism(
+            Self::HOURS.index(),
+            noisy_ordinal(vec![0.3, 0.4, 0.2], 0.0, vec![0.5, 1.6], 1.7, 9),
+        )
+        .unwrap();
+        // capgain <- edu, class; caploss <- edu
+        e(&mut b, Self::EDU, Self::CAPGAIN);
+        e(&mut b, Self::CLASS, Self::CAPGAIN);
+        b.mechanism(Self::CAPGAIN.index(), noisy_logistic(vec![0.5, 0.4], -3.0, 20)).unwrap();
+        e(&mut b, Self::EDU, Self::CAPLOSS);
+        b.mechanism(Self::CAPLOSS.index(), noisy_logistic(vec![0.3], -3.0, 20)).unwrap();
+        // fnlwgt: pure noise
+        b.mechanism(Self::FNLWGT.index(), Mechanism::root(vec![0.5, 0.5])).unwrap();
+        // industry <- class
+        e(&mut b, Self::CLASS, Self::INDUSTRY);
+        b.mechanism(
+            Self::INDUSTRY.index(),
+            noisy_ordinal(vec![0.5], 0.2, vec![0.4, 1.0], 0.9, 7),
+        )
+        .unwrap();
+        // income <- marital (dominant), edu, occup, hours, age, capgain,
+        // class, sex (direct bias), relationship
+        for p in [
+            Self::MARITAL,
+            Self::EDU,
+            Self::OCCUP,
+            Self::HOURS,
+            Self::AGE,
+            Self::CAPGAIN,
+            Self::CLASS,
+            Self::SEX,
+            Self::RELATIONSHIP,
+        ] {
+            e(&mut b, p, Self::OUTCOME);
+        }
+        b.mechanism(
+            Self::OUTCOME.index(),
+            noisy_logistic(
+                vec![1.1, 0.8, 0.5, 0.7, 0.5, 1.2, 0.2, 0.3, 0.3],
+                -6.4,
+                50,
+            ),
+        )
+        .unwrap();
+        b.build().expect("Adult SCM is well-formed")
+    }
+
+    /// Generate `n_rows` observations with the given seed.
+    pub fn generate(n_rows: usize, seed: u64) -> Dataset {
+        Dataset::from_scm(
+            "adult",
+            Self::scm(),
+            n_rows,
+            seed,
+            Self::OUTCOME,
+            vec![Self::EDU, Self::HOURS, Self::CLASS, Self::OCCUP],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::Context;
+
+    #[test]
+    fn schema_shape() {
+        let s = AdultDataset::schema();
+        assert_eq!(s.len(), 15); // 14 features + outcome
+        assert_eq!(s.name(AdultDataset::MARITAL), "marital");
+    }
+
+    #[test]
+    fn income_rate_matches_adult() {
+        // UCI Adult has ~24% high earners.
+        let d = AdultDataset::generate(10_000, 2);
+        let rate = d.table.probability(&Context::of([(AdultDataset::OUTCOME, 1)]));
+        assert!((0.1..0.45).contains(&rate), "high-income rate {rate}");
+    }
+
+    #[test]
+    fn marital_dominates_income() {
+        let d = AdultDataset::generate(10_000, 3);
+        let married = d
+            .table
+            .conditional_probability(
+                AdultDataset::OUTCOME,
+                1,
+                &Context::of([(AdultDataset::MARITAL, 2)]),
+                0.0,
+            )
+            .unwrap();
+        let never = d
+            .table
+            .conditional_probability(
+                AdultDataset::OUTCOME,
+                1,
+                &Context::of([(AdultDataset::MARITAL, 0)]),
+                0.0,
+            )
+            .unwrap();
+        assert!(married - never > 0.15, "marital effect {never} -> {married}");
+    }
+
+    #[test]
+    fn fnlwgt_is_noise() {
+        let d = AdultDataset::generate(10_000, 4);
+        let hi = d
+            .table
+            .conditional_probability(
+                AdultDataset::OUTCOME,
+                1,
+                &Context::of([(AdultDataset::FNLWGT, 1)]),
+                0.0,
+            )
+            .unwrap();
+        let lo = d
+            .table
+            .conditional_probability(
+                AdultDataset::OUTCOME,
+                1,
+                &Context::of([(AdultDataset::FNLWGT, 0)]),
+                0.0,
+            )
+            .unwrap();
+        assert!((hi - lo).abs() < 0.03, "fnlwgt leaks: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn sex_reaches_income_directly_and_via_class() {
+        let g = AdultDataset::scm();
+        let graph = g.graph();
+        assert!(graph.has_edge(AdultDataset::SEX.index(), AdultDataset::OUTCOME.index()));
+        assert!(graph.has_edge(AdultDataset::SEX.index(), AdultDataset::CLASS.index()));
+        assert!(graph.has_edge(AdultDataset::COUNTRY.index(), AdultDataset::CLASS.index()));
+    }
+}

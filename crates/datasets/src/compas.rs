@@ -1,0 +1,205 @@
+//! Synthetic COMPAS data (ProPublica substitute).
+//!
+//! Offender attributes plus **two** outcome columns: the COMPAS
+//! software's risk score (the proprietary decile, binarized high/low —
+//! the paper's "Software score" target for Figs. 3c, 4c/d, 9c) and the
+//! actual two-year recidivism flag. The score mechanism encodes the
+//! documented bias: race shifts the baseline so that prior/juvenile
+//! counts push Black defendants past the high-risk threshold more easily
+//! than White defendants (the Fig. 4c/d sufficiency gap).
+
+use crate::mech::{noisy_logistic, noisy_ordinal};
+use crate::Dataset;
+use causal::{Mechanism, Scm, ScmBuilder};
+use tabular::{AttrId, Domain, Schema};
+
+/// Generator for the synthetic COMPAS dataset.
+pub struct CompasDataset;
+
+impl CompasDataset {
+    /// Age category.
+    pub const AGE_CAT: AttrId = AttrId(0);
+    /// Race (White / Black, as in the ProPublica analysis).
+    pub const RACE: AttrId = AttrId(1);
+    /// Sex.
+    pub const SEX: AttrId = AttrId(2);
+    /// Juvenile felony count bracket.
+    pub const JUV_FEL: AttrId = AttrId(3);
+    /// Prior crimes count bracket.
+    pub const PRIORS: AttrId = AttrId(4);
+    /// Charge degree of the current offence.
+    pub const CHARGE: AttrId = AttrId(5);
+    /// COMPAS software score, binarized (1 = high risk).
+    pub const SCORE: AttrId = AttrId(6);
+    /// Actual two-year recidivism.
+    pub const RECID: AttrId = AttrId(7);
+
+    /// The schema of the synthetic COMPAS data.
+    pub fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.push("age_cat", Domain::categorical(["<25", "25-45", ">45"]));
+        s.push("race", Domain::categorical(["white", "black"]));
+        s.push("sex", Domain::categorical(["female", "male"]));
+        s.push("juv_fel_count", Domain::categorical(["0", "1", "2+"]));
+        s.push("priors_count", Domain::categorical(["0", "1-3", "4-9", "10+"]));
+        s.push("charge_degree", Domain::categorical(["misdemeanor", "felony"]));
+        s.push("score_high", Domain::boolean());
+        s.push("two_year_recid", Domain::boolean());
+        s
+    }
+
+    /// The ground-truth SCM.
+    pub fn scm() -> Scm {
+        let mut b = ScmBuilder::new(Self::schema());
+        let e = |b: &mut ScmBuilder, from: AttrId, to: AttrId| {
+            b.edge(from.index(), to.index()).expect("acyclic by construction");
+        };
+        b.mechanism(Self::AGE_CAT.index(), Mechanism::root(vec![0.25, 0.55, 0.20])).unwrap();
+        b.mechanism(Self::RACE.index(), Mechanism::root(vec![0.45, 0.55])).unwrap();
+        b.mechanism(Self::SEX.index(), Mechanism::root(vec![0.2, 0.8])).unwrap();
+        // juv_fel <- age (younger: more juvenile record visibility), race
+        e(&mut b, Self::AGE_CAT, Self::JUV_FEL);
+        e(&mut b, Self::RACE, Self::JUV_FEL);
+        b.mechanism(
+            Self::JUV_FEL.index(),
+            noisy_ordinal(vec![-0.5, 0.4], 0.0, vec![0.0, 0.6], 1.7, 9),
+        )
+        .unwrap();
+        // priors <- age (older accumulate more), race, sex, juv_fel
+        e(&mut b, Self::AGE_CAT, Self::PRIORS);
+        e(&mut b, Self::RACE, Self::PRIORS);
+        e(&mut b, Self::SEX, Self::PRIORS);
+        e(&mut b, Self::JUV_FEL, Self::PRIORS);
+        b.mechanism(
+            Self::PRIORS.index(),
+            noisy_ordinal(vec![0.4, 0.5, 0.3, 0.6], -0.3, vec![0.4, 1.2, 2.0], 2.4, 9),
+        )
+        .unwrap();
+        // charge <- priors
+        e(&mut b, Self::PRIORS, Self::CHARGE);
+        b.mechanism(Self::CHARGE.index(), noisy_logistic(vec![0.4], -0.6, 20)).unwrap();
+        // COMPAS score <- priors, juv_fel, age (younger = riskier), race
+        // (the documented bias), charge
+        for p in [Self::PRIORS, Self::JUV_FEL, Self::AGE_CAT, Self::RACE, Self::CHARGE] {
+            e(&mut b, p, Self::SCORE);
+        }
+        b.mechanism(
+            Self::SCORE.index(),
+            noisy_logistic(vec![0.9, 0.7, -0.7, 0.8, 0.3], -1.6, 50),
+        )
+        .unwrap();
+        // actual recidivism <- priors, juv_fel, age, charge (no direct
+        // race effect: the bias lives in the score, not the world)
+        for p in [Self::PRIORS, Self::JUV_FEL, Self::AGE_CAT, Self::CHARGE] {
+            e(&mut b, p, Self::RECID);
+        }
+        b.mechanism(
+            Self::RECID.index(),
+            noisy_logistic(vec![0.7, 0.5, -0.5, 0.3], -1.3, 50),
+        )
+        .unwrap();
+        b.build().expect("COMPAS SCM is well-formed")
+    }
+
+    /// Generate `n_rows` observations with the given seed. The dataset's
+    /// prediction target is the **software score**; `two_year_recid` is
+    /// excluded from the feature set.
+    pub fn generate(n_rows: usize, seed: u64) -> Dataset {
+        let mut d = Dataset::from_scm(
+            "compas",
+            Self::scm(),
+            n_rows,
+            seed,
+            Self::SCORE,
+            Vec::new(), // §5.3: criminal history is not actionable
+        );
+        d.features = vec![
+            Self::AGE_CAT,
+            Self::RACE,
+            Self::SEX,
+            Self::JUV_FEL,
+            Self::PRIORS,
+            Self::CHARGE,
+        ];
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::Context;
+
+    #[test]
+    fn schema_shape() {
+        let s = CompasDataset::schema();
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.name(CompasDataset::SCORE), "score_high");
+    }
+
+    #[test]
+    fn recid_is_not_a_feature() {
+        let d = CompasDataset::generate(1000, 1);
+        assert!(!d.features.contains(&CompasDataset::RECID));
+        assert!(!d.features.contains(&CompasDataset::SCORE));
+        assert!(d.actionable.is_empty(), "criminal history is not actionable");
+    }
+
+    #[test]
+    fn priors_drive_the_score() {
+        let d = CompasDataset::generate(8000, 2);
+        let lo = d
+            .table
+            .conditional_probability(
+                CompasDataset::SCORE,
+                1,
+                &Context::of([(CompasDataset::PRIORS, 0)]),
+                0.0,
+            )
+            .unwrap();
+        let hi = d
+            .table
+            .conditional_probability(
+                CompasDataset::SCORE,
+                1,
+                &Context::of([(CompasDataset::PRIORS, 3)]),
+                0.0,
+            )
+            .unwrap();
+        assert!(hi - lo > 0.3, "priors effect {lo} -> {hi}");
+    }
+
+    #[test]
+    fn score_is_racially_biased_but_recid_is_not_directly() {
+        let d = CompasDataset::generate(20_000, 3);
+        // score gap at identical criminal history
+        let ctx = Context::of([
+            (CompasDataset::PRIORS, 1),
+            (CompasDataset::JUV_FEL, 0),
+            (CompasDataset::AGE_CAT, 1),
+        ]);
+        let white = d
+            .table
+            .conditional_probability(
+                CompasDataset::SCORE,
+                1,
+                &ctx.with(CompasDataset::RACE, 0),
+                0.0,
+            )
+            .unwrap();
+        let black = d
+            .table
+            .conditional_probability(
+                CompasDataset::SCORE,
+                1,
+                &ctx.with(CompasDataset::RACE, 1),
+                0.0,
+            )
+            .unwrap();
+        assert!(black - white > 0.1, "score bias: white {white}, black {black}");
+        // the graph has no race -> recid edge
+        assert!(!CompasDataset::scm()
+            .graph()
+            .has_edge(CompasDataset::RACE.index(), CompasDataset::RECID.index()));
+    }
+}

@@ -1,0 +1,233 @@
+//! Synthetic drug-consumption data (UCI drug substitute).
+//!
+//! Demographics (country, age, gender, ethnicity) and NEO-FFI-style
+//! personality traits, with a **three-class ordinal outcome**: when the
+//! respondent last used magic mushrooms (never / more than a decade ago /
+//! within the last decade) — the paper's multi-class task (§5.1). Per
+//! §5.2, the demographic roots affect both the traits and the outcome;
+//! country and sensation-seeking dominate (Fig. 3d), higher education
+//! suppresses use (Fig. 7).
+
+use crate::mech::noisy_ordinal;
+use crate::Dataset;
+use causal::{Mechanism, Scm, ScmBuilder};
+use tabular::{AttrId, Domain, Schema};
+
+/// Generator for the synthetic drug-consumption dataset.
+pub struct DrugDataset;
+
+impl DrugDataset {
+    /// Country of residence.
+    pub const COUNTRY: AttrId = AttrId(0);
+    /// Age band.
+    pub const AGE: AttrId = AttrId(1);
+    /// Gender.
+    pub const GENDER: AttrId = AttrId(2);
+    /// Ethnicity.
+    pub const ETHNICITY: AttrId = AttrId(3);
+    /// Education level.
+    pub const EDU: AttrId = AttrId(4);
+    /// Openness to experience (binned z-score).
+    pub const OPENNESS: AttrId = AttrId(5);
+    /// Conscientiousness.
+    pub const CONSCIENTIOUS: AttrId = AttrId(6);
+    /// Extraversion.
+    pub const EXTRAVERSION: AttrId = AttrId(7);
+    /// Agreeableness.
+    pub const AGREEABLE: AttrId = AttrId(8);
+    /// Neuroticism.
+    pub const NEUROTICISM: AttrId = AttrId(9);
+    /// Impulsivity.
+    pub const IMPULSIVE: AttrId = AttrId(10);
+    /// Sensation seeking.
+    pub const SENSATION: AttrId = AttrId(11);
+    /// Assertiveness-style auxiliary score (the "ascore" of Fig. 9d).
+    pub const ASCORE: AttrId = AttrId(12);
+    /// Ordinal consumption outcome.
+    pub const OUTCOME: AttrId = AttrId(13);
+
+    /// The schema of the synthetic drug data.
+    pub fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.push("country", Domain::categorical(["rest_of_world", "uk_us"]));
+        s.push("age", Domain::categorical(["18-24", "25-44", "45+"]));
+        s.push("gender", Domain::categorical(["female", "male"]));
+        s.push("ethnicity", Domain::categorical(["other", "white"]));
+        s.push("edu", Domain::categorical(["left_school", "some_college", "bachelors", "masters+"]));
+        let trait_dom = || Domain::categorical(["low", "mid", "high"]);
+        s.push("openness", trait_dom());
+        s.push("conscientious", trait_dom());
+        s.push("extraversion", trait_dom());
+        s.push("agreeable", trait_dom());
+        s.push("neuroticism", trait_dom());
+        s.push("impulsive", trait_dom());
+        s.push("sensation", trait_dom());
+        s.push("ascore", trait_dom());
+        s.push(
+            "usage",
+            Domain::categorical(["never", "over_decade_ago", "last_decade"]),
+        );
+        s
+    }
+
+    /// The ground-truth SCM.
+    pub fn scm() -> Scm {
+        let mut b = ScmBuilder::new(Self::schema());
+        let e = |b: &mut ScmBuilder, from: AttrId, to: AttrId| {
+            b.edge(from.index(), to.index()).expect("acyclic by construction");
+        };
+        b.mechanism(Self::COUNTRY.index(), Mechanism::root(vec![0.45, 0.55])).unwrap();
+        b.mechanism(Self::AGE.index(), Mechanism::root(vec![0.35, 0.45, 0.20])).unwrap();
+        b.mechanism(Self::GENDER.index(), Mechanism::root(vec![0.5, 0.5])).unwrap();
+        b.mechanism(Self::ETHNICITY.index(), Mechanism::root(vec![0.1, 0.9])).unwrap();
+        // edu <- age, gender, country
+        e(&mut b, Self::AGE, Self::EDU);
+        e(&mut b, Self::GENDER, Self::EDU);
+        e(&mut b, Self::COUNTRY, Self::EDU);
+        b.mechanism(
+            Self::EDU.index(),
+            noisy_ordinal(vec![0.7, -0.2, 0.3], 0.0, vec![0.3, 1.0, 1.7], 2.0, 9),
+        )
+        .unwrap();
+        // traits <- demographics
+        let trait_mech = |w_age: f64, w_gender: f64| {
+            noisy_ordinal(vec![w_age, w_gender], 0.4, vec![0.3, 0.9], 1.3, 9)
+        };
+        e(&mut b, Self::AGE, Self::OPENNESS);
+        e(&mut b, Self::GENDER, Self::OPENNESS);
+        b.mechanism(Self::OPENNESS.index(), trait_mech(-0.3, 0.1)).unwrap();
+        e(&mut b, Self::AGE, Self::CONSCIENTIOUS);
+        e(&mut b, Self::GENDER, Self::CONSCIENTIOUS);
+        b.mechanism(Self::CONSCIENTIOUS.index(), trait_mech(0.4, -0.1)).unwrap();
+        e(&mut b, Self::GENDER, Self::EXTRAVERSION);
+        b.mechanism(
+            Self::EXTRAVERSION.index(),
+            noisy_ordinal(vec![0.1], 0.5, vec![0.3, 0.9], 1.1, 9),
+        )
+        .unwrap();
+        e(&mut b, Self::GENDER, Self::AGREEABLE);
+        b.mechanism(
+            Self::AGREEABLE.index(),
+            noisy_ordinal(vec![-0.2], 0.7, vec![0.3, 0.9], 1.2, 9),
+        )
+        .unwrap();
+        e(&mut b, Self::AGE, Self::NEUROTICISM);
+        b.mechanism(
+            Self::NEUROTICISM.index(),
+            noisy_ordinal(vec![-0.2], 0.7, vec![0.3, 0.9], 1.2, 9),
+        )
+        .unwrap();
+        e(&mut b, Self::AGE, Self::IMPULSIVE);
+        e(&mut b, Self::GENDER, Self::IMPULSIVE);
+        b.mechanism(Self::IMPULSIVE.index(), trait_mech(-0.5, 0.2)).unwrap();
+        e(&mut b, Self::AGE, Self::SENSATION);
+        e(&mut b, Self::GENDER, Self::SENSATION);
+        b.mechanism(Self::SENSATION.index(), trait_mech(-0.6, 0.3)).unwrap();
+        e(&mut b, Self::AGE, Self::ASCORE);
+        b.mechanism(
+            Self::ASCORE.index(),
+            noisy_ordinal(vec![0.2], 0.5, vec![0.3, 0.9], 1.1, 9),
+        )
+        .unwrap();
+        // usage <- country (dominant, Fig 3d), age (younger use more),
+        // sensation, openness, impulsive, edu (suppresses), gender,
+        // conscientiousness (suppresses), ethnicity (weak)
+        for p in [
+            Self::COUNTRY,
+            Self::AGE,
+            Self::SENSATION,
+            Self::OPENNESS,
+            Self::IMPULSIVE,
+            Self::EDU,
+            Self::GENDER,
+            Self::CONSCIENTIOUS,
+            Self::ETHNICITY,
+        ] {
+            e(&mut b, p, Self::OUTCOME);
+        }
+        b.mechanism(
+            Self::OUTCOME.index(),
+            noisy_ordinal(
+                vec![1.9, -0.55, 0.7, 0.5, 0.4, -0.35, 0.25, -0.3, 0.1],
+                -0.3,
+                vec![0.35, 1.15],
+                1.2,
+                15,
+            ),
+        )
+        .unwrap();
+        b.build().expect("Drug SCM is well-formed")
+    }
+
+    /// Generate `n_rows` observations with the given seed.
+    pub fn generate(n_rows: usize, seed: u64) -> Dataset {
+        Dataset::from_scm(
+            "drug",
+            Self::scm(),
+            n_rows,
+            seed,
+            Self::OUTCOME,
+            Vec::new(), // personality traits are not actionable
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::Context;
+
+    #[test]
+    fn schema_shape() {
+        let s = DrugDataset::schema();
+        assert_eq!(s.len(), 14); // 13 features + outcome
+        assert_eq!(s.cardinality(DrugDataset::OUTCOME).unwrap(), 3);
+    }
+
+    #[test]
+    fn all_three_classes_occur() {
+        let d = DrugDataset::generate(5000, 6);
+        for v in 0..3u32 {
+            let rate = d.table.probability(&Context::of([(DrugDataset::OUTCOME, v)]));
+            assert!(rate > 0.05, "class {v} rate {rate}");
+        }
+    }
+
+    #[test]
+    fn country_dominates_usage() {
+        let d = DrugDataset::generate(8000, 7);
+        // Pr(used at least once) = Pr(usage >= 1)
+        let p = |country: u32| {
+            let ctx = Context::of([(DrugDataset::COUNTRY, country)]);
+            1.0 - d
+                .table
+                .conditional_probability(DrugDataset::OUTCOME, 0, &ctx, 0.0)
+                .unwrap()
+        };
+        assert!(p(1) - p(0) > 0.2, "country effect: {} vs {}", p(0), p(1));
+    }
+
+    #[test]
+    fn education_suppresses_usage() {
+        let d = DrugDataset::generate(8000, 8);
+        let low_edu = 1.0
+            - d.table
+                .conditional_probability(
+                    DrugDataset::OUTCOME,
+                    0,
+                    &Context::of([(DrugDataset::EDU, 0)]),
+                    0.0,
+                )
+                .unwrap();
+        let high_edu = 1.0
+            - d.table
+                .conditional_probability(
+                    DrugDataset::OUTCOME,
+                    0,
+                    &Context::of([(DrugDataset::EDU, 3)]),
+                    0.0,
+                )
+                .unwrap();
+        assert!(low_edu > high_edu + 0.05, "edu effect: {low_edu} vs {high_edu}");
+    }
+}

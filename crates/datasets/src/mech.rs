@@ -1,0 +1,145 @@
+//! Reusable structural-equation building blocks.
+//!
+//! All mechanisms use the *inverse-CDF trick* to stay deterministic in a
+//! finite uniform noise level `u ∈ {0..K−1}`: a latent score is computed
+//! from the parents, the noise picks a quantile threshold, and the output
+//! is read off the comparison. This preserves the SCM contract (worlds
+//! are deterministic given noise) while producing realistically noisy
+//! marginals — and keeps logistic mechanisms *monotone per noise level*,
+//! matching the paper's Proposition 4.2 setting.
+
+use causal::Mechanism;
+use tabular::Value;
+
+/// A uniform prior over `k` noise levels.
+pub fn uniform(k: usize) -> Vec<f64> {
+    vec![1.0 / k as f64; k]
+}
+
+/// Binary mechanism with `Pr(1 | pa) ≈ sigmoid(bias + Σ wᵢ·paᵢ)`
+/// quantized over `k` noise levels. Monotone in every parent whose
+/// weight is positive.
+pub fn noisy_logistic(weights: Vec<f64>, bias: f64, k: usize) -> Mechanism {
+    assert!(k >= 1);
+    Mechanism::with_noise(uniform(k), move |pa, u| {
+        let z: f64 = bias
+            + weights
+                .iter()
+                .zip(pa)
+                .map(|(w, &p)| w * f64::from(p))
+                .sum::<f64>();
+        let p = 1.0 / (1.0 + (-z).exp());
+        let t = (u as f64 + 0.5) / k as f64;
+        Value::from(p > t)
+    })
+}
+
+/// Ordinal mechanism: latent = `bias + Σ wᵢ·paᵢ + jitter(u)`, output =
+/// number of `cutpoints` the latent exceeds (so cardinality =
+/// `cutpoints.len() + 1`). Jitter spreads noise levels uniformly over
+/// `[−jitter, +jitter]`.
+pub fn noisy_ordinal(
+    weights: Vec<f64>,
+    bias: f64,
+    cutpoints: Vec<f64>,
+    jitter: f64,
+    k: usize,
+) -> Mechanism {
+    assert!(k >= 1);
+    assert!(
+        cutpoints.windows(2).all(|w| w[0] < w[1]),
+        "cutpoints must be ascending"
+    );
+    Mechanism::with_noise(uniform(k), move |pa, u| {
+        let base: f64 = bias
+            + weights
+                .iter()
+                .zip(pa)
+                .map(|(w, &p)| w * f64::from(p))
+                .sum::<f64>();
+        let noise = if k == 1 {
+            0.0
+        } else {
+            (u as f64 / (k - 1) as f64 - 0.5) * 2.0 * jitter
+        };
+        let z = base + noise;
+        cutpoints.iter().filter(|&&c| z > c).count() as Value
+    })
+}
+
+/// A latent score in `[0, 1]` quantized into `n_bins` equal bins —
+/// used for regression-style outcomes (German-syn's credit score).
+/// The caller's `score` maps parent codes to `[0, 1]`; noise adds a
+/// uniform offset in `[−jitter, +jitter]` before clamping.
+pub fn noisy_score(
+    score: impl Fn(&[Value]) -> f64 + Send + Sync + 'static,
+    jitter: f64,
+    n_bins: usize,
+    k: usize,
+) -> Mechanism {
+    assert!(n_bins >= 1 && k >= 1);
+    Mechanism::with_noise(uniform(k), move |pa, u| {
+        let noise = if k == 1 {
+            0.0
+        } else {
+            (u as f64 / (k - 1) as f64 - 0.5) * 2.0 * jitter
+        };
+        let z = (score(pa) + noise).clamp(0.0, 1.0 - 1e-9);
+        (z * n_bins as f64) as Value
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logistic_rates_track_sigmoid() {
+        let m = noisy_logistic(vec![2.0], -1.0, 100);
+        // Pr(1 | pa = 1) ≈ sigmoid(1) ≈ 0.731
+        let ones = (0..100)
+            .filter(|&u| (m.func)(&[1], u) == 1)
+            .count() as f64
+            / 100.0;
+        assert!((ones - 0.731).abs() < 0.02, "rate {ones}");
+        // monotone per level: pa=1 never below pa=0
+        for u in 0..100 {
+            assert!((m.func)(&[1], u) >= (m.func)(&[0], u));
+        }
+    }
+
+    #[test]
+    fn ordinal_covers_all_levels() {
+        let m = noisy_ordinal(vec![1.0], 0.0, vec![0.5, 1.5], 1.0, 9);
+        let mut seen = [false; 3];
+        for pa in 0..3u32 {
+            for u in 0..9 {
+                let v = (m.func)(&[pa], u);
+                assert!(v < 3);
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn score_bins_in_range() {
+        let m = noisy_score(|pa| f64::from(pa[0]) / 3.0, 0.2, 10, 7);
+        for pa in 0..4u32 {
+            for u in 0..7 {
+                assert!((m.func)(&[pa], u) < 10);
+            }
+        }
+        // higher parent ⇒ (weakly) higher score per level
+        for u in 0..7 {
+            assert!((m.func)(&[3], u) >= (m.func)(&[0], u));
+        }
+    }
+
+    #[test]
+    fn uniform_prior_sums_to_one() {
+        let p = uniform(7);
+        assert_eq!(p.len(), 7);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

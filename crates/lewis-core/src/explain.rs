@@ -1,0 +1,477 @@
+//! Global, contextual and local explanations (paper §3.2).
+//!
+//! * **Global** (`K = ∅`): for every attribute, the maximum of each score
+//!   over all ordered value pairs — Figure 3's rankings.
+//! * **Contextual** (user-defined `K = k`): the same scores inside a
+//!   sub-population — Figure 4's group comparisons.
+//! * **Local** (`K = V`): per-attribute positive/negative contributions
+//!   for one individual — Figures 5–7's bar charts. The context is the
+//!   individual's values on the non-descendants of the probed attribute
+//!   (descendants must stay free to respond to the intervention), with a
+//!   support-driven back-off.
+
+use crate::ordering::{infer_value_order, ordered_pairs};
+use crate::scores::{ScoreEstimator, Scores};
+use crate::{LewisError, Result};
+use causal::Dag;
+use tabular::{AttrId, Context, Table, Value};
+
+/// Scores for one attribute, maximized over value contrasts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeScores {
+    /// The attribute.
+    pub attr: AttrId,
+    /// Its display name.
+    pub name: String,
+    /// Component-wise maximum scores over all ordered value pairs.
+    pub scores: Scores,
+    /// The contrast `(hi, lo)` achieving the maximum NESUF.
+    pub best_pair: (Value, Value),
+}
+
+/// A full global explanation: every feature, ranked by NESUF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalExplanation {
+    /// Per-attribute maxima, sorted by descending NESUF.
+    pub attributes: Vec<AttributeScores>,
+}
+
+impl GlobalExplanation {
+    /// 1-based rank of an attribute under a score component extractor.
+    pub fn rank_by(&self, attr: AttrId, component: impl Fn(&Scores) -> f64) -> Option<usize> {
+        let mut scored: Vec<(f64, AttrId)> = self
+            .attributes
+            .iter()
+            .map(|a| (component(&a.scores), a.attr))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        scored.iter().position(|&(_, a)| a == attr).map(|i| i + 1)
+    }
+}
+
+/// Scores for one attribute inside one sub-population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextualExplanation {
+    /// The probed attribute.
+    pub attr: AttrId,
+    /// The sub-population.
+    pub context: Context,
+    /// Maximum scores over value pairs within the context.
+    pub scores: Scores,
+}
+
+/// One attribute's contribution to an individual's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalContribution {
+    /// The attribute.
+    pub attr: AttrId,
+    /// Display name.
+    pub name: String,
+    /// The individual's value of the attribute.
+    pub value: Value,
+    /// Display label of the value.
+    pub label: String,
+    /// Positive contribution in `[0, 1]` — how much holding this value
+    /// (rather than a worse one) supports the current outcome direction.
+    pub positive: f64,
+    /// Negative contribution in `[0, 1]` — how much a better value would
+    /// change the outcome.
+    pub negative: f64,
+}
+
+/// A local explanation for one individual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalExplanation {
+    /// The algorithm's decision for this individual.
+    pub outcome: Value,
+    /// Per-attribute contributions, sorted by descending
+    /// `max(positive, negative)`.
+    pub contributions: Vec<LocalContribution>,
+}
+
+/// The LEWIS explanation generator: wraps a [`ScoreEstimator`] with value
+/// orderings and the §3.2 explanation recipes.
+pub struct Lewis<'a> {
+    est: ScoreEstimator<'a>,
+    features: Vec<AttrId>,
+    orders: Vec<Option<Vec<Value>>>,
+    /// Minimum matching rows for local contexts before back-off.
+    pub min_support: usize,
+}
+
+impl<'a> Lewis<'a> {
+    /// Build an explainer over a labelled `table`.
+    ///
+    /// * `graph` — causal diagram (or `None` for the §6 fallback);
+    /// * `pred` — the black box's prediction column (binary);
+    /// * `positive` — the favourable outcome code;
+    /// * `features` — the attributes to explain (exclude the prediction
+    ///   column and any raw outcome columns).
+    pub fn new(
+        table: &'a Table,
+        graph: Option<&'a Dag>,
+        pred: AttrId,
+        positive: Value,
+        features: &[AttrId],
+        alpha: f64,
+    ) -> Result<Self> {
+        if features.contains(&pred) {
+            return Err(LewisError::Invalid("features must not include the prediction".into()));
+        }
+        let est = ScoreEstimator::new(table, graph, pred, positive, alpha)?;
+        let mut orders = vec![None; table.schema().len()];
+        for &a in features {
+            let order = infer_value_order(table, a, pred, positive)?;
+            orders[a.index()] = Some(order);
+        }
+        Ok(Lewis { est, features: features.to_vec(), orders, min_support: 30 })
+    }
+
+    /// The underlying estimator.
+    pub fn estimator(&self) -> &ScoreEstimator<'a> {
+        &self.est
+    }
+
+    /// The explained features.
+    pub fn features(&self) -> &[AttrId] {
+        &self.features
+    }
+
+    /// The inferred (ascending) value order of a feature.
+    pub fn value_order(&self, attr: AttrId) -> Option<&[Value]> {
+        self.orders.get(attr.index()).and_then(|o| o.as_deref())
+    }
+
+    /// Maximum scores over all ordered value pairs of `attr` within `k`.
+    /// Pairs without data support are skipped; if no pair has support the
+    /// scores are zero.
+    pub fn attribute_scores(&self, attr: AttrId, k: &Context) -> Result<AttributeScores> {
+        let order = self
+            .value_order(attr)
+            .ok_or_else(|| LewisError::Invalid(format!("{attr} is not an explained feature")))?;
+        let mut best = Scores::default();
+        let mut best_pair = (0, 0);
+        for (hi, lo) in ordered_pairs(order) {
+            match self.est.scores(attr, hi, lo, k) {
+                Ok(s) => {
+                    if s.nesuf > best.nesuf {
+                        best.nesuf = s.nesuf;
+                        best_pair = (hi, lo);
+                    }
+                    best.necessity = best.necessity.max(s.necessity);
+                    best.sufficiency = best.sufficiency.max(s.sufficiency);
+                }
+                Err(LewisError::Invalid(_)) => continue, // unsupported pair
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(AttributeScores {
+            attr,
+            name: self.est.table().schema().name(attr).to_string(),
+            scores: best,
+            best_pair,
+        })
+    }
+
+    /// Global explanation (`K = ∅`, Figure 3).
+    pub fn global(&self) -> Result<GlobalExplanation> {
+        self.contextual_global(&Context::empty())
+    }
+
+    /// Global-shaped explanation within a context (used for Figure 4 and
+    /// the sub-population audits).
+    pub fn contextual_global(&self, k: &Context) -> Result<GlobalExplanation> {
+        let mut attributes = Vec::with_capacity(self.features.len());
+        for &a in &self.features {
+            if k.constrains(a) {
+                continue;
+            }
+            attributes.push(self.attribute_scores(a, k)?);
+        }
+        attributes.sort_by(|x, y| {
+            y.scores
+                .nesuf
+                .partial_cmp(&x.scores.nesuf)
+                .expect("finite")
+                .then_with(|| x.attr.cmp(&y.attr))
+        });
+        Ok(GlobalExplanation { attributes })
+    }
+
+    /// Contextual explanation of one attribute in one sub-population
+    /// (Figure 4's bars).
+    pub fn contextual(&self, attr: AttrId, k: &Context) -> Result<ContextualExplanation> {
+        let scores = self.attribute_scores(attr, k)?.scores;
+        Ok(ContextualExplanation { attr, context: k.clone(), scores })
+    }
+
+    /// Local explanation for one individual (Figures 5–7).
+    ///
+    /// For a **negative** outcome, an attribute's *negative* contribution
+    /// is `max_{x > x'} SUF` (a better value would likely flip the
+    /// decision) and its *positive* contribution is `max_{x'' < x'} SUF`
+    /// (the current value already helps relative to worse ones). For a
+    /// **positive** outcome the same roles are played by the necessity
+    /// score (§3.2).
+    pub fn local(&self, row: &[Value]) -> Result<LocalExplanation> {
+        let pred = self.est.pred_attr();
+        if row.len() < self.est.table().schema().len() {
+            return Err(LewisError::Invalid(format!(
+                "row has {} values, schema needs {}",
+                row.len(),
+                self.est.table().schema().len()
+            )));
+        }
+        let outcome = row[pred.index()];
+        let favourable = outcome == self.est.positive();
+        let mut contributions = Vec::with_capacity(self.features.len());
+        for &a in &self.features {
+            let order = self.value_order(a).expect("feature orders precomputed");
+            let current = row[a.index()];
+            let pos_rank = order
+                .iter()
+                .position(|&v| v == current)
+                .expect("current value in domain");
+            let k = self.est.local_context(row, a, self.min_support);
+            let mut positive = 0.0f64;
+            let mut negative = 0.0f64;
+            // values worse / better than current, per the inferred order
+            for (rank, &v) in order.iter().enumerate() {
+                if rank == pos_rank {
+                    continue;
+                }
+                let result = if favourable {
+                    // positive outcome: NEC quantifies both directions
+                    if rank < pos_rank {
+                        self.est.necessity(a, current, v, &k).map(|s| (true, s))
+                    } else {
+                        self.est.necessity(a, v, current, &k).map(|s| (false, s))
+                    }
+                } else {
+                    // negative outcome: SUF quantifies both directions
+                    if rank < pos_rank {
+                        self.est.sufficiency(a, current, v, &k).map(|s| (true, s))
+                    } else {
+                        self.est.sufficiency(a, v, current, &k).map(|s| (false, s))
+                    }
+                };
+                match result {
+                    Ok((is_positive, s)) => {
+                        if is_positive {
+                            positive = positive.max(s);
+                        } else {
+                            negative = negative.max(s);
+                        }
+                    }
+                    Err(LewisError::Invalid(_)) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            let label = self
+                .est
+                .table()
+                .schema()
+                .attr(a)
+                .map(|at| at.domain.label(current))
+                .unwrap_or_default();
+            contributions.push(LocalContribution {
+                attr: a,
+                name: self.est.table().schema().name(a).to_string(),
+                value: current,
+                label,
+                positive,
+                negative,
+            });
+        }
+        contributions.sort_by(|x, y| {
+            let mx = x.positive.max(x.negative);
+            let my = y.positive.max(y.negative);
+            my.partial_cmp(&mx).expect("finite").then_with(|| x.attr.cmp(&y.attr))
+        });
+        Ok(LocalExplanation { outcome, contributions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blackbox::label_table;
+    use causal::scm::{Mechanism, ScmBuilder};
+    use causal::Scm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tabular::{Domain, Schema};
+
+    /// Loan world: status (3 levels) and savings (2) cause approval;
+    /// noise attribute `hair` does not. savings depends on status.
+    fn world() -> Scm {
+        let mut schema = Schema::new();
+        schema.push("status", Domain::categorical(["bad", "ok", "good"]));
+        schema.push("savings", Domain::categorical(["low", "high"]));
+        schema.push("hair", Domain::boolean());
+        let mut b = ScmBuilder::new(schema);
+        b.edge(0, 1).unwrap();
+        b.mechanism(0, Mechanism::root(vec![0.3, 0.4, 0.3])).unwrap();
+        b.mechanism(
+            1,
+            Mechanism::with_noise(vec![0.7, 0.3], |pa, u| {
+                u32::from(pa[0] == 2) | (u as Value & u32::from(pa[0] == 1))
+            }),
+        )
+        .unwrap();
+        b.mechanism(2, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        b.build().unwrap()
+    }
+
+    fn approve(row: &[Value]) -> Value {
+        u32::from(row[0] + row[1] >= 2)
+    }
+
+    fn setup(n: usize) -> (Table, AttrId) {
+        let scm = world();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut t = scm.generate(n, &mut rng);
+        let pred = label_table(&mut t, &approve, "pred").unwrap();
+        (t, pred)
+    }
+
+    #[test]
+    fn global_ranks_causal_attributes_above_noise() {
+        let (t, pred) = setup(20_000);
+        let scm = world();
+        let lewis = Lewis::new(
+            &t,
+            Some(scm.graph()),
+            pred,
+            1,
+            &[AttrId(0), AttrId(1), AttrId(2)],
+            0.0,
+        )
+        .unwrap();
+        let g = lewis.global().unwrap();
+        assert_eq!(g.attributes.len(), 3);
+        // hair must rank last with ~zero scores
+        let last = g.attributes.last().unwrap();
+        assert_eq!(last.attr, AttrId(2));
+        assert!(last.scores.nesuf < 0.05);
+        // status (root cause, also reaches approval through savings)
+        // should dominate
+        assert_eq!(g.attributes[0].attr, AttrId(0));
+        assert!(g.attributes[0].scores.sufficiency > 0.3);
+        // rank_by agrees
+        assert_eq!(g.rank_by(AttrId(0), |s| s.nesuf), Some(1));
+        assert_eq!(g.rank_by(AttrId(2), |s| s.nesuf), Some(3));
+    }
+
+    #[test]
+    fn contextual_scores_differ_across_groups() {
+        let (t, pred) = setup(20_000);
+        let scm = world();
+        let lewis = Lewis::new(
+            &t,
+            Some(scm.graph()),
+            pred,
+            1,
+            &[AttrId(0), AttrId(1)],
+            0.0,
+        )
+        .unwrap();
+        // savings' effect inside status groups: with status=good the loan
+        // is often approved regardless, so sufficiency of savings is
+        // higher for ok-status than bad-status individuals
+        let bad = lewis
+            .contextual(AttrId(1), &Context::of([(AttrId(0), 0)]))
+            .unwrap();
+        let ok = lewis
+            .contextual(AttrId(1), &Context::of([(AttrId(0), 1)]))
+            .unwrap();
+        assert!(
+            ok.scores.sufficiency > bad.scores.sufficiency + 0.5,
+            "ok {} vs bad {}",
+            ok.scores.sufficiency,
+            bad.scores.sufficiency
+        );
+    }
+
+    #[test]
+    fn contextual_global_skips_constrained_attribute() {
+        let (t, pred) = setup(5000);
+        let lewis =
+            Lewis::new(&t, None, pred, 1, &[AttrId(0), AttrId(1), AttrId(2)], 0.0).unwrap();
+        let g = lewis
+            .contextual_global(&Context::of([(AttrId(0), 2)]))
+            .unwrap();
+        assert!(g.attributes.iter().all(|a| a.attr != AttrId(0)));
+    }
+
+    #[test]
+    fn local_explanations_flag_improvable_attributes() {
+        let (t, pred) = setup(20_000);
+        let scm = world();
+        let lewis = Lewis::new(
+            &t,
+            Some(scm.graph()),
+            pred,
+            1,
+            &[AttrId(0), AttrId(1), AttrId(2)],
+            0.0,
+        )
+        .unwrap();
+        // a rejected individual: bad status, low savings
+        let rejected = lewis.local(&[0, 0, 0, 0]).unwrap();
+        assert_eq!(rejected.outcome, 0);
+        let status = rejected
+            .contributions
+            .iter()
+            .find(|c| c.attr == AttrId(0))
+            .unwrap();
+        assert!(
+            status.negative > 0.5,
+            "raising bad status should be highly sufficient, got {}",
+            status.negative
+        );
+        assert!(status.positive < 0.1, "bad status cannot contribute positively");
+        let hair = rejected
+            .contributions
+            .iter()
+            .find(|c| c.attr == AttrId(2))
+            .unwrap();
+        assert!(hair.negative < 0.1 && hair.positive < 0.1);
+        // an approved individual: good status, high savings
+        let approved = lewis.local(&[2, 1, 0, 1]).unwrap();
+        assert_eq!(approved.outcome, 1);
+        let status_a = approved
+            .contributions
+            .iter()
+            .find(|c| c.attr == AttrId(0))
+            .unwrap();
+        assert!(
+            status_a.positive > 0.5,
+            "good status is necessary for approval, got {}",
+            status_a.positive
+        );
+    }
+
+    #[test]
+    fn local_validates_row_shape() {
+        let (t, pred) = setup(500);
+        let lewis = Lewis::new(&t, None, pred, 1, &[AttrId(0)], 0.0).unwrap();
+        assert!(lewis.local(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn features_must_exclude_prediction() {
+        let (t, pred) = setup(500);
+        assert!(Lewis::new(&t, None, pred, 1, &[pred], 0.0).is_err());
+    }
+
+    #[test]
+    fn value_orders_are_exposed() {
+        let (t, pred) = setup(5000);
+        let lewis = Lewis::new(&t, None, pred, 1, &[AttrId(0)], 0.0).unwrap();
+        let order = lewis.value_order(AttrId(0)).unwrap();
+        // approval rate rises with status level
+        assert_eq!(order, &[0, 1, 2]);
+        assert!(lewis.value_order(AttrId(1)).is_none());
+    }
+}

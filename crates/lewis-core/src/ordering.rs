@@ -1,0 +1,107 @@
+//! Inferring value orderings from the black box.
+//!
+//! LEWIS "relies on the ordinal importance of attribute values. … In case
+//! the attribute values do not possess a natural ordering or the ordering
+//! is not known apriori, LEWIS infers it from the output of the black-box
+//! algorithm" (§1, §4.1): values are ranked by the algorithm's positive
+//! rate among rows holding that value.
+
+use tabular::{AttrId, Context, Table, Value};
+
+/// Order the domain values of `attr` ascending by
+/// `Pr(pred = positive | attr = v)` computed over `table`.
+///
+/// Ties break toward the natural code order, and unobserved values sort
+/// first (lowest evidence of helping). The returned vector is a
+/// permutation of the domain codes: `result[0]` is the "worst" value,
+/// `result.last()` the "best".
+pub fn infer_value_order(
+    table: &Table,
+    attr: AttrId,
+    pred: AttrId,
+    positive: Value,
+) -> tabular::Result<Vec<Value>> {
+    let card = table.schema().cardinality(attr)?;
+    let mut scored: Vec<(f64, Value)> = Vec::with_capacity(card);
+    for v in 0..card as Value {
+        let ctx = Context::of([(attr, v)]);
+        let n = table.count(&ctx);
+        let score = if n == 0 {
+            -1.0 // unobserved: no evidence it helps
+        } else {
+            table.conditional_probability(pred, positive, &ctx, 0.0)?
+        };
+        scored.push((score, v));
+    }
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+    Ok(scored.into_iter().map(|(_, v)| v).collect())
+}
+
+/// All ordered pairs `(hi, lo)` with `hi` ranked strictly above `lo` in
+/// `order` — the candidate `(x, x')` contrasts for explanation scores.
+pub fn ordered_pairs(order: &[Value]) -> Vec<(Value, Value)> {
+    let mut out = Vec::with_capacity(order.len() * (order.len() - 1) / 2);
+    for (i, &lo) in order.iter().enumerate() {
+        for &hi in &order[i + 1..] {
+            out.push((hi, lo));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::{Domain, Schema};
+
+    fn labelled_table() -> (Table, AttrId, AttrId) {
+        let mut s = Schema::new();
+        let x = s.push("x", Domain::categorical(["a", "b", "c"]));
+        let p = s.push("pred", Domain::boolean());
+        let mut t = Table::new(s);
+        // positive rates: a -> 0/2, b -> 2/2, c -> 1/2
+        for row in [[0, 0], [0, 0], [1, 1], [1, 1], [2, 0], [2, 1]] {
+            t.push_row(&row).unwrap();
+        }
+        (t, x, p)
+    }
+
+    #[test]
+    fn orders_by_positive_rate() {
+        let (t, x, p) = labelled_table();
+        let order = infer_value_order(&t, x, p, 1).unwrap();
+        assert_eq!(order, vec![0, 2, 1]); // a < c < b
+    }
+
+    #[test]
+    fn unobserved_values_sort_first() {
+        let mut s = Schema::new();
+        let x = s.push("x", Domain::categorical(["a", "b", "c"]));
+        let p = s.push("pred", Domain::boolean());
+        let mut t = Table::new(s);
+        t.push_row(&[1, 1]).unwrap();
+        t.push_row(&[2, 0]).unwrap();
+        let order = infer_value_order(&t, x, p, 1).unwrap();
+        assert_eq!(order[0], 0, "never-seen value ranks lowest");
+        assert_eq!(order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_code() {
+        let mut s = Schema::new();
+        let x = s.push("x", Domain::categorical(["a", "b"]));
+        let p = s.push("pred", Domain::boolean());
+        let mut t = Table::new(s);
+        t.push_row(&[0, 1]).unwrap();
+        t.push_row(&[1, 1]).unwrap();
+        let order = infer_value_order(&t, x, p, 1).unwrap();
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn pairs_enumerate_upper_triangle() {
+        let pairs = ordered_pairs(&[0, 2, 1]);
+        assert_eq!(pairs, vec![(2, 0), (1, 0), (1, 2)]);
+        assert!(ordered_pairs(&[7]).is_empty());
+    }
+}

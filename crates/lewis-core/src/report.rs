@@ -1,0 +1,173 @@
+//! Ranking, rank-agreement and formatting utilities shared by the
+//! experiment harness (the figures compare *rankings* across methods).
+
+/// 1-based competition ranks for `scores`, highest score = rank 1.
+/// Ties share the same (minimum) rank.
+pub fn ranks_desc(scores: &[f64]) -> Vec<usize> {
+    let n = scores.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite"));
+    let mut ranks = vec![0usize; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        for &idx in &order[i..=j] {
+            ranks[idx] = i + 1;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation between two score vectors (via ranks).
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let ra: Vec<f64> = ranks_desc(a).into_iter().map(|r| r as f64).collect();
+    let rb: Vec<f64> = ranks_desc(b).into_iter().map(|r| r as f64).collect();
+    pearson(&ra, &rb)
+}
+
+/// Kendall's tau-a between two score vectors.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let prod = da * db;
+            if prod > 0.0 {
+                concordant += 1;
+            } else if prod < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// A fixed-width horizontal bar of `width` cells for a score in `[0, 1]`.
+pub fn bar(score: f64, width: usize) -> String {
+    let filled = ((score.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '█' } else { '·' });
+    }
+    s
+}
+
+/// Render rows of `(label, scores...)` with per-column headers as an
+/// aligned text table (the harness prints figures this way).
+pub fn format_table(headers: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain(std::iter::once(9))
+        .max()
+        .unwrap_or(9);
+    let mut out = String::new();
+    out.push_str(&format!("{:<label_w$}", "attribute"));
+    for h in headers {
+        out.push_str(&format!("  {h:>8}"));
+    }
+    out.push('\n');
+    for (label, scores) in rows {
+        out.push_str(&format!("{label:<label_w$}"));
+        for s in scores {
+            out.push_str(&format!("  {s:>8.3}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_with_ties() {
+        assert_eq!(ranks_desc(&[0.9, 0.1, 0.5]), vec![1, 3, 2]);
+        assert_eq!(ranks_desc(&[0.5, 0.5, 0.1]), vec![1, 1, 3]);
+        assert_eq!(ranks_desc(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverted() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman_rho(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_bounds_and_signs() {
+        let a = [1.0, 2.0, 3.0];
+        assert!((kendall_tau(&a, &[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&a, &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        let mixed = kendall_tau(&[1.0, 2.0, 3.0], &[2.0, 1.0, 3.0]);
+        assert!((mixed - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_correlations() {
+        assert_eq!(spearman_rho(&[1.0], &[2.0]), 1.0);
+        // constant vector has no defined correlation; we return 0
+        assert_eq!(spearman_rho(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn bar_rendering() {
+        assert_eq!(bar(0.5, 4), "██··");
+        assert_eq!(bar(0.0, 3), "···");
+        assert_eq!(bar(1.0, 3), "███");
+        assert_eq!(bar(2.0, 2), "██", "clamped above");
+        assert_eq!(bar(-1.0, 2), "··", "clamped below");
+    }
+
+    #[test]
+    fn table_formatting_aligns() {
+        let rows = vec![
+            ("credit_history".to_string(), vec![0.5, 0.25]),
+            ("age".to_string(), vec![0.1, 0.9]),
+        ];
+        let s = format_table(&["Nec", "Suf"], &rows);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("Nec") && lines[0].contains("Suf"));
+        assert!(lines[1].starts_with("credit_history"));
+        assert!(lines[2].contains("0.900"));
+    }
+}

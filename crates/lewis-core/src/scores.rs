@@ -1,0 +1,790 @@
+//! Explanation-score estimation (Definition 3.1, Propositions 4.1–4.2).
+//!
+//! Given a dataset labelled with the black box's predictions, a causal
+//! diagram, and a value contrast `x > x'` for attribute `X` in context
+//! `k`, this module estimates
+//!
+//! * `NEC_x(k)  = Pr(o'_{X←x'} | x, o, k)` — necessity,
+//! * `SUF_x(k)  = Pr(o_{X←x}  | x', o', k)` — sufficiency,
+//! * `NESUF_x(k) = Pr(o_{X←x}, o'_{X←x'} | k)` — necessity & sufficiency,
+//!
+//! via the monotone identification formulas (paper eqs. 19–21)
+//!
+//! ```text
+//! NEC   = [ Σ_c Pr(o'|c,x',k) Pr(c|x,k)  −  Pr(o'|x,k) ] / Pr(o|x,k)
+//! SUF   = [ Σ_c Pr(o |c,x,k)  Pr(c|x',k) −  Pr(o |x',k)] / Pr(o'|x',k)
+//! NESUF =   Σ_c [Pr(o|x,c,k) − Pr(o|x',c,k)] Pr(c|k)
+//! ```
+//!
+//! where `C` is a backdoor adjustment set (defaulting to `parents(X) \ K`,
+//! always valid under causal sufficiency) — and the Fréchet bounds of
+//! Proposition 4.1 when monotonicity is not assumed. With no causal graph
+//! the estimator degrades to the no-confounding fallback of §6
+//! (group-level attributable fraction / relative risk).
+
+use crate::{LewisError, Result};
+use causal::Dag;
+use tabular::{AttrId, Context, Counter, Table, Value};
+
+/// Which of the three explanation scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScoreKind {
+    /// `NEC` — attribution of the positive decision to the value.
+    Necessity,
+    /// `SUF` — tendency of the value to produce the positive decision.
+    Sufficiency,
+    /// `NESUF` — overall explanatory power.
+    NecessityAndSufficiency,
+}
+
+/// The three scores for one contrast.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Scores {
+    /// Necessity score in `[0, 1]`.
+    pub necessity: f64,
+    /// Sufficiency score in `[0, 1]`.
+    pub sufficiency: f64,
+    /// Necessity-and-sufficiency score in `[0, 1]`.
+    pub nesuf: f64,
+}
+
+impl Scores {
+    /// Retrieve one component by kind.
+    pub fn get(&self, kind: ScoreKind) -> f64 {
+        match kind {
+            ScoreKind::Necessity => self.necessity,
+            ScoreKind::Sufficiency => self.sufficiency,
+            ScoreKind::NecessityAndSufficiency => self.nesuf,
+        }
+    }
+}
+
+/// A `[lower, upper]` interval from Proposition 4.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreBounds {
+    /// Fréchet lower bound.
+    pub lower: f64,
+    /// Fréchet upper bound.
+    pub upper: f64,
+}
+
+/// Estimates explanation scores from a labelled table.
+///
+/// The table must contain the black box's predictions as a **binary**
+/// column `pred` (multi-class outcomes are first reduced with
+/// [`crate::multiclass::binarize_outcome`]).
+pub struct ScoreEstimator<'a> {
+    table: &'a Table,
+    graph: Option<&'a Dag>,
+    pred: AttrId,
+    positive: Value,
+    alpha: f64,
+}
+
+impl<'a> ScoreEstimator<'a> {
+    /// Create an estimator. `graph` is the causal diagram over the
+    /// table's attributes (pass `None` for the no-confounding fallback of
+    /// §6); `positive` is the favourable outcome code `o`; `alpha` is the
+    /// Laplace pseudo-count used for the inner conditionals.
+    pub fn new(
+        table: &'a Table,
+        graph: Option<&'a Dag>,
+        pred: AttrId,
+        positive: Value,
+        alpha: f64,
+    ) -> Result<Self> {
+        let card = table.schema().cardinality(pred)?;
+        if card != 2 {
+            return Err(LewisError::Invalid(format!(
+                "prediction column must be binary, has cardinality {card}; \
+                 reduce multi-class outcomes with multiclass::binarize_outcome"
+            )));
+        }
+        if positive >= 2 {
+            return Err(LewisError::Invalid("positive outcome code must be 0 or 1".into()));
+        }
+        if let Some(g) = graph {
+            // The graph covers the first `n_nodes` attributes; tables may
+            // carry extra *derived* columns after them (binarized
+            // outcomes, prediction columns). A graph larger than the
+            // schema is a wiring error.
+            if g.n_nodes() > table.schema().len() {
+                return Err(LewisError::Invalid(format!(
+                    "graph has {} nodes but table has only {} attributes",
+                    g.n_nodes(),
+                    table.schema().len()
+                )));
+            }
+        }
+        if alpha < 0.0 {
+            return Err(LewisError::Invalid("smoothing must be >= 0".into()));
+        }
+        Ok(ScoreEstimator { table, graph, pred, positive, alpha })
+    }
+
+    /// The labelled table.
+    pub fn table(&self) -> &Table {
+        self.table
+    }
+
+    /// The prediction column.
+    pub fn pred_attr(&self) -> AttrId {
+        self.pred
+    }
+
+    /// The positive outcome code.
+    pub fn positive(&self) -> Value {
+        self.positive
+    }
+
+    /// The causal diagram, if one was supplied.
+    pub fn graph(&self) -> Option<&Dag> {
+        self.graph
+    }
+
+    /// Default backdoor adjustment set for an intervention on `xs`:
+    /// the union of parents not already fixed by `k` (and not the
+    /// prediction column). Empty without a graph (§6 fallback), and
+    /// empty for derived attributes outside the graph.
+    pub fn adjustment_set(&self, xs: &[AttrId], k: &Context) -> Vec<AttrId> {
+        let Some(g) = self.graph else {
+            return Vec::new();
+        };
+        let mut c: Vec<AttrId> = xs
+            .iter()
+            .filter(|x| x.index() < g.n_nodes())
+            .flat_map(|x| g.parents(x.index()).iter().copied())
+            .map(|p| AttrId(p as u32))
+            .filter(|p| {
+                !xs.contains(p) && !k.constrains(*p) && *p != self.pred
+            })
+            .collect();
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    /// All three scores for the single-attribute contrast `x_hi > x_lo`
+    /// in context `k`.
+    pub fn scores(
+        &self,
+        attr: AttrId,
+        x_hi: Value,
+        x_lo: Value,
+        k: &Context,
+    ) -> Result<Scores> {
+        self.scores_set(&[(attr, x_hi)], &[(attr, x_lo)], k)
+    }
+
+    /// Necessity score for a single-attribute contrast.
+    pub fn necessity(&self, attr: AttrId, x_hi: Value, x_lo: Value, k: &Context) -> Result<f64> {
+        Ok(self.scores(attr, x_hi, x_lo, k)?.necessity)
+    }
+
+    /// Sufficiency score for a single-attribute contrast.
+    pub fn sufficiency(&self, attr: AttrId, x_hi: Value, x_lo: Value, k: &Context) -> Result<f64> {
+        Ok(self.scores(attr, x_hi, x_lo, k)?.sufficiency)
+    }
+
+    /// Necessity-and-sufficiency score for a single-attribute contrast.
+    pub fn nesuf(&self, attr: AttrId, x_hi: Value, x_lo: Value, k: &Context) -> Result<f64> {
+        Ok(self.scores(attr, x_hi, x_lo, k)?.nesuf)
+    }
+
+    /// All three scores for a *set* contrast `X ← hi` vs `X ← lo`
+    /// (needed for recourse verification, where actions touch several
+    /// attributes at once). `hi` and `lo` must cover the same attributes.
+    pub fn scores_set(
+        &self,
+        hi: &[(AttrId, Value)],
+        lo: &[(AttrId, Value)],
+        k: &Context,
+    ) -> Result<Scores> {
+        let (xs, hi_vals, lo_vals) = validate_contrast(hi, lo)?;
+        for &x in &xs {
+            if x == self.pred {
+                return Err(LewisError::Invalid(
+                    "cannot intervene on the prediction column".into(),
+                ));
+            }
+            if k.constrains(x) {
+                return Err(LewisError::Invalid(format!(
+                    "context constrains intervened attribute {x}"
+                )));
+            }
+        }
+        let c_set = self.adjustment_set(&xs, k);
+
+        // One counting pass over (C..., X..., pred) within k.
+        let mut attrs: Vec<AttrId> = c_set.clone();
+        attrs.extend(&xs);
+        attrs.push(self.pred);
+        let counter = Counter::build(self.table, &attrs, k)?;
+        if counter.total() == 0 {
+            return Err(LewisError::Invalid(
+                "no rows match the context; relax the context or add data".into(),
+            ));
+        }
+        let nc = c_set.len();
+        let nx = xs.len();
+        let o = self.positive;
+        let o_neg = 1 - o;
+
+        // Aggregate per adjustment cell c:
+        //   n(c), n(c,hi), n(c,hi,o), n(c,lo), n(c,lo,o)
+        #[derive(Default, Clone)]
+        struct Cell {
+            n: u64,
+            n_hi: u64,
+            n_hi_o: u64,
+            n_lo: u64,
+            n_lo_o: u64,
+        }
+        let mut cells: tabular::FxHashMap<Vec<Value>, Cell> = tabular::FxHashMap::default();
+        counter.for_each_nonzero(|values, n| {
+            let c_vals = &values[..nc];
+            let x_vals = &values[nc..nc + nx];
+            let out = values[nc + nx];
+            let cell = cells.entry(c_vals.to_vec()).or_default();
+            cell.n += n;
+            if x_vals == hi_vals.as_slice() {
+                cell.n_hi += n;
+                if out == o {
+                    cell.n_hi_o += n;
+                }
+            } else if x_vals == lo_vals.as_slice() {
+                cell.n_lo += n;
+                if out == o {
+                    cell.n_lo_o += n;
+                }
+            }
+        });
+
+        let total: u64 = counter.total();
+        let n_hi: u64 = cells.values().map(|c| c.n_hi).sum();
+        let n_lo: u64 = cells.values().map(|c| c.n_lo).sum();
+        let n_hi_o: u64 = cells.values().map(|c| c.n_hi_o).sum();
+        let n_lo_o: u64 = cells.values().map(|c| c.n_lo_o).sum();
+        if n_hi == 0 || n_lo == 0 {
+            return Err(LewisError::Invalid(format!(
+                "contrast unsupported in context: n(hi)={n_hi}, n(lo)={n_lo}"
+            )));
+        }
+        let a = self.alpha;
+        // marginals within k
+        let pr_o_hi = (n_hi_o as f64 + a) / (n_hi as f64 + 2.0 * a);
+        let pr_o_lo = (n_lo_o as f64 + a) / (n_lo as f64 + 2.0 * a);
+        let pr_oneg_hi = 1.0 - pr_o_hi;
+        let pr_oneg_lo = 1.0 - pr_o_lo;
+        let _ = o_neg;
+
+        // Adjusted sums, renormalized over *supported* adjustment cells:
+        // with α = 0 a cell whose contrast arm is unobserved contributes
+        // no estimate (deterministic strata are common in SCM data), so
+        // each sum divides by the weight it actually covered and falls
+        // back to the marginal contrast when no cell overlaps.
+        let cond = |n_o: u64, n: u64| -> Option<f64> {
+            if n == 0 && a == 0.0 {
+                None
+            } else {
+                Some((n_o as f64 + a) / (n as f64 + 2.0 * a))
+            }
+        };
+        let mut sum_nec = 0.0f64; // Σ_c Pr(o'|c,lo,k) Pr(c|hi,k)
+        let mut w_nec = 0.0f64;
+        let mut sum_suf = 0.0f64; // Σ_c Pr(o |c,hi,k) Pr(c|lo,k)
+        let mut w_suf = 0.0f64;
+        let mut sum_ate = 0.0f64; // Σ_c [Pr(o|hi,c,k) − Pr(o|lo,c,k)] Pr(c|k)
+        let mut w_ate = 0.0f64;
+        for cell in cells.values() {
+            let p_hi_c = cond(cell.n_hi_o, cell.n_hi);
+            let p_lo_c = cond(cell.n_lo_o, cell.n_lo);
+            if let Some(p_lo_c) = p_lo_c {
+                let w = cell.n_hi as f64 / n_hi as f64;
+                sum_nec += (1.0 - p_lo_c) * w;
+                w_nec += w;
+            }
+            if let Some(p_hi_c) = p_hi_c {
+                let w = cell.n_lo as f64 / n_lo as f64;
+                sum_suf += p_hi_c * w;
+                w_suf += w;
+            }
+            if let (Some(p_hi_c), Some(p_lo_c)) = (p_hi_c, p_lo_c) {
+                let w = cell.n as f64 / total as f64;
+                sum_ate += (p_hi_c - p_lo_c) * w;
+                w_ate += w;
+            }
+        }
+        let adj_nec = if w_nec > 0.0 { sum_nec / w_nec } else { pr_oneg_lo };
+        let adj_suf = if w_suf > 0.0 { sum_suf / w_suf } else { pr_o_hi };
+        let adj_ate = if w_ate > 0.0 { sum_ate / w_ate } else { pr_o_hi - pr_o_lo };
+
+        let necessity = if pr_o_hi <= 0.0 {
+            0.0
+        } else {
+            ((adj_nec - pr_oneg_hi) / pr_o_hi).clamp(0.0, 1.0)
+        };
+        let sufficiency = if pr_oneg_lo <= 0.0 {
+            0.0
+        } else {
+            ((adj_suf - pr_o_lo) / pr_oneg_lo).clamp(0.0, 1.0)
+        };
+        let nesuf = adj_ate.clamp(0.0, 1.0);
+        Ok(Scores { necessity, sufficiency, nesuf })
+    }
+
+    /// Sufficiency of a *set* intervention — convenience wrapper used by
+    /// the recourse verifier.
+    pub fn sufficiency_set(
+        &self,
+        hi: &[(AttrId, Value)],
+        lo: &[(AttrId, Value)],
+        k: &Context,
+    ) -> Result<f64> {
+        Ok(self.scores_set(hi, lo, k)?.sufficiency)
+    }
+
+    /// Fréchet bounds (Proposition 4.1, eqs. 9–11) for one score — valid
+    /// *without* the monotonicity assumption. Interventional terms
+    /// `Pr(o | do(x), k)` are estimated by backdoor adjustment over the
+    /// default adjustment set.
+    pub fn bounds(
+        &self,
+        kind: ScoreKind,
+        attr: AttrId,
+        x_hi: Value,
+        x_lo: Value,
+        k: &Context,
+    ) -> Result<ScoreBounds> {
+        let o = self.positive;
+        let o_neg = 1 - o;
+        let c_set = self.adjustment_set(&[attr], k);
+
+        let do_p = |x_val: Value, out: Value| -> Result<f64> {
+            causal::adjustment::estimate_adjusted(
+                self.table, attr, x_val, self.pred, out, k, &c_set, self.alpha,
+            )
+            .map_err(LewisError::from)
+        };
+        // joint probabilities within k
+        let n_k = self.table.count(k) as f64;
+        if n_k == 0.0 {
+            return Err(LewisError::Invalid("no rows match the context".into()));
+        }
+        let joint = |x_val: Value, out: Value| -> f64 {
+            self.table.count(&k.with(attr, x_val).with(self.pred, out)) as f64 / n_k
+        };
+
+        let (lower, upper) = match kind {
+            ScoreKind::Necessity => {
+                let pr_o_hi = joint(x_hi, o);
+                if pr_o_hi == 0.0 {
+                    return Err(LewisError::Invalid("Pr(o, x | k) = 0".into()));
+                }
+                let lo_b = (joint(x_hi, o) + joint(x_lo, o) - do_p(x_lo, o)?) / pr_o_hi;
+                let up_b = (do_p(x_lo, o_neg)? - joint(x_lo, o_neg)) / pr_o_hi;
+                (lo_b.max(0.0), up_b.min(1.0))
+            }
+            ScoreKind::Sufficiency => {
+                let pr_oneg_lo = joint(x_lo, o_neg);
+                if pr_oneg_lo == 0.0 {
+                    return Err(LewisError::Invalid("Pr(o', x' | k) = 0".into()));
+                }
+                let lo_b =
+                    (joint(x_hi, o_neg) + joint(x_lo, o_neg) - do_p(x_hi, o_neg)?) / pr_oneg_lo;
+                let up_b = (do_p(x_hi, o)? - joint(x_hi, o)) / pr_oneg_lo;
+                (lo_b.max(0.0), up_b.min(1.0))
+            }
+            ScoreKind::NecessityAndSufficiency => {
+                let lo_b = do_p(x_hi, o)? - do_p(x_lo, o)?;
+                let up_b = do_p(x_hi, o)?.min(do_p(x_lo, o_neg)?);
+                (lo_b.max(0.0), up_b.min(1.0))
+            }
+        };
+        Ok(ScoreBounds { lower: lower.min(upper.max(0.0)), upper: upper.max(lower.max(0.0)).min(1.0) })
+    }
+
+    /// Build the local-explanation context for `row` and intervention
+    /// target `x_attr` (paper §3.2, `K = V`): the individual's values on
+    /// the **non-descendants** of `x_attr` (descendants must stay free to
+    /// respond to the intervention), greedily dropped from the causally
+    /// least-proximate end until at least `min_support` rows match.
+    pub fn local_context(&self, row: &[Value], x_attr: AttrId, min_support: usize) -> Context {
+        let candidates: Vec<AttrId> = match self.graph.filter(|g| x_attr.index() < g.n_nodes()) {
+            Some(g) => {
+                let parents: Vec<usize> = g.parents(x_attr.index()).to_vec();
+                let ancestors = g.ancestors(x_attr.index());
+                let descendants = g.descendants(x_attr.index());
+                let mut ordered: Vec<usize> = Vec::new();
+                ordered.extend(&parents);
+                ordered.extend(ancestors.iter().filter(|a| !parents.contains(a)));
+                let rest: Vec<usize> = (0..g.n_nodes())
+                    .filter(|n| {
+                        *n != x_attr.index()
+                            && !descendants.contains(n)
+                            && !ordered.contains(n)
+                    })
+                    .collect();
+                ordered.extend(rest);
+                ordered
+                    .into_iter()
+                    .map(|n| AttrId(n as u32))
+                    .filter(|a| *a != self.pred && a.index() < row.len())
+                    .collect()
+            }
+            None => self
+                .table
+                .schema()
+                .attr_ids()
+                .filter(|a| *a != x_attr && *a != self.pred && a.index() < row.len())
+                .collect(),
+        };
+        let mut ctx = Context::empty();
+        for a in candidates {
+            let trial = ctx.with(a, row[a.index()]);
+            if self.table.count(&trial) >= min_support {
+                ctx = trial;
+            }
+        }
+        ctx
+    }
+}
+
+fn validate_contrast(
+    hi: &[(AttrId, Value)],
+    lo: &[(AttrId, Value)],
+) -> Result<(Vec<AttrId>, Vec<Value>, Vec<Value>)> {
+    if hi.is_empty() {
+        return Err(LewisError::Invalid("empty contrast".into()));
+    }
+    let mut hi_sorted = hi.to_vec();
+    hi_sorted.sort_by_key(|&(a, _)| a);
+    let mut lo_sorted = lo.to_vec();
+    lo_sorted.sort_by_key(|&(a, _)| a);
+    let xs: Vec<AttrId> = hi_sorted.iter().map(|&(a, _)| a).collect();
+    let xs_lo: Vec<AttrId> = lo_sorted.iter().map(|&(a, _)| a).collect();
+    if xs != xs_lo {
+        return Err(LewisError::Invalid(
+            "hi/lo contrasts must cover the same attributes".into(),
+        ));
+    }
+    if xs.windows(2).any(|w| w[0] == w[1]) {
+        return Err(LewisError::Invalid("duplicate attribute in contrast".into()));
+    }
+    if hi_sorted
+        .iter()
+        .zip(&lo_sorted)
+        .all(|(&(_, h), &(_, l))| h == l)
+    {
+        return Err(LewisError::Invalid("hi and lo are identical".into()));
+    }
+    Ok((
+        xs,
+        hi_sorted.iter().map(|&(_, v)| v).collect(),
+        lo_sorted.iter().map(|&(_, v)| v).collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causal::scm::{Mechanism, ScmBuilder};
+    use causal::{CounterfactualEngine, Scm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tabular::{Domain, Schema};
+
+    /// Confounded, monotone world:
+    /// C → X, C → O-inputs, X → D; f(c, x, d) = 1 iff c + x + d ≥ 2.
+    fn world() -> Scm {
+        let mut schema = Schema::new();
+        schema.push("c", Domain::boolean());
+        schema.push("x", Domain::boolean());
+        schema.push("d", Domain::boolean());
+        let mut b = ScmBuilder::new(schema);
+        b.edge(0, 1).unwrap();
+        b.edge(1, 2).unwrap();
+        b.mechanism(0, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        // X = C with flip prob 0.3 (confounded but monotone-friendly)
+        b.mechanism(
+            1,
+            Mechanism::with_noise(vec![0.7, 0.3], |pa, u| pa[0] ^ (u as Value)),
+        )
+        .unwrap();
+        // D = X, degraded with prob 0.2 (monotone in X: D = X & ¬u)
+        b.mechanism(
+            2,
+            Mechanism::with_noise(vec![0.8, 0.2], |pa, u| pa[0] & (1 - u as Value)),
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    fn f(row: &[Value]) -> Value {
+        u32::from(row[0] + row[1] + row[2] >= 2)
+    }
+
+    /// Labelled dataset + estimator inputs.
+    fn setup(n: usize) -> (Table, AttrId) {
+        let scm = world();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut t = scm.generate(n, &mut rng);
+        let pred = crate::blackbox::label_table(&mut t, &f, "pred").unwrap();
+        (t, pred)
+    }
+
+    fn ground_truth_scores(k_c: Option<Value>) -> Scores {
+        let scm = world();
+        let eng = CounterfactualEngine::exact(&scm).unwrap();
+        let x = 1usize;
+        let evid_base = move |w: &[Value]| k_c.is_none_or(|c| w[0] == c);
+        let nec = eng
+            .query(
+                |w| evid_base(w) && w[x] == 1 && f(w) == 1,
+                &[(x, 0)],
+                |w| f(w) == 0,
+            )
+            .unwrap();
+        let suf = eng
+            .query(
+                |w| evid_base(w) && w[x] == 0 && f(w) == 0,
+                &[(x, 1)],
+                |w| f(w) == 1,
+            )
+            .unwrap();
+        let nesuf = eng
+            .joint_query(evid_base, &[(x, 1)], |w| f(w) == 1, &[(x, 0)], |w| f(w) == 0)
+            .unwrap();
+        Scores { necessity: nec, sufficiency: suf, nesuf }
+    }
+
+    #[test]
+    fn estimates_match_ground_truth_globally() {
+        let (t, pred) = setup(60_000);
+        let scm = world();
+        let est = ScoreEstimator::new(&t, Some(scm.graph()), pred, 1, 0.0).unwrap();
+        let got = est.scores(AttrId(1), 1, 0, &Context::empty()).unwrap();
+        let want = ground_truth_scores(None);
+        assert!(
+            (got.necessity - want.necessity).abs() < 0.02,
+            "NEC {} vs {}",
+            got.necessity,
+            want.necessity
+        );
+        assert!(
+            (got.sufficiency - want.sufficiency).abs() < 0.02,
+            "SUF {} vs {}",
+            got.sufficiency,
+            want.sufficiency
+        );
+        assert!(
+            (got.nesuf - want.nesuf).abs() < 0.02,
+            "NESUF {} vs {}",
+            got.nesuf,
+            want.nesuf
+        );
+    }
+
+    #[test]
+    fn estimates_match_ground_truth_contextually() {
+        let (t, pred) = setup(60_000);
+        let scm = world();
+        let est = ScoreEstimator::new(&t, Some(scm.graph()), pred, 1, 0.0).unwrap();
+        for c in [0u32, 1] {
+            let k = Context::of([(AttrId(0), c)]);
+            let got = est.scores(AttrId(1), 1, 0, &k).unwrap();
+            let want = ground_truth_scores(Some(c));
+            assert!(
+                (got.sufficiency - want.sufficiency).abs() < 0.03,
+                "c={c}: SUF {} vs {}",
+                got.sufficiency,
+                want.sufficiency
+            );
+            assert!(
+                (got.nesuf - want.nesuf).abs() < 0.03,
+                "c={c}: NESUF {} vs {}",
+                got.nesuf,
+                want.nesuf
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_contain_point_estimates_and_truth() {
+        let (t, pred) = setup(60_000);
+        let scm = world();
+        let est = ScoreEstimator::new(&t, Some(scm.graph()), pred, 1, 0.0).unwrap();
+        let truth = ground_truth_scores(None);
+        for (kind, want) in [
+            (ScoreKind::Necessity, truth.necessity),
+            (ScoreKind::Sufficiency, truth.sufficiency),
+            (ScoreKind::NecessityAndSufficiency, truth.nesuf),
+        ] {
+            let b = est.bounds(kind, AttrId(1), 1, 0, &Context::empty()).unwrap();
+            assert!(b.lower <= b.upper + 1e-9, "{kind:?}: [{}, {}]", b.lower, b.upper);
+            assert!(
+                b.lower - 0.03 <= want && want <= b.upper + 0.03,
+                "{kind:?}: truth {want} outside [{}, {}]",
+                b.lower,
+                b.upper
+            );
+        }
+    }
+
+    #[test]
+    fn proposition_4_3_binary_equality() {
+        // For binary X:
+        // NESUF = Pr(o,x|k)·NEC + Pr(o',x'|k)·SUF + 1 − Pr(x|k) − Pr(x'|k)
+        // and the last term vanishes for binary domains.
+        let (t, pred) = setup(60_000);
+        let scm = world();
+        let est = ScoreEstimator::new(&t, Some(scm.graph()), pred, 1, 0.0).unwrap();
+        let s = est.scores(AttrId(1), 1, 0, &Context::empty()).unwrap();
+        let n = t.n_rows() as f64;
+        let pr_o_x =
+            t.count(&Context::of([(AttrId(1), 1), (pred, 1)])) as f64 / n;
+        let pr_on_xn =
+            t.count(&Context::of([(AttrId(1), 0), (pred, 0)])) as f64 / n;
+        let rhs = pr_o_x * s.necessity + pr_on_xn * s.sufficiency;
+        assert!(
+            (s.nesuf - rhs).abs() < 0.02,
+            "Prop 4.3: NESUF {} vs weighted sum {}",
+            s.nesuf,
+            rhs
+        );
+    }
+
+    #[test]
+    fn proposition_4_4_non_ancestor_scores_are_zero() {
+        // D is a descendant of X but O (= f) is NOT downstream of... use
+        // a variable with no causal path to the outcome: add an isolated
+        // noise attribute and check its scores vanish.
+        let scm = world();
+        let mut schema = scm.schema().clone();
+        let iso = schema.push("iso", Domain::boolean());
+        let mut b = ScmBuilder::new(schema);
+        b.edge(0, 1).unwrap();
+        b.edge(1, 2).unwrap();
+        b.mechanism(0, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        b.mechanism(
+            1,
+            Mechanism::with_noise(vec![0.7, 0.3], |pa, u| pa[0] ^ (u as Value)),
+        )
+        .unwrap();
+        b.mechanism(
+            2,
+            Mechanism::with_noise(vec![0.8, 0.2], |pa, u| pa[0] & (1 - u as Value)),
+        )
+        .unwrap();
+        b.mechanism(iso.index(), Mechanism::root(vec![0.4, 0.6])).unwrap();
+        let scm2 = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut t = scm2.generate(40_000, &mut rng);
+        let pred = crate::blackbox::label_table(&mut t, &f, "pred").unwrap();
+        let est = ScoreEstimator::new(&t, Some(scm2.graph()), pred, 1, 0.0).unwrap();
+        let s = est.scores(iso, 1, 0, &Context::empty()).unwrap();
+        assert!(s.necessity < 0.03, "NEC {}", s.necessity);
+        assert!(s.sufficiency < 0.03, "SUF {}", s.sufficiency);
+        assert!(s.nesuf < 0.03, "NESUF {}", s.nesuf);
+    }
+
+    #[test]
+    fn no_graph_fallback_reduces_to_conditional_contrast() {
+        // §6: without a graph, SUF = [Pr(o|x,k) − Pr(o|x',k)] / Pr(o'|x',k)
+        let (t, pred) = setup(20_000);
+        let est = ScoreEstimator::new(&t, None, pred, 1, 0.0).unwrap();
+        let s = est.scores(AttrId(1), 1, 0, &Context::empty()).unwrap();
+        let p_hi = t
+            .conditional_probability(pred, 1, &Context::of([(AttrId(1), 1)]), 0.0)
+            .unwrap();
+        let p_lo = t
+            .conditional_probability(pred, 1, &Context::of([(AttrId(1), 0)]), 0.0)
+            .unwrap();
+        let expect_suf = ((p_hi - p_lo) / (1.0 - p_lo)).clamp(0.0, 1.0);
+        assert!((s.sufficiency - expect_suf).abs() < 1e-9);
+        let expect_nec = (((1.0 - p_lo) - (1.0 - p_hi)) / p_hi).clamp(0.0, 1.0);
+        assert!((s.necessity - expect_nec).abs() < 1e-9);
+        assert!((s.nesuf - (p_hi - p_lo).clamp(0.0, 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_contrasts_validated() {
+        let (t, pred) = setup(1000);
+        let est = ScoreEstimator::new(&t, None, pred, 1, 0.0).unwrap();
+        // mismatched attr sets
+        assert!(est
+            .scores_set(&[(AttrId(0), 1)], &[(AttrId(1), 0)], &Context::empty())
+            .is_err());
+        // identical hi/lo
+        assert!(est
+            .scores_set(&[(AttrId(0), 1)], &[(AttrId(0), 1)], &Context::empty())
+            .is_err());
+        // duplicate attr
+        assert!(est
+            .scores_set(
+                &[(AttrId(0), 1), (AttrId(0), 0)],
+                &[(AttrId(0), 0), (AttrId(0), 1)],
+                &Context::empty()
+            )
+            .is_err());
+        // intervening on the prediction column
+        assert!(est.scores(pred, 1, 0, &Context::empty()).is_err());
+        // context constrains the intervened attribute
+        assert!(est
+            .scores(AttrId(1), 1, 0, &Context::of([(AttrId(1), 0)]))
+            .is_err());
+        // set contrast over two attributes works
+        let s = est
+            .scores_set(
+                &[(AttrId(1), 1), (AttrId(2), 1)],
+                &[(AttrId(1), 0), (AttrId(2), 0)],
+                &Context::empty(),
+            )
+            .unwrap();
+        assert!(s.sufficiency > 0.5, "joint intervention strongly sufficient");
+    }
+
+    #[test]
+    fn constructor_validations() {
+        let (t, pred) = setup(100);
+        assert!(ScoreEstimator::new(&t, None, pred, 2, 0.0).is_err());
+        assert!(ScoreEstimator::new(&t, None, pred, 1, -0.5).is_err());
+        // non-binary prediction column
+        assert!(ScoreEstimator::new(&t, None, AttrId(0), 1, 0.0).is_ok());
+        let mut t2 = t.clone();
+        let tri = t2
+            .add_column("tri", Domain::categorical(["a", "b", "c"]), vec![0; t.n_rows()])
+            .unwrap();
+        assert!(ScoreEstimator::new(&t2, None, tri, 1, 0.0).is_err());
+    }
+
+    #[test]
+    fn local_context_backs_off_to_keep_support() {
+        let (t, pred) = setup(5000);
+        let scm = world();
+        let est = ScoreEstimator::new(&t, Some(scm.graph()), pred, 1, 0.0).unwrap();
+        let row = t.row(0).unwrap();
+        // generous support: keeps C (the only non-descendant of X)
+        let ctx = est.local_context(&row, AttrId(1), 10);
+        assert!(ctx.constrains(AttrId(0)));
+        assert!(!ctx.constrains(AttrId(1)), "intervention target must stay free");
+        assert!(!ctx.constrains(AttrId(2)), "descendants must stay free");
+        assert!(!ctx.constrains(pred));
+        // impossible support: context collapses to empty
+        let ctx2 = est.local_context(&row, AttrId(1), t.n_rows() + 1);
+        assert!(ctx2.is_empty());
+    }
+
+    #[test]
+    fn scores_are_probabilities_under_smoothing() {
+        let (t, pred) = setup(2000);
+        let scm = world();
+        for alpha in [0.0, 0.5, 2.0] {
+            let est = ScoreEstimator::new(&t, Some(scm.graph()), pred, 1, alpha).unwrap();
+            let s = est.scores(AttrId(1), 1, 0, &Context::empty()).unwrap();
+            for v in [s.necessity, s.sufficiency, s.nesuf] {
+                assert!((0.0..=1.0).contains(&v), "alpha={alpha}: {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Bridging dictionary-coded tables and dense feature vectors.
+//!
+//! LEWIS's world is `u32` domain codes (every attribute is discrete); the
+//! models in this crate consume `f64` vectors. A [`TableEncoder`] converts
+//! between the two. Two encodings are provided:
+//!
+//! * **ordinal** — each code becomes its numeric value (binned domains use
+//!   the bin midpoint). Matches the paper's assumption that domains carry
+//!   a natural order, and keeps trees/forests efficient.
+//! * **one-hot** — each categorical level becomes an indicator column;
+//!   better suited to the neural network and linear models.
+
+use tabular::{AttrId, Domain, Schema, Table, Value};
+
+/// How a table row becomes a feature vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Code (or bin midpoint) as a single numeric feature per attribute.
+    Ordinal,
+    /// One indicator column per categorical level.
+    OneHot,
+}
+
+/// A fitted encoder for a fixed set of input attributes.
+#[derive(Debug, Clone)]
+pub struct TableEncoder {
+    inputs: Vec<AttrId>,
+    encoding: Encoding,
+    /// Per input: cardinality (for one-hot) and optional bin midpoints.
+    cards: Vec<usize>,
+    midpoints: Vec<Option<Vec<f64>>>,
+    n_features: usize,
+}
+
+impl TableEncoder {
+    /// Build an encoder for `inputs` over `schema`.
+    pub fn new(schema: &Schema, inputs: &[AttrId], encoding: Encoding) -> tabular::Result<Self> {
+        let mut cards = Vec::with_capacity(inputs.len());
+        let mut midpoints = Vec::with_capacity(inputs.len());
+        for &a in inputs {
+            let dom = schema.domain(a)?;
+            cards.push(dom.cardinality());
+            midpoints.push(match dom {
+                Domain::Binned { .. } => {
+                    Some(dom.values().map(|v| dom.bin_midpoint(v).expect("binned")).collect())
+                }
+                Domain::Categorical { .. } => None,
+            });
+        }
+        let n_features = match encoding {
+            Encoding::Ordinal => inputs.len(),
+            Encoding::OneHot => cards.iter().sum(),
+        };
+        Ok(TableEncoder { inputs: inputs.to_vec(), encoding, cards, midpoints, n_features })
+    }
+
+    /// The input attributes, in feature order.
+    pub fn inputs(&self) -> &[AttrId] {
+        &self.inputs
+    }
+
+    /// Length of the produced feature vectors.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Encode a full table row (indexed by attribute id).
+    pub fn encode_row(&self, row: &[Value]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n_features);
+        self.encode_row_into(row, &mut out);
+        out
+    }
+
+    /// Encode into a reusable buffer.
+    pub fn encode_row_into(&self, row: &[Value], out: &mut Vec<f64>) {
+        out.clear();
+        match self.encoding {
+            Encoding::Ordinal => {
+                for (i, &a) in self.inputs.iter().enumerate() {
+                    let code = row[a.index()];
+                    out.push(match &self.midpoints[i] {
+                        Some(mids) => mids[code as usize],
+                        None => f64::from(code),
+                    });
+                }
+            }
+            Encoding::OneHot => {
+                for (i, &a) in self.inputs.iter().enumerate() {
+                    let code = row[a.index()] as usize;
+                    for level in 0..self.cards[i] {
+                        out.push(if level == code { 1.0 } else { 0.0 });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Encode every row of a table.
+    pub fn encode_table(&self, table: &Table) -> Vec<Vec<f64>> {
+        let cols: Vec<&[Value]> = self
+            .inputs
+            .iter()
+            .map(|&a| table.column(a).expect("encoder inputs exist in table"))
+            .collect();
+        let mut out = Vec::with_capacity(table.n_rows());
+        for r in 0..table.n_rows() {
+            let mut feat = Vec::with_capacity(self.n_features);
+            match self.encoding {
+                Encoding::Ordinal => {
+                    for (i, col) in cols.iter().enumerate() {
+                        let code = col[r];
+                        feat.push(match &self.midpoints[i] {
+                            Some(mids) => mids[code as usize],
+                            None => f64::from(code),
+                        });
+                    }
+                }
+                Encoding::OneHot => {
+                    for (i, col) in cols.iter().enumerate() {
+                        let code = col[r] as usize;
+                        for level in 0..self.cards[i] {
+                            feat.push(if level == code { 1.0 } else { 0.0 });
+                        }
+                    }
+                }
+            }
+            out.push(feat);
+        }
+        out
+    }
+
+    /// Extract a label column as `u32` class ids.
+    pub fn labels(table: &Table, outcome: AttrId) -> tabular::Result<Vec<u32>> {
+        Ok(table.column(outcome)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::Domain;
+
+    fn schema() -> (Schema, AttrId, AttrId, AttrId) {
+        let mut s = Schema::new();
+        let cat = s.push("color", Domain::categorical(["r", "g", "b"]));
+        let num = s.push("age", Domain::binned(vec![0.0, 10.0, 30.0]));
+        let out = s.push("y", Domain::boolean());
+        (s, cat, num, out)
+    }
+
+    #[test]
+    fn ordinal_uses_midpoints_for_binned() {
+        let (s, cat, num, _) = schema();
+        let enc = TableEncoder::new(&s, &[cat, num], Encoding::Ordinal).unwrap();
+        assert_eq!(enc.n_features(), 2);
+        let feat = enc.encode_row(&[2, 1, 0]);
+        assert_eq!(feat, vec![2.0, 20.0]); // code 2; bin [10,30) midpoint 20
+    }
+
+    #[test]
+    fn one_hot_layout() {
+        let (s, cat, num, _) = schema();
+        let enc = TableEncoder::new(&s, &[cat, num], Encoding::OneHot).unwrap();
+        assert_eq!(enc.n_features(), 3 + 2);
+        let feat = enc.encode_row(&[1, 0, 0]);
+        assert_eq!(feat, vec![0.0, 1.0, 0.0, 1.0, 0.0]);
+        // exactly one hot per attribute
+        assert_eq!(feat.iter().filter(|&&v| v == 1.0).count(), 2);
+    }
+
+    #[test]
+    fn table_encoding_matches_row_encoding() {
+        let (s, cat, num, out) = schema();
+        let mut t = Table::new(s.clone());
+        t.push_row(&[0, 0, 1]).unwrap();
+        t.push_row(&[2, 1, 0]).unwrap();
+        let enc = TableEncoder::new(&s, &[cat, num], Encoding::Ordinal).unwrap();
+        let batch = enc.encode_table(&t);
+        for (r, feat) in batch.iter().enumerate() {
+            assert_eq!(*feat, enc.encode_row(&t.row(r).unwrap()));
+        }
+        let labels = TableEncoder::labels(&t, out).unwrap();
+        assert_eq!(labels, vec![1, 0]);
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer() {
+        let (s, cat, _, _) = schema();
+        let enc = TableEncoder::new(&s, &[cat], Encoding::Ordinal).unwrap();
+        let mut buf = Vec::with_capacity(4);
+        enc.encode_row_into(&[1, 0, 0], &mut buf);
+        assert_eq!(buf, vec![1.0]);
+        enc.encode_row_into(&[2, 0, 0], &mut buf);
+        assert_eq!(buf, vec![2.0]);
+    }
+}

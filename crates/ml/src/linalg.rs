@@ -1,0 +1,335 @@
+//! Small dense linear algebra: just enough for normal equations.
+//!
+//! The linear models in this crate solve systems of at most a few hundred
+//! unknowns (LIME surrogates, KernelSHAP weighted least squares, the
+//! recourse logit surrogate), so a straightforward row-major matrix with
+//! partial-pivot Gaussian elimination and Cholesky is the right tool — no
+//! BLAS, no SIMD heroics.
+
+use crate::{MlError, Result};
+
+/// A row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The identity of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a nested slice (each inner slice is a row).
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: n_rows, cols: n_cols, data }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `self · v` for a column vector `v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(v.len(), self.cols);
+        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
+    }
+
+    /// `selfᵀ · v`.
+    pub fn t_matvec(&self, v: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(v.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += a * vi;
+            }
+        }
+        out
+    }
+
+    /// Weighted Gram matrix `Xᵀ W X` where `W = diag(w)`.
+    pub fn weighted_gram(&self, w: &[f64]) -> Matrix {
+        debug_assert_eq!(w.len(), self.rows);
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for (i, &wi) in w.iter().enumerate() {
+            if wi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for a in 0..self.cols {
+                let waa = wi * row[a];
+                if waa == 0.0 {
+                    continue;
+                }
+                // exploit symmetry: fill upper triangle
+                for b in a..self.cols {
+                    g[(a, b)] += waa * row[b];
+                }
+            }
+        }
+        for a in 0..self.cols {
+            for b in 0..a {
+                g[(a, b)] = g[(b, a)];
+            }
+        }
+        g
+    }
+
+    /// `Xᵀ W y` where `W = diag(w)`.
+    pub fn weighted_t_matvec(&self, w: &[f64], y: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(w.len(), self.rows);
+        debug_assert_eq!(y.len(), self.rows);
+        let wy: Vec<f64> = w.iter().zip(y).map(|(&a, &b)| a * b).collect();
+        self.t_matvec(&wy)
+    }
+
+    /// Solve `self · x = b` with partial-pivot Gaussian elimination.
+    ///
+    /// The matrix must be square; singularity (pivot below `1e-12`) is an
+    /// error so callers can fall back to stronger regularization.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(MlError::InvalidTrainingData(format!(
+                "solve needs a square matrix, got {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        let n = self.rows;
+        if b.len() != n {
+            return Err(MlError::InvalidTrainingData("rhs length mismatch".into()));
+        }
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // pivot
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for r in col + 1..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-12 {
+                return Err(MlError::SingularMatrix);
+            }
+            if pivot != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot * n + c);
+                }
+                x.swap(col, pivot);
+            }
+            let diag = a[col * n + col];
+            for r in col + 1..n {
+                let factor = a[r * n + col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // back substitution
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for c in col + 1..n {
+                acc -= a[col * n + c] * x[c];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Solve a symmetric positive-definite system via Cholesky
+    /// (`self = L Lᵀ`); used for ridge normal equations where SPD holds by
+    /// construction. Falls back with an error if the matrix is not PD.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != self.cols {
+            return Err(MlError::InvalidTrainingData("solve_spd needs square".into()));
+        }
+        let n = self.rows;
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(MlError::SingularMatrix);
+                    }
+                    l[i * n + i] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        // forward: L z = b
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for k in 0..i {
+                acc -= l[i * n + k] * z[k];
+            }
+            z[i] = acc / l[i * n + i];
+        }
+        // backward: Lᵀ x = z
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = z[i];
+            for k in i + 1..n {
+                acc -= l[k * n + i] * x[k];
+            }
+            x[i] = acc / l[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_identity() {
+        let id = Matrix::identity(3);
+        assert_eq!(id[(1, 1)], 1.0);
+        assert_eq!(id[(0, 2)], 0.0);
+        assert_eq!(id.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [3; 5]  =>  x = [4/5, 7/5]
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // zero on the diagonal forces a row swap
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(MlError::SingularMatrix));
+    }
+
+    #[test]
+    fn spd_solve_matches_general_solve() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 5.0]]);
+        let b = [1.0, 2.0, 3.0];
+        let x1 = a.solve(&b).unwrap();
+        let x2 = a.solve_spd(&b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn spd_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(a.solve_spd(&[1.0, 1.0]), Err(MlError::SingularMatrix));
+    }
+
+    #[test]
+    fn gram_matrix_is_correct() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let w = [1.0, 1.0, 1.0];
+        let g = x.weighted_gram(&w);
+        // XᵀX = [[35, 44], [44, 56]]
+        assert_eq!(g[(0, 0)], 35.0);
+        assert_eq!(g[(0, 1)], 44.0);
+        assert_eq!(g[(1, 0)], 44.0);
+        assert_eq!(g[(1, 1)], 56.0);
+        // weighted
+        let gw = x.weighted_gram(&[2.0, 0.0, 1.0]);
+        assert_eq!(gw[(0, 0)], 2.0 * 1.0 + 25.0);
+    }
+
+    #[test]
+    fn transpose_matvec() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(x.t_matvec(&[1.0, 1.0]), vec![4.0, 6.0]);
+        assert_eq!(x.weighted_t_matvec(&[1.0, 0.5], &[2.0, 2.0]), vec![2.0 + 3.0, 4.0 + 4.0]);
+    }
+
+    #[test]
+    fn non_square_solve_errors() {
+        let a = Matrix::zeros(2, 3);
+        assert!(a.solve(&[0.0, 0.0]).is_err());
+    }
+}

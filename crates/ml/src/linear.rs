@@ -1,0 +1,306 @@
+//! Linear and logistic regression (optionally weighted and ridge-
+//! regularized).
+//!
+//! These models serve three roles in the reproduction: the *logit-linear
+//! surrogate* that linearizes the recourse sufficiency constraint (paper
+//! eq. 28), the weighted local surrogates of LIME, and the weighted least
+//! squares solve inside KernelSHAP.
+
+use crate::linalg::{dot, Matrix};
+use crate::{Classifier, MlError, Regressor, Result};
+
+/// Ordinary / ridge / weighted least squares `y ≈ β₀ + βᵀx`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    /// Intercept `β₀`.
+    pub intercept: f64,
+    /// Coefficients `β`, one per feature.
+    pub coefficients: Vec<f64>,
+}
+
+impl LinearRegression {
+    /// Fit with uniform weights.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], ridge: f64) -> Result<Self> {
+        let w = vec![1.0; ys.len()];
+        Self::fit_weighted(xs, ys, &w, ridge)
+    }
+
+    /// Fit weighted ridge regression by solving the normal equations
+    /// `(Xᵀ W X + λI) β = Xᵀ W y` (the intercept column is not
+    /// penalized).
+    pub fn fit_weighted(xs: &[Vec<f64>], ys: &[f64], w: &[f64], ridge: f64) -> Result<Self> {
+        if xs.is_empty() || xs.len() != ys.len() || xs.len() != w.len() {
+            return Err(MlError::InvalidTrainingData(format!(
+                "xs={}, ys={}, w={}",
+                xs.len(),
+                ys.len(),
+                w.len()
+            )));
+        }
+        if ridge < 0.0 {
+            return Err(MlError::InvalidHyperparameter("ridge must be >= 0".into()));
+        }
+        let d = xs[0].len();
+        // design matrix with a leading 1-column for the intercept
+        let mut design = Matrix::zeros(xs.len(), d + 1);
+        for (i, x) in xs.iter().enumerate() {
+            if x.len() != d {
+                return Err(MlError::InvalidTrainingData("ragged feature rows".into()));
+            }
+            let row = design.row_mut(i);
+            row[0] = 1.0;
+            row[1..].copy_from_slice(x);
+        }
+        let mut gram = design.weighted_gram(w);
+        for j in 1..=d {
+            gram[(j, j)] += ridge;
+        }
+        let rhs = design.weighted_t_matvec(w, ys);
+        let beta = gram
+            .solve_spd(&rhs)
+            .or_else(|_| {
+                // fall back to heavier regularization for degenerate designs
+                let mut g2 = gram.clone();
+                for j in 0..=d {
+                    g2[(j, j)] += 1e-8 + ridge.max(1e-6);
+                }
+                g2.solve_spd(&rhs)
+            })?;
+        Ok(LinearRegression { intercept: beta[0], coefficients: beta[1..].to_vec() })
+    }
+
+    /// Predicted value for `x`.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        self.intercept + dot(&self.coefficients, x)
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.predict_one(x)
+    }
+}
+
+/// Binary logistic regression trained with gradient descent on the
+/// (optionally L2-regularized) log-loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    /// Intercept.
+    pub intercept: f64,
+    /// Feature coefficients.
+    pub coefficients: Vec<f64>,
+}
+
+/// Training options for [`LogisticRegression`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticOptions {
+    /// Gradient-descent learning rate.
+    pub learning_rate: f64,
+    /// Number of full-batch epochs.
+    pub epochs: usize,
+    /// L2 penalty on coefficients (not the intercept).
+    pub l2: f64,
+}
+
+impl Default for LogisticOptions {
+    fn default() -> Self {
+        LogisticOptions { learning_rate: 0.1, epochs: 500, l2: 1e-4 }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Logit transform clamped away from 0/1 (paper's eq. 28 estimates the
+/// logit of a probability that may sit at the boundary).
+#[inline]
+pub fn logit(p: f64) -> f64 {
+    let p = p.clamp(1e-9, 1.0 - 1e-9);
+    (p / (1.0 - p)).ln()
+}
+
+impl LogisticRegression {
+    /// Fit on labels in `{0, 1}`.
+    pub fn fit(xs: &[Vec<f64>], ys: &[u32], opts: &LogisticOptions) -> Result<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(MlError::InvalidTrainingData(format!(
+                "xs={}, ys={}",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        if ys.iter().any(|&y| y > 1) {
+            return Err(MlError::InvalidTrainingData("labels must be 0/1".into()));
+        }
+        let d = xs[0].len();
+        let n = xs.len() as f64;
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        for _ in 0..opts.epochs {
+            let mut grad_w = vec![0.0f64; d];
+            let mut grad_b = 0.0f64;
+            for (x, &y) in xs.iter().zip(ys) {
+                let p = sigmoid(b + dot(&w, x));
+                let err = p - f64::from(y);
+                grad_b += err;
+                for (g, &xi) in grad_w.iter_mut().zip(x) {
+                    *g += err * xi;
+                }
+            }
+            b -= opts.learning_rate * grad_b / n;
+            for (wi, g) in w.iter_mut().zip(&grad_w) {
+                *wi -= opts.learning_rate * (g / n + opts.l2 * *wi);
+            }
+        }
+        Ok(LogisticRegression { intercept: b, coefficients: w })
+    }
+
+    /// `Pr(y = 1 | x)`.
+    pub fn predict_proba_one(&self, x: &[f64]) -> f64 {
+        sigmoid(self.intercept + dot(&self.coefficients, x))
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn n_classes(&self) -> usize {
+        2
+    }
+
+    fn predict_proba(&self, x: &[f64], out: &mut [f64]) {
+        let p = self.predict_proba_one(x);
+        out[0] = 1.0 - p;
+        out[1] = p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn linear_recovers_exact_line() {
+        // y = 3 + 2a - b, noiseless
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![f64::from(i), f64::from(i % 5)])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x[0] - x[1]).collect();
+        let m = LinearRegression::fit(&xs, &ys, 0.0).unwrap();
+        assert!((m.intercept - 3.0).abs() < 1e-8);
+        assert!((m.coefficients[0] - 2.0).abs() < 1e-8);
+        assert!((m.coefficients[1] + 1.0).abs() < 1e-8);
+        assert!((m.predict_one(&[10.0, 2.0]) - 21.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn weighted_fit_ignores_zero_weight_points() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![100.0]];
+        let ys = vec![0.0, 1.0, 2.0, -500.0]; // outlier
+        let w = vec![1.0, 1.0, 1.0, 0.0];
+        let m = LinearRegression::fit_weighted(&xs, &ys, &w, 0.0).unwrap();
+        assert!((m.coefficients[0] - 1.0).abs() < 1e-8);
+        assert!(m.intercept.abs() < 1e-8);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i)]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x[0]).collect();
+        let free = LinearRegression::fit(&xs, &ys, 0.0).unwrap();
+        let shrunk = LinearRegression::fit(&xs, &ys, 100.0).unwrap();
+        assert!(shrunk.coefficients[0].abs() < free.coefficients[0].abs());
+    }
+
+    #[test]
+    fn degenerate_design_still_solves() {
+        // duplicated feature columns are rank deficient; the ridge
+        // fallback must cope
+        let xs = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let ys = vec![2.0, 4.0, 6.0];
+        let m = LinearRegression::fit(&xs, &ys, 0.0).unwrap();
+        let pred = m.predict_one(&[4.0, 4.0]);
+        assert!((pred - 8.0).abs() < 1e-2, "pred {pred}");
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(LinearRegression::fit(&[], &[], 0.0).is_err());
+        assert!(LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0], 0.0).is_err());
+        assert!(LinearRegression::fit(&[vec![1.0]], &[1.0], -1.0).is_err());
+        assert!(
+            LinearRegression::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], 0.0).is_err()
+        );
+    }
+
+    #[test]
+    fn sigmoid_stability() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(1000.0).is_finite());
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn logit_inverts_sigmoid() {
+        for &p in &[0.1, 0.25, 0.5, 0.9] {
+            assert!((sigmoid(logit(p)) - p).abs() < 1e-9);
+        }
+        assert!(logit(0.0).is_finite());
+        assert!(logit(1.0).is_finite());
+    }
+
+    #[test]
+    fn logistic_learns_separable_data() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..400 {
+            let a: f64 = rng.gen_range(-2.0..2.0);
+            let b: f64 = rng.gen_range(-2.0..2.0);
+            xs.push(vec![a, b]);
+            ys.push(u32::from(a + b > 0.0));
+        }
+        let m = LogisticRegression::fit(&xs, &ys, &LogisticOptions::default()).unwrap();
+        let acc = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| m.predict(x) == y)
+            .count() as f64
+            / xs.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+        // coefficients point the right way
+        assert!(m.coefficients[0] > 0.0 && m.coefficients[1] > 0.0);
+    }
+
+    #[test]
+    fn logistic_as_classifier_trait() {
+        let m = LogisticRegression { intercept: 0.0, coefficients: vec![1.0] };
+        let mut buf = [0.0; 2];
+        m.predict_proba(&[0.0], &mut buf);
+        assert!((buf[0] - 0.5).abs() < 1e-12);
+        assert!((buf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(m.n_classes(), 2);
+        assert!((m.proba_of(&[2.0], 1) - sigmoid(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logistic_rejects_bad_labels() {
+        assert!(LogisticRegression::fit(
+            &[vec![1.0]],
+            &[2],
+            &LogisticOptions::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Evaluation metrics for trained models.
+
+/// Fraction of predictions equal to the labels.
+pub fn accuracy(pred: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(truth).filter(|(a, b)| a == b).count() as f64 / pred.len() as f64
+}
+
+/// Binary cross-entropy of predicted positive-class probabilities.
+pub fn log_loss(probs: &[f64], truth: &[u32]) -> f64 {
+    assert_eq!(probs.len(), truth.len(), "length mismatch");
+    assert!(!probs.is_empty(), "empty input");
+    let mut acc = 0.0;
+    for (&p, &y) in probs.iter().zip(truth) {
+        let p = p.clamp(1e-12, 1.0 - 1e-12);
+        acc -= if y == 1 { p.ln() } else { (1.0 - p).ln() };
+    }
+    acc / probs.len() as f64
+}
+
+/// Area under the ROC curve via the rank statistic (ties get half
+/// credit). Returns 0.5 when one class is absent.
+pub fn roc_auc(probs: &[f64], truth: &[u32]) -> f64 {
+    assert_eq!(probs.len(), truth.len(), "length mismatch");
+    let n_pos = truth.iter().filter(|&&y| y == 1).count();
+    let n_neg = truth.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut pairs: Vec<(f64, u32)> = probs.iter().copied().zip(truth.iter().copied()).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN scores"));
+    // Assign average ranks across score ties.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let mut j = i;
+        while j + 1 < pairs.len() && pairs[j + 1].0 == pairs[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for pair in &pairs[i..=j] {
+            if pair.1 == 1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+/// A 2×2 confusion matrix `[[tn, fp], [fn, tp]]`.
+pub fn confusion(pred: &[u32], truth: &[u32]) -> [[usize; 2]; 2] {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    let mut m = [[0usize; 2]; 2];
+    for (&p, &t) in pred.iter().zip(truth) {
+        m[t.min(1) as usize][p.min(1) as usize] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn log_loss_perfect_and_bad() {
+        let perfect = log_loss(&[1.0, 0.0], &[1, 0]);
+        assert!(perfect < 1e-9);
+        let bad = log_loss(&[0.0, 1.0], &[1, 0]);
+        assert!(bad > 10.0);
+        // uniform prediction has loss ln 2
+        let uniform = log_loss(&[0.5, 0.5], &[1, 0]);
+        assert!((uniform - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_perfect_random_inverted() {
+        let truth = [0, 0, 1, 1];
+        assert!((roc_auc(&[0.1, 0.2, 0.8, 0.9], &truth) - 1.0).abs() < 1e-12);
+        assert!((roc_auc(&[0.9, 0.8, 0.2, 0.1], &truth) - 0.0).abs() < 1e-12);
+        assert!((roc_auc(&[0.5, 0.5, 0.5, 0.5], &truth) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_with_ties_and_degenerate() {
+        // one tie between a pos and a neg: half credit
+        let auc = roc_auc(&[0.3, 0.5, 0.5], &[0, 0, 1]);
+        assert!((auc - 0.75).abs() < 1e-12);
+        assert_eq!(roc_auc(&[0.5, 0.2], &[1, 1]), 0.5);
+    }
+
+    #[test]
+    fn confusion_layout() {
+        let m = confusion(&[1, 1, 0, 0], &[1, 0, 1, 0]);
+        assert_eq!(m, [[1, 1], [1, 1]]);
+        let m2 = confusion(&[1, 1], &[1, 1]);
+        assert_eq!(m2[1][1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = accuracy(&[1], &[1, 0]);
+    }
+}

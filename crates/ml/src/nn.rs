@@ -1,0 +1,381 @@
+//! A feed-forward neural network (multi-layer perceptron).
+//!
+//! Dense layers with ReLU activations and a softmax head, trained with
+//! mini-batch Adam on cross-entropy loss — the same family as the
+//! `fastai.tabular` model the paper uses as its fourth black box (§5.2).
+
+use crate::{Classifier, MlError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Training configuration for [`NeuralNetwork`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnParams {
+    /// Hidden layer widths, e.g. `[64, 32]`.
+    pub hidden: Vec<usize>,
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam step size.
+    pub learning_rate: f64,
+    /// L2 weight decay.
+    pub weight_decay: f64,
+}
+
+impl Default for NnParams {
+    fn default() -> Self {
+        NnParams {
+            hidden: vec![64, 32],
+            epochs: 30,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            weight_decay: 1e-5,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Layer {
+    /// `out × in` weights, row-major.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    // Adam state
+    m_w: Vec<f64>,
+    v_w: Vec<f64>,
+    m_b: Vec<f64>,
+    v_b: Vec<f64>,
+}
+
+impl Layer {
+    fn new<R: Rng>(n_in: usize, n_out: usize, rng: &mut R) -> Self {
+        // He initialization for ReLU nets
+        let scale = (2.0 / n_in as f64).sqrt();
+        let w = (0..n_in * n_out)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect::<Vec<_>>();
+        Layer {
+            w,
+            b: vec![0.0; n_out],
+            n_in,
+            n_out,
+            m_w: vec![0.0; n_in * n_out],
+            v_w: vec![0.0; n_in * n_out],
+            m_b: vec![0.0; n_out],
+            v_b: vec![0.0; n_out],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.n_out);
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let z: f64 = row.iter().zip(x).map(|(&w, &xi)| w * xi).sum::<f64>() + self.b[o];
+            out.push(z);
+        }
+    }
+}
+
+/// A trained MLP classifier.
+#[derive(Debug, Clone)]
+pub struct NeuralNetwork {
+    layers: Vec<Layer>,
+    n_classes: usize,
+    /// Feature standardization (mean, std) captured from training data.
+    feat_mean: Vec<f64>,
+    feat_std: Vec<f64>,
+}
+
+fn softmax_in_place(z: &mut [f64]) {
+    let max = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in z.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    for v in z.iter_mut() {
+        *v /= sum;
+    }
+}
+
+impl NeuralNetwork {
+    /// Train on labels `0..n_classes`.
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[u32],
+        n_classes: usize,
+        params: &NnParams,
+        seed: u64,
+    ) -> Result<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(MlError::InvalidTrainingData("empty or mismatched data".into()));
+        }
+        if ys.iter().any(|&y| y as usize >= n_classes) {
+            return Err(MlError::InvalidTrainingData("label out of range".into()));
+        }
+        if params.batch_size == 0 || params.epochs == 0 {
+            return Err(MlError::InvalidHyperparameter("batch_size/epochs must be > 0".into()));
+        }
+        let d = xs[0].len();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // standardize features
+        let mut feat_mean = vec![0.0; d];
+        let mut feat_std = vec![0.0; d];
+        for x in xs {
+            for (m, &v) in feat_mean.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in feat_mean.iter_mut() {
+            *m /= xs.len() as f64;
+        }
+        for x in xs {
+            for ((s, &v), &m) in feat_std.iter_mut().zip(x).zip(&feat_mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in feat_std.iter_mut() {
+            *s = (*s / xs.len() as f64).sqrt().max(1e-9);
+        }
+        let std_xs: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                x.iter()
+                    .zip(&feat_mean)
+                    .zip(&feat_std)
+                    .map(|((&v, &m), &s)| (v - m) / s)
+                    .collect()
+            })
+            .collect();
+
+        // build layers
+        let mut sizes = vec![d];
+        sizes.extend_from_slice(&params.hidden);
+        sizes.push(n_classes);
+        let mut layers: Vec<Layer> = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+
+        let n = std_xs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut t_step = 0usize;
+        let (beta1, beta2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+
+        // forward/backward buffers
+        let n_layers = layers.len();
+        let mut activations: Vec<Vec<f64>> = vec![Vec::new(); n_layers + 1];
+        let mut deltas: Vec<Vec<f64>> = vec![Vec::new(); n_layers];
+        let mut grads_w: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut grads_b: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+
+        for _epoch in 0..params.epochs {
+            // shuffle
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for batch in order.chunks(params.batch_size) {
+                for g in grads_w.iter_mut() {
+                    g.fill(0.0);
+                }
+                for g in grads_b.iter_mut() {
+                    g.fill(0.0);
+                }
+                for &i in batch {
+                    // forward
+                    activations[0] = std_xs[i].clone();
+                    for (li, layer) in layers.iter().enumerate() {
+                        let (head, tail) = activations.split_at_mut(li + 1);
+                        layer.forward(&head[li], &mut tail[0]);
+                        if li + 1 < n_layers {
+                            for v in tail[0].iter_mut() {
+                                *v = v.max(0.0); // ReLU
+                            }
+                        }
+                    }
+                    softmax_in_place(&mut activations[n_layers]);
+                    // output delta = p − onehot(y)
+                    let last = &mut deltas[n_layers - 1];
+                    last.clear();
+                    last.extend_from_slice(&activations[n_layers]);
+                    last[ys[i] as usize] -= 1.0;
+                    // backprop
+                    for li in (0..n_layers).rev() {
+                        // accumulate gradients for layer li
+                        let n_in_li = layers[li].n_in;
+                        for (o, &dv) in deltas[li].iter().enumerate() {
+                            if dv == 0.0 {
+                                continue;
+                            }
+                            grads_b[li][o] += dv;
+                            let row = &mut grads_w[li][o * n_in_li..(o + 1) * n_in_li];
+                            for (g, &a) in row.iter_mut().zip(&activations[li]) {
+                                *g += dv * a;
+                            }
+                        }
+                        if li > 0 {
+                            // delta for previous layer (through ReLU)
+                            let (prev_slice, cur_slice) = deltas.split_at_mut(li);
+                            let prev = &mut prev_slice[li - 1];
+                            let cur = &cur_slice[0];
+                            prev.clear();
+                            prev.resize(n_in_li, 0.0);
+                            for (o, &dv) in cur.iter().enumerate() {
+                                if dv == 0.0 {
+                                    continue;
+                                }
+                                let row = &layers[li].w[o * n_in_li..(o + 1) * n_in_li];
+                                for (p, &w) in prev.iter_mut().zip(row) {
+                                    *p += dv * w;
+                                }
+                            }
+                            for (p, &a) in prev.iter_mut().zip(&activations[li]) {
+                                if a <= 0.0 {
+                                    *p = 0.0;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Adam update
+                t_step += 1;
+                let bc1 = 1.0 - beta1.powi(t_step as i32);
+                let bc2 = 1.0 - beta2.powi(t_step as i32);
+                let scale = 1.0 / batch.len() as f64;
+                for (li, layer) in layers.iter_mut().enumerate() {
+                    for (idx, w) in layer.w.iter_mut().enumerate() {
+                        let g = grads_w[li][idx] * scale + params.weight_decay * *w;
+                        layer.m_w[idx] = beta1 * layer.m_w[idx] + (1.0 - beta1) * g;
+                        layer.v_w[idx] = beta2 * layer.v_w[idx] + (1.0 - beta2) * g * g;
+                        let mh = layer.m_w[idx] / bc1;
+                        let vh = layer.v_w[idx] / bc2;
+                        *w -= params.learning_rate * mh / (vh.sqrt() + eps);
+                    }
+                    for (idx, b) in layer.b.iter_mut().enumerate() {
+                        let g = grads_b[li][idx] * scale;
+                        layer.m_b[idx] = beta1 * layer.m_b[idx] + (1.0 - beta1) * g;
+                        layer.v_b[idx] = beta2 * layer.v_b[idx] + (1.0 - beta2) * g * g;
+                        let mh = layer.m_b[idx] / bc1;
+                        let vh = layer.v_b[idx] / bc2;
+                        *b -= params.learning_rate * mh / (vh.sqrt() + eps);
+                    }
+                }
+            }
+        }
+        Ok(NeuralNetwork { layers, n_classes, feat_mean, feat_std })
+    }
+}
+
+impl Classifier for NeuralNetwork {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, x: &[f64], out: &mut [f64]) {
+        let std_x: Vec<f64> = x
+            .iter()
+            .zip(&self.feat_mean)
+            .zip(&self.feat_std)
+            .map(|((&v, &m), &s)| (v - m) / s)
+            .collect();
+        let mut cur = std_x;
+        let mut next = Vec::new();
+        let n_layers = self.layers.len();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if li + 1 < n_layers {
+                for v in next.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        softmax_in_place(&mut cur);
+        out.copy_from_slice(&cur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_data(n: usize) -> (Vec<Vec<f64>>, Vec<u32>) {
+        // class 1 inside a ring: needs a non-linear boundary
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = ((i % 31) as f64 / 31.0) * 4.0 - 2.0;
+            let b = ((i % 37) as f64 / 37.0) * 4.0 - 2.0;
+            xs.push(vec![a, b]);
+            ys.push(u32::from(a * a + b * b < 1.5));
+        }
+        (xs, ys)
+    }
+
+    fn accuracy(m: &NeuralNetwork, xs: &[Vec<f64>], ys: &[u32]) -> f64 {
+        xs.iter().zip(ys).filter(|(x, &y)| m.predict(x) == y).count() as f64 / xs.len() as f64
+    }
+
+    #[test]
+    fn learns_nonlinear_ring() {
+        let (xs, ys) = ring_data(800);
+        let params = NnParams { hidden: vec![32, 16], epochs: 60, ..NnParams::default() };
+        let m = NeuralNetwork::fit(&xs, &ys, 2, &params, 3).unwrap();
+        let acc = accuracy(&m, &xs, &ys);
+        assert!(acc > 0.93, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_distribution() {
+        let (xs, ys) = ring_data(200);
+        let params = NnParams { hidden: vec![8], epochs: 5, ..NnParams::default() };
+        let m = NeuralNetwork::fit(&xs, &ys, 2, &params, 1).unwrap();
+        let mut buf = [0.0; 2];
+        for x in xs.iter().take(20) {
+            m.predict_proba(x, &mut buf);
+            assert!((buf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(buf.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn multiclass_output() {
+        let xs: Vec<Vec<f64>> = (0..300).map(|i| vec![(i % 3) as f64]).collect();
+        let ys: Vec<u32> = (0..300).map(|i| (i % 3) as u32).collect();
+        let params = NnParams { hidden: vec![16], epochs: 80, ..NnParams::default() };
+        let m = NeuralNetwork::fit(&xs, &ys, 3, &params, 2).unwrap();
+        assert_eq!(m.n_classes(), 3);
+        let acc = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| m.predict(x) == y)
+            .count() as f64
+            / xs.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = ring_data(100);
+        let params = NnParams { hidden: vec![8], epochs: 3, ..NnParams::default() };
+        let a = NeuralNetwork::fit(&xs, &ys, 2, &params, 9).unwrap();
+        let b = NeuralNetwork::fit(&xs, &ys, 2, &params, 9).unwrap();
+        for x in xs.iter().take(10) {
+            assert_eq!(a.proba_of(x, 1), b.proba_of(x, 1));
+        }
+    }
+
+    #[test]
+    fn invalid_input_rejected() {
+        let (xs, ys) = ring_data(10);
+        assert!(NeuralNetwork::fit(&[], &[], 2, &NnParams::default(), 0).is_err());
+        assert!(NeuralNetwork::fit(&xs, &[7; 10], 2, &NnParams::default(), 0).is_err());
+        let bad = NnParams { batch_size: 0, ..NnParams::default() };
+        assert!(NeuralNetwork::fit(&xs, &ys, 2, &bad, 0).is_err());
+    }
+}

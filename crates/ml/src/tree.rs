@@ -1,0 +1,544 @@
+//! CART decision trees for classification and regression.
+//!
+//! A single split-search implementation serves both targets: nodes are
+//! grown greedily by scanning sorted feature values and tracking running
+//! class counts (gini impurity) or running moments (variance reduction).
+//! Trees store their nodes in a flat arena; regression trees additionally
+//! expose [`DecisionTreeRegressor::leaf_index`] and mutable leaf values so
+//! the GBDT can re-fit leaves with Newton weights.
+
+use crate::{Classifier, MlError, Regressor, Result};
+use rand::Rng;
+
+/// Hyper-parameters shared by all tree learners.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to consider splitting a node.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must retain.
+    pub min_samples_leaf: usize,
+    /// Number of candidate features per split; `None` = all features.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 12, min_samples_split: 2, min_samples_leaf: 1, max_features: None }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        /// Class distribution (classification) or `[mean]` (regression).
+        value: Vec<f64>,
+        /// Dense leaf ordinal, used by `leaf_index`.
+        leaf_id: usize,
+    },
+    Split {
+        feature: usize,
+        /// Samples with `x[feature] <= threshold` go left.
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Tree {
+    nodes: Vec<Node>,
+    n_leaves: usize,
+}
+
+impl Tree {
+    fn leaf_of(&self, x: &[f64]) -> (&Vec<f64>, usize) {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value, leaf_id } => return (value, *leaf_id),
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Internal training target.
+enum Target<'a> {
+    Classes { labels: &'a [u32], n_classes: usize },
+    Reals(&'a [f64]),
+}
+
+/// Running sufficient statistics for impurity on one side of a split.
+#[derive(Clone)]
+enum Stats {
+    Counts(Vec<f64>),
+    Moments { n: f64, sum: f64, sum_sq: f64 },
+}
+
+impl Stats {
+    fn new(target: &Target) -> Self {
+        match target {
+            Target::Classes { n_classes, .. } => Stats::Counts(vec![0.0; *n_classes]),
+            Target::Reals(_) => Stats::Moments { n: 0.0, sum: 0.0, sum_sq: 0.0 },
+        }
+    }
+
+    fn add(&mut self, target: &Target, idx: usize) {
+        match (self, target) {
+            (Stats::Counts(c), Target::Classes { labels, .. }) => {
+                c[labels[idx] as usize] += 1.0;
+            }
+            (Stats::Moments { n, sum, sum_sq }, Target::Reals(ys)) => {
+                let y = ys[idx];
+                *n += 1.0;
+                *sum += y;
+                *sum_sq += y * y;
+            }
+            _ => unreachable!("stats/target mismatch"),
+        }
+    }
+
+    fn remove(&mut self, target: &Target, idx: usize) {
+        match (self, target) {
+            (Stats::Counts(c), Target::Classes { labels, .. }) => {
+                c[labels[idx] as usize] -= 1.0;
+            }
+            (Stats::Moments { n, sum, sum_sq }, Target::Reals(ys)) => {
+                let y = ys[idx];
+                *n -= 1.0;
+                *sum -= y;
+                *sum_sq -= y * y;
+            }
+            _ => unreachable!("stats/target mismatch"),
+        }
+    }
+
+    fn n(&self) -> f64 {
+        match self {
+            Stats::Counts(c) => c.iter().sum(),
+            Stats::Moments { n, .. } => *n,
+        }
+    }
+
+    /// Total impurity mass `n * impurity` (so parent − children is the
+    /// split gain without renormalizing).
+    fn weighted_impurity(&self) -> f64 {
+        match self {
+            Stats::Counts(c) => {
+                let n: f64 = c.iter().sum();
+                if n == 0.0 {
+                    return 0.0;
+                }
+                let sq: f64 = c.iter().map(|&x| x * x).sum();
+                n - sq / n // n * gini
+            }
+            Stats::Moments { n, sum, sum_sq } => {
+                if *n == 0.0 {
+                    return 0.0;
+                }
+                sum_sq - sum * sum / n // n * variance
+            }
+        }
+    }
+
+    fn leaf_value(&self) -> Vec<f64> {
+        match self {
+            Stats::Counts(c) => {
+                let n: f64 = c.iter().sum();
+                if n == 0.0 {
+                    vec![0.0; c.len()]
+                } else {
+                    c.iter().map(|&x| x / n).collect()
+                }
+            }
+            Stats::Moments { n, sum, .. } => {
+                vec![if *n == 0.0 { 0.0 } else { sum / n }]
+            }
+        }
+    }
+}
+
+fn build_tree<R: Rng>(
+    xs: &[Vec<f64>],
+    target: &Target,
+    params: &TreeParams,
+    rng: &mut R,
+) -> Result<Tree> {
+    let n = xs.len();
+    if n == 0 {
+        return Err(MlError::InvalidTrainingData("no samples".into()));
+    }
+    let d = xs[0].len();
+    if d == 0 {
+        return Err(MlError::InvalidTrainingData("no features".into()));
+    }
+    if xs.iter().any(|x| x.len() != d) {
+        return Err(MlError::InvalidTrainingData("ragged feature rows".into()));
+    }
+    let mut tree = Tree { nodes: Vec::new(), n_leaves: 0 };
+    let mut indices: Vec<usize> = (0..n).collect();
+    grow(xs, target, params, rng, &mut tree, &mut indices, 0);
+    Ok(tree)
+}
+
+/// Recursively grow the subtree over `indices`, returning its node id.
+fn grow<R: Rng>(
+    xs: &[Vec<f64>],
+    target: &Target,
+    params: &TreeParams,
+    rng: &mut R,
+    tree: &mut Tree,
+    indices: &mut [usize],
+    depth: usize,
+) -> usize {
+    let mut stats = Stats::new(target);
+    for &i in indices.iter() {
+        stats.add(target, i);
+    }
+    let parent_impurity = stats.weighted_impurity();
+
+    let make_leaf = |tree: &mut Tree, stats: &Stats| {
+        let id = tree.nodes.len();
+        tree.nodes.push(Node::Leaf { value: stats.leaf_value(), leaf_id: tree.n_leaves });
+        tree.n_leaves += 1;
+        id
+    };
+
+    if depth >= params.max_depth
+        || indices.len() < params.min_samples_split
+        || parent_impurity <= 1e-12
+    {
+        return make_leaf(tree, &stats);
+    }
+
+    let d = xs[0].len();
+    let m = params.max_features.unwrap_or(d).clamp(1, d);
+    // Sample the feature subset without replacement (Fisher–Yates prefix).
+    let mut features: Vec<usize> = (0..d).collect();
+    for i in 0..m {
+        let j = rng.gen_range(i..d);
+        features.swap(i, j);
+    }
+    features.truncate(m);
+
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    let mut order: Vec<usize> = Vec::with_capacity(indices.len());
+    for &f in &features {
+        order.clear();
+        order.extend_from_slice(indices);
+        order.sort_unstable_by(|&a, &b| {
+            xs[a][f].partial_cmp(&xs[b][f]).expect("no NaN features")
+        });
+        let mut left = Stats::new(target);
+        let mut right = stats.clone();
+        for pos in 0..order.len() - 1 {
+            let i = order[pos];
+            left.add(target, i);
+            right.remove(target, i);
+            // can only split between distinct feature values
+            if xs[order[pos]][f] == xs[order[pos + 1]][f] {
+                continue;
+            }
+            let nl = left.n() as usize;
+            let nr = order.len() - nl;
+            if nl < params.min_samples_leaf || nr < params.min_samples_leaf {
+                continue;
+            }
+            let gain = parent_impurity - left.weighted_impurity() - right.weighted_impurity();
+            // Zero-gain splits are accepted (gain >= 0): XOR-like targets
+            // have no first-level gain yet still need the split to make
+            // progress; max_depth/min_samples bound the growth.
+            if best.map_or(gain >= 0.0, |(g, _, _)| gain > g) {
+                let threshold = (xs[order[pos]][f] + xs[order[pos + 1]][f]) / 2.0;
+                best = Some((gain, f, threshold));
+            }
+        }
+    }
+
+    let Some((_, feature, threshold)) = best else {
+        return make_leaf(tree, &stats);
+    };
+
+    // Partition indices around the chosen split.
+    let mut lo = 0usize;
+    let mut hi = indices.len();
+    while lo < hi {
+        if xs[indices[lo]][feature] <= threshold {
+            lo += 1;
+        } else {
+            hi -= 1;
+            indices.swap(lo, hi);
+        }
+    }
+    debug_assert!(lo > 0 && lo < indices.len(), "split produced an empty child");
+
+    let id = tree.nodes.len();
+    tree.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+    let (left_idx, right_idx) = indices.split_at_mut(lo);
+    let left = grow(xs, target, params, rng, tree, left_idx, depth + 1);
+    let right = grow(xs, target, params, rng, tree, right_idx, depth + 1);
+    if let Node::Split { left: l, right: r, .. } = &mut tree.nodes[id] {
+        *l = left;
+        *r = right;
+    }
+    id
+}
+
+/// A CART classification tree (gini impurity, distribution leaves).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTreeClassifier {
+    tree: Tree,
+    n_classes: usize,
+}
+
+impl DecisionTreeClassifier {
+    /// Fit on dense features and labels `0..n_classes`.
+    pub fn fit<R: Rng>(
+        xs: &[Vec<f64>],
+        ys: &[u32],
+        n_classes: usize,
+        params: &TreeParams,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(MlError::InvalidTrainingData("xs/ys length mismatch".into()));
+        }
+        if ys.iter().any(|&y| y as usize >= n_classes) {
+            return Err(MlError::InvalidTrainingData("label out of range".into()));
+        }
+        let target = Target::Classes { labels: ys, n_classes };
+        Ok(DecisionTreeClassifier { tree: build_tree(xs, &target, params, rng)?, n_classes })
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.tree.n_leaves
+    }
+}
+
+impl Classifier for DecisionTreeClassifier {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn predict_proba(&self, x: &[f64], out: &mut [f64]) {
+        let (dist, _) = self.tree.leaf_of(x);
+        out.copy_from_slice(dist);
+    }
+}
+
+/// A CART regression tree (variance reduction, mean leaves).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTreeRegressor {
+    tree: Tree,
+}
+
+impl DecisionTreeRegressor {
+    /// Fit on dense features and real targets.
+    pub fn fit<R: Rng>(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        params: &TreeParams,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(MlError::InvalidTrainingData("xs/ys length mismatch".into()));
+        }
+        let target = Target::Reals(ys);
+        Ok(DecisionTreeRegressor { tree: build_tree(xs, &target, params, rng)? })
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.tree.n_leaves
+    }
+
+    /// Dense index of the leaf `x` falls into.
+    pub fn leaf_index(&self, x: &[f64]) -> usize {
+        self.tree.leaf_of(x).1
+    }
+
+    /// Overwrite every leaf's predicted value (GBDT Newton refit).
+    ///
+    /// # Panics
+    /// Panics if `values.len() != n_leaves()`.
+    pub fn set_leaf_values(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.tree.n_leaves, "one value per leaf");
+        for node in &mut self.tree.nodes {
+            if let Node::Leaf { value, leaf_id } = node {
+                value[0] = values[*leaf_id];
+            }
+        }
+    }
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.tree.leaf_of(x).0[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn classifier_fits_xor() {
+        // XOR is not linearly separable; a depth-2 tree nails it.
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let ys = vec![0u32, 1, 1, 0];
+        let t = DecisionTreeClassifier::fit(&xs, &ys, 2, &TreeParams::default(), &mut rng())
+            .unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(t.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn classifier_respects_max_depth() {
+        let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![f64::from(i)]).collect();
+        let ys: Vec<u32> = (0..64).map(|i| u32::from(i % 2 == 0)).collect();
+        let params = TreeParams { max_depth: 1, ..TreeParams::default() };
+        let t = DecisionTreeClassifier::fit(&xs, &ys, 2, &params, &mut rng()).unwrap();
+        assert!(t.n_leaves() <= 2);
+    }
+
+    #[test]
+    fn pure_nodes_become_leaves() {
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![1u32, 1, 1];
+        let t = DecisionTreeClassifier::fit(&xs, &ys, 2, &TreeParams::default(), &mut rng())
+            .unwrap();
+        assert_eq!(t.n_leaves(), 1);
+        assert!((t.proba_of(&[2.0], 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiclass_distribution_sums_to_one() {
+        let mut r = rng();
+        let xs: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![f64::from(i % 30), f64::from(i % 7)])
+            .collect();
+        let ys: Vec<u32> = (0..300).map(|i| (i % 3) as u32).collect();
+        let t = DecisionTreeClassifier::fit(&xs, &ys, 3, &TreeParams::default(), &mut r)
+            .unwrap();
+        let mut buf = [0.0; 3];
+        for x in &xs {
+            t.predict_proba(x, &mut buf);
+            let s: f64 = buf.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn regressor_fits_step_function() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i)]).collect();
+        let ys: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        let t = DecisionTreeRegressor::fit(&xs, &ys, &TreeParams::default(), &mut rng())
+            .unwrap();
+        assert!((t.predict(&[10.0]) - 1.0).abs() < 1e-9);
+        assert!((t.predict(&[80.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i)]).collect();
+        let ys: Vec<f64> = (0..10).map(f64::from).collect();
+        let params = TreeParams { min_samples_leaf: 5, ..TreeParams::default() };
+        let t = DecisionTreeRegressor::fit(&xs, &ys, &params, &mut rng()).unwrap();
+        // only one split can satisfy 5/5
+        assert!(t.n_leaves() <= 2);
+    }
+
+    #[test]
+    fn leaf_index_is_dense_and_stable() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![f64::from(i)]).collect();
+        let ys: Vec<f64> = (0..40).map(|i| f64::from(i * i)).collect();
+        let t = DecisionTreeRegressor::fit(&xs, &ys, &TreeParams::default(), &mut rng())
+            .unwrap();
+        let n = t.n_leaves();
+        let mut seen = vec![false; n];
+        for x in &xs {
+            let id = t.leaf_index(x);
+            assert!(id < n);
+            seen[id] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every leaf reachable from training data");
+    }
+
+    #[test]
+    fn set_leaf_values_changes_predictions() {
+        let xs = vec![vec![0.0], vec![10.0]];
+        let ys = vec![0.0, 1.0];
+        let mut t =
+            DecisionTreeRegressor::fit(&xs, &ys, &TreeParams::default(), &mut rng()).unwrap();
+        assert_eq!(t.n_leaves(), 2);
+        let new_values: Vec<f64> = (0..t.n_leaves()).map(|i| 100.0 + i as f64).collect();
+        t.set_leaf_values(&new_values);
+        let p0 = t.predict(&[0.0]);
+        let p1 = t.predict(&[10.0]);
+        assert!(p0 >= 100.0 && p1 >= 100.0 && p0 != p1);
+    }
+
+    #[test]
+    fn feature_subsetting_still_learns() {
+        let mut r = rng();
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![f64::from(i % 2), f64::from(i % 3), f64::from(i % 5)])
+            .collect();
+        let ys: Vec<u32> = xs.iter().map(|x| u32::from(x[0] > 0.5)).collect();
+        let params = TreeParams { max_features: Some(2), ..TreeParams::default() };
+        let t = DecisionTreeClassifier::fit(&xs, &ys, 2, &params, &mut r).unwrap();
+        let acc = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| t.predict(x) == y)
+            .count();
+        assert!(acc >= 190, "accuracy {acc}/200");
+    }
+
+    #[test]
+    fn invalid_input_rejected() {
+        let mut r = rng();
+        assert!(DecisionTreeClassifier::fit(&[], &[], 2, &TreeParams::default(), &mut r)
+            .is_err());
+        assert!(DecisionTreeClassifier::fit(
+            &[vec![1.0]],
+            &[5],
+            2,
+            &TreeParams::default(),
+            &mut r
+        )
+        .is_err());
+        assert!(DecisionTreeRegressor::fit(
+            &[vec![1.0], vec![2.0]],
+            &[1.0],
+            &TreeParams::default(),
+            &mut r
+        )
+        .is_err());
+        assert!(DecisionTreeClassifier::fit(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &[0, 1],
+            2,
+            &TreeParams::default(),
+            &mut r
+        )
+        .is_err());
+    }
+}

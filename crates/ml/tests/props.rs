@@ -1,0 +1,107 @@
+//! Property-based tests for the ML substrate's numerical invariants.
+
+use ml::linalg::Matrix;
+use ml::linear::{logit, sigmoid, LinearRegression};
+use ml::tree::{DecisionTreeRegressor, TreeParams};
+use ml::Regressor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Diagonally dominant matrices are invertible; `solve` must satisfy
+/// `A·x ≈ b`.
+fn arb_dd_system() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (2usize..6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(-1.0f64..1.0, n),
+                n,
+            ),
+            proptest::collection::vec(-10.0f64..10.0, n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn gaussian_solve_satisfies_system((mut a, b) in arb_dd_system()) {
+        let n = a.len();
+        // enforce diagonal dominance
+        for (i, row) in a.iter_mut().enumerate() {
+            let off: f64 = row.iter().map(|v| v.abs()).sum();
+            row[i] = off + 1.0;
+        }
+        let rows: Vec<&[f64]> = a.iter().map(Vec::as_slice).collect();
+        let m = Matrix::from_rows(&rows);
+        let x = m.solve(&b).unwrap();
+        let back = m.matvec(&x);
+        for (got, want) in back.iter().zip(&b) {
+            prop_assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+        // SPD path agrees when the matrix is symmetric positive definite
+        // (A·Aᵀ + I is); compare both solvers there
+        let mut sym = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = if i == j { 1.0 } else { 0.0 };
+                for k in 0..n {
+                    acc += a[i][k] * a[j][k];
+                }
+                sym[(i, j)] = acc;
+            }
+        }
+        let x1 = sym.solve(&b).unwrap();
+        let x2 = sym.solve_spd(&b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_logit_bijection(p in 0.0001f64..0.9999) {
+        prop_assert!((sigmoid(logit(p)) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone_and_bounded(a in -50.0f64..50.0, b in -50.0f64..50.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(sigmoid(lo) <= sigmoid(hi));
+        prop_assert!((0.0..=1.0).contains(&sigmoid(a)));
+    }
+
+    /// OLS on noiseless linear data recovers the generating line.
+    #[test]
+    fn linear_regression_interpolates(
+        intercept in -5.0f64..5.0,
+        slope in -5.0f64..5.0,
+        xs in proptest::collection::vec(-10.0f64..10.0, 3..30),
+    ) {
+        // need variation in x
+        let spread = xs.iter().cloned().fold(f64::MIN, f64::max)
+            - xs.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assume!(spread > 0.5);
+        let feats: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| intercept + slope * x).collect();
+        let m = LinearRegression::fit(&feats, &ys, 0.0).unwrap();
+        prop_assert!((m.intercept - intercept).abs() < 1e-5, "b0 {}", m.intercept);
+        prop_assert!((m.coefficients[0] - slope).abs() < 1e-5);
+    }
+
+    /// A regression tree's prediction is always within the range of the
+    /// training targets (leaves are means of subsets).
+    #[test]
+    fn tree_predictions_stay_in_target_range(
+        data in proptest::collection::vec((-10.0f64..10.0, -5.0f64..5.0), 4..50),
+        query in -20.0f64..20.0,
+    ) {
+        let xs: Vec<Vec<f64>> = data.iter().map(|&(x, _)| vec![x]).collect();
+        let ys: Vec<f64> = data.iter().map(|&(_, y)| y).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree =
+            DecisionTreeRegressor::fit(&xs, &ys, &TreeParams::default(), &mut rng).unwrap();
+        let lo = ys.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = ys.iter().cloned().fold(f64::MIN, f64::max);
+        let p = tree.predict(&[query]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,16 @@
+//! # optim — exact integer programming for recourse
+//!
+//! The paper frames counterfactual recourse as the integer program
+//! (24)–(27): pick at most one new value per actionable attribute,
+//! minimize total action cost, subject to a linear "sufficiency" covering
+//! constraint (the linearized eq. 28). Structurally this is a
+//! **multiple-choice min-cost covering knapsack**, solved here exactly by
+//! branch-and-bound with per-group dominance pruning and a greedy
+//! fractional (LP-relaxation) bound.
+//!
+//! The same solver serves the LinearIP recourse baseline (Ustun et al.),
+//! whose constraint is a linear classifier's score change.
+
+pub mod ip;
+
+pub use ip::{Group, Item, IpError, MckpSolver, Solution};

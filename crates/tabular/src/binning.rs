@@ -1,0 +1,196 @@
+//! Quantization of continuous attributes into finite domains.
+//!
+//! The paper assumes continuous domains are binned (§2). A [`Binner`] is
+//! fitted on raw `f64` samples with a [`BinningStrategy`] and yields a
+//! [`Domain::Binned`] plus the code vector for the fitted data.
+
+use crate::domain::{Domain, Value};
+use crate::error::TabularError;
+use crate::Result;
+
+/// How bin edges are chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinningStrategy {
+    /// `n_bins` equally wide bins between the observed min and max.
+    EqualWidth { n_bins: usize },
+    /// `n_bins` bins with (approximately) equal numbers of samples,
+    /// using empirical quantiles. Duplicate quantiles are collapsed, so the
+    /// fitted domain may have fewer bins than requested.
+    Quantile { n_bins: usize },
+    /// Caller-provided ascending edges.
+    Explicit { edges: Vec<f64> },
+}
+
+/// A fitted quantizer for one continuous attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binner {
+    domain: Domain,
+}
+
+impl Binner {
+    /// Fit a binner on raw samples.
+    pub fn fit(strategy: &BinningStrategy, samples: &[f64]) -> Result<Self> {
+        let edges = match strategy {
+            BinningStrategy::Explicit { edges } => {
+                if edges.len() < 2 || edges.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(TabularError::InvalidArgument(
+                        "explicit edges must be >= 2 and strictly increasing".into(),
+                    ));
+                }
+                edges.clone()
+            }
+            BinningStrategy::EqualWidth { n_bins } => {
+                let n_bins = *n_bins;
+                if n_bins == 0 {
+                    return Err(TabularError::InvalidArgument("n_bins must be > 0".into()));
+                }
+                let (lo, hi) = min_max(samples)?;
+                if lo == hi {
+                    // Degenerate column: one bin around the constant.
+                    vec![lo, lo + 1.0]
+                } else {
+                    let width = (hi - lo) / n_bins as f64;
+                    let mut e: Vec<f64> =
+                        (0..=n_bins).map(|i| lo + width * i as f64).collect();
+                    // guard against FP drift on the top edge
+                    *e.last_mut().expect("n_bins+1 edges") = hi;
+                    e
+                }
+            }
+            BinningStrategy::Quantile { n_bins } => {
+                let n_bins = *n_bins;
+                if n_bins == 0 {
+                    return Err(TabularError::InvalidArgument("n_bins must be > 0".into()));
+                }
+                if samples.is_empty() {
+                    return Err(TabularError::EmptySelection("no samples to bin".into()));
+                }
+                let mut sorted = samples.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in binned data"));
+                let mut e = Vec::with_capacity(n_bins + 1);
+                for i in 0..=n_bins {
+                    let q = i as f64 / n_bins as f64;
+                    let pos = (q * (sorted.len() - 1) as f64).round() as usize;
+                    e.push(sorted[pos]);
+                }
+                e.dedup();
+                if e.len() < 2 {
+                    // All samples identical.
+                    let v = e[0];
+                    e = vec![v, v + 1.0];
+                }
+                e
+            }
+        };
+        Ok(Binner { domain: Domain::binned(edges) })
+    }
+
+    /// The fitted binned domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Quantize one raw value (clamped to the outer bins).
+    pub fn transform_one(&self, x: f64) -> Value {
+        self.domain.bin_of(x).expect("binned domain always bins")
+    }
+
+    /// Quantize a batch of raw values.
+    pub fn transform(&self, xs: &[f64]) -> Vec<Value> {
+        xs.iter().map(|&x| self.transform_one(x)).collect()
+    }
+
+    /// Fit and transform in one call, returning `(domain, codes)`.
+    pub fn fit_transform(
+        strategy: &BinningStrategy,
+        samples: &[f64],
+    ) -> Result<(Domain, Vec<Value>)> {
+        let binner = Self::fit(strategy, samples)?;
+        let codes = binner.transform(samples);
+        Ok((binner.domain, codes))
+    }
+}
+
+fn min_max(samples: &[f64]) -> Result<(f64, f64)> {
+    if samples.is_empty() {
+        return Err(TabularError::EmptySelection("no samples to bin".into()));
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in samples {
+        if x.is_nan() {
+            return Err(TabularError::InvalidArgument("NaN in binning input".into()));
+        }
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Ok((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_covers_range() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let (dom, codes) = Binner::fit_transform(&BinningStrategy::EqualWidth { n_bins: 4 }, &xs)
+            .unwrap();
+        assert_eq!(dom.cardinality(), 4);
+        assert_eq!(codes[0], 0);
+        assert_eq!(*codes.last().unwrap(), 3);
+        // every code in range
+        assert!(codes.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn quantile_bins_are_balanced() {
+        let xs: Vec<f64> = (0..1000).map(f64::from).collect();
+        let (dom, codes) =
+            Binner::fit_transform(&BinningStrategy::Quantile { n_bins: 4 }, &xs).unwrap();
+        assert_eq!(dom.cardinality(), 4);
+        let mut counts = [0usize; 4];
+        for &c in &codes {
+            counts[c as usize] += 1;
+        }
+        for &n in &counts {
+            assert!((200..=300).contains(&n), "unbalanced quantile bins: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn quantile_collapses_duplicates() {
+        let xs = vec![5.0; 50];
+        let binner = Binner::fit(&BinningStrategy::Quantile { n_bins: 4 }, &xs).unwrap();
+        assert_eq!(binner.domain().cardinality(), 1);
+        assert_eq!(binner.transform_one(5.0), 0);
+    }
+
+    #[test]
+    fn constant_column_equal_width() {
+        let xs = vec![2.5; 10];
+        let binner = Binner::fit(&BinningStrategy::EqualWidth { n_bins: 3 }, &xs).unwrap();
+        assert_eq!(binner.domain().cardinality(), 1);
+    }
+
+    #[test]
+    fn explicit_edges_validated() {
+        assert!(Binner::fit(&BinningStrategy::Explicit { edges: vec![1.0] }, &[]).is_err());
+        assert!(
+            Binner::fit(&BinningStrategy::Explicit { edges: vec![2.0, 1.0] }, &[]).is_err()
+        );
+        let b = Binner::fit(&BinningStrategy::Explicit { edges: vec![0.0, 1.0, 5.0] }, &[])
+            .unwrap();
+        assert_eq!(b.transform_one(0.5), 0);
+        assert_eq!(b.transform_one(3.0), 1);
+        assert_eq!(b.transform_one(99.0), 1); // clamped
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Binner::fit(&BinningStrategy::EqualWidth { n_bins: 0 }, &[1.0]).is_err());
+        assert!(Binner::fit(&BinningStrategy::EqualWidth { n_bins: 2 }, &[]).is_err());
+        assert!(Binner::fit(&BinningStrategy::EqualWidth { n_bins: 2 }, &[1.0, f64::NAN]).is_err());
+        assert!(Binner::fit(&BinningStrategy::Quantile { n_bins: 2 }, &[]).is_err());
+    }
+}

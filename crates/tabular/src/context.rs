@@ -1,0 +1,182 @@
+//! Contexts: conjunctions of attribute-value assignments.
+//!
+//! A [`Context`] is the paper's `k ∈ Dom(K)` — a partial assignment of
+//! attributes used to scope explanation scores to a sub-population
+//! (contextual explanations) or a single individual (local explanations,
+//! where `K = V`). The empty context is the whole population (global).
+
+use crate::domain::{AttrId, Value};
+
+/// A sorted, duplicate-free conjunction `X₁ = v₁ ∧ … ∧ Xₙ = vₙ`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Context {
+    // Sorted by attribute id; at most one entry per attribute.
+    entries: Vec<(AttrId, Value)>,
+}
+
+impl Context {
+    /// The empty context (matches every row).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build a context from assignment pairs. Later duplicates override
+    /// earlier ones (useful for "take this row but change X").
+    pub fn of<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (AttrId, Value)>,
+    {
+        let mut ctx = Self::empty();
+        for (a, v) in pairs {
+            ctx.set(a, v);
+        }
+        ctx
+    }
+
+    /// Assign `attr = value`, replacing any previous assignment of `attr`.
+    pub fn set(&mut self, attr: AttrId, value: Value) {
+        match self.entries.binary_search_by_key(&attr, |&(a, _)| a) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (attr, value)),
+        }
+    }
+
+    /// Remove any assignment of `attr`, returning the removed value.
+    pub fn unset(&mut self, attr: AttrId) -> Option<Value> {
+        match self.entries.binary_search_by_key(&attr, |&(a, _)| a) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// The value assigned to `attr`, if any.
+    pub fn get(&self, attr: AttrId) -> Option<Value> {
+        self.entries
+            .binary_search_by_key(&attr, |&(a, _)| a)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Whether `attr` is constrained by this context.
+    pub fn constrains(&self, attr: AttrId) -> bool {
+        self.get(attr).is_some()
+    }
+
+    /// Number of constrained attributes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether this is the empty (global) context.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate the `(attribute, value)` pairs in attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, Value)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The constrained attribute ids, in order.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.entries.iter().map(|&(a, _)| a)
+    }
+
+    /// A new context extended with `attr = value`.
+    #[must_use]
+    pub fn with(&self, attr: AttrId, value: Value) -> Self {
+        let mut c = self.clone();
+        c.set(attr, value);
+        c
+    }
+
+    /// A new context with `attr` unconstrained.
+    #[must_use]
+    pub fn without(&self, attr: AttrId) -> Self {
+        let mut c = self.clone();
+        c.unset(attr);
+        c
+    }
+
+    /// Merge two contexts; `other`'s assignments win on conflicts.
+    #[must_use]
+    pub fn merged(&self, other: &Context) -> Self {
+        let mut c = self.clone();
+        for (a, v) in other.iter() {
+            c.set(a, v);
+        }
+        c
+    }
+
+    /// Test whether a full row (indexed by attribute id) satisfies the
+    /// conjunction.
+    #[inline]
+    pub fn matches_row(&self, row: &[Value]) -> bool {
+        self.entries
+            .iter()
+            .all(|&(a, v)| row.get(a.index()).copied() == Some(v))
+    }
+}
+
+impl FromIterator<(AttrId, Value)> for Context {
+    fn from_iter<I: IntoIterator<Item = (AttrId, Value)>>(iter: I) -> Self {
+        Context::of(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+
+    #[test]
+    fn set_get_unset() {
+        let mut ctx = Context::empty();
+        assert!(ctx.is_empty());
+        ctx.set(B, 3);
+        ctx.set(A, 1);
+        assert_eq!(ctx.get(A), Some(1));
+        assert_eq!(ctx.get(B), Some(3));
+        assert_eq!(ctx.len(), 2);
+        // entries stay sorted by attr
+        let attrs: Vec<_> = ctx.attrs().collect();
+        assert_eq!(attrs, vec![A, B]);
+        assert_eq!(ctx.unset(A), Some(1));
+        assert_eq!(ctx.get(A), None);
+        assert_eq!(ctx.unset(A), None);
+    }
+
+    #[test]
+    fn set_overrides() {
+        let ctx = Context::of([(A, 1), (A, 2)]);
+        assert_eq!(ctx.get(A), Some(2));
+        assert_eq!(ctx.len(), 1);
+    }
+
+    #[test]
+    fn matches_rows() {
+        let ctx = Context::of([(A, 1), (C, 0)]);
+        assert!(ctx.matches_row(&[1, 9, 0]));
+        assert!(!ctx.matches_row(&[1, 9, 1]));
+        assert!(!ctx.matches_row(&[0, 9, 0]));
+        // short row cannot match an out-of-range constraint
+        assert!(!ctx.matches_row(&[1]));
+        assert!(Context::empty().matches_row(&[]));
+    }
+
+    #[test]
+    fn with_without_merged() {
+        let base = Context::of([(A, 1)]);
+        let ext = base.with(B, 2);
+        assert_eq!(ext.get(B), Some(2));
+        assert_eq!(base.get(B), None, "with() must not mutate the receiver");
+        let shrunk = ext.without(A);
+        assert!(!shrunk.constrains(A));
+        let merged = base.merged(&Context::of([(A, 5), (C, 7)]));
+        assert_eq!(merged.get(A), Some(5));
+        assert_eq!(merged.get(C), Some(7));
+    }
+}

@@ -1,0 +1,232 @@
+//! Minimal CSV import/export for tables.
+//!
+//! Exports write human-readable labels (dictionary-decoded); imports infer
+//! categorical domains from the data in first-seen order. Quoting follows
+//! RFC 4180 for fields containing commas, quotes or newlines. This exists
+//! so experiment outputs and synthetic datasets can be persisted and
+//! inspected — it is not a general-purpose CSV engine.
+
+use crate::domain::Domain;
+use crate::error::TabularError;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::Result;
+
+/// Serialize a table to CSV with a header row of attribute names.
+pub fn write_csv_string(table: &Table) -> String {
+    let schema = table.schema();
+    let mut out = String::new();
+    let header: Vec<String> = schema
+        .attr_ids()
+        .map(|a| escape(schema.name(a)))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in table.rows() {
+        let fields: Vec<String> = schema
+            .attr_ids()
+            .zip(&row)
+            .map(|(a, &v)| {
+                let label = schema
+                    .attr(a)
+                    .map(|at| at.domain.label(v))
+                    .unwrap_or_default();
+                escape(&label)
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Parse a CSV string into a table, inferring every column as categorical
+/// with labels in order of first appearance.
+pub fn read_csv_str(input: &str) -> Result<Table> {
+    let mut records = parse(input)?;
+    if records.is_empty() {
+        return Err(TabularError::Csv { line: 0, message: "empty input".into() });
+    }
+    let header = records.remove(0);
+    let n_cols = header.len();
+    // Collect labels per column in first-seen order.
+    let mut labels: Vec<Vec<String>> = vec![Vec::new(); n_cols];
+    for (i, rec) in records.iter().enumerate() {
+        if rec.len() != n_cols {
+            return Err(TabularError::Csv {
+                line: i + 2,
+                message: format!("expected {n_cols} fields, got {}", rec.len()),
+            });
+        }
+        for (c, field) in rec.iter().enumerate() {
+            if !labels[c].iter().any(|l| l == field) {
+                labels[c].push(field.clone());
+            }
+        }
+    }
+    let mut schema = Schema::new();
+    for (name, ls) in header.iter().zip(&labels) {
+        // A column with no data rows still needs a non-empty domain.
+        let ls = if ls.is_empty() { vec![String::new()] } else { ls.clone() };
+        schema.push(name.clone(), Domain::Categorical { labels: ls });
+    }
+    let mut table = Table::with_capacity(schema, records.len());
+    let mut row = vec![0u32; n_cols];
+    for rec in &records {
+        for (c, field) in rec.iter().enumerate() {
+            row[c] = table
+                .schema()
+                .attr(crate::AttrId(c as u32))
+                .expect("column in range")
+                .domain
+                .code_of(field)
+                .expect("label was collected above");
+        }
+        table.push_row(&row)?;
+    }
+    Ok(table)
+}
+
+/// RFC-4180-ish record parser.
+fn parse(input: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = input.chars().peekable();
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(TabularError::Csv {
+                            line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                    }
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TabularError::Csv { line, message: "unterminated quoted field".into() });
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::AttrId;
+
+    fn demo_table() -> Table {
+        let mut s = Schema::new();
+        s.push("color", Domain::categorical(["red", "blue, green", "wei\"rd"]));
+        s.push("ok", Domain::boolean());
+        let mut t = Table::new(s);
+        t.push_row(&[0, 1]).unwrap();
+        t.push_row(&[1, 0]).unwrap();
+        t.push_row(&[2, 1]).unwrap();
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_cells() {
+        let t = demo_table();
+        let csv = write_csv_string(&t);
+        let back = read_csv_str(&csv).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        assert_eq!(back.schema().name(AttrId(0)), "color");
+        // labels survive even with commas/quotes
+        let dom = back.schema().domain(AttrId(0)).unwrap();
+        assert_eq!(dom.code_of("blue, green"), Some(1));
+        assert_eq!(dom.code_of("wei\"rd"), Some(2));
+        for r in 0..3 {
+            let orig_label = t
+                .schema()
+                .domain(AttrId(0))
+                .unwrap()
+                .label(t.get(r, AttrId(0)).unwrap());
+            let new_label = back
+                .schema()
+                .domain(AttrId(0))
+                .unwrap()
+                .label(back.get(r, AttrId(0)).unwrap());
+            assert_eq!(orig_label, new_label);
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let bad = "a,b\n1,2\n1\n";
+        let err = read_csv_str(bad).unwrap_err();
+        match err {
+            TabularError::Csv { line, .. } => assert_eq!(line, 3),
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_quoting() {
+        assert!(read_csv_str("a\nx\"y\n").is_err());
+        assert!(read_csv_str("a\n\"unterminated\n").is_err());
+        assert!(read_csv_str("").is_err());
+    }
+
+    #[test]
+    fn handles_crlf_and_missing_trailing_newline() {
+        let t = read_csv_str("a,b\r\n1,2\r\n3,4").unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.schema().len(), 2);
+    }
+
+    #[test]
+    fn quoted_newline_inside_field() {
+        let t = read_csv_str("a\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(t.n_rows(), 1);
+        let dom = t.schema().domain(AttrId(0)).unwrap();
+        assert_eq!(dom.code_of("line1\nline2"), Some(0));
+    }
+}

@@ -1,0 +1,222 @@
+//! Attribute domains: finite, ordered sets of values.
+//!
+//! Following the paper (§2), every attribute ranges over a *discrete and
+//! finite* domain `Dom(X)`. Values are stored as dictionary codes
+//! ([`Value`] = `u32`) whose code order is the domain's *natural order*
+//! when one exists — e.g. binned numeric domains are ordered by bin edge,
+//! and ordinal categoricals (savings brackets) are declared in ascending
+//! order. LEWIS relies on this order for monotonicity (§4.1); when no
+//! natural order exists the order can be *inferred* from the black box
+//! (handled upstream in `lewis-core`).
+
+use std::fmt;
+
+/// Index of an attribute within a [`crate::Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The attribute's position as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A dictionary code identifying one value of an attribute's domain.
+pub type Value = u32;
+
+/// The finite domain of an attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// Named categorical levels; code `i` maps to `labels[i]`.
+    ///
+    /// Declare ordinal categories in ascending order of "goodness" so the
+    /// code order is the natural order.
+    Categorical { labels: Vec<String> },
+    /// A binned numeric domain: bin `i` covers `[edges[i], edges[i+1])`
+    /// (the last bin is closed above). Always ordered by construction.
+    Binned { edges: Vec<f64> },
+}
+
+impl Domain {
+    /// Build a categorical domain from anything yielding string-like labels.
+    pub fn categorical<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Domain::Categorical { labels: labels.into_iter().map(Into::into).collect() }
+    }
+
+    /// Build a binned numeric domain from ascending bin edges.
+    ///
+    /// `edges` must have at least 2 elements and be strictly increasing;
+    /// the domain then has `edges.len() - 1` bins.
+    pub fn binned(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "binned domain needs at least 2 edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "bin edges must be strictly increasing"
+        );
+        Domain::Binned { edges }
+    }
+
+    /// A boolean domain (`false`, `true`), common for binary outcomes.
+    pub fn boolean() -> Self {
+        Domain::categorical(["false", "true"])
+    }
+
+    /// Number of distinct values in this domain.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Domain::Categorical { labels } => labels.len(),
+            Domain::Binned { edges } => edges.len() - 1,
+        }
+    }
+
+    /// Whether `v` is a valid code for this domain.
+    #[inline]
+    pub fn contains(&self, v: Value) -> bool {
+        (v as usize) < self.cardinality()
+    }
+
+    /// All value codes of the domain, in natural order.
+    pub fn values(&self) -> impl Iterator<Item = Value> + Clone {
+        0..self.cardinality() as Value
+    }
+
+    /// Human-readable label for code `v`.
+    pub fn label(&self, v: Value) -> String {
+        match self {
+            Domain::Categorical { labels } => labels
+                .get(v as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("<invalid:{v}>")),
+            Domain::Binned { edges } => {
+                let i = v as usize;
+                if i + 1 < edges.len() {
+                    format!("[{}, {})", edges[i], edges[i + 1])
+                } else {
+                    format!("<invalid:{v}>")
+                }
+            }
+        }
+    }
+
+    /// Find the code of a categorical label, if present.
+    pub fn code_of(&self, label: &str) -> Option<Value> {
+        match self {
+            Domain::Categorical { labels } => {
+                labels.iter().position(|l| l == label).map(|i| i as Value)
+            }
+            Domain::Binned { .. } => None,
+        }
+    }
+
+    /// Map a raw numeric value to its bin code (clamping to the outer bins).
+    ///
+    /// Returns `None` for categorical domains.
+    pub fn bin_of(&self, x: f64) -> Option<Value> {
+        match self {
+            Domain::Categorical { .. } => None,
+            Domain::Binned { edges } => {
+                let n_bins = edges.len() - 1;
+                if x < edges[0] {
+                    return Some(0);
+                }
+                if x >= edges[n_bins] {
+                    return Some((n_bins - 1) as Value);
+                }
+                // binary search for the bin with edges[i] <= x < edges[i+1]
+                let mut lo = 0usize;
+                let mut hi = n_bins;
+                while lo + 1 < hi {
+                    let mid = (lo + hi) / 2;
+                    if x >= edges[mid] {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                Some(lo as Value)
+            }
+        }
+    }
+
+    /// Representative numeric value of bin `v` (its midpoint), used when a
+    /// model needs a numeric feature from a binned code.
+    pub fn bin_midpoint(&self, v: Value) -> Option<f64> {
+        match self {
+            Domain::Categorical { .. } => None,
+            Domain::Binned { edges } => {
+                let i = v as usize;
+                (i + 1 < edges.len()).then(|| (edges[i] + edges[i + 1]) / 2.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorical_basics() {
+        let d = Domain::categorical(["low", "mid", "high"]);
+        assert_eq!(d.cardinality(), 3);
+        assert!(d.contains(2));
+        assert!(!d.contains(3));
+        assert_eq!(d.label(1), "mid");
+        assert_eq!(d.code_of("high"), Some(2));
+        assert_eq!(d.code_of("absent"), None);
+        assert_eq!(d.values().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn binned_lookup() {
+        let d = Domain::binned(vec![0.0, 10.0, 20.0, 40.0]);
+        assert_eq!(d.cardinality(), 3);
+        assert_eq!(d.bin_of(-5.0), Some(0)); // clamped below
+        assert_eq!(d.bin_of(0.0), Some(0));
+        assert_eq!(d.bin_of(9.99), Some(0));
+        assert_eq!(d.bin_of(10.0), Some(1));
+        assert_eq!(d.bin_of(39.9), Some(2));
+        assert_eq!(d.bin_of(40.0), Some(2)); // clamped above
+        assert_eq!(d.bin_of(1e9), Some(2));
+    }
+
+    #[test]
+    fn binned_labels_and_midpoints() {
+        let d = Domain::binned(vec![0.0, 2.0, 6.0]);
+        assert_eq!(d.label(0), "[0, 2)");
+        assert_eq!(d.bin_midpoint(0), Some(1.0));
+        assert_eq!(d.bin_midpoint(1), Some(4.0));
+        assert_eq!(d.bin_midpoint(7), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn binned_rejects_unsorted_edges() {
+        let _ = Domain::binned(vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn boolean_domain() {
+        let d = Domain::boolean();
+        assert_eq!(d.cardinality(), 2);
+        assert_eq!(d.code_of("true"), Some(1));
+    }
+
+    #[test]
+    fn invalid_label_is_marked() {
+        let d = Domain::categorical(["a"]);
+        assert!(d.label(5).contains("invalid"));
+    }
+}

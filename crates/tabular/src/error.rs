@@ -1,0 +1,72 @@
+//! Error type shared by all tabular operations.
+
+use std::fmt;
+
+/// Errors produced by the tabular engine.
+///
+/// Every fallible public operation returns [`crate::Result`]; panics are
+/// reserved for internal invariant violations (bugs), never for bad user
+/// input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TabularError {
+    /// An attribute id is out of range for the schema.
+    UnknownAttribute { attr: u32, n_attrs: usize },
+    /// No attribute with this name exists in the schema.
+    UnknownAttributeName(String),
+    /// A value code is outside the attribute's domain.
+    ValueOutOfDomain { attr: u32, value: u32, cardinality: usize },
+    /// A row had the wrong number of fields.
+    ArityMismatch { expected: usize, got: usize },
+    /// Two tables/schemas that must match do not.
+    SchemaMismatch(String),
+    /// The operation needs at least one row but the selection is empty.
+    EmptySelection(String),
+    /// Malformed CSV input.
+    Csv { line: usize, message: String },
+    /// A numeric argument was invalid (e.g. negative smoothing).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TabularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TabularError::UnknownAttribute { attr, n_attrs } => {
+                write!(f, "attribute id {attr} out of range (schema has {n_attrs} attributes)")
+            }
+            TabularError::UnknownAttributeName(name) => {
+                write!(f, "no attribute named {name:?} in schema")
+            }
+            TabularError::ValueOutOfDomain { attr, value, cardinality } => write!(
+                f,
+                "value code {value} out of domain for attribute {attr} (cardinality {cardinality})"
+            ),
+            TabularError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected} fields, got {got}")
+            }
+            TabularError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            TabularError::EmptySelection(msg) => write!(f, "empty selection: {msg}"),
+            TabularError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            TabularError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TabularError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TabularError::ValueOutOfDomain { attr: 3, value: 9, cardinality: 4 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('9') && s.contains('4'));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TabularError::EmptySelection("x".into()));
+    }
+}

@@ -1,0 +1,114 @@
+//! Sampling utilities: train/test splits and bootstrap resampling.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Split `n` row indices into `(train, test)` with `test_fraction` of rows
+/// in the test set, shuffled by `rng`.
+///
+/// # Panics
+/// Panics if `test_fraction` is outside `[0, 1]`.
+pub fn train_test_split<R: Rng>(
+    n: usize,
+    test_fraction: f64,
+    rng: &mut R,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "test_fraction must be in [0, 1], got {test_fraction}"
+    );
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let n_test = (n as f64 * test_fraction).round() as usize;
+    let test = idx.split_off(n.saturating_sub(n_test));
+    (idx, test)
+}
+
+/// `k` indices drawn uniformly with replacement from `0..n` (a bootstrap
+/// sample).
+pub fn bootstrap_indices<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(n > 0, "cannot bootstrap from an empty population");
+    (0..k).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// `k` distinct indices sampled without replacement from `0..n`
+/// (Fisher–Yates prefix).
+pub fn sample_without_replacement<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct items from {n}");
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_partitions_indices() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (train, test) = train_test_split(100, 0.3, &mut rng);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (train, test) = train_test_split(10, 0.0, &mut rng);
+        assert_eq!((train.len(), test.len()), (10, 0));
+        let (train, test) = train_test_split(10, 1.0, &mut rng);
+        assert_eq!((train.len(), test.len()), (0, 10));
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let a = train_test_split(50, 0.5, &mut StdRng::seed_from_u64(1));
+        let b = train_test_split(50, 0.5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bootstrap_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = bootstrap_indices(10, 1000, &mut rng);
+        assert_eq!(s.len(), 1000);
+        assert!(s.iter().all(|&i| i < 10));
+        // with 1000 draws from 10 items every item should appear
+        let mut seen = [false; 10];
+        for &i in &s {
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn without_replacement_distinct() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = sample_without_replacement(20, 20, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, (0..20).collect::<Vec<_>>());
+        let s2 = sample_without_replacement(100, 5, &mut rng);
+        assert_eq!(s2.len(), 5);
+        let mut d = s2.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn without_replacement_rejects_oversample() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = sample_without_replacement(3, 4, &mut rng);
+    }
+}

@@ -1,0 +1,162 @@
+//! Table schemas: named, typed attribute lists.
+
+use crate::domain::{AttrId, Domain};
+use crate::error::TabularError;
+use crate::Result;
+
+/// One attribute (variable) of a schema: a name plus its finite [`Domain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Human-readable attribute name, unique within a schema.
+    pub name: String,
+    /// The attribute's finite domain.
+    pub domain: Domain,
+}
+
+/// An ordered collection of [`Attribute`]s.
+///
+/// Attribute ids are stable positions: the i-th pushed attribute has
+/// `AttrId(i)`. Causal graphs in the `causal` crate index nodes with the
+/// same ids, so a schema doubles as the variable universe `V` of the paper.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an attribute, returning its id.
+    ///
+    /// # Panics
+    /// Panics if the name duplicates an existing attribute — schemas are
+    /// built by library code at startup, so a duplicate is a programming
+    /// error, not a data error.
+    pub fn push(&mut self, name: impl Into<String>, domain: Domain) -> AttrId {
+        let name = name.into();
+        assert!(
+            self.attr_by_name(&name).is_none(),
+            "duplicate attribute name {name:?}"
+        );
+        let id = AttrId(self.attrs.len() as u32);
+        self.attrs.push(Attribute { name, domain });
+        id
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// All attribute ids in order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> + Clone {
+        (0..self.attrs.len() as u32).map(AttrId)
+    }
+
+    /// Access an attribute by id, failing on out-of-range ids.
+    pub fn attr(&self, id: AttrId) -> Result<&Attribute> {
+        self.attrs
+            .get(id.index())
+            .ok_or(TabularError::UnknownAttribute { attr: id.0, n_attrs: self.attrs.len() })
+    }
+
+    /// The domain of attribute `id`.
+    pub fn domain(&self, id: AttrId) -> Result<&Domain> {
+        Ok(&self.attr(id)?.domain)
+    }
+
+    /// The name of attribute `id` (or `"<unknown>"` for bad ids — used in
+    /// display paths where failing would obscure the original error).
+    pub fn name(&self, id: AttrId) -> &str {
+        self.attrs.get(id.index()).map_or("<unknown>", |a| a.name.as_str())
+    }
+
+    /// Cardinality of attribute `id`'s domain.
+    pub fn cardinality(&self, id: AttrId) -> Result<usize> {
+        Ok(self.attr(id)?.domain.cardinality())
+    }
+
+    /// Look up an attribute by name.
+    pub fn attr_by_name(&self, name: &str) -> Option<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| AttrId(i as u32))
+    }
+
+    /// Like [`Schema::attr_by_name`] but returns an error naming the miss.
+    pub fn require(&self, name: &str) -> Result<AttrId> {
+        self.attr_by_name(name)
+            .ok_or_else(|| TabularError::UnknownAttributeName(name.to_string()))
+    }
+
+    /// Validate that `value` is within the domain of `attr`.
+    pub fn check_value(&self, attr: AttrId, value: u32) -> Result<()> {
+        let dom = self.domain(attr)?;
+        if dom.contains(value) {
+            Ok(())
+        } else {
+            Err(TabularError::ValueOutOfDomain {
+                attr: attr.0,
+                value,
+                cardinality: dom.cardinality(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Schema {
+        let mut s = Schema::new();
+        s.push("age", Domain::binned(vec![0.0, 30.0, 60.0, 100.0]));
+        s.push("sex", Domain::categorical(["F", "M"]));
+        s
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let s = demo();
+        assert_eq!(s.len(), 2);
+        let age = s.require("age").unwrap();
+        assert_eq!(age, AttrId(0));
+        assert_eq!(s.name(age), "age");
+        assert_eq!(s.cardinality(age).unwrap(), 3);
+        assert!(s.require("missing").is_err());
+    }
+
+    #[test]
+    fn check_value_bounds() {
+        let s = demo();
+        let sex = s.require("sex").unwrap();
+        assert!(s.check_value(sex, 1).is_ok());
+        assert!(matches!(
+            s.check_value(sex, 2),
+            Err(TabularError::ValueOutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_id_errors() {
+        let s = demo();
+        assert!(s.attr(AttrId(99)).is_err());
+        assert_eq!(s.name(AttrId(99)), "<unknown>");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_name_panics() {
+        let mut s = demo();
+        s.push("age", Domain::boolean());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the tabular engine's own invariants.
+
+use proptest::prelude::*;
+use tabular::{read_csv_str, write_csv_string, Domain, Schema, Table};
+
+/// Printable label strings including CSV-hostile characters.
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9 ,\"\n]{1,12}").expect("valid regex")
+}
+
+proptest! {
+    /// CSV round-trips preserve every cell's label, even with embedded
+    /// commas, quotes and newlines.
+    #[test]
+    fn csv_roundtrip_preserves_labels(
+        labels in proptest::collection::vec(arb_label(), 2..6),
+        rows in proptest::collection::vec(0usize..6, 1..30),
+    ) {
+        // dedup labels (domains require distinct labels for lookup)
+        let mut uniq: Vec<String> = Vec::new();
+        for l in labels {
+            if !uniq.contains(&l) {
+                uniq.push(l);
+            }
+        }
+        prop_assume!(uniq.len() >= 2);
+        let mut schema = Schema::new();
+        schema.push("col", Domain::Categorical { labels: uniq.clone() });
+        let mut t = Table::new(schema);
+        for r in rows {
+            t.push_row(&[(r % uniq.len()) as u32]).unwrap();
+        }
+        let csv = write_csv_string(&t);
+        let back = read_csv_str(&csv).unwrap();
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        for r in 0..t.n_rows() {
+            let orig = &uniq[t.get(r, tabular::AttrId(0)).unwrap() as usize];
+            let new_code = back.get(r, tabular::AttrId(0)).unwrap();
+            let new_label = back
+                .schema()
+                .domain(tabular::AttrId(0))
+                .unwrap()
+                .label(new_code);
+            prop_assert_eq!(orig, &new_label, "row {}", r);
+        }
+    }
+
+    /// Binned domains: bin_of is monotone and stays in range for any
+    /// query point, including far outside the edges.
+    #[test]
+    fn bin_of_is_monotone_total(
+        mut edges in proptest::collection::vec(-100.0f64..100.0, 2..8),
+        queries in proptest::collection::vec(-1000.0f64..1000.0, 1..50),
+    ) {
+        edges.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        edges.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        prop_assume!(edges.len() >= 2);
+        let dom = Domain::binned(edges.clone());
+        let card = dom.cardinality();
+        let mut sorted = queries.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0u32;
+        for (i, &q) in sorted.iter().enumerate() {
+            let bin = dom.bin_of(q).unwrap();
+            prop_assert!((bin as usize) < card);
+            if i > 0 {
+                prop_assert!(bin >= prev, "monotonicity violated at {}", q);
+            }
+            prev = bin;
+        }
+        // midpoints fall inside their own bin
+        for v in 0..card as u32 {
+            let mid = dom.bin_midpoint(v).unwrap();
+            prop_assert_eq!(dom.bin_of(mid).unwrap(), v);
+        }
+    }
+
+    /// Select never reorders or corrupts cells.
+    #[test]
+    fn select_is_a_faithful_projection(
+        data in proptest::collection::vec((0u32..4, 0u32..3), 1..40),
+        pick in proptest::collection::vec(0usize..40, 0..20),
+    ) {
+        let mut schema = Schema::new();
+        schema.push("a", Domain::categorical(["0", "1", "2", "3"]));
+        schema.push("b", Domain::categorical(["x", "y", "z"]));
+        let mut t = Table::new(schema);
+        for &(a, b) in &data {
+            t.push_row(&[a, b]).unwrap();
+        }
+        let picks: Vec<usize> = pick.into_iter().filter(|&i| i < t.n_rows()).collect();
+        let s = t.select(&picks).unwrap();
+        prop_assert_eq!(s.n_rows(), picks.len());
+        for (new_r, &old_r) in picks.iter().enumerate() {
+            prop_assert_eq!(s.row(new_r).unwrap(), t.row(old_r).unwrap());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Permutation feature importance ("Feat" in the paper, Breiman 2001).
+//!
+//! Importance of a feature = the increase in the model's prediction error
+//! after randomly permuting that feature's column, averaged over
+//! `n_repeats` permutations. A purely associational global measure — the
+//! paper shows it misses causally important attributes whose marginal
+//! distribution is skewed (the German `housing` case, Fig. 9a).
+
+use crate::Result;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tabular::{AttrId, Table, Value};
+
+/// Permutation importance of each attribute in `features` for a model
+/// evaluated through `score_fn` (higher = better, e.g. accuracy).
+///
+/// Returns `(attr, importance)` pairs in the order of `features`, where
+/// importance = baseline score − mean permuted score.
+pub fn permutation_importance<R: Rng>(
+    table: &Table,
+    features: &[AttrId],
+    score_fn: &dyn Fn(&Table) -> f64,
+    n_repeats: usize,
+    rng: &mut R,
+) -> Result<Vec<(AttrId, f64)>> {
+    if n_repeats == 0 {
+        return Err(crate::XaiError::Invalid("n_repeats must be > 0".into()));
+    }
+    let baseline = score_fn(table);
+    let mut out = Vec::with_capacity(features.len());
+    for &attr in features {
+        let original: Vec<Value> = table.column(attr)?.to_vec();
+        let mut working = table.clone();
+        let mut drop_total = 0.0;
+        for _ in 0..n_repeats {
+            let mut permuted = original.clone();
+            permuted.shuffle(rng);
+            working.replace_column(attr, permuted)?;
+            drop_total += baseline - score_fn(&working);
+        }
+        out.push((attr, drop_total / n_repeats as f64));
+    }
+    Ok(out)
+}
+
+/// Convenience: accuracy of a black box against a label column.
+pub fn accuracy_scorer<'a>(
+    model: &'a dyn lewis_predict::Predict,
+    label: AttrId,
+) -> impl Fn(&Table) -> f64 + 'a {
+    move |t: &Table| {
+        let labels = t.column(label).expect("label column exists");
+        let mut correct = 0usize;
+        for (r, &want) in labels.iter().enumerate() {
+            let row = t.row(r).expect("row in range");
+            if model.predict(&row) == want {
+                correct += 1;
+            }
+        }
+        correct as f64 / t.n_rows().max(1) as f64
+    }
+}
+
+/// Minimal predict-only abstraction mirroring `lewis_core::BlackBox`
+/// without the cross-crate dependency (xai must stay independent of
+/// lewis-core so comparisons cannot accidentally share code paths).
+pub mod lewis_predict {
+    use tabular::Value;
+
+    /// Predict an outcome code from a full row of codes.
+    pub trait Predict: Send + Sync {
+        /// The predicted outcome code.
+        fn predict(&self, row: &[Value]) -> Value;
+    }
+
+    impl<F> Predict for F
+    where
+        F: Fn(&[Value]) -> Value + Send + Sync,
+    {
+        fn predict(&self, row: &[Value]) -> Value {
+            self(row)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tabular::{Context, Domain, Schema};
+
+    /// y depends on x0 only; x1 is noise.
+    fn table() -> (Table, AttrId, AttrId, AttrId) {
+        let mut s = Schema::new();
+        let x0 = s.push("signal", Domain::boolean());
+        let x1 = s.push("noise", Domain::boolean());
+        let y = s.push("label", Domain::boolean());
+        let mut t = Table::new(s);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..600 {
+            let a: u32 = rng.gen_range(0..2);
+            let b: u32 = rng.gen_range(0..2);
+            t.push_row(&[a, b, a]).unwrap();
+        }
+        (t, x0, x1, y)
+    }
+
+    #[test]
+    fn signal_feature_outranks_noise() {
+        let (t, x0, x1, y) = table();
+        let model = |row: &[Value]| row[0];
+        let scorer = accuracy_scorer(&model, y);
+        let mut rng = StdRng::seed_from_u64(5);
+        let imps = permutation_importance(&t, &[x0, x1], &scorer, 5, &mut rng).unwrap();
+        assert_eq!(imps.len(), 2);
+        let (signal, noise) = (imps[0].1, imps[1].1);
+        assert!(signal > 0.3, "permuting the signal must hurt: {signal}");
+        assert!(noise.abs() < 0.05, "noise permutation is harmless: {noise}");
+    }
+
+    #[test]
+    fn importance_is_near_zero_for_constant_columns() {
+        let (mut t, x0, _, y) = table();
+        let n = t.n_rows();
+        let c = t
+            .add_column("const", Domain::boolean(), vec![1; n])
+            .unwrap();
+        let model = |row: &[Value]| row[0];
+        let scorer = accuracy_scorer(&model, y);
+        let mut rng = StdRng::seed_from_u64(6);
+        let imps = permutation_importance(&t, &[c, x0], &scorer, 3, &mut rng).unwrap();
+        assert_eq!(imps[0].1, 0.0, "permuting a constant changes nothing");
+        assert!(imps[1].1 > 0.3);
+        // table untouched by the procedure
+        assert_eq!(t.count(&Context::of([(c, 1)])), n);
+    }
+
+    #[test]
+    fn zero_repeats_rejected() {
+        let (t, x0, _, y) = table();
+        let model = |row: &[Value]| row[0];
+        let scorer = accuracy_scorer(&model, y);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(permutation_importance(&t, &[x0], &scorer, 0, &mut rng).is_err());
+    }
+}

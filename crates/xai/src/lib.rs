@@ -1,0 +1,77 @@
+//! # xai — baseline explainers LEWIS is compared against
+//!
+//! The paper's evaluation (§5.4) compares LEWIS with the de-facto
+//! standard XAI toolkit, re-implemented here from their original
+//! descriptions:
+//!
+//! * [`feat`] — permutation feature importance (Breiman 2001), the
+//!   paper's "Feat";
+//! * [`lime`] — Local Interpretable Model-agnostic Explanations (Ribeiro
+//!   et al. 2016): a kernel-weighted local ridge surrogate over
+//!   perturbed samples;
+//! * [`shap`] — KernelSHAP (Lundberg & Lee 2017): Shapley values via the
+//!   weighted-least-squares characterization, exact for few features and
+//!   coalition-sampled otherwise;
+//! * [`linear_ip`] — LinearIP recourse (Ustun et al. 2019): minimal
+//!   integer feature change crossing a linear classifier's boundary —
+//!   no causal model, the contrast to LEWIS's recourse.
+//!
+//! All baselines operate on the same dictionary-coded rows as LEWIS so
+//! rankings are directly comparable.
+
+pub mod feat;
+pub mod lime;
+pub mod linear_ip;
+pub mod shap;
+
+pub use feat::permutation_importance;
+pub use lime::{LimeExplainer, LimeOptions};
+pub use linear_ip::{LinearIpRecourse, LinearIpResult};
+pub use shap::{KernelShap, ShapOptions};
+
+/// Errors from baseline explainers.
+#[derive(Debug)]
+pub enum XaiError {
+    /// Underlying tabular error.
+    Tabular(tabular::TabularError),
+    /// Underlying model error.
+    Ml(ml::MlError),
+    /// Underlying optimizer error.
+    Optim(optim::IpError),
+    /// Bad request.
+    Invalid(String),
+}
+
+impl std::fmt::Display for XaiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XaiError::Tabular(e) => write!(f, "tabular: {e}"),
+            XaiError::Ml(e) => write!(f, "ml: {e}"),
+            XaiError::Optim(e) => write!(f, "optim: {e}"),
+            XaiError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XaiError {}
+
+impl From<tabular::TabularError> for XaiError {
+    fn from(e: tabular::TabularError) -> Self {
+        XaiError::Tabular(e)
+    }
+}
+
+impl From<ml::MlError> for XaiError {
+    fn from(e: ml::MlError) -> Self {
+        XaiError::Ml(e)
+    }
+}
+
+impl From<optim::IpError> for XaiError {
+    fn from(e: optim::IpError) -> Self {
+        XaiError::Optim(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, XaiError>;

@@ -1,0 +1,248 @@
+//! LinearIP recourse — actionable recourse in linear classification
+//! (Ustun, Spangher & Liu, FAT* 2019), the paper's recourse baseline
+//! (§5.4).
+//!
+//! Fits a logistic model on one-hot features and finds the minimal-cost
+//! integer change to the actionable features that pushes the linear score
+//! past `logit(threshold)`. Crucially there is **no causal model and no
+//! verification** — the contrast with LEWIS: LinearIP's guarantees bind
+//! only to its own linear surrogate, so it "does not return any solution
+//! for success threshold > 0.8" on the paper's German example while
+//! LEWIS still does.
+
+use crate::Result;
+use ml::linear::{logit, LogisticOptions, LogisticRegression};
+use optim::{Group, IpError, Item, MckpSolver};
+use tabular::{AttrId, Table, Value};
+
+/// One suggested feature change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearIpAction {
+    /// The changed attribute.
+    pub attr: AttrId,
+    /// Old value code.
+    pub from: Value,
+    /// New value code.
+    pub to: Value,
+    /// Cost charged for the change.
+    pub cost: f64,
+}
+
+/// Result of a LinearIP query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearIpResult {
+    /// The minimal-cost action set (empty when already above threshold).
+    pub actions: Vec<LinearIpAction>,
+    /// Total cost.
+    pub total_cost: f64,
+    /// The linear model's predicted probability after acting.
+    pub new_probability: f64,
+}
+
+/// A LinearIP recourse generator.
+pub struct LinearIpRecourse {
+    model: LogisticRegression,
+    actionable: Vec<AttrId>,
+    offsets: Vec<usize>,
+    cards: Vec<usize>,
+    n_attrs: usize,
+}
+
+impl LinearIpRecourse {
+    /// Fit the linear model on `table` with one-hot features over *all*
+    /// attributes except `label`, with only `actionable` changeable.
+    pub fn fit(table: &Table, label: AttrId, actionable: &[AttrId]) -> Result<Self> {
+        if actionable.is_empty() || actionable.contains(&label) {
+            return Err(crate::XaiError::Invalid("bad actionable set".into()));
+        }
+        let attrs: Vec<AttrId> = table.schema().attr_ids().filter(|&a| a != label).collect();
+        let mut offsets_all = Vec::with_capacity(attrs.len());
+        let mut width = 0usize;
+        for &a in &attrs {
+            offsets_all.push(width);
+            width += table.schema().cardinality(a)?;
+        }
+        let mut xs = Vec::with_capacity(table.n_rows());
+        for r in 0..table.n_rows() {
+            let mut feat = vec![0.0f64; width];
+            for (i, &a) in attrs.iter().enumerate() {
+                feat[offsets_all[i] + table.get(r, a)? as usize] = 1.0;
+            }
+            xs.push(feat);
+        }
+        let ys: Vec<u32> = table.column(label)?.iter().map(|&v| u32::from(v == 1)).collect();
+        let model = LogisticRegression::fit(
+            &xs,
+            &ys,
+            &LogisticOptions { epochs: 300, learning_rate: 0.5, l2: 1e-4 },
+        )?;
+        // record offsets/cards for the actionable subset, in order
+        let mut offsets = Vec::with_capacity(actionable.len());
+        let mut cards = Vec::with_capacity(actionable.len());
+        for &a in actionable {
+            let i = attrs
+                .iter()
+                .position(|&x| x == a)
+                .ok_or_else(|| crate::XaiError::Invalid(format!("{a} not a feature")))?;
+            offsets.push(offsets_all[i]);
+            cards.push(table.schema().cardinality(a)?);
+        }
+        Ok(LinearIpRecourse {
+            model,
+            actionable: actionable.to_vec(),
+            offsets,
+            cards,
+            n_attrs: table.schema().len(),
+        })
+    }
+
+    /// Compute recourse for `row` (full schema row; the label cell is
+    /// ignored): reach `Pr ≥ threshold` under the linear model, charging
+    /// `unit_cost` per changed attribute.
+    pub fn recourse(
+        &self,
+        table: &Table,
+        label: AttrId,
+        row: &[Value],
+        threshold: f64,
+    ) -> Result<LinearIpResult> {
+        if !(0.0..1.0).contains(&threshold) {
+            return Err(crate::XaiError::Invalid("threshold must be in [0,1)".into()));
+        }
+        if row.len() < self.n_attrs {
+            return Err(crate::XaiError::Invalid("row too short".into()));
+        }
+        // score via explicit one-hot encoding (mirrors fit layout)
+        let attrs: Vec<AttrId> = table.schema().attr_ids().filter(|&a| a != label).collect();
+        let mut offsets_all = Vec::with_capacity(attrs.len());
+        let mut width = 0usize;
+        for &a in &attrs {
+            offsets_all.push(width);
+            width += table.schema().cardinality(a)?;
+        }
+        let score = |r: &[Value]| -> f64 {
+            let mut z = self.model.intercept;
+            for (i, &a) in attrs.iter().enumerate() {
+                z += self.model.coefficients[offsets_all[i] + r[a.index()] as usize];
+            }
+            z
+        };
+        let current = score(row);
+        let needed = logit(threshold) - current;
+        if needed <= 0.0 {
+            return Ok(LinearIpResult {
+                actions: Vec::new(),
+                total_cost: 0.0,
+                new_probability: ml::linear::sigmoid(current),
+            });
+        }
+        let mut groups = Vec::with_capacity(self.actionable.len());
+        for (i, &a) in self.actionable.iter().enumerate() {
+            let cur = row[a.index()];
+            let beta_cur = self.model.coefficients[self.offsets[i] + cur as usize];
+            let mut items = Vec::new();
+            for v in 0..self.cards[i] as Value {
+                if v == cur {
+                    continue;
+                }
+                let gain = self.model.coefficients[self.offsets[i] + v as usize] - beta_cur;
+                items.push(Item { id: v as usize, cost: 1.0, gain });
+            }
+            groups.push(Group { id: a.0 as usize, items });
+        }
+        match MckpSolver::new(groups, needed)?.solve() {
+            Ok(sol) => {
+                let actions: Vec<LinearIpAction> = sol
+                    .chosen
+                    .iter()
+                    .map(|&(gid, vid)| LinearIpAction {
+                        attr: AttrId(gid as u32),
+                        from: row[gid],
+                        to: vid as Value,
+                        cost: 1.0,
+                    })
+                    .collect();
+                let mut new_row = row.to_vec();
+                for act in &actions {
+                    new_row[act.attr.index()] = act.to;
+                }
+                Ok(LinearIpResult {
+                    actions,
+                    total_cost: sol.total_cost,
+                    new_probability: ml::linear::sigmoid(score(&new_row)),
+                })
+            }
+            Err(IpError::Infeasible) => Err(crate::XaiError::Optim(IpError::Infeasible)),
+            Err(e) => Err(crate::XaiError::Optim(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tabular::{Domain, Schema};
+
+    /// approval = savings >= 1 OR duration == 1 (noisy-free), so a linear
+    /// model separates well.
+    fn setup() -> (Table, AttrId) {
+        let mut s = Schema::new();
+        s.push("savings", Domain::categorical(["none", "some", "lots"]));
+        s.push("duration", Domain::boolean());
+        let label = s.push("pred", Domain::boolean());
+        let mut t = Table::new(s);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..3000 {
+            let sav: u32 = rng.gen_range(0..3);
+            let dur: u32 = rng.gen_range(0..2);
+            let y = u32::from(sav >= 1 || dur == 1);
+            t.push_row(&[sav, dur, y]).unwrap();
+        }
+        (t, label)
+    }
+
+    #[test]
+    fn finds_minimal_flip() {
+        let (t, label) = setup();
+        let ip = LinearIpRecourse::fit(&t, label, &[AttrId(0), AttrId(1)]).unwrap();
+        // savings=none, duration=short: rejected; one change suffices
+        let row = [0u32, 0, 0];
+        let r = ip.recourse(&t, label, &row, 0.6).unwrap();
+        assert_eq!(r.actions.len(), 1, "{:?}", r.actions);
+        assert!(r.new_probability > 0.6);
+    }
+
+    #[test]
+    fn already_positive_needs_nothing() {
+        let (t, label) = setup();
+        let ip = LinearIpRecourse::fit(&t, label, &[AttrId(0), AttrId(1)]).unwrap();
+        let row = [2u32, 1, 1];
+        let r = ip.recourse(&t, label, &row, 0.6).unwrap();
+        assert!(r.actions.is_empty());
+        assert!(r.new_probability > 0.9);
+    }
+
+    #[test]
+    fn fails_for_extreme_thresholds() {
+        // the paper: "LinearIP did not return any solution for success
+        // threshold > 0.8" — with bounded coefficients the logit cannot
+        // reach logit(0.999...) and the IP is infeasible.
+        let (t, label) = setup();
+        let ip = LinearIpRecourse::fit(&t, label, &[AttrId(0)]).unwrap();
+        let row = [0u32, 0, 0];
+        let extreme = ip.recourse(&t, label, &row, 0.999_999);
+        assert!(extreme.is_err(), "unreachable threshold must be infeasible");
+    }
+
+    #[test]
+    fn validation() {
+        let (t, label) = setup();
+        assert!(LinearIpRecourse::fit(&t, label, &[]).is_err());
+        assert!(LinearIpRecourse::fit(&t, label, &[label]).is_err());
+        let ip = LinearIpRecourse::fit(&t, label, &[AttrId(0)]).unwrap();
+        assert!(ip.recourse(&t, label, &[0, 0, 0], 1.5).is_err());
+        assert!(ip.recourse(&t, label, &[0], 0.5).is_err());
+    }
+}

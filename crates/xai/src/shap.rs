@@ -1,0 +1,350 @@
+//! KernelSHAP — Shapley additive explanations via weighted least squares
+//! (Lundberg & Lee, NeurIPS 2017).
+//!
+//! The Shapley values `φ` of a model `f` at instance `x` are the unique
+//! solution of a weighted regression over coalitions `z ⊆ {1..M}`:
+//! masked prediction `v(z) = E_background[f(x with features ∉ z replaced)]`,
+//! kernel weight `π(z) = (M−1) / (C(M,|z|) · |z| · (M−|z|))`, subject to
+//! the efficiency constraint `Σφ = f(x) − E[f]`. Coalitions are
+//! enumerated exactly for `M ≤ exact_limit` and sampled otherwise.
+
+use crate::Result;
+use ml::linalg::Matrix;
+use rand::Rng;
+use tabular::{AttrId, Table, Value};
+
+/// Configuration for [`KernelShap`].
+#[derive(Debug, Clone)]
+pub struct ShapOptions {
+    /// Number of background rows (sampled from the table) used to
+    /// estimate masked predictions.
+    pub n_background: usize,
+    /// Coalition budget when sampling (M > `exact_limit`).
+    pub n_coalitions: usize,
+    /// Enumerate all `2^M − 2` coalitions exactly up to this many
+    /// features.
+    pub exact_limit: usize,
+}
+
+impl Default for ShapOptions {
+    fn default() -> Self {
+        ShapOptions { n_background: 50, n_coalitions: 1024, exact_limit: 11 }
+    }
+}
+
+/// A KernelSHAP explainer bound to a background table.
+pub struct KernelShap<'a> {
+    table: &'a Table,
+    features: Vec<AttrId>,
+    opts: ShapOptions,
+}
+
+impl<'a> KernelShap<'a> {
+    /// Build an explainer for `features` over background data `table`.
+    pub fn new(table: &'a Table, features: &[AttrId], opts: ShapOptions) -> Result<Self> {
+        if features.is_empty() {
+            return Err(crate::XaiError::Invalid("no features".into()));
+        }
+        if table.is_empty() {
+            return Err(crate::XaiError::Invalid("empty background table".into()));
+        }
+        if opts.n_background == 0 || opts.n_coalitions < 2 {
+            return Err(crate::XaiError::Invalid(
+                "n_background > 0 and n_coalitions >= 2 required".into(),
+            ));
+        }
+        Ok(KernelShap { table, features: features.to_vec(), opts })
+    }
+
+    /// Shapley values for `row` under the model output `score_fn`.
+    /// Returns `(attr, φ)` pairs in feature order; `Σφ ≈ f(x) − E[f]`.
+    pub fn explain<R: Rng>(
+        &self,
+        row: &[Value],
+        score_fn: &dyn Fn(&[Value]) -> f64,
+        rng: &mut R,
+    ) -> Result<Vec<(AttrId, f64)>> {
+        let m = self.features.len();
+        // background sample
+        let n_bg = self.opts.n_background.min(self.table.n_rows());
+        let bg_rows: Vec<Vec<Value>> = tabular::sample::sample_without_replacement(
+            self.table.n_rows(),
+            n_bg,
+            rng,
+        )
+        .into_iter()
+        .map(|r| self.table.row(r).expect("row in range"))
+        .collect();
+
+        let f_x = score_fn(row);
+        // E[f] over the background
+        let mut base = 0.0;
+        for bg in &bg_rows {
+            base += score_fn(bg);
+        }
+        base /= bg_rows.len() as f64;
+
+        // masked prediction for a coalition mask
+        let mut work = row.to_vec();
+        let mut v_of = |mask: &[bool]| -> f64 {
+            let mut acc = 0.0;
+            for bg in &bg_rows {
+                work.copy_from_slice(row);
+                for (j, &a) in self.features.iter().enumerate() {
+                    if !mask[j] {
+                        work[a.index()] = bg[a.index()];
+                    }
+                }
+                acc += score_fn(&work);
+            }
+            acc / bg_rows.len() as f64
+        };
+
+        // gather coalitions and kernel weights
+        let mut masks: Vec<Vec<bool>> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        if m <= self.opts.exact_limit {
+            for bits in 1..(1u64 << m) - 1 {
+                let mask: Vec<bool> = (0..m).map(|j| bits >> j & 1 == 1).collect();
+                let s = mask.iter().filter(|&&b| b).count();
+                masks.push(mask);
+                weights.push(kernel_weight(m, s));
+            }
+        } else {
+            // sample coalition sizes ∝ kernel mass, then members uniformly
+            let size_mass: Vec<f64> = (1..m)
+                .map(|s| kernel_weight(m, s) * binom(m, s))
+                .collect();
+            let total_mass: f64 = size_mass.iter().sum();
+            for _ in 0..self.opts.n_coalitions {
+                let mut r: f64 = rng.gen::<f64>() * total_mass;
+                let mut s = 1usize;
+                for (i, &mass) in size_mass.iter().enumerate() {
+                    if r < mass {
+                        s = i + 1;
+                        break;
+                    }
+                    r -= mass;
+                    s = i + 1;
+                }
+                let chosen =
+                    tabular::sample::sample_without_replacement(m, s, rng);
+                let mut mask = vec![false; m];
+                for c in chosen {
+                    mask[c] = true;
+                }
+                masks.push(mask);
+                // importance-sampling: sampled ∝ π(z)·C(m,s), so the WLS
+                // weight reduces to uniform
+                weights.push(1.0);
+            }
+        }
+
+        // Weighted least squares with the efficiency constraint folded in:
+        // substitute φ_m = (f(x) − base) − Σ_{j<m} φ_j.
+        let span = f_x - base;
+        if m == 1 {
+            // single feature: φ_0 = span exactly
+            return Ok(vec![(self.features[0], span)]);
+        }
+        let n = masks.len();
+        let mut d = Matrix::zeros(n, m - 1);
+        let mut ys = Vec::with_capacity(n);
+        for (i, mask) in masks.iter().enumerate() {
+            let z_m = if mask[m - 1] { 1.0 } else { 0.0 };
+            for j in 0..m - 1 {
+                let z_j = if mask[j] { 1.0 } else { 0.0 };
+                d[(i, j)] = z_j - z_m;
+            }
+            ys.push(v_of(mask) - base - z_m * span);
+        }
+        // solve (DᵀWD) φ = DᵀW y with a tiny ridge for stability
+        let mut gram = d.weighted_gram(&weights);
+        for j in 0..gram.n_rows() {
+            gram[(j, j)] += 1e-9;
+        }
+        let rhs = d.weighted_t_matvec(&weights, &ys);
+        let phi_head = gram.solve(&rhs).map_err(crate::XaiError::Ml)?;
+        let mut phis = phi_head;
+        let phi_last = span - phis.iter().sum::<f64>();
+        phis.push(phi_last);
+        Ok(self.features.iter().copied().zip(phis).collect())
+    }
+
+    /// Global SHAP importance: mean |φ| over (up to) `n_rows` instances
+    /// sampled from the table.
+    pub fn global_importance<R: Rng>(
+        &self,
+        score_fn: &dyn Fn(&[Value]) -> f64,
+        n_rows: usize,
+        rng: &mut R,
+    ) -> Result<Vec<(AttrId, f64)>> {
+        let n = n_rows.min(self.table.n_rows());
+        let rows = tabular::sample::sample_without_replacement(self.table.n_rows(), n, rng);
+        let mut acc = vec![0.0f64; self.features.len()];
+        for r in rows {
+            let row = self.table.row(r)?;
+            let phis = self.explain(&row, score_fn, rng)?;
+            for (a, (_, phi)) in acc.iter_mut().zip(&phis) {
+                *a += phi.abs();
+            }
+        }
+        for a in acc.iter_mut() {
+            *a /= n as f64;
+        }
+        Ok(self.features.iter().copied().zip(acc).collect())
+    }
+}
+
+/// The Shapley kernel `π(z)` for coalition size `s` of `m` features.
+fn kernel_weight(m: usize, s: usize) -> f64 {
+    debug_assert!(s >= 1 && s < m);
+    (m - 1) as f64 / (binom(m, s) * (s * (m - s)) as f64)
+}
+
+fn binom(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tabular::{Domain, Schema};
+
+    /// additive model: score = a + 2b over binary a, b with uniform data.
+    fn setup() -> Table {
+        let mut s = Schema::new();
+        s.push("a", Domain::boolean());
+        s.push("b", Domain::boolean());
+        s.push("c", Domain::boolean());
+        let mut t = Table::new(s);
+        for a in 0..2 {
+            for b in 0..2 {
+                for c in 0..2 {
+                    for _ in 0..5 {
+                        t.push_row(&[a, b, c]).unwrap();
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn additive_model_recovers_exact_shapley() {
+        // For an additive model, φ_j = f_j(x_j) − E[f_j]: with uniform
+        // binary marginals, φ_a(x=1) = 0.5, φ_b(x=1) = 1.0, φ_c = 0.
+        let t = setup();
+        let score = |row: &[Value]| f64::from(row[0]) + 2.0 * f64::from(row[1]);
+        let shap = KernelShap::new(
+            &t,
+            &[AttrId(0), AttrId(1), AttrId(2)],
+            ShapOptions { n_background: 40, ..ShapOptions::default() },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let phis = shap.explain(&[1, 1, 0], &score, &mut rng).unwrap();
+        assert!((phis[0].1 - 0.5).abs() < 0.05, "φ_a = {}", phis[0].1);
+        assert!((phis[1].1 - 1.0).abs() < 0.05, "φ_b = {}", phis[1].1);
+        assert!(phis[2].1.abs() < 0.05, "φ_c = {}", phis[2].1);
+    }
+
+    #[test]
+    fn efficiency_constraint_holds() {
+        let t = setup();
+        let score =
+            |row: &[Value]| f64::from(row[0] & row[1]) + 0.3 * f64::from(row[2]);
+        let shap =
+            KernelShap::new(&t, &[AttrId(0), AttrId(1), AttrId(2)], ShapOptions::default())
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let row = [1, 0, 1];
+        let phis = shap.explain(&row, &score, &mut rng).unwrap();
+        let sum: f64 = phis.iter().map(|&(_, p)| p).sum();
+        // f(x) − E[f]: f = 0.3; E[f] = 0.25 + 0.15 = 0.4
+        assert!((sum - (0.3 - 0.4)).abs() < 0.05, "Σφ = {sum}");
+    }
+
+    #[test]
+    fn interaction_model_splits_credit() {
+        // f = a AND b: at (1,1), symmetry forces φ_a = φ_b.
+        let t = setup();
+        let score = |row: &[Value]| f64::from(row[0] & row[1]);
+        let shap =
+            KernelShap::new(&t, &[AttrId(0), AttrId(1)], ShapOptions::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let phis = shap.explain(&[1, 1, 0], &score, &mut rng).unwrap();
+        assert!(
+            (phis[0].1 - phis[1].1).abs() < 0.05,
+            "symmetric credit: {} vs {}",
+            phis[0].1,
+            phis[1].1
+        );
+        assert!(phis[0].1 > 0.2);
+    }
+
+    #[test]
+    fn single_feature_gets_full_span() {
+        let t = setup();
+        let score = |row: &[Value]| f64::from(row[0]) * 3.0;
+        let shap = KernelShap::new(&t, &[AttrId(0)], ShapOptions::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let phis = shap.explain(&[1, 0, 0], &score, &mut rng).unwrap();
+        // f(x) = 3, E[f] = 1.5
+        assert!((phis[0].1 - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn sampled_mode_approximates_exact() {
+        let t = setup();
+        let score = |row: &[Value]| f64::from(row[0]) + 2.0 * f64::from(row[1]);
+        let features = [AttrId(0), AttrId(1), AttrId(2)];
+        let exact = KernelShap::new(&t, &features, ShapOptions::default()).unwrap();
+        let sampled = KernelShap::new(
+            &t,
+            &features,
+            ShapOptions { exact_limit: 1, n_coalitions: 4000, ..ShapOptions::default() },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let pe = exact.explain(&[1, 1, 1], &score, &mut rng).unwrap();
+        let ps = sampled.explain(&[1, 1, 1], &score, &mut rng).unwrap();
+        for (e, s) in pe.iter().zip(&ps) {
+            assert!((e.1 - s.1).abs() < 0.15, "{} vs {}", e.1, s.1);
+        }
+    }
+
+    #[test]
+    fn global_importance_ranks_features() {
+        let t = setup();
+        let score = |row: &[Value]| 2.0 * f64::from(row[1]) + 0.1 * f64::from(row[0]);
+        let shap =
+            KernelShap::new(&t, &[AttrId(0), AttrId(1), AttrId(2)], ShapOptions::default())
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let imps = shap.global_importance(&score, 10, &mut rng).unwrap();
+        assert!(imps[1].1 > imps[0].1, "b dominates a");
+        assert!(imps[0].1 > imps[2].1, "a dominates the irrelevant c");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let t = setup();
+        assert!(KernelShap::new(&t, &[], ShapOptions::default()).is_err());
+        let empty = Table::new(t.schema().clone());
+        assert!(KernelShap::new(&empty, &[AttrId(0)], ShapOptions::default()).is_err());
+        assert!(KernelShap::new(
+            &t,
+            &[AttrId(0)],
+            ShapOptions { n_background: 0, ..ShapOptions::default() }
+        )
+        .is_err());
+    }
+}

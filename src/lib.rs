@@ -1,0 +1,21 @@
+//! # lewis — facade crate for the LEWIS reproduction
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`core`] — explanation scores, global/local/contextual explanations,
+//!   counterfactual recourse (the paper's contribution);
+//! * [`causal`] — causal diagrams, d-separation, SCMs, counterfactuals;
+//! * [`tabular`] — the columnar data engine;
+//! * [`ml`] — black-box model families (forests, GBDT, neural nets);
+//! * [`xai`] — baselines (LIME, SHAP, permutation importance, LinearIP);
+//! * [`datasets`] — SCM-based synthetic benchmark datasets;
+//! * [`optim`] — the branch-and-bound integer-program solver.
+
+pub use causal;
+pub use datasets;
+pub use lewis_core as core;
+pub use ml;
+pub use optim;
+pub use tabular;
+pub use xai;

@@ -1,0 +1,176 @@
+//! The XAI baselines run against real pipelines and behave as their
+//! papers specify — and diverge from LEWIS exactly where the paper says
+//! they should.
+
+use lewis::core::blackbox::{label_table, BlackBox};
+use lewis::core::{ClassifierBox, Lewis};
+use lewis::datasets::{GermanDataset, GermanSynDataset};
+use lewis::ml::encode::{Encoding, TableEncoder};
+use lewis::ml::forest::ForestParams;
+use lewis::ml::{Classifier, RandomForestClassifier};
+use lewis::tabular::{AttrId, Context, Table, Value};
+use rand::SeedableRng;
+use xai::feat::accuracy_scorer;
+use xai::{KernelShap, LimeExplainer, LimeOptions, LinearIpRecourse, ShapOptions};
+
+struct Pipe {
+    table: Table,
+    pred: AttrId,
+    features: Vec<AttrId>,
+    forest: RandomForestClassifier,
+    encoder: TableEncoder,
+}
+
+fn german_syn_pipe(n: usize, seed: u64) -> (Pipe, lewis::causal::Scm) {
+    let gen = GermanSynDataset::standard();
+    let dataset = gen.generate(n, seed);
+    let scm = dataset.scm;
+    let features = dataset.features.clone();
+    let mut table = dataset.table;
+    let labels: Vec<u32> = table
+        .column(GermanSynDataset::SCORE)
+        .unwrap()
+        .iter()
+        .map(|&b| u32::from(b >= 5))
+        .collect();
+    let encoder = TableEncoder::new(table.schema(), &features, Encoding::Ordinal).unwrap();
+    let xs = encoder.encode_table(&table);
+    let forest = RandomForestClassifier::fit(
+        &xs,
+        &labels,
+        2,
+        &ForestParams { n_trees: 25, ..ForestParams::default() },
+        seed,
+    )
+    .unwrap();
+    let bb = ClassifierBox::new(forest.clone(), encoder.clone());
+    let pred = label_table(&mut table, &bb, "pred").unwrap();
+    (Pipe { table, pred, features, forest, encoder }, scm)
+}
+
+fn proba(p: &Pipe, row: &[Value]) -> f64 {
+    p.forest.proba_of(&p.encoder.encode_row(row), 1)
+}
+
+#[test]
+fn shap_misses_indirect_influence_lewis_captures() {
+    // The Fig 11a divergence: age/sex have only indirect influence on
+    // the model (through status/saving); SHAP's masked-prediction game
+    // attributes them ~nothing, LEWIS attributes them their causal share.
+    let (p, scm) = german_syn_pipe(6_000, 41);
+    let lewis = Lewis::new(&p.table, Some(scm.graph()), p.pred, 1, &p.features, 0.25)
+        .unwrap();
+    let age_lewis = lewis
+        .attribute_scores(GermanSynDataset::AGE, &Context::empty())
+        .unwrap()
+        .scores
+        .nesuf;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+    let shap = KernelShap::new(
+        &p.table,
+        &p.features,
+        ShapOptions { n_background: 30, ..ShapOptions::default() },
+    )
+    .unwrap();
+    let imp = shap
+        .global_importance(&|r| proba(&p, r), 10, &mut rng)
+        .unwrap();
+    let age_shap = imp
+        .iter()
+        .find(|&&(a, _)| a == GermanSynDataset::AGE)
+        .unwrap()
+        .1;
+    let status_shap = imp
+        .iter()
+        .find(|&&(a, _)| a == GermanSynDataset::STATUS)
+        .unwrap()
+        .1;
+    assert!(
+        age_shap < status_shap * 0.35,
+        "SHAP should treat age as near-irrelevant: age {age_shap} vs status {status_shap}"
+    );
+    assert!(
+        age_lewis > 0.15,
+        "LEWIS should find the indirect influence: {age_lewis}"
+    );
+}
+
+#[test]
+fn lime_agrees_with_lewis_on_direct_causes() {
+    let (p, scm) = german_syn_pipe(4_000, 42);
+    let lewis = Lewis::new(&p.table, Some(scm.graph()), p.pred, 1, &p.features, 0.25)
+        .unwrap();
+    let lime = LimeExplainer::new(&p.table, &p.features, LimeOptions::default()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    // an approved individual holding the best status
+    let idx = (0..p.table.n_rows())
+        .find(|&i| {
+            p.table.get(i, GermanSynDataset::STATUS).unwrap() == 3
+                && p.table.get(i, p.pred).unwrap() == 1
+        })
+        .expect("approved individual with top status");
+    let row = p.table.row(idx).unwrap();
+    let weights = lime.explain(&row, &|r| proba(&p, r), &mut rng).unwrap();
+    let status_w = weights
+        .iter()
+        .find(|&&(a, _)| a == GermanSynDataset::STATUS)
+        .unwrap()
+        .1;
+    assert!(status_w > 0.05, "LIME weight on top status: {status_w}");
+    // LEWIS agrees the current value contributes positively
+    let local = lewis.local(&row).unwrap();
+    let status_c = local
+        .contributions
+        .iter()
+        .find(|c| c.attr == GermanSynDataset::STATUS)
+        .unwrap();
+    assert!(status_c.positive > 0.2);
+}
+
+#[test]
+fn permutation_importance_runs_on_model_predictions() {
+    let (p, _) = german_syn_pipe(3_000, 43);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+    let forest = p.forest.clone();
+    let encoder = p.encoder.clone();
+    let model = move |row: &[Value]| {
+        ClassifierBox::new(forest.clone(), encoder.clone()).predict(row)
+    };
+    let scorer = accuracy_scorer(&model, p.pred);
+    let imps =
+        xai::permutation_importance(&p.table, &p.features, &scorer, 2, &mut rng).unwrap();
+    let of = |attr: AttrId| imps.iter().find(|&&(a, _)| a == attr).unwrap().1;
+    assert!(
+        of(GermanSynDataset::STATUS) > of(GermanSynDataset::SEX),
+        "status must matter more than sex to the model itself"
+    );
+}
+
+#[test]
+fn linear_ip_gives_up_where_lewis_persists() {
+    // §5.4: LinearIP's feasible region is capped by its linear logit
+    // range; extreme thresholds are infeasible for it.
+    let dataset = GermanDataset::generate(2_000, 44);
+    let features = dataset.features.clone();
+    let actionable = dataset.actionable.clone();
+    let mut table = dataset.table;
+    let labels: Vec<u32> = table.column(GermanDataset::OUTCOME).unwrap().to_vec();
+    let encoder = TableEncoder::new(table.schema(), &features, Encoding::Ordinal).unwrap();
+    let xs = encoder.encode_table(&table);
+    let forest =
+        RandomForestClassifier::fit(&xs, &labels, 2, &ForestParams::default(), 44).unwrap();
+    let bb = ClassifierBox::new(forest, encoder);
+    let pred = label_table(&mut table, &bb, "pred").unwrap();
+
+    let linear = LinearIpRecourse::fit(&table, pred, &actionable).unwrap();
+    let neg = table
+        .column(pred)
+        .unwrap()
+        .iter()
+        .position(|&v| v == 0)
+        .unwrap();
+    let row = table.row(neg).unwrap();
+    let extreme = linear.recourse(&table, pred, &row, 0.9999999);
+    assert!(extreme.is_err(), "near-1 threshold must be infeasible for LinearIP");
+}

@@ -1,0 +1,171 @@
+//! End-to-end pipelines: dataset → black box → labelled table → LEWIS
+//! explanations, across model families and datasets.
+
+use lewis::core::blackbox::label_table;
+use lewis::core::multiclass::binarize_outcome;
+use lewis::core::{ClassifierBox, Lewis};
+use lewis::ml::encode::{Encoding, TableEncoder};
+use lewis::ml::forest::ForestParams;
+use lewis::ml::gbdt::GbdtParams;
+use lewis::ml::nn::NnParams;
+use lewis::ml::{GradientBoostedTrees, NeuralNetwork, RandomForestClassifier};
+use lewis::tabular::{AttrId, Context, Table};
+
+/// Train a random forest on a dataset bundle and label its table.
+fn rf_pipeline(dataset: lewis::datasets::Dataset, seed: u64) -> (Table, AttrId, Vec<AttrId>) {
+    let mut table = dataset.table;
+    let labels: Vec<u32> = table.column(dataset.outcome).unwrap().to_vec();
+    let n_classes = table.schema().cardinality(dataset.outcome).unwrap();
+    let encoder =
+        TableEncoder::new(table.schema(), &dataset.features, Encoding::Ordinal).unwrap();
+    let xs = encoder.encode_table(&table);
+    let forest = RandomForestClassifier::fit(
+        &xs,
+        &labels,
+        n_classes,
+        &ForestParams { n_trees: 25, ..ForestParams::default() },
+        seed,
+    )
+    .unwrap();
+    let bb = ClassifierBox::new(forest, encoder);
+    let pred = label_table(&mut table, &bb, "pred").unwrap();
+    (table, pred, dataset.features)
+}
+
+#[test]
+fn german_pipeline_produces_full_global_explanation() {
+    let dataset = lewis::datasets::GermanDataset::generate(2500, 1);
+    let scm = lewis::datasets::GermanDataset::scm();
+    let (table, pred, features) = rf_pipeline(dataset, 1);
+    let lewis = Lewis::new(&table, Some(scm.graph()), pred, 1, &features, 1.0).unwrap();
+    let g = lewis.global().unwrap();
+    assert_eq!(g.attributes.len(), 20, "all 20 German attributes scored");
+    for a in &g.attributes {
+        assert!((0.0..=1.0).contains(&a.scores.necessity), "{}", a.name);
+        assert!((0.0..=1.0).contains(&a.scores.sufficiency), "{}", a.name);
+        assert!((0.0..=1.0).contains(&a.scores.nesuf), "{}", a.name);
+    }
+    // sorted descending by NESUF
+    for w in g.attributes.windows(2) {
+        assert!(w[0].scores.nesuf >= w[1].scores.nesuf);
+    }
+}
+
+#[test]
+fn adult_fnlwgt_noise_feature_scores_near_zero() {
+    // Proposition 4.4 in the wild: fnlwgt has no causal path to the
+    // model's decision, so all its scores must vanish.
+    let dataset = lewis::datasets::AdultDataset::generate(6000, 2);
+    let scm = lewis::datasets::AdultDataset::scm();
+    let (table, pred, features) = rf_pipeline(dataset, 2);
+    let lewis = Lewis::new(&table, Some(scm.graph()), pred, 1, &features, 1.0).unwrap();
+    let fnlwgt = lewis
+        .attribute_scores(lewis::datasets::AdultDataset::FNLWGT, &Context::empty())
+        .unwrap();
+    assert!(fnlwgt.scores.nesuf < 0.05, "NESUF {}", fnlwgt.scores.nesuf);
+    // and a causal attribute dominates it
+    let marital = lewis
+        .attribute_scores(lewis::datasets::AdultDataset::MARITAL, &Context::empty())
+        .unwrap();
+    assert!(marital.scores.nesuf > fnlwgt.scores.nesuf + 0.1);
+}
+
+#[test]
+fn drug_multiclass_pipeline_via_binarize() {
+    let dataset = lewis::datasets::DrugDataset::generate(1500, 3);
+    let scm = lewis::datasets::DrugDataset::scm();
+    let outcome = dataset.outcome;
+    let features = dataset.features.clone();
+    let mut table = dataset.table;
+    // derive "ever used" from the 3-class outcome, then explain a model
+    // that predicts it
+    let ever = binarize_outcome(&mut table, outcome, 1, "ever_used").unwrap();
+    let labels: Vec<u32> = table.column(ever).unwrap().to_vec();
+    let encoder = TableEncoder::new(table.schema(), &features, Encoding::Ordinal).unwrap();
+    let xs = encoder.encode_table(&table);
+    let gbdt = GradientBoostedTrees::fit(
+        &xs,
+        &labels,
+        &GbdtParams { n_rounds: 25, ..GbdtParams::default() },
+        3,
+    )
+    .unwrap();
+    let bb = ClassifierBox::new(gbdt, encoder);
+    let pred = label_table(&mut table, &bb, "pred").unwrap();
+    let lewis = Lewis::new(&table, Some(scm.graph()), pred, 1, &features, 1.0).unwrap();
+    let g = lewis.global().unwrap();
+    // country should be influential (Fig 3d)
+    let country_rank = g
+        .attributes
+        .iter()
+        .position(|a| a.attr == lewis::datasets::DrugDataset::COUNTRY)
+        .unwrap();
+    assert!(country_rank < 4, "country rank {country_rank}");
+}
+
+#[test]
+fn neural_network_black_box_is_explainable() {
+    let dataset = lewis::datasets::GermanSynDataset::standard().generate(3000, 4);
+    let scm = dataset.scm;
+    let features = dataset.features.clone();
+    let mut table = dataset.table;
+    let labels: Vec<u32> = table
+        .column(lewis::datasets::GermanSynDataset::SCORE)
+        .unwrap()
+        .iter()
+        .map(|&b| u32::from(b >= 5))
+        .collect();
+    let encoder = TableEncoder::new(table.schema(), &features, Encoding::OneHot).unwrap();
+    let xs = encoder.encode_table(&table);
+    let nn = NeuralNetwork::fit(
+        &xs,
+        &labels,
+        2,
+        &NnParams { hidden: vec![16], epochs: 10, ..NnParams::default() },
+        4,
+    )
+    .unwrap();
+    let bb = ClassifierBox::new(nn, encoder);
+    let pred = label_table(&mut table, &bb, "pred").unwrap();
+    let lewis = Lewis::new(&table, Some(scm.graph()), pred, 1, &features, 1.0).unwrap();
+    let g = lewis.global().unwrap();
+    // status must dominate sex for any sane model of this SCM
+    let score = |attr: AttrId| {
+        g.attributes
+            .iter()
+            .find(|a| a.attr == attr)
+            .map(|a| a.scores.nesuf)
+            .unwrap()
+    };
+    assert!(
+        score(lewis::datasets::GermanSynDataset::STATUS)
+            > score(lewis::datasets::GermanSynDataset::SEX)
+    );
+}
+
+#[test]
+fn local_explanations_are_consistent_with_outcome_direction() {
+    let dataset = lewis::datasets::GermanDataset::generate(2500, 5);
+    let scm = lewis::datasets::GermanDataset::scm();
+    let (table, pred, features) = rf_pipeline(dataset, 5);
+    let lewis = Lewis::new(&table, Some(scm.graph()), pred, 1, &features, 1.0).unwrap();
+    let preds = table.column(pred).unwrap().to_vec();
+    let mut checked = 0;
+    for (idx, &pred_value) in preds.iter().enumerate() {
+        if checked >= 4 {
+            break;
+        }
+        if pred_value != 0 {
+            continue;
+        }
+        checked += 1;
+        let row = table.row(idx).unwrap();
+        let local = lewis.local(&row).unwrap();
+        assert_eq!(local.outcome, 0);
+        for c in &local.contributions {
+            assert!((0.0..=1.0).contains(&c.positive));
+            assert!((0.0..=1.0).contains(&c.negative));
+        }
+    }
+    assert!(checked > 0, "no rejected individuals found");
+}
