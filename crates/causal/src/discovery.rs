@@ -93,10 +93,10 @@ pub fn pc_algorithm(table: &Table, n_vars: usize, opts: &PcOptions) -> Result<Cp
     let n = n_vars.min(table.schema().len());
     // adjacency matrix of the working skeleton
     let mut adj = vec![vec![false; n]; n];
-    for x in 0..n {
-        for y in 0..n {
+    for (x, row) in adj.iter_mut().enumerate() {
+        for (y, cell) in row.iter_mut().enumerate() {
             if x != y {
-                adj[x][y] = true;
+                *cell = true;
             }
         }
     }

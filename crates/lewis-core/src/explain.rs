@@ -11,9 +11,10 @@
 //!   support-driven back-off.
 
 use crate::ordering::{infer_value_order, ordered_pairs};
-use crate::scores::{ScoreEstimator, Scores};
+use crate::scores::{Contrast, ScoreEstimator, Scores};
 use crate::{LewisError, Result};
 use causal::Dag;
+use rayon::prelude::*;
 use tabular::{AttrId, Context, Table, Value};
 
 /// Scores for one attribute, maximized over value contrasts.
@@ -145,14 +146,23 @@ impl<'a> Lewis<'a> {
     /// Maximum scores over all ordered value pairs of `attr` within `k`.
     /// Pairs without data support are skipped; if no pair has support the
     /// scores are zero.
+    ///
+    /// All pairs of one attribute intervene on the same attribute set,
+    /// so they are scored as one [`ScoreEstimator::scores_batch`] call
+    /// sharing a single counting pass over the table.
     pub fn attribute_scores(&self, attr: AttrId, k: &Context) -> Result<AttributeScores> {
         let order = self
             .value_order(attr)
             .ok_or_else(|| LewisError::Invalid(format!("{attr} is not an explained feature")))?;
+        let pairs = ordered_pairs(order);
+        let contrasts: Vec<Contrast> = pairs
+            .iter()
+            .map(|&(hi, lo)| Contrast::single(attr, hi, lo))
+            .collect();
         let mut best = Scores::default();
         let mut best_pair = (0, 0);
-        for (hi, lo) in ordered_pairs(order) {
-            match self.est.scores(attr, hi, lo, k) {
+        for (&(hi, lo), result) in pairs.iter().zip(self.est.scores_batch(&contrasts, k)) {
+            match result {
                 Ok(s) => {
                     if s.nesuf > best.nesuf {
                         best.nesuf = s.nesuf;
@@ -180,13 +190,24 @@ impl<'a> Lewis<'a> {
 
     /// Global-shaped explanation within a context (used for Figure 4 and
     /// the sub-population audits).
+    ///
+    /// Per-attribute scoring fans out across threads; results are
+    /// gathered in feature order and sorted with a total tie-break, so
+    /// the explanation is identical for every thread count.
     pub fn contextual_global(&self, k: &Context) -> Result<GlobalExplanation> {
-        let mut attributes = Vec::with_capacity(self.features.len());
-        for &a in &self.features {
-            if k.constrains(a) {
-                continue;
-            }
-            attributes.push(self.attribute_scores(a, k)?);
+        let free: Vec<AttrId> = self
+            .features
+            .iter()
+            .copied()
+            .filter(|a| !k.constrains(*a))
+            .collect();
+        let scored: Vec<Result<AttributeScores>> = free
+            .par_iter()
+            .map(|&a| self.attribute_scores(a, k))
+            .collect();
+        let mut attributes = Vec::with_capacity(scored.len());
+        for result in scored {
+            attributes.push(result?);
         }
         attributes.sort_by(|x, y| {
             y.scores
@@ -224,64 +245,17 @@ impl<'a> Lewis<'a> {
         }
         let outcome = row[pred.index()];
         let favourable = outcome == self.est.positive();
-        let mut contributions = Vec::with_capacity(self.features.len());
-        for &a in &self.features {
-            let order = self.value_order(a).expect("feature orders precomputed");
-            let current = row[a.index()];
-            let pos_rank = order
-                .iter()
-                .position(|&v| v == current)
-                .expect("current value in domain");
-            let k = self.est.local_context(row, a, self.min_support);
-            let mut positive = 0.0f64;
-            let mut negative = 0.0f64;
-            // values worse / better than current, per the inferred order
-            for (rank, &v) in order.iter().enumerate() {
-                if rank == pos_rank {
-                    continue;
-                }
-                let result = if favourable {
-                    // positive outcome: NEC quantifies both directions
-                    if rank < pos_rank {
-                        self.est.necessity(a, current, v, &k).map(|s| (true, s))
-                    } else {
-                        self.est.necessity(a, v, current, &k).map(|s| (false, s))
-                    }
-                } else {
-                    // negative outcome: SUF quantifies both directions
-                    if rank < pos_rank {
-                        self.est.sufficiency(a, current, v, &k).map(|s| (true, s))
-                    } else {
-                        self.est.sufficiency(a, v, current, &k).map(|s| (false, s))
-                    }
-                };
-                match result {
-                    Ok((is_positive, s)) => {
-                        if is_positive {
-                            positive = positive.max(s);
-                        } else {
-                            negative = negative.max(s);
-                        }
-                    }
-                    Err(LewisError::Invalid(_)) => continue,
-                    Err(e) => return Err(e),
-                }
-            }
-            let label = self
-                .est
-                .table()
-                .schema()
-                .attr(a)
-                .map(|at| at.domain.label(current))
-                .unwrap_or_default();
-            contributions.push(LocalContribution {
-                attr: a,
-                name: self.est.table().schema().name(a).to_string(),
-                value: current,
-                label,
-                positive,
-                negative,
-            });
+        // Per-attribute contributions are independent: fan out across
+        // threads, and within one attribute score every value contrast
+        // off a single shared counting pass.
+        let scored: Vec<Result<LocalContribution>> = self
+            .features
+            .par_iter()
+            .map(|&a| self.local_contribution(a, row, favourable))
+            .collect();
+        let mut contributions = Vec::with_capacity(scored.len());
+        for result in scored {
+            contributions.push(result?);
         }
         contributions.sort_by(|x, y| {
             let mx = x.positive.max(x.negative);
@@ -289,6 +263,72 @@ impl<'a> Lewis<'a> {
             my.partial_cmp(&mx).expect("finite").then_with(|| x.attr.cmp(&y.attr))
         });
         Ok(LocalExplanation { outcome, contributions })
+    }
+
+    /// One attribute's local contribution (the §3.2 rules; see
+    /// [`Lewis::local`] for the positive/negative semantics).
+    fn local_contribution(
+        &self,
+        a: AttrId,
+        row: &[Value],
+        favourable: bool,
+    ) -> Result<LocalContribution> {
+        let order = self.value_order(a).expect("feature orders precomputed");
+        let current = row[a.index()];
+        let pos_rank = order
+            .iter()
+            .position(|&v| v == current)
+            .expect("current value in domain");
+        let k = self.est.local_context(row, a, self.min_support);
+        // values worse / better than current, per the inferred order;
+        // every contrast shares the same attribute and context, so the
+        // whole attribute costs one counting pass.
+        let mut directions: Vec<bool> = Vec::with_capacity(order.len().saturating_sub(1));
+        let mut contrasts: Vec<Contrast> = Vec::with_capacity(order.len().saturating_sub(1));
+        for (rank, &v) in order.iter().enumerate() {
+            if rank == pos_rank {
+                continue;
+            }
+            let is_positive = rank < pos_rank;
+            let (hi, lo) = if is_positive { (current, v) } else { (v, current) };
+            directions.push(is_positive);
+            contrasts.push(Contrast::single(a, hi, lo));
+        }
+        let mut positive = 0.0f64;
+        let mut negative = 0.0f64;
+        for (is_positive, result) in
+            directions.iter().zip(self.est.scores_batch(&contrasts, &k))
+        {
+            match result {
+                Ok(s) => {
+                    // positive outcome: NEC quantifies both directions;
+                    // negative outcome: SUF does (§3.2)
+                    let score = if favourable { s.necessity } else { s.sufficiency };
+                    if *is_positive {
+                        positive = positive.max(score);
+                    } else {
+                        negative = negative.max(score);
+                    }
+                }
+                Err(LewisError::Invalid(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let label = self
+            .est
+            .table()
+            .schema()
+            .attr(a)
+            .map(|at| at.domain.label(current))
+            .unwrap_or_default();
+        Ok(LocalContribution {
+            attr: a,
+            name: self.est.table().schema().name(a).to_string(),
+            value: current,
+            label,
+            positive,
+            negative,
+        })
     }
 }
 

@@ -41,7 +41,7 @@ pub use blackbox::{BlackBox, ClassifierBox, RegressorThresholdBox};
 pub use explain::{ContextualExplanation, GlobalExplanation, LocalExplanation, Lewis};
 pub use ordering::infer_value_order;
 pub use recourse::{Action, CostModel, Recourse, RecourseOptions};
-pub use scores::{ScoreEstimator, ScoreKind, Scores};
+pub use scores::{Contrast, ScoreEstimator, ScoreKind, Scores};
 pub use statements::{OutcomeWords, Statement};
 
 /// Errors surfaced by LEWIS computations.

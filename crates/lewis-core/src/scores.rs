@@ -68,6 +68,46 @@ pub struct ScoreBounds {
     pub upper: f64,
 }
 
+/// One `X ← hi` vs `X ← lo` value contrast — the unit of batched
+/// scoring. `hi` and `lo` must cover the same attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Contrast {
+    /// Attribute assignments of the factual arm.
+    pub hi: Vec<(AttrId, Value)>,
+    /// Attribute assignments of the counterfactual arm.
+    pub lo: Vec<(AttrId, Value)>,
+}
+
+impl Contrast {
+    /// A single-attribute contrast `attr: hi > lo`.
+    pub fn single(attr: AttrId, hi: Value, lo: Value) -> Self {
+        Contrast { hi: vec![(attr, hi)], lo: vec![(attr, lo)] }
+    }
+
+    /// A set contrast over several attributes.
+    pub fn set(hi: &[(AttrId, Value)], lo: &[(AttrId, Value)]) -> Self {
+        Contrast { hi: hi.to_vec(), lo: lo.to_vec() }
+    }
+}
+
+/// Per-adjustment-cell counts for every observed assignment of the
+/// intervened attributes (the "arms"). One of these is built per
+/// counting pass and then shared by every contrast over the same
+/// attribute set — the core of [`ScoreEstimator::scores_batch`].
+#[derive(Default)]
+struct CellArms {
+    /// Rows in this adjustment cell (all arms).
+    n: u64,
+    /// Per `x`-assignment: `(rows, rows with positive outcome)`.
+    arms: tabular::FxHashMap<Vec<Value>, (u64, u64)>,
+}
+
+/// All adjustment cells from one counting pass over `(C…, X…, pred)`.
+struct ArmTable {
+    cells: tabular::FxHashMap<Vec<Value>, CellArms>,
+    total: u64,
+}
+
 /// Estimates explanation scores from a labelled table.
 ///
 /// The table must contain the black box's predictions as a **binary**
@@ -200,6 +240,87 @@ impl<'a> ScoreEstimator<'a> {
         lo: &[(AttrId, Value)],
         k: &Context,
     ) -> Result<Scores> {
+        let (xs, hi_vals, lo_vals) = self.validate_for_scoring(hi, lo, k)?;
+        let c_set = self.adjustment_set(&xs, k);
+        // A single contrast only ever reads its own two arms, so skip
+        // materializing the rest (seed-equivalent memory behavior).
+        let arms =
+            self.build_arm_table(&c_set, &xs, k, Some((&hi_vals, &lo_vals)))?;
+        self.scores_from_arms(&arms, &hi_vals, &lo_vals)
+    }
+
+    /// All three scores for a *batch* of contrasts sharing one context.
+    ///
+    /// Contrasts over the same attribute set (e.g. every ordered value
+    /// pair of one attribute) share a **single** counting pass over the
+    /// table instead of re-scanning once per contrast, and independent
+    /// attribute-set groups are scored in parallel. Results are
+    /// positionally aligned with `contrasts` and each entry is exactly
+    /// what the corresponding [`ScoreEstimator::scores_set`] call would
+    /// return — bit-for-bit, including per-contrast errors for
+    /// unsupported contrasts.
+    pub fn scores_batch(&self, contrasts: &[Contrast], k: &Context) -> Vec<Result<Scores>> {
+        use rayon::prelude::*;
+
+        let mut out: Vec<Option<Result<Scores>>> = contrasts.iter().map(|_| None).collect();
+        // Group contrasts by intervened attribute set, preserving first-
+        // seen order; each group shares one adjustment set and one
+        // counting pass.
+        let mut group_of: tabular::FxHashMap<Vec<AttrId>, usize> =
+            tabular::FxHashMap::default();
+        type Member = (usize, Vec<Value>, Vec<Value>);
+        let mut groups: Vec<(Vec<AttrId>, Vec<Member>)> = Vec::new();
+        for (i, contrast) in contrasts.iter().enumerate() {
+            match self.validate_for_scoring(&contrast.hi, &contrast.lo, k) {
+                Err(e) => out[i] = Some(Err(e)),
+                Ok((xs, hi_vals, lo_vals)) => {
+                    let gi = *group_of.entry(xs.clone()).or_insert_with(|| {
+                        groups.push((xs, Vec::new()));
+                        groups.len() - 1
+                    });
+                    groups[gi].1.push((i, hi_vals, lo_vals));
+                }
+            }
+        }
+        let scored: Vec<Vec<(usize, Result<Scores>)>> = groups
+            .par_iter()
+            .map(|(xs, members)| {
+                let c_set = self.adjustment_set(xs, k);
+                match self.build_arm_table(&c_set, xs, k, None) {
+                    Ok(arms) => members
+                        .iter()
+                        .map(|(i, hi_vals, lo_vals)| {
+                            (*i, self.scores_from_arms(&arms, hi_vals, lo_vals))
+                        })
+                        .collect(),
+                    // The shared pass itself failed (e.g. empty context):
+                    // fall back per contrast so every entry carries the
+                    // identical error scores_set would have produced.
+                    Err(_) => members
+                        .iter()
+                        .map(|(i, _, _)| {
+                            let c = &contrasts[*i];
+                            (*i, self.scores_set(&c.hi, &c.lo, k))
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        for (i, result) in scored.into_iter().flatten() {
+            out[i] = Some(result);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every contrast scored"))
+            .collect()
+    }
+
+    /// Shared validation for single and batched scoring.
+    fn validate_for_scoring(
+        &self,
+        hi: &[(AttrId, Value)],
+        lo: &[(AttrId, Value)],
+        k: &Context,
+    ) -> Result<(Vec<AttrId>, Vec<Value>, Vec<Value>)> {
         let (xs, hi_vals, lo_vals) = validate_contrast(hi, lo)?;
         for &x in &xs {
             if x == self.pred {
@@ -213,11 +334,23 @@ impl<'a> ScoreEstimator<'a> {
                 )));
             }
         }
-        let c_set = self.adjustment_set(&xs, k);
+        Ok((xs, hi_vals, lo_vals))
+    }
 
-        // One counting pass over (C..., X..., pred) within k.
-        let mut attrs: Vec<AttrId> = c_set.clone();
-        attrs.extend(&xs);
+    /// One counting pass over `(C…, X…, pred)` within `k`, aggregated
+    /// per adjustment cell and per `x`-arm. When `keep` is given, only
+    /// those two arms are materialized (cell totals still count every
+    /// arm); missing arms read back as `(0, 0)` either way, so filtered
+    /// and unfiltered tables score identically.
+    fn build_arm_table(
+        &self,
+        c_set: &[AttrId],
+        xs: &[AttrId],
+        k: &Context,
+        keep: Option<(&[Value], &[Value])>,
+    ) -> Result<ArmTable> {
+        let mut attrs: Vec<AttrId> = c_set.to_vec();
+        attrs.extend(xs);
         attrs.push(self.pred);
         let counter = Counter::build(self.table, &attrs, k)?;
         if counter.total() == 0 {
@@ -228,43 +361,49 @@ impl<'a> ScoreEstimator<'a> {
         let nc = c_set.len();
         let nx = xs.len();
         let o = self.positive;
-        let o_neg = 1 - o;
-
-        // Aggregate per adjustment cell c:
-        //   n(c), n(c,hi), n(c,hi,o), n(c,lo), n(c,lo,o)
-        #[derive(Default, Clone)]
-        struct Cell {
-            n: u64,
-            n_hi: u64,
-            n_hi_o: u64,
-            n_lo: u64,
-            n_lo_o: u64,
-        }
-        let mut cells: tabular::FxHashMap<Vec<Value>, Cell> = tabular::FxHashMap::default();
+        let mut cells: tabular::FxHashMap<Vec<Value>, CellArms> =
+            tabular::FxHashMap::default();
         counter.for_each_nonzero(|values, n| {
-            let c_vals = &values[..nc];
-            let x_vals = &values[nc..nc + nx];
-            let out = values[nc + nx];
-            let cell = cells.entry(c_vals.to_vec()).or_default();
+            let cell = cells.entry(values[..nc].to_vec()).or_default();
             cell.n += n;
-            if x_vals == hi_vals.as_slice() {
-                cell.n_hi += n;
-                if out == o {
-                    cell.n_hi_o += n;
-                }
-            } else if x_vals == lo_vals.as_slice() {
-                cell.n_lo += n;
-                if out == o {
-                    cell.n_lo_o += n;
+            let x_vals = &values[nc..nc + nx];
+            if let Some((hi_vals, lo_vals)) = keep {
+                if x_vals != hi_vals && x_vals != lo_vals {
+                    return;
                 }
             }
+            let arm = cell.arms.entry(x_vals.to_vec()).or_insert((0, 0));
+            arm.0 += n;
+            if values[nc + nx] == o {
+                arm.1 += n;
+            }
         });
+        Ok(ArmTable { cells, total: counter.total() })
+    }
 
-        let total: u64 = counter.total();
-        let n_hi: u64 = cells.values().map(|c| c.n_hi).sum();
-        let n_lo: u64 = cells.values().map(|c| c.n_lo).sum();
-        let n_hi_o: u64 = cells.values().map(|c| c.n_hi_o).sum();
-        let n_lo_o: u64 = cells.values().map(|c| c.n_lo_o).sum();
+    /// The eq. 19–21 estimates for one `hi` vs `lo` contrast, read off a
+    /// prebuilt [`ArmTable`].
+    fn scores_from_arms(
+        &self,
+        arms: &ArmTable,
+        hi_vals: &[Value],
+        lo_vals: &[Value],
+    ) -> Result<Scores> {
+        let arm_of = |cell: &CellArms, vals: &[Value]| -> (u64, u64) {
+            cell.arms.get(vals).copied().unwrap_or((0, 0))
+        };
+        let mut n_hi = 0u64;
+        let mut n_hi_o = 0u64;
+        let mut n_lo = 0u64;
+        let mut n_lo_o = 0u64;
+        for cell in arms.cells.values() {
+            let (h, ho) = arm_of(cell, hi_vals);
+            let (l, lo_o) = arm_of(cell, lo_vals);
+            n_hi += h;
+            n_hi_o += ho;
+            n_lo += l;
+            n_lo_o += lo_o;
+        }
         if n_hi == 0 || n_lo == 0 {
             return Err(LewisError::Invalid(format!(
                 "contrast unsupported in context: n(hi)={n_hi}, n(lo)={n_lo}"
@@ -276,7 +415,6 @@ impl<'a> ScoreEstimator<'a> {
         let pr_o_lo = (n_lo_o as f64 + a) / (n_lo as f64 + 2.0 * a);
         let pr_oneg_hi = 1.0 - pr_o_hi;
         let pr_oneg_lo = 1.0 - pr_o_lo;
-        let _ = o_neg;
 
         // Adjusted sums, renormalized over *supported* adjustment cells:
         // with α = 0 a cell whose contrast arm is unobserved contributes
@@ -296,21 +434,23 @@ impl<'a> ScoreEstimator<'a> {
         let mut w_suf = 0.0f64;
         let mut sum_ate = 0.0f64; // Σ_c [Pr(o|hi,c,k) − Pr(o|lo,c,k)] Pr(c|k)
         let mut w_ate = 0.0f64;
-        for cell in cells.values() {
-            let p_hi_c = cond(cell.n_hi_o, cell.n_hi);
-            let p_lo_c = cond(cell.n_lo_o, cell.n_lo);
+        for cell in arms.cells.values() {
+            let (cell_n_hi, cell_n_hi_o) = arm_of(cell, hi_vals);
+            let (cell_n_lo, cell_n_lo_o) = arm_of(cell, lo_vals);
+            let p_hi_c = cond(cell_n_hi_o, cell_n_hi);
+            let p_lo_c = cond(cell_n_lo_o, cell_n_lo);
             if let Some(p_lo_c) = p_lo_c {
-                let w = cell.n_hi as f64 / n_hi as f64;
+                let w = cell_n_hi as f64 / n_hi as f64;
                 sum_nec += (1.0 - p_lo_c) * w;
                 w_nec += w;
             }
             if let Some(p_hi_c) = p_hi_c {
-                let w = cell.n_lo as f64 / n_lo as f64;
+                let w = cell_n_lo as f64 / n_lo as f64;
                 sum_suf += p_hi_c * w;
                 w_suf += w;
             }
             if let (Some(p_hi_c), Some(p_lo_c)) = (p_hi_c, p_lo_c) {
-                let w = cell.n as f64 / total as f64;
+                let w = cell.n as f64 / arms.total as f64;
                 sum_ate += (p_hi_c - p_lo_c) * w;
                 w_ate += w;
             }
@@ -401,7 +541,18 @@ impl<'a> ScoreEstimator<'a> {
                 (lo_b.max(0.0), up_b.min(1.0))
             }
         };
-        Ok(ScoreBounds { lower: lower.min(upper.max(0.0)), upper: upper.max(lower.max(0.0)).min(1.0) })
+        // Estimation noise can push either raw endpoint outside [0, 1]
+        // or invert the interval entirely. Clamp each endpoint into
+        // [0, 1] first, then collapse an inverted (empty) interval to
+        // its midpoint so callers can always rely on `lower <= upper`.
+        let lower = lower.clamp(0.0, 1.0);
+        let upper = upper.clamp(0.0, 1.0);
+        if lower <= upper {
+            Ok(ScoreBounds { lower, upper })
+        } else {
+            let mid = 0.5 * (lower + upper);
+            Ok(ScoreBounds { lower: mid, upper: mid })
+        }
     }
 
     /// Build the local-explanation context for `row` and intervention
@@ -439,14 +590,19 @@ impl<'a> ScoreEstimator<'a> {
                 .filter(|a| *a != x_attr && *a != self.pred && a.index() < row.len())
                 .collect(),
         };
-        let mut ctx = Context::empty();
-        for a in candidates {
-            let trial = ctx.with(a, row[a.index()]);
-            if self.table.count(&trial) >= min_support {
-                ctx = trial;
+        // Documented back-off: start from the full non-descendant
+        // context and greedily drop attributes from the causally
+        // least-proximate end (the tail of `candidates`) until the
+        // stratum reaches `min_support`. A more-proximate attribute is
+        // therefore never sacrificed to keep a less-proximate one.
+        let mut kept = candidates;
+        loop {
+            let ctx = Context::of(kept.iter().map(|a| (*a, row[a.index()])));
+            if kept.is_empty() || self.table.count(&ctx) >= min_support {
+                return ctx;
             }
+            kept.pop();
         }
-        ctx
     }
 }
 
@@ -773,6 +929,104 @@ mod tests {
         // impossible support: context collapses to empty
         let ctx2 = est.local_context(&row, AttrId(1), t.n_rows() + 1);
         assert!(ctx2.is_empty());
+    }
+
+    #[test]
+    fn bounds_are_ordered_on_randomized_tables() {
+        // Regression for the final clamp: on small noisy tables the raw
+        // Fréchet endpoints routinely land outside [0, 1] or inverted;
+        // the returned interval must still satisfy lower <= upper.
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..200 {
+            let mut schema = Schema::new();
+            schema.push("c", Domain::boolean());
+            schema.push("x", Domain::boolean());
+            schema.push("pred", Domain::boolean());
+            let mut t = Table::new(schema);
+            let n = rng.gen_range(4..40);
+            for _ in 0..n {
+                t.push_row(&[
+                    rng.gen_range(0..2),
+                    rng.gen_range(0..2),
+                    rng.gen_range(0..2),
+                ])
+                .unwrap();
+            }
+            let mut g = causal::Dag::new(2);
+            g.add_edge(0, 1).unwrap();
+            let alpha = rng.gen_range(0.0..2.0);
+            let est = ScoreEstimator::new(&t, Some(&g), AttrId(2), 1, alpha).unwrap();
+            for kind in [
+                ScoreKind::Necessity,
+                ScoreKind::Sufficiency,
+                ScoreKind::NecessityAndSufficiency,
+            ] {
+                for k in [Context::empty(), Context::of([(AttrId(0), 0)])] {
+                    let Ok(b) = est.bounds(kind, AttrId(1), 1, 0, &k) else {
+                        continue; // unsupported contrast on this draw
+                    };
+                    assert!(
+                        b.lower <= b.upper,
+                        "round {round} {kind:?}: inverted [{}, {}]",
+                        b.lower,
+                        b.upper
+                    );
+                    assert!((0.0..=1.0).contains(&b.lower), "round {round}: {}", b.lower);
+                    assert!((0.0..=1.0).contains(&b.upper), "round {round}: {}", b.upper);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_context_drops_least_proximate_first() {
+        // Chain A -> B -> X -> D. For target X the candidate context is
+        // [B (parent), A (ancestor)], most causally proximate first. The
+        // documented back-off drops from the tail: if even {B} alone
+        // lacks support, the context must collapse to empty rather than
+        // keep the less-proximate A (which the old greedy-add did when
+        // {A} happened to have support).
+        let mut schema = Schema::new();
+        schema.push("a", Domain::boolean());
+        schema.push("b", Domain::boolean());
+        schema.push("x", Domain::boolean());
+        schema.push("d", Domain::boolean());
+        schema.push("pred", Domain::boolean());
+        let mut t = Table::new(schema);
+        // B = 1 occurs once; A = 1 is common.
+        t.push_row(&[1, 1, 1, 1, 1]).unwrap();
+        for _ in 0..9 {
+            t.push_row(&[1, 0, 0, 0, 0]).unwrap();
+        }
+        for _ in 0..10 {
+            t.push_row(&[0, 0, 0, 0, 0]).unwrap();
+        }
+        let mut g = causal::Dag::new(4);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 3).unwrap();
+        let est = ScoreEstimator::new(&t, Some(&g), AttrId(4), 1, 0.0).unwrap();
+        let row = t.row(0).unwrap();
+        // {B=1, A=1} has 1 row, {B=1} has 1 row, {A=1} has 10: the
+        // back-off must end empty, never keeping A without B.
+        let ctx = est.local_context(&row, AttrId(2), 3);
+        assert!(
+            !ctx.constrains(AttrId(0)),
+            "less-proximate A kept after more-proximate B was dropped"
+        );
+        assert!(!ctx.constrains(AttrId(1)));
+        assert!(ctx.is_empty());
+        // With support available for the full context, everything stays.
+        let ctx_full = est.local_context(&row, AttrId(2), 1);
+        assert!(ctx_full.constrains(AttrId(0)));
+        assert!(ctx_full.constrains(AttrId(1)));
+        assert!(!ctx_full.constrains(AttrId(3)), "descendant must stay free");
+        // Prefix semantics: a mid support level keeps B (proximate) and
+        // drops A (least proximate) — here {B=1,A=1} == {B=1} == 1 row,
+        // so asking for 1 keeps both; asking for 2 keeps neither.
+        let ctx_mid = est.local_context(&row, AttrId(2), 2);
+        assert!(ctx_mid.is_empty());
     }
 
     #[test]

@@ -44,8 +44,8 @@ proptest! {
         for i in 0..n {
             for j in 0..n {
                 let mut acc = if i == j { 1.0 } else { 0.0 };
-                for k in 0..n {
-                    acc += a[i][k] * a[j][k];
+                for (aik, ajk) in a[i].iter().zip(&a[j]) {
+                    acc += aik * ajk;
                 }
                 sym[(i, j)] = acc;
             }

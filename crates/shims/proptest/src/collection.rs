@@ -1,0 +1,51 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+
+/// Permitted lengths for a generated collection.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// A `Vec` whose length is drawn from `size` and whose elements are
+/// drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.gen_range(self.size.min..=self.size.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,401 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Reimplements the subset of proptest's API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! range and tuple strategies, [`collection::vec`],
+//! [`string::string_regex`] (a small regex subset), and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`] macros.
+//!
+//! Semantics differ from upstream in one deliberate way: there is **no
+//! shrinking** — a failing case reports its inputs via the assertion
+//! message and the deterministic per-case seed instead. Case count
+//! defaults to 128 and can be overridden with `PROPTEST_CASES`.
+
+pub mod collection;
+pub mod string;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies by the runner.
+pub type TestRng = StdRng;
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs: try another case.
+    Reject,
+}
+
+/// A generator of values of one type.
+///
+/// Upstream proptest separates strategies from value trees to support
+/// shrinking; without shrinking a strategy is just a pure function of
+/// the RNG state.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn ErasedStrategy<T>>);
+
+trait ErasedStrategy<T> {
+    fn erased_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn erased_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.erased_generate(rng)
+    }
+}
+
+// Ranges are strategies, as upstream.
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// Tuples of strategies are strategies, as upstream.
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(A);
+impl_strategy_for_tuple!(A, B);
+impl_strategy_for_tuple!(A, B, C);
+impl_strategy_for_tuple!(A, B, C, D);
+impl_strategy_for_tuple!(A, B, C, D, E);
+impl_strategy_for_tuple!(A, B, C, D, E, F);
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Number of accepted cases each property runs (`PROPTEST_CASES` env
+/// var, default 128).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// Per-block runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: cases() }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drive one property: repeatedly draw cases from a deterministic seed
+/// sequence and run `f`, panicking on the first failure. Used by the
+/// [`proptest!`] macro; not public API upstream, public here so the
+/// macro can reach it.
+pub fn run_property<F>(name: &str, f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    run_property_with(ProptestConfig::default(), name, f)
+}
+
+/// [`run_property`] with an explicit [`ProptestConfig`].
+pub fn run_property_with<F>(config: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let target = config.cases;
+    let max_attempts = target.saturating_mul(32).max(1024);
+    let base = fnv1a(name.as_bytes());
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    while accepted < target && attempts < max_attempts {
+        let seed = base ^ (attempts as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        attempts += 1;
+        match f(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` failed at case {attempts} (seed {seed:#x}): {msg}"
+                );
+            }
+        }
+    }
+    assert!(
+        accepted > 0,
+        "property `{name}`: every generated case was rejected by prop_assume!"
+    );
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Define property tests. Supports the common upstream form:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_prop(x in 0u32..10, v in proptest::collection::vec(0..3, 1..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property_with(
+                    $config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        $(let $pat = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )+
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($pat in $strat),+) $body)+
+        }
+    };
+}
+
+/// Fallible assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fallible equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} == {:?}`", l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} == {:?}`: {}", l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fallible inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} != {:?}`", l, r
+            )));
+        }
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, f in -1.0f64..1.0, (a, b) in (0usize..4, 0i32..=2)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(a < 4, "a = {}", a);
+            prop_assert!(b <= 2);
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(v in (1usize..5).prop_flat_map(|n| collection::vec(0u32..10, n)).prop_map(|v| v.len())) {
+            prop_assert!((1..5).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        run_property("always_fails", |_| {
+            Err(TestCaseError::Fail("nope".into()))
+        });
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut first: Vec<u64> = Vec::new();
+        run_property("det", |rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        run_property("det", |rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,208 @@
+//! String strategies from a regex subset (`string_regex`).
+//!
+//! Supports the constructs the workspace's tests use: literal
+//! characters, escapes (`\n`, `\t`, `\r`, `\\`, `\"` and any other
+//! escaped punctuation taken literally), character classes
+//! (`[a-z0-9 ,]`, including escapes and ranges), and the repetition
+//! operators `{m,n}`, `{n}`, `?`, `*`, `+` (unbounded repeats capped at
+//! 16). Anything else returns an error, like upstream does for
+//! unsupported regexes.
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+
+/// Parse failure for [`string_regex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[derive(Debug, Clone)]
+enum Piece {
+    /// One of these characters, uniformly.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Rep {
+    piece: Piece,
+    min: usize,
+    max: usize,
+}
+
+/// A strategy generating strings matched by `pattern` (subset — see
+/// module docs).
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut reps = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let piece = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let Some(c) = chars.next() else {
+                        return Err(Error("unterminated character class".into()));
+                    };
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let Some(esc) = chars.next() else {
+                                return Err(Error("dangling escape in class".into()));
+                            };
+                            let ch = unescape(esc);
+                            set.push(ch);
+                            prev = Some(ch);
+                        }
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().expect("checked");
+                            let hi = chars.next().expect("peeked");
+                            if (hi as u32) < (lo as u32) {
+                                return Err(Error(format!("bad range {lo}-{hi}")));
+                            }
+                            for u in (lo as u32 + 1)..=(hi as u32) {
+                                set.extend(char::from_u32(u));
+                            }
+                        }
+                        other => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                if set.is_empty() {
+                    return Err(Error("empty character class".into()));
+                }
+                Piece::Class(set)
+            }
+            '\\' => {
+                let Some(esc) = chars.next() else {
+                    return Err(Error("dangling escape".into()));
+                };
+                Piece::Class(vec![unescape(esc)])
+            }
+            '.' | '(' | ')' | '|' | '^' | '$' => {
+                return Err(Error(format!("unsupported metacharacter `{c}`")));
+            }
+            literal => Piece::Class(vec![literal]),
+        };
+        // optional repetition suffix
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let parse = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .map_err(|_| Error(format!("bad repetition `{{{spec}}}`")))
+                };
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                    None => {
+                        let n = parse(&spec)?;
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 16)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            _ => (1, 1),
+        };
+        if min > max {
+            return Err(Error(format!("repetition min {min} > max {max}")));
+        }
+        reps.push(Rep { piece, min, max });
+    }
+    Ok(RegexGeneratorStrategy { reps })
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// See [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    reps: Vec<Rep>,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for rep in &self.reps {
+            let n = rng.gen_range(rep.min..=rep.max);
+            let Piece::Class(set) = &rep.piece;
+            for _ in 0..n {
+                out.push(set[rng.gen_range(0..set.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_matching_strings() {
+        let strat = string_regex("[a-z0-9 ,\"\n]{1,12}").unwrap();
+        let mut rng = TestRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let s = strat.generate(&mut rng);
+            let n = s.chars().count();
+            assert!((1..=12).contains(&n), "bad length {n}: {s:?}");
+            assert!(s.chars().all(|c| {
+                c.is_ascii_lowercase() || c.is_ascii_digit() || " ,\"\n".contains(c)
+            }), "stray char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_suffixes() {
+        let strat = string_regex("ab?c+").unwrap();
+        let mut rng = TestRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!(s.starts_with('a'));
+            assert!(s.trim_start_matches('a').trim_start_matches('b').chars().all(|c| c == 'c'));
+            assert!(s.contains('c'));
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(string_regex("(a|b)").is_err());
+        assert!(string_regex("[abc").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the data-parallel subset the workspace uses — `par_iter()`
+//! on slices and `Vec`s with `map` / `for_each` / `collect` / `sum` —
+//! backed by real OS threads (`std::thread::scope`) with static
+//! chunking. Results preserve input order, so a parallel map is
+//! bit-for-bit identical to its sequential counterpart regardless of
+//! thread count. `RAYON_NUM_THREADS` (or [`set_num_threads_for_test`])
+//! caps the pool like upstream.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static TEST_THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the thread count from test code (0 restores the default).
+/// Upstream exposes this via `ThreadPoolBuilder`; a process-global
+/// override is enough for the determinism tests here.
+pub fn set_num_threads_for_test(n: usize) {
+    TEST_THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Threads a parallel call will fan out over.
+pub fn current_num_threads() -> usize {
+    let forced = TEST_THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Order-preserving parallel map over a slice: the engine behind every
+/// combinator in this shim.
+fn par_map_slice<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Rayon-style conversion of `&C` into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the parallel iterator.
+    type Item: 'a;
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Iterate in parallel over shared references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        par_map_slice(self.items, &f);
+    }
+}
+
+/// A mapped parallel iterator (the result of [`ParIter::map`]).
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Execute the map and gather results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_slice(self.items, self.f).into_iter().collect()
+    }
+
+    /// Execute the map and sum the results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        par_map_slice(self.items, self.f).into_iter().sum()
+    }
+}
+
+/// The rayon prelude: everything call sites need in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let v: Vec<f64> = (0..997).map(|i| i as f64 * 0.1).collect();
+        let mut runs: Vec<Vec<f64>> = Vec::new();
+        for threads in [1, 2, 3, 8] {
+            set_num_threads_for_test(threads);
+            runs.push(v.par_iter().map(|&x| x.sin() * x.cos()).collect());
+        }
+        set_num_threads_for_test(0);
+        for run in &runs[1..] {
+            assert_eq!(&runs[0], run);
+        }
+    }
+
+    #[test]
+    fn sum_and_for_each() {
+        let v: Vec<u64> = (1..=100).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 5050);
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        v.par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [42u32];
+        let out: Vec<u32> = one[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![43]);
+    }
+}
