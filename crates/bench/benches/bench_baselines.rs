@@ -57,10 +57,16 @@ fn bench_lewis_local_for_contrast(c: &mut Criterion) {
         Some(5),
         42,
     );
-    let lewis = p.lewis();
+    let lewis = p.engine();
     let row = p.table.row(0).unwrap();
     c.bench_function("lewis_local_single_instance", |b| {
-        b.iter(|| lewis.local(&row).unwrap().contributions.len())
+        // cold cache per iteration: LIME/SHAP above pay their full
+        // per-instance cost every call, so LEWIS must too for the
+        // cross-method comparison to stay apples-to-apples
+        b.iter(|| {
+            lewis.clear_cache();
+            lewis.local(&row).unwrap().contributions.len()
+        })
     });
 }
 

@@ -3,7 +3,7 @@
 //!
 //! The batched path shares one counting pass per intervened attribute
 //! set instead of re-scanning the 50k-row table once per contrast, and
-//! `Lewis::global()` fans per-attribute scoring across threads; both
+//! `Engine::global()` fans per-attribute scoring across threads; both
 //! must beat their sequential counterparts here.
 
 use bench::harness::{prepare, ModelKind};
@@ -15,7 +15,7 @@ use tabular::{AttrId, Context};
 const ROWS: usize = 50_000;
 
 /// Every ordered value pair of every explained attribute — the exact
-/// workload `Lewis::global()` scores.
+/// workload `Engine::global()` scores.
 fn all_pair_contrasts(p: &bench::harness::Prepared) -> Vec<Contrast> {
     let mut contrasts = Vec::new();
     for &attr in &p.features {
@@ -73,16 +73,25 @@ fn bench_global_thread_scaling(c: &mut Criterion) {
         None,
         42,
     );
-    let lewis = p.lewis();
+    let lewis = p.engine();
     let mut group = c.benchmark_group("global_explanation_german_50k_rows");
     group.sample_size(10);
+    // Clear the engine's counting-pass cache every iteration: this
+    // bench measures how the *passes* scale across threads, which a
+    // warm cache would skip entirely (bench_engine measures the cache).
     group.bench_function("single_thread", |b| {
         rayon::set_num_threads_for_test(1);
-        b.iter(|| lewis.global().unwrap().attributes.len());
+        b.iter(|| {
+            lewis.clear_cache();
+            lewis.global().unwrap().attributes.len()
+        });
         rayon::set_num_threads_for_test(0);
     });
     group.bench_function("all_threads", |b| {
-        b.iter(|| lewis.global().unwrap().attributes.len())
+        b.iter(|| {
+            lewis.clear_cache();
+            lewis.global().unwrap().attributes.len()
+        })
     });
     group.finish();
 }

@@ -30,9 +30,14 @@ fn bench_global_explanation(c: &mut Criterion) {
         None,
         42,
     );
-    let lewis = p.lewis();
+    let lewis = p.engine();
     c.bench_function("global_explanation_german_1k", |b| {
-        b.iter(|| lewis.global().unwrap().attributes.len())
+        // cold cache per iteration: this measures the counting passes
+        // themselves (bench_engine covers the warm-cache path)
+        b.iter(|| {
+            lewis.clear_cache();
+            lewis.global().unwrap().attributes.len()
+        })
     });
 }
 
@@ -43,11 +48,14 @@ fn bench_local_explanation(c: &mut Criterion) {
         None,
         42,
     );
-    let lewis = p.lewis();
+    let lewis = p.engine();
     let idx = p.find_individual(0).unwrap();
     let row = p.table.row(idx).unwrap();
     c.bench_function("local_explanation_german", |b| {
-        b.iter(|| lewis.local(&row).unwrap().contributions.len())
+        b.iter(|| {
+            lewis.clear_cache();
+            lewis.local(&row).unwrap().contributions.len()
+        })
     });
 }
 

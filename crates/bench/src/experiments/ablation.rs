@@ -15,9 +15,10 @@ use crate::harness::{header, prepare, ModelKind, Prepared};
 use datasets::GermanSynDataset;
 use lewis_core::groundtruth::GroundTruth;
 use lewis_core::scores::{ScoreEstimator, ScoreKind};
+use std::sync::Arc;
 use tabular::Context;
 
-fn nesuf_or_nan(est: &ScoreEstimator<'_>, attr: tabular::AttrId, hi: u32, lo: u32) -> f64 {
+fn nesuf_or_nan(est: &ScoreEstimator, attr: tabular::AttrId, hi: u32, lo: u32) -> f64 {
     est.scores(attr, hi, lo, &Context::empty())
         .map(|s| s.nesuf)
         .unwrap_or(f64::NAN)
@@ -33,11 +34,10 @@ pub fn run(scale: Scale) -> String {
         42,
     );
     let gt = GroundTruth::exact(&p.scm, p.model.as_ref(), p.positive).expect("enumerable");
-    let with_graph =
-        ScoreEstimator::new(&p.table, Some(p.scm.graph()), p.pred, p.positive, 0.25)
-            .expect("estimator");
+    let with_graph = p.estimator_with_alpha(0.25);
     let no_graph =
-        ScoreEstimator::new(&p.table, None, p.pred, p.positive, 0.25).expect("estimator");
+        ScoreEstimator::from_shared(Arc::clone(&p.table), None, p.pred, p.positive, 0.25)
+            .expect("estimator");
 
     let contrasts: Vec<(tabular::AttrId, u32, u32)> = vec![
         (GermanSynDataset::STATUS, 3, 0),
@@ -71,8 +71,7 @@ pub fn run(scale: Scale) -> String {
     let truth =
         gt.nesuf(GermanSynDataset::STATUS, 3, 0, &Context::empty()).unwrap_or(f64::NAN);
     for &alpha in &[0.0, 0.25, 1.0, 5.0, 20.0] {
-        let est = ScoreEstimator::new(&p.table, Some(p.scm.graph()), p.pred, p.positive, alpha)
-            .expect("estimator");
+        let est = p.estimator_with_alpha(alpha);
         let v = nesuf_or_nan(&est, GermanSynDataset::STATUS, 3, 0);
         out.push_str(&format!("{alpha:>6.2}  {v:>9.3}  {:>9.3}\n", (v - truth).abs()));
     }
@@ -93,11 +92,10 @@ mod tests {
             42,
         );
         let gt = GroundTruth::exact(&p.scm, p.model.as_ref(), p.positive).unwrap();
-        let with_graph =
-            ScoreEstimator::new(&p.table, Some(p.scm.graph()), p.pred, p.positive, 0.25)
-                .unwrap();
+        let with_graph = p.estimator_with_alpha(0.25);
         let no_graph =
-            ScoreEstimator::new(&p.table, None, p.pred, p.positive, 0.25).unwrap();
+            ScoreEstimator::from_shared(Arc::clone(&p.table), None, p.pred, p.positive, 0.25)
+                .unwrap();
         // status is confounded by (age, sex): adjustment must reduce error
         let truth = gt.nesuf(GermanSynDataset::STATUS, 3, 0, &Context::empty()).unwrap();
         let err_graph =
@@ -121,12 +119,8 @@ mod tests {
         );
         let gt = GroundTruth::exact(&p.scm, p.model.as_ref(), p.positive).unwrap();
         let truth = gt.nesuf(GermanSynDataset::STATUS, 3, 0, &Context::empty()).unwrap();
-        let light =
-            ScoreEstimator::new(&p.table, Some(p.scm.graph()), p.pred, p.positive, 0.25)
-                .unwrap();
-        let heavy =
-            ScoreEstimator::new(&p.table, Some(p.scm.graph()), p.pred, p.positive, 50.0)
-                .unwrap();
+        let light = p.estimator_with_alpha(0.25);
+        let heavy = p.estimator_with_alpha(50.0);
         let err_light = (nesuf_or_nan(&light, GermanSynDataset::STATUS, 3, 0) - truth).abs();
         let err_heavy = (nesuf_or_nan(&heavy, GermanSynDataset::STATUS, 3, 0) - truth).abs();
         assert!(err_heavy > err_light, "α=50 should wash out the signal");

@@ -17,7 +17,7 @@ pub fn run(scale: Scale) -> String {
         None,
         42,
     );
-    let lewis = p.lewis();
+    let lewis = p.engine();
     let mut out = String::new();
 
     // "Maeve": a rejected applicant

@@ -7,7 +7,7 @@ use crate::harness::{header, prepare, ModelKind, Prepared};
 
 /// Train and explain one dataset globally.
 fn one(p: &Prepared) -> String {
-    let lewis = p.lewis();
+    let lewis = p.engine();
     let g = lewis.global().expect("global explanation");
     format!(
         "{}model accuracy = {:.3}\n{}",
@@ -63,7 +63,7 @@ mod tests {
             None,
             42,
         );
-        let lewis = p.lewis();
+        let lewis = p.engine();
         let g = lewis.global().unwrap();
         // the paper's headline (Fig 3a): status & credit history carry
         // near-top sufficiency, housing/invest sit at the bottom

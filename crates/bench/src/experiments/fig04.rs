@@ -15,7 +15,7 @@ fn contextual_rows(
     group_attr: AttrId,
     groups: &[(u32, &str)],
 ) -> String {
-    let lewis = p.lewis();
+    let lewis = p.engine();
     let mut out = String::new();
     let name = p.table.schema().name(attr);
     out.push_str(&format!(
@@ -105,7 +105,7 @@ mod tests {
             None,
             42,
         );
-        let lewis = p.lewis();
+        let lewis = p.engine();
         let white = lewis
             .contextual(CompasDataset::PRIORS, &Context::of([(CompasDataset::RACE, 0)]))
             .unwrap();

@@ -5,7 +5,7 @@ use super::{local_table, Scale};
 use crate::harness::{header, prepare, ModelKind, Prepared};
 
 fn locals(p: &Prepared, fig: &str) -> String {
-    let lewis = p.lewis();
+    let lewis = p.engine();
     let mut out = String::new();
     for (wanted, label) in [(0u32, "negative"), (1u32, "positive")] {
         let Some(idx) = p.find_individual(wanted) else {

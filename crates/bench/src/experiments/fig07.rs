@@ -8,7 +8,7 @@ use rand::SeedableRng;
 use xai::{LimeExplainer, LimeOptions, KernelShap, ShapOptions};
 
 fn one(p: &Prepared, idx: usize, label: &str) -> String {
-    let lewis = p.lewis();
+    let lewis = p.engine();
     let row = p.table.row(idx).expect("row in range");
     let local = lewis.local(&row).expect("local explanation");
 

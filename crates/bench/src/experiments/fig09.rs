@@ -15,7 +15,7 @@ use xai::{KernelShap, ShapOptions};
 
 /// Compare the three methods on one prepared dataset.
 pub fn compare(p: &Prepared, shap_rows: usize) -> String {
-    let lewis = p.lewis();
+    let lewis = p.engine();
     let g = lewis.global().expect("global explanation");
     // align attribute order to the LEWIS report
     let names: Vec<String> = g.attributes.iter().map(|a| a.name.clone()).collect();

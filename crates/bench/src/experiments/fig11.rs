@@ -25,7 +25,7 @@ fn ground_truth_max(
     gt: &GroundTruth<'_>,
     attr: tabular::AttrId,
 ) -> lewis_core::Scores {
-    let lewis = p.lewis();
+    let lewis = p.engine();
     let order = lewis.value_order(attr).expect("feature order");
     let mut best = lewis_core::Scores::default();
     for (hi, lo) in ordered_pairs(order) {
@@ -52,7 +52,7 @@ pub fn run_quality(scale: Scale) -> String {
         Some(5),
         42,
     );
-    let lewis = p.lewis();
+    let lewis = p.engine();
     let g = lewis.global().expect("global explanation");
     let names: Vec<String> = g.attributes.iter().map(|a| a.name.clone()).collect();
     let attrs: Vec<tabular::AttrId> = g.attributes.iter().map(|a| a.attr).collect();
@@ -132,7 +132,7 @@ pub fn run_sample_size(scale: Scale) -> String {
                 Some(5),
                 100 + t as u64,
             );
-            let lewis = p.lewis();
+            let lewis = p.engine();
             let s = lewis
                 .attribute_scores(GermanSynDataset::STATUS, &Context::empty())
                 .expect("scores");
@@ -179,7 +179,7 @@ mod tests {
             42,
         );
         let gt = GroundTruth::exact(&p.scm, p.model.as_ref(), p.positive).unwrap();
-        let lewis = p.lewis();
+        let lewis = p.engine();
         for attr in [GermanSynDataset::STATUS, GermanSynDataset::SAVING] {
             let est = lewis
                 .attribute_scores(attr, &Context::empty())

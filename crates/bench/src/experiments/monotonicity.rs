@@ -28,7 +28,7 @@ fn sweep_point(strength: f64, scale: Scale, seed: u64) -> (f64, f64, f64) {
         .unwrap_or(0.0);
 
     // per-attribute NESUF: estimate vs truth
-    let lewis = p.lewis();
+    let lewis = p.engine();
     let mut max_err = 0.0f64;
     let mut est_scores = Vec::new();
     let mut gt_scores = Vec::new();

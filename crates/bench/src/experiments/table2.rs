@@ -16,7 +16,7 @@ struct Row {
 }
 
 fn measure(p: &Prepared) -> Row {
-    let lewis = p.lewis();
+    let lewis = p.engine();
     let t0 = Instant::now();
     let _g = lewis.global().expect("global");
     let global_s = t0.elapsed().as_secs_f64();

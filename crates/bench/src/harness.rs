@@ -36,8 +36,9 @@ pub enum ModelKind {
 pub struct Prepared {
     /// Dataset name.
     pub name: String,
-    /// The labelled table (original columns + binary `pred`).
-    pub table: Table,
+    /// The labelled table (original columns + binary `pred`), shared so
+    /// engines and estimators can reference it without copying.
+    pub table: Arc<Table>,
     /// The binary prediction column.
     pub pred: AttrId,
     /// The favourable outcome code (always 1).
@@ -187,7 +188,7 @@ pub fn prepare(dataset: Dataset, kind: ModelKind, pivot: Option<Value>, seed: u6
     let pred = label_table(&mut table, bb.as_ref(), "pred").expect("labelling succeeds");
     Prepared {
         name: name.to_string(),
-        table,
+        table: table.into_shared(),
         pred,
         positive: 1,
         scm,
@@ -201,32 +202,36 @@ pub fn prepare(dataset: Dataset, kind: ModelKind, pivot: Option<Value>, seed: u6
 }
 
 impl Prepared {
-    /// Build a LEWIS explainer over the labelled table.
-    pub fn lewis(&self) -> lewis_core::Lewis<'_> {
-        lewis_core::Lewis::new(
-            &self.table,
-            Some(self.scm.graph()),
-            self.pred,
-            self.positive,
-            &self.features,
-            1.0,
-        )
-        .expect("explainer builds")
+    /// Build a LEWIS explanation engine over the labelled table,
+    /// sharing it without a copy.
+    pub fn engine(&self) -> lewis_core::Engine {
+        self.engine_with_alpha(1.0)
+    }
+
+    /// Build an engine with explicit Laplace smoothing.
+    pub fn engine_with_alpha(&self, alpha: f64) -> lewis_core::Engine {
+        lewis_core::Engine::builder(Arc::clone(&self.table))
+            .graph(self.scm.graph())
+            .prediction(self.pred, self.positive)
+            .features(&self.features)
+            .alpha(alpha)
+            .build()
+            .expect("engine builds")
     }
 
     /// Build a score estimator over the labelled table. The smoothing is
     /// deliberately light (0.25): recourse verification compares scores
     /// against thresholds near 1, where heavy Laplace smoothing would
     /// bias genuinely sufficient actions below the bar.
-    pub fn estimator(&self) -> lewis_core::ScoreEstimator<'_> {
+    pub fn estimator(&self) -> lewis_core::ScoreEstimator {
         self.estimator_with_alpha(0.25)
     }
 
     /// Build a score estimator with explicit Laplace smoothing.
-    pub fn estimator_with_alpha(&self, alpha: f64) -> lewis_core::ScoreEstimator<'_> {
-        lewis_core::ScoreEstimator::new(
-            &self.table,
-            Some(self.scm.graph()),
+    pub fn estimator_with_alpha(&self, alpha: f64) -> lewis_core::ScoreEstimator {
+        lewis_core::ScoreEstimator::from_shared(
+            Arc::clone(&self.table),
+            Some(Arc::new(self.scm.graph().clone())),
             self.pred,
             self.positive,
             alpha,
@@ -298,7 +303,7 @@ mod tests {
         let row = p.table.row(0).unwrap();
         let s = (p.score)(&row);
         assert!((0.0..=1.0).contains(&s), "score {s}");
-        let _ = p.lewis();
+        let _ = p.engine();
         let _ = p.estimator();
     }
 

@@ -1,0 +1,221 @@
+//! Bounded, thread-safe cache of counting passes.
+//!
+//! Every explanation score starts from the same expensive primitive: one
+//! [`ArmTable`](crate::scores) — a full scan of the labelled table
+//! aggregated per adjustment cell and per intervened-attribute arm.
+//! Consecutive queries routinely hit the identical `(intervened
+//! attribute set, context, adjustment set)` key: repeated dashboard
+//! queries, the per-group sweeps of a fairness audit, every batch of
+//! contextual questions about one sub-population. This cache lets the
+//! [`crate::Engine`] reuse those passes instead of re-scanning.
+//!
+//! Properties:
+//! * **bit-identical results** — a hit returns the very [`ArmTable`]
+//!   a cold build would have produced (same deterministic construction,
+//!   same iteration order), so cached scores equal uncached scores
+//!   bit for bit (pinned by `tests/engine_api.rs`);
+//! * **bounded** — at most `capacity` entries, evicting the least
+//!   recently used; an un-bounded cache over per-individual local
+//!   contexts would grow with the table;
+//! * **thread-safe** — a single mutex guards the map; the scan itself
+//!   runs outside the lock, so concurrent misses build in parallel
+//!   (a rare duplicate build inserts an equivalent table — harmless).
+
+use crate::scores::ArmTable;
+use crate::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tabular::{AttrId, Context, FxHashMap};
+
+/// Cache key: everything that determines an [`ArmTable`]'s content for a
+/// fixed engine (table, prediction column and positive code are engine
+/// invariants; the adjustment set is derived from graph + key but kept
+/// in the key so graph-free and graph-full engines can never alias).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PassKey {
+    /// Sorted intervened attribute set.
+    xs: Vec<AttrId>,
+    /// The query context `k`.
+    k: Context,
+    /// The backdoor adjustment set used for the pass.
+    c_set: Vec<AttrId>,
+}
+
+/// Hit/miss counters plus occupancy — exposed via
+/// [`crate::Engine::cache_stats`] so callers (and the warm-vs-cold
+/// bench) can verify reuse actually happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run a counting pass.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries.
+    pub capacity: usize,
+}
+
+/// The bounded LRU map itself. Interior-mutable so the engine can stay
+/// `&self` everywhere.
+pub(crate) struct CountingCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    /// Value: `(last-touched stamp, shared pass)`.
+    map: FxHashMap<PassKey, (u64, Arc<ArmTable>)>,
+    /// Monotone counter driving LRU recency.
+    stamp: u64,
+}
+
+impl CountingCache {
+    /// An empty cache holding at most `capacity` passes (`capacity` is
+    /// clamped to at least 1 — a zero-size cache would still be correct
+    /// but would turn every lookup into a miss plus bookkeeping).
+    pub(crate) fn new(capacity: usize) -> Self {
+        CountingCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Return the cached pass for `(xs, k, c_set)` or run `build` and
+    /// cache its result. Errors are returned without being cached, so a
+    /// transiently-unsupported context does not poison later lookups.
+    pub(crate) fn get_or_build(
+        &self,
+        xs: &[AttrId],
+        k: &Context,
+        c_set: &[AttrId],
+        build: impl FnOnce() -> Result<ArmTable>,
+    ) -> Result<Arc<ArmTable>> {
+        let key = PassKey { xs: xs.to_vec(), k: k.clone(), c_set: c_set.to_vec() };
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.stamp += 1;
+            let stamp = inner.stamp;
+            if let Some((touched, arms)) = inner.map.get_mut(&key) {
+                *touched = stamp;
+                let arms = Arc::clone(arms);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(arms);
+            }
+        }
+        // Miss: scan outside the lock so other queries keep flowing.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let arms = Arc::new(build()?);
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        inner.map.entry(key).or_insert((stamp, Arc::clone(&arms)));
+        while inner.map.len() > self.capacity {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (touched, _))| *touched)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over capacity");
+            inner.map.remove(&oldest);
+        }
+        Ok(arms)
+    }
+
+    /// Current counters and occupancy.
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("cache lock").map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drop every cached pass (counters are kept — they describe the
+    /// engine's lifetime, not the current residency).
+    pub(crate) fn clear(&self) {
+        self.inner.lock().expect("cache lock").map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScoreEstimator;
+    use tabular::{Domain, Schema, Table};
+
+    fn estimator() -> ScoreEstimator {
+        let mut s = Schema::new();
+        s.push("x", Domain::boolean());
+        s.push("pred", Domain::boolean());
+        let mut t = Table::new(s);
+        for row in [[0, 0], [0, 1], [1, 1], [1, 0], [1, 1]] {
+            t.push_row(&row).unwrap();
+        }
+        ScoreEstimator::new(&t, None, AttrId(1), 1, 0.0).unwrap()
+    }
+
+    fn key_of(v: u32) -> (Vec<AttrId>, Context) {
+        (vec![AttrId(0)], Context::of([(AttrId(5), v)]))
+    }
+
+    #[test]
+    fn hit_returns_same_table_and_counts() {
+        let est = estimator();
+        let cache = CountingCache::new(8);
+        let build = || est.build_arm_table(&[], &[AttrId(0)], &Context::empty(), None);
+        let a = cache
+            .get_or_build(&[AttrId(0)], &Context::empty(), &[], build)
+            .unwrap();
+        let b = cache
+            .get_or_build(&[AttrId(0)], &Context::empty(), &[], || {
+                panic!("must not rebuild on a hit")
+            })
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the cached pass");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_bounds_residency_lru() {
+        let est = estimator();
+        let cache = CountingCache::new(2);
+        for v in 0..4u32 {
+            let (xs, _) = key_of(v);
+            // distinct keys via distinct adjustment sets
+            let c_set = vec![AttrId(10 + v)];
+            let _ = cache.get_or_build(&xs, &Context::empty(), &c_set, || {
+                est.build_arm_table(&[], &[AttrId(0)], &Context::empty(), None)
+            });
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 2, "LRU must evict down to capacity");
+        assert_eq!(s.misses, 4);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = CountingCache::new(2);
+        // a context matching no rows is unsupported, not cached
+        let k = Context::of([(AttrId(0), 0), (AttrId(1), 7)]);
+        for _ in 0..2 {
+            let r = cache.get_or_build(&[AttrId(0)], &k, &[], || {
+                Err(crate::LewisError::Unsupported("no rows".into()))
+            });
+            assert!(r.is_err());
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.misses, 2, "both lookups must have tried to build");
+    }
+}

@@ -1,0 +1,916 @@
+//! The owned, shareable explanation engine — LEWIS as a *system*.
+//!
+//! The paper frames LEWIS as one trained estimator answering many
+//! global / contextual / local / recourse queries over the same labelled
+//! table (§3.2–§4.2). This module is that front door:
+//!
+//! * [`Engine`] owns its inputs behind `Arc`s, is `Send + Sync`, and can
+//!   be shared across threads (`Arc<Engine>`) or cloned handles without
+//!   copying the table;
+//! * [`EngineBuilder`] replaces the six-positional-argument constructor
+//!   with named, defaulted settings:
+//!
+//!   ```no_run
+//!   # use lewis_core::Engine;
+//!   # use tabular::{AttrId, Table, Schema};
+//!   # let table: Table = Table::new(Schema::new());
+//!   # let dag = causal::Dag::new(0);
+//!   let engine = Engine::builder(table)
+//!       .graph(&dag)
+//!       .prediction(AttrId(3), 1)
+//!       .features(&[AttrId(0), AttrId(1), AttrId(2)])
+//!       .alpha(1.0)
+//!       .min_support(30)
+//!       .build()?;
+//!   # Ok::<(), lewis_core::LewisError>(())
+//!   ```
+//!
+//! * [`ExplainRequest`] / [`ExplainResponse`] make every query kind one
+//!   uniform `run` call, and [`Engine::run_batch`] answers many requests
+//!   while sharing work between them (one fitted recourse surrogate per
+//!   actionable set, one counting pass per `(intervened set, context)`);
+//! * a bounded, thread-safe **counting-pass cache** inside the engine
+//!   reuses [`ArmTable`](crate::scores) scans across repeated and
+//!   batched queries — results are bit-identical to cold evaluation
+//!   (property-tested), just without the redundant table scans.
+
+use crate::cache::CountingCache;
+use crate::explain::{
+    AttributeScores, ContextualExplanation, GlobalExplanation, LocalContribution,
+    LocalExplanation,
+};
+use crate::ordering::{infer_value_order, ordered_pairs};
+use crate::recourse::{Recourse, RecourseEngine, RecourseOptions};
+use crate::scores::{Contrast, ScoreEstimator, Scores};
+use crate::{LewisError, Result};
+use causal::Dag;
+use rayon::prelude::*;
+use std::sync::Arc;
+use tabular::{AttrId, Context, Table, Value};
+
+pub use crate::cache::CacheStats;
+
+/// Default minimum matching rows for local-context back-off.
+const DEFAULT_MIN_SUPPORT: usize = 30;
+/// Default Laplace pseudo-count.
+const DEFAULT_ALPHA: f64 = 1.0;
+/// Default bound on resident counting passes.
+const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// One explanation query, ready to be answered by [`Engine::run`].
+///
+/// The variants mirror the paper's query taxonomy (§3.2): the context
+/// `K` ranges from empty (global) over a sub-population (contextual) to
+/// a full individual (local), plus actionable recourse (§4.2).
+#[derive(Debug, Clone)]
+pub enum ExplainRequest {
+    /// Every feature ranked over the whole population (`K = ∅`).
+    Global,
+    /// A global-shaped ranking inside the sub-population `k`.
+    ContextualGlobal {
+        /// The sub-population.
+        k: Context,
+    },
+    /// One attribute's scores inside the sub-population `k`.
+    Contextual {
+        /// The probed attribute.
+        attr: AttrId,
+        /// The sub-population.
+        k: Context,
+    },
+    /// Per-attribute contributions for one individual (`K = V`).
+    Local {
+        /// A full schema row, including the prediction cell.
+        row: Vec<Value>,
+    },
+    /// Minimal-cost actionable recourse for one individual.
+    Recourse {
+        /// A full schema row, including the prediction cell.
+        row: Vec<Value>,
+        /// The attributes the individual can act on.
+        actionable: Vec<AttrId>,
+        /// Cost model, sufficiency threshold, etc.
+        opts: RecourseOptions,
+    },
+}
+
+/// The answer to one [`ExplainRequest`], same variant order.
+#[derive(Debug, Clone)]
+pub enum ExplainResponse {
+    /// Answer to [`ExplainRequest::Global`] / [`ExplainRequest::ContextualGlobal`].
+    Global(GlobalExplanation),
+    /// Answer to [`ExplainRequest::Contextual`].
+    Contextual(ContextualExplanation),
+    /// Answer to [`ExplainRequest::Local`].
+    Local(LocalExplanation),
+    /// Answer to [`ExplainRequest::Recourse`].
+    Recourse(Recourse),
+}
+
+impl ExplainResponse {
+    /// The global explanation, if this response carries one.
+    pub fn into_global(self) -> Option<GlobalExplanation> {
+        match self {
+            ExplainResponse::Global(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The contextual explanation, if this response carries one.
+    pub fn into_contextual(self) -> Option<ContextualExplanation> {
+        match self {
+            ExplainResponse::Contextual(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The local explanation, if this response carries one.
+    pub fn into_local(self) -> Option<LocalExplanation> {
+        match self {
+            ExplainResponse::Local(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The recourse recommendation, if this response carries one.
+    pub fn into_recourse(self) -> Option<Recourse> {
+        match self {
+            ExplainResponse::Recourse(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Typed, defaulted construction of an [`Engine`] — see
+/// [`Engine::builder`].
+pub struct EngineBuilder {
+    table: Arc<Table>,
+    graph: Option<Arc<Dag>>,
+    pred: Option<AttrId>,
+    positive: Value,
+    features: Option<Vec<AttrId>>,
+    alpha: f64,
+    min_support: usize,
+    cache_capacity: usize,
+}
+
+impl EngineBuilder {
+    fn new(table: Arc<Table>) -> Self {
+        EngineBuilder {
+            table,
+            graph: None,
+            pred: None,
+            positive: 1,
+            features: None,
+            alpha: DEFAULT_ALPHA,
+            min_support: DEFAULT_MIN_SUPPORT,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+
+    /// Use `graph` as the causal diagram (cloned into shared ownership;
+    /// see [`EngineBuilder::graph_shared`] for the zero-copy variant).
+    /// Without a graph the engine uses the §6 no-confounding fallback.
+    #[must_use]
+    pub fn graph(mut self, graph: &Dag) -> Self {
+        self.graph = Some(Arc::new(graph.clone()));
+        self
+    }
+
+    /// Use an already-shared causal diagram without copying it.
+    #[must_use]
+    pub fn graph_shared(mut self, graph: Arc<Dag>) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// The black box's binary prediction column and the favourable
+    /// outcome code. **Required.**
+    #[must_use]
+    pub fn prediction(mut self, pred: AttrId, positive: Value) -> Self {
+        self.pred = Some(pred);
+        self.positive = positive;
+        self
+    }
+
+    /// The attributes to explain (exclude the prediction column and any
+    /// raw outcome columns). **Required.**
+    #[must_use]
+    pub fn features(mut self, features: &[AttrId]) -> Self {
+        self.features = Some(features.to_vec());
+        self
+    }
+
+    /// Laplace pseudo-count for the inner conditionals (default 1.0).
+    #[must_use]
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Minimum matching rows for local-context back-off (default 30).
+    #[must_use]
+    pub fn min_support(mut self, min_support: usize) -> Self {
+        self.min_support = min_support;
+        self
+    }
+
+    /// Maximum counting passes kept resident in the engine's cache
+    /// (default 256; clamped to at least 1).
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Validate the configuration and build the engine (infers the
+    /// per-feature value orderings up front, like the paper's offline
+    /// phase).
+    pub fn build(self) -> Result<Engine> {
+        let pred = self.pred.ok_or_else(|| {
+            LewisError::Invalid("EngineBuilder: prediction(pred, positive) is required".into())
+        })?;
+        let features = self.features.ok_or_else(|| {
+            LewisError::Invalid("EngineBuilder: features(&[...]) is required".into())
+        })?;
+        if features.is_empty() {
+            return Err(LewisError::Invalid("features must not be empty".into()));
+        }
+        if features.contains(&pred) {
+            return Err(LewisError::Invalid(
+                "features must not include the prediction".into(),
+            ));
+        }
+        let est =
+            ScoreEstimator::from_shared(self.table, self.graph, pred, self.positive, self.alpha)?;
+        let mut orders = vec![None; est.table().schema().len()];
+        for &a in &features {
+            let order = infer_value_order(est.table(), a, pred, self.positive)?;
+            orders[a.index()] = Some(order);
+        }
+        Ok(Engine {
+            est,
+            features,
+            orders,
+            min_support: self.min_support,
+            cache: CountingCache::new(self.cache_capacity),
+        })
+    }
+}
+
+/// The LEWIS explanation engine: one owned, thread-shareable object
+/// answering every query kind of §3.2/§4.2 over one labelled table,
+/// with counting passes shared across queries.
+pub struct Engine {
+    est: ScoreEstimator,
+    features: Vec<AttrId>,
+    orders: Vec<Option<Vec<Value>>>,
+    min_support: usize,
+    cache: CountingCache,
+}
+
+impl Engine {
+    /// Start building an engine over `table` (pass a `Table` to hand
+    /// over ownership, or an `Arc<Table>` to share without copying).
+    pub fn builder(table: impl Into<Arc<Table>>) -> EngineBuilder {
+        EngineBuilder::new(table.into())
+    }
+
+    /// The underlying estimator.
+    pub fn estimator(&self) -> &ScoreEstimator {
+        &self.est
+    }
+
+    /// The labelled table.
+    pub fn table(&self) -> &Table {
+        self.est.table()
+    }
+
+    /// The causal diagram, if one was supplied.
+    pub fn graph(&self) -> Option<&Dag> {
+        self.est.graph()
+    }
+
+    /// The explained features.
+    pub fn features(&self) -> &[AttrId] {
+        &self.features
+    }
+
+    /// Minimum matching rows for local-context back-off.
+    pub fn min_support(&self) -> usize {
+        self.min_support
+    }
+
+    /// The inferred (ascending) value order of a feature.
+    pub fn value_order(&self, attr: AttrId) -> Option<&[Value]> {
+        self.orders.get(attr.index()).and_then(|o| o.as_deref())
+    }
+
+    /// Counting-pass cache counters (hits / misses / residency).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop all cached counting passes (results are unaffected — the
+    /// next queries just pay their scans again).
+    pub fn clear_cache(&self) {
+        self.cache.clear()
+    }
+
+    /// Answer one request.
+    pub fn run(&self, request: &ExplainRequest) -> Result<ExplainResponse> {
+        match request {
+            ExplainRequest::Global => self.global().map(ExplainResponse::Global),
+            ExplainRequest::ContextualGlobal { k } => {
+                self.contextual_global(k).map(ExplainResponse::Global)
+            }
+            ExplainRequest::Contextual { attr, k } => {
+                self.contextual(*attr, k).map(ExplainResponse::Contextual)
+            }
+            ExplainRequest::Local { row } => self.local(row).map(ExplainResponse::Local),
+            ExplainRequest::Recourse { row, actionable, opts } => {
+                self.recourse(row, actionable, opts).map(ExplainResponse::Recourse)
+            }
+        }
+    }
+
+    /// Answer many requests, sharing work between compatible ones.
+    ///
+    /// Results are positionally aligned with `requests` and identical to
+    /// running each request alone. Two kinds of sharing happen:
+    ///
+    /// * scoring requests reuse counting passes through the engine cache
+    ///   (repeated or overlapping `(attribute, context)` pairs scan the
+    ///   table once);
+    /// * recourse requests are grouped by actionable set, so each group
+    ///   fits its logit-linear surrogate once instead of per request.
+    pub fn run_batch(&self, requests: &[ExplainRequest]) -> Vec<Result<ExplainResponse>> {
+        let mut out: Vec<Option<Result<ExplainResponse>>> =
+            requests.iter().map(|_| None).collect();
+        // Group recourse requests by actionable set, preserving first-
+        // seen order for determinism.
+        let mut recourse_groups: Vec<(Vec<AttrId>, Vec<usize>)> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            match request {
+                ExplainRequest::Recourse { actionable, .. } => {
+                    match recourse_groups.iter_mut().find(|(a, _)| a == actionable) {
+                        Some((_, idxs)) => idxs.push(i),
+                        None => recourse_groups.push((actionable.clone(), vec![i])),
+                    }
+                }
+                other => out[i] = Some(self.run(other)),
+            }
+        }
+        for (actionable, idxs) in recourse_groups {
+            match RecourseEngine::new(&self.est, &actionable) {
+                Ok(engine) => {
+                    for i in idxs {
+                        let ExplainRequest::Recourse { row, opts, .. } = &requests[i] else {
+                            unreachable!("grouped index always points at a recourse request");
+                        };
+                        out[i] =
+                            Some(engine.recourse(row, opts).map(ExplainResponse::Recourse));
+                    }
+                }
+                Err(first) => {
+                    // LewisError is not Clone: the first failing request
+                    // gets the original error; the rest re-derive it from
+                    // the *cheap* validation checks (never repeating the
+                    // feature-matrix build or surrogate fit), falling
+                    // back to the formatted message when the failure came
+                    // from the fit itself.
+                    let msg = format!("{first}");
+                    let mut first = Some(first);
+                    for i in idxs {
+                        let err = match first.take() {
+                            Some(e) => e,
+                            None => RecourseEngine::validate(&self.est, &actionable)
+                                .err()
+                                .unwrap_or_else(|| {
+                                    LewisError::Invalid(format!(
+                                        "recourse engine build failed: {msg}"
+                                    ))
+                                }),
+                        };
+                        out[i] = Some(Err(err));
+                    }
+                }
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every request answered"))
+            .collect()
+    }
+
+    /// Maximum scores over all ordered value pairs of `attr` within `k`.
+    /// Pairs without data support are skipped; when **no** pair has
+    /// support the scores are zero and `best_pair` is `None`.
+    ///
+    /// All pairs of one attribute intervene on the same attribute set,
+    /// so they are scored off a single counting pass — served from the
+    /// engine cache when a previous query already paid for it.
+    pub fn attribute_scores(&self, attr: AttrId, k: &Context) -> Result<AttributeScores> {
+        let order = self
+            .value_order(attr)
+            .ok_or_else(|| LewisError::Invalid(format!("{attr} is not an explained feature")))?;
+        let pairs = ordered_pairs(order);
+        let contrasts: Vec<Contrast> = pairs
+            .iter()
+            .map(|&(hi, lo)| Contrast::single(attr, hi, lo))
+            .collect();
+        let mut best = Scores::default();
+        let mut best_pair: Option<(Value, Value)> = None;
+        for (&(hi, lo), result) in pairs
+            .iter()
+            .zip(self.est.scores_batch_impl(&contrasts, k, Some(&self.cache)))
+        {
+            match result {
+                Ok(s) => {
+                    if best_pair.is_none() || s.nesuf > best.nesuf {
+                        best.nesuf = s.nesuf;
+                        best_pair = Some((hi, lo));
+                    }
+                    best.necessity = best.necessity.max(s.necessity);
+                    best.sufficiency = best.sufficiency.max(s.sufficiency);
+                }
+                Err(LewisError::Unsupported(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(AttributeScores {
+            attr,
+            name: self.est.table().schema().name(attr).to_string(),
+            scores: best,
+            best_pair,
+        })
+    }
+
+    /// Global explanation (`K = ∅`, Figure 3).
+    pub fn global(&self) -> Result<GlobalExplanation> {
+        self.contextual_global(&Context::empty())
+    }
+
+    /// Global-shaped explanation within a context (used for Figure 4 and
+    /// the sub-population audits).
+    ///
+    /// Per-attribute scoring fans out across threads; results are
+    /// gathered in feature order and sorted with a total tie-break, so
+    /// the explanation is identical for every thread count.
+    pub fn contextual_global(&self, k: &Context) -> Result<GlobalExplanation> {
+        let free: Vec<AttrId> = self
+            .features
+            .iter()
+            .copied()
+            .filter(|a| !k.constrains(*a))
+            .collect();
+        let scored: Vec<Result<AttributeScores>> = free
+            .par_iter()
+            .map(|&a| self.attribute_scores(a, k))
+            .collect();
+        let mut attributes = Vec::with_capacity(scored.len());
+        for result in scored {
+            attributes.push(result?);
+        }
+        attributes.sort_by(|x, y| {
+            y.scores
+                .nesuf
+                .total_cmp(&x.scores.nesuf)
+                .then_with(|| x.attr.cmp(&y.attr))
+        });
+        Ok(GlobalExplanation { attributes })
+    }
+
+    /// Contextual explanation of one attribute in one sub-population
+    /// (Figure 4's bars).
+    pub fn contextual(&self, attr: AttrId, k: &Context) -> Result<ContextualExplanation> {
+        let scores = self.attribute_scores(attr, k)?.scores;
+        Ok(ContextualExplanation { attr, context: k.clone(), scores })
+    }
+
+    /// Local explanation for one individual (Figures 5–7), using the
+    /// engine's configured `min_support` for the context back-off.
+    ///
+    /// For a **negative** outcome, an attribute's *negative* contribution
+    /// is `max_{x > x'} SUF` (a better value would likely flip the
+    /// decision) and its *positive* contribution is `max_{x'' < x'} SUF`
+    /// (the current value already helps relative to worse ones). For a
+    /// **positive** outcome the same roles are played by the necessity
+    /// score (§3.2).
+    pub fn local(&self, row: &[Value]) -> Result<LocalExplanation> {
+        self.local_with_support(row, self.min_support)
+    }
+
+    /// [`Engine::local`] with an explicit back-off support floor.
+    pub fn local_with_support(
+        &self,
+        row: &[Value],
+        min_support: usize,
+    ) -> Result<LocalExplanation> {
+        let pred = self.est.pred_attr();
+        if row.len() < self.est.table().schema().len() {
+            return Err(LewisError::Invalid(format!(
+                "row has {} values, schema needs {}",
+                row.len(),
+                self.est.table().schema().len()
+            )));
+        }
+        let outcome = row[pred.index()];
+        let favourable = outcome == self.est.positive();
+        // Per-attribute contributions are independent: fan out across
+        // threads, and within one attribute score every value contrast
+        // off a single shared counting pass.
+        let scored: Vec<Result<LocalContribution>> = self
+            .features
+            .par_iter()
+            .map(|&a| self.local_contribution(a, row, favourable, min_support))
+            .collect();
+        let mut contributions = Vec::with_capacity(scored.len());
+        for result in scored {
+            contributions.push(result?);
+        }
+        contributions.sort_by(|x, y| {
+            let mx = x.positive.max(x.negative);
+            let my = y.positive.max(y.negative);
+            my.total_cmp(&mx).then_with(|| x.attr.cmp(&y.attr))
+        });
+        Ok(LocalExplanation { outcome, contributions })
+    }
+
+    /// Minimal-cost actionable recourse for `row` (§4.2). Fits the
+    /// logit-linear surrogate for `actionable` on the spot; use
+    /// [`Engine::run_batch`] to amortize that fit over many individuals
+    /// with the same actionable set.
+    pub fn recourse(
+        &self,
+        row: &[Value],
+        actionable: &[AttrId],
+        opts: &RecourseOptions,
+    ) -> Result<Recourse> {
+        RecourseEngine::new(&self.est, actionable)?.recourse(row, opts)
+    }
+
+    /// One attribute's local contribution (the §3.2 rules; see
+    /// [`Engine::local`] for the positive/negative semantics).
+    fn local_contribution(
+        &self,
+        a: AttrId,
+        row: &[Value],
+        favourable: bool,
+        min_support: usize,
+    ) -> Result<LocalContribution> {
+        let order = self.value_order(a).expect("feature orders precomputed");
+        let current = row[a.index()];
+        let pos_rank = order
+            .iter()
+            .position(|&v| v == current)
+            .ok_or_else(|| {
+                LewisError::Invalid(format!(
+                    "row value {current} of attribute {a} is outside its domain"
+                ))
+            })?;
+        let k = self.est.local_context(row, a, min_support);
+        // values worse / better than current, per the inferred order;
+        // every contrast shares the same attribute and context, so the
+        // whole attribute costs one counting pass.
+        let mut directions: Vec<bool> = Vec::with_capacity(order.len().saturating_sub(1));
+        let mut contrasts: Vec<Contrast> = Vec::with_capacity(order.len().saturating_sub(1));
+        for (rank, &v) in order.iter().enumerate() {
+            if rank == pos_rank {
+                continue;
+            }
+            let is_positive = rank < pos_rank;
+            let (hi, lo) = if is_positive { (current, v) } else { (v, current) };
+            directions.push(is_positive);
+            contrasts.push(Contrast::single(a, hi, lo));
+        }
+        let mut positive = 0.0f64;
+        let mut negative = 0.0f64;
+        for (is_positive, result) in directions
+            .iter()
+            .zip(self.est.scores_batch_impl(&contrasts, &k, Some(&self.cache)))
+        {
+            match result {
+                Ok(s) => {
+                    // positive outcome: NEC quantifies both directions;
+                    // negative outcome: SUF does (§3.2)
+                    let score = if favourable { s.necessity } else { s.sufficiency };
+                    if *is_positive {
+                        positive = positive.max(score);
+                    } else {
+                        negative = negative.max(score);
+                    }
+                }
+                Err(LewisError::Unsupported(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        // A missing attribute is a caller error, not a silent blank.
+        let label = self.est.table().schema().attr(a)?.domain.label(current);
+        Ok(LocalContribution {
+            attr: a,
+            name: self.est.table().schema().name(a).to_string(),
+            value: current,
+            label,
+            positive,
+            negative,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blackbox::label_table;
+    use causal::scm::{Mechanism, ScmBuilder};
+    use causal::Scm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tabular::{Domain, Schema};
+
+    /// Loan world shared with the explain-module tests: status (3
+    /// levels) and savings (2) cause approval; `hair` does not.
+    fn world() -> Scm {
+        let mut schema = Schema::new();
+        schema.push("status", Domain::categorical(["bad", "ok", "good"]));
+        schema.push("savings", Domain::categorical(["low", "high"]));
+        schema.push("hair", Domain::boolean());
+        let mut b = ScmBuilder::new(schema);
+        b.edge(0, 1).unwrap();
+        b.mechanism(0, Mechanism::root(vec![0.3, 0.4, 0.3])).unwrap();
+        b.mechanism(
+            1,
+            Mechanism::with_noise(vec![0.7, 0.3], |pa, u| {
+                u32::from(pa[0] == 2) | (u as Value & u32::from(pa[0] == 1))
+            }),
+        )
+        .unwrap();
+        b.mechanism(2, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        b.build().unwrap()
+    }
+
+    fn approve(row: &[Value]) -> Value {
+        u32::from(row[0] + row[1] >= 2)
+    }
+
+    fn setup(n: usize) -> (Table, AttrId) {
+        let scm = world();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut t = scm.generate(n, &mut rng);
+        let pred = label_table(&mut t, &approve, "pred").unwrap();
+        (t, pred)
+    }
+
+    fn engine(n: usize) -> Engine {
+        let (t, pred) = setup(n);
+        let scm = world();
+        Engine::builder(t)
+            .graph(scm.graph())
+            .prediction(pred, 1)
+            .features(&[AttrId(0), AttrId(1), AttrId(2)])
+            .alpha(0.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_is_send_sync_and_unlifetimed() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<ScoreEstimator>();
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        let (t, pred) = setup(200);
+        let t = Arc::new(t);
+        // missing prediction
+        assert!(Engine::builder(Arc::clone(&t))
+            .features(&[AttrId(0)])
+            .build()
+            .is_err());
+        // missing features
+        assert!(Engine::builder(Arc::clone(&t))
+            .prediction(pred, 1)
+            .build()
+            .is_err());
+        // empty features
+        assert!(Engine::builder(Arc::clone(&t))
+            .prediction(pred, 1)
+            .features(&[])
+            .build()
+            .is_err());
+        // features include the prediction
+        assert!(Engine::builder(Arc::clone(&t))
+            .prediction(pred, 1)
+            .features(&[pred])
+            .build()
+            .is_err());
+        // bad positive code / alpha delegate to the estimator checks
+        assert!(Engine::builder(Arc::clone(&t))
+            .prediction(pred, 2)
+            .features(&[AttrId(0)])
+            .build()
+            .is_err());
+        assert!(Engine::builder(Arc::clone(&t))
+            .prediction(pred, 1)
+            .features(&[AttrId(0)])
+            .alpha(-1.0)
+            .build()
+            .is_err());
+        // a valid configuration builds and shares the table (no copy)
+        let e = Engine::builder(Arc::clone(&t))
+            .prediction(pred, 1)
+            .features(&[AttrId(0)])
+            .build()
+            .unwrap();
+        assert_eq!(e.table().n_rows(), t.n_rows());
+        assert_eq!(Arc::strong_count(&t), 2, "builder must not deep-copy the Arc'd table");
+    }
+
+    #[test]
+    fn run_matches_direct_methods() {
+        let e = engine(5000);
+        let k = Context::of([(AttrId(0), 1)]);
+        let row = e.table().row(0).unwrap();
+
+        let g = e.run(&ExplainRequest::Global).unwrap().into_global().unwrap();
+        assert_eq!(g, e.global().unwrap());
+        let cg = e
+            .run(&ExplainRequest::ContextualGlobal { k: k.clone() })
+            .unwrap()
+            .into_global()
+            .unwrap();
+        assert_eq!(cg, e.contextual_global(&k).unwrap());
+        let c = e
+            .run(&ExplainRequest::Contextual { attr: AttrId(1), k: k.clone() })
+            .unwrap()
+            .into_contextual()
+            .unwrap();
+        assert_eq!(c, e.contextual(AttrId(1), &k).unwrap());
+        let l = e
+            .run(&ExplainRequest::Local { row: row.clone() })
+            .unwrap()
+            .into_local()
+            .unwrap();
+        assert_eq!(l, e.local(&row).unwrap());
+    }
+
+    #[test]
+    fn run_batch_is_positional_and_reuses_passes() {
+        let e = engine(5000);
+        let k = Context::of([(AttrId(0), 1)]);
+        let mut requests = Vec::new();
+        for _ in 0..10 {
+            requests.push(ExplainRequest::Contextual { attr: AttrId(1), k: k.clone() });
+            requests.push(ExplainRequest::Contextual { attr: AttrId(2), k: k.clone() });
+        }
+        let responses = e.run_batch(&requests);
+        assert_eq!(responses.len(), requests.len());
+        let first = responses[0].as_ref().unwrap().clone().into_contextual().unwrap();
+        for r in responses.iter().step_by(2) {
+            assert_eq!(
+                first,
+                r.as_ref().unwrap().clone().into_contextual().unwrap(),
+                "repeated requests must agree"
+            );
+        }
+        let stats = e.cache_stats();
+        assert!(
+            stats.hits >= 18,
+            "20 repeated queries over 2 keys must mostly hit, got {stats:?}"
+        );
+        assert_eq!(stats.misses, 2, "one pass per distinct (attr, context)");
+    }
+
+    #[test]
+    fn cached_scores_equal_cold_scores_bitwise() {
+        let cold = engine(5000);
+        let warm = engine(5000);
+        let contexts =
+            [Context::empty(), Context::of([(AttrId(0), 0)]), Context::of([(AttrId(0), 2)])];
+        // warm the second engine with one full sweep, then compare a
+        // second sweep (all hits) against the first engine's cold run
+        for k in &contexts {
+            for a in [AttrId(1), AttrId(2)] {
+                if k.constrains(a) {
+                    continue;
+                }
+                let _ = warm.attribute_scores(a, k).unwrap();
+            }
+        }
+        for k in &contexts {
+            for a in [AttrId(1), AttrId(2)] {
+                if k.constrains(a) {
+                    continue;
+                }
+                let c = cold.attribute_scores(a, k).unwrap();
+                let w = warm.attribute_scores(a, k).unwrap();
+                assert_eq!(c, w, "warm result must be bit-identical for {a} in {k:?}");
+                assert_eq!(c.scores.nesuf.to_bits(), w.scores.nesuf.to_bits());
+                assert_eq!(c.scores.necessity.to_bits(), w.scores.necessity.to_bits());
+                assert_eq!(c.scores.sufficiency.to_bits(), w.scores.sufficiency.to_bits());
+            }
+        }
+        assert!(warm.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn clear_cache_keeps_results_stable() {
+        let e = engine(3000);
+        let a = e.attribute_scores(AttrId(1), &Context::empty()).unwrap();
+        e.clear_cache();
+        assert_eq!(e.cache_stats().entries, 0);
+        let b = e.attribute_scores(AttrId(1), &Context::empty()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn global_ranks_causal_attributes_above_noise() {
+        let e = engine(20_000);
+        let g = e.global().unwrap();
+        assert_eq!(g.attributes.len(), 3);
+        let last = g.attributes.last().unwrap();
+        assert_eq!(last.attr, AttrId(2));
+        assert!(last.scores.nesuf < 0.05);
+        assert_eq!(g.attributes[0].attr, AttrId(0));
+        assert!(g.attributes[0].scores.sufficiency > 0.3);
+        assert_eq!(g.rank_by(AttrId(0), |s| s.nesuf), Some(1));
+        assert_eq!(g.rank_by(AttrId(2), |s| s.nesuf), Some(3));
+        // every scored attribute carries its maximizing contrast
+        for a in &g.attributes {
+            assert!(a.best_pair.is_some(), "{} has support", a.name);
+        }
+    }
+
+    #[test]
+    fn local_explanations_flag_improvable_attributes() {
+        let e = engine(20_000);
+        let rejected = e.local(&[0, 0, 0, 0]).unwrap();
+        assert_eq!(rejected.outcome, 0);
+        let status = rejected
+            .contributions
+            .iter()
+            .find(|c| c.attr == AttrId(0))
+            .unwrap();
+        assert!(status.negative > 0.5, "raising bad status is sufficient: {}", status.negative);
+        assert!(status.positive < 0.1);
+        let approved = e.local(&[2, 1, 0, 1]).unwrap();
+        assert_eq!(approved.outcome, 1);
+        let status_a = approved
+            .contributions
+            .iter()
+            .find(|c| c.attr == AttrId(0))
+            .unwrap();
+        assert!(status_a.positive > 0.5, "good status is necessary: {}", status_a.positive);
+    }
+
+    #[test]
+    fn local_validates_row_shape_and_domain() {
+        let e = engine(500);
+        assert!(e.local(&[0, 0]).is_err(), "short row");
+        assert!(e.local(&[9, 0, 0, 0]).is_err(), "out-of-domain value");
+    }
+
+    #[test]
+    fn recourse_request_round_trips() {
+        let e = engine(20_000);
+        let opts = RecourseOptions { alpha: 0.6, ..RecourseOptions::default() };
+        let direct = e.recourse(&[0, 0, 0, 0], &[AttrId(0), AttrId(1)], &opts);
+        let via_batch = e
+            .run_batch(&[ExplainRequest::Recourse {
+                row: vec![0, 0, 0, 0],
+                actionable: vec![AttrId(0), AttrId(1)],
+                opts,
+            }])
+            .remove(0);
+        match (direct, via_batch) {
+            (Ok(d), Ok(r)) => assert_eq!(Some(d), r.into_recourse()),
+            (Err(d), Err(r)) => assert_eq!(format!("{d}"), format!("{r}")),
+            (d, r) => panic!("direct {d:?} vs batch {r:?}"),
+        }
+    }
+
+    #[test]
+    fn run_batch_distributes_recourse_build_errors_per_request() {
+        let e = engine(500);
+        let pred = e.estimator().pred_attr();
+        // actionable set containing the prediction column fails the
+        // cheap validation; every request in the group must get the
+        // same Invalid error, not just the first
+        let bad = ExplainRequest::Recourse {
+            row: vec![0, 0, 0, 0],
+            actionable: vec![pred],
+            opts: RecourseOptions::default(),
+        };
+        let responses = e.run_batch(&[bad.clone(), bad]);
+        assert_eq!(responses.len(), 2);
+        for r in responses {
+            match r {
+                Err(LewisError::Invalid(m)) => {
+                    assert!(m.contains("not actionable"), "unexpected message: {m}")
+                }
+                other => panic!("expected Invalid for both requests, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,20 +1,23 @@
-//! Global, contextual and local explanations (paper §3.2).
+//! Global, contextual and local explanation *result* types (paper §3.2),
+//! plus the deprecated borrowed [`Lewis`] facade.
 //!
 //! * **Global** (`K = ∅`): for every attribute, the maximum of each score
 //!   over all ordered value pairs — Figure 3's rankings.
 //! * **Contextual** (user-defined `K = k`): the same scores inside a
 //!   sub-population — Figure 4's group comparisons.
 //! * **Local** (`K = V`): per-attribute positive/negative contributions
-//!   for one individual — Figures 5–7's bar charts. The context is the
-//!   individual's values on the non-descendants of the probed attribute
-//!   (descendants must stay free to respond to the intervention), with a
-//!   support-driven back-off.
+//!   for one individual — Figures 5–7's bar charts.
+//!
+//! The queries themselves are answered by [`crate::Engine`] — the owned,
+//! `Send + Sync` entry point built with [`crate::Engine::builder`].
+//! [`Lewis`] remains for one release as a thin shim over `Engine` for
+//! code still written against the borrowed API.
 
-use crate::ordering::{infer_value_order, ordered_pairs};
-use crate::scores::{Contrast, ScoreEstimator, Scores};
-use crate::{LewisError, Result};
+use crate::engine::Engine;
+use crate::scores::{ScoreEstimator, Scores};
+use crate::Result;
 use causal::Dag;
-use rayon::prelude::*;
+use std::marker::PhantomData;
 use tabular::{AttrId, Context, Table, Value};
 
 /// Scores for one attribute, maximized over value contrasts.
@@ -26,8 +29,10 @@ pub struct AttributeScores {
     pub name: String,
     /// Component-wise maximum scores over all ordered value pairs.
     pub scores: Scores,
-    /// The contrast `(hi, lo)` achieving the maximum NESUF.
-    pub best_pair: (Value, Value),
+    /// The contrast `(hi, lo)` achieving the maximum NESUF, or `None`
+    /// when no ordered pair of this attribute had data support (in which
+    /// case every score is zero).
+    pub best_pair: Option<(Value, Value)>,
 }
 
 /// A full global explanation: every feature, ranked by NESUF.
@@ -45,7 +50,7 @@ impl GlobalExplanation {
             .iter()
             .map(|a| (component(&a.scores), a.attr))
             .collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         scored.iter().position(|&(_, a)| a == attr).map(|i| i + 1)
     }
 }
@@ -90,18 +95,32 @@ pub struct LocalExplanation {
     pub contributions: Vec<LocalContribution>,
 }
 
-/// The LEWIS explanation generator: wraps a [`ScoreEstimator`] with value
-/// orderings and the §3.2 explanation recipes.
+/// Deprecated borrowed facade over [`Engine`].
+///
+/// `Lewis` predates the owned engine: it borrowed its table, could not
+/// cross threads, and was built from six positional arguments. It now
+/// wraps an [`Engine`] (cloning the table and graph on construction —
+/// prefer [`Engine::builder`], which can share them without copying) and
+/// will be removed after one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine::builder(table).prediction(..).features(..).build()` — \
+            the owned engine is Send + Sync, shares counting passes across \
+            queries, and does not clone the table"
+)]
 pub struct Lewis<'a> {
-    est: ScoreEstimator<'a>,
-    features: Vec<AttrId>,
-    orders: Vec<Option<Vec<Value>>>,
+    engine: Engine,
     /// Minimum matching rows for local contexts before back-off.
     pub min_support: usize,
+    /// The historical API borrowed the table; the shim keeps the
+    /// lifetime so downstream signatures stay valid.
+    _borrow: PhantomData<&'a Table>,
 }
 
+#[allow(deprecated)]
 impl<'a> Lewis<'a> {
-    /// Build an explainer over a labelled `table`.
+    /// Build an explainer over a labelled `table` (cloned into the
+    /// underlying engine).
     ///
     /// * `graph` — causal diagram (or `None` for the §6 fallback);
     /// * `pred` — the black box's prediction column (binary);
@@ -116,226 +135,71 @@ impl<'a> Lewis<'a> {
         features: &[AttrId],
         alpha: f64,
     ) -> Result<Self> {
-        if features.contains(&pred) {
-            return Err(LewisError::Invalid("features must not include the prediction".into()));
+        let mut builder = Engine::builder(table.clone())
+            .prediction(pred, positive)
+            .features(features)
+            .alpha(alpha);
+        if let Some(g) = graph {
+            builder = builder.graph(g);
         }
-        let est = ScoreEstimator::new(table, graph, pred, positive, alpha)?;
-        let mut orders = vec![None; table.schema().len()];
-        for &a in features {
-            let order = infer_value_order(table, a, pred, positive)?;
-            orders[a.index()] = Some(order);
-        }
-        Ok(Lewis { est, features: features.to_vec(), orders, min_support: 30 })
+        let engine = builder.build()?;
+        let min_support = engine.min_support();
+        Ok(Lewis { engine, min_support, _borrow: PhantomData })
+    }
+
+    /// The wrapped engine (migration escape hatch).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// The underlying estimator.
-    pub fn estimator(&self) -> &ScoreEstimator<'a> {
-        &self.est
+    pub fn estimator(&self) -> &ScoreEstimator {
+        self.engine.estimator()
     }
 
     /// The explained features.
     pub fn features(&self) -> &[AttrId] {
-        &self.features
+        self.engine.features()
     }
 
     /// The inferred (ascending) value order of a feature.
     pub fn value_order(&self, attr: AttrId) -> Option<&[Value]> {
-        self.orders.get(attr.index()).and_then(|o| o.as_deref())
+        self.engine.value_order(attr)
     }
 
-    /// Maximum scores over all ordered value pairs of `attr` within `k`.
-    /// Pairs without data support are skipped; if no pair has support the
-    /// scores are zero.
-    ///
-    /// All pairs of one attribute intervene on the same attribute set,
-    /// so they are scored as one [`ScoreEstimator::scores_batch`] call
-    /// sharing a single counting pass over the table.
+    /// See [`Engine::attribute_scores`].
     pub fn attribute_scores(&self, attr: AttrId, k: &Context) -> Result<AttributeScores> {
-        let order = self
-            .value_order(attr)
-            .ok_or_else(|| LewisError::Invalid(format!("{attr} is not an explained feature")))?;
-        let pairs = ordered_pairs(order);
-        let contrasts: Vec<Contrast> = pairs
-            .iter()
-            .map(|&(hi, lo)| Contrast::single(attr, hi, lo))
-            .collect();
-        let mut best = Scores::default();
-        let mut best_pair = (0, 0);
-        for (&(hi, lo), result) in pairs.iter().zip(self.est.scores_batch(&contrasts, k)) {
-            match result {
-                Ok(s) => {
-                    if s.nesuf > best.nesuf {
-                        best.nesuf = s.nesuf;
-                        best_pair = (hi, lo);
-                    }
-                    best.necessity = best.necessity.max(s.necessity);
-                    best.sufficiency = best.sufficiency.max(s.sufficiency);
-                }
-                Err(LewisError::Invalid(_)) => continue, // unsupported pair
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(AttributeScores {
-            attr,
-            name: self.est.table().schema().name(attr).to_string(),
-            scores: best,
-            best_pair,
-        })
+        self.engine.attribute_scores(attr, k)
     }
 
-    /// Global explanation (`K = ∅`, Figure 3).
+    /// See [`Engine::global`].
     pub fn global(&self) -> Result<GlobalExplanation> {
-        self.contextual_global(&Context::empty())
+        self.engine.global()
     }
 
-    /// Global-shaped explanation within a context (used for Figure 4 and
-    /// the sub-population audits).
-    ///
-    /// Per-attribute scoring fans out across threads; results are
-    /// gathered in feature order and sorted with a total tie-break, so
-    /// the explanation is identical for every thread count.
+    /// See [`Engine::contextual_global`].
     pub fn contextual_global(&self, k: &Context) -> Result<GlobalExplanation> {
-        let free: Vec<AttrId> = self
-            .features
-            .iter()
-            .copied()
-            .filter(|a| !k.constrains(*a))
-            .collect();
-        let scored: Vec<Result<AttributeScores>> = free
-            .par_iter()
-            .map(|&a| self.attribute_scores(a, k))
-            .collect();
-        let mut attributes = Vec::with_capacity(scored.len());
-        for result in scored {
-            attributes.push(result?);
-        }
-        attributes.sort_by(|x, y| {
-            y.scores
-                .nesuf
-                .partial_cmp(&x.scores.nesuf)
-                .expect("finite")
-                .then_with(|| x.attr.cmp(&y.attr))
-        });
-        Ok(GlobalExplanation { attributes })
+        self.engine.contextual_global(k)
     }
 
-    /// Contextual explanation of one attribute in one sub-population
-    /// (Figure 4's bars).
+    /// See [`Engine::contextual`].
     pub fn contextual(&self, attr: AttrId, k: &Context) -> Result<ContextualExplanation> {
-        let scores = self.attribute_scores(attr, k)?.scores;
-        Ok(ContextualExplanation { attr, context: k.clone(), scores })
+        self.engine.contextual(attr, k)
     }
 
-    /// Local explanation for one individual (Figures 5–7).
-    ///
-    /// For a **negative** outcome, an attribute's *negative* contribution
-    /// is `max_{x > x'} SUF` (a better value would likely flip the
-    /// decision) and its *positive* contribution is `max_{x'' < x'} SUF`
-    /// (the current value already helps relative to worse ones). For a
-    /// **positive** outcome the same roles are played by the necessity
-    /// score (§3.2).
+    /// See [`Engine::local`] (honouring the shim's mutable
+    /// `min_support` field).
     pub fn local(&self, row: &[Value]) -> Result<LocalExplanation> {
-        let pred = self.est.pred_attr();
-        if row.len() < self.est.table().schema().len() {
-            return Err(LewisError::Invalid(format!(
-                "row has {} values, schema needs {}",
-                row.len(),
-                self.est.table().schema().len()
-            )));
-        }
-        let outcome = row[pred.index()];
-        let favourable = outcome == self.est.positive();
-        // Per-attribute contributions are independent: fan out across
-        // threads, and within one attribute score every value contrast
-        // off a single shared counting pass.
-        let scored: Vec<Result<LocalContribution>> = self
-            .features
-            .par_iter()
-            .map(|&a| self.local_contribution(a, row, favourable))
-            .collect();
-        let mut contributions = Vec::with_capacity(scored.len());
-        for result in scored {
-            contributions.push(result?);
-        }
-        contributions.sort_by(|x, y| {
-            let mx = x.positive.max(x.negative);
-            let my = y.positive.max(y.negative);
-            my.partial_cmp(&mx).expect("finite").then_with(|| x.attr.cmp(&y.attr))
-        });
-        Ok(LocalExplanation { outcome, contributions })
-    }
-
-    /// One attribute's local contribution (the §3.2 rules; see
-    /// [`Lewis::local`] for the positive/negative semantics).
-    fn local_contribution(
-        &self,
-        a: AttrId,
-        row: &[Value],
-        favourable: bool,
-    ) -> Result<LocalContribution> {
-        let order = self.value_order(a).expect("feature orders precomputed");
-        let current = row[a.index()];
-        let pos_rank = order
-            .iter()
-            .position(|&v| v == current)
-            .expect("current value in domain");
-        let k = self.est.local_context(row, a, self.min_support);
-        // values worse / better than current, per the inferred order;
-        // every contrast shares the same attribute and context, so the
-        // whole attribute costs one counting pass.
-        let mut directions: Vec<bool> = Vec::with_capacity(order.len().saturating_sub(1));
-        let mut contrasts: Vec<Contrast> = Vec::with_capacity(order.len().saturating_sub(1));
-        for (rank, &v) in order.iter().enumerate() {
-            if rank == pos_rank {
-                continue;
-            }
-            let is_positive = rank < pos_rank;
-            let (hi, lo) = if is_positive { (current, v) } else { (v, current) };
-            directions.push(is_positive);
-            contrasts.push(Contrast::single(a, hi, lo));
-        }
-        let mut positive = 0.0f64;
-        let mut negative = 0.0f64;
-        for (is_positive, result) in
-            directions.iter().zip(self.est.scores_batch(&contrasts, &k))
-        {
-            match result {
-                Ok(s) => {
-                    // positive outcome: NEC quantifies both directions;
-                    // negative outcome: SUF does (§3.2)
-                    let score = if favourable { s.necessity } else { s.sufficiency };
-                    if *is_positive {
-                        positive = positive.max(score);
-                    } else {
-                        negative = negative.max(score);
-                    }
-                }
-                Err(LewisError::Invalid(_)) => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        let label = self
-            .est
-            .table()
-            .schema()
-            .attr(a)
-            .map(|at| at.domain.label(current))
-            .unwrap_or_default();
-        Ok(LocalContribution {
-            attr: a,
-            name: self.est.table().schema().name(a).to_string(),
-            value: current,
-            label,
-            positive,
-            negative,
-        })
+        self.engine.local_with_support(row, self.min_support)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::blackbox::label_table;
+    use crate::engine::Engine;
     use causal::scm::{Mechanism, ScmBuilder};
     use causal::Scm;
     use rand::rngs::StdRng;
@@ -376,46 +240,73 @@ mod tests {
     }
 
     #[test]
-    fn global_ranks_causal_attributes_above_noise() {
-        let (t, pred) = setup(20_000);
+    fn shim_matches_engine_everywhere() {
+        let (t, pred) = setup(8000);
         let scm = world();
-        let lewis = Lewis::new(
-            &t,
-            Some(scm.graph()),
-            pred,
-            1,
-            &[AttrId(0), AttrId(1), AttrId(2)],
-            0.0,
-        )
-        .unwrap();
-        let g = lewis.global().unwrap();
-        assert_eq!(g.attributes.len(), 3);
-        // hair must rank last with ~zero scores
-        let last = g.attributes.last().unwrap();
-        assert_eq!(last.attr, AttrId(2));
-        assert!(last.scores.nesuf < 0.05);
-        // status (root cause, also reaches approval through savings)
-        // should dominate
-        assert_eq!(g.attributes[0].attr, AttrId(0));
-        assert!(g.attributes[0].scores.sufficiency > 0.3);
-        // rank_by agrees
-        assert_eq!(g.rank_by(AttrId(0), |s| s.nesuf), Some(1));
-        assert_eq!(g.rank_by(AttrId(2), |s| s.nesuf), Some(3));
+        let features = [AttrId(0), AttrId(1), AttrId(2)];
+        let lewis = Lewis::new(&t, Some(scm.graph()), pred, 1, &features, 0.5).unwrap();
+        let engine = Engine::builder(t.clone())
+            .graph(scm.graph())
+            .prediction(pred, 1)
+            .features(&features)
+            .alpha(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(lewis.global().unwrap(), engine.global().unwrap());
+        let k = Context::of([(AttrId(0), 1)]);
+        assert_eq!(
+            lewis.contextual_global(&k).unwrap(),
+            engine.contextual_global(&k).unwrap()
+        );
+        assert_eq!(
+            lewis.contextual(AttrId(1), &k).unwrap(),
+            engine.contextual(AttrId(1), &k).unwrap()
+        );
+        let row = t.row(3).unwrap();
+        assert_eq!(lewis.local(&row).unwrap(), engine.local(&row).unwrap());
+        assert_eq!(lewis.features(), engine.features());
+        assert_eq!(lewis.value_order(AttrId(0)), engine.value_order(AttrId(0)));
+    }
+
+    #[test]
+    fn shim_min_support_field_still_steers_local_contexts() {
+        let (t, pred) = setup(3000);
+        let mut lewis = Lewis::new(&t, None, pred, 1, &[AttrId(0), AttrId(1)], 0.5).unwrap();
+        let row = t.row(0).unwrap();
+        let default_support = lewis.local(&row).unwrap();
+        // an impossible support floor forces every local context to
+        // back off to empty — same scores for all rows sharing a value
+        lewis.min_support = t.n_rows() + 1;
+        let no_support = lewis.local(&row).unwrap();
+        assert_eq!(default_support.outcome, no_support.outcome);
+        assert_eq!(
+            no_support.contributions.len(),
+            default_support.contributions.len()
+        );
+    }
+
+    #[test]
+    fn features_must_exclude_prediction() {
+        let (t, pred) = setup(500);
+        assert!(Lewis::new(&t, None, pred, 1, &[pred], 0.0).is_err());
+    }
+
+    #[test]
+    fn value_orders_are_exposed() {
+        let (t, pred) = setup(5000);
+        let lewis = Lewis::new(&t, None, pred, 1, &[AttrId(0)], 0.0).unwrap();
+        let order = lewis.value_order(AttrId(0)).unwrap();
+        // approval rate rises with status level
+        assert_eq!(order, &[0, 1, 2]);
+        assert!(lewis.value_order(AttrId(1)).is_none());
     }
 
     #[test]
     fn contextual_scores_differ_across_groups() {
         let (t, pred) = setup(20_000);
         let scm = world();
-        let lewis = Lewis::new(
-            &t,
-            Some(scm.graph()),
-            pred,
-            1,
-            &[AttrId(0), AttrId(1)],
-            0.0,
-        )
-        .unwrap();
+        let lewis =
+            Lewis::new(&t, Some(scm.graph()), pred, 1, &[AttrId(0), AttrId(1)], 0.0).unwrap();
         // savings' effect inside status groups: with status=good the loan
         // is often approved regardless, so sufficiency of savings is
         // higher for ok-status than bad-status individuals
@@ -445,73 +336,32 @@ mod tests {
     }
 
     #[test]
-    fn local_explanations_flag_improvable_attributes() {
-        let (t, pred) = setup(20_000);
-        let scm = world();
-        let lewis = Lewis::new(
-            &t,
-            Some(scm.graph()),
-            pred,
-            1,
-            &[AttrId(0), AttrId(1), AttrId(2)],
-            0.0,
-        )
-        .unwrap();
-        // a rejected individual: bad status, low savings
-        let rejected = lewis.local(&[0, 0, 0, 0]).unwrap();
-        assert_eq!(rejected.outcome, 0);
-        let status = rejected
-            .contributions
-            .iter()
-            .find(|c| c.attr == AttrId(0))
-            .unwrap();
-        assert!(
-            status.negative > 0.5,
-            "raising bad status should be highly sufficient, got {}",
-            status.negative
-        );
-        assert!(status.positive < 0.1, "bad status cannot contribute positively");
-        let hair = rejected
-            .contributions
-            .iter()
-            .find(|c| c.attr == AttrId(2))
-            .unwrap();
-        assert!(hair.negative < 0.1 && hair.positive < 0.1);
-        // an approved individual: good status, high savings
-        let approved = lewis.local(&[2, 1, 0, 1]).unwrap();
-        assert_eq!(approved.outcome, 1);
-        let status_a = approved
-            .contributions
-            .iter()
-            .find(|c| c.attr == AttrId(0))
-            .unwrap();
-        assert!(
-            status_a.positive > 0.5,
-            "good status is necessary for approval, got {}",
-            status_a.positive
-        );
-    }
-
-    #[test]
-    fn local_validates_row_shape() {
-        let (t, pred) = setup(500);
-        let lewis = Lewis::new(&t, None, pred, 1, &[AttrId(0)], 0.0).unwrap();
-        assert!(lewis.local(&[0, 0]).is_err());
-    }
-
-    #[test]
-    fn features_must_exclude_prediction() {
-        let (t, pred) = setup(500);
-        assert!(Lewis::new(&t, None, pred, 1, &[pred], 0.0).is_err());
-    }
-
-    #[test]
-    fn value_orders_are_exposed() {
-        let (t, pred) = setup(5000);
-        let lewis = Lewis::new(&t, None, pred, 1, &[AttrId(0)], 0.0).unwrap();
-        let order = lewis.value_order(AttrId(0)).unwrap();
-        // approval rate rises with status level
-        assert_eq!(order, &[0, 1, 2]);
-        assert!(lewis.value_order(AttrId(1)).is_none());
+    fn rank_by_survives_nan_components() {
+        // total_cmp ordering: a NaN-producing extractor must not panic
+        let g = GlobalExplanation {
+            attributes: vec![
+                AttributeScores {
+                    attr: AttrId(0),
+                    name: "a".into(),
+                    scores: Scores { necessity: 0.2, sufficiency: 0.1, nesuf: 0.5 },
+                    best_pair: Some((1, 0)),
+                },
+                AttributeScores {
+                    attr: AttrId(1),
+                    name: "b".into(),
+                    scores: Scores { necessity: 0.0, sufficiency: 0.0, nesuf: 0.1 },
+                    best_pair: None,
+                },
+            ],
+        };
+        // extractor yields 2.0 for `a` and NaN (0/0) for `b`: the old
+        // partial_cmp comparator panicked here; total_cmp ranks the NaN
+        // deterministically (at whichever extreme its sign bit puts it)
+        let rank_a = g.rank_by(AttrId(0), |s| s.necessity / s.sufficiency);
+        let rank_b = g.rank_by(AttrId(1), |s| s.necessity / s.sufficiency);
+        let mut ranks = [rank_a.unwrap(), rank_b.unwrap()];
+        ranks.sort_unstable();
+        assert_eq!(ranks, [1, 2], "both attributes ranked, no panic");
+        assert_eq!(g.rank_by(AttrId(7), |s| s.nesuf), None);
     }
 }

@@ -7,7 +7,7 @@
 //! that check and quantifies contextual disparities between protected
 //! groups (the Fig. 4c/d analysis).
 
-use crate::explain::Lewis;
+use crate::engine::Engine;
 use crate::ordering::ordered_pairs;
 use crate::Result;
 use tabular::{AttrId, Context, Value};
@@ -27,18 +27,19 @@ pub struct FairnessReport {
     pub counterfactually_fair: bool,
 }
 
-/// Audit `protected` for counterfactual fairness within context `k`.
+/// Audit `protected` for counterfactual fairness within context `k`,
+/// using `engine`'s estimator (and its counting-pass cache).
 ///
 /// The scores capture both the direct and the *proxy* influence of the
 /// protected attribute (paper Remark 3.2) — a model that never reads
 /// race still fails this audit if race reaches its inputs causally.
 pub fn audit(
-    lewis: &Lewis<'_>,
+    engine: &Engine,
     protected: AttrId,
     k: &Context,
     tolerance: f64,
 ) -> Result<FairnessReport> {
-    let scores = lewis.attribute_scores(protected, k)?;
+    let scores = engine.attribute_scores(protected, k)?;
     Ok(FairnessReport {
         protected,
         max_necessity: scores.scores.necessity,
@@ -54,20 +55,16 @@ pub fn audit(
 /// the sub-population `protected = g`. Returns `(group value, score)`
 /// pairs — the Fig. 4c/d bars.
 pub fn group_sufficiency_disparity(
-    lewis: &Lewis<'_>,
+    engine: &Engine,
     attr: AttrId,
     protected: AttrId,
     k: &Context,
 ) -> Result<Vec<(Value, f64)>> {
-    let card = lewis
-        .estimator()
-        .table()
-        .schema()
-        .cardinality(protected)?;
+    let card = engine.table().schema().cardinality(protected)?;
     let mut out = Vec::with_capacity(card);
     for g in 0..card as Value {
         let ctx = k.with(protected, g);
-        let c = lewis.contextual(attr, &ctx)?;
+        let c = engine.contextual(attr, &ctx)?;
         out.push((g, c.scores.sufficiency));
     }
     Ok(out)
@@ -76,12 +73,12 @@ pub fn group_sufficiency_disparity(
 /// The largest absolute sufficiency gap between any two protected
 /// groups — a single-number disparate-impact indicator.
 pub fn max_disparity(
-    lewis: &Lewis<'_>,
+    engine: &Engine,
     attr: AttrId,
     protected: AttrId,
     k: &Context,
 ) -> Result<f64> {
-    let groups = group_sufficiency_disparity(lewis, attr, protected, k)?;
+    let groups = group_sufficiency_disparity(engine, attr, protected, k)?;
     let mut max_gap = 0.0f64;
     for (i, &(_, a)) in groups.iter().enumerate() {
         for &(_, b) in &groups[i + 1..] {
@@ -94,19 +91,19 @@ pub fn max_disparity(
 /// All ordered contrasts of the protected attribute with their scores —
 /// the detailed evidence behind a failed audit.
 pub fn contrast_evidence(
-    lewis: &Lewis<'_>,
+    engine: &Engine,
     protected: AttrId,
     k: &Context,
 ) -> Result<Vec<((Value, Value), crate::Scores)>> {
-    let order = lewis
+    let order = engine
         .value_order(protected)
         .ok_or_else(|| crate::LewisError::Invalid(format!("{protected} is not a feature")))?
         .to_vec();
     let mut out = Vec::new();
     for (hi, lo) in ordered_pairs(&order) {
-        match lewis.estimator().scores(protected, hi, lo, k) {
+        match engine.estimator().scores(protected, hi, lo, k) {
             Ok(s) => out.push(((hi, lo), s)),
-            Err(crate::LewisError::Invalid(_)) => continue,
+            Err(crate::LewisError::Unsupported(_)) => continue,
             Err(e) => return Err(e),
         }
     }
@@ -148,17 +145,26 @@ mod tests {
         (t, pred)
     }
 
+    fn engine_for(t: Table, scm: &Scm, pred: AttrId) -> Engine {
+        Engine::builder(t)
+            .graph(scm.graph())
+            .prediction(pred, 1)
+            .features(&[AttrId(0), AttrId(1)])
+            .alpha(0.5)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn proxy_bias_is_caught() {
         // model reads only q, but q is causally downstream of g
         let (t, pred) = setup(|row| row[1]);
         let scm = world();
-        let lewis =
-            Lewis::new(&t, Some(scm.graph()), pred, 1, &[AttrId(0), AttrId(1)], 0.5).unwrap();
-        let report = audit(&lewis, AttrId(0), &Context::empty(), 0.05).unwrap();
+        let engine = engine_for(t, &scm, pred);
+        let report = audit(&engine, AttrId(0), &Context::empty(), 0.05).unwrap();
         assert!(!report.counterfactually_fair, "{report:?}");
         assert!(report.max_sufficiency > 0.1);
-        let evidence = contrast_evidence(&lewis, AttrId(0), &Context::empty()).unwrap();
+        let evidence = contrast_evidence(&engine, AttrId(0), &Context::empty()).unwrap();
         assert!(!evidence.is_empty());
     }
 
@@ -166,9 +172,8 @@ mod tests {
     fn constant_model_is_fair() {
         let (t, pred) = setup(|_| 1);
         let scm = world();
-        let lewis =
-            Lewis::new(&t, Some(scm.graph()), pred, 1, &[AttrId(0), AttrId(1)], 0.5).unwrap();
-        let report = audit(&lewis, AttrId(0), &Context::empty(), 0.05).unwrap();
+        let engine = engine_for(t, &scm, pred);
+        let report = audit(&engine, AttrId(0), &Context::empty(), 0.05).unwrap();
         assert!(report.counterfactually_fair, "{report:?}");
     }
 
@@ -177,12 +182,11 @@ mod tests {
         // biased: q matters only when g = 1
         let (t, pred) = setup(|row| row[0] & row[1]);
         let scm = world();
-        let lewis =
-            Lewis::new(&t, Some(scm.graph()), pred, 1, &[AttrId(0), AttrId(1)], 0.5).unwrap();
-        let gap = max_disparity(&lewis, AttrId(1), AttrId(0), &Context::empty()).unwrap();
+        let engine = engine_for(t, &scm, pred);
+        let gap = max_disparity(&engine, AttrId(1), AttrId(0), &Context::empty()).unwrap();
         assert!(gap > 0.3, "q helps only group 1: gap {gap}");
         let groups =
-            group_sufficiency_disparity(&lewis, AttrId(1), AttrId(0), &Context::empty())
+            group_sufficiency_disparity(&engine, AttrId(1), AttrId(0), &Context::empty())
                 .unwrap();
         assert_eq!(groups.len(), 2);
         assert!(groups[1].1 > groups[0].1);

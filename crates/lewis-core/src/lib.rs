@@ -14,7 +14,13 @@
 //!   (eqs. 9–11) and the no-graph fallback of §6;
 //! * [`ordering`] — inference of value orderings from the black box when
 //!   domains carry no natural order (§4.1);
-//! * [`explain`] — global, contextual and local explanations (§3.2);
+//! * [`engine`] — the owned, `Send + Sync` [`Engine`]: the one front
+//!   door for global / contextual / local / recourse queries
+//!   ([`ExplainRequest`] → [`ExplainResponse`]), built with
+//!   [`Engine::builder`], sharing counting passes across queries
+//!   through a bounded in-engine cache;
+//! * [`explain`] — global, contextual and local explanation result
+//!   types (§3.2), plus the deprecated borrowed [`Lewis`] shim;
 //! * [`recourse`] — minimal-cost actionable recourse via the integer
 //!   program of §4.2 with lazy sufficiency verification;
 //! * [`monotonicity`] — the Λ_viol diagnostic of §5.5;
@@ -26,6 +32,8 @@
 //!   shared by the experiment harness.
 
 pub mod blackbox;
+pub(crate) mod cache;
+pub mod engine;
 pub mod explain;
 pub mod fairness;
 pub mod groundtruth;
@@ -38,7 +46,10 @@ pub mod scores;
 pub mod statements;
 
 pub use blackbox::{BlackBox, ClassifierBox, RegressorThresholdBox};
-pub use explain::{ContextualExplanation, GlobalExplanation, LocalExplanation, Lewis};
+pub use engine::{CacheStats, Engine, EngineBuilder, ExplainRequest, ExplainResponse};
+#[allow(deprecated)]
+pub use explain::Lewis;
+pub use explain::{ContextualExplanation, GlobalExplanation, LocalExplanation};
 pub use ordering::infer_value_order;
 pub use recourse::{Action, CostModel, Recourse, RecourseOptions};
 pub use scores::{Contrast, ScoreEstimator, ScoreKind, Scores};
@@ -57,8 +68,21 @@ pub enum LewisError {
     Optim(optim::IpError),
     /// The request was inconsistent (bad attribute roles, etc.).
     Invalid(String),
+    /// The request was well-formed but the data cannot answer it: the
+    /// contrast arms or the context have no matching rows. This is an
+    /// *expected* outcome when sweeping value pairs or narrow contexts,
+    /// not a caller bug — filter it with [`LewisError::is_unsupported`].
+    Unsupported(String),
     /// No recourse exists within the given actionable set / threshold.
     NoRecourse(String),
+}
+
+impl LewisError {
+    /// Whether this is the expected "no data support" outcome (as
+    /// opposed to a malformed request or an infrastructure failure).
+    pub fn is_unsupported(&self) -> bool {
+        matches!(self, LewisError::Unsupported(_))
+    }
 }
 
 impl std::fmt::Display for LewisError {
@@ -69,6 +93,7 @@ impl std::fmt::Display for LewisError {
             LewisError::Ml(e) => write!(f, "ml: {e}"),
             LewisError::Optim(e) => write!(f, "optim: {e}"),
             LewisError::Invalid(m) => write!(f, "invalid request: {m}"),
+            LewisError::Unsupported(m) => write!(f, "unsupported by the data: {m}"),
             LewisError::NoRecourse(m) => write!(f, "no recourse: {m}"),
         }
     }

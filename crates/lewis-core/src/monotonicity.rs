@@ -22,7 +22,7 @@ use tabular::{AttrId, Context, Counter, Value};
 /// Zero when the algorithm is monotone (raising `X` never lowers the
 /// positive rate in any stratum); positive otherwise.
 pub fn empirical_violation(
-    est: &ScoreEstimator<'_>,
+    est: &ScoreEstimator,
     attr: AttrId,
     x_hi: Value,
     x_lo: Value,
@@ -81,7 +81,7 @@ pub fn empirical_violation(
 /// Check an inferred value order for empirical monotonicity: returns the
 /// worst pairwise violation over adjacent pairs of `order`.
 pub fn order_violation(
-    est: &ScoreEstimator<'_>,
+    est: &ScoreEstimator,
     attr: AttrId,
     order: &[Value],
     k: &Context,

@@ -132,7 +132,7 @@ pub struct Recourse {
 
 /// The recourse generator.
 pub struct RecourseEngine<'a> {
-    est: &'a ScoreEstimator<'a>,
+    est: &'a ScoreEstimator,
     actionable: Vec<AttrId>,
     surrogate: LogisticRegression,
     /// one-hot feature offsets: per actionable attr, start index
@@ -149,26 +149,10 @@ impl<'a> RecourseEngine<'a> {
     /// table: one-hot features for each actionable attribute plus ordinal
     /// features for the non-descendant context attributes (`K` = the
     /// non-descendants of `A`, per §4.2).
-    pub fn new(est: &'a ScoreEstimator<'a>, actionable: &[AttrId]) -> Result<Self> {
-        if actionable.is_empty() {
-            return Err(LewisError::Invalid("no actionable attributes".into()));
-        }
+    pub fn new(est: &'a ScoreEstimator, actionable: &[AttrId]) -> Result<Self> {
+        Self::validate(est, actionable)?;
         let table = est.table();
         let pred = est.pred_attr();
-        for &a in actionable {
-            if a == pred {
-                return Err(LewisError::Invalid("prediction column is not actionable".into()));
-            }
-        }
-        if let Some(g) = est.graph() {
-            for &a in actionable {
-                if a.index() >= g.n_nodes() {
-                    return Err(LewisError::Invalid(format!(
-                        "actionable attribute {a} is not a causal-graph node"
-                    )));
-                }
-            }
-        }
         // K = non-descendants of every actionable attribute (derived
         // columns outside the graph are excluded — they may leak the
         // outcome).
@@ -237,6 +221,32 @@ impl<'a> RecourseEngine<'a> {
             context_attrs,
             orders,
         })
+    }
+
+    /// The cheap configuration checks [`RecourseEngine::new`] performs
+    /// before paying for the feature matrix and the surrogate fit.
+    /// `Engine::run_batch` uses this to re-derive a failed group's
+    /// build error per request without repeating the expensive work.
+    pub(crate) fn validate(est: &ScoreEstimator, actionable: &[AttrId]) -> Result<()> {
+        if actionable.is_empty() {
+            return Err(LewisError::Invalid("no actionable attributes".into()));
+        }
+        let pred = est.pred_attr();
+        for &a in actionable {
+            if a == pred {
+                return Err(LewisError::Invalid("prediction column is not actionable".into()));
+            }
+        }
+        if let Some(g) = est.graph() {
+            for &a in actionable {
+                if a.index() >= g.n_nodes() {
+                    return Err(LewisError::Invalid(format!(
+                        "actionable attribute {a} is not a causal-graph node"
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The actionable attributes.

@@ -6,7 +6,7 @@
 pub fn ranks_desc(scores: &[f64]) -> Vec<usize> {
     let n = scores.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite"));
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
     let mut ranks = vec![0usize; n];
     let mut i = 0;
     while i < n {

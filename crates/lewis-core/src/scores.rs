@@ -22,8 +22,10 @@
 //! the estimator degrades to the no-confounding fallback of §6
 //! (group-level attributable fraction / relative risk).
 
+use crate::cache::CountingCache;
 use crate::{LewisError, Result};
 use causal::Dag;
+use std::sync::Arc;
 use tabular::{AttrId, Context, Counter, Table, Value};
 
 /// Which of the three explanation scores.
@@ -95,7 +97,7 @@ impl Contrast {
 /// counting pass and then shared by every contrast over the same
 /// attribute set — the core of [`ScoreEstimator::scores_batch`].
 #[derive(Default)]
-struct CellArms {
+pub(crate) struct CellArms {
     /// Rows in this adjustment cell (all arms).
     n: u64,
     /// Per `x`-assignment: `(rows, rows with positive outcome)`.
@@ -103,7 +105,9 @@ struct CellArms {
 }
 
 /// All adjustment cells from one counting pass over `(C…, X…, pred)`.
-struct ArmTable {
+/// Immutable once built, so one instance can be shared across threads
+/// and across queries (the unit the [`crate::Engine`] cache stores).
+pub(crate) struct ArmTable {
     cells: tabular::FxHashMap<Vec<Value>, CellArms>,
     total: u64,
 }
@@ -113,22 +117,50 @@ struct ArmTable {
 /// The table must contain the black box's predictions as a **binary**
 /// column `pred` (multi-class outcomes are first reduced with
 /// [`crate::multiclass::binarize_outcome`]).
-pub struct ScoreEstimator<'a> {
-    table: &'a Table,
-    graph: Option<&'a Dag>,
+///
+/// The estimator *owns* its inputs behind [`Arc`]s, so it is `Send +
+/// Sync`, has no borrowed lifetime, and can be shared freely across
+/// threads (clone the `Arc`s via [`ScoreEstimator::from_shared`] to
+/// avoid copying the data itself).
+pub struct ScoreEstimator {
+    table: Arc<Table>,
+    graph: Option<Arc<Dag>>,
     pred: AttrId,
     positive: Value,
     alpha: f64,
 }
 
-impl<'a> ScoreEstimator<'a> {
-    /// Create an estimator. `graph` is the causal diagram over the
-    /// table's attributes (pass `None` for the no-confounding fallback of
-    /// §6); `positive` is the favourable outcome code `o`; `alpha` is the
-    /// Laplace pseudo-count used for the inner conditionals.
+impl ScoreEstimator {
+    /// Create an estimator from borrowed inputs. `graph` is the causal
+    /// diagram over the table's attributes (pass `None` for the
+    /// no-confounding fallback of §6); `positive` is the favourable
+    /// outcome code `o`; `alpha` is the Laplace pseudo-count used for the
+    /// inner conditionals.
+    ///
+    /// The table (and graph) are **cloned** into shared ownership; use
+    /// [`ScoreEstimator::from_shared`] when an `Arc` is already at hand
+    /// to avoid the copy.
     pub fn new(
-        table: &'a Table,
-        graph: Option<&'a Dag>,
+        table: &Table,
+        graph: Option<&Dag>,
+        pred: AttrId,
+        positive: Value,
+        alpha: f64,
+    ) -> Result<Self> {
+        Self::from_shared(
+            Arc::new(table.clone()),
+            graph.map(|g| Arc::new(g.clone())),
+            pred,
+            positive,
+            alpha,
+        )
+    }
+
+    /// Create an estimator from already-shared inputs without copying
+    /// the table. This is the constructor [`crate::Engine`] uses.
+    pub fn from_shared(
+        table: Arc<Table>,
+        graph: Option<Arc<Dag>>,
         pred: AttrId,
         positive: Value,
         alpha: f64,
@@ -143,7 +175,7 @@ impl<'a> ScoreEstimator<'a> {
         if positive >= 2 {
             return Err(LewisError::Invalid("positive outcome code must be 0 or 1".into()));
         }
-        if let Some(g) = graph {
+        if let Some(g) = graph.as_deref() {
             // The graph covers the first `n_nodes` attributes; tables may
             // carry extra *derived* columns after them (binarized
             // outcomes, prediction columns). A graph larger than the
@@ -164,7 +196,17 @@ impl<'a> ScoreEstimator<'a> {
 
     /// The labelled table.
     pub fn table(&self) -> &Table {
-        self.table
+        &self.table
+    }
+
+    /// A shared handle to the labelled table (no data copy).
+    pub fn shared_table(&self) -> Arc<Table> {
+        Arc::clone(&self.table)
+    }
+
+    /// A shared handle to the causal diagram, if one was supplied.
+    pub fn shared_graph(&self) -> Option<Arc<Dag>> {
+        self.graph.clone()
     }
 
     /// The prediction column.
@@ -179,7 +221,7 @@ impl<'a> ScoreEstimator<'a> {
 
     /// The causal diagram, if one was supplied.
     pub fn graph(&self) -> Option<&Dag> {
-        self.graph
+        self.graph.as_deref()
     }
 
     /// Default backdoor adjustment set for an intervention on `xs`:
@@ -187,7 +229,7 @@ impl<'a> ScoreEstimator<'a> {
     /// prediction column). Empty without a graph (§6 fallback), and
     /// empty for derived attributes outside the graph.
     pub fn adjustment_set(&self, xs: &[AttrId], k: &Context) -> Vec<AttrId> {
-        let Some(g) = self.graph else {
+        let Some(g) = self.graph.as_deref() else {
             return Vec::new();
         };
         let mut c: Vec<AttrId> = xs
@@ -260,6 +302,22 @@ impl<'a> ScoreEstimator<'a> {
     /// return — bit-for-bit, including per-contrast errors for
     /// unsupported contrasts.
     pub fn scores_batch(&self, contrasts: &[Contrast], k: &Context) -> Vec<Result<Scores>> {
+        self.scores_batch_impl(contrasts, k, None)
+    }
+
+    /// [`ScoreEstimator::scores_batch`] with an optional counting-pass
+    /// cache: when `cache` is given, each attribute-set group first looks
+    /// up its [`ArmTable`] under the `(intervened set, context,
+    /// adjustment set)` key and only scans the table on a miss. Cached
+    /// and uncached results are bit-identical — the [`ArmTable`] is built
+    /// by the same deterministic pass either way, and scoring reads it
+    /// in the same order.
+    pub(crate) fn scores_batch_impl(
+        &self,
+        contrasts: &[Contrast],
+        k: &Context,
+        cache: Option<&CountingCache>,
+    ) -> Vec<Result<Scores>> {
         use rayon::prelude::*;
 
         let mut out: Vec<Option<Result<Scores>>> = contrasts.iter().map(|_| None).collect();
@@ -286,7 +344,13 @@ impl<'a> ScoreEstimator<'a> {
             .par_iter()
             .map(|(xs, members)| {
                 let c_set = self.adjustment_set(xs, k);
-                match self.build_arm_table(&c_set, xs, k, None) {
+                let arms: Result<Arc<ArmTable>> = match cache {
+                    Some(cache) => cache.get_or_build(xs, k, &c_set, || {
+                        self.build_arm_table(&c_set, xs, k, None)
+                    }),
+                    None => self.build_arm_table(&c_set, xs, k, None).map(Arc::new),
+                };
+                match arms {
                     Ok(arms) => members
                         .iter()
                         .map(|(i, hi_vals, lo_vals)| {
@@ -342,7 +406,7 @@ impl<'a> ScoreEstimator<'a> {
     /// those two arms are materialized (cell totals still count every
     /// arm); missing arms read back as `(0, 0)` either way, so filtered
     /// and unfiltered tables score identically.
-    fn build_arm_table(
+    pub(crate) fn build_arm_table(
         &self,
         c_set: &[AttrId],
         xs: &[AttrId],
@@ -352,9 +416,9 @@ impl<'a> ScoreEstimator<'a> {
         let mut attrs: Vec<AttrId> = c_set.to_vec();
         attrs.extend(xs);
         attrs.push(self.pred);
-        let counter = Counter::build(self.table, &attrs, k)?;
+        let counter = Counter::build(&self.table, &attrs, k)?;
         if counter.total() == 0 {
-            return Err(LewisError::Invalid(
+            return Err(LewisError::Unsupported(
                 "no rows match the context; relax the context or add data".into(),
             ));
         }
@@ -383,7 +447,7 @@ impl<'a> ScoreEstimator<'a> {
 
     /// The eq. 19–21 estimates for one `hi` vs `lo` contrast, read off a
     /// prebuilt [`ArmTable`].
-    fn scores_from_arms(
+    pub(crate) fn scores_from_arms(
         &self,
         arms: &ArmTable,
         hi_vals: &[Value],
@@ -405,7 +469,7 @@ impl<'a> ScoreEstimator<'a> {
             n_lo_o += lo_o;
         }
         if n_hi == 0 || n_lo == 0 {
-            return Err(LewisError::Invalid(format!(
+            return Err(LewisError::Unsupported(format!(
                 "contrast unsupported in context: n(hi)={n_hi}, n(lo)={n_lo}"
             )));
         }
@@ -502,14 +566,14 @@ impl<'a> ScoreEstimator<'a> {
 
         let do_p = |x_val: Value, out: Value| -> Result<f64> {
             causal::adjustment::estimate_adjusted(
-                self.table, attr, x_val, self.pred, out, k, &c_set, self.alpha,
+                &self.table, attr, x_val, self.pred, out, k, &c_set, self.alpha,
             )
             .map_err(LewisError::from)
         };
         // joint probabilities within k
         let n_k = self.table.count(k) as f64;
         if n_k == 0.0 {
-            return Err(LewisError::Invalid("no rows match the context".into()));
+            return Err(LewisError::Unsupported("no rows match the context".into()));
         }
         let joint = |x_val: Value, out: Value| -> f64 {
             self.table.count(&k.with(attr, x_val).with(self.pred, out)) as f64 / n_k
@@ -519,7 +583,7 @@ impl<'a> ScoreEstimator<'a> {
             ScoreKind::Necessity => {
                 let pr_o_hi = joint(x_hi, o);
                 if pr_o_hi == 0.0 {
-                    return Err(LewisError::Invalid("Pr(o, x | k) = 0".into()));
+                    return Err(LewisError::Unsupported("Pr(o, x | k) = 0".into()));
                 }
                 let lo_b = (joint(x_hi, o) + joint(x_lo, o) - do_p(x_lo, o)?) / pr_o_hi;
                 let up_b = (do_p(x_lo, o_neg)? - joint(x_lo, o_neg)) / pr_o_hi;
@@ -528,7 +592,7 @@ impl<'a> ScoreEstimator<'a> {
             ScoreKind::Sufficiency => {
                 let pr_oneg_lo = joint(x_lo, o_neg);
                 if pr_oneg_lo == 0.0 {
-                    return Err(LewisError::Invalid("Pr(o', x' | k) = 0".into()));
+                    return Err(LewisError::Unsupported("Pr(o', x' | k) = 0".into()));
                 }
                 let lo_b =
                     (joint(x_hi, o_neg) + joint(x_lo, o_neg) - do_p(x_hi, o_neg)?) / pr_oneg_lo;
@@ -561,7 +625,8 @@ impl<'a> ScoreEstimator<'a> {
     /// respond to the intervention), greedily dropped from the causally
     /// least-proximate end until at least `min_support` rows match.
     pub fn local_context(&self, row: &[Value], x_attr: AttrId, min_support: usize) -> Context {
-        let candidates: Vec<AttrId> = match self.graph.filter(|g| x_attr.index() < g.n_nodes()) {
+        let candidates: Vec<AttrId> =
+            match self.graph.as_deref().filter(|g| x_attr.index() < g.n_nodes()) {
             Some(g) => {
                 let parents: Vec<usize> = g.parents(x_attr.index()).to_vec();
                 let ancestors = g.ancestors(x_attr.index());

@@ -56,7 +56,7 @@ pub struct Statement {
 /// individual: "X would have `<positive>` with probability p were
 /// `<attr>` = `<hi label>`."
 pub fn sufficiency_statement(
-    est: &ScoreEstimator<'_>,
+    est: &ScoreEstimator,
     words: &OutcomeWords,
     attr: AttrId,
     current: Value,
@@ -88,7 +88,7 @@ pub fn sufficiency_statement(
 /// "X would have `<negative>` with probability p were `<attr>` =
 /// `<lo label>`."
 pub fn necessity_statement(
-    est: &ScoreEstimator<'_>,
+    est: &ScoreEstimator,
     words: &OutcomeWords,
     attr: AttrId,
     current: Value,
@@ -120,7 +120,7 @@ pub fn necessity_statement(
 /// value order and returns the maximal-probability counterfactual (the
 /// kind is chosen by the individual's current decision).
 pub fn best_statement(
-    est: &ScoreEstimator<'_>,
+    est: &ScoreEstimator,
     words: &OutcomeWords,
     row: &[Value],
     attr: AttrId,
@@ -154,7 +154,7 @@ pub fn best_statement(
                     best = Some(s);
                 }
             }
-            Err(crate::LewisError::Invalid(_)) => continue,
+            Err(crate::LewisError::Unsupported(_)) => continue,
             Err(e) => return Err(e),
         }
     }

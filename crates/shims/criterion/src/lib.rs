@@ -5,6 +5,11 @@
 //! `sample_size` samples are timed and min / median / mean are printed.
 //! No HTML reports, no statistical regression testing — numbers on
 //! stdout, which is what the repo's perf work needs offline.
+//!
+//! Like upstream criterion, passing `--test` (as in
+//! `cargo bench -- --test`) switches to **smoke mode**: every benchmark
+//! routine runs exactly once, untimed, so CI can prove the benches still
+//! compile and execute without paying for calibration and sampling.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -127,7 +132,19 @@ impl Bencher {
     }
 }
 
+/// Whether the process was started in smoke mode (`--test` on the
+/// command line, criterion's own convention for "run, don't measure").
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if smoke_mode() {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("{id:<48} ok (smoke: 1 iteration, untimed)");
+        return;
+    }
     // Calibrate: grow iteration count until one sample takes >= 2 ms
     // (or a single iteration is already slower than that).
     let mut iters = 1u64;

@@ -32,6 +32,13 @@ impl Table {
         Table { schema, columns, n_rows: 0 }
     }
 
+    /// Move the table into shared ownership for engines that serve
+    /// concurrent readers (`Table` is `Send + Sync`; an `Arc<Table>` is
+    /// the idiomatic handle for sharing it without copying columns).
+    pub fn into_shared(self) -> std::sync::Arc<Table> {
+        std::sync::Arc::new(self)
+    }
+
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -11,13 +11,11 @@
 //! cargo run --release --example fairness_audit
 //! ```
 
-use lewis::core::blackbox::label_table;
-use lewis::core::{ClassifierBox, Lewis};
 use lewis::datasets::CompasDataset;
 use lewis::ml::encode::{Encoding, TableEncoder};
 use lewis::ml::forest::ForestParams;
 use lewis::ml::RandomForestClassifier;
-use lewis::tabular::Context;
+use lewis::prelude::*;
 
 fn main() {
     let dataset = CompasDataset::generate(8_000, 5);
@@ -38,18 +36,16 @@ fn main() {
     let black_box = ClassifierBox::new(forest, encoder);
     let pred = label_table(&mut table, &black_box, "pred").expect("labelling");
 
-    let lewis = Lewis::new(
-        &table,
-        Some(dataset.scm.graph()),
-        pred,
-        1,
-        &dataset.features,
-        1.0,
-    )
-    .expect("explainer builds");
+    let engine = Engine::builder(table)
+        .graph(dataset.scm.graph())
+        .prediction(pred, 1)
+        .features(&dataset.features)
+        .alpha(1.0)
+        .build()
+        .expect("engine builds");
 
     // 1. Counterfactual-fairness check on the protected attribute.
-    let race = lewis
+    let race = engine
         .attribute_scores(CompasDataset::RACE, &Context::empty())
         .expect("race scores");
     println!("counterfactual fairness check (race):");
@@ -70,7 +66,7 @@ fn main() {
     println!("\nsufficiency of prior count by race:");
     for (code, label) in [(0u32, "white"), (1u32, "black")] {
         let ctx = Context::of([(CompasDataset::RACE, code)]);
-        let c = lewis
+        let c = engine
             .contextual(CompasDataset::PRIORS, &ctx)
             .expect("contextual");
         println!("  race = {label:<6}  SUF(priors) = {:.3}", c.scores.sufficiency);
@@ -78,7 +74,7 @@ fn main() {
     println!("\nsufficiency of juvenile felony count by race:");
     for (code, label) in [(0u32, "white"), (1u32, "black")] {
         let ctx = Context::of([(CompasDataset::RACE, code)]);
-        let c = lewis
+        let c = engine
             .contextual(CompasDataset::JUV_FEL, &ctx)
             .expect("contextual");
         println!("  race = {label:<6}  SUF(juv_fel) = {:.3}", c.scores.sufficiency);

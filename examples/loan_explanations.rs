@@ -6,13 +6,11 @@
 //! cargo run --release --example loan_explanations
 //! ```
 
-use lewis::core::blackbox::label_table;
-use lewis::core::{ClassifierBox, Lewis};
 use lewis::datasets::GermanDataset;
 use lewis::ml::encode::{Encoding, TableEncoder};
 use lewis::ml::forest::ForestParams;
 use lewis::ml::RandomForestClassifier;
-use lewis::tabular::Context;
+use lewis::prelude::*;
 
 fn main() {
     let dataset = GermanDataset::generate(4_000, 11);
@@ -33,15 +31,13 @@ fn main() {
     let black_box = ClassifierBox::new(forest, encoder);
     let pred = label_table(&mut table, &black_box, "pred").expect("labelling");
 
-    let lewis = Lewis::new(
-        &table,
-        Some(dataset.scm.graph()),
-        pred,
-        1,
-        &dataset.features,
-        1.0,
-    )
-    .expect("explainer builds");
+    let engine = Engine::builder(table.clone())
+        .graph(dataset.scm.graph())
+        .prediction(pred, 1)
+        .features(&dataset.features)
+        .alpha(1.0)
+        .build()
+        .expect("engine builds");
 
     // local explanations: one rejection, one approval
     let preds = table.column(pred).unwrap().to_vec();
@@ -50,7 +46,7 @@ fn main() {
             continue;
         };
         let row = table.row(idx).unwrap();
-        let local = lewis.local(&row).expect("local explanation");
+        let local = engine.local(&row).expect("local explanation");
         println!("--- {story} (row {idx}) ---");
         println!(
             "{:<28}  {:>6}  {:>6}",
@@ -72,7 +68,7 @@ fn main() {
     println!("--- contextual: sufficiency of status by age group ---");
     for (age, label) in [(0u32, "young"), (1, "adult"), (2, "senior")] {
         let ctx = Context::of([(GermanDataset::AGE, age)]);
-        let c = lewis
+        let c = engine
             .contextual(GermanDataset::STATUS, &ctx)
             .expect("contextual");
         println!("age = {label:<7}  SUF = {:.3}", c.scores.sufficiency);

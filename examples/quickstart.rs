@@ -7,12 +7,11 @@
 //! The pipeline: generate data → train a model → label the data with its
 //! predictions → ask LEWIS for necessity/sufficiency explanations.
 
-use lewis::core::blackbox::label_table;
-use lewis::core::{ClassifierBox, Lewis};
 use lewis::datasets::GermanSynDataset;
 use lewis::ml::encode::{Encoding, TableEncoder};
 use lewis::ml::forest::ForestParams;
 use lewis::ml::RandomForestClassifier;
+use lewis::prelude::*;
 
 fn main() {
     // 1. Data: a synthetic credit-scoring world with known causal graph.
@@ -46,17 +45,21 @@ fn main() {
     //    algorithm, not the world.
     let pred = label_table(&mut table, &black_box, "pred").expect("labelling succeeds");
 
-    // 5. Explain: global necessity/sufficiency per attribute.
-    let lewis = Lewis::new(
-        &table,
-        Some(dataset.scm.graph()),
-        pred,
-        1,
-        &dataset.features,
-        1.0,
-    )
-    .expect("explainer builds");
-    let global = lewis.global().expect("global explanation");
+    // 5. Explain: build the owned engine once, then query it. The
+    //    engine is Send + Sync — wrap it in an Arc to serve concurrent
+    //    queries — and reuses counting passes across queries.
+    let engine = Engine::builder(table)
+        .graph(dataset.scm.graph())
+        .prediction(pred, 1)
+        .features(&dataset.features)
+        .alpha(1.0)
+        .build()
+        .expect("engine builds");
+    let global = engine
+        .run(&ExplainRequest::Global)
+        .expect("global explanation")
+        .into_global()
+        .expect("global request yields a global response");
 
     println!("Global explanation (who drives the model's approvals?)\n");
     println!("{:<10}  {:>7}  {:>7}  {:>7}", "attribute", "Nec", "Suf", "NeSuf");

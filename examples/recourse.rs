@@ -7,15 +7,12 @@
 //! cargo run --release --example recourse
 //! ```
 
-use lewis::core::blackbox::label_table;
 use lewis::core::groundtruth::GroundTruth;
-use lewis::core::recourse::RecourseEngine;
-use lewis::core::{ClassifierBox, CostModel, RecourseOptions, ScoreEstimator};
 use lewis::datasets::GermanSynDataset;
 use lewis::ml::encode::{Encoding, TableEncoder};
 use lewis::ml::forest::ForestParams;
 use lewis::ml::RandomForestClassifier;
-use lewis::tabular::Context;
+use lewis::prelude::*;
 
 fn main() {
     let gen = GermanSynDataset::standard();
@@ -41,10 +38,16 @@ fn main() {
     let black_box = ClassifierBox::new(forest, encoder);
     let pred = label_table(&mut table, &black_box, "pred").expect("labelling");
 
-    let est = ScoreEstimator::new(&table, Some(dataset.scm.graph()), pred, 1, 0.25)
-        .expect("estimator builds");
-    let engine =
-        RecourseEngine::new(&est, &dataset.actionable).expect("recourse engine builds");
+    // One engine serves every applicant. Recourse requests that share an
+    // actionable set are grouped by `run_batch`, so the logit-linear
+    // surrogate is fitted once for the whole batch instead of per row.
+    let engine = Engine::builder(table.clone())
+        .graph(dataset.scm.graph())
+        .prediction(pred, 1)
+        .features(&dataset.features)
+        .alpha(0.25)
+        .build()
+        .expect("engine builds");
     let gt = GroundTruth::exact(&dataset.scm, &black_box, 1).expect("ground truth engine");
 
     let opts = RecourseOptions {
@@ -54,13 +57,29 @@ fn main() {
     };
 
     let preds = table.column(pred).unwrap().to_vec();
+    let rejected: Vec<usize> = preds
+        .iter()
+        .enumerate()
+        .filter(|&(_, &p)| p == 0)
+        .map(|(idx, _)| idx)
+        .take(8)
+        .collect();
+    let requests: Vec<ExplainRequest> = rejected
+        .iter()
+        .map(|&idx| ExplainRequest::Recourse {
+            row: table.row(idx).unwrap(),
+            actionable: dataset.actionable.clone(),
+            opts: opts.clone(),
+        })
+        .collect();
+
     let mut shown = 0;
-    for (idx, &p) in preds.iter().enumerate() {
-        if p != 0 || shown >= 5 {
-            continue;
+    for (&idx, result) in rejected.iter().zip(engine.run_batch(&requests)) {
+        if shown >= 5 {
+            break;
         }
         let row = table.row(idx).unwrap();
-        match engine.recourse(&row, &opts) {
+        match result.map(|resp| resp.into_recourse().expect("recourse response")) {
             Ok(r) if !r.actions.is_empty() => {
                 shown += 1;
                 println!("--- rejected applicant #{idx} ---");

@@ -3,7 +3,7 @@
 //! they should.
 
 use lewis::core::blackbox::{label_table, BlackBox};
-use lewis::core::{ClassifierBox, Lewis};
+use lewis::core::{ClassifierBox, Engine};
 use lewis::datasets::{GermanDataset, GermanSynDataset};
 use lewis::ml::encode::{Encoding, TableEncoder};
 use lewis::ml::forest::ForestParams;
@@ -58,7 +58,12 @@ fn shap_misses_indirect_influence_lewis_captures() {
     // the model (through status/saving); SHAP's masked-prediction game
     // attributes them ~nothing, LEWIS attributes them their causal share.
     let (p, scm) = german_syn_pipe(6_000, 41);
-    let lewis = Lewis::new(&p.table, Some(scm.graph()), p.pred, 1, &p.features, 0.25)
+    let lewis = Engine::builder(p.table.clone())
+        .graph(scm.graph())
+        .prediction(p.pred, 1)
+        .features(&p.features)
+        .alpha(0.25)
+        .build()
         .unwrap();
     let age_lewis = lewis
         .attribute_scores(GermanSynDataset::AGE, &Context::empty())
@@ -99,7 +104,12 @@ fn shap_misses_indirect_influence_lewis_captures() {
 #[test]
 fn lime_agrees_with_lewis_on_direct_causes() {
     let (p, scm) = german_syn_pipe(4_000, 42);
-    let lewis = Lewis::new(&p.table, Some(scm.graph()), p.pred, 1, &p.features, 0.25)
+    let lewis = Engine::builder(p.table.clone())
+        .graph(scm.graph())
+        .prediction(p.pred, 1)
+        .features(&p.features)
+        .alpha(0.25)
+        .build()
         .unwrap();
     let lime = LimeExplainer::new(&p.table, &p.features, LimeOptions::default()).unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);

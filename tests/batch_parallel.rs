@@ -2,7 +2,7 @@
 //! *pure optimizations*: they must agree exactly with the sequential
 //! per-contrast estimator and be deterministic for every thread count.
 
-use lewis::core::{Contrast, Lewis, ScoreEstimator};
+use lewis::core::{Contrast, Engine, ScoreEstimator};
 use lewis::datasets::GermanSynDataset;
 use lewis::tabular::{AttrId, Context, Domain, Schema, Table};
 use proptest::prelude::*;
@@ -134,7 +134,13 @@ fn german_pipeline(n: usize, seed: u64) -> (Table, AttrId, Vec<AttrId>, lewis::c
 #[test]
 fn parallel_explanations_deterministic_across_thread_counts() {
     let (table, pred, features, scm) = german_pipeline(3_000, 7);
-    let lewis = Lewis::new(&table, Some(scm.graph()), pred, 1, &features, 0.25).unwrap();
+    let lewis = Engine::builder(table.clone())
+        .graph(scm.graph())
+        .prediction(pred, 1)
+        .features(&features)
+        .alpha(0.25)
+        .build()
+        .unwrap();
     let some_row = table.row(17).unwrap();
     let mut globals = Vec::new();
     let mut locals = Vec::new();

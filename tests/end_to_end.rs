@@ -3,7 +3,7 @@
 
 use lewis::core::blackbox::label_table;
 use lewis::core::multiclass::binarize_outcome;
-use lewis::core::{ClassifierBox, Lewis};
+use lewis::core::{ClassifierBox, Engine};
 use lewis::ml::encode::{Encoding, TableEncoder};
 use lewis::ml::forest::ForestParams;
 use lewis::ml::gbdt::GbdtParams;
@@ -37,7 +37,13 @@ fn german_pipeline_produces_full_global_explanation() {
     let dataset = lewis::datasets::GermanDataset::generate(2500, 1);
     let scm = lewis::datasets::GermanDataset::scm();
     let (table, pred, features) = rf_pipeline(dataset, 1);
-    let lewis = Lewis::new(&table, Some(scm.graph()), pred, 1, &features, 1.0).unwrap();
+    let lewis = Engine::builder(table.clone())
+        .graph(scm.graph())
+        .prediction(pred, 1)
+        .features(&features)
+        .alpha(1.0)
+        .build()
+        .unwrap();
     let g = lewis.global().unwrap();
     assert_eq!(g.attributes.len(), 20, "all 20 German attributes scored");
     for a in &g.attributes {
@@ -58,7 +64,13 @@ fn adult_fnlwgt_noise_feature_scores_near_zero() {
     let dataset = lewis::datasets::AdultDataset::generate(6000, 2);
     let scm = lewis::datasets::AdultDataset::scm();
     let (table, pred, features) = rf_pipeline(dataset, 2);
-    let lewis = Lewis::new(&table, Some(scm.graph()), pred, 1, &features, 1.0).unwrap();
+    let lewis = Engine::builder(table.clone())
+        .graph(scm.graph())
+        .prediction(pred, 1)
+        .features(&features)
+        .alpha(1.0)
+        .build()
+        .unwrap();
     let fnlwgt = lewis
         .attribute_scores(lewis::datasets::AdultDataset::FNLWGT, &Context::empty())
         .unwrap();
@@ -92,7 +104,13 @@ fn drug_multiclass_pipeline_via_binarize() {
     .unwrap();
     let bb = ClassifierBox::new(gbdt, encoder);
     let pred = label_table(&mut table, &bb, "pred").unwrap();
-    let lewis = Lewis::new(&table, Some(scm.graph()), pred, 1, &features, 1.0).unwrap();
+    let lewis = Engine::builder(table.clone())
+        .graph(scm.graph())
+        .prediction(pred, 1)
+        .features(&features)
+        .alpha(1.0)
+        .build()
+        .unwrap();
     let g = lewis.global().unwrap();
     // country should be influential (Fig 3d)
     let country_rank = g
@@ -127,7 +145,13 @@ fn neural_network_black_box_is_explainable() {
     .unwrap();
     let bb = ClassifierBox::new(nn, encoder);
     let pred = label_table(&mut table, &bb, "pred").unwrap();
-    let lewis = Lewis::new(&table, Some(scm.graph()), pred, 1, &features, 1.0).unwrap();
+    let lewis = Engine::builder(table.clone())
+        .graph(scm.graph())
+        .prediction(pred, 1)
+        .features(&features)
+        .alpha(1.0)
+        .build()
+        .unwrap();
     let g = lewis.global().unwrap();
     // status must dominate sex for any sane model of this SCM
     let score = |attr: AttrId| {
@@ -148,7 +172,13 @@ fn local_explanations_are_consistent_with_outcome_direction() {
     let dataset = lewis::datasets::GermanDataset::generate(2500, 5);
     let scm = lewis::datasets::GermanDataset::scm();
     let (table, pred, features) = rf_pipeline(dataset, 5);
-    let lewis = Lewis::new(&table, Some(scm.graph()), pred, 1, &features, 1.0).unwrap();
+    let lewis = Engine::builder(table.clone())
+        .graph(scm.graph())
+        .prediction(pred, 1)
+        .features(&features)
+        .alpha(1.0)
+        .build()
+        .unwrap();
     let preds = table.column(pred).unwrap().to_vec();
     let mut checked = 0;
     for (idx, &pred_value) in preds.iter().enumerate() {

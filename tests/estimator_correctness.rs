@@ -6,7 +6,7 @@ use lewis::core::blackbox::label_table;
 use lewis::core::groundtruth::GroundTruth;
 use lewis::core::ordering::ordered_pairs;
 use lewis::core::scores::ScoreKind;
-use lewis::core::{ClassifierBox, Lewis, ScoreEstimator};
+use lewis::core::{ClassifierBox, Engine, ScoreEstimator};
 use lewis::datasets::GermanSynDataset;
 use lewis::ml::encode::{Encoding, TableEncoder};
 use lewis::ml::forest::ForestParams;
@@ -112,7 +112,12 @@ fn indirect_influence_of_age_is_recovered() {
     // The Fig 11a headline: age has NO direct edge to the score, yet its
     // ground-truth NESUF is materially positive, and LEWIS finds it.
     let f = fixture(12_000, 23);
-    let lewis = Lewis::new(&f.table, Some(f.scm.graph()), f.pred, 1, &f.features, 0.25)
+    let lewis = Engine::builder(f.table.clone())
+        .graph(f.scm.graph())
+        .prediction(f.pred, 1)
+        .features(&f.features)
+        .alpha(0.25)
+        .build()
         .unwrap();
     let gt = GroundTruth::exact(&f.scm, &f.bb, 1).unwrap();
     let order = lewis.value_order(GermanSynDataset::AGE).unwrap().to_vec();
@@ -156,7 +161,12 @@ fn no_graph_fallback_still_ranks_direct_causes_high() {
     // §6: without a causal diagram LEWIS degrades to the no-confounding
     // fallback — rankings of strong direct causes survive.
     let f = fixture(8_000, 25);
-    let lewis = Lewis::new(&f.table, None, f.pred, 1, &f.features, 0.25).unwrap();
+    let lewis = Engine::builder(f.table.clone())
+        .prediction(f.pred, 1)
+        .features(&f.features)
+        .alpha(0.25)
+        .build()
+        .unwrap();
     let g = lewis.global().unwrap();
     assert_eq!(g.attributes[0].attr, GermanSynDataset::STATUS);
 }

@@ -4,7 +4,7 @@
 use lewis::core::blackbox::label_table;
 use lewis::core::fairness;
 use lewis::core::statements::{best_statement, OutcomeWords};
-use lewis::core::{ClassifierBox, Lewis, ScoreEstimator};
+use lewis::core::{ClassifierBox, Engine, ScoreEstimator};
 use lewis::datasets::{CompasDataset, GermanDataset};
 use lewis::ml::encode::{Encoding, TableEncoder};
 use lewis::ml::forest::ForestParams;
@@ -63,7 +63,13 @@ fn figure_one_style_statement_for_rejected_applicant() {
 fn compas_score_fails_counterfactual_fairness() {
     let (table, pred, features) = train(CompasDataset::generate(6000, 62), 62);
     let scm = CompasDataset::scm();
-    let lewis = Lewis::new(&table, Some(scm.graph()), pred, 1, &features, 0.5).unwrap();
+    let lewis = Engine::builder(table.clone())
+        .graph(scm.graph())
+        .prediction(pred, 1)
+        .features(&features)
+        .alpha(0.5)
+        .build()
+        .unwrap();
     let report =
         fairness::audit(&lewis, CompasDataset::RACE, &Context::empty(), 0.05).unwrap();
     assert!(
@@ -94,15 +100,25 @@ fn german_sex_is_closer_to_fair_than_compas_race() {
     // its audit scores should sit well below COMPAS race's.
     let (g_table, g_pred, g_features) = train(GermanDataset::generate(4000, 63), 63);
     let g_scm = GermanDataset::scm();
-    let g_lewis =
-        Lewis::new(&g_table, Some(g_scm.graph()), g_pred, 1, &g_features, 0.5).unwrap();
+    let g_lewis = Engine::builder(g_table.clone())
+        .graph(g_scm.graph())
+        .prediction(g_pred, 1)
+        .features(&g_features)
+        .alpha(0.5)
+        .build()
+        .unwrap();
     let g_report =
         fairness::audit(&g_lewis, GermanDataset::SEX, &Context::empty(), 0.05).unwrap();
 
     let (c_table, c_pred, c_features) = train(CompasDataset::generate(4000, 63), 63);
     let c_scm = CompasDataset::scm();
-    let c_lewis =
-        Lewis::new(&c_table, Some(c_scm.graph()), c_pred, 1, &c_features, 0.5).unwrap();
+    let c_lewis = Engine::builder(c_table.clone())
+        .graph(c_scm.graph())
+        .prediction(c_pred, 1)
+        .features(&c_features)
+        .alpha(0.5)
+        .build()
+        .unwrap();
     let c_report =
         fairness::audit(&c_lewis, CompasDataset::RACE, &Context::empty(), 0.05).unwrap();
 
