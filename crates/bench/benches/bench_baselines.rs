@@ -18,7 +18,10 @@ fn bench_lime(c: &mut Criterion) {
     let lime = LimeExplainer::new(
         &p.table,
         &p.features,
-        LimeOptions { n_samples: 500, ..LimeOptions::default() },
+        LimeOptions {
+            n_samples: 500,
+            ..LimeOptions::default()
+        },
     )
     .unwrap();
     let row = p.table.row(0).unwrap();
@@ -39,7 +42,10 @@ fn bench_shap(c: &mut Criterion) {
     let shap = KernelShap::new(
         &p.table,
         &p.features,
-        ShapOptions { n_background: 20, ..ShapOptions::default() },
+        ShapOptions {
+            n_background: 20,
+            ..ShapOptions::default()
+        },
     )
     .unwrap();
     let row = p.table.row(0).unwrap();

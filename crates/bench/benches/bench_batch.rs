@@ -120,7 +120,12 @@ fn bench_contextual_batched(c: &mut Criterion) {
         })
     });
     group.bench_function("batched", |b| {
-        b.iter(|| est.scores_batch(&contrasts, &k).iter().filter(|r| r.is_ok()).count())
+        b.iter(|| {
+            est.scores_batch(&contrasts, &k)
+                .iter()
+                .filter(|r| r.is_ok())
+                .count()
+        })
     });
     group.finish();
 }

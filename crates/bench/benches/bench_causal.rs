@@ -16,7 +16,10 @@ fn bench_d_separation(c: &mut Criterion) {
                 g,
                 &[GermanDataset::SEX.index()],
                 &[GermanDataset::OUTCOME.index()],
-                &[GermanDataset::EMPLOYMENT.index(), GermanDataset::SKILL.index()],
+                &[
+                    GermanDataset::EMPLOYMENT.index(),
+                    GermanDataset::SKILL.index(),
+                ],
             )
         })
     });

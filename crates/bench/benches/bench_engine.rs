@@ -117,11 +117,7 @@ fn bench_warm_vs_cold(c: &mut Criterion) {
     });
     group.finish();
 
-    let stats = engine.cache_stats();
-    println!(
-        "cache after run: {} hits / {} misses ({} resident / {} capacity)",
-        stats.hits, stats.misses, stats.entries, stats.capacity
-    );
+    println!("cache after run: {}", engine.cache_stats());
 }
 
 criterion_group! {

@@ -30,7 +30,10 @@ fn bench_forest_training(c: &mut Criterion) {
                 &xs,
                 &ys,
                 2,
-                &ForestParams { n_trees: 20, ..ForestParams::default() },
+                &ForestParams {
+                    n_trees: 20,
+                    ..ForestParams::default()
+                },
                 7,
             )
             .unwrap()
@@ -45,7 +48,10 @@ fn bench_forest_inference(c: &mut Criterion) {
         &xs,
         &ys,
         2,
-        &ForestParams { n_trees: 40, ..ForestParams::default() },
+        &ForestParams {
+            n_trees: 40,
+            ..ForestParams::default()
+        },
         7,
     )
     .unwrap();
@@ -64,7 +70,10 @@ fn bench_gbdt_training(c: &mut Criterion) {
                 &ys,
                 &GbdtParams {
                     n_rounds: 30,
-                    tree: TreeParams { max_depth: 4, ..TreeParams::default() },
+                    tree: TreeParams {
+                        max_depth: 4,
+                        ..TreeParams::default()
+                    },
                     ..GbdtParams::default()
                 },
                 7,

@@ -33,7 +33,11 @@ fn bench_counter_build(c: &mut Criterion) {
         let t = make_table(n, 12, 4, 7);
         let attrs = [AttrId(0), AttrId(1), AttrId(2), AttrId(3)];
         group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
-            b.iter(|| Counter::build(t, &attrs, &Context::empty()).unwrap().total())
+            b.iter(|| {
+                Counter::build(t, &attrs, &Context::empty())
+                    .unwrap()
+                    .total()
+            })
         });
     }
     group.finish();
@@ -59,11 +63,7 @@ fn bench_row_oriented_baseline(c: &mut Criterion) {
     let t = make_table(50_000, 12, 4, 13);
     let ctx = Context::of([(AttrId(1), 2), (AttrId(2), 0)]);
     c.bench_function("row_oriented_count_50k", |b| {
-        b.iter(|| {
-            t.rows()
-                .filter(|row| ctx.matches_row(row))
-                .count()
-        })
+        b.iter(|| t.rows().filter(|row| ctx.matches_row(row)).count())
     });
 }
 

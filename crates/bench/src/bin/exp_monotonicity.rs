@@ -1,5 +1,8 @@
 //! Regenerates the §5.5 monotonicity-violation sweep.
 fn main() {
     let scale = bench::experiments::Scale::from_env();
-    bench::emit("exp_monotonicity", &bench::experiments::monotonicity::run(scale));
+    bench::emit(
+        "exp_monotonicity",
+        &bench::experiments::monotonicity::run(scale),
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates the §5.5 recourse correctness evaluation.
 fn main() {
     let scale = bench::experiments::Scale::from_env();
-    bench::emit("exp_recourse", &bench::experiments::recourse_eval::run(scale));
+    bench::emit(
+        "exp_recourse",
+        &bench::experiments::recourse_eval::run(scale),
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates the §5.5 recourse scalability sweep.
 fn main() {
     let scale = bench::experiments::Scale::from_env();
-    bench::emit("exp_scalability", &bench::experiments::scalability::run(scale));
+    bench::emit(
+        "exp_scalability",
+        &bench::experiments::scalability::run(scale),
+    );
 }

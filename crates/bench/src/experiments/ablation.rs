@@ -52,11 +52,19 @@ pub fn run(scale: Scale) -> String {
         "attribute", "truth", "w/ graph", "no graph", "bounds [lo, hi]"
     ));
     for &(attr, hi, lo) in &contrasts {
-        let truth = gt.nesuf(attr, hi, lo, &Context::empty()).unwrap_or(f64::NAN);
+        let truth = gt
+            .nesuf(attr, hi, lo, &Context::empty())
+            .unwrap_or(f64::NAN);
         let adjusted = nesuf_or_nan(&with_graph, attr, hi, lo);
         let naive = nesuf_or_nan(&no_graph, attr, hi, lo);
         let bounds = with_graph
-            .bounds(ScoreKind::NecessityAndSufficiency, attr, hi, lo, &Context::empty())
+            .bounds(
+                ScoreKind::NecessityAndSufficiency,
+                attr,
+                hi,
+                lo,
+                &Context::empty(),
+            )
             .map(|b| format!("[{:.2}, {:.2}]", b.lower, b.upper))
             .unwrap_or_else(|_| "n/a".into());
         out.push_str(&format!(
@@ -66,14 +74,23 @@ pub fn run(scale: Scale) -> String {
     }
 
     // smoothing ablation on the strongest contrast
-    out.push_str(&header("Ablation — Laplace smoothing α vs estimation error"));
-    out.push_str(&format!("{:>6}  {:>9}  {:>9}\n", "alpha", "estimate", "|err|"));
-    let truth =
-        gt.nesuf(GermanSynDataset::STATUS, 3, 0, &Context::empty()).unwrap_or(f64::NAN);
+    out.push_str(&header(
+        "Ablation — Laplace smoothing α vs estimation error",
+    ));
+    out.push_str(&format!(
+        "{:>6}  {:>9}  {:>9}\n",
+        "alpha", "estimate", "|err|"
+    ));
+    let truth = gt
+        .nesuf(GermanSynDataset::STATUS, 3, 0, &Context::empty())
+        .unwrap_or(f64::NAN);
     for &alpha in &[0.0, 0.25, 1.0, 5.0, 20.0] {
         let est = p.estimator_with_alpha(alpha);
         let v = nesuf_or_nan(&est, GermanSynDataset::STATUS, 3, 0);
-        out.push_str(&format!("{alpha:>6.2}  {v:>9.3}  {:>9.3}\n", (v - truth).abs()));
+        out.push_str(&format!(
+            "{alpha:>6.2}  {v:>9.3}  {:>9.3}\n",
+            (v - truth).abs()
+        ));
     }
     out
 }
@@ -97,11 +114,11 @@ mod tests {
             ScoreEstimator::from_shared(Arc::clone(&p.table), None, p.pred, p.positive, 0.25)
                 .unwrap();
         // status is confounded by (age, sex): adjustment must reduce error
-        let truth = gt.nesuf(GermanSynDataset::STATUS, 3, 0, &Context::empty()).unwrap();
-        let err_graph =
-            (nesuf_or_nan(&with_graph, GermanSynDataset::STATUS, 3, 0) - truth).abs();
-        let err_naive =
-            (nesuf_or_nan(&no_graph, GermanSynDataset::STATUS, 3, 0) - truth).abs();
+        let truth = gt
+            .nesuf(GermanSynDataset::STATUS, 3, 0, &Context::empty())
+            .unwrap();
+        let err_graph = (nesuf_or_nan(&with_graph, GermanSynDataset::STATUS, 3, 0) - truth).abs();
+        let err_naive = (nesuf_or_nan(&no_graph, GermanSynDataset::STATUS, 3, 0) - truth).abs();
         assert!(
             err_graph < err_naive,
             "adjustment should help: graph err {err_graph} vs naive {err_naive}"
@@ -118,7 +135,9 @@ mod tests {
             43,
         );
         let gt = GroundTruth::exact(&p.scm, p.model.as_ref(), p.positive).unwrap();
-        let truth = gt.nesuf(GermanSynDataset::STATUS, 3, 0, &Context::empty()).unwrap();
+        let truth = gt
+            .nesuf(GermanSynDataset::STATUS, 3, 0, &Context::empty())
+            .unwrap();
         let light = p.estimator_with_alpha(0.25);
         let heavy = p.estimator_with_alpha(50.0);
         let err_light = (nesuf_or_nan(&light, GermanSynDataset::STATUS, 3, 0) - truth).abs();

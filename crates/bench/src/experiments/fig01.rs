@@ -28,8 +28,8 @@ pub fn run(scale: Scale) -> String {
 
         // recourse over the actionable attributes
         let est = p.estimator();
-        let engine = lewis_core::recourse::RecourseEngine::new(&est, &p.actionable)
-            .expect("engine builds");
+        let engine =
+            lewis_core::recourse::RecourseEngine::new(&est, &p.actionable).expect("engine builds");
         let opts = RecourseOptions {
             alpha: 0.75,
             cost: CostModel::OrdinalLinear,

@@ -74,7 +74,11 @@ mod tests {
                 .expect("attribute present")
         };
         assert!(rank("status") < 4, "status rank {}", rank("status"));
-        assert!(rank("credit_hist") < 4, "credit_hist rank {}", rank("credit_hist"));
+        assert!(
+            rank("credit_hist") < 4,
+            "credit_hist rank {}",
+            rank("credit_hist")
+        );
         assert!(
             rank("status") < rank("housing"),
             "status must outrank housing"

@@ -46,7 +46,9 @@ pub fn run(scale: Scale) -> String {
         None,
         42,
     );
-    out.push_str(&header("Fig 4a — effect of status across age groups (German)"));
+    out.push_str(&header(
+        "Fig 4a — effect of status across age groups (German)",
+    ));
     out.push_str(&contextual_rows(
         &german,
         GermanDataset::STATUS,
@@ -60,7 +62,9 @@ pub fn run(scale: Scale) -> String {
         None,
         42,
     );
-    out.push_str(&header("Fig 4b — effect of marital across age groups (Adult)"));
+    out.push_str(&header(
+        "Fig 4b — effect of marital across age groups (Adult)",
+    ));
     out.push_str(&contextual_rows(
         &adult,
         AdultDataset::MARITAL,
@@ -74,14 +78,18 @@ pub fn run(scale: Scale) -> String {
         None,
         42,
     );
-    out.push_str(&header("Fig 4c — effect of prior count across race (COMPAS score)"));
+    out.push_str(&header(
+        "Fig 4c — effect of prior count across race (COMPAS score)",
+    ));
     out.push_str(&contextual_rows(
         &compas,
         CompasDataset::PRIORS,
         CompasDataset::RACE,
         &[(0, "white"), (1, "black")],
     ));
-    out.push_str(&header("Fig 4d — effect of juvenile crime across race (COMPAS score)"));
+    out.push_str(&header(
+        "Fig 4d — effect of juvenile crime across race (COMPAS score)",
+    ));
     out.push_str(&contextual_rows(
         &compas,
         CompasDataset::JUV_FEL,
@@ -107,10 +115,16 @@ mod tests {
         );
         let lewis = p.engine();
         let white = lewis
-            .contextual(CompasDataset::PRIORS, &Context::of([(CompasDataset::RACE, 0)]))
+            .contextual(
+                CompasDataset::PRIORS,
+                &Context::of([(CompasDataset::RACE, 0)]),
+            )
             .unwrap();
         let black = lewis
-            .contextual(CompasDataset::PRIORS, &Context::of([(CompasDataset::RACE, 1)]))
+            .contextual(
+                CompasDataset::PRIORS,
+                &Context::of([(CompasDataset::RACE, 1)]),
+            )
             .unwrap();
         assert!(
             black.scores.sufficiency > white.scores.sufficiency,

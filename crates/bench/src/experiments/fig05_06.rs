@@ -49,9 +49,8 @@ pub fn run_fig06(scale: Scale) -> String {
     if let Some(neg) = adult.find_borderline(0) {
         let row = adult.table.row(neg).expect("row in range");
         let est = adult.estimator();
-        let engine =
-            lewis_core::recourse::RecourseEngine::new(&est, &adult.actionable)
-                .expect("engine builds");
+        let engine = lewis_core::recourse::RecourseEngine::new(&est, &adult.actionable)
+            .expect("engine builds");
         out.push_str(&header("Fig 6 — recourse for the negative example (Adult)"));
         match engine.recourse(&row, &lewis_core::RecourseOptions::default()) {
             Ok(r) => {

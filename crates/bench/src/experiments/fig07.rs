@@ -5,7 +5,7 @@ use super::Scale;
 use crate::harness::{header, prepare, ModelKind, Prepared};
 use lewis_core::report::ranks_desc;
 use rand::SeedableRng;
-use xai::{LimeExplainer, LimeOptions, KernelShap, ShapOptions};
+use xai::{KernelShap, LimeExplainer, LimeOptions, ShapOptions};
 
 fn one(p: &Prepared, idx: usize, label: &str) -> String {
     let lewis = p.engine();
@@ -13,14 +13,13 @@ fn one(p: &Prepared, idx: usize, label: &str) -> String {
     let local = lewis.local(&row).expect("local explanation");
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let lime = LimeExplainer::new(&p.table, &p.features, LimeOptions::default())
-        .expect("lime builds");
+    let lime =
+        LimeExplainer::new(&p.table, &p.features, LimeOptions::default()).expect("lime builds");
     let score = p.score.clone();
     let lime_w = lime
         .explain(&row, &|r| score(r), &mut rng)
         .expect("lime explains");
-    let shap = KernelShap::new(&p.table, &p.features, ShapOptions::default())
-        .expect("shap builds");
+    let shap = KernelShap::new(&p.table, &p.features, ShapOptions::default()).expect("shap builds");
     let shap_w = shap
         .explain(&row, &|r| score(r), &mut rng)
         .expect("shap explains");

@@ -27,7 +27,10 @@ pub fn compare(p: &Prepared, shap_rows: usize) -> String {
     let shap = KernelShap::new(
         &p.table,
         &attrs,
-        ShapOptions { n_background: 25, ..ShapOptions::default() },
+        ShapOptions {
+            n_background: 25,
+            ..ShapOptions::default()
+        },
     )
     .expect("shap builds");
     let score = p.score.clone();

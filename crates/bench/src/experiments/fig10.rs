@@ -14,21 +14,36 @@ fn one(p: &Prepared, idx: usize, label: &str) -> String {
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(10);
     let score = p.score.clone();
-    let lime = LimeExplainer::new(&p.table, &p.features, LimeOptions::default())
-        .expect("lime builds");
+    let lime =
+        LimeExplainer::new(&p.table, &p.features, LimeOptions::default()).expect("lime builds");
     let lime_w = lime.explain(&row, &|r| score(r), &mut rng).expect("lime");
     let shap = KernelShap::new(
         &p.table,
         &p.features,
-        ShapOptions { n_background: 30, ..ShapOptions::default() },
+        ShapOptions {
+            n_background: 30,
+            ..ShapOptions::default()
+        },
     )
     .expect("shap builds");
     let shap_w = shap.explain(&row, &|r| score(r), &mut rng).expect("shap");
     let lime_rank = ranks_desc(&lime_w.iter().map(|&(_, w)| w.abs()).collect::<Vec<_>>());
     let shap_rank = ranks_desc(&shap_w.iter().map(|&(_, w)| w.abs()).collect::<Vec<_>>());
 
-    let neg_rank = ranks_desc(&local.contributions.iter().map(|c| c.negative).collect::<Vec<_>>());
-    let pos_rank = ranks_desc(&local.contributions.iter().map(|c| c.positive).collect::<Vec<_>>());
+    let neg_rank = ranks_desc(
+        &local
+            .contributions
+            .iter()
+            .map(|c| c.negative)
+            .collect::<Vec<_>>(),
+    );
+    let pos_rank = ranks_desc(
+        &local
+            .contributions
+            .iter()
+            .map(|c| c.positive)
+            .collect::<Vec<_>>(),
+    );
 
     let mut out = header(&format!("Fig 10 — {label} outcome ({})", p.name));
     out.push_str(&format!(

@@ -59,8 +59,8 @@ pub fn run_quality(scale: Scale) -> String {
     let lewis_scores: Vec<f64> = g.attributes.iter().map(|a| a.scores.nesuf).collect();
 
     // exact ground truth via the SCM + trained model
-    let gt = GroundTruth::exact(&p.scm, p.model.as_ref(), p.positive)
-        .expect("noise space enumerable");
+    let gt =
+        GroundTruth::exact(&p.scm, p.model.as_ref(), p.positive).expect("noise space enumerable");
     let gt_scores: Vec<f64> = attrs
         .iter()
         .map(|&a| ground_truth_max(&p, &gt, a).nesuf)
@@ -71,7 +71,10 @@ pub fn run_quality(scale: Scale) -> String {
     let shap = KernelShap::new(
         &p.table,
         &attrs,
-        ShapOptions { n_background: 30, ..ShapOptions::default() },
+        ShapOptions {
+            n_background: 30,
+            ..ShapOptions::default()
+        },
     )
     .expect("shap builds");
     let score = p.score.clone();
@@ -137,12 +140,10 @@ pub fn run_sample_size(scale: Scale) -> String {
                 .attribute_scores(GermanSynDataset::STATUS, &Context::empty())
                 .expect("scores");
             estimates.push(s.scores.nesuf);
-            let gt = GroundTruth::exact(&p.scm, p.model.as_ref(), p.positive)
-                .expect("enumerable");
+            let gt = GroundTruth::exact(&p.scm, p.model.as_ref(), p.positive).expect("enumerable");
             truths.push(ground_truth_max(&p, &gt, GermanSynDataset::STATUS).nesuf);
         }
-        let errors: Vec<f64> =
-            estimates.iter().zip(&truths).map(|(e, t)| e - t).collect();
+        let errors: Vec<f64> = estimates.iter().zip(&truths).map(|(e, t)| e - t).collect();
         let mean_est = estimates.iter().sum::<f64>() / trials as f64;
         let mean_gt = truths.iter().sum::<f64>() / trials as f64;
         let mean_err = errors.iter().sum::<f64>() / trials as f64;

@@ -34,7 +34,11 @@ pub fn run(scale: Scale) -> String {
     for &t in &thresholds {
         let lewis_result = engine.recourse(
             &row,
-            &RecourseOptions { alpha: t, cost: CostModel::Unit, ..RecourseOptions::default() },
+            &RecourseOptions {
+                alpha: t,
+                cost: CostModel::Unit,
+                ..RecourseOptions::default()
+            },
         );
         let lewis_cell = match &lewis_result {
             Ok(r) => format!("{} actions, cost {:.0}", r.actions.len(), r.total_cost),
@@ -69,7 +73,11 @@ mod tests {
         let row = p.table.row(neg).unwrap();
         let lr = engine.recourse(
             &row,
-            &RecourseOptions { alpha: 0.5, cost: CostModel::Unit, ..RecourseOptions::default() },
+            &RecourseOptions {
+                alpha: 0.5,
+                cost: CostModel::Unit,
+                ..RecourseOptions::default()
+            },
         );
         assert!(lr.is_ok(), "LEWIS at α=0.5: {lr:?}");
         // LinearIP at a moderate threshold should also produce something
@@ -88,6 +96,9 @@ mod tests {
             let r = p.table.row(i).unwrap();
             linear.recourse(&p.table, p.pred, &r, 0.6).is_ok()
         });
-        assert!(feasible, "LinearIP at 0.6 infeasible for all borderline negatives");
+        assert!(
+            feasible,
+            "LinearIP at 0.6 infeasible for all borderline negatives"
+        );
     }
 }

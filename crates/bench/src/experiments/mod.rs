@@ -90,10 +90,7 @@ pub fn global_table(g: &GlobalExplanation) -> String {
 
 /// Format method-comparison rows: attribute, one score column per
 /// method, with ranks.
-pub fn comparison_table(
-    attr_names: &[String],
-    methods: &[(&str, Vec<f64>)],
-) -> String {
+pub fn comparison_table(attr_names: &[String], methods: &[(&str, Vec<f64>)]) -> String {
     let width = attr_names
         .iter()
         .map(String::len)
@@ -130,7 +127,11 @@ pub fn local_table(local: &lewis_core::explain::LocalExplanation) -> String {
     out.push_str(&format!(
         "outcome = {} ({})\n",
         local.outcome,
-        if local.outcome == 1 { "positive" } else { "negative" }
+        if local.outcome == 1 {
+            "positive"
+        } else {
+            "negative"
+        }
     ));
     out.push_str(&format!(
         "{:<width$}  {:>8}  {:>8}  contribution\n",

@@ -91,7 +91,11 @@ pub fn run(scale: Scale) -> String {
     let est = p.estimator();
     let engine =
         lewis_core::recourse::RecourseEngine::new(&est, &p.actionable).expect("engine builds");
-    let opts = RecourseOptions { alpha, cost: CostModel::Unit, ..RecourseOptions::default() };
+    let opts = RecourseOptions {
+        alpha,
+        cost: CostModel::Unit,
+        ..RecourseOptions::default()
+    };
 
     let negatives: Vec<usize> = p
         .table
@@ -145,7 +149,10 @@ pub fn run(scale: Scale) -> String {
     let mut out = header(&format!(
         "§5.5 — recourse correctness (German-syn, α = {alpha}, unit costs)"
     ));
-    out.push_str(&format!("negative instances examined : {}\n", negatives.len()));
+    out.push_str(&format!(
+        "negative instances examined : {}\n",
+        negatives.len()
+    ));
     out.push_str(&format!("recourse produced           : {produced}\n"));
     out.push_str(&format!(
         "ground-truth sufficiency ≥ α: {sufficient} ({:.1}%)\n",
@@ -183,6 +190,9 @@ mod tests {
             .and_then(|s| s.strip_suffix("%)"))
             .and_then(|s| s.parse().ok())
             .expect("parsable percentage");
-        assert!(pct > 60.0, "sufficiency success rate {pct}% too low\n{report}");
+        assert!(
+            pct > 60.0,
+            "sufficiency success rate {pct}% too low\n{report}"
+        );
     }
 }

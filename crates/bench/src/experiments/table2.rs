@@ -21,7 +21,10 @@ fn measure(p: &Prepared) -> Row {
     let _g = lewis.global().expect("global");
     let global_s = t0.elapsed().as_secs_f64();
 
-    let idx = p.find_individual(0).or_else(|| p.find_individual(1)).expect("rows exist");
+    let idx = p
+        .find_individual(0)
+        .or_else(|| p.find_individual(1))
+        .expect("rows exist");
     let row = p.table.row(idx).expect("row in range");
     let t1 = Instant::now();
     let _l = lewis.local(&row).expect("local");
@@ -32,8 +35,8 @@ fn measure(p: &Prepared) -> Row {
     } else {
         let est = p.estimator();
         let t2 = Instant::now();
-        let engine = lewis_core::recourse::RecourseEngine::new(&est, &p.actionable)
-            .expect("engine");
+        let engine =
+            lewis_core::recourse::RecourseEngine::new(&est, &p.actionable).expect("engine");
         // find a negative individual; recourse may legitimately be
         // infeasible at the default alpha — we time the attempt either way
         if let Some(neg) = p.find_individual(0) {

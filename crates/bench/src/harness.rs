@@ -89,10 +89,16 @@ impl<C: Classifier> BlackBox for PivotedClassifier<C> {
 /// Train `kind` on `dataset` and label its table. For multi-class
 /// outcomes pass the ordinal `pivot` (favourable = outcome ≥ pivot).
 pub fn prepare(dataset: Dataset, kind: ModelKind, pivot: Option<Value>, seed: u64) -> Prepared {
-    let Dataset { name, mut table, scm, outcome, features, actionable } = dataset;
+    let Dataset {
+        name,
+        mut table,
+        scm,
+        outcome,
+        features,
+        actionable,
+    } = dataset;
     let schema = table.schema().clone();
-    let encoder =
-        TableEncoder::new(&schema, &features, Encoding::Ordinal).expect("valid features");
+    let encoder = TableEncoder::new(&schema, &features, Encoding::Ordinal).expect("valid features");
     let xs = encoder.encode_table(&table);
     let raw_ys: Vec<u32> = table.column(outcome).expect("outcome exists").to_vec();
     let n_classes = schema.cardinality(outcome).expect("outcome exists");
@@ -109,15 +115,16 @@ pub fn prepare(dataset: Dataset, kind: ModelKind, pivot: Option<Value>, seed: u6
 
     let (bb, score): (Box<dyn BlackBox>, ScoreFn) = match kind {
         ModelKind::RandomForest => {
-            let params = ForestParams { n_trees: 60, ..ForestParams::default() };
-            let clf =
-                ml::RandomForestClassifier::fit(&train_x, &train_y, n_classes, &params, seed)
-                    .expect("forest trains");
+            let params = ForestParams {
+                n_trees: 60,
+                ..ForestParams::default()
+            };
+            let clf = ml::RandomForestClassifier::fit(&train_x, &train_y, n_classes, &params, seed)
+                .expect("forest trains");
             if n_classes == 2 {
                 let clf2 = clf.clone();
                 let enc2 = encoder.clone();
-                let score =
-                    Arc::new(move |row: &[Value]| clf2.proba_of(&enc2.encode_row(row), 1));
+                let score = Arc::new(move |row: &[Value]| clf2.proba_of(&enc2.encode_row(row), 1));
                 (
                     Box::new(lewis_core::ClassifierBox::new(clf, encoder.clone()))
                         as Box<dyn BlackBox>,
@@ -129,8 +136,11 @@ pub fn prepare(dataset: Dataset, kind: ModelKind, pivot: Option<Value>, seed: u6
                     encoder: encoder.clone(),
                     pivot: pivot_value,
                 };
-                let piv2 =
-                    PivotedClassifier { inner: clf, encoder: encoder.clone(), pivot: pivot_value };
+                let piv2 = PivotedClassifier {
+                    inner: clf,
+                    encoder: encoder.clone(),
+                    pivot: pivot_value,
+                };
                 (
                     Box::new(piv),
                     Arc::new(move |row: &[Value]| piv2.proba_at_or_above(row)),
@@ -139,37 +149,57 @@ pub fn prepare(dataset: Dataset, kind: ModelKind, pivot: Option<Value>, seed: u6
         }
         ModelKind::Gbdt => {
             let binary_y: Vec<u32> = train_y.iter().map(|&y| to_binary(y)).collect();
-            let params = GbdtParams { n_rounds: 60, ..GbdtParams::default() };
+            let params = GbdtParams {
+                n_rounds: 60,
+                ..GbdtParams::default()
+            };
             let clf = ml::GradientBoostedTrees::fit(&train_x, &binary_y, &params, seed)
                 .expect("gbdt trains");
             let clf2 = clf.clone();
             let enc2 = encoder.clone();
             let score = Arc::new(move |row: &[Value]| clf2.proba_of(&enc2.encode_row(row), 1));
-            (Box::new(lewis_core::ClassifierBox::new(clf, encoder.clone())), score)
+            (
+                Box::new(lewis_core::ClassifierBox::new(clf, encoder.clone())),
+                score,
+            )
         }
         ModelKind::NeuralNet => {
             let binary_y: Vec<u32> = train_y.iter().map(|&y| to_binary(y)).collect();
-            let params = NnParams { hidden: vec![32, 16], epochs: 15, ..NnParams::default() };
+            let params = NnParams {
+                hidden: vec![32, 16],
+                epochs: 15,
+                ..NnParams::default()
+            };
             let clf =
                 ml::NeuralNetwork::fit(&train_x, &binary_y, 2, &params, seed).expect("nn trains");
             let clf2 = clf.clone();
             let enc2 = encoder.clone();
             let score = Arc::new(move |row: &[Value]| clf2.proba_of(&enc2.encode_row(row), 1));
-            (Box::new(lewis_core::ClassifierBox::new(clf, encoder.clone())), score)
+            (
+                Box::new(lewis_core::ClassifierBox::new(clf, encoder.clone())),
+                score,
+            )
         }
         ModelKind::ForestRegressor { threshold } => {
             // regression target: the outcome's bin midpoint
             let dom = schema.domain(outcome).expect("outcome exists").clone();
             let to_score = move |y: u32| dom.bin_midpoint(y).unwrap_or(f64::from(y));
             let train_s: Vec<f64> = train_y.iter().map(|&y| to_score(y)).collect();
-            let params = ForestParams { n_trees: 60, ..ForestParams::default() };
+            let params = ForestParams {
+                n_trees: 60,
+                ..ForestParams::default()
+            };
             let reg = ml::RandomForestRegressor::fit(&train_x, &train_s, &params, seed)
                 .expect("regressor trains");
             let reg2 = reg.clone();
             let enc2 = encoder.clone();
             let score = Arc::new(move |row: &[Value]| reg2.predict(&enc2.encode_row(row)));
             (
-                Box::new(lewis_core::RegressorThresholdBox::new(reg, encoder.clone(), threshold)),
+                Box::new(lewis_core::RegressorThresholdBox::new(
+                    reg,
+                    encoder.clone(),
+                    threshold,
+                )),
                 score,
             )
         }

@@ -42,7 +42,16 @@ pub fn interventional_probability(
             outcome_attr.index()
         )));
     }
-    estimate_adjusted(table, x_attr, x_value, outcome_attr, outcome_value, k, adjust, alpha)
+    estimate_adjusted(
+        table,
+        x_attr,
+        x_value,
+        outcome_attr,
+        outcome_value,
+        k,
+        adjust,
+        alpha,
+    )
 }
 
 /// The adjustment estimator itself, without the graphical check — used
@@ -82,8 +91,7 @@ pub fn estimate_adjusted(
     }
 
     // Collect counts per adjustment cell: n(c), n(c, x), n(c, x, y).
-    let mut cells: tabular::FxHashMap<Vec<Value>, (u64, u64, u64)> =
-        tabular::FxHashMap::default();
+    let mut cells: tabular::FxHashMap<Vec<Value>, (u64, u64, u64)> = tabular::FxHashMap::default();
     counter.for_each_nonzero(|values, n| {
         let c = values[..n_adjust].to_vec();
         let entry = cells.entry(c).or_insert((0, 0, 0));

@@ -39,7 +39,10 @@ impl<'a> CounterfactualEngine<'a> {
     pub fn exact(scm: &'a Scm) -> Result<Self> {
         let size = scm.noise_space_size();
         if size > EXACT_LIMIT {
-            return Err(CausalError::NoiseSpaceTooLarge { size, limit: EXACT_LIMIT });
+            return Err(CausalError::NoiseSpaceTooLarge {
+                size,
+                limit: EXACT_LIMIT,
+            });
         }
         let n = scm.schema().len();
         let mut particles = Vec::with_capacity(size as usize);
@@ -230,9 +233,7 @@ mod tests {
         let scm = noisy_copy();
         let eng = CounterfactualEngine::exact(&scm).unwrap();
         let interventional = eng.interventional(&[(0, 0)], |w| w[1] == 1); // 0.2
-        let counterfactual = eng
-            .query(|w| w[1] == 1, &[(0, 0)], |w| w[1] == 1)
-            .unwrap();
+        let counterfactual = eng.query(|w| w[1] == 1, &[(0, 0)], |w| w[1] == 1).unwrap();
         assert!((interventional - 0.2).abs() < 1e-12);
         // conditioned on y=1, the noise is biased toward u_y=0 when x=1:
         // Pr(u_y=0|y=1) = 0.8·0.5/0.5 = 0.8 ⇒ Pr(y_{x←0}=1|y=1) = 0.2... but
@@ -282,7 +283,10 @@ mod tests {
             .query(|w| w[1] == 1, &[(0, 0)], |w| w[1] == 1)
             .unwrap();
         let q_mc = mc.query(|w| w[1] == 1, &[(0, 0)], |w| w[1] == 1).unwrap();
-        assert!((q_exact - q_mc).abs() < 0.02, "exact {q_exact} vs mc {q_mc}");
+        assert!(
+            (q_exact - q_mc).abs() < 0.02,
+            "exact {q_exact} vs mc {q_mc}"
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ pub struct PcOptions {
 
 impl Default for PcOptions {
     fn default() -> Self {
-        PcOptions { max_cond_size: 2, min_stratum: 20 }
+        PcOptions {
+            max_cond_size: 2,
+            min_stratum: 20,
+        }
     }
 }
 
@@ -253,7 +256,11 @@ pub fn pc_algorithm(table: &Table, n_vars: usize, opts: &PcOptions) -> Result<Cp
     for d in directed.iter_mut() {
         d.sort_unstable();
     }
-    Ok(Cpdag { n, directed, undirected })
+    Ok(Cpdag {
+        n,
+        directed,
+        undirected,
+    })
 }
 
 /// Visit every size-`k` subset of `items`; the callback returns
@@ -308,8 +315,12 @@ mod tests {
         let mut builder = ScmBuilder::new(schema);
         builder.edge(0, 2).unwrap();
         builder.edge(1, 2).unwrap();
-        builder.mechanism(0, Mechanism::root(vec![0.5, 0.5])).unwrap();
-        builder.mechanism(1, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        builder
+            .mechanism(0, Mechanism::root(vec![0.5, 0.5]))
+            .unwrap();
+        builder
+            .mechanism(1, Mechanism::root(vec![0.5, 0.5]))
+            .unwrap();
         builder
             .mechanism(
                 2,
@@ -341,7 +352,9 @@ mod tests {
         let mut builder = ScmBuilder::new(schema);
         builder.edge(0, 1).unwrap();
         builder.edge(1, 2).unwrap();
-        builder.mechanism(0, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        builder
+            .mechanism(0, Mechanism::root(vec![0.5, 0.5]))
+            .unwrap();
         builder.mechanism(1, flip_mech(0.15)).unwrap();
         builder.mechanism(2, flip_mech(0.15)).unwrap();
         let scm = builder.build().unwrap();
@@ -369,8 +382,12 @@ mod tests {
         builder.edge(0, 2).unwrap();
         builder.edge(1, 2).unwrap();
         builder.edge(2, 3).unwrap();
-        builder.mechanism(0, Mechanism::root(vec![0.5, 0.5])).unwrap();
-        builder.mechanism(1, Mechanism::root(vec![0.5, 0.5])).unwrap();
+        builder
+            .mechanism(0, Mechanism::root(vec![0.5, 0.5]))
+            .unwrap();
+        builder
+            .mechanism(1, Mechanism::root(vec![0.5, 0.5]))
+            .unwrap();
         builder
             .mechanism(
                 2,
@@ -392,8 +409,12 @@ mod tests {
         schema.push("a", Domain::boolean());
         schema.push("b", Domain::boolean());
         let mut builder = ScmBuilder::new(schema);
-        builder.mechanism(0, Mechanism::root(vec![0.5, 0.5])).unwrap();
-        builder.mechanism(1, Mechanism::root(vec![0.3, 0.7])).unwrap();
+        builder
+            .mechanism(0, Mechanism::root(vec![0.5, 0.5]))
+            .unwrap();
+        builder
+            .mechanism(1, Mechanism::root(vec![0.3, 0.7]))
+            .unwrap();
         let scm = builder.build().unwrap();
         let mut rng = StdRng::seed_from_u64(20);
         let t = scm.generate(10_000, &mut rng);

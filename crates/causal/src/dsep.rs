@@ -129,9 +129,8 @@ pub fn backdoor_adjustment_set(
     ys: &[NodeId],
     forbidden: &[NodeId],
 ) -> Result<Vec<NodeId>> {
-    let ok = |z: &[NodeId]| {
-        z.iter().all(|v| !forbidden.contains(v)) && satisfies_backdoor(g, xs, ys, z)
-    };
+    let ok =
+        |z: &[NodeId]| z.iter().all(|v| !forbidden.contains(v)) && satisfies_backdoor(g, xs, ys, z);
 
     if ok(&[]) {
         return Ok(Vec::new());
@@ -239,7 +238,10 @@ mod tests {
     fn chain_separation() {
         let g = chain();
         assert!(!is_d_separated(&g, &[0], &[2], &[]));
-        assert!(is_d_separated(&g, &[0], &[2], &[1]), "chain blocked by middle");
+        assert!(
+            is_d_separated(&g, &[0], &[2], &[1]),
+            "chain blocked by middle"
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub struct Dag {
 impl Dag {
     /// A graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        Dag { parents: vec![Vec::new(); n], children: vec![Vec::new(); n] }
+        Dag {
+            parents: vec![Vec::new(); n],
+            children: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -37,7 +40,10 @@ impl Dag {
         if node < self.n_nodes() {
             Ok(())
         } else {
-            Err(CausalError::UnknownNode { node, n_nodes: self.n_nodes() })
+            Err(CausalError::UnknownNode {
+                node,
+                n_nodes: self.n_nodes(),
+            })
         }
     }
 
@@ -78,7 +84,9 @@ impl Dag {
 
     /// Nodes with no parents.
     pub fn roots(&self) -> Vec<NodeId> {
-        (0..self.n_nodes()).filter(|&n| self.parents[n].is_empty()).collect()
+        (0..self.n_nodes())
+            .filter(|&n| self.parents[n].is_empty())
+            .collect()
     }
 
     fn reaches(&self, from: NodeId, target: NodeId) -> bool {
@@ -255,8 +263,14 @@ mod tests {
     #[test]
     fn cycles_rejected() {
         let mut g = diamond();
-        assert_eq!(g.add_edge(3, 0), Err(CausalError::CycleDetected { from: 3, to: 0 }));
-        assert_eq!(g.add_edge(1, 1), Err(CausalError::CycleDetected { from: 1, to: 1 }));
+        assert_eq!(
+            g.add_edge(3, 0),
+            Err(CausalError::CycleDetected { from: 3, to: 0 })
+        );
+        assert_eq!(
+            g.add_edge(1, 1),
+            Err(CausalError::CycleDetected { from: 1, to: 1 })
+        );
         // graph unchanged after the failed inserts
         assert_eq!(g.n_edges(), 4);
     }
@@ -264,7 +278,10 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut g = Dag::new(2);
-        assert!(matches!(g.add_edge(0, 5), Err(CausalError::UnknownNode { .. })));
+        assert!(matches!(
+            g.add_edge(0, 5),
+            Err(CausalError::UnknownNode { .. })
+        ));
     }
 
     #[test]

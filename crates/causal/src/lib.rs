@@ -78,7 +78,10 @@ impl std::fmt::Display for CausalError {
             CausalError::NotABackdoorSet(msg) => write!(f, "not a backdoor set: {msg}"),
             CausalError::InvalidScm(msg) => write!(f, "invalid SCM: {msg}"),
             CausalError::NoiseSpaceTooLarge { size, limit } => {
-                write!(f, "noise space of {size} assignments exceeds exact-inference limit {limit}")
+                write!(
+                    f,
+                    "noise space of {size} assignments exceeds exact-inference limit {limit}"
+                )
             }
             CausalError::ZeroProbabilityEvidence => {
                 write!(f, "conditioning evidence has zero probability")

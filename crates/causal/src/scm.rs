@@ -40,14 +40,20 @@ impl Mechanism {
     /// A mechanism whose output is a deterministic function of its parents
     /// (one trivial noise level).
     pub fn deterministic(func: impl Fn(&[Value]) -> Value + Send + Sync + 'static) -> Self {
-        Mechanism { noise_probs: vec![1.0], func: Arc::new(move |pa, _| func(pa)) }
+        Mechanism {
+            noise_probs: vec![1.0],
+            func: Arc::new(move |pa, _| func(pa)),
+        }
     }
 
     /// An exogenous (root) categorical variable with the given prior.
     ///
     /// Noise level `u` maps directly to value code `u`.
     pub fn root(prior: Vec<f64>) -> Self {
-        Mechanism { noise_probs: prior, func: Arc::new(|_, u| u as Value) }
+        Mechanism {
+            noise_probs: prior,
+            func: Arc::new(|_, u| u as Value),
+        }
     }
 
     /// A mechanism with explicit noise levels and transition function.
@@ -55,7 +61,10 @@ impl Mechanism {
         noise_probs: Vec<f64>,
         func: impl Fn(&[Value], usize) -> Value + Send + Sync + 'static,
     ) -> Self {
-        Mechanism { noise_probs, func: Arc::new(func) }
+        Mechanism {
+            noise_probs,
+            func: Arc::new(func),
+        }
     }
 
     /// Number of noise levels.
@@ -145,7 +154,8 @@ impl Scm {
         let mut t = Table::with_capacity(self.schema.clone(), n);
         for _ in 0..n {
             let row = self.sample(rng);
-            t.push_row(&row).expect("SCM produced a row outside its schema");
+            t.push_row(&row)
+                .expect("SCM produced a row outside its schema");
         }
         t
     }
@@ -161,7 +171,8 @@ impl Scm {
         for _ in 0..n {
             let noise = self.sample_noise(rng);
             let row = self.world(&noise, interventions);
-            t.push_row(&row).expect("SCM produced a row outside its schema");
+            t.push_row(&row)
+                .expect("SCM produced a row outside its schema");
         }
         t
     }
@@ -191,7 +202,11 @@ impl ScmBuilder {
     /// every mechanism unset.
     pub fn new(schema: Schema) -> Self {
         let n = schema.len();
-        ScmBuilder { schema, graph: Dag::new(n), mechanisms: (0..n).map(|_| None).collect() }
+        ScmBuilder {
+            schema,
+            graph: Dag::new(n),
+            mechanisms: (0..n).map(|_| None).collect(),
+        }
     }
 
     /// Add the causal edge `from → to`.
@@ -203,7 +218,10 @@ impl ScmBuilder {
     /// Set the mechanism of node `v`.
     pub fn mechanism(&mut self, v: NodeId, m: Mechanism) -> Result<&mut Self> {
         if v >= self.mechanisms.len() {
-            return Err(CausalError::UnknownNode { node: v, n_nodes: self.mechanisms.len() });
+            return Err(CausalError::UnknownNode {
+                node: v,
+                n_nodes: self.mechanisms.len(),
+            });
         }
         self.mechanisms[v] = Some(m);
         Ok(self)
@@ -223,10 +241,13 @@ impl ScmBuilder {
                 ))
             })?;
             if m.noise_probs.is_empty() {
-                return Err(CausalError::InvalidScm(format!("node {v}: empty noise prior")));
+                return Err(CausalError::InvalidScm(format!(
+                    "node {v}: empty noise prior"
+                )));
             }
             let sum: f64 = m.noise_probs.iter().sum();
-            if (sum - 1.0).abs() > 1e-9 || m.noise_probs.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+            if (sum - 1.0).abs() > 1e-9 || m.noise_probs.iter().any(|&p| !(0.0..=1.0).contains(&p))
+            {
                 return Err(CausalError::InvalidScm(format!(
                     "node {v}: noise prior is not a distribution (sum = {sum})"
                 )));
@@ -235,7 +256,12 @@ impl ScmBuilder {
         }
 
         let topo = self.graph.topological_order();
-        let scm = Scm { schema: self.schema, graph: self.graph, mechanisms, topo };
+        let scm = Scm {
+            schema: self.schema,
+            graph: self.graph,
+            mechanisms,
+            topo,
+        };
 
         // Probe mechanisms for domain violations on small local grids.
         for v in 0..scm.mechanisms.len() {

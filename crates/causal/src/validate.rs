@@ -136,18 +136,21 @@ pub fn conditional_independence_test(
         dof += (active_rows - 1) * (active_cols - 1);
     }
     let rejected = dof > 0 && chi_square > chi2_critical_01(dof);
-    Ok(IndependenceTest { x, y, z: z.to_vec(), chi_square, dof, rejected })
+    Ok(IndependenceTest {
+        x,
+        y,
+        z: z.to_vec(),
+        chi_square,
+        dof,
+        rejected,
+    })
 }
 
 /// Validate `graph` against `table`: for every non-adjacent pair, test
 /// the independence implied by conditioning on one node's parents (the
 /// local Markov property restricted to pairs, which keeps the test count
 /// quadratic). Only attributes `0..graph.n_nodes()` participate.
-pub fn validate_graph(
-    table: &Table,
-    graph: &Dag,
-    min_stratum: usize,
-) -> Result<ValidationReport> {
+pub fn validate_graph(table: &Table, graph: &Dag, min_stratum: usize) -> Result<ValidationReport> {
     let n = graph.n_nodes().min(table.schema().len());
     let mut tests = Vec::new();
     for xi in 0..n {
@@ -156,7 +159,11 @@ pub fn validate_graph(
                 continue;
             }
             // condition on the parents of the causally later node
-            let (late, early) = if graph.is_ancestor(xi, yi) { (yi, xi) } else { (xi, yi) };
+            let (late, early) = if graph.is_ancestor(xi, yi) {
+                (yi, xi)
+            } else {
+                (xi, yi)
+            };
             let z: Vec<usize> = graph
                 .parents(late)
                 .iter()
@@ -243,13 +250,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let t = scm.generate(20_000, &mut rng);
         // a and b are directly dependent
-        let test =
-            conditional_independence_test(&t, AttrId(0), AttrId(1), &[], 50).unwrap();
+        let test = conditional_independence_test(&t, AttrId(0), AttrId(1), &[], 50).unwrap();
         assert!(test.rejected, "chi2 {}", test.chi_square);
         // a and c are independent given b
         let test2 =
-            conditional_independence_test(&t, AttrId(0), AttrId(2), &[AttrId(1)], 50)
-                .unwrap();
+            conditional_independence_test(&t, AttrId(0), AttrId(2), &[AttrId(1)], 50).unwrap();
         assert!(!test2.rejected, "chi2 {}", test2.chi_square);
     }
 

@@ -11,44 +11,37 @@ use tabular::{Domain, Schema, Value};
 /// A random 4-node SCM over a fixed chain-plus-fork shape with random
 /// flip probabilities (kept away from 0/1 so every world is reachable).
 fn arb_scm() -> impl Strategy<Value = Scm> {
-    (
-        0.1f64..0.9,
-        0.05f64..0.45,
-        0.05f64..0.45,
-        0.05f64..0.45,
-    )
-        .prop_map(|(root_p, f1, f2, f3)| {
-            let mut schema = Schema::new();
-            schema.push("a", Domain::boolean());
-            schema.push("b", Domain::boolean());
-            schema.push("c", Domain::boolean());
-            schema.push("d", Domain::boolean());
-            let mut b = ScmBuilder::new(schema);
-            // a → b → d, a → c → d
-            b.edge(0, 1).unwrap();
-            b.edge(0, 2).unwrap();
-            b.edge(1, 3).unwrap();
-            b.edge(2, 3).unwrap();
-            b.mechanism(0, Mechanism::root(vec![1.0 - root_p, root_p])).unwrap();
-            b.mechanism(
-                1,
-                Mechanism::with_noise(vec![1.0 - f1, f1], |pa, u| pa[0] ^ (u as Value)),
-            )
+    (0.1f64..0.9, 0.05f64..0.45, 0.05f64..0.45, 0.05f64..0.45).prop_map(|(root_p, f1, f2, f3)| {
+        let mut schema = Schema::new();
+        schema.push("a", Domain::boolean());
+        schema.push("b", Domain::boolean());
+        schema.push("c", Domain::boolean());
+        schema.push("d", Domain::boolean());
+        let mut b = ScmBuilder::new(schema);
+        // a → b → d, a → c → d
+        b.edge(0, 1).unwrap();
+        b.edge(0, 2).unwrap();
+        b.edge(1, 3).unwrap();
+        b.edge(2, 3).unwrap();
+        b.mechanism(0, Mechanism::root(vec![1.0 - root_p, root_p]))
             .unwrap();
-            b.mechanism(
-                2,
-                Mechanism::with_noise(vec![1.0 - f2, f2], |pa, u| pa[0] ^ (u as Value)),
-            )
-            .unwrap();
-            b.mechanism(
-                3,
-                Mechanism::with_noise(vec![1.0 - f3, f3], |pa, u| {
-                    (pa[0] | pa[1]) ^ (u as Value)
-                }),
-            )
-            .unwrap();
-            b.build().unwrap()
-        })
+        b.mechanism(
+            1,
+            Mechanism::with_noise(vec![1.0 - f1, f1], |pa, u| pa[0] ^ (u as Value)),
+        )
+        .unwrap();
+        b.mechanism(
+            2,
+            Mechanism::with_noise(vec![1.0 - f2, f2], |pa, u| pa[0] ^ (u as Value)),
+        )
+        .unwrap();
+        b.mechanism(
+            3,
+            Mechanism::with_noise(vec![1.0 - f3, f3], |pa, u| (pa[0] | pa[1]) ^ (u as Value)),
+        )
+        .unwrap();
+        b.build().unwrap()
+    })
 }
 
 proptest! {

@@ -54,8 +54,14 @@ impl AdultDataset {
         s.push("sex", Domain::categorical(["female", "male"]));
         s.push("race", Domain::categorical(["nonwhite", "white"]));
         s.push("country", Domain::categorical(["other", "us"]));
-        s.push("edu", Domain::categorical(["dropout", "hs_grad", "bachelors", "advanced"]));
-        s.push("marital", Domain::categorical(["never", "divorced", "married"]));
+        s.push(
+            "edu",
+            Domain::categorical(["dropout", "hs_grad", "bachelors", "advanced"]),
+        );
+        s.push(
+            "marital",
+            Domain::categorical(["never", "divorced", "married"]),
+        );
         s.push(
             "relationship",
             Domain::categorical(["own_child", "not_in_family", "spouse"]),
@@ -65,11 +71,17 @@ impl AdultDataset {
             Domain::categorical(["service", "blue_collar", "sales", "professional"]),
         );
         s.push("class", Domain::categorical(["gov", "private", "self_emp"]));
-        s.push("hours", Domain::categorical(["part_time", "full_time", "overtime"]));
+        s.push(
+            "hours",
+            Domain::categorical(["part_time", "full_time", "overtime"]),
+        );
         s.push("capgain", Domain::categorical(["none", "some"]));
         s.push("caploss", Domain::categorical(["none", "some"]));
         s.push("fnlwgt", Domain::categorical(["low", "high"]));
-        s.push("industry", Domain::categorical(["primary", "manufacturing", "services"]));
+        s.push(
+            "industry",
+            Domain::categorical(["primary", "manufacturing", "services"]),
+        );
         s.push("income", Domain::boolean());
         s
     }
@@ -78,12 +90,17 @@ impl AdultDataset {
     pub fn scm() -> Scm {
         let mut b = ScmBuilder::new(Self::schema());
         let e = |b: &mut ScmBuilder, from: AttrId, to: AttrId| {
-            b.edge(from.index(), to.index()).expect("acyclic by construction");
+            b.edge(from.index(), to.index())
+                .expect("acyclic by construction");
         };
-        b.mechanism(Self::AGE.index(), Mechanism::root(vec![0.3, 0.45, 0.25])).unwrap();
-        b.mechanism(Self::SEX.index(), Mechanism::root(vec![0.33, 0.67])).unwrap();
-        b.mechanism(Self::RACE.index(), Mechanism::root(vec![0.15, 0.85])).unwrap();
-        b.mechanism(Self::COUNTRY.index(), Mechanism::root(vec![0.1, 0.9])).unwrap();
+        b.mechanism(Self::AGE.index(), Mechanism::root(vec![0.3, 0.45, 0.25]))
+            .unwrap();
+        b.mechanism(Self::SEX.index(), Mechanism::root(vec![0.33, 0.67]))
+            .unwrap();
+        b.mechanism(Self::RACE.index(), Mechanism::root(vec![0.15, 0.85]))
+            .unwrap();
+        b.mechanism(Self::COUNTRY.index(), Mechanism::root(vec![0.1, 0.9]))
+            .unwrap();
         // edu <- age, sex, country
         e(&mut b, Self::AGE, Self::EDU);
         e(&mut b, Self::SEX, Self::EDU);
@@ -138,11 +155,17 @@ impl AdultDataset {
         // capgain <- edu, class; caploss <- edu
         e(&mut b, Self::EDU, Self::CAPGAIN);
         e(&mut b, Self::CLASS, Self::CAPGAIN);
-        b.mechanism(Self::CAPGAIN.index(), noisy_logistic(vec![0.5, 0.4], -3.0, 20)).unwrap();
+        b.mechanism(
+            Self::CAPGAIN.index(),
+            noisy_logistic(vec![0.5, 0.4], -3.0, 20),
+        )
+        .unwrap();
         e(&mut b, Self::EDU, Self::CAPLOSS);
-        b.mechanism(Self::CAPLOSS.index(), noisy_logistic(vec![0.3], -3.0, 20)).unwrap();
+        b.mechanism(Self::CAPLOSS.index(), noisy_logistic(vec![0.3], -3.0, 20))
+            .unwrap();
         // fnlwgt: pure noise
-        b.mechanism(Self::FNLWGT.index(), Mechanism::root(vec![0.5, 0.5])).unwrap();
+        b.mechanism(Self::FNLWGT.index(), Mechanism::root(vec![0.5, 0.5]))
+            .unwrap();
         // industry <- class
         e(&mut b, Self::CLASS, Self::INDUSTRY);
         b.mechanism(
@@ -167,11 +190,7 @@ impl AdultDataset {
         }
         b.mechanism(
             Self::OUTCOME.index(),
-            noisy_logistic(
-                vec![1.1, 0.8, 0.5, 0.7, 0.5, 1.2, 0.2, 0.3, 0.3],
-                -6.4,
-                50,
-            ),
+            noisy_logistic(vec![1.1, 0.8, 0.5, 0.7, 0.5, 1.2, 0.2, 0.3, 0.3], -6.4, 50),
         )
         .unwrap();
         b.build().expect("Adult SCM is well-formed")
@@ -206,7 +225,9 @@ mod tests {
     fn income_rate_matches_adult() {
         // UCI Adult has ~24% high earners.
         let d = AdultDataset::generate(10_000, 2);
-        let rate = d.table.probability(&Context::of([(AdultDataset::OUTCOME, 1)]));
+        let rate = d
+            .table
+            .probability(&Context::of([(AdultDataset::OUTCOME, 1)]));
         assert!((0.1..0.45).contains(&rate), "high-income rate {rate}");
     }
 
@@ -231,7 +252,10 @@ mod tests {
                 0.0,
             )
             .unwrap();
-        assert!(married - never > 0.15, "marital effect {never} -> {married}");
+        assert!(
+            married - never > 0.15,
+            "marital effect {never} -> {married}"
+        );
     }
 
     #[test]

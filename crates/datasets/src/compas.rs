@@ -41,8 +41,14 @@ impl CompasDataset {
         s.push("race", Domain::categorical(["white", "black"]));
         s.push("sex", Domain::categorical(["female", "male"]));
         s.push("juv_fel_count", Domain::categorical(["0", "1", "2+"]));
-        s.push("priors_count", Domain::categorical(["0", "1-3", "4-9", "10+"]));
-        s.push("charge_degree", Domain::categorical(["misdemeanor", "felony"]));
+        s.push(
+            "priors_count",
+            Domain::categorical(["0", "1-3", "4-9", "10+"]),
+        );
+        s.push(
+            "charge_degree",
+            Domain::categorical(["misdemeanor", "felony"]),
+        );
         s.push("score_high", Domain::boolean());
         s.push("two_year_recid", Domain::boolean());
         s
@@ -52,11 +58,18 @@ impl CompasDataset {
     pub fn scm() -> Scm {
         let mut b = ScmBuilder::new(Self::schema());
         let e = |b: &mut ScmBuilder, from: AttrId, to: AttrId| {
-            b.edge(from.index(), to.index()).expect("acyclic by construction");
+            b.edge(from.index(), to.index())
+                .expect("acyclic by construction");
         };
-        b.mechanism(Self::AGE_CAT.index(), Mechanism::root(vec![0.25, 0.55, 0.20])).unwrap();
-        b.mechanism(Self::RACE.index(), Mechanism::root(vec![0.45, 0.55])).unwrap();
-        b.mechanism(Self::SEX.index(), Mechanism::root(vec![0.2, 0.8])).unwrap();
+        b.mechanism(
+            Self::AGE_CAT.index(),
+            Mechanism::root(vec![0.25, 0.55, 0.20]),
+        )
+        .unwrap();
+        b.mechanism(Self::RACE.index(), Mechanism::root(vec![0.45, 0.55]))
+            .unwrap();
+        b.mechanism(Self::SEX.index(), Mechanism::root(vec![0.2, 0.8]))
+            .unwrap();
         // juv_fel <- age (younger: more juvenile record visibility), race
         e(&mut b, Self::AGE_CAT, Self::JUV_FEL);
         e(&mut b, Self::RACE, Self::JUV_FEL);
@@ -77,10 +90,17 @@ impl CompasDataset {
         .unwrap();
         // charge <- priors
         e(&mut b, Self::PRIORS, Self::CHARGE);
-        b.mechanism(Self::CHARGE.index(), noisy_logistic(vec![0.4], -0.6, 20)).unwrap();
+        b.mechanism(Self::CHARGE.index(), noisy_logistic(vec![0.4], -0.6, 20))
+            .unwrap();
         // COMPAS score <- priors, juv_fel, age (younger = riskier), race
         // (the documented bias), charge
-        for p in [Self::PRIORS, Self::JUV_FEL, Self::AGE_CAT, Self::RACE, Self::CHARGE] {
+        for p in [
+            Self::PRIORS,
+            Self::JUV_FEL,
+            Self::AGE_CAT,
+            Self::RACE,
+            Self::CHARGE,
+        ] {
             e(&mut b, p, Self::SCORE);
         }
         b.mechanism(
@@ -142,7 +162,10 @@ mod tests {
         let d = CompasDataset::generate(1000, 1);
         assert!(!d.features.contains(&CompasDataset::RECID));
         assert!(!d.features.contains(&CompasDataset::SCORE));
-        assert!(d.actionable.is_empty(), "criminal history is not actionable");
+        assert!(
+            d.actionable.is_empty(),
+            "criminal history is not actionable"
+        );
     }
 
     #[test]
@@ -196,7 +219,10 @@ mod tests {
                 0.0,
             )
             .unwrap();
-        assert!(black - white > 0.1, "score bias: white {white}, black {black}");
+        assert!(
+            black - white > 0.1,
+            "score bias: white {white}, black {black}"
+        );
         // the graph has no race -> recid edge
         assert!(!CompasDataset::scm()
             .graph()

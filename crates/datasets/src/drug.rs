@@ -53,7 +53,10 @@ impl DrugDataset {
         s.push("age", Domain::categorical(["18-24", "25-44", "45+"]));
         s.push("gender", Domain::categorical(["female", "male"]));
         s.push("ethnicity", Domain::categorical(["other", "white"]));
-        s.push("edu", Domain::categorical(["left_school", "some_college", "bachelors", "masters+"]));
+        s.push(
+            "edu",
+            Domain::categorical(["left_school", "some_college", "bachelors", "masters+"]),
+        );
         let trait_dom = || Domain::categorical(["low", "mid", "high"]);
         s.push("openness", trait_dom());
         s.push("conscientious", trait_dom());
@@ -74,12 +77,17 @@ impl DrugDataset {
     pub fn scm() -> Scm {
         let mut b = ScmBuilder::new(Self::schema());
         let e = |b: &mut ScmBuilder, from: AttrId, to: AttrId| {
-            b.edge(from.index(), to.index()).expect("acyclic by construction");
+            b.edge(from.index(), to.index())
+                .expect("acyclic by construction");
         };
-        b.mechanism(Self::COUNTRY.index(), Mechanism::root(vec![0.45, 0.55])).unwrap();
-        b.mechanism(Self::AGE.index(), Mechanism::root(vec![0.35, 0.45, 0.20])).unwrap();
-        b.mechanism(Self::GENDER.index(), Mechanism::root(vec![0.5, 0.5])).unwrap();
-        b.mechanism(Self::ETHNICITY.index(), Mechanism::root(vec![0.1, 0.9])).unwrap();
+        b.mechanism(Self::COUNTRY.index(), Mechanism::root(vec![0.45, 0.55]))
+            .unwrap();
+        b.mechanism(Self::AGE.index(), Mechanism::root(vec![0.35, 0.45, 0.20]))
+            .unwrap();
+        b.mechanism(Self::GENDER.index(), Mechanism::root(vec![0.5, 0.5]))
+            .unwrap();
+        b.mechanism(Self::ETHNICITY.index(), Mechanism::root(vec![0.1, 0.9]))
+            .unwrap();
         // edu <- age, gender, country
         e(&mut b, Self::AGE, Self::EDU);
         e(&mut b, Self::GENDER, Self::EDU);
@@ -95,10 +103,12 @@ impl DrugDataset {
         };
         e(&mut b, Self::AGE, Self::OPENNESS);
         e(&mut b, Self::GENDER, Self::OPENNESS);
-        b.mechanism(Self::OPENNESS.index(), trait_mech(-0.3, 0.1)).unwrap();
+        b.mechanism(Self::OPENNESS.index(), trait_mech(-0.3, 0.1))
+            .unwrap();
         e(&mut b, Self::AGE, Self::CONSCIENTIOUS);
         e(&mut b, Self::GENDER, Self::CONSCIENTIOUS);
-        b.mechanism(Self::CONSCIENTIOUS.index(), trait_mech(0.4, -0.1)).unwrap();
+        b.mechanism(Self::CONSCIENTIOUS.index(), trait_mech(0.4, -0.1))
+            .unwrap();
         e(&mut b, Self::GENDER, Self::EXTRAVERSION);
         b.mechanism(
             Self::EXTRAVERSION.index(),
@@ -119,10 +129,12 @@ impl DrugDataset {
         .unwrap();
         e(&mut b, Self::AGE, Self::IMPULSIVE);
         e(&mut b, Self::GENDER, Self::IMPULSIVE);
-        b.mechanism(Self::IMPULSIVE.index(), trait_mech(-0.5, 0.2)).unwrap();
+        b.mechanism(Self::IMPULSIVE.index(), trait_mech(-0.5, 0.2))
+            .unwrap();
         e(&mut b, Self::AGE, Self::SENSATION);
         e(&mut b, Self::GENDER, Self::SENSATION);
-        b.mechanism(Self::SENSATION.index(), trait_mech(-0.6, 0.3)).unwrap();
+        b.mechanism(Self::SENSATION.index(), trait_mech(-0.6, 0.3))
+            .unwrap();
         e(&mut b, Self::AGE, Self::ASCORE);
         b.mechanism(
             Self::ASCORE.index(),
@@ -188,7 +200,9 @@ mod tests {
     fn all_three_classes_occur() {
         let d = DrugDataset::generate(5000, 6);
         for v in 0..3u32 {
-            let rate = d.table.probability(&Context::of([(DrugDataset::OUTCOME, v)]));
+            let rate = d
+                .table
+                .probability(&Context::of([(DrugDataset::OUTCOME, v)]));
             assert!(rate > 0.05, "class {v} rate {rate}");
         }
     }
@@ -228,6 +242,9 @@ mod tests {
                     0.0,
                 )
                 .unwrap();
-        assert!(low_edu > high_edu + 0.05, "edu effect: {low_edu} vs {high_edu}");
+        assert!(
+            low_edu > high_edu + 0.05,
+            "edu effect: {low_edu} vs {high_edu}"
+        );
     }
 }

@@ -72,7 +72,10 @@ impl GermanDataset {
             "employment",
             Domain::categorical(["unemployed", "<1yr", "1-4yr", ">4yr"]),
         );
-        s.push("skill", Domain::categorical(["unskilled", "skilled", "highly_qualified"]));
+        s.push(
+            "skill",
+            Domain::categorical(["unskilled", "skilled", "highly_qualified"]),
+        );
         s.push(
             "status",
             Domain::categorical(["<0 DM", "0-200 DM", ">200 DM", "salary_account"]),
@@ -86,7 +89,10 @@ impl GermanDataset {
             Domain::categorical(["delay_in_past", "existing_paid", "all_paid"]),
         );
         s.push("housing", Domain::categorical(["free", "rent", "own"]));
-        s.push("property", Domain::categorical(["none", "car", "real_estate"]));
+        s.push(
+            "property",
+            Domain::categorical(["none", "car", "real_estate"]),
+        );
         s.push(
             "purpose",
             Domain::categorical(["repairs", "education", "furniture", "business"]),
@@ -111,12 +117,16 @@ impl GermanDataset {
     pub fn scm() -> Scm {
         let mut b = ScmBuilder::new(Self::schema());
         let e = |b: &mut ScmBuilder, from: AttrId, to: AttrId| {
-            b.edge(from.index(), to.index()).expect("acyclic by construction");
+            b.edge(from.index(), to.index())
+                .expect("acyclic by construction");
         };
         // demographics
-        b.mechanism(Self::SEX.index(), Mechanism::root(vec![0.45, 0.55])).unwrap();
-        b.mechanism(Self::AGE.index(), Mechanism::root(vec![0.20, 0.55, 0.25])).unwrap();
-        b.mechanism(Self::FOREIGN.index(), Mechanism::root(vec![0.15, 0.85])).unwrap();
+        b.mechanism(Self::SEX.index(), Mechanism::root(vec![0.45, 0.55]))
+            .unwrap();
+        b.mechanism(Self::AGE.index(), Mechanism::root(vec![0.20, 0.55, 0.25]))
+            .unwrap();
+        b.mechanism(Self::FOREIGN.index(), Mechanism::root(vec![0.15, 0.85]))
+            .unwrap();
         // employment <- age, sex
         e(&mut b, Self::AGE, Self::EMPLOYMENT);
         e(&mut b, Self::SEX, Self::EMPLOYMENT);
@@ -204,7 +214,8 @@ impl GermanDataset {
         .unwrap();
         // debtors <- age
         e(&mut b, Self::AGE, Self::DEBTORS);
-        b.mechanism(Self::DEBTORS.index(), noisy_logistic(vec![0.3], -1.5, 20)).unwrap();
+        b.mechanism(Self::DEBTORS.index(), noisy_logistic(vec![0.3], -1.5, 20))
+            .unwrap();
         // residence <- age
         e(&mut b, Self::AGE, Self::RESIDENCE);
         b.mechanism(
@@ -213,17 +224,26 @@ impl GermanDataset {
         )
         .unwrap();
         // other installments (root)
-        b.mechanism(Self::OTHER_INSTALL.index(), Mechanism::root(vec![0.8, 0.2])).unwrap();
+        b.mechanism(Self::OTHER_INSTALL.index(), Mechanism::root(vec![0.8, 0.2]))
+            .unwrap();
         // existing credits <- age
         e(&mut b, Self::AGE, Self::EXISTING_CREDITS);
-        b.mechanism(Self::EXISTING_CREDITS.index(), noisy_logistic(vec![0.5], -1.0, 20))
-            .unwrap();
+        b.mechanism(
+            Self::EXISTING_CREDITS.index(),
+            noisy_logistic(vec![0.5], -1.0, 20),
+        )
+        .unwrap();
         // telephone <- skill
         e(&mut b, Self::SKILL, Self::TELEPHONE);
-        b.mechanism(Self::TELEPHONE.index(), noisy_logistic(vec![0.8], -1.0, 20)).unwrap();
+        b.mechanism(Self::TELEPHONE.index(), noisy_logistic(vec![0.8], -1.0, 20))
+            .unwrap();
         // maintenance <- sex
         e(&mut b, Self::SEX, Self::MAINTENANCE);
-        b.mechanism(Self::MAINTENANCE.index(), noisy_logistic(vec![0.6], -1.2, 20)).unwrap();
+        b.mechanism(
+            Self::MAINTENANCE.index(),
+            noisy_logistic(vec![0.6], -1.2, 20),
+        )
+        .unwrap();
         // outcome — weights encode the Fig 3a story: status and credit
         // history dominate, duration and amount hurt, age is mild
         for p in [
@@ -261,7 +281,13 @@ impl GermanDataset {
             n_rows,
             seed,
             Self::OUTCOME,
-            vec![Self::PURPOSE, Self::CREDIT_AMOUNT, Self::SAVINGS, Self::MONTH, Self::STATUS],
+            vec![
+                Self::PURPOSE,
+                Self::CREDIT_AMOUNT,
+                Self::SAVINGS,
+                Self::MONTH,
+                Self::STATUS,
+            ],
         )
     }
 }
@@ -283,7 +309,9 @@ mod tests {
     fn outcome_rate_is_realistic() {
         // UCI German has 70% good credit; ours should be in that region.
         let d = GermanDataset::generate(5000, 3);
-        let rate = d.table.probability(&Context::of([(GermanDataset::OUTCOME, 1)]));
+        let rate = d
+            .table
+            .probability(&Context::of([(GermanDataset::OUTCOME, 1)]));
         assert!((0.4..0.9).contains(&rate), "good-credit rate {rate}");
     }
 
@@ -315,7 +343,9 @@ mod tests {
     fn housing_is_skewed_toward_own() {
         // the Fig 9a story needs housing=own to dominate the marginal
         let d = GermanDataset::generate(5000, 5);
-        let own = d.table.probability(&Context::of([(GermanDataset::HOUSING, 2)]));
+        let own = d
+            .table
+            .probability(&Context::of([(GermanDataset::HOUSING, 2)]));
         assert!(own > 0.5, "own-rate {own}");
     }
 
@@ -323,8 +353,14 @@ mod tests {
     fn graph_wiring_matches_story() {
         let scm = GermanDataset::scm();
         let g = scm.graph();
-        assert!(g.has_edge(GermanDataset::AGE.index(), GermanDataset::EMPLOYMENT.index()));
-        assert!(g.has_edge(GermanDataset::STATUS.index(), GermanDataset::OUTCOME.index()));
+        assert!(g.has_edge(
+            GermanDataset::AGE.index(),
+            GermanDataset::EMPLOYMENT.index()
+        ));
+        assert!(g.has_edge(
+            GermanDataset::STATUS.index(),
+            GermanDataset::OUTCOME.index()
+        ));
         assert!(!g.has_edge(GermanDataset::SEX.index(), GermanDataset::OUTCOME.index()));
         // sex influences the outcome only through mediators
         assert!(g.is_ancestor(GermanDataset::SEX.index(), GermanDataset::OUTCOME.index()));

@@ -46,7 +46,9 @@ impl GermanSynDataset {
 
     /// The paper's standard (monotone) model.
     pub fn standard() -> Self {
-        GermanSynDataset { violation_strength: 0.0 }
+        GermanSynDataset {
+            violation_strength: 0.0,
+        }
     }
 
     /// A variant whose Age affects the score directly and
@@ -62,8 +64,14 @@ impl GermanSynDataset {
         let mut s = Schema::new();
         s.push("age", Domain::categorical(["young", "adult", "senior"]));
         s.push("sex", Domain::categorical(["female", "male"]));
-        s.push("status", Domain::categorical(["<0 DM", "0-200 DM", ">200 DM", "salary"]));
-        s.push("saving", Domain::categorical(["<100", "100-500", "500-1000", ">1000"]));
+        s.push(
+            "status",
+            Domain::categorical(["<0 DM", "0-200 DM", ">200 DM", "salary"]),
+        );
+        s.push(
+            "saving",
+            Domain::categorical(["<100", "100-500", "500-1000", ">1000"]),
+        );
         s.push("housing", Domain::categorical(["free", "rent", "own"]));
         s.push(
             "score",
@@ -76,10 +84,13 @@ impl GermanSynDataset {
     pub fn scm(&self) -> Scm {
         let mut b = ScmBuilder::new(Self::schema());
         let e = |b: &mut ScmBuilder, from: AttrId, to: AttrId| {
-            b.edge(from.index(), to.index()).expect("acyclic by construction");
+            b.edge(from.index(), to.index())
+                .expect("acyclic by construction");
         };
-        b.mechanism(Self::AGE.index(), Mechanism::root(vec![0.25, 0.5, 0.25])).unwrap();
-        b.mechanism(Self::SEX.index(), Mechanism::root(vec![0.45, 0.55])).unwrap();
+        b.mechanism(Self::AGE.index(), Mechanism::root(vec![0.25, 0.5, 0.25]))
+            .unwrap();
+        b.mechanism(Self::SEX.index(), Mechanism::root(vec![0.45, 0.55]))
+            .unwrap();
         // status <- age, sex. Jitter is chosen wide enough that every
         // status level has positive probability in every (age, sex)
         // stratum — the estimators need positivity/overlap, matching the
@@ -214,14 +225,24 @@ mod tests {
     fn age_and_sex_have_no_direct_score_edge_in_standard() {
         let scm = GermanSynDataset::standard().scm();
         let g = scm.graph();
-        assert!(!g.has_edge(GermanSynDataset::AGE.index(), GermanSynDataset::SCORE.index()));
-        assert!(!g.has_edge(GermanSynDataset::SEX.index(), GermanSynDataset::SCORE.index()));
-        assert!(g.is_ancestor(GermanSynDataset::AGE.index(), GermanSynDataset::SCORE.index()));
+        assert!(!g.has_edge(
+            GermanSynDataset::AGE.index(),
+            GermanSynDataset::SCORE.index()
+        ));
+        assert!(!g.has_edge(
+            GermanSynDataset::SEX.index(),
+            GermanSynDataset::SCORE.index()
+        ));
+        assert!(g.is_ancestor(
+            GermanSynDataset::AGE.index(),
+            GermanSynDataset::SCORE.index()
+        ));
         // the violating variant adds the direct edge
         let scm_v = GermanSynDataset::non_monotone(0.2).scm();
-        assert!(scm_v
-            .graph()
-            .has_edge(GermanSynDataset::AGE.index(), GermanSynDataset::SCORE.index()));
+        assert!(scm_v.graph().has_edge(
+            GermanSynDataset::AGE.index(),
+            GermanSynDataset::SCORE.index()
+        ));
     }
 
     #[test]
@@ -242,7 +263,9 @@ mod tests {
     fn status_monotonically_raises_score() {
         let d = GermanSynDataset::standard().generate(8000, 10);
         let mean_score = |status: u32| {
-            let rows = d.table.filter(&Context::of([(GermanSynDataset::STATUS, status)]));
+            let rows = d
+                .table
+                .filter(&Context::of([(GermanSynDataset::STATUS, status)]));
             let col = d.table.column(GermanSynDataset::SCORE).unwrap();
             rows.iter().map(|&r| f64::from(col[r])).sum::<f64>() / rows.len().max(1) as f64
         };

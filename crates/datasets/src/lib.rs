@@ -70,7 +70,14 @@ impl Dataset {
             .attr_ids()
             .filter(|&a| a != outcome)
             .collect();
-        Dataset { name, table, scm, outcome, features, actionable }
+        Dataset {
+            name,
+            table,
+            scm,
+            outcome,
+            features,
+            actionable,
+        }
     }
 }
 
@@ -99,7 +106,11 @@ mod tests {
                 "{}: graph/schema mismatch",
                 d.name
             );
-            assert!(!d.features.contains(&d.outcome), "{}: outcome leaked", d.name);
+            assert!(
+                !d.features.contains(&d.outcome),
+                "{}: outcome leaked",
+                d.name
+            );
             // outcome balance: not degenerate
             let card = d.table.schema().cardinality(d.outcome).unwrap();
             let mut rates = Vec::new();
@@ -115,7 +126,11 @@ mod tests {
             );
             // actionable attrs are features
             for &a in &d.actionable {
-                assert!(d.features.contains(&a), "{}: actionable non-feature", d.name);
+                assert!(
+                    d.features.contains(&a),
+                    "{}: actionable non-feature",
+                    d.name
+                );
             }
         }
     }

@@ -97,10 +97,7 @@ mod tests {
     fn logistic_rates_track_sigmoid() {
         let m = noisy_logistic(vec![2.0], -1.0, 100);
         // Pr(1 | pa = 1) ≈ sigmoid(1) ≈ 0.731
-        let ones = (0..100)
-            .filter(|&u| (m.func)(&[1], u) == 1)
-            .count() as f64
-            / 100.0;
+        let ones = (0..100).filter(|&u| (m.func)(&[1], u) == 1).count() as f64 / 100.0;
         assert!((ones - 0.731).abs() < 0.02, "rate {ones}");
         // monotone per level: pa=1 never below pa=0
         for u in 0..100 {

@@ -69,7 +69,8 @@ impl ScalableDataset {
             let node = 2 + i;
             b.edge(0, node).unwrap();
             // mildly root-influenced coin
-            b.mechanism(node, noisy_logistic(vec![0.6], -0.5, 8)).unwrap();
+            b.mechanism(node, noisy_logistic(vec![0.6], -0.5, 8))
+                .unwrap();
         }
         let out = 2 + self.n_actionable;
         for i in 0..self.n_actionable {
@@ -104,7 +105,9 @@ impl ScalableDataset {
 
     /// Generate `n_rows` observations with the given seed.
     pub fn generate(&self, n_rows: usize, seed: u64) -> Dataset {
-        let actionable = (0..self.n_actionable).map(|i| self.actionable_attr(i)).collect();
+        let actionable = (0..self.n_actionable)
+            .map(|i| self.actionable_attr(i))
+            .collect();
         Dataset::from_scm(
             "scalable",
             self.scm(),

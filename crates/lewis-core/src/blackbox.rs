@@ -42,7 +42,10 @@ pub struct ClassifierBox<C: Classifier> {
 impl<C: Classifier> ClassifierBox<C> {
     /// Wrap `classifier`, encoding rows with `encoder`.
     pub fn new(classifier: C, encoder: TableEncoder) -> Self {
-        ClassifierBox { classifier, encoder }
+        ClassifierBox {
+            classifier,
+            encoder,
+        }
     }
 
     /// Access the wrapped classifier.
@@ -81,7 +84,11 @@ pub struct RegressorThresholdBox<R: Regressor> {
 impl<R: Regressor> RegressorThresholdBox<R> {
     /// Wrap `regressor`; predictions `≥ threshold` map to outcome 1.
     pub fn new(regressor: R, encoder: TableEncoder, threshold: f64) -> Self {
-        RegressorThresholdBox { regressor, encoder, threshold }
+        RegressorThresholdBox {
+            regressor,
+            encoder,
+            threshold,
+        }
     }
 
     /// The raw regression score for a row.
@@ -120,9 +127,7 @@ pub fn label_table(
     let domain = if model.n_outcomes() == 2 {
         Domain::boolean()
     } else {
-        Domain::categorical(
-            (0..model.n_outcomes()).map(|i| format!("class_{i}")),
-        )
+        Domain::categorical((0..model.n_outcomes()).map(|i| format!("class_{i}")))
     };
     table.add_column(column_name, domain, preds)
 }
@@ -164,7 +169,10 @@ mod tests {
         let s = schema();
         let enc = TableEncoder::new(&s, &[AttrId(0), AttrId(1)], Encoding::Ordinal).unwrap();
         // trivial "classifier": logistic with positive weight on feature 0
-        let clf = ml::LogisticRegression { intercept: -0.5, coefficients: vec![1.0, 0.0] };
+        let clf = ml::LogisticRegression {
+            intercept: -0.5,
+            coefficients: vec![1.0, 0.0],
+        };
         let bb = ClassifierBox::new(clf, enc);
         assert_eq!(bb.n_outcomes(), 2);
         assert_eq!(bb.predict(&[1, 0]), 1); // sigmoid(0.5) > 0.5
@@ -176,7 +184,10 @@ mod tests {
     fn regressor_threshold_box() {
         let s = schema();
         let enc = TableEncoder::new(&s, &[AttrId(0), AttrId(1)], Encoding::Ordinal).unwrap();
-        let reg = ml::LinearRegression { intercept: 0.0, coefficients: vec![0.25, 0.25] };
+        let reg = ml::LinearRegression {
+            intercept: 0.0,
+            coefficients: vec![0.25, 0.25],
+        };
         let bb = RegressorThresholdBox::new(reg, enc, 0.5);
         assert_eq!(bb.predict(&[1, 2]), 1); // 0.75 >= 0.5
         assert_eq!(bb.predict(&[0, 1]), 0); // 0.25 < 0.5

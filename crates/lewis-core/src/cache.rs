@@ -56,6 +56,33 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
+impl CacheStats {
+    /// Fraction of lookups answered from the cache, in `[0, 1]`.
+    /// Returns `0.0` (not NaN) when there have been no lookups at all.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate, {}/{} resident)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries,
+            self.capacity
+        )
+    }
+}
+
 /// The bounded LRU map itself. Interior-mutable so the engine can stay
 /// `&self` everywhere.
 pub(crate) struct CountingCache {
@@ -96,7 +123,11 @@ impl CountingCache {
         c_set: &[AttrId],
         build: impl FnOnce() -> Result<ArmTable>,
     ) -> Result<Arc<ArmTable>> {
-        let key = PassKey { xs: xs.to_vec(), k: k.clone(), c_set: c_set.to_vec() };
+        let key = PassKey {
+            xs: xs.to_vec(),
+            k: k.clone(),
+            c_set: c_set.to_vec(),
+        };
         {
             let mut inner = self.inner.lock().expect("cache lock");
             inner.stamp += 1;
@@ -164,6 +195,49 @@ mod tests {
 
     fn key_of(v: u32) -> (Vec<AttrId>, Context) {
         (vec![AttrId(0)], Context::of([(AttrId(5), v)]))
+    }
+
+    #[test]
+    fn hit_rate_has_no_nan_edge() {
+        // zero lookups: rate is exactly 0.0, not NaN
+        let fresh = CacheStats::default();
+        assert_eq!(fresh.hit_rate(), 0.0);
+        assert!(!fresh.hit_rate().is_nan());
+        // all hits / all misses / mixed
+        let hot = CacheStats {
+            hits: 4,
+            misses: 0,
+            ..CacheStats::default()
+        };
+        assert_eq!(hot.hit_rate(), 1.0);
+        let cold = CacheStats {
+            hits: 0,
+            misses: 5,
+            ..CacheStats::default()
+        };
+        assert_eq!(cold.hit_rate(), 0.0);
+        let mixed = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(mixed.hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn stats_display_is_informative() {
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 2,
+            capacity: 8,
+        };
+        let text = s.to_string();
+        assert!(text.contains("3 hits"), "{text}");
+        assert!(text.contains("75.0%"), "{text}");
+        assert!(text.contains("2/8"), "{text}");
+        // the zero-lookup edge case renders too
+        assert!(CacheStats::default().to_string().contains("0.0%"));
     }
 
     #[test]

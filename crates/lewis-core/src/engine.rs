@@ -36,8 +36,7 @@
 
 use crate::cache::CountingCache;
 use crate::explain::{
-    AttributeScores, ContextualExplanation, GlobalExplanation, LocalContribution,
-    LocalExplanation,
+    AttributeScores, ContextualExplanation, GlobalExplanation, LocalContribution, LocalExplanation,
 };
 use crate::ordering::{infer_value_order, ordered_pairs};
 use crate::recourse::{Recourse, RecourseEngine, RecourseOptions};
@@ -328,9 +327,13 @@ impl Engine {
                 self.contextual(*attr, k).map(ExplainResponse::Contextual)
             }
             ExplainRequest::Local { row } => self.local(row).map(ExplainResponse::Local),
-            ExplainRequest::Recourse { row, actionable, opts } => {
-                self.recourse(row, actionable, opts).map(ExplainResponse::Recourse)
-            }
+            ExplainRequest::Recourse {
+                row,
+                actionable,
+                opts,
+            } => self
+                .recourse(row, actionable, opts)
+                .map(ExplainResponse::Recourse),
         }
     }
 
@@ -345,8 +348,7 @@ impl Engine {
     /// * recourse requests are grouped by actionable set, so each group
     ///   fits its logit-linear surrogate once instead of per request.
     pub fn run_batch(&self, requests: &[ExplainRequest]) -> Vec<Result<ExplainResponse>> {
-        let mut out: Vec<Option<Result<ExplainResponse>>> =
-            requests.iter().map(|_| None).collect();
+        let mut out: Vec<Option<Result<ExplainResponse>>> = requests.iter().map(|_| None).collect();
         // Group recourse requests by actionable set, preserving first-
         // seen order for determinism.
         let mut recourse_groups: Vec<(Vec<AttrId>, Vec<usize>)> = Vec::new();
@@ -368,8 +370,7 @@ impl Engine {
                         let ExplainRequest::Recourse { row, opts, .. } = &requests[i] else {
                             unreachable!("grouped index always points at a recourse request");
                         };
-                        out[i] =
-                            Some(engine.recourse(row, opts).map(ExplainResponse::Recourse));
+                        out[i] = Some(engine.recourse(row, opts).map(ExplainResponse::Recourse));
                     }
                 }
                 Err(first) => {
@@ -420,9 +421,10 @@ impl Engine {
             .collect();
         let mut best = Scores::default();
         let mut best_pair: Option<(Value, Value)> = None;
-        for (&(hi, lo), result) in pairs
-            .iter()
-            .zip(self.est.scores_batch_impl(&contrasts, k, Some(&self.cache)))
+        for (&(hi, lo), result) in
+            pairs
+                .iter()
+                .zip(self.est.scores_batch_impl(&contrasts, k, Some(&self.cache)))
         {
             match result {
                 Ok(s) => {
@@ -484,7 +486,11 @@ impl Engine {
     /// (Figure 4's bars).
     pub fn contextual(&self, attr: AttrId, k: &Context) -> Result<ContextualExplanation> {
         let scores = self.attribute_scores(attr, k)?.scores;
-        Ok(ContextualExplanation { attr, context: k.clone(), scores })
+        Ok(ContextualExplanation {
+            attr,
+            context: k.clone(),
+            scores,
+        })
     }
 
     /// Local explanation for one individual (Figures 5–7), using the
@@ -533,7 +539,10 @@ impl Engine {
             let my = y.positive.max(y.negative);
             my.total_cmp(&mx).then_with(|| x.attr.cmp(&y.attr))
         });
-        Ok(LocalExplanation { outcome, contributions })
+        Ok(LocalExplanation {
+            outcome,
+            contributions,
+        })
     }
 
     /// Minimal-cost actionable recourse for `row` (§4.2). Fits the
@@ -560,14 +569,11 @@ impl Engine {
     ) -> Result<LocalContribution> {
         let order = self.value_order(a).expect("feature orders precomputed");
         let current = row[a.index()];
-        let pos_rank = order
-            .iter()
-            .position(|&v| v == current)
-            .ok_or_else(|| {
-                LewisError::Invalid(format!(
-                    "row value {current} of attribute {a} is outside its domain"
-                ))
-            })?;
+        let pos_rank = order.iter().position(|&v| v == current).ok_or_else(|| {
+            LewisError::Invalid(format!(
+                "row value {current} of attribute {a} is outside its domain"
+            ))
+        })?;
         let k = self.est.local_context(row, a, min_support);
         // values worse / better than current, per the inferred order;
         // every contrast shares the same attribute and context, so the
@@ -579,21 +585,30 @@ impl Engine {
                 continue;
             }
             let is_positive = rank < pos_rank;
-            let (hi, lo) = if is_positive { (current, v) } else { (v, current) };
+            let (hi, lo) = if is_positive {
+                (current, v)
+            } else {
+                (v, current)
+            };
             directions.push(is_positive);
             contrasts.push(Contrast::single(a, hi, lo));
         }
         let mut positive = 0.0f64;
         let mut negative = 0.0f64;
-        for (is_positive, result) in directions
-            .iter()
-            .zip(self.est.scores_batch_impl(&contrasts, &k, Some(&self.cache)))
-        {
+        for (is_positive, result) in directions.iter().zip(self.est.scores_batch_impl(
+            &contrasts,
+            &k,
+            Some(&self.cache),
+        )) {
             match result {
                 Ok(s) => {
                     // positive outcome: NEC quantifies both directions;
                     // negative outcome: SUF does (§3.2)
-                    let score = if favourable { s.necessity } else { s.sufficiency };
+                    let score = if favourable {
+                        s.necessity
+                    } else {
+                        s.sufficiency
+                    };
                     if *is_positive {
                         positive = positive.max(score);
                     } else {
@@ -636,7 +651,8 @@ mod tests {
         schema.push("hair", Domain::boolean());
         let mut b = ScmBuilder::new(schema);
         b.edge(0, 1).unwrap();
-        b.mechanism(0, Mechanism::root(vec![0.3, 0.4, 0.3])).unwrap();
+        b.mechanism(0, Mechanism::root(vec![0.3, 0.4, 0.3]))
+            .unwrap();
         b.mechanism(
             1,
             Mechanism::with_noise(vec![0.7, 0.3], |pa, u| {
@@ -724,7 +740,11 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(e.table().n_rows(), t.n_rows());
-        assert_eq!(Arc::strong_count(&t), 2, "builder must not deep-copy the Arc'd table");
+        assert_eq!(
+            Arc::strong_count(&t),
+            2,
+            "builder must not deep-copy the Arc'd table"
+        );
     }
 
     #[test]
@@ -733,7 +753,11 @@ mod tests {
         let k = Context::of([(AttrId(0), 1)]);
         let row = e.table().row(0).unwrap();
 
-        let g = e.run(&ExplainRequest::Global).unwrap().into_global().unwrap();
+        let g = e
+            .run(&ExplainRequest::Global)
+            .unwrap()
+            .into_global()
+            .unwrap();
         assert_eq!(g, e.global().unwrap());
         let cg = e
             .run(&ExplainRequest::ContextualGlobal { k: k.clone() })
@@ -742,7 +766,10 @@ mod tests {
             .unwrap();
         assert_eq!(cg, e.contextual_global(&k).unwrap());
         let c = e
-            .run(&ExplainRequest::Contextual { attr: AttrId(1), k: k.clone() })
+            .run(&ExplainRequest::Contextual {
+                attr: AttrId(1),
+                k: k.clone(),
+            })
             .unwrap()
             .into_contextual()
             .unwrap();
@@ -761,12 +788,23 @@ mod tests {
         let k = Context::of([(AttrId(0), 1)]);
         let mut requests = Vec::new();
         for _ in 0..10 {
-            requests.push(ExplainRequest::Contextual { attr: AttrId(1), k: k.clone() });
-            requests.push(ExplainRequest::Contextual { attr: AttrId(2), k: k.clone() });
+            requests.push(ExplainRequest::Contextual {
+                attr: AttrId(1),
+                k: k.clone(),
+            });
+            requests.push(ExplainRequest::Contextual {
+                attr: AttrId(2),
+                k: k.clone(),
+            });
         }
         let responses = e.run_batch(&requests);
         assert_eq!(responses.len(), requests.len());
-        let first = responses[0].as_ref().unwrap().clone().into_contextual().unwrap();
+        let first = responses[0]
+            .as_ref()
+            .unwrap()
+            .clone()
+            .into_contextual()
+            .unwrap();
         for r in responses.iter().step_by(2) {
             assert_eq!(
                 first,
@@ -786,8 +824,11 @@ mod tests {
     fn cached_scores_equal_cold_scores_bitwise() {
         let cold = engine(5000);
         let warm = engine(5000);
-        let contexts =
-            [Context::empty(), Context::of([(AttrId(0), 0)]), Context::of([(AttrId(0), 2)])];
+        let contexts = [
+            Context::empty(),
+            Context::of([(AttrId(0), 0)]),
+            Context::of([(AttrId(0), 2)]),
+        ];
         // warm the second engine with one full sweep, then compare a
         // second sweep (all hits) against the first engine's cold run
         for k in &contexts {
@@ -808,7 +849,10 @@ mod tests {
                 assert_eq!(c, w, "warm result must be bit-identical for {a} in {k:?}");
                 assert_eq!(c.scores.nesuf.to_bits(), w.scores.nesuf.to_bits());
                 assert_eq!(c.scores.necessity.to_bits(), w.scores.necessity.to_bits());
-                assert_eq!(c.scores.sufficiency.to_bits(), w.scores.sufficiency.to_bits());
+                assert_eq!(
+                    c.scores.sufficiency.to_bits(),
+                    w.scores.sufficiency.to_bits()
+                );
             }
         }
         assert!(warm.cache_stats().hits > 0);
@@ -852,7 +896,11 @@ mod tests {
             .iter()
             .find(|c| c.attr == AttrId(0))
             .unwrap();
-        assert!(status.negative > 0.5, "raising bad status is sufficient: {}", status.negative);
+        assert!(
+            status.negative > 0.5,
+            "raising bad status is sufficient: {}",
+            status.negative
+        );
         assert!(status.positive < 0.1);
         let approved = e.local(&[2, 1, 0, 1]).unwrap();
         assert_eq!(approved.outcome, 1);
@@ -861,7 +909,11 @@ mod tests {
             .iter()
             .find(|c| c.attr == AttrId(0))
             .unwrap();
-        assert!(status_a.positive > 0.5, "good status is necessary: {}", status_a.positive);
+        assert!(
+            status_a.positive > 0.5,
+            "good status is necessary: {}",
+            status_a.positive
+        );
     }
 
     #[test]
@@ -874,7 +926,10 @@ mod tests {
     #[test]
     fn recourse_request_round_trips() {
         let e = engine(20_000);
-        let opts = RecourseOptions { alpha: 0.6, ..RecourseOptions::default() };
+        let opts = RecourseOptions {
+            alpha: 0.6,
+            ..RecourseOptions::default()
+        };
         let direct = e.recourse(&[0, 0, 0, 0], &[AttrId(0), AttrId(1)], &opts);
         let via_batch = e
             .run_batch(&[ExplainRequest::Recourse {

@@ -144,7 +144,11 @@ impl<'a> Lewis<'a> {
         }
         let engine = builder.build()?;
         let min_support = engine.min_support();
-        Ok(Lewis { engine, min_support, _borrow: PhantomData })
+        Ok(Lewis {
+            engine,
+            min_support,
+            _borrow: PhantomData,
+        })
     }
 
     /// The wrapped engine (migration escape hatch).
@@ -215,7 +219,8 @@ mod tests {
         schema.push("hair", Domain::boolean());
         let mut b = ScmBuilder::new(schema);
         b.edge(0, 1).unwrap();
-        b.mechanism(0, Mechanism::root(vec![0.3, 0.4, 0.3])).unwrap();
+        b.mechanism(0, Mechanism::root(vec![0.3, 0.4, 0.3]))
+            .unwrap();
         b.mechanism(
             1,
             Mechanism::with_noise(vec![0.7, 0.3], |pa, u| {
@@ -327,8 +332,7 @@ mod tests {
     #[test]
     fn contextual_global_skips_constrained_attribute() {
         let (t, pred) = setup(5000);
-        let lewis =
-            Lewis::new(&t, None, pred, 1, &[AttrId(0), AttrId(1), AttrId(2)], 0.0).unwrap();
+        let lewis = Lewis::new(&t, None, pred, 1, &[AttrId(0), AttrId(1), AttrId(2)], 0.0).unwrap();
         let g = lewis
             .contextual_global(&Context::of([(AttrId(0), 2)]))
             .unwrap();
@@ -343,13 +347,21 @@ mod tests {
                 AttributeScores {
                     attr: AttrId(0),
                     name: "a".into(),
-                    scores: Scores { necessity: 0.2, sufficiency: 0.1, nesuf: 0.5 },
+                    scores: Scores {
+                        necessity: 0.2,
+                        sufficiency: 0.1,
+                        nesuf: 0.5,
+                    },
                     best_pair: Some((1, 0)),
                 },
                 AttributeScores {
                     attr: AttrId(1),
                     name: "b".into(),
-                    scores: Scores { necessity: 0.0, sufficiency: 0.0, nesuf: 0.1 },
+                    scores: Scores {
+                        necessity: 0.0,
+                        sufficiency: 0.0,
+                        nesuf: 0.1,
+                    },
                     best_pair: None,
                 },
             ],

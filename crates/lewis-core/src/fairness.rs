@@ -72,12 +72,7 @@ pub fn group_sufficiency_disparity(
 
 /// The largest absolute sufficiency gap between any two protected
 /// groups — a single-number disparate-impact indicator.
-pub fn max_disparity(
-    engine: &Engine,
-    attr: AttrId,
-    protected: AttrId,
-    k: &Context,
-) -> Result<f64> {
+pub fn max_disparity(engine: &Engine, attr: AttrId, protected: AttrId, k: &Context) -> Result<f64> {
     let groups = group_sufficiency_disparity(engine, attr, protected, k)?;
     let mut max_gap = 0.0f64;
     for (i, &(_, a)) in groups.iter().enumerate() {
@@ -186,8 +181,7 @@ mod tests {
         let gap = max_disparity(&engine, AttrId(1), AttrId(0), &Context::empty()).unwrap();
         assert!(gap > 0.3, "q helps only group 1: gap {gap}");
         let groups =
-            group_sufficiency_disparity(&engine, AttrId(1), AttrId(0), &Context::empty())
-                .unwrap();
+            group_sufficiency_disparity(&engine, AttrId(1), AttrId(0), &Context::empty()).unwrap();
         assert_eq!(groups.len(), 2);
         assert!(groups[1].1 > groups[0].1);
     }

@@ -24,7 +24,11 @@ impl<'a> GroundTruth<'a> {
     /// Build with the exact (noise-enumerating) engine.
     pub fn exact(scm: &'a Scm, model: &'a dyn BlackBox, positive: Value) -> Result<Self> {
         let engine = CounterfactualEngine::exact(scm)?;
-        Ok(GroundTruth { engine, model, positive })
+        Ok(GroundTruth {
+            engine,
+            model,
+            positive,
+        })
     }
 
     /// Build with a Monte-Carlo engine of `n` particles (for SCMs whose
@@ -37,7 +41,11 @@ impl<'a> GroundTruth<'a> {
         rng: &mut R,
     ) -> Self {
         let engine = CounterfactualEngine::monte_carlo(scm, n, rng);
-        GroundTruth { engine, model, positive }
+        GroundTruth {
+            engine,
+            model,
+            positive,
+        }
     }
 
     fn outcome(&self, world: &[Value]) -> bool {
@@ -49,13 +57,7 @@ impl<'a> GroundTruth<'a> {
     }
 
     /// Exact necessity score `Pr(o'_{X←x'} | x, o, k)`.
-    pub fn necessity(
-        &self,
-        attr: AttrId,
-        x_hi: Value,
-        x_lo: Value,
-        k: &Context,
-    ) -> Result<f64> {
+    pub fn necessity(&self, attr: AttrId, x_hi: Value, x_lo: Value, k: &Context) -> Result<f64> {
         let iv = [(attr.index(), x_lo)];
         Ok(self.engine.query(
             |w| Self::matches(k, w) && w[attr.index()] == x_hi && self.outcome(w),
@@ -65,13 +67,7 @@ impl<'a> GroundTruth<'a> {
     }
 
     /// Exact sufficiency score `Pr(o_{X←x} | x', o', k)`.
-    pub fn sufficiency(
-        &self,
-        attr: AttrId,
-        x_hi: Value,
-        x_lo: Value,
-        k: &Context,
-    ) -> Result<f64> {
+    pub fn sufficiency(&self, attr: AttrId, x_hi: Value, x_lo: Value, k: &Context) -> Result<f64> {
         let iv = [(attr.index(), x_hi)];
         Ok(self.engine.query(
             |w| Self::matches(k, w) && w[attr.index()] == x_lo && !self.outcome(w),
@@ -111,24 +107,16 @@ impl<'a> GroundTruth<'a> {
         actions: &[(AttrId, Value)],
         evidence: &Context,
     ) -> Result<f64> {
-        let iv: Vec<(usize, Value)> =
-            actions.iter().map(|&(a, v)| (a.index(), v)).collect();
-        Ok(self.engine.query(
-            |w| Self::matches(evidence, w),
-            &iv,
-            |w| self.outcome(w),
-        )?)
+        let iv: Vec<(usize, Value)> = actions.iter().map(|&(a, v)| (a.index(), v)).collect();
+        Ok(self
+            .engine
+            .query(|w| Self::matches(evidence, w), &iv, |w| self.outcome(w))?)
     }
 
     /// The monotonicity-violation measure of §5.5:
     /// `Λ_viol = Pr(o'_{X←x} | o, x')` — the probability that *raising*
     /// `X` destroys an already-positive outcome.
-    pub fn monotonicity_violation(
-        &self,
-        attr: AttrId,
-        x_hi: Value,
-        x_lo: Value,
-    ) -> Result<f64> {
+    pub fn monotonicity_violation(&self, attr: AttrId, x_hi: Value, x_lo: Value) -> Result<f64> {
         let iv = [(attr.index(), x_hi)];
         Ok(self.engine.query(
             |w| w[attr.index()] == x_lo && self.outcome(w),

@@ -51,7 +51,10 @@ mod tests {
     fn table() -> (Table, AttrId) {
         let mut s = Schema::new();
         s.push("x", Domain::boolean());
-        let o = s.push("usage", Domain::categorical(["never", "decade_ago", "last_decade"]));
+        let o = s.push(
+            "usage",
+            Domain::categorical(["never", "decade_ago", "last_decade"]),
+        );
         let mut t = Table::new(s);
         for row in [[0, 0], [0, 1], [1, 2], [1, 1], [0, 2]] {
             t.push_row(&row).unwrap();

@@ -206,7 +206,11 @@ impl<'a> RecourseEngine<'a> {
         let surrogate = LogisticRegression::fit(
             &xs,
             &ys,
-            &LogisticOptions { epochs: 300, learning_rate: 0.5, l2: 1e-4 },
+            &LogisticOptions {
+                epochs: 300,
+                learning_rate: 0.5,
+                l2: 1e-4,
+            },
         )?;
 
         let mut orders = Vec::with_capacity(actionable.len());
@@ -234,7 +238,9 @@ impl<'a> RecourseEngine<'a> {
         let pred = est.pred_attr();
         for &a in actionable {
             if a == pred {
-                return Err(LewisError::Invalid("prediction column is not actionable".into()));
+                return Err(LewisError::Invalid(
+                    "prediction column is not actionable".into(),
+                ));
             }
         }
         if let Some(g) = est.graph() {
@@ -300,7 +306,9 @@ impl<'a> RecourseEngine<'a> {
         // Recourse targets negative decisions (§3.2); a positive
         // individual needs no action — constraint (25) holds with δ = 0.
         if row[self.est.pred_attr().index()] == self.est.positive() {
-            let p = self.surrogate.predict_proba_one(&self.features_for(row, &[]));
+            let p = self
+                .surrogate
+                .predict_proba_one(&self.features_for(row, &[]));
             return Ok(Recourse {
                 actions: Vec::new(),
                 total_cost: 0.0,
@@ -344,12 +352,18 @@ impl<'a> RecourseEngine<'a> {
                 if v == current {
                     continue;
                 }
-                let gain =
-                    self.surrogate.coefficients[self.offsets[i] + v as usize] - beta_cur;
+                let gain = self.surrogate.coefficients[self.offsets[i] + v as usize] - beta_cur;
                 let cost = opts.cost.cost(a, cur_rank, rank_of(v));
-                items.push(Item { id: v as usize, cost, gain });
+                items.push(Item {
+                    id: v as usize,
+                    cost,
+                    gain,
+                });
             }
-            groups.push(Group { id: a.0 as usize, items });
+            groups.push(Group {
+                id: a.0 as usize,
+                items,
+            });
         }
 
         // Solve with lazy verification across the target ladder: relaxed
@@ -363,15 +377,14 @@ impl<'a> RecourseEngine<'a> {
         // exponential space on large instances.
         let n_items: usize = groups.iter().map(|g| g.items.len()).sum();
         let relaxed_ok = n_items <= 64;
-        let mut last_err: LewisError =
-            LewisError::NoRecourse("no feasible action set".into());
+        let mut last_err: LewisError = LewisError::NoRecourse("no feasible action set".into());
         for &esc in &opts.escalations {
             let strict = esc < 1.0;
             if strict && !relaxed_ok {
                 continue;
             }
-            let solver = MckpSolver::new(groups.clone(), required_gain * esc)
-                .map_err(LewisError::Optim)?;
+            let solver =
+                MckpSolver::new(groups.clone(), required_gain * esc).map_err(LewisError::Optim)?;
             let mut rejections = 0usize;
             let mut verified: Option<f64> = None;
             let result = solver.solve_with(|cand| {
@@ -436,8 +449,9 @@ impl<'a> RecourseEngine<'a> {
                         .collect();
                     let overrides: Vec<(AttrId, Value)> =
                         actions.iter().map(|a| (a.attr, a.to)).collect();
-                    let p_new =
-                        self.surrogate.predict_proba_one(&self.features_for(row, &overrides));
+                    let p_new = self
+                        .surrogate
+                        .predict_proba_one(&self.features_for(row, &overrides));
                     return Ok(Recourse {
                         actions,
                         total_cost: solution.total_cost,
@@ -476,10 +490,7 @@ impl<'a> RecourseEngine<'a> {
             .iter()
             .map(|&(gid, vid)| (AttrId(gid as u32), vid as Value))
             .collect();
-        let lo: Vec<(AttrId, Value)> = hi
-            .iter()
-            .map(|&(a, _)| (a, row[a.index()]))
-            .collect();
+        let lo: Vec<(AttrId, Value)> = hi.iter().map(|&(a, _)| (a, row[a.index()])).collect();
         // context must not constrain the intervened attributes
         let mut k2 = k.clone();
         for &(a, _) in &hi {
@@ -587,7 +598,10 @@ mod tests {
         // a young individual with no savings, short duration: rejected
         let row = [0u32, 0, 0, 0];
         assert_eq!(approve(&row), 0);
-        let opts = RecourseOptions { alpha: 0.8, ..RecourseOptions::default() };
+        let opts = RecourseOptions {
+            alpha: 0.8,
+            ..RecourseOptions::default()
+        };
         let r = engine.recourse(&row, &opts).unwrap();
         assert!(!r.actions.is_empty(), "rejected individual needs action");
         // applying the actions must actually flip the black box
@@ -595,7 +609,12 @@ mod tests {
         for a in &r.actions {
             new_row[a.attr.index()] = a.to;
         }
-        assert_eq!(approve(&new_row), 1, "recourse {:?} must flip decision", r.actions);
+        assert_eq!(
+            approve(&new_row),
+            1,
+            "recourse {:?} must flip decision",
+            r.actions
+        );
         // verified sufficiency clears the threshold
         if let Some(s) = r.verified_sufficiency {
             assert!(s >= 0.8, "verified sufficiency {s}");
@@ -611,7 +630,10 @@ mod tests {
         // savings=lots, duration=long, prediction cell = 1: approved
         let row = [1u32, 2, 1, 1];
         assert_eq!(approve(&row), 1);
-        let opts = RecourseOptions { alpha: 0.5, ..RecourseOptions::default() };
+        let opts = RecourseOptions {
+            alpha: 0.5,
+            ..RecourseOptions::default()
+        };
         let r = engine.recourse(&row, &opts).unwrap();
         assert!(r.actions.is_empty(), "positive individual needs no action");
         assert_eq!(r.total_cost, 0.0);
@@ -651,10 +673,16 @@ mod tests {
         // very high alpha.
         let engine = RecourseEngine::new(&est, &[AttrId(0)]).unwrap();
         let row = [0u32, 0, 0, 0];
-        let opts = RecourseOptions { alpha: 0.95, ..RecourseOptions::default() };
+        let opts = RecourseOptions {
+            alpha: 0.95,
+            ..RecourseOptions::default()
+        };
         let r = engine.recourse(&row, &opts);
         assert!(
-            matches!(r, Err(LewisError::NoRecourse(_)) | Err(LewisError::Optim(_))),
+            matches!(
+                r,
+                Err(LewisError::NoRecourse(_)) | Err(LewisError::Optim(_))
+            ),
             "age alone cannot guarantee approval: {r:?}"
         );
     }
@@ -689,7 +717,10 @@ mod tests {
         assert!(RecourseEngine::new(&est, &[]).is_err());
         assert!(RecourseEngine::new(&est, &[pred]).is_err());
         let engine = RecourseEngine::new(&est, &[AttrId(1)]).unwrap();
-        let opts = RecourseOptions { alpha: 1.5, ..RecourseOptions::default() };
+        let opts = RecourseOptions {
+            alpha: 1.5,
+            ..RecourseOptions::default()
+        };
         assert!(engine.recourse(&[0, 0, 0, 0], &opts).is_err());
         assert!(engine
             .recourse(&[0, 0], &RecourseOptions::default())

@@ -83,12 +83,18 @@ pub struct Contrast {
 impl Contrast {
     /// A single-attribute contrast `attr: hi > lo`.
     pub fn single(attr: AttrId, hi: Value, lo: Value) -> Self {
-        Contrast { hi: vec![(attr, hi)], lo: vec![(attr, lo)] }
+        Contrast {
+            hi: vec![(attr, hi)],
+            lo: vec![(attr, lo)],
+        }
     }
 
     /// A set contrast over several attributes.
     pub fn set(hi: &[(AttrId, Value)], lo: &[(AttrId, Value)]) -> Self {
-        Contrast { hi: hi.to_vec(), lo: lo.to_vec() }
+        Contrast {
+            hi: hi.to_vec(),
+            lo: lo.to_vec(),
+        }
     }
 }
 
@@ -173,7 +179,9 @@ impl ScoreEstimator {
             )));
         }
         if positive >= 2 {
-            return Err(LewisError::Invalid("positive outcome code must be 0 or 1".into()));
+            return Err(LewisError::Invalid(
+                "positive outcome code must be 0 or 1".into(),
+            ));
         }
         if let Some(g) = graph.as_deref() {
             // The graph covers the first `n_nodes` attributes; tables may
@@ -191,7 +199,13 @@ impl ScoreEstimator {
         if alpha < 0.0 {
             return Err(LewisError::Invalid("smoothing must be >= 0".into()));
         }
-        Ok(ScoreEstimator { table, graph, pred, positive, alpha })
+        Ok(ScoreEstimator {
+            table,
+            graph,
+            pred,
+            positive,
+            alpha,
+        })
     }
 
     /// The labelled table.
@@ -237,9 +251,7 @@ impl ScoreEstimator {
             .filter(|x| x.index() < g.n_nodes())
             .flat_map(|x| g.parents(x.index()).iter().copied())
             .map(|p| AttrId(p as u32))
-            .filter(|p| {
-                !xs.contains(p) && !k.constrains(*p) && *p != self.pred
-            })
+            .filter(|p| !xs.contains(p) && !k.constrains(*p) && *p != self.pred)
             .collect();
         c.sort_unstable();
         c.dedup();
@@ -248,13 +260,7 @@ impl ScoreEstimator {
 
     /// All three scores for the single-attribute contrast `x_hi > x_lo`
     /// in context `k`.
-    pub fn scores(
-        &self,
-        attr: AttrId,
-        x_hi: Value,
-        x_lo: Value,
-        k: &Context,
-    ) -> Result<Scores> {
+    pub fn scores(&self, attr: AttrId, x_hi: Value, x_lo: Value, k: &Context) -> Result<Scores> {
         self.scores_set(&[(attr, x_hi)], &[(attr, x_lo)], k)
     }
 
@@ -286,8 +292,7 @@ impl ScoreEstimator {
         let c_set = self.adjustment_set(&xs, k);
         // A single contrast only ever reads its own two arms, so skip
         // materializing the rest (seed-equivalent memory behavior).
-        let arms =
-            self.build_arm_table(&c_set, &xs, k, Some((&hi_vals, &lo_vals)))?;
+        let arms = self.build_arm_table(&c_set, &xs, k, Some((&hi_vals, &lo_vals)))?;
         self.scores_from_arms(&arms, &hi_vals, &lo_vals)
     }
 
@@ -324,8 +329,7 @@ impl ScoreEstimator {
         // Group contrasts by intervened attribute set, preserving first-
         // seen order; each group shares one adjustment set and one
         // counting pass.
-        let mut group_of: tabular::FxHashMap<Vec<AttrId>, usize> =
-            tabular::FxHashMap::default();
+        let mut group_of: tabular::FxHashMap<Vec<AttrId>, usize> = tabular::FxHashMap::default();
         type Member = (usize, Vec<Value>, Vec<Value>);
         let mut groups: Vec<(Vec<AttrId>, Vec<Member>)> = Vec::new();
         for (i, contrast) in contrasts.iter().enumerate() {
@@ -345,9 +349,8 @@ impl ScoreEstimator {
             .map(|(xs, members)| {
                 let c_set = self.adjustment_set(xs, k);
                 let arms: Result<Arc<ArmTable>> = match cache {
-                    Some(cache) => cache.get_or_build(xs, k, &c_set, || {
-                        self.build_arm_table(&c_set, xs, k, None)
-                    }),
+                    Some(cache) => cache
+                        .get_or_build(xs, k, &c_set, || self.build_arm_table(&c_set, xs, k, None)),
                     None => self.build_arm_table(&c_set, xs, k, None).map(Arc::new),
                 };
                 match arms {
@@ -425,8 +428,7 @@ impl ScoreEstimator {
         let nc = c_set.len();
         let nx = xs.len();
         let o = self.positive;
-        let mut cells: tabular::FxHashMap<Vec<Value>, CellArms> =
-            tabular::FxHashMap::default();
+        let mut cells: tabular::FxHashMap<Vec<Value>, CellArms> = tabular::FxHashMap::default();
         counter.for_each_nonzero(|values, n| {
             let cell = cells.entry(values[..nc].to_vec()).or_default();
             cell.n += n;
@@ -442,7 +444,10 @@ impl ScoreEstimator {
                 arm.1 += n;
             }
         });
-        Ok(ArmTable { cells, total: counter.total() })
+        Ok(ArmTable {
+            cells,
+            total: counter.total(),
+        })
     }
 
     /// The eq. 19–21 estimates for one `hi` vs `lo` contrast, read off a
@@ -519,9 +524,21 @@ impl ScoreEstimator {
                 w_ate += w;
             }
         }
-        let adj_nec = if w_nec > 0.0 { sum_nec / w_nec } else { pr_oneg_lo };
-        let adj_suf = if w_suf > 0.0 { sum_suf / w_suf } else { pr_o_hi };
-        let adj_ate = if w_ate > 0.0 { sum_ate / w_ate } else { pr_o_hi - pr_o_lo };
+        let adj_nec = if w_nec > 0.0 {
+            sum_nec / w_nec
+        } else {
+            pr_oneg_lo
+        };
+        let adj_suf = if w_suf > 0.0 {
+            sum_suf / w_suf
+        } else {
+            pr_o_hi
+        };
+        let adj_ate = if w_ate > 0.0 {
+            sum_ate / w_ate
+        } else {
+            pr_o_hi - pr_o_lo
+        };
 
         let necessity = if pr_o_hi <= 0.0 {
             0.0
@@ -534,7 +551,11 @@ impl ScoreEstimator {
             ((adj_suf - pr_o_lo) / pr_oneg_lo).clamp(0.0, 1.0)
         };
         let nesuf = adj_ate.clamp(0.0, 1.0);
-        Ok(Scores { necessity, sufficiency, nesuf })
+        Ok(Scores {
+            necessity,
+            sufficiency,
+            nesuf,
+        })
     }
 
     /// Sufficiency of a *set* intervention — convenience wrapper used by
@@ -566,7 +587,14 @@ impl ScoreEstimator {
 
         let do_p = |x_val: Value, out: Value| -> Result<f64> {
             causal::adjustment::estimate_adjusted(
-                &self.table, attr, x_val, self.pred, out, k, &c_set, self.alpha,
+                &self.table,
+                attr,
+                x_val,
+                self.pred,
+                out,
+                k,
+                &c_set,
+                self.alpha,
             )
             .map_err(LewisError::from)
         };
@@ -615,7 +643,10 @@ impl ScoreEstimator {
             Ok(ScoreBounds { lower, upper })
         } else {
             let mid = 0.5 * (lower + upper);
-            Ok(ScoreBounds { lower: mid, upper: mid })
+            Ok(ScoreBounds {
+                lower: mid,
+                upper: mid,
+            })
         }
     }
 
@@ -625,8 +656,11 @@ impl ScoreEstimator {
     /// respond to the intervention), greedily dropped from the causally
     /// least-proximate end until at least `min_support` rows match.
     pub fn local_context(&self, row: &[Value], x_attr: AttrId, min_support: usize) -> Context {
-        let candidates: Vec<AttrId> =
-            match self.graph.as_deref().filter(|g| x_attr.index() < g.n_nodes()) {
+        let candidates: Vec<AttrId> = match self
+            .graph
+            .as_deref()
+            .filter(|g| x_attr.index() < g.n_nodes())
+        {
             Some(g) => {
                 let parents: Vec<usize> = g.parents(x_attr.index()).to_vec();
                 let ancestors = g.ancestors(x_attr.index());
@@ -636,9 +670,7 @@ impl ScoreEstimator {
                 ordered.extend(ancestors.iter().filter(|a| !parents.contains(a)));
                 let rest: Vec<usize> = (0..g.n_nodes())
                     .filter(|n| {
-                        *n != x_attr.index()
-                            && !descendants.contains(n)
-                            && !ordered.contains(n)
+                        *n != x_attr.index() && !descendants.contains(n) && !ordered.contains(n)
                     })
                     .collect();
                 ordered.extend(rest);
@@ -690,7 +722,9 @@ fn validate_contrast(
         ));
     }
     if xs.windows(2).any(|w| w[0] == w[1]) {
-        return Err(LewisError::Invalid("duplicate attribute in contrast".into()));
+        return Err(LewisError::Invalid(
+            "duplicate attribute in contrast".into(),
+        ));
     }
     if hi_sorted
         .iter()
@@ -774,9 +808,19 @@ mod tests {
             )
             .unwrap();
         let nesuf = eng
-            .joint_query(evid_base, &[(x, 1)], |w| f(w) == 1, &[(x, 0)], |w| f(w) == 0)
+            .joint_query(
+                evid_base,
+                &[(x, 1)],
+                |w| f(w) == 1,
+                &[(x, 0)],
+                |w| f(w) == 0,
+            )
             .unwrap();
-        Scores { necessity: nec, sufficiency: suf, nesuf }
+        Scores {
+            necessity: nec,
+            sufficiency: suf,
+            nesuf,
+        }
     }
 
     #[test]
@@ -841,8 +885,15 @@ mod tests {
             (ScoreKind::Sufficiency, truth.sufficiency),
             (ScoreKind::NecessityAndSufficiency, truth.nesuf),
         ] {
-            let b = est.bounds(kind, AttrId(1), 1, 0, &Context::empty()).unwrap();
-            assert!(b.lower <= b.upper + 1e-9, "{kind:?}: [{}, {}]", b.lower, b.upper);
+            let b = est
+                .bounds(kind, AttrId(1), 1, 0, &Context::empty())
+                .unwrap();
+            assert!(
+                b.lower <= b.upper + 1e-9,
+                "{kind:?}: [{}, {}]",
+                b.lower,
+                b.upper
+            );
             assert!(
                 b.lower - 0.03 <= want && want <= b.upper + 0.03,
                 "{kind:?}: truth {want} outside [{}, {}]",
@@ -862,10 +913,8 @@ mod tests {
         let est = ScoreEstimator::new(&t, Some(scm.graph()), pred, 1, 0.0).unwrap();
         let s = est.scores(AttrId(1), 1, 0, &Context::empty()).unwrap();
         let n = t.n_rows() as f64;
-        let pr_o_x =
-            t.count(&Context::of([(AttrId(1), 1), (pred, 1)])) as f64 / n;
-        let pr_on_xn =
-            t.count(&Context::of([(AttrId(1), 0), (pred, 0)])) as f64 / n;
+        let pr_o_x = t.count(&Context::of([(AttrId(1), 1), (pred, 1)])) as f64 / n;
+        let pr_on_xn = t.count(&Context::of([(AttrId(1), 0), (pred, 0)])) as f64 / n;
         let rhs = pr_o_x * s.necessity + pr_on_xn * s.sufficiency;
         assert!(
             (s.nesuf - rhs).abs() < 0.02,
@@ -897,7 +946,8 @@ mod tests {
             Mechanism::with_noise(vec![0.8, 0.2], |pa, u| pa[0] & (1 - u as Value)),
         )
         .unwrap();
-        b.mechanism(iso.index(), Mechanism::root(vec![0.4, 0.6])).unwrap();
+        b.mechanism(iso.index(), Mechanism::root(vec![0.4, 0.6]))
+            .unwrap();
         let scm2 = b.build().unwrap();
         let mut rng = StdRng::seed_from_u64(77);
         let mut t = scm2.generate(40_000, &mut rng);
@@ -962,7 +1012,10 @@ mod tests {
                 &Context::empty(),
             )
             .unwrap();
-        assert!(s.sufficiency > 0.5, "joint intervention strongly sufficient");
+        assert!(
+            s.sufficiency > 0.5,
+            "joint intervention strongly sufficient"
+        );
     }
 
     #[test]
@@ -974,7 +1027,11 @@ mod tests {
         assert!(ScoreEstimator::new(&t, None, AttrId(0), 1, 0.0).is_ok());
         let mut t2 = t.clone();
         let tri = t2
-            .add_column("tri", Domain::categorical(["a", "b", "c"]), vec![0; t.n_rows()])
+            .add_column(
+                "tri",
+                Domain::categorical(["a", "b", "c"]),
+                vec![0; t.n_rows()],
+            )
             .unwrap();
         assert!(ScoreEstimator::new(&t2, None, tri, 1, 0.0).is_err());
     }
@@ -988,7 +1045,10 @@ mod tests {
         // generous support: keeps C (the only non-descendant of X)
         let ctx = est.local_context(&row, AttrId(1), 10);
         assert!(ctx.constrains(AttrId(0)));
-        assert!(!ctx.constrains(AttrId(1)), "intervention target must stay free");
+        assert!(
+            !ctx.constrains(AttrId(1)),
+            "intervention target must stay free"
+        );
         assert!(!ctx.constrains(AttrId(2)), "descendants must stay free");
         assert!(!ctx.constrains(pred));
         // impossible support: context collapses to empty

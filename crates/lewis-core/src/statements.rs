@@ -212,9 +212,10 @@ mod tests {
             positive: "been approved".into(),
             negative: "been rejected".into(),
         };
-        let stmt =
-            sufficiency_statement(&est, &words, AttrId(0), 0, 1, &Context::empty()).unwrap();
-        assert!(stmt.text.starts_with("Your loan would have been approved with"));
+        let stmt = sufficiency_statement(&est, &words, AttrId(0), 0, 1, &Context::empty()).unwrap();
+        assert!(stmt
+            .text
+            .starts_with("Your loan would have been approved with"));
         assert!(stmt.text.contains("purpose = 'furniture'"));
         assert!((0.0..=1.0).contains(&stmt.probability));
         let quoted = format!("{:.0}%", stmt.probability * 100.0);
@@ -252,8 +253,7 @@ mod tests {
         // upward contrast
         let row = [1u32, 0];
         let stmt =
-            best_statement(&est, &OutcomeWords::default(), &row, AttrId(0), &order, 5)
-                .unwrap();
+            best_statement(&est, &OutcomeWords::default(), &row, AttrId(0), &order, 5).unwrap();
         assert!(stmt.is_none());
     }
 

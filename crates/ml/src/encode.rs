@@ -41,9 +41,11 @@ impl TableEncoder {
             let dom = schema.domain(a)?;
             cards.push(dom.cardinality());
             midpoints.push(match dom {
-                Domain::Binned { .. } => {
-                    Some(dom.values().map(|v| dom.bin_midpoint(v).expect("binned")).collect())
-                }
+                Domain::Binned { .. } => Some(
+                    dom.values()
+                        .map(|v| dom.bin_midpoint(v).expect("binned"))
+                        .collect(),
+                ),
                 Domain::Categorical { .. } => None,
             });
         }
@@ -51,7 +53,13 @@ impl TableEncoder {
             Encoding::Ordinal => inputs.len(),
             Encoding::OneHot => cards.iter().sum(),
         };
-        Ok(TableEncoder { inputs: inputs.to_vec(), encoding, cards, midpoints, n_features })
+        Ok(TableEncoder {
+            inputs: inputs.to_vec(),
+            encoding,
+            cards,
+            midpoints,
+            n_features,
+        })
     }
 
     /// The input attributes, in feature order.

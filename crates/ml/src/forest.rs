@@ -24,7 +24,12 @@ impl Default for ForestParams {
     fn default() -> Self {
         ForestParams {
             n_trees: 100,
-            tree: TreeParams { max_depth: 12, min_samples_split: 4, min_samples_leaf: 2, max_features: None },
+            tree: TreeParams {
+                max_depth: 12,
+                min_samples_split: 4,
+                min_samples_leaf: 2,
+                max_features: None,
+            },
         }
     }
 }
@@ -50,7 +55,9 @@ impl RandomForestClassifier {
         seed: u64,
     ) -> Result<Self> {
         if xs.is_empty() || xs.len() != ys.len() {
-            return Err(MlError::InvalidTrainingData("empty or mismatched data".into()));
+            return Err(MlError::InvalidTrainingData(
+                "empty or mismatched data".into(),
+            ));
         }
         if params.n_trees == 0 {
             return Err(MlError::InvalidHyperparameter("n_trees must be > 0".into()));
@@ -71,7 +78,13 @@ impl RandomForestClassifier {
                 bx.push(xs[i].clone());
                 by.push(ys[i]);
             }
-            trees.push(DecisionTreeClassifier::fit(&bx, &by, n_classes, &tree_params, &mut rng)?);
+            trees.push(DecisionTreeClassifier::fit(
+                &bx,
+                &by,
+                n_classes,
+                &tree_params,
+                &mut rng,
+            )?);
         }
         Ok(RandomForestClassifier { trees, n_classes })
     }
@@ -113,7 +126,9 @@ impl RandomForestRegressor {
     /// Train `params.n_trees` regression trees on bootstrap resamples.
     pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &ForestParams, seed: u64) -> Result<Self> {
         if xs.is_empty() || xs.len() != ys.len() {
-            return Err(MlError::InvalidTrainingData("empty or mismatched data".into()));
+            return Err(MlError::InvalidTrainingData(
+                "empty or mismatched data".into(),
+            ));
         }
         if params.n_trees == 0 {
             return Err(MlError::InvalidHyperparameter("n_trees must be > 0".into()));
@@ -134,7 +149,12 @@ impl RandomForestRegressor {
                 bx.push(xs[i].clone());
                 by.push(ys[i]);
             }
-            trees.push(DecisionTreeRegressor::fit(&bx, &by, &tree_params, &mut rng)?);
+            trees.push(DecisionTreeRegressor::fit(
+                &bx,
+                &by,
+                &tree_params,
+                &mut rng,
+            )?);
         }
         Ok(RandomForestRegressor { trees })
     }
@@ -172,7 +192,10 @@ mod tests {
     #[test]
     fn classifier_beats_chance_on_interaction() {
         let (xs, ys) = moons(600);
-        let params = ForestParams { n_trees: 30, ..ForestParams::default() };
+        let params = ForestParams {
+            n_trees: 30,
+            ..ForestParams::default()
+        };
         let m = RandomForestClassifier::fit(&xs, &ys, 2, &params, 1).unwrap();
         let acc = xs
             .iter()
@@ -190,7 +213,10 @@ mod tests {
             &xs,
             &ys,
             2,
-            &ForestParams { n_trees: 7, ..ForestParams::default() },
+            &ForestParams {
+                n_trees: 7,
+                ..ForestParams::default()
+            },
             3,
         )
         .unwrap();
@@ -205,7 +231,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (xs, ys) = moons(100);
-        let params = ForestParams { n_trees: 5, ..ForestParams::default() };
+        let params = ForestParams {
+            n_trees: 5,
+            ..ForestParams::default()
+        };
         let a = RandomForestClassifier::fit(&xs, &ys, 2, &params, 42).unwrap();
         let b = RandomForestClassifier::fit(&xs, &ys, 2, &params, 42).unwrap();
         for x in xs.iter().take(20) {
@@ -220,7 +249,10 @@ mod tests {
         let m = RandomForestRegressor::fit(
             &xs,
             &ys,
-            &ForestParams { n_trees: 30, ..ForestParams::default() },
+            &ForestParams {
+                n_trees: 30,
+                ..ForestParams::default()
+            },
             5,
         )
         .unwrap();
@@ -235,7 +267,10 @@ mod tests {
     #[test]
     fn invalid_params_rejected() {
         let (xs, ys) = moons(10);
-        let params = ForestParams { n_trees: 0, ..ForestParams::default() };
+        let params = ForestParams {
+            n_trees: 0,
+            ..ForestParams::default()
+        };
         assert!(RandomForestClassifier::fit(&xs, &ys, 2, &params, 0).is_err());
         assert!(RandomForestClassifier::fit(&[], &[], 2, &ForestParams::default(), 0).is_err());
         let ysf: Vec<f64> = ys.iter().map(|&y| f64::from(y)).collect();

@@ -31,7 +31,12 @@ impl Default for GbdtParams {
             n_rounds: 100,
             learning_rate: 0.1,
             lambda: 1.0,
-            tree: TreeParams { max_depth: 4, min_samples_split: 4, min_samples_leaf: 2, max_features: None },
+            tree: TreeParams {
+                max_depth: 4,
+                min_samples_split: 4,
+                min_samples_leaf: 2,
+                max_features: None,
+            },
         }
     }
 }
@@ -48,7 +53,9 @@ impl GradientBoostedTrees {
     /// Train on labels in `{0, 1}`.
     pub fn fit(xs: &[Vec<f64>], ys: &[u32], params: &GbdtParams, seed: u64) -> Result<Self> {
         if xs.is_empty() || xs.len() != ys.len() {
-            return Err(MlError::InvalidTrainingData("empty or mismatched data".into()));
+            return Err(MlError::InvalidTrainingData(
+                "empty or mismatched data".into(),
+            ));
         }
         if ys.iter().any(|&y| y > 1) {
             return Err(MlError::InvalidTrainingData("labels must be 0/1".into()));
@@ -107,7 +114,11 @@ impl GradientBoostedTrees {
             }
             trees.push(tree);
         }
-        Ok(GradientBoostedTrees { base_score, learning_rate: params.learning_rate, trees })
+        Ok(GradientBoostedTrees {
+            base_score,
+            learning_rate: params.learning_rate,
+            trees,
+        })
     }
 
     /// Raw margin (log-odds) for `x`.
@@ -172,14 +183,20 @@ mod tests {
         let small = GradientBoostedTrees::fit(
             &xs,
             &ys,
-            &GbdtParams { n_rounds: 5, ..GbdtParams::default() },
+            &GbdtParams {
+                n_rounds: 5,
+                ..GbdtParams::default()
+            },
             7,
         )
         .unwrap();
         let large = GradientBoostedTrees::fit(
             &xs,
             &ys,
-            &GbdtParams { n_rounds: 80, ..GbdtParams::default() },
+            &GbdtParams {
+                n_rounds: 80,
+                ..GbdtParams::default()
+            },
             7,
         )
         .unwrap();
@@ -197,7 +214,12 @@ mod tests {
                 .sum::<f64>()
                 / xs.len() as f64
         };
-        assert!(loss(&large) < loss(&small), "{} !< {}", loss(&large), loss(&small));
+        assert!(
+            loss(&large) < loss(&small),
+            "{} !< {}",
+            loss(&large),
+            loss(&small)
+        );
     }
 
     #[test]
@@ -207,7 +229,11 @@ mod tests {
         let m = GradientBoostedTrees::fit(
             &xs,
             &ys,
-            &GbdtParams { n_rounds: 1, learning_rate: 1e-9, ..GbdtParams::default() },
+            &GbdtParams {
+                n_rounds: 1,
+                learning_rate: 1e-9,
+                ..GbdtParams::default()
+            },
             0,
         )
         .unwrap();
@@ -222,7 +248,10 @@ mod tests {
         let m = GradientBoostedTrees::fit(
             &xs,
             &ys,
-            &GbdtParams { n_rounds: 20, ..GbdtParams::default() },
+            &GbdtParams {
+                n_rounds: 20,
+                ..GbdtParams::default()
+            },
             1,
         )
         .unwrap();
@@ -249,7 +278,10 @@ mod tests {
         assert!(GradientBoostedTrees::fit(
             &xs,
             &ys,
-            &GbdtParams { n_rounds: 0, ..GbdtParams::default() },
+            &GbdtParams {
+                n_rounds: 0,
+                ..GbdtParams::default()
+            },
             0
         )
         .is_err());

@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The identity of size `n`.
@@ -43,7 +47,11 @@ impl Matrix {
             assert_eq!(r.len(), n_cols, "ragged rows");
             data.extend_from_slice(r);
         }
-        Matrix { rows: n_rows, cols: n_cols, data }
+        Matrix {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -188,7 +196,9 @@ impl Matrix {
     /// construction. Falls back with an error if the matrix is not PD.
     pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>> {
         if self.rows != self.cols {
-            return Err(MlError::InvalidTrainingData("solve_spd needs square".into()));
+            return Err(MlError::InvalidTrainingData(
+                "solve_spd needs square".into(),
+            ));
         }
         let n = self.rows;
         let mut l = vec![0.0f64; n * n];
@@ -324,7 +334,10 @@ mod tests {
     fn transpose_matvec() {
         let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         assert_eq!(x.t_matvec(&[1.0, 1.0]), vec![4.0, 6.0]);
-        assert_eq!(x.weighted_t_matvec(&[1.0, 0.5], &[2.0, 2.0]), vec![2.0 + 3.0, 4.0 + 4.0]);
+        assert_eq!(
+            x.weighted_t_matvec(&[1.0, 0.5], &[2.0, 2.0]),
+            vec![2.0 + 3.0, 4.0 + 4.0]
+        );
     }
 
     #[test]

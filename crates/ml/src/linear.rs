@@ -56,17 +56,18 @@ impl LinearRegression {
             gram[(j, j)] += ridge;
         }
         let rhs = design.weighted_t_matvec(w, ys);
-        let beta = gram
-            .solve_spd(&rhs)
-            .or_else(|_| {
-                // fall back to heavier regularization for degenerate designs
-                let mut g2 = gram.clone();
-                for j in 0..=d {
-                    g2[(j, j)] += 1e-8 + ridge.max(1e-6);
-                }
-                g2.solve_spd(&rhs)
-            })?;
-        Ok(LinearRegression { intercept: beta[0], coefficients: beta[1..].to_vec() })
+        let beta = gram.solve_spd(&rhs).or_else(|_| {
+            // fall back to heavier regularization for degenerate designs
+            let mut g2 = gram.clone();
+            for j in 0..=d {
+                g2[(j, j)] += 1e-8 + ridge.max(1e-6);
+            }
+            g2.solve_spd(&rhs)
+        })?;
+        Ok(LinearRegression {
+            intercept: beta[0],
+            coefficients: beta[1..].to_vec(),
+        })
     }
 
     /// Predicted value for `x`.
@@ -104,7 +105,11 @@ pub struct LogisticOptions {
 
 impl Default for LogisticOptions {
     fn default() -> Self {
-        LogisticOptions { learning_rate: 0.1, epochs: 500, l2: 1e-4 }
+        LogisticOptions {
+            learning_rate: 0.1,
+            epochs: 500,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -161,7 +166,10 @@ impl LogisticRegression {
                 *wi -= opts.learning_rate * (g / n + opts.l2 * *wi);
             }
         }
-        Ok(LogisticRegression { intercept: b, coefficients: w })
+        Ok(LogisticRegression {
+            intercept: b,
+            coefficients: w,
+        })
     }
 
     /// `Pr(y = 1 | x)`.
@@ -237,9 +245,7 @@ mod tests {
         assert!(LinearRegression::fit(&[], &[], 0.0).is_err());
         assert!(LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0], 0.0).is_err());
         assert!(LinearRegression::fit(&[vec![1.0]], &[1.0], -1.0).is_err());
-        assert!(
-            LinearRegression::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], 0.0).is_err()
-        );
+        assert!(LinearRegression::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], 0.0).is_err());
     }
 
     #[test]
@@ -285,7 +291,10 @@ mod tests {
 
     #[test]
     fn logistic_as_classifier_trait() {
-        let m = LogisticRegression { intercept: 0.0, coefficients: vec![1.0] };
+        let m = LogisticRegression {
+            intercept: 0.0,
+            coefficients: vec![1.0],
+        };
         let mut buf = [0.0; 2];
         m.predict_proba(&[0.0], &mut buf);
         assert!((buf[0] - 0.5).abs() < 1e-12);
@@ -296,11 +305,6 @@ mod tests {
 
     #[test]
     fn logistic_rejects_bad_labels() {
-        assert!(LogisticRegression::fit(
-            &[vec![1.0]],
-            &[2],
-            &LogisticOptions::default()
-        )
-        .is_err());
+        assert!(LogisticRegression::fit(&[vec![1.0]], &[2], &LogisticOptions::default()).is_err());
     }
 }

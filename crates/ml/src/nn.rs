@@ -111,13 +111,17 @@ impl NeuralNetwork {
         seed: u64,
     ) -> Result<Self> {
         if xs.is_empty() || xs.len() != ys.len() {
-            return Err(MlError::InvalidTrainingData("empty or mismatched data".into()));
+            return Err(MlError::InvalidTrainingData(
+                "empty or mismatched data".into(),
+            ));
         }
         if ys.iter().any(|&y| y as usize >= n_classes) {
             return Err(MlError::InvalidTrainingData("label out of range".into()));
         }
         if params.batch_size == 0 || params.epochs == 0 {
-            return Err(MlError::InvalidHyperparameter("batch_size/epochs must be > 0".into()));
+            return Err(MlError::InvalidHyperparameter(
+                "batch_size/epochs must be > 0".into(),
+            ));
         }
         let d = xs[0].len();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -267,7 +271,12 @@ impl NeuralNetwork {
                 }
             }
         }
-        Ok(NeuralNetwork { layers, n_classes, feat_mean, feat_std })
+        Ok(NeuralNetwork {
+            layers,
+            n_classes,
+            feat_mean,
+            feat_std,
+        })
     }
 }
 
@@ -318,13 +327,21 @@ mod tests {
     }
 
     fn accuracy(m: &NeuralNetwork, xs: &[Vec<f64>], ys: &[u32]) -> f64 {
-        xs.iter().zip(ys).filter(|(x, &y)| m.predict(x) == y).count() as f64 / xs.len() as f64
+        xs.iter()
+            .zip(ys)
+            .filter(|(x, &y)| m.predict(x) == y)
+            .count() as f64
+            / xs.len() as f64
     }
 
     #[test]
     fn learns_nonlinear_ring() {
         let (xs, ys) = ring_data(800);
-        let params = NnParams { hidden: vec![32, 16], epochs: 60, ..NnParams::default() };
+        let params = NnParams {
+            hidden: vec![32, 16],
+            epochs: 60,
+            ..NnParams::default()
+        };
         let m = NeuralNetwork::fit(&xs, &ys, 2, &params, 3).unwrap();
         let acc = accuracy(&m, &xs, &ys);
         assert!(acc > 0.93, "accuracy {acc}");
@@ -333,7 +350,11 @@ mod tests {
     #[test]
     fn probabilities_are_distribution() {
         let (xs, ys) = ring_data(200);
-        let params = NnParams { hidden: vec![8], epochs: 5, ..NnParams::default() };
+        let params = NnParams {
+            hidden: vec![8],
+            epochs: 5,
+            ..NnParams::default()
+        };
         let m = NeuralNetwork::fit(&xs, &ys, 2, &params, 1).unwrap();
         let mut buf = [0.0; 2];
         for x in xs.iter().take(20) {
@@ -347,7 +368,11 @@ mod tests {
     fn multiclass_output() {
         let xs: Vec<Vec<f64>> = (0..300).map(|i| vec![(i % 3) as f64]).collect();
         let ys: Vec<u32> = (0..300).map(|i| (i % 3) as u32).collect();
-        let params = NnParams { hidden: vec![16], epochs: 80, ..NnParams::default() };
+        let params = NnParams {
+            hidden: vec![16],
+            epochs: 80,
+            ..NnParams::default()
+        };
         let m = NeuralNetwork::fit(&xs, &ys, 3, &params, 2).unwrap();
         assert_eq!(m.n_classes(), 3);
         let acc = xs
@@ -362,7 +387,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (xs, ys) = ring_data(100);
-        let params = NnParams { hidden: vec![8], epochs: 3, ..NnParams::default() };
+        let params = NnParams {
+            hidden: vec![8],
+            epochs: 3,
+            ..NnParams::default()
+        };
         let a = NeuralNetwork::fit(&xs, &ys, 2, &params, 9).unwrap();
         let b = NeuralNetwork::fit(&xs, &ys, 2, &params, 9).unwrap();
         for x in xs.iter().take(10) {
@@ -375,7 +404,10 @@ mod tests {
         let (xs, ys) = ring_data(10);
         assert!(NeuralNetwork::fit(&[], &[], 2, &NnParams::default(), 0).is_err());
         assert!(NeuralNetwork::fit(&xs, &[7; 10], 2, &NnParams::default(), 0).is_err());
-        let bad = NnParams { batch_size: 0, ..NnParams::default() };
+        let bad = NnParams {
+            batch_size: 0,
+            ..NnParams::default()
+        };
         assert!(NeuralNetwork::fit(&xs, &ys, 2, &bad, 0).is_err());
     }
 }

@@ -25,7 +25,12 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 12, min_samples_split: 2, min_samples_leaf: 1, max_features: None }
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
     }
 }
 
@@ -58,8 +63,17 @@ impl Tree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { value, leaf_id } => return (value, *leaf_id),
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -83,7 +97,11 @@ impl Stats {
     fn new(target: &Target) -> Self {
         match target {
             Target::Classes { n_classes, .. } => Stats::Counts(vec![0.0; *n_classes]),
-            Target::Reals(_) => Stats::Moments { n: 0.0, sum: 0.0, sum_sq: 0.0 },
+            Target::Reals(_) => Stats::Moments {
+                n: 0.0,
+                sum: 0.0,
+                sum_sq: 0.0,
+            },
         }
     }
 
@@ -179,7 +197,10 @@ fn build_tree<R: Rng>(
     if xs.iter().any(|x| x.len() != d) {
         return Err(MlError::InvalidTrainingData("ragged feature rows".into()));
     }
-    let mut tree = Tree { nodes: Vec::new(), n_leaves: 0 };
+    let mut tree = Tree {
+        nodes: Vec::new(),
+        n_leaves: 0,
+    };
     let mut indices: Vec<usize> = (0..n).collect();
     grow(xs, target, params, rng, &mut tree, &mut indices, 0);
     Ok(tree)
@@ -203,7 +224,10 @@ fn grow<R: Rng>(
 
     let make_leaf = |tree: &mut Tree, stats: &Stats| {
         let id = tree.nodes.len();
-        tree.nodes.push(Node::Leaf { value: stats.leaf_value(), leaf_id: tree.n_leaves });
+        tree.nodes.push(Node::Leaf {
+            value: stats.leaf_value(),
+            leaf_id: tree.n_leaves,
+        });
         tree.n_leaves += 1;
         id
     };
@@ -230,9 +254,7 @@ fn grow<R: Rng>(
     for &f in &features {
         order.clear();
         order.extend_from_slice(indices);
-        order.sort_unstable_by(|&a, &b| {
-            xs[a][f].partial_cmp(&xs[b][f]).expect("no NaN features")
-        });
+        order.sort_unstable_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).expect("no NaN features"));
         let mut left = Stats::new(target);
         let mut right = stats.clone();
         for pos in 0..order.len() - 1 {
@@ -274,14 +296,25 @@ fn grow<R: Rng>(
             indices.swap(lo, hi);
         }
     }
-    debug_assert!(lo > 0 && lo < indices.len(), "split produced an empty child");
+    debug_assert!(
+        lo > 0 && lo < indices.len(),
+        "split produced an empty child"
+    );
 
     let id = tree.nodes.len();
-    tree.nodes.push(Node::Split { feature, threshold, left: 0, right: 0 });
+    tree.nodes.push(Node::Split {
+        feature,
+        threshold,
+        left: 0,
+        right: 0,
+    });
     let (left_idx, right_idx) = indices.split_at_mut(lo);
     let left = grow(xs, target, params, rng, tree, left_idx, depth + 1);
     let right = grow(xs, target, params, rng, tree, right_idx, depth + 1);
-    if let Node::Split { left: l, right: r, .. } = &mut tree.nodes[id] {
+    if let Node::Split {
+        left: l, right: r, ..
+    } = &mut tree.nodes[id]
+    {
         *l = left;
         *r = right;
     }
@@ -310,8 +343,14 @@ impl DecisionTreeClassifier {
         if ys.iter().any(|&y| y as usize >= n_classes) {
             return Err(MlError::InvalidTrainingData("label out of range".into()));
         }
-        let target = Target::Classes { labels: ys, n_classes };
-        Ok(DecisionTreeClassifier { tree: build_tree(xs, &target, params, rng)?, n_classes })
+        let target = Target::Classes {
+            labels: ys,
+            n_classes,
+        };
+        Ok(DecisionTreeClassifier {
+            tree: build_tree(xs, &target, params, rng)?,
+            n_classes,
+        })
     }
 
     /// Number of leaves.
@@ -349,7 +388,9 @@ impl DecisionTreeRegressor {
             return Err(MlError::InvalidTrainingData("xs/ys length mismatch".into()));
         }
         let target = Target::Reals(ys);
-        Ok(DecisionTreeRegressor { tree: build_tree(xs, &target, params, rng)? })
+        Ok(DecisionTreeRegressor {
+            tree: build_tree(xs, &target, params, rng)?,
+        })
     }
 
     /// Number of leaves.
@@ -402,8 +443,8 @@ mod tests {
             vec![1.0, 1.0],
         ];
         let ys = vec![0u32, 1, 1, 0];
-        let t = DecisionTreeClassifier::fit(&xs, &ys, 2, &TreeParams::default(), &mut rng())
-            .unwrap();
+        let t =
+            DecisionTreeClassifier::fit(&xs, &ys, 2, &TreeParams::default(), &mut rng()).unwrap();
         for (x, &y) in xs.iter().zip(&ys) {
             assert_eq!(t.predict(x), y);
         }
@@ -413,7 +454,10 @@ mod tests {
     fn classifier_respects_max_depth() {
         let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![f64::from(i)]).collect();
         let ys: Vec<u32> = (0..64).map(|i| u32::from(i % 2 == 0)).collect();
-        let params = TreeParams { max_depth: 1, ..TreeParams::default() };
+        let params = TreeParams {
+            max_depth: 1,
+            ..TreeParams::default()
+        };
         let t = DecisionTreeClassifier::fit(&xs, &ys, 2, &params, &mut rng()).unwrap();
         assert!(t.n_leaves() <= 2);
     }
@@ -422,8 +466,8 @@ mod tests {
     fn pure_nodes_become_leaves() {
         let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
         let ys = vec![1u32, 1, 1];
-        let t = DecisionTreeClassifier::fit(&xs, &ys, 2, &TreeParams::default(), &mut rng())
-            .unwrap();
+        let t =
+            DecisionTreeClassifier::fit(&xs, &ys, 2, &TreeParams::default(), &mut rng()).unwrap();
         assert_eq!(t.n_leaves(), 1);
         assert!((t.proba_of(&[2.0], 1) - 1.0).abs() < 1e-12);
     }
@@ -435,8 +479,7 @@ mod tests {
             .map(|i| vec![f64::from(i % 30), f64::from(i % 7)])
             .collect();
         let ys: Vec<u32> = (0..300).map(|i| (i % 3) as u32).collect();
-        let t = DecisionTreeClassifier::fit(&xs, &ys, 3, &TreeParams::default(), &mut r)
-            .unwrap();
+        let t = DecisionTreeClassifier::fit(&xs, &ys, 3, &TreeParams::default(), &mut r).unwrap();
         let mut buf = [0.0; 3];
         for x in &xs {
             t.predict_proba(x, &mut buf);
@@ -449,8 +492,7 @@ mod tests {
     fn regressor_fits_step_function() {
         let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i)]).collect();
         let ys: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
-        let t = DecisionTreeRegressor::fit(&xs, &ys, &TreeParams::default(), &mut rng())
-            .unwrap();
+        let t = DecisionTreeRegressor::fit(&xs, &ys, &TreeParams::default(), &mut rng()).unwrap();
         assert!((t.predict(&[10.0]) - 1.0).abs() < 1e-9);
         assert!((t.predict(&[80.0]) - 5.0).abs() < 1e-9);
     }
@@ -459,7 +501,10 @@ mod tests {
     fn min_samples_leaf_enforced() {
         let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i)]).collect();
         let ys: Vec<f64> = (0..10).map(f64::from).collect();
-        let params = TreeParams { min_samples_leaf: 5, ..TreeParams::default() };
+        let params = TreeParams {
+            min_samples_leaf: 5,
+            ..TreeParams::default()
+        };
         let t = DecisionTreeRegressor::fit(&xs, &ys, &params, &mut rng()).unwrap();
         // only one split can satisfy 5/5
         assert!(t.n_leaves() <= 2);
@@ -469,8 +514,7 @@ mod tests {
     fn leaf_index_is_dense_and_stable() {
         let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![f64::from(i)]).collect();
         let ys: Vec<f64> = (0..40).map(|i| f64::from(i * i)).collect();
-        let t = DecisionTreeRegressor::fit(&xs, &ys, &TreeParams::default(), &mut rng())
-            .unwrap();
+        let t = DecisionTreeRegressor::fit(&xs, &ys, &TreeParams::default(), &mut rng()).unwrap();
         let n = t.n_leaves();
         let mut seen = vec![false; n];
         for x in &xs {
@@ -478,7 +522,10 @@ mod tests {
             assert!(id < n);
             seen[id] = true;
         }
-        assert!(seen.iter().all(|&s| s), "every leaf reachable from training data");
+        assert!(
+            seen.iter().all(|&s| s),
+            "every leaf reachable from training data"
+        );
     }
 
     #[test]
@@ -502,7 +549,10 @@ mod tests {
             .map(|i| vec![f64::from(i % 2), f64::from(i % 3), f64::from(i % 5)])
             .collect();
         let ys: Vec<u32> = xs.iter().map(|x| u32::from(x[0] > 0.5)).collect();
-        let params = TreeParams { max_features: Some(2), ..TreeParams::default() };
+        let params = TreeParams {
+            max_features: Some(2),
+            ..TreeParams::default()
+        };
         let t = DecisionTreeClassifier::fit(&xs, &ys, 2, &params, &mut r).unwrap();
         let acc = xs
             .iter()
@@ -515,16 +565,11 @@ mod tests {
     #[test]
     fn invalid_input_rejected() {
         let mut r = rng();
-        assert!(DecisionTreeClassifier::fit(&[], &[], 2, &TreeParams::default(), &mut r)
-            .is_err());
-        assert!(DecisionTreeClassifier::fit(
-            &[vec![1.0]],
-            &[5],
-            2,
-            &TreeParams::default(),
-            &mut r
-        )
-        .is_err());
+        assert!(DecisionTreeClassifier::fit(&[], &[], 2, &TreeParams::default(), &mut r).is_err());
+        assert!(
+            DecisionTreeClassifier::fit(&[vec![1.0]], &[5], 2, &TreeParams::default(), &mut r)
+                .is_err()
+        );
         assert!(DecisionTreeRegressor::fit(
             &[vec![1.0], vec![2.0]],
             &[1.0],

@@ -13,10 +13,7 @@ use rand::SeedableRng;
 fn arb_dd_system() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
     (2usize..6).prop_flat_map(|n| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(-1.0f64..1.0, n),
-                n,
-            ),
+            proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, n), n),
             proptest::collection::vec(-10.0f64..10.0, n),
         )
     })

@@ -117,8 +117,7 @@ impl MckpSolver {
         let mut pruned: Vec<Group> = groups
             .into_iter()
             .map(|g| {
-                let mut items: Vec<Item> =
-                    g.items.into_iter().filter(|it| it.gain > 0.0).collect();
+                let mut items: Vec<Item> = g.items.into_iter().filter(|it| it.gain > 0.0).collect();
                 items.sort_by(|a, b| {
                     a.cost
                         .partial_cmp(&b.cost)
@@ -156,7 +155,12 @@ impl MckpSolver {
             suffix_pool[i] = pool;
         }
 
-        Ok(MckpSolver { groups: pruned, target, suffix_max_gain, suffix_pool })
+        Ok(MckpSolver {
+            groups: pruned,
+            target,
+            suffix_max_gain,
+            suffix_pool,
+        })
     }
 
     /// Number of linear constraints in the IP formulation: one covering
@@ -206,8 +210,11 @@ impl MckpSolver {
         mut validate: impl FnMut(&Solution) -> bool,
     ) -> Result<Solution, IpError> {
         if self.target <= 0.0 {
-            let empty =
-                Solution { total_cost: 0.0, total_gain: 0.0, chosen: Vec::new() };
+            let empty = Solution {
+                total_cost: 0.0,
+                total_gain: 0.0,
+                chosen: Vec::new(),
+            };
             if validate(&empty) {
                 return Ok(empty);
             }
@@ -269,7 +276,12 @@ impl MckpSolver {
             }
         }
 
-        let mut search = Search { solver: self, best: None, stack: Vec::new(), validate };
+        let mut search = Search {
+            solver: self,
+            best: None,
+            stack: Vec::new(),
+            validate,
+        };
         search.dfs(0, 0.0, 0.0);
         search.best.ok_or(IpError::Infeasible)
     }
@@ -284,14 +296,24 @@ mod tests {
     fn g(id: usize, items: &[(usize, f64, f64)]) -> Group {
         Group {
             id,
-            items: items.iter().map(|&(i, c, w)| Item { id: i, cost: c, gain: w }).collect(),
+            items: items
+                .iter()
+                .map(|&(i, c, w)| Item {
+                    id: i,
+                    cost: c,
+                    gain: w,
+                })
+                .collect(),
         }
     }
 
     #[test]
     fn picks_cheapest_single_cover() {
         let solver = MckpSolver::new(
-            vec![g(0, &[(0, 5.0, 10.0), (1, 2.0, 10.0)]), g(1, &[(0, 1.0, 1.0)])],
+            vec![
+                g(0, &[(0, 5.0, 10.0), (1, 2.0, 10.0)]),
+                g(1, &[(0, 1.0, 1.0)]),
+            ],
             8.0,
         )
         .unwrap();
@@ -339,7 +361,10 @@ mod tests {
     #[test]
     fn non_positive_gain_items_are_pruned() {
         let solver = MckpSolver::new(
-            vec![g(0, &[(0, 5.0, 1.0), (1, 1.0, 2.0), (2, 0.5, -1.0), (3, 0.1, 0.0)])],
+            vec![g(
+                0,
+                &[(0, 5.0, 1.0), (1, 1.0, 2.0), (2, 0.5, -1.0), (3, 0.1, 0.0)],
+            )],
             1.0,
         )
         .unwrap();
@@ -368,11 +393,7 @@ mod tests {
 
     #[test]
     fn validator_forces_second_best() {
-        let solver = MckpSolver::new(
-            vec![g(0, &[(0, 1.0, 5.0), (1, 3.0, 5.0)])],
-            5.0,
-        )
-        .unwrap();
+        let solver = MckpSolver::new(vec![g(0, &[(0, 1.0, 5.0), (1, 3.0, 5.0)])], 5.0).unwrap();
         // reject the cheap assignment; solver must fall back to item 1
         let s = solver
             .solve_with(|cand| !cand.chosen.contains(&(0, 0)))
@@ -401,7 +422,14 @@ mod tests {
             }
             walk(groups, idx + 1, cost, gain, target, best);
             for it in &groups[idx].items {
-                walk(groups, idx + 1, cost + it.cost, gain + it.gain, target, best);
+                walk(
+                    groups,
+                    idx + 1,
+                    cost + it.cost,
+                    gain + it.gain,
+                    target,
+                    best,
+                );
             }
         }
         let mut best: Option<f64> = None;
@@ -451,17 +479,15 @@ mod tests {
     fn scales_to_hundred_groups() {
         let mut rng = StdRng::seed_from_u64(7);
         let groups: Vec<Group> = (0..100)
-            .map(|gid| {
-                Group {
-                    id: gid,
-                    items: (0..8)
-                        .map(|iid| Item {
-                            id: iid,
-                            cost: rng.gen_range(0.1..10.0),
-                            gain: rng.gen_range(0.1..3.0),
-                        })
-                        .collect(),
-                }
+            .map(|gid| Group {
+                id: gid,
+                items: (0..8)
+                    .map(|iid| Item {
+                        id: iid,
+                        cost: rng.gen_range(0.1..10.0),
+                        gain: rng.gen_range(0.1..3.0),
+                    })
+                    .collect(),
             })
             .collect();
         let solver = MckpSolver::new(groups, 40.0).unwrap();

@@ -13,4 +13,4 @@
 
 pub mod ip;
 
-pub use ip::{Group, Item, IpError, MckpSolver, Solution};
+pub use ip::{Group, IpError, Item, MckpSolver, Solution};

@@ -1,0 +1,139 @@
+//! The `lewis-serve` binary: load engines, bind, serve until asked to
+//! stop (`POST /admin/shutdown`).
+
+use lewis_serve::{serve, EngineRegistry, ServerConfig, BUILTINS};
+use std::time::Duration;
+
+const USAGE: &str = "\
+lewis-serve — HTTP explanation service over LEWIS engines
+
+USAGE:
+    lewis-serve [OPTIONS]
+
+OPTIONS:
+    --listen ADDR          bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+    --workers N            worker threads (default 4)
+    --builtin NAME=ROWS    register a built-in dataset engine (repeatable);
+                           NAME ∈ {german_syn, german, adult, compas, drug}
+    --csv NAME=PATH=PRED=POSITIVE
+                           register an engine from a CSV file: PRED is the
+                           binary prediction column, POSITIVE its favourable
+                           label (repeatable)
+    --seed N               generation seed for built-ins (default 42)
+    --max-body BYTES       request body limit (default 1048576)
+    -h, --help             this text
+
+With no --builtin/--csv, serves german_syn=5000.
+
+ROUTES:
+    GET  /healthz                         liveness
+    GET  /v1/engines                      engines + schemas
+    POST /v1/engines/{name}/explain       one request or {\"batch\": [...]}
+    GET  /metrics                         counters, latency quantiles, cache stats
+    POST /admin/shutdown                  graceful stop
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run with --help for usage");
+    std::process::exit(1)
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut seed = 42u64;
+    let mut builtins: Vec<(String, usize)> = Vec::new();
+    let mut csvs: Vec<(String, String, String, String)> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--listen" => config.addr = value("--listen"),
+            "--workers" => {
+                config.workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--workers expects an integer"))
+            }
+            "--max-body" => {
+                config.max_body = value("--max-body")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-body expects an integer"))
+            }
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed expects an integer"))
+            }
+            "--builtin" => {
+                let spec = value("--builtin");
+                let Some((name, rows)) = spec.split_once('=') else {
+                    fail(&format!("--builtin {spec:?}: expected NAME=ROWS"));
+                };
+                let rows = rows
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--builtin {spec:?}: bad row count")));
+                builtins.push((name.to_string(), rows));
+            }
+            "--csv" => {
+                let spec = value("--csv");
+                let parts: Vec<&str> = spec.split('=').collect();
+                let [name, path, pred, positive] = parts.as_slice() else {
+                    fail(&format!("--csv {spec:?}: expected NAME=PATH=PRED=POSITIVE"));
+                };
+                csvs.push((
+                    name.to_string(),
+                    path.to_string(),
+                    pred.to_string(),
+                    positive.to_string(),
+                ));
+            }
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if builtins.is_empty() && csvs.is_empty() {
+        builtins.push(("german_syn".to_string(), 5000));
+    }
+
+    let mut registry = EngineRegistry::new();
+    for (name, rows) in &builtins {
+        eprintln!("loading builtin {name} ({rows} rows, seed {seed})...");
+        if let Err(e) = registry.load_builtin(name, *rows, seed) {
+            fail(&e.to_string());
+        }
+    }
+    for (name, path, pred, positive) in &csvs {
+        eprintln!("loading csv {name} from {path}...");
+        if let Err(e) = registry.load_csv(name, path, pred, positive) {
+            fail(&e.to_string());
+        }
+    }
+
+    let known: Vec<&str> = BUILTINS.iter().map(|&(n, _)| n).collect();
+    eprintln!("built-ins available: {}", known.join(", "));
+
+    config.read_timeout = Duration::from_secs(5);
+    let server = match serve(&config, std::sync::Arc::new(registry)) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot bind {}: {e}", config.addr)),
+    };
+    // the address line goes to stdout so scripts can scrape the port
+    println!("listening on http://{}", server.addr());
+    eprintln!(
+        "stop with: curl -X POST http://{}/admin/shutdown",
+        server.addr()
+    );
+    server.join();
+    eprintln!("bye");
+}

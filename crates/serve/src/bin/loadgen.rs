@@ -1,0 +1,133 @@
+//! The `loadgen` binary: hammer a running `lewis-serve` with a mixed
+//! workload and print throughput + tail latencies.
+
+use lewis_serve::loadgen::{run, LoadgenConfig, Mix};
+use std::time::Duration;
+
+const USAGE: &str = "\
+loadgen — mixed-workload load generator for lewis-serve
+
+USAGE:
+    loadgen [OPTIONS]
+
+OPTIONS:
+    --addr ADDR         server address (default 127.0.0.1:7878)
+    --engine NAME       registered engine to query (default german_syn)
+    --duration SECS     run length in seconds, fractional ok (default 10)
+    --concurrency N     concurrent connections (default 2)
+    --mix G:C:L:R       integer weights for global:contextual:local:recourse
+                        (default 10:60:28:2)
+    --batch N           queries per HTTP body; >1 uses {\"batch\": [...]}
+                        (default 1)
+    --seed N            workload seed (default 42)
+    --json PATH         also write the report as JSON to PATH
+    -h, --help          this text
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run with --help for usage");
+    std::process::exit(1)
+}
+
+fn main() {
+    let mut config = LoadgenConfig::default();
+    let mut json_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--addr" => {
+                config.addr = value("--addr")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--addr expects host:port"))
+            }
+            "--engine" => config.engine = value("--engine"),
+            "--duration" => {
+                let secs: f64 = value("--duration")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--duration expects seconds"));
+                config.duration = Duration::from_secs_f64(secs);
+            }
+            "--concurrency" => {
+                config.concurrency = value("--concurrency")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--concurrency expects an integer"))
+            }
+            "--batch" => {
+                config.batch = value("--batch")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--batch expects an integer"))
+            }
+            "--seed" => {
+                config.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed expects an integer"))
+            }
+            "--mix" => {
+                let spec = value("--mix");
+                let parts: Vec<u32> = spec
+                    .split(':')
+                    .map(|p| {
+                        p.parse()
+                            .unwrap_or_else(|_| fail(&format!("--mix {spec:?}: bad weight")))
+                    })
+                    .collect();
+                let [global, contextual, local, recourse] = parts.as_slice() else {
+                    fail(&format!("--mix {spec:?}: expected G:C:L:R"));
+                };
+                config.mix = Mix {
+                    global: *global,
+                    contextual: *contextual,
+                    local: *local,
+                    recourse: *recourse,
+                };
+                if config.mix.global
+                    + config.mix.contextual
+                    + config.mix.local
+                    + config.mix.recourse
+                    == 0
+                {
+                    fail("--mix weights must not all be zero");
+                }
+            }
+            "--json" => json_path = Some(value("--json")),
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    eprintln!(
+        "loadgen: {} for {:.1}s, {} connections, batch {}, mix {}:{}:{}:{}",
+        config.engine,
+        config.duration.as_secs_f64(),
+        config.concurrency,
+        config.batch,
+        config.mix.global,
+        config.mix.contextual,
+        config.mix.local,
+        config.mix.recourse,
+    );
+    let report = match run(&config) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("load generation failed: {e}")),
+    };
+    println!("{}", report.render());
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json(&config).to_json()) {
+            fail(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("report written to {path}");
+    }
+    if report.ok == 0 {
+        // an all-error run is a failed run, whatever the throughput
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,112 @@
+//! A minimal blocking HTTP/1.1 client over one keep-alive connection.
+//!
+//! Shared by the integration tests and the `loadgen` binary — both need
+//! exactly this: send a request, read the `Content-Length`-framed JSON
+//! answer, reuse the socket. It is intentionally not a general client
+//! (no redirects, no TLS, no chunked bodies — the server never sends
+//! any of those).
+
+use crate::wire::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One keep-alive connection to a server.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` with generous (10s) IO timeouts.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// `GET path` → `(status, parsed JSON body)`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, Json)> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST path` with a body → `(status, parsed JSON body)`.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, Json)> {
+        self.request("POST", path, body.as_bytes())
+    }
+
+    /// Send one request and read the framed response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Json)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: lewis-serve\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut buf = head.into_bytes();
+        buf.extend_from_slice(body);
+        self.writer.write_all(&buf)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, Json)> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let text = String::from_utf8(body)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 body"))?;
+        let json = if text.is_empty() {
+            Json::Null
+        } else {
+            Json::parse(&text).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unparseable body: {e} in {text:?}"),
+                )
+            })?
+        };
+        Ok((status, json))
+    }
+}

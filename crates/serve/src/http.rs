@@ -1,0 +1,346 @@
+//! A deliberately small HTTP/1.1 layer: request parsing with hard
+//! limits, response writing, keep-alive bookkeeping.
+//!
+//! This is not a general web server — it implements exactly what the
+//! explanation service needs, defensively: bounded request line /
+//! header / body sizes (an unauthenticated endpoint must not buffer
+//! unbounded input), `Content-Length` bodies only (no chunked
+//! encoding), and explicit outcomes for "client went away" vs
+//! "client sent garbage" vs "client sent too much".
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most accepted header lines.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The request target (path only; no scheme/authority support).
+    pub path: String,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open after this
+    /// request (HTTP/1.1 defaults to yes).
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => !v.eq_ignore_ascii_case("close"),
+            None => true,
+        }
+    }
+}
+
+/// What reading from a connection produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(HttpRequest),
+    /// The peer closed cleanly between requests.
+    Closed,
+    /// The peer violated the protocol or a line limit; respond 400 and
+    /// close.
+    Malformed(String),
+    /// The announced body exceeds the limit; respond 413 and close.
+    TooLarge {
+        /// The `Content-Length` the client announced.
+        announced: usize,
+    },
+}
+
+/// Read one request. `Err` is reserved for transport errors (reset,
+/// timeout); protocol problems come back as
+/// [`ReadOutcome::Malformed`] / [`ReadOutcome::TooLarge`] so the
+/// caller can still answer over the intact connection.
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> std::io::Result<ReadOutcome> {
+    let request_line = match read_line(reader)? {
+        Line::Eof => return Ok(ReadOutcome::Closed),
+        Line::TooLong => return Ok(ReadOutcome::Malformed("request line too long".into())),
+        Line::Text(l) => l,
+    };
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(ReadOutcome::Malformed(format!(
+            "malformed request line {request_line:?}"
+        )));
+    };
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Ok(ReadOutcome::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    if method.is_empty() || path.is_empty() || !path.starts_with('/') {
+        return Ok(ReadOutcome::Malformed(format!(
+            "malformed request line {request_line:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader)? {
+            Line::Eof => return Ok(ReadOutcome::Malformed("eof inside headers".into())),
+            Line::TooLong => return Ok(ReadOutcome::Malformed("header line too long".into())),
+            Line::Text(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Ok(ReadOutcome::Malformed("too many headers".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(ReadOutcome::Malformed(format!("malformed header {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request.header("transfer-encoding").is_some() {
+        return Ok(ReadOutcome::Malformed(
+            "chunked bodies are not supported".into(),
+        ));
+    }
+    if let Some(len) = request.header("content-length") {
+        let Ok(len) = len.parse::<usize>() else {
+            return Ok(ReadOutcome::Malformed(format!(
+                "bad content-length {len:?}"
+            )));
+        };
+        if len > max_body {
+            return Ok(ReadOutcome::TooLarge { announced: len });
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+        request.body = body;
+    }
+    Ok(ReadOutcome::Request(request))
+}
+
+enum Line {
+    Text(String),
+    Eof,
+    TooLong,
+}
+
+/// Read one CRLF- (or LF-) terminated line with a length cap. EOF at a
+/// line start is `Line::Eof` (a clean close between keep-alive
+/// requests, or garbage when it happens inside the header block — the
+/// caller knows which); EOF mid-line is a transport error.
+fn read_line(reader: &mut impl BufRead) -> std::io::Result<Line> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(Line::Eof)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "eof mid-line",
+                    ))
+                };
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let text = String::from_utf8(buf).map_err(|_| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 line")
+                    })?;
+                    return Ok(Line::Text(text));
+                }
+                if buf.len() >= MAX_LINE {
+                    return Ok(Line::TooLong);
+                }
+                buf.push(byte[0]);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One response, ready to serialize.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Whether to close the connection after writing.
+    pub close: bool,
+}
+
+impl HttpResponse {
+    /// A JSON response.
+    pub fn json(status: u16, body: &crate::wire::Json) -> Self {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: body.to_json().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// Mark the connection for closing after this response.
+    #[must_use]
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+}
+
+/// The reason phrase for the statuses this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize a response (one write syscall via a pre-built buffer).
+pub fn write_response(writer: &mut impl Write, response: &HttpResponse) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+        response.status,
+        status_reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    if response.close {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    let mut buf = head.into_bytes();
+    buf.extend_from_slice(&response.body);
+    writer.write_all(&buf)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read(input: &str) -> ReadOutcome {
+        read_request(&mut BufReader::new(input.as_bytes()), 1024).unwrap()
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let outcome = read(
+            "POST /v1/engines/g/explain HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        let ReadOutcome::Request(r) = outcome else {
+            panic!("{outcome:?}")
+        };
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/engines/g/explain");
+        assert_eq!(r.body, b"hello");
+        assert_eq!(
+            r.header("HOST"),
+            Some("x"),
+            "header names are case-insensitive"
+        );
+        assert!(r.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let ReadOutcome::Request(r) = read("GET / HTTP/1.1\r\nConnection: close\r\n\r\n") else {
+            panic!()
+        };
+        assert!(!r.keep_alive());
+    }
+
+    #[test]
+    fn eof_between_requests_is_a_clean_close() {
+        assert!(matches!(read(""), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_fatal() {
+        for bad in [
+            "nonsense\r\n\r\n",
+            "GET / HTTP/2.0\r\n\r\n",
+            "GET noslash HTTP/1.1\r\n\r\n",
+            "GET / HTTP/1.1\r\nbadheader\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: owl\r\n\r\n",
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            assert!(matches!(read(bad), ReadOutcome::Malformed(_)), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_are_reported_not_read() {
+        let outcome = read("POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\n");
+        assert!(
+            matches!(outcome, ReadOutcome::TooLarge { announced: 4096 }),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn line_length_limit_holds() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(10_000));
+        assert!(matches!(read(&long), ReadOutcome::Malformed(_)));
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_reason() {
+        let mut out = Vec::new();
+        let resp = HttpResponse::text(404, "nope").closing();
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"), "{text}");
+        assert!(text.contains("content-length: 4\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nnope"));
+    }
+}

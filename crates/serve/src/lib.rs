@@ -1,0 +1,111 @@
+//! # lewis-serve — the LEWIS explanation service
+//!
+//! The paper frames LEWIS as a *system*: one trained estimator
+//! answering global, contextual and local counterfactual queries and
+//! generating recourse on demand (§3.2, §4.2). This crate is that
+//! system's network face — an HTTP/1.1 JSON service over shared
+//! [`lewis_core::Engine`]s, built **entirely on `std`** (the build
+//! environment has no crates.io access, so there is no serde, no
+//! hyper, no tokio; the whole stack is hand-rolled and test-covered).
+//!
+//! The layers, bottom-up:
+//!
+//! * [`wire`] — a small JSON value type with parser/serializer, plus
+//!   explicit [`lewis_core::ExplainRequest`] /
+//!   [`lewis_core::ExplainResponse`] / [`lewis_core::LewisError`] ⇄
+//!   JSON mappings (round-trip property-tested; finite `f64`s survive
+//!   bit for bit);
+//! * [`registry`] — named engines: built-in SCM datasets and user CSVs
+//!   loaded through [`tabular::read_csv_file`], so one process serves
+//!   many models/scenarios;
+//! * [`http`] — bounded HTTP/1.1 request parsing and response writing;
+//! * [`metrics`] — lock-free request/error counters, per-route latency
+//!   histograms (p50/p95/p99) and engine cache stats for
+//!   `GET /metrics`;
+//! * [`server`] — the `TcpListener` + bounded worker pool with
+//!   keep-alive, request-size limits and graceful shutdown;
+//! * [`client`] — the minimal blocking client the tests and the
+//!   `loadgen` binary drive the server with.
+//!
+//! Two binaries ship with the crate: `lewis-serve` (the server) and
+//! `loadgen` (a mixed-workload load generator printing throughput and
+//! tail latencies — the repo's end-to-end serving benchmark, see
+//! `BENCH_serve.json`).
+//!
+//! ## The wire codec in one example
+//!
+//! ```
+//! use lewis_serve::wire::{self, Json};
+//! use lewis_core::ExplainRequest;
+//! use tabular::{AttrId, Context};
+//!
+//! // a contextual query: how does attribute #3 behave for sex = 1?
+//! let request = ExplainRequest::Contextual {
+//!     attr: AttrId(3),
+//!     k: Context::of([(AttrId(1), 1)]),
+//! };
+//! let body = wire::request_to_json(&request).to_json();
+//! assert_eq!(body, r#"{"kind":"contextual","attr":3,"context":[[1,1]]}"#);
+//!
+//! // and back — the decoded request is the one we started with
+//! let decoded = wire::request_from_json(&Json::parse(&body).unwrap()).unwrap();
+//! assert_eq!(format!("{decoded:?}"), format!("{request:?}"));
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use metrics::{Metrics, Route};
+pub use registry::{EngineEntry, EngineRegistry, BUILTINS};
+pub use server::{serve, Server, ServerConfig};
+pub use wire::Json;
+
+/// Errors raised while configuring or running the service.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Invalid configuration (bad engine name, unknown dataset, …).
+    Config(String),
+    /// An explanation-engine error during setup.
+    Lewis(lewis_core::LewisError),
+    /// A data-layer error (CSV loading, schema lookups).
+    Tabular(tabular::TabularError),
+    /// A socket-level error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "configuration error: {msg}"),
+            ServeError::Lewis(e) => write!(f, "engine error: {e}"),
+            ServeError::Tabular(e) => write!(f, "data error: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<lewis_core::LewisError> for ServeError {
+    fn from(e: lewis_core::LewisError) -> Self {
+        ServeError::Lewis(e)
+    }
+}
+
+impl From<tabular::TabularError> for ServeError {
+    fn from(e: tabular::TabularError) -> Self {
+        ServeError::Tabular(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

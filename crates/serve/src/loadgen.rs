@@ -1,0 +1,508 @@
+//! Mixed-workload load generation against a running server.
+//!
+//! The repo's first *end-to-end* serving benchmark: N client threads,
+//! each on its own keep-alive connection, fire a configurable mix of
+//! global / contextual / local / recourse queries for a fixed duration
+//! and report throughput plus tail latencies. The workload is
+//! synthesized from the server's own `GET /v1/engines` schema
+//! publication, so the generator needs no out-of-band knowledge of the
+//! dataset.
+//!
+//! Determinism: each worker derives its RNG from `seed ^ worker_index`
+//! (a splitmix/xorshift chain), so a given configuration replays the
+//! same query stream — latency varies run to run, the *workload* does
+//! not.
+
+use crate::client::Client;
+use crate::wire::Json;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Relative weights of the four query kinds.
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    /// Weight of `global` queries.
+    pub global: u32,
+    /// Weight of `contextual` queries.
+    pub contextual: u32,
+    /// Weight of `local` queries.
+    pub local: u32,
+    /// Weight of `recourse` queries.
+    pub recourse: u32,
+}
+
+impl Default for Mix {
+    /// A dashboard-like blend: mostly sub-population probes, a steady
+    /// stream of per-individual explanations, occasional recourse.
+    fn default() -> Self {
+        Mix {
+            global: 10,
+            contextual: 60,
+            local: 28,
+            recourse: 2,
+        }
+    }
+}
+
+impl Mix {
+    fn total(&self) -> u32 {
+        self.global + self.contextual + self.local + self.recourse
+    }
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Which registered engine to hammer.
+    pub engine: String,
+    /// How long to run.
+    pub duration: Duration,
+    /// Concurrent connections.
+    pub concurrency: usize,
+    /// Query mix.
+    pub mix: Mix,
+    /// Queries per HTTP body (1 = single-request bodies; >1 uses the
+    /// `{"batch": [...]}` form and exercises `Engine::run_batch`'s
+    /// cross-query sharing over the wire).
+    pub batch: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".parse().expect("valid literal"),
+            engine: "german_syn".to_string(),
+            duration: Duration::from_secs(10),
+            concurrency: 2,
+            mix: Mix::default(),
+            batch: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Queries answered with 2xx (batch bodies count each inner query).
+    pub ok: u64,
+    /// Queries answered with an error status or an embedded error.
+    pub errors: u64,
+    /// HTTP round-trips performed.
+    pub round_trips: u64,
+    /// Wall-clock time actually spent.
+    pub wall: Duration,
+    /// Queries (ok + errors) per second of wall time.
+    pub qps: f64,
+    /// Per-round-trip latency percentiles, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency.
+    pub p95_us: u64,
+    /// 99th percentile latency.
+    pub p99_us: u64,
+    /// Worst observed latency.
+    pub max_us: u64,
+    /// `(global, contextual, local, recourse)` queries sent.
+    pub sent_by_kind: [u64; 4],
+}
+
+impl LoadReport {
+    /// Human-oriented multi-line summary.
+    pub fn render(&self) -> String {
+        format!(
+            "{} queries in {:.2}s over {} round-trips → {:.0} q/s \
+             ({} ok, {} errors)\nlatency per round-trip: p50 {}µs, p95 {}µs, \
+             p99 {}µs, max {}µs\nmix sent: {} global / {} contextual / {} local / {} recourse",
+            self.ok + self.errors,
+            self.wall.as_secs_f64(),
+            self.round_trips,
+            self.qps,
+            self.ok,
+            self.errors,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+            self.sent_by_kind[0],
+            self.sent_by_kind[1],
+            self.sent_by_kind[2],
+            self.sent_by_kind[3],
+        )
+    }
+
+    /// Machine-readable report (the `BENCH_serve.json` payload).
+    pub fn to_json(&self, config: &LoadgenConfig) -> Json {
+        Json::obj([
+            (
+                "config",
+                Json::obj([
+                    ("engine", Json::str(&config.engine)),
+                    ("duration_s", Json::Num(config.duration.as_secs_f64())),
+                    ("concurrency", Json::num(config.concurrency as u32)),
+                    ("batch", Json::num(config.batch as u32)),
+                    (
+                        "mix",
+                        Json::obj([
+                            ("global", Json::num(config.mix.global)),
+                            ("contextual", Json::num(config.mix.contextual)),
+                            ("local", Json::num(config.mix.local)),
+                            ("recourse", Json::num(config.mix.recourse)),
+                        ]),
+                    ),
+                    // u64→f64 is exact for every seed below 2^53; going
+                    // through u32 would truncate large seeds and break
+                    // replay-from-report
+                    ("seed", Json::Num(config.seed as f64)),
+                ]),
+            ),
+            (
+                "results",
+                Json::obj([
+                    ("qps", Json::Num(self.qps)),
+                    ("ok", Json::num(self.ok as f64)),
+                    ("errors", Json::num(self.errors as f64)),
+                    ("round_trips", Json::num(self.round_trips as f64)),
+                    ("wall_s", Json::Num(self.wall.as_secs_f64())),
+                    ("p50_us", Json::num(self.p50_us as f64)),
+                    ("p95_us", Json::num(self.p95_us as f64)),
+                    ("p99_us", Json::num(self.p99_us as f64)),
+                    ("max_us", Json::num(self.max_us as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// The engine facts the generator needs, scraped from
+/// `GET /v1/engines`.
+struct EngineShape {
+    /// Cardinality per attribute (index = attribute id).
+    cardinalities: Vec<u32>,
+    /// Feature attribute ids.
+    features: Vec<u32>,
+}
+
+fn discover(addr: SocketAddr, engine: &str) -> std::io::Result<EngineShape> {
+    let mut client = Client::connect(addr)?;
+    let (status, body) = client.get("/v1/engines")?;
+    let err = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    if status != 200 {
+        return Err(err(format!("GET /v1/engines returned {status}")));
+    }
+    let engines = body
+        .get("engines")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("malformed engine list".into()))?;
+    let entry = engines
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some(engine))
+        .ok_or_else(|| err(format!("engine {engine:?} is not registered")))?;
+    let attributes = entry
+        .get("attributes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("engine entry lacks attributes".into()))?;
+    let mut cardinalities = vec![0u32; attributes.len()];
+    for a in attributes {
+        let (Some(id), Some(card)) = (
+            a.get("attr").and_then(Json::as_f64),
+            a.get("cardinality").and_then(Json::as_f64),
+        ) else {
+            return Err(err("malformed attribute entry".into()));
+        };
+        let id = id as usize;
+        if id >= cardinalities.len() {
+            return Err(err(format!("attribute id {id} out of range")));
+        }
+        cardinalities[id] = card as u32;
+    }
+    let features = entry
+        .get("features")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("engine entry lacks features".into()))?
+        .iter()
+        .filter_map(Json::as_f64)
+        .map(|f| f as u32)
+        .collect::<Vec<_>>();
+    if features.is_empty() {
+        return Err(err("engine has no features".into()));
+    }
+    Ok(EngineShape {
+        cardinalities,
+        features,
+    })
+}
+
+/// xorshift64* — tiny, seedable, good enough to spread queries.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u32) -> u32 {
+        (self.next() % u64::from(n.max(1))) as u32
+    }
+}
+
+/// Build one query of the mixed workload. Returns the JSON plus the
+/// kind index (0 global, 1 contextual, 2 local, 3 recourse).
+fn synth_query(shape: &EngineShape, mix: &Mix, rng: &mut Rng) -> (Json, usize) {
+    let pick = rng.below(mix.total().max(1));
+    let kind = if pick < mix.global {
+        0
+    } else if pick < mix.global + mix.contextual {
+        1
+    } else if pick < mix.global + mix.contextual + mix.local {
+        2
+    } else {
+        3
+    };
+    let random_feature =
+        |rng: &mut Rng| shape.features[rng.below(shape.features.len() as u32) as usize];
+    let random_row = |rng: &mut Rng| {
+        Json::Arr(
+            shape
+                .cardinalities
+                .iter()
+                .map(|&card| Json::num(rng.below(card)))
+                .collect(),
+        )
+    };
+    let json = match kind {
+        0 => Json::obj([("kind", Json::str("global"))]),
+        1 => {
+            // probe one feature inside a one-attribute sub-population
+            let probed = random_feature(rng);
+            let mut ctx_attr = random_feature(rng);
+            while ctx_attr == probed && shape.features.len() > 1 {
+                ctx_attr = random_feature(rng);
+            }
+            let v = rng.below(shape.cardinalities[ctx_attr as usize]);
+            Json::obj([
+                ("kind", Json::str("contextual")),
+                ("attr", Json::num(probed)),
+                (
+                    "context",
+                    Json::Arr(vec![Json::Arr(vec![Json::num(ctx_attr), Json::num(v)])]),
+                ),
+            ])
+        }
+        2 => Json::obj([("kind", Json::str("local")), ("row", random_row(rng))]),
+        _ => {
+            let actionable = random_feature(rng);
+            Json::obj([
+                ("kind", Json::str("recourse")),
+                ("row", random_row(rng)),
+                ("actionable", Json::Arr(vec![Json::num(actionable)])),
+            ])
+        }
+    };
+    (json, kind)
+}
+
+/// Count a response against (ok, errors). Batch bodies are unpacked.
+fn tally(status: u16, body: &Json, queries: u64, ok: &mut u64, errors: &mut u64) {
+    if status != 200 {
+        *errors += queries;
+        return;
+    }
+    match body.get("results").and_then(Json::as_arr) {
+        Some(results) => {
+            for r in results {
+                if r.get("error").is_some() {
+                    *errors += 1;
+                } else {
+                    *ok += 1;
+                }
+            }
+        }
+        None => *ok += queries,
+    }
+}
+
+/// Run the workload and gather the report.
+pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
+    let shape = discover(config.addr, &config.engine)?;
+    let shape = std::sync::Arc::new(shape);
+    let started = Instant::now();
+    let deadline = started + config.duration;
+    let workers = config.concurrency.max(1);
+    let mut handles = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let shape = std::sync::Arc::clone(&shape);
+        let config = config.clone();
+        handles.push(std::thread::spawn(
+            move || -> std::io::Result<WorkerStats> {
+                let mut rng = Rng::new(config.seed ^ (w as u64).wrapping_mul(0x9E37_79B9));
+                let mut client = Client::connect(config.addr)?;
+                let mut stats = WorkerStats::default();
+                let path = format!("/v1/engines/{}/explain", config.engine);
+                while Instant::now() < deadline {
+                    let n = config.batch.max(1);
+                    let mut queries = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let (q, kind) = synth_query(&shape, &config.mix, &mut rng);
+                        stats.sent_by_kind[kind] += 1;
+                        queries.push(q);
+                    }
+                    let body = if n == 1 {
+                        queries.pop().expect("one query").to_json()
+                    } else {
+                        Json::obj([("batch", Json::Arr(queries))]).to_json()
+                    };
+                    let sent = Instant::now();
+                    let (status, answer) = client.post(&path, &body)?;
+                    let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    stats.latencies_us.push(us);
+                    tally(status, &answer, n as u64, &mut stats.ok, &mut stats.errors);
+                }
+                Ok(stats)
+            },
+        ));
+    }
+
+    let mut merged = WorkerStats::default();
+    for h in handles {
+        let stats = h
+            .join()
+            .map_err(|_| std::io::Error::other("loadgen worker panicked"))??;
+        merged.ok += stats.ok;
+        merged.errors += stats.errors;
+        merged.latencies_us.extend(stats.latencies_us);
+        for (into, from) in merged.sent_by_kind.iter_mut().zip(stats.sent_by_kind) {
+            *into += from;
+        }
+    }
+    let wall = started.elapsed();
+
+    merged.latencies_us.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        if merged.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((q * merged.latencies_us.len() as f64).ceil() as usize)
+            .clamp(1, merged.latencies_us.len());
+        merged.latencies_us[rank - 1]
+    };
+    let total = merged.ok + merged.errors;
+    Ok(LoadReport {
+        ok: merged.ok,
+        errors: merged.errors,
+        round_trips: merged.latencies_us.len() as u64,
+        wall,
+        qps: total as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: quantile(0.50),
+        p95_us: quantile(0.95),
+        p99_us: quantile(0.99),
+        max_us: merged.latencies_us.last().copied().unwrap_or(0),
+        sent_by_kind: merged.sent_by_kind,
+    })
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    ok: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+    sent_by_kind: [u64; 4],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> EngineShape {
+        EngineShape {
+            cardinalities: vec![3, 2, 4, 4, 3, 10, 2],
+            features: vec![0, 1, 2, 3, 4],
+        }
+    }
+
+    #[test]
+    fn synthesized_queries_decode_and_respect_the_mix() {
+        let shape = shape();
+        let mix = Mix {
+            global: 1,
+            contextual: 1,
+            local: 1,
+            recourse: 1,
+        };
+        let mut rng = Rng::new(7);
+        let mut seen = [0u64; 4];
+        for _ in 0..200 {
+            let (q, kind) = synth_query(&shape, &mix, &mut rng);
+            seen[kind] += 1;
+            // every synthesized body must decode as a valid request
+            let parsed = crate::wire::Json::parse(&q.to_json()).unwrap();
+            crate::wire::request_from_json(&parsed).unwrap();
+        }
+        assert!(
+            seen.iter().all(|&c| c > 20),
+            "uniform mix visits every kind: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn zero_weight_kinds_are_never_sent() {
+        let shape = shape();
+        let mix = Mix {
+            global: 0,
+            contextual: 1,
+            local: 0,
+            recourse: 0,
+        };
+        let mut rng = Rng::new(11);
+        for _ in 0..100 {
+            let (_, kind) = synth_query(&shape, &mix, &mut rng);
+            assert_eq!(kind, 1);
+        }
+    }
+
+    #[test]
+    fn tally_unpacks_batches_and_statuses() {
+        let (mut ok, mut errors) = (0u64, 0u64);
+        tally(
+            200,
+            &Json::obj([("kind", Json::str("global"))]),
+            1,
+            &mut ok,
+            &mut errors,
+        );
+        assert_eq!((ok, errors), (1, 0));
+        let batch =
+            Json::parse(r#"{"results":[{"kind":"global"},{"error":{"code":"x","message":""}}]}"#)
+                .unwrap();
+        tally(200, &batch, 2, &mut ok, &mut errors);
+        assert_eq!((ok, errors), (2, 1));
+        tally(422, &Json::Null, 3, &mut ok, &mut errors);
+        assert_eq!((ok, errors), (2, 4));
+    }
+
+    #[test]
+    fn seeded_rng_replays_the_same_stream() {
+        let shape = shape();
+        let mix = Mix::default();
+        let stream = |seed: u64| {
+            let mut rng = Rng::new(seed);
+            (0..50)
+                .map(|_| synth_query(&shape, &mix, &mut rng).0.to_json())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(stream(3), stream(3));
+        assert_ne!(stream(3), stream(4));
+    }
+}

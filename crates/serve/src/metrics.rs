@@ -1,0 +1,309 @@
+//! Serving observability: request/error counters and latency
+//! histograms, exported as JSON on `GET /metrics`.
+//!
+//! Everything is lock-free (`AtomicU64` relaxed counters): metrics are
+//! recorded on the request path of every worker thread, so they must
+//! never serialize the workers. Latency is kept as a power-of-two
+//! histogram over microseconds — 38 buckets cover 1µs to ~2 minutes,
+//! and quantiles are read off the bucket boundaries (an upper bound,
+//! never an underestimate). The cache effectiveness numbers come
+//! straight from each engine's [`CacheStats`](lewis_core::CacheStats),
+//! including the `hit_rate()` helper this PR adds.
+
+use crate::registry::EngineRegistry;
+use crate::wire::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Histogram bucket count: bucket `i` holds samples with
+/// `latency_us < 2^i` (and at least `2^(i-1)`), the last bucket is a
+/// catch-all.
+const N_BUCKETS: usize = 38;
+
+/// The routes the server distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /v1/engines/{name}/explain`
+    Explain,
+    /// `GET /v1/engines`
+    Engines,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /admin/shutdown`
+    Admin,
+    /// Anything else (404s, bad verbs).
+    Other,
+}
+
+impl Route {
+    /// Every route, in display order.
+    pub const ALL: [Route; 6] = [
+        Route::Explain,
+        Route::Engines,
+        Route::Healthz,
+        Route::Metrics,
+        Route::Admin,
+        Route::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Route::Explain => 0,
+            Route::Engines => 1,
+            Route::Healthz => 2,
+            Route::Metrics => 3,
+            Route::Admin => 4,
+            Route::Other => 5,
+        }
+    }
+
+    /// Stable metric key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::Explain => "explain",
+            Route::Engines => "engines",
+            Route::Healthz => "healthz",
+            Route::Metrics => "metrics",
+            Route::Admin => "admin",
+            Route::Other => "other",
+        }
+    }
+}
+
+/// A power-of-two latency histogram over microseconds.
+struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    max_us: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        // bucket i covers [2^(i-1), 2^i); 0µs lands in bucket 0
+        let bits = 64 - us.leading_zeros() as usize;
+        bits.min(N_BUCKETS - 1)
+    }
+
+    fn record(&self, us: u64) {
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Upper-bound estimate of quantile `q` in microseconds (0 when
+    /// empty). Reads are racy against concurrent writes, which is fine
+    /// for monitoring.
+    fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // bucket i upper bound is 2^i - 1; never report beyond
+                // the true max
+                let bound = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+                return bound.min(self.max_us.load(Ordering::Relaxed));
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Counters plus a latency histogram for one route.
+struct EndpointMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: Histogram,
+}
+
+impl EndpointMetrics {
+    fn new() -> Self {
+        EndpointMetrics {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: Histogram::new(),
+        }
+    }
+}
+
+/// All serving metrics; shared across worker threads behind an `Arc`.
+pub struct Metrics {
+    endpoints: [EndpointMetrics; 6],
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics; the uptime clock starts now.
+    pub fn new() -> Self {
+        Metrics {
+            endpoints: std::array::from_fn(|_| EndpointMetrics::new()),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record one served request.
+    pub fn record(&self, route: Route, latency: Duration, is_error: bool) {
+        let e = &self.endpoints[route.index()];
+        e.requests.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            e.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        e.latency
+            .record(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Total requests across routes.
+    pub fn total_requests(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|e| e.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total error responses across routes.
+    pub fn total_errors(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|e| e.errors.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The `GET /metrics` body: per-route counters and latency
+    /// quantiles, plus each engine's counting-pass cache counters.
+    pub fn to_json(&self, registry: &EngineRegistry) -> Json {
+        let mut routes = Vec::new();
+        for route in Route::ALL {
+            let e = &self.endpoints[route.index()];
+            let requests = e.requests.load(Ordering::Relaxed);
+            if requests == 0 && route != Route::Explain {
+                continue; // keep the body small; explain is always shown
+            }
+            routes.push((
+                route.name().to_string(),
+                Json::obj([
+                    ("requests", Json::num(requests as f64)),
+                    ("errors", Json::num(e.errors.load(Ordering::Relaxed) as f64)),
+                    (
+                        "latency_us",
+                        Json::obj([
+                            ("count", Json::num(e.latency.count() as f64)),
+                            ("p50", Json::num(e.latency.quantile_us(0.50) as f64)),
+                            ("p95", Json::num(e.latency.quantile_us(0.95) as f64)),
+                            ("p99", Json::num(e.latency.quantile_us(0.99) as f64)),
+                            (
+                                "max",
+                                Json::num(e.latency.max_us.load(Ordering::Relaxed) as f64),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ));
+        }
+        let engines: Vec<(String, Json)> = registry
+            .iter()
+            .map(|(name, entry)| {
+                let stats = entry.engine.cache_stats();
+                (
+                    name.to_string(),
+                    Json::obj([(
+                        "counting_cache",
+                        Json::obj([
+                            ("hits", Json::num(stats.hits as f64)),
+                            ("misses", Json::num(stats.misses as f64)),
+                            ("hit_rate", Json::Num(stats.hit_rate())),
+                            ("entries", Json::num(stats.entries as f64)),
+                            ("capacity", Json::num(stats.capacity as f64)),
+                        ]),
+                    )]),
+                )
+            })
+            .collect();
+        Json::obj([
+            ("uptime_s", Json::Num(self.started.elapsed().as_secs_f64())),
+            ("routes", Json::Obj(routes)),
+            ("engines", Json::Obj(engines)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_microsecond_axis() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_data() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
+        // 90 fast requests (~100µs), 10 slow (~50ms)
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(50_000);
+        }
+        let p50 = h.quantile_us(0.50);
+        let p95 = h.quantile_us(0.95);
+        let p99 = h.quantile_us(0.99);
+        assert!((100..1024).contains(&p50), "p50 ~100µs, got {p50}");
+        assert!(p95 >= 32_768, "p95 in the slow mode, got {p95}");
+        assert!(p99 >= p95 && p95 >= p50, "quantiles are monotone");
+        assert_eq!(p99, 50_000, "upper bound is clamped to the true max");
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn record_feeds_counters_and_json() {
+        let m = Metrics::new();
+        m.record(Route::Explain, Duration::from_micros(250), false);
+        m.record(Route::Explain, Duration::from_micros(800), true);
+        m.record(Route::Healthz, Duration::from_micros(10), false);
+        assert_eq!(m.total_requests(), 3);
+        assert_eq!(m.total_errors(), 1);
+        let j = m.to_json(&EngineRegistry::new());
+        let routes = j.get("routes").unwrap();
+        let explain = routes.get("explain").unwrap();
+        assert_eq!(explain.get("requests").unwrap().as_f64(), Some(2.0));
+        assert_eq!(explain.get("errors").unwrap().as_f64(), Some(1.0));
+        let lat = explain.get("latency_us").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_f64(), Some(2.0));
+        assert!(lat.get("p99").unwrap().as_f64().unwrap() >= 250.0);
+        // untouched routes are elided
+        assert!(routes.get("admin").is_none());
+    }
+}

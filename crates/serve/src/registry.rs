@@ -1,0 +1,297 @@
+//! The engine registry: one process, many named [`Engine`]s.
+//!
+//! A serving deployment rarely explains a single model over a single
+//! table — the paper's own evaluation walks four datasets plus a
+//! synthetic variant, and every production system multiplexes scenarios
+//! (per-model, per-cohort, per-experiment). The registry maps stable
+//! names to shared [`Arc<Engine>`]s so one server can answer
+//! `POST /v1/engines/{name}/explain` for all of them.
+//!
+//! Engines come from two sources:
+//!
+//! * **built-in datasets** ([`EngineRegistry::load_builtin`]) — the
+//!   `datasets` crate's SCM generators, labelled with the *oracle*
+//!   decision rule `outcome ≥ pivot`. That makes startup O(rows) with
+//!   no model training, and the served explanations are exactly the
+//!   ones the paper's ground-truth analysis reasons about;
+//! * **user CSVs** ([`EngineRegistry::load_csv`]) — any table with a
+//!   binary prediction column, loaded via [`tabular::read_csv_file`].
+//!   This is the hook for explaining a real model: score your data
+//!   offline, write the predictions as a column, point the server at
+//!   the file.
+
+use crate::ServeError;
+use lewis_core::blackbox::label_table;
+use lewis_core::Engine;
+use std::sync::Arc;
+use tabular::AttrId;
+
+/// Serving-oriented default for the engine's counting-pass cache: a
+/// server sees many more distinct `(attribute, context)` keys than a
+/// single experiment, so keep more passes resident.
+const SERVE_CACHE_CAPACITY: usize = 1024;
+
+/// Name of the prediction column appended to built-in datasets.
+const PRED_COLUMN: &str = "pred";
+
+/// One registered engine plus its provenance.
+pub struct EngineEntry {
+    /// The shared engine.
+    pub engine: Arc<Engine>,
+    /// Where it came from (`"builtin:german_syn"`, `"csv:data.csv"`).
+    pub source: String,
+    /// The prediction column's display name.
+    pub pred_name: String,
+    /// The favourable outcome code.
+    pub positive: tabular::Value,
+}
+
+/// A name → engine map with deterministic iteration order (insertion
+/// order, which for CLI-built registries is argument order).
+#[derive(Default)]
+pub struct EngineRegistry {
+    entries: Vec<(String, EngineEntry)>,
+}
+
+/// The built-in dataset names [`EngineRegistry::load_builtin`] accepts,
+/// with the pivot applied to their outcome column (favourable =
+/// `outcome ≥ pivot`).
+pub const BUILTINS: &[(&str, u32)] = &[
+    ("german_syn", 5), // credit score ≥ 0.5 of 10 bins
+    ("german", 1),     // good credit risk
+    ("adult", 1),      // income > 50K
+    ("compas", 1),     // high COMPAS score
+    ("drug", 1),       // used in the last decade or earlier
+];
+
+impl EngineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `engine` under `name`. Names are unique.
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        entry: EngineEntry,
+    ) -> Result<(), ServeError> {
+        let name = name.into();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(ServeError::Config(format!(
+                "engine name {name:?} must be non-empty [A-Za-z0-9_-]"
+            )));
+        }
+        if self.get(&name).is_some() {
+            return Err(ServeError::Config(format!(
+                "engine {name:?} is already registered"
+            )));
+        }
+        self.entries.push((name, entry));
+        Ok(())
+    }
+
+    /// Generate a built-in dataset, label it with its oracle decision
+    /// rule and register the resulting engine under the dataset's name.
+    pub fn load_builtin(&mut self, name: &str, rows: usize, seed: u64) -> Result<(), ServeError> {
+        let Some(&(_, pivot)) = BUILTINS.iter().find(|(n, _)| *n == name) else {
+            let known: Vec<&str> = BUILTINS.iter().map(|&(n, _)| n).collect();
+            return Err(ServeError::Config(format!(
+                "unknown built-in dataset {name:?} (available: {})",
+                known.join(", ")
+            )));
+        };
+        let dataset = match name {
+            "german_syn" => datasets::GermanSynDataset::standard().generate(rows, seed),
+            "german" => datasets::GermanDataset::generate(rows, seed),
+            "adult" => datasets::AdultDataset::generate(rows, seed),
+            "compas" => datasets::CompasDataset::generate(rows, seed),
+            "drug" => datasets::DrugDataset::generate(rows, seed),
+            _ => unreachable!("matched against BUILTINS"),
+        };
+        let datasets::Dataset {
+            table: mut t,
+            scm,
+            outcome,
+            features,
+            ..
+        } = dataset;
+        let oracle = move |row: &[tabular::Value]| u32::from(row[outcome.index()] >= pivot);
+        let pred = label_table(&mut t, &oracle, PRED_COLUMN)?;
+        let engine = Engine::builder(t)
+            .graph(scm.graph())
+            .prediction(pred, 1)
+            .features(&features)
+            .cache_capacity(SERVE_CACHE_CAPACITY)
+            .build()?;
+        self.insert(
+            name,
+            EngineEntry {
+                engine: Arc::new(engine),
+                source: format!("builtin:{name} ({rows} rows, seed {seed})"),
+                pred_name: PRED_COLUMN.to_string(),
+                positive: 1,
+            },
+        )
+    }
+
+    /// Load a CSV file (see [`tabular::read_csv_file`]'s inference
+    /// rules), take `pred_col` as the binary prediction column with
+    /// `positive_label` as the favourable value, and register the
+    /// engine under `name`. All other columns become features; no
+    /// causal graph is assumed (the paper's §6 fallback).
+    pub fn load_csv(
+        &mut self,
+        name: &str,
+        path: &str,
+        pred_col: &str,
+        positive_label: &str,
+    ) -> Result<(), ServeError> {
+        let table = tabular::read_csv_file(path)?;
+        let pred = table.schema().require(pred_col)?;
+        let positive = table
+            .schema()
+            .domain(pred)?
+            .code_of(positive_label)
+            .ok_or_else(|| {
+                ServeError::Config(format!(
+                    "column {pred_col:?} of {path:?} has no value {positive_label:?}"
+                ))
+            })?;
+        let features: Vec<AttrId> = table.schema().attr_ids().filter(|&a| a != pred).collect();
+        let engine = Engine::builder(table)
+            .prediction(pred, positive)
+            .features(&features)
+            .cache_capacity(SERVE_CACHE_CAPACITY)
+            .build()?;
+        self.insert(
+            name,
+            EngineEntry {
+                engine: Arc::new(engine),
+                source: format!("csv:{path}"),
+                pred_name: pred_col.to_string(),
+                positive,
+            },
+        )
+    }
+
+    /// Look up an engine by name.
+    pub fn get(&self, name: &str) -> Option<&EngineEntry> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, e)| e)
+    }
+
+    /// Iterate `(name, entry)` in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &EngineEntry)> {
+        self.entries.iter().map(|(n, e)| (n.as_str(), e))
+    }
+
+    /// Number of registered engines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no engine is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lewis_core::ExplainRequest;
+
+    #[test]
+    fn builtin_loads_and_serves() {
+        let mut reg = EngineRegistry::new();
+        reg.load_builtin("german_syn", 800, 7).unwrap();
+        assert_eq!(reg.len(), 1);
+        let entry = reg.get("german_syn").unwrap();
+        assert_eq!(entry.engine.table().n_rows(), 800);
+        assert!(entry.source.contains("builtin:german_syn"));
+        // the engine answers a query end to end
+        let g = entry.engine.run(&ExplainRequest::Global).unwrap();
+        assert!(g.into_global().is_some());
+    }
+
+    #[test]
+    fn unknown_builtin_is_a_config_error() {
+        let mut reg = EngineRegistry::new();
+        let err = reg.load_builtin("no_such_dataset", 100, 0).unwrap_err();
+        assert!(
+            err.to_string().contains("german_syn"),
+            "lists the options: {err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_and_invalid_names_are_rejected() {
+        let mut reg = EngineRegistry::new();
+        reg.load_builtin("german_syn", 300, 7).unwrap();
+        assert!(reg.load_builtin("german_syn", 300, 7).is_err());
+        let entry_of = |reg: &EngineRegistry| {
+            let e = reg.get("german_syn").unwrap();
+            EngineEntry {
+                engine: Arc::clone(&e.engine),
+                source: e.source.clone(),
+                pred_name: e.pred_name.clone(),
+                positive: e.positive,
+            }
+        };
+        let dup = entry_of(&reg);
+        assert!(reg.insert("bad name", dup).is_err(), "whitespace in name");
+        let dup = entry_of(&reg);
+        assert!(reg.insert("", dup).is_err(), "empty name");
+    }
+
+    #[test]
+    fn csv_loading_round_trips_through_a_file() {
+        // export a labelled built-in table, reload it as a "user" CSV
+        let mut reg = EngineRegistry::new();
+        reg.load_builtin("german_syn", 600, 3).unwrap();
+        let table = reg.get("german_syn").unwrap().engine.table();
+        let dir = std::env::temp_dir().join(format!("lewis-serve-reg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("export.csv");
+        tabular::write_csv_file(table, &path).unwrap();
+
+        reg.load_csv("from_csv", path.to_str().unwrap(), "pred", "true")
+            .unwrap();
+        let entry = reg.get("from_csv").unwrap();
+        assert_eq!(entry.engine.table().n_rows(), 600);
+        // CSV inference maps boolean "true" to whatever code it was
+        // first seen as — the registry resolves it by label
+        let g = entry
+            .engine
+            .run(&ExplainRequest::Global)
+            .unwrap()
+            .into_global()
+            .unwrap();
+        assert!(!g.attributes.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn csv_errors_are_typed() {
+        let mut reg = EngineRegistry::new();
+        // missing file → tabular Io error
+        assert!(matches!(
+            reg.load_csv("x", "/definitely/missing.csv", "pred", "1"),
+            Err(ServeError::Tabular(tabular::TabularError::Io { .. }))
+        ));
+        // missing column / label → config-ish errors with context
+        let dir = std::env::temp_dir().join(format!("lewis-serve-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.csv");
+        std::fs::write(&path, "a,b\n0,1\n1,0\n").unwrap();
+        let p = path.to_str().unwrap();
+        assert!(reg.load_csv("x", p, "nope", "1").is_err());
+        let err = reg.load_csv("x", p, "b", "yes").unwrap_err();
+        assert!(err.to_string().contains("yes"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

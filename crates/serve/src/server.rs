@@ -1,0 +1,579 @@
+//! The server: `std::net::TcpListener`, a bounded worker pool, routing,
+//! and graceful shutdown.
+//!
+//! Concurrency model: one acceptor thread pushes connections into a
+//! **bounded** channel drained by a fixed pool of worker threads, each
+//! of which owns a connection for its whole keep-alive lifetime. The
+//! bound gives natural backpressure — when every worker is busy and the
+//! queue is full, the acceptor stops accepting and the kernel's listen
+//! backlog (and eventually the clients) absorb the burst, instead of
+//! the server buffering unboundedly.
+//!
+//! Shutdown is cooperative: [`Server::shutdown`] (or
+//! `POST /admin/shutdown`) raises an atomic flag; the acceptor exits on
+//! the next accept (poked awake by a loopback connection), dropping the
+//! channel sender; workers finish their in-flight request, observe the
+//! flag / closed channel, and exit. In-flight responses are never cut
+//! off.
+//!
+//! Routes:
+//!
+//! | route | answer |
+//! |---|---|
+//! | `GET /healthz` | liveness + engine count |
+//! | `GET /v1/engines` | every engine with its full schema |
+//! | `POST /v1/engines/{name}/explain` | one request or `{"batch": [...]}` |
+//! | `GET /metrics` | counters, latency quantiles, cache stats |
+//! | `POST /admin/shutdown` | graceful stop (for tests/automation) |
+
+use crate::http::{read_request, write_response, HttpRequest, HttpResponse, ReadOutcome};
+use crate::metrics::{Metrics, Route};
+use crate::registry::EngineRegistry;
+use crate::wire::{self, Json};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tunables. `Default` is sized for the tests and the demo;
+/// production would raise `workers`.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Idle read timeout on keep-alive connections; bounds how long a
+    /// silent client can pin a worker (and how long shutdown waits).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_body: 1 << 20,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Most queries accepted in one `{"batch": [...]}` body.
+const MAX_BATCH: usize = 256;
+
+/// Shared server state every worker sees.
+struct ServerState {
+    registry: Arc<EngineRegistry>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    max_body: usize,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`Server::shutdown`].
+pub struct Server {
+    state: Arc<ServerState>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Start serving `registry` per `config`. Returns once the listener is
+/// bound and the workers are up.
+pub fn serve(config: &ServerConfig, registry: Arc<EngineRegistry>) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        registry,
+        metrics: Metrics::new(),
+        shutdown: AtomicBool::new(false),
+        addr,
+        max_body: config.max_body,
+    });
+
+    let workers = config.workers.max(1);
+    // Bound = workers: at most one queued connection per busy worker
+    // before the acceptor itself blocks (see module docs).
+    let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(workers);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    for i in 0..workers {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        let read_timeout = config.read_timeout;
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("lewis-serve-worker-{i}"))
+                .spawn(move || loop {
+                    let stream = match rx.lock().expect("worker queue lock").recv() {
+                        Ok(s) => s,
+                        Err(_) => break, // acceptor gone: drain and stop
+                    };
+                    handle_connection(stream, &state, read_timeout);
+                })
+                .expect("spawn worker"),
+        );
+    }
+
+    {
+        let state = Arc::clone(&state);
+        threads.push(
+            std::thread::Builder::new()
+                .name("lewis-serve-acceptor".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if state.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match stream {
+                            // a worker will pick it up; send blocks when
+                            // the pool is saturated (backpressure)
+                            Ok(s) => {
+                                if tx.send(s).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                    // dropping tx lets the workers drain and exit
+                })
+                .expect("spawn acceptor"),
+        );
+    }
+
+    Ok(Server { state, threads })
+}
+
+impl Server {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// The live metrics (shared with the workers).
+    pub fn metrics(&self) -> &Metrics {
+        &self.state.metrics
+    }
+
+    /// Whether shutdown has been requested (e.g. over the admin route).
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until the server stops on its own (admin shutdown route).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Graceful stop: raise the flag, poke the acceptor, join every
+    /// thread. In-flight requests finish; idle keep-alive connections
+    /// are released at their next read timeout.
+    pub fn shutdown(self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // poke accept() awake so the acceptor sees the flag
+        let _ = TcpStream::connect(self.state.addr);
+        self.join();
+    }
+}
+
+/// Serve one connection for its keep-alive lifetime.
+fn handle_connection(stream: TcpStream, state: &ServerState, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let outcome = match read_request(&mut reader, state.max_body) {
+            Ok(o) => o,
+            Err(_) => break, // timeout or reset: drop the connection
+        };
+        let started = Instant::now();
+        let (response, done) = match outcome {
+            ReadOutcome::Closed => break,
+            ReadOutcome::Malformed(msg) => {
+                state.metrics.record(Route::Other, started.elapsed(), true);
+                (
+                    error_response(400, "malformed_request", &msg).closing(),
+                    true,
+                )
+            }
+            ReadOutcome::TooLarge { announced } => {
+                // Drain a bounded amount of the oversized body first:
+                // closing with unread data pending makes TCP reset the
+                // connection, which can destroy the 413 before the
+                // client reads it. Beyond the cap we accept that risk
+                // rather than read forever.
+                const DRAIN_CAP: usize = 4 << 20;
+                if announced <= DRAIN_CAP {
+                    let mut sink = std::io::sink();
+                    let _ = std::io::copy(
+                        &mut std::io::Read::take(&mut reader, announced as u64),
+                        &mut sink,
+                    );
+                }
+                state.metrics.record(Route::Other, started.elapsed(), true);
+                (
+                    error_response(
+                        413,
+                        "body_too_large",
+                        &format!("announced {announced} bytes, limit {}", state.max_body),
+                    )
+                    .closing(),
+                    true,
+                )
+            }
+            ReadOutcome::Request(request) => {
+                let (route, mut response) = route(&request, state);
+                let close_after = !request.keep_alive() || state.shutdown.load(Ordering::SeqCst);
+                if close_after {
+                    response.close = true;
+                }
+                state
+                    .metrics
+                    .record(route, started.elapsed(), response.status >= 400);
+                (response, close_after)
+            }
+        };
+        if write_response(&mut writer, &response).is_err() {
+            break;
+        }
+        if done || response.close {
+            break;
+        }
+    }
+}
+
+fn error_response(status: u16, code: &str, message: &str) -> HttpResponse {
+    HttpResponse::json(
+        status,
+        &Json::obj([(
+            "error",
+            Json::obj([("code", Json::str(code)), ("message", Json::str(message))]),
+        )]),
+    )
+}
+
+/// Dispatch one request; returns the metrics route and the response.
+fn route(request: &HttpRequest, state: &ServerState) -> (Route, HttpResponse) {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => (
+            Route::Healthz,
+            HttpResponse::json(
+                200,
+                &Json::obj([
+                    ("status", Json::str("ok")),
+                    ("engines", Json::num(state.registry.len() as u32)),
+                ]),
+            ),
+        ),
+        ("GET", "/v1/engines") => (Route::Engines, list_engines(state)),
+        ("GET", "/metrics") => (
+            Route::Metrics,
+            HttpResponse::json(200, &state.metrics.to_json(&state.registry)),
+        ),
+        ("POST", "/admin/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            // poke the acceptor so it observes the flag promptly
+            let _ = TcpStream::connect(state.addr);
+            (
+                Route::Admin,
+                HttpResponse::json(200, &Json::obj([("status", Json::str("shutting down"))]))
+                    .closing(),
+            )
+        }
+        (method, path) => {
+            if let Some(name) = path
+                .strip_prefix("/v1/engines/")
+                .and_then(|rest| rest.strip_suffix("/explain"))
+            {
+                if method != "POST" {
+                    return (
+                        Route::Explain,
+                        error_response(405, "method_not_allowed", "use POST"),
+                    );
+                }
+                return (Route::Explain, explain(name, &request.body, state));
+            }
+            (
+                Route::Other,
+                error_response(404, "not_found", &format!("{method} {path}")),
+            )
+        }
+    }
+}
+
+/// `GET /v1/engines`: every engine, its provenance and its full schema
+/// (ids, names and labels), so wire clients can translate names to the
+/// codes the codec uses.
+fn list_engines(state: &ServerState) -> HttpResponse {
+    let engines: Vec<Json> = state
+        .registry
+        .iter()
+        .map(|(name, entry)| {
+            let engine = &entry.engine;
+            let schema = engine.table().schema();
+            let attributes: Vec<Json> = schema
+                .attr_ids()
+                .map(|a| {
+                    let domain = schema.domain(a).expect("attr in range");
+                    Json::obj([
+                        ("attr", Json::num(a.0)),
+                        ("name", Json::str(schema.name(a))),
+                        ("cardinality", Json::num(domain.cardinality() as u32)),
+                        (
+                            "labels",
+                            Json::Arr(
+                                domain
+                                    .values()
+                                    .map(|v| Json::str(domain.label(v)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
+            Json::obj([
+                ("name", Json::str(name)),
+                ("source", Json::str(&entry.source)),
+                ("n_rows", Json::num(engine.table().n_rows() as u32)),
+                (
+                    "prediction",
+                    Json::obj([
+                        ("name", Json::str(&entry.pred_name)),
+                        ("positive", Json::num(entry.positive)),
+                    ]),
+                ),
+                (
+                    "features",
+                    Json::Arr(engine.features().iter().map(|a| Json::num(a.0)).collect()),
+                ),
+                ("attributes", Json::Arr(attributes)),
+            ])
+        })
+        .collect();
+    HttpResponse::json(200, &Json::obj([("engines", Json::Arr(engines))]))
+}
+
+/// `POST /v1/engines/{name}/explain`: a single request object, or
+/// `{"batch": [...]}` answered positionally via [`lewis_core::Engine::run_batch`]
+/// (so batched queries share counting passes and surrogate fits).
+fn explain(name: &str, body: &[u8], state: &ServerState) -> HttpResponse {
+    let Some(entry) = state.registry.get(name) else {
+        return error_response(404, "unknown_engine", &format!("no engine named {name:?}"));
+    };
+    let Ok(text) = std::str::from_utf8(body) else {
+        return error_response(400, "bad_json", "body is not UTF-8");
+    };
+    let json = match Json::parse(text) {
+        Ok(j) => j,
+        Err(e) => return error_response(400, "bad_json", &e.to_string()),
+    };
+
+    if let Some(batch) = json.get("batch") {
+        let Some(items) = batch.as_arr() else {
+            return error_response(400, "bad_request", "batch: expected an array");
+        };
+        // A body-size limit alone does not bound *work*: a 1 MiB body
+        // can hold tens of thousands of cheap-to-parse, expensive-to-
+        // answer queries, pinning a worker for minutes. Cap the batch.
+        if items.len() > MAX_BATCH {
+            return error_response(
+                400,
+                "batch_too_large",
+                &format!("batch of {} exceeds the limit of {MAX_BATCH}", items.len()),
+            );
+        }
+        let mut requests = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            match wire::request_from_json(item) {
+                Ok(r) => requests.push(r),
+                Err(e) => return error_response(400, "bad_request", &format!("batch[{i}].{e}")),
+            }
+        }
+        let results: Vec<Json> = entry
+            .engine
+            .run_batch(&requests)
+            .iter()
+            .map(|r| match r {
+                Ok(response) => wire::response_to_json(response),
+                Err(e) => wire::error_to_json(e),
+            })
+            .collect();
+        return HttpResponse::json(200, &Json::obj([("results", Json::Arr(results))]));
+    }
+
+    let request = match wire::request_from_json(&json) {
+        Ok(r) => r,
+        Err(e) => return error_response(400, "bad_request", &e.to_string()),
+    };
+    match entry.engine.run(&request) {
+        Ok(response) => HttpResponse::json(200, &wire::response_to_json(&response)),
+        Err(e) => HttpResponse::json(wire::error_status(&e), &wire::error_to_json(&e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn test_server() -> Server {
+        let mut reg = EngineRegistry::new();
+        reg.load_builtin("german_syn", 500, 11).unwrap();
+        serve(
+            &ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+            Arc::new(reg),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn healthz_engines_metrics_and_shutdown() {
+        let server = test_server();
+        let addr = server.addr();
+        let mut client = Client::connect(addr).unwrap();
+
+        let (status, health) = client.get("/healthz").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(health.get("engines").unwrap().as_f64(), Some(1.0));
+
+        let (status, list) = client.get("/v1/engines").unwrap();
+        assert_eq!(status, 200);
+        let engines = list.get("engines").unwrap().as_arr().unwrap();
+        assert_eq!(engines.len(), 1);
+        assert_eq!(engines[0].get("name").unwrap().as_str(), Some("german_syn"));
+        assert_eq!(engines[0].get("n_rows").unwrap().as_f64(), Some(500.0));
+        assert!(!engines[0]
+            .get("attributes")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+
+        // one explain so the metrics have something to show
+        let (status, _) = client
+            .post("/v1/engines/german_syn/explain", r#"{"kind":"global"}"#)
+            .unwrap();
+        assert_eq!(status, 200);
+
+        let (status, metrics) = client.get("/metrics").unwrap();
+        assert_eq!(status, 200);
+        let explain = metrics.get("routes").unwrap().get("explain").unwrap();
+        assert_eq!(explain.get("requests").unwrap().as_f64(), Some(1.0));
+        let cache = metrics
+            .get("engines")
+            .unwrap()
+            .get("german_syn")
+            .unwrap()
+            .get("counting_cache")
+            .unwrap();
+        assert!(cache.get("misses").unwrap().as_f64().unwrap() >= 1.0);
+        assert!(cache.get("hit_rate").unwrap().as_f64().is_some());
+
+        // graceful stop over the wire: the server joins by itself
+        let (status, _) = client.post("/admin/shutdown", "").unwrap();
+        assert_eq!(status, 200);
+        server.join();
+    }
+
+    #[test]
+    fn unknown_routes_and_engines_are_404() {
+        let server = test_server();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let (status, body) = client.get("/nope").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(
+            body.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("not_found")
+        );
+        let (status, body) = client
+            .post("/v1/engines/missing/explain", r#"{"kind":"global"}"#)
+            .unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(
+            body.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("unknown_engine")
+        );
+        let (status, _) = client.get("/v1/engines/german_syn/explain").unwrap();
+        assert_eq!(status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_per_connection() {
+        let server = test_server();
+        let mut client = Client::connect(server.addr()).unwrap();
+        for _ in 0..20 {
+            let (status, _) = client.get("/healthz").unwrap();
+            assert_eq!(status, 200);
+        }
+        assert!(server.metrics().total_requests() >= 20);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected_up_front() {
+        let server = test_server();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let queries: Vec<Json> = (0..MAX_BATCH + 1)
+            .map(|_| Json::obj([("kind", Json::str("global"))]))
+            .collect();
+        let body = Json::obj([("batch", Json::Arr(queries))]).to_json();
+        let (status, answer) = client
+            .post("/v1/engines/german_syn/explain", &body)
+            .unwrap();
+        assert_eq!(status, 400);
+        assert_eq!(
+            answer.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("batch_too_large")
+        );
+        // a full-size batch still goes through
+        let queries: Vec<Json> = (0..MAX_BATCH)
+            .map(|_| Json::obj([("kind", Json::str("global"))]))
+            .collect();
+        let body = Json::obj([("batch", Json::Arr(queries))]).to_json();
+        let (status, answer) = client
+            .post("/v1/engines/german_syn/explain", &body)
+            .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            answer.get("results").unwrap().as_arr().unwrap().len(),
+            MAX_BATCH
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocol_errors_are_visible_in_metrics() {
+        let server = test_server();
+        // raw garbage over the socket → 400, which must be counted
+        let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+        std::io::Write::write_all(&mut raw, b"gibberish\r\n\r\n").unwrap();
+        let mut out = String::new();
+        std::io::Read::read_to_string(&mut raw, &mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        drop(raw);
+        assert_eq!(server.metrics().total_requests(), 1);
+        assert_eq!(server.metrics().total_errors(), 1);
+        server.shutdown();
+    }
+}

@@ -50,7 +50,11 @@ impl Criterion {
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
-        BenchmarkGroup { _criterion: self, name: name.to_string(), sample_size }
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size,
+        }
     }
 }
 
@@ -140,7 +144,10 @@ fn smoke_mode() -> bool {
 
 fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     if smoke_mode() {
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         println!("{id:<48} ok (smoke: 1 iteration, untimed)");
         return;
@@ -149,7 +156,10 @@ fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     // (or a single iteration is already slower than that).
     let mut iters = 1u64;
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let t = b.elapsed.as_secs_f64();
         if t >= 2e-3 || iters >= 1 << 20 {
@@ -165,7 +175,10 @@ fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     }
     let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         samples.push(b.elapsed.as_secs_f64() / iters as f64);
     }

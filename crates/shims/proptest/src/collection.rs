@@ -20,20 +20,29 @@ impl From<usize> for SizeRange {
 impl From<core::ops::Range<usize>> for SizeRange {
     fn from(r: core::ops::Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { min: r.start, max: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
     }
 }
 
 impl From<core::ops::RangeInclusive<usize>> for SizeRange {
     fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-        SizeRange { min: *r.start(), max: *r.end() }
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
     }
 }
 
 /// A `Vec` whose length is drawn from `size` and whose elements are
 /// drawn from `element`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// See [`vec()`].

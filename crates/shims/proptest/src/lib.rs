@@ -229,9 +229,7 @@ where
             Ok(()) => accepted += 1,
             Err(TestCaseError::Reject) => continue,
             Err(TestCaseError::Fail(msg)) => {
-                panic!(
-                    "property `{name}` failed at case {attempts} (seed {seed:#x}): {msg}"
-                );
+                panic!("property `{name}` failed at case {attempts} (seed {seed:#x}): {msg}");
             }
         }
     }
@@ -334,7 +332,8 @@ macro_rules! prop_assert_ne {
         let (l, r) = (&$left, &$right);
         if *l == *r {
             return Err($crate::TestCaseError::Fail(format!(
-                "assertion failed: `{:?} != {:?}`", l, r
+                "assertion failed: `{:?} != {:?}`",
+                l, r
             )));
         }
     }};
@@ -379,9 +378,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn failing_property_panics() {
-        run_property("always_fails", |_| {
-            Err(TestCaseError::Fail("nope".into()))
-        });
+        run_property("always_fails", |_| Err(TestCaseError::Fail("nope".into())));
     }
 
     #[test]

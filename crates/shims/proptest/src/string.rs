@@ -181,9 +181,12 @@ mod tests {
             let s = strat.generate(&mut rng);
             let n = s.chars().count();
             assert!((1..=12).contains(&n), "bad length {n}: {s:?}");
-            assert!(s.chars().all(|c| {
-                c.is_ascii_lowercase() || c.is_ascii_digit() || " ,\"\n".contains(c)
-            }), "stray char in {s:?}");
+            assert!(
+                s.chars().all(|c| {
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || " ,\"\n".contains(c)
+                }),
+                "stray char in {s:?}"
+            );
         }
     }
 
@@ -194,7 +197,11 @@ mod tests {
         for _ in 0..100 {
             let s = strat.generate(&mut rng);
             assert!(s.starts_with('a'));
-            assert!(s.trim_start_matches('a').trim_start_matches('b').chars().all(|c| c == 'c'));
+            assert!(s
+                .trim_start_matches('a')
+                .trim_start_matches('b')
+                .chars()
+                .all(|c| c == 'c'));
             assert!(s.contains('c'));
         }
     }

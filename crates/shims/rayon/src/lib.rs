@@ -104,7 +104,10 @@ impl<'a, T: Sync> ParIter<'a, T> {
         R: Send,
         F: Fn(&'a T) -> R + Sync,
     {
-        ParMap { items: self.items, f }
+        ParMap {
+            items: self.items,
+            f,
+        }
     }
 
     /// Run `f` on every element in parallel.

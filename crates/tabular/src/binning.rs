@@ -50,8 +50,7 @@ impl Binner {
                     vec![lo, lo + 1.0]
                 } else {
                     let width = (hi - lo) / n_bins as f64;
-                    let mut e: Vec<f64> =
-                        (0..=n_bins).map(|i| lo + width * i as f64).collect();
+                    let mut e: Vec<f64> = (0..=n_bins).map(|i| lo + width * i as f64).collect();
                     // guard against FP drift on the top edge
                     *e.last_mut().expect("n_bins+1 edges") = hi;
                     e
@@ -82,7 +81,9 @@ impl Binner {
                 e
             }
         };
-        Ok(Binner { domain: Domain::binned(edges) })
+        Ok(Binner {
+            domain: Domain::binned(edges),
+        })
     }
 
     /// The fitted binned domain.
@@ -134,8 +135,8 @@ mod tests {
     #[test]
     fn equal_width_covers_range() {
         let xs: Vec<f64> = (0..100).map(f64::from).collect();
-        let (dom, codes) = Binner::fit_transform(&BinningStrategy::EqualWidth { n_bins: 4 }, &xs)
-            .unwrap();
+        let (dom, codes) =
+            Binner::fit_transform(&BinningStrategy::EqualWidth { n_bins: 4 }, &xs).unwrap();
         assert_eq!(dom.cardinality(), 4);
         assert_eq!(codes[0], 0);
         assert_eq!(*codes.last().unwrap(), 3);
@@ -154,7 +155,10 @@ mod tests {
             counts[c as usize] += 1;
         }
         for &n in &counts {
-            assert!((200..=300).contains(&n), "unbalanced quantile bins: {counts:?}");
+            assert!(
+                (200..=300).contains(&n),
+                "unbalanced quantile bins: {counts:?}"
+            );
         }
     }
 
@@ -176,11 +180,20 @@ mod tests {
     #[test]
     fn explicit_edges_validated() {
         assert!(Binner::fit(&BinningStrategy::Explicit { edges: vec![1.0] }, &[]).is_err());
-        assert!(
-            Binner::fit(&BinningStrategy::Explicit { edges: vec![2.0, 1.0] }, &[]).is_err()
-        );
-        let b = Binner::fit(&BinningStrategy::Explicit { edges: vec![0.0, 1.0, 5.0] }, &[])
-            .unwrap();
+        assert!(Binner::fit(
+            &BinningStrategy::Explicit {
+                edges: vec![2.0, 1.0]
+            },
+            &[]
+        )
+        .is_err());
+        let b = Binner::fit(
+            &BinningStrategy::Explicit {
+                edges: vec![0.0, 1.0, 5.0],
+            },
+            &[],
+        )
+        .unwrap();
         assert_eq!(b.transform_one(0.5), 0);
         assert_eq!(b.transform_one(3.0), 1);
         assert_eq!(b.transform_one(99.0), 1); // clamped

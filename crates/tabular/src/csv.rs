@@ -11,15 +11,13 @@ use crate::error::TabularError;
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::Result;
+use std::path::Path;
 
 /// Serialize a table to CSV with a header row of attribute names.
 pub fn write_csv_string(table: &Table) -> String {
     let schema = table.schema();
     let mut out = String::new();
-    let header: Vec<String> = schema
-        .attr_ids()
-        .map(|a| escape(schema.name(a)))
-        .collect();
+    let header: Vec<String> = schema.attr_ids().map(|a| escape(schema.name(a))).collect();
     out.push_str(&header.join(","));
     out.push('\n');
     for row in table.rows() {
@@ -40,6 +38,22 @@ pub fn write_csv_string(table: &Table) -> String {
     out
 }
 
+/// Write a table to a CSV file (see [`write_csv_string`] for the format).
+/// Filesystem failures surface as [`TabularError::Io`] with the path.
+pub fn write_csv_file(table: &Table, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    std::fs::write(path, write_csv_string(table)).map_err(|e| TabularError::io(path, e))
+}
+
+/// Read a table from a CSV file (see [`read_csv_str`] for the inference
+/// rules). Filesystem failures surface as [`TabularError::Io`] with the
+/// path; malformed content keeps its located [`TabularError::Csv`].
+pub fn read_csv_file(path: impl AsRef<Path>) -> Result<Table> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| TabularError::io(path, e))?;
+    read_csv_str(&text)
+}
+
 fn escape(field: &str) -> String {
     if field.contains(',') || field.contains('"') || field.contains('\n') {
         format!("\"{}\"", field.replace('"', "\"\""))
@@ -53,7 +67,10 @@ fn escape(field: &str) -> String {
 pub fn read_csv_str(input: &str) -> Result<Table> {
     let mut records = parse(input)?;
     if records.is_empty() {
-        return Err(TabularError::Csv { line: 0, message: "empty input".into() });
+        return Err(TabularError::Csv {
+            line: 0,
+            message: "empty input".into(),
+        });
     }
     let header = records.remove(0);
     let n_cols = header.len();
@@ -75,7 +92,11 @@ pub fn read_csv_str(input: &str) -> Result<Table> {
     let mut schema = Schema::new();
     for (name, ls) in header.iter().zip(&labels) {
         // A column with no data rows still needs a non-empty domain.
-        let ls = if ls.is_empty() { vec![String::new()] } else { ls.clone() };
+        let ls = if ls.is_empty() {
+            vec![String::new()]
+        } else {
+            ls.clone()
+        };
         schema.push(name.clone(), Domain::Categorical { labels: ls });
     }
     let mut table = Table::with_capacity(schema, records.len());
@@ -135,7 +156,7 @@ fn parse(input: &str) -> Result<Vec<Vec<String>>> {
                 }
                 ',' => {
                     record.push(std::mem::take(&mut field));
-                    }
+                }
                 '\r' => {} // tolerate CRLF
                 '\n' => {
                     record.push(std::mem::take(&mut field));
@@ -147,7 +168,10 @@ fn parse(input: &str) -> Result<Vec<Vec<String>>> {
         }
     }
     if in_quotes {
-        return Err(TabularError::Csv { line, message: "unterminated quoted field".into() });
+        return Err(TabularError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
     }
     if any && (!field.is_empty() || !record.is_empty()) {
         record.push(field);
@@ -163,7 +187,10 @@ mod tests {
 
     fn demo_table() -> Table {
         let mut s = Schema::new();
-        s.push("color", Domain::categorical(["red", "blue, green", "wei\"rd"]));
+        s.push(
+            "color",
+            Domain::categorical(["red", "blue, green", "wei\"rd"]),
+        );
         s.push("ok", Domain::boolean());
         let mut t = Table::new(s);
         t.push_row(&[0, 1]).unwrap();
@@ -196,6 +223,49 @@ mod tests {
                 .label(back.get(r, AttrId(0)).unwrap());
             assert_eq!(orig_label, new_label);
         }
+    }
+
+    #[test]
+    fn file_roundtrip_in_tempdir() {
+        let t = demo_table();
+        let dir = std::env::temp_dir().join(format!("tabular-csv-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        write_csv_file(&t, &path).unwrap();
+        let back = read_csv_file(&path).unwrap();
+        assert_eq!(back.n_rows(), t.n_rows());
+        assert_eq!(back.schema().name(AttrId(0)), "color");
+        for r in 0..t.n_rows() {
+            for a in t.schema().attr_ids() {
+                let orig = t.schema().domain(a).unwrap().label(t.get(r, a).unwrap());
+                let new = back
+                    .schema()
+                    .domain(a)
+                    .unwrap()
+                    .label(back.get(r, a).unwrap());
+                assert_eq!(
+                    orig, new,
+                    "cell ({r}, {a}) label survives the file round-trip"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_errors_carry_the_path() {
+        let missing = std::env::temp_dir().join("tabular-csv-test-definitely-missing.csv");
+        match read_csv_file(&missing) {
+            Err(TabularError::Io { path, .. }) => {
+                assert!(path.contains("definitely-missing"), "path in error: {path}")
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        let unwritable = std::path::Path::new("/proc/definitely/not/writable.csv");
+        assert!(matches!(
+            write_csv_file(&demo_table(), unwritable),
+            Err(TabularError::Io { .. })
+        ));
     }
 
     #[test]

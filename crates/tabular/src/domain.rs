@@ -52,7 +52,9 @@ impl Domain {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Domain::Categorical { labels: labels.into_iter().map(Into::into).collect() }
+        Domain::Categorical {
+            labels: labels.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Build a binned numeric domain from ascending bin edges.

@@ -14,7 +14,11 @@ pub enum TabularError {
     /// No attribute with this name exists in the schema.
     UnknownAttributeName(String),
     /// A value code is outside the attribute's domain.
-    ValueOutOfDomain { attr: u32, value: u32, cardinality: usize },
+    ValueOutOfDomain {
+        attr: u32,
+        value: u32,
+        cardinality: usize,
+    },
     /// A row had the wrong number of fields.
     ArityMismatch { expected: usize, got: usize },
     /// Two tables/schemas that must match do not.
@@ -23,29 +27,54 @@ pub enum TabularError {
     EmptySelection(String),
     /// Malformed CSV input.
     Csv { line: usize, message: String },
+    /// A filesystem operation failed. The `std::io::Error` is flattened
+    /// to its message so the error stays `Clone`/`Eq` like every other
+    /// variant; the offending path is kept for context.
+    Io { path: String, message: String },
     /// A numeric argument was invalid (e.g. negative smoothing).
     InvalidArgument(String),
+}
+
+impl TabularError {
+    /// Wrap an `io::Error` raised while touching `path`.
+    pub fn io(path: impl AsRef<std::path::Path>, err: std::io::Error) -> Self {
+        TabularError::Io {
+            path: path.as_ref().display().to_string(),
+            message: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for TabularError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TabularError::UnknownAttribute { attr, n_attrs } => {
-                write!(f, "attribute id {attr} out of range (schema has {n_attrs} attributes)")
+                write!(
+                    f,
+                    "attribute id {attr} out of range (schema has {n_attrs} attributes)"
+                )
             }
             TabularError::UnknownAttributeName(name) => {
                 write!(f, "no attribute named {name:?} in schema")
             }
-            TabularError::ValueOutOfDomain { attr, value, cardinality } => write!(
+            TabularError::ValueOutOfDomain {
+                attr,
+                value,
+                cardinality,
+            } => write!(
                 f,
                 "value code {value} out of domain for attribute {attr} (cardinality {cardinality})"
             ),
             TabularError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: expected {expected} fields, got {got}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} fields, got {got}"
+                )
             }
             TabularError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             TabularError::EmptySelection(msg) => write!(f, "empty selection: {msg}"),
             TabularError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            TabularError::Io { path, message } => write!(f, "io error on {path:?}: {message}"),
             TabularError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
@@ -59,7 +88,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TabularError::ValueOutOfDomain { attr: 3, value: 9, cardinality: 4 };
+        let e = TabularError::ValueOutOfDomain {
+            attr: 3,
+            value: 9,
+            cardinality: 4,
+        };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('9') && s.contains('4'));
     }

@@ -62,8 +62,14 @@ impl Counter {
         } else {
             Storage::Sparse(FxHashMap::default())
         };
-        let mut counter =
-            Counter { attrs: attrs.to_vec(), radices, strides, grid, total: 0, storage };
+        let mut counter = Counter {
+            attrs: attrs.to_vec(),
+            radices,
+            strides,
+            grid,
+            total: 0,
+            storage,
+        };
 
         let cols: Vec<&[Value]> = counter
             .attrs
@@ -312,7 +318,8 @@ mod tests {
             .unwrap();
         assert!((p - p_tab).abs() < 1e-12);
         // a context value that never occurs yields an empty counter
-        let empty = Counter::build(&t, &attrs, &Context::of([(AttrId(1), 2), (AttrId(0), 0)])).unwrap();
+        let empty =
+            Counter::build(&t, &attrs, &Context::of([(AttrId(1), 2), (AttrId(0), 0)])).unwrap();
         assert_eq!(empty.total(), 0);
         // and conditionals fall back to uniform
         let p_u = empty.conditional(1, 1, &[None, None], 0.0);

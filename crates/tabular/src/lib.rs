@@ -46,9 +46,9 @@ pub mod sample;
 pub mod schema;
 pub mod table;
 
-pub use binning::{BinningStrategy, Binner};
+pub use binning::{Binner, BinningStrategy};
 pub use context::Context;
-pub use csv::{read_csv_str, write_csv_string};
+pub use csv::{read_csv_file, read_csv_str, write_csv_file, write_csv_string};
 pub use domain::{AttrId, Domain, Value};
 pub use error::TabularError;
 pub use groupby::{Counter, GroupKey};

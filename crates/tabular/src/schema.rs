@@ -65,7 +65,10 @@ impl Schema {
     pub fn attr(&self, id: AttrId) -> Result<&Attribute> {
         self.attrs
             .get(id.index())
-            .ok_or(TabularError::UnknownAttribute { attr: id.0, n_attrs: self.attrs.len() })
+            .ok_or(TabularError::UnknownAttribute {
+                attr: id.0,
+                n_attrs: self.attrs.len(),
+            })
     }
 
     /// The domain of attribute `id`.
@@ -76,7 +79,9 @@ impl Schema {
     /// The name of attribute `id` (or `"<unknown>"` for bad ids — used in
     /// display paths where failing would obscure the original error).
     pub fn name(&self, id: AttrId) -> &str {
-        self.attrs.get(id.index()).map_or("<unknown>", |a| a.name.as_str())
+        self.attrs
+            .get(id.index())
+            .map_or("<unknown>", |a| a.name.as_str())
     }
 
     /// Cardinality of attribute `id`'s domain.

@@ -21,7 +21,11 @@ impl Table {
     /// An empty table over `schema`.
     pub fn new(schema: Schema) -> Self {
         let columns = vec![Vec::new(); schema.len()];
-        Table { schema, columns, n_rows: 0 }
+        Table {
+            schema,
+            columns,
+            n_rows: 0,
+        }
     }
 
     /// An empty table with `capacity` rows pre-reserved per column.
@@ -29,7 +33,11 @@ impl Table {
         let columns = (0..schema.len())
             .map(|_| Vec::with_capacity(capacity))
             .collect();
-        Table { schema, columns, n_rows: 0 }
+        Table {
+            schema,
+            columns,
+            n_rows: 0,
+        }
     }
 
     /// Move the table into shared ownership for engines that serve
@@ -62,7 +70,10 @@ impl Table {
     /// Append a full row of codes (one per attribute, in schema order).
     pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
         if row.len() != self.schema.len() {
-            return Err(TabularError::ArityMismatch { expected: self.schema.len(), got: row.len() });
+            return Err(TabularError::ArityMismatch {
+                expected: self.schema.len(),
+                got: row.len(),
+            });
         }
         for (i, (&v, col)) in row.iter().zip(&self.columns).enumerate() {
             debug_assert_eq!(col.len(), self.n_rows);
@@ -80,10 +91,13 @@ impl Table {
         let col = self
             .columns
             .get(attr.index())
-            .ok_or(TabularError::UnknownAttribute { attr: attr.0, n_attrs: self.schema.len() })?;
-        col.get(row)
-            .copied()
-            .ok_or_else(|| TabularError::EmptySelection(format!("row {row} out of {}", self.n_rows)))
+            .ok_or(TabularError::UnknownAttribute {
+                attr: attr.0,
+                n_attrs: self.schema.len(),
+            })?;
+        col.get(row).copied().ok_or_else(|| {
+            TabularError::EmptySelection(format!("row {row} out of {}", self.n_rows))
+        })
     }
 
     /// Borrow the full column of attribute `attr`.
@@ -91,13 +105,19 @@ impl Table {
         self.columns
             .get(attr.index())
             .map(Vec::as_slice)
-            .ok_or(TabularError::UnknownAttribute { attr: attr.0, n_attrs: self.schema.len() })
+            .ok_or(TabularError::UnknownAttribute {
+                attr: attr.0,
+                n_attrs: self.schema.len(),
+            })
     }
 
     /// Materialize row `row` as a `Vec` of codes in schema order.
     pub fn row(&self, row: usize) -> Result<Vec<Value>> {
         if row >= self.n_rows {
-            return Err(TabularError::EmptySelection(format!("row {row} out of {}", self.n_rows)));
+            return Err(TabularError::EmptySelection(format!(
+                "row {row} out of {}",
+                self.n_rows
+            )));
         }
         Ok(self.columns.iter().map(|c| c[row]).collect())
     }
@@ -106,7 +126,9 @@ impl Table {
     /// `K = V` individual-level context).
     pub fn row_context(&self, row: usize) -> Result<Context> {
         let r = self.row(row)?;
-        Ok(Context::of(r.iter().enumerate().map(|(i, &v)| (AttrId(i as u32), v))))
+        Ok(Context::of(
+            r.iter().enumerate().map(|(i, &v)| (AttrId(i as u32), v)),
+        ))
     }
 
     /// Indices of all rows satisfying `ctx`.
@@ -116,9 +138,7 @@ impl Table {
 
     /// Indices of rows satisfying `ctx`, restricted to `subset` when given.
     pub fn filter_within(&self, ctx: &Context, subset: Option<&[usize]>) -> Vec<usize> {
-        let pred = |row: usize| {
-            ctx.iter().all(|(a, v)| self.columns[a.index()][row] == v)
-        };
+        let pred = |row: usize| ctx.iter().all(|(a, v)| self.columns[a.index()][row] == v);
         match subset {
             Some(idx) => idx.iter().copied().filter(|&r| pred(r)).collect(),
             None => (0..self.n_rows).filter(|&r| pred(r)).collect(),
@@ -209,7 +229,10 @@ impl Table {
         values: Vec<Value>,
     ) -> Result<AttrId> {
         if values.len() != self.n_rows {
-            return Err(TabularError::ArityMismatch { expected: self.n_rows, got: values.len() });
+            return Err(TabularError::ArityMismatch {
+                expected: self.n_rows,
+                got: values.len(),
+            });
         }
         for &v in &values {
             if !domain.contains(v) {
@@ -228,7 +251,10 @@ impl Table {
     /// Overwrite one column in place (domain must be unchanged).
     pub fn replace_column(&mut self, attr: AttrId, values: Vec<Value>) -> Result<()> {
         if values.len() != self.n_rows {
-            return Err(TabularError::ArityMismatch { expected: self.n_rows, got: values.len() });
+            return Err(TabularError::ArityMismatch {
+                expected: self.n_rows,
+                got: values.len(),
+            });
         }
         let dom = self.schema.domain(attr)?.clone();
         for &v in &values {
@@ -292,7 +318,10 @@ mod tests {
     #[test]
     fn push_validates() {
         let mut t = table();
-        assert!(matches!(t.push_row(&[0]), Err(TabularError::ArityMismatch { .. })));
+        assert!(matches!(
+            t.push_row(&[0]),
+            Err(TabularError::ArityMismatch { .. })
+        ));
         assert!(matches!(
             t.push_row(&[3, 0]),
             Err(TabularError::ValueOutOfDomain { .. })

@@ -29,7 +29,12 @@ pub struct LimeOptions {
 
 impl Default for LimeOptions {
     fn default() -> Self {
-        LimeOptions { n_samples: 2000, perturb_prob: 0.5, kernel_width: 0.75, ridge: 1.0 }
+        LimeOptions {
+            n_samples: 2000,
+            perturb_prob: 0.5,
+            kernel_width: 0.75,
+            ridge: 1.0,
+        }
     }
 }
 
@@ -57,12 +62,21 @@ impl<'a> LimeExplainer<'a> {
             let mut cum = Vec::with_capacity(counts.len());
             let mut acc = 0.0;
             for &c in &counts {
-                acc += if total == 0 { 0.0 } else { c as f64 / total as f64 };
+                acc += if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                };
                 cum.push(acc);
             }
             marginals.push(cum);
         }
-        Ok(LimeExplainer { table, features: features.to_vec(), marginals, opts })
+        Ok(LimeExplainer {
+            table,
+            features: features.to_vec(),
+            marginals,
+            opts,
+        })
     }
 
     fn sample_value<R: Rng>(&self, feature_idx: usize, rng: &mut R) -> Value {
@@ -141,7 +155,8 @@ mod tests {
         let mut t = Table::new(s);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..500 {
-            t.push_row(&[rng.gen_range(0..2), rng.gen_range(0..3)]).unwrap();
+            t.push_row(&[rng.gen_range(0..2), rng.gen_range(0..3)])
+                .unwrap();
         }
         (t, a, b)
     }
@@ -191,13 +206,19 @@ mod tests {
         assert!(LimeExplainer::new(
             &t,
             &[a],
-            LimeOptions { n_samples: 0, ..LimeOptions::default() }
+            LimeOptions {
+                n_samples: 0,
+                ..LimeOptions::default()
+            }
         )
         .is_err());
         assert!(LimeExplainer::new(
             &t,
             &[a],
-            LimeOptions { perturb_prob: 1.5, ..LimeOptions::default() }
+            LimeOptions {
+                perturb_prob: 1.5,
+                ..LimeOptions::default()
+            }
         )
         .is_err());
     }

@@ -70,11 +70,19 @@ impl LinearIpRecourse {
             }
             xs.push(feat);
         }
-        let ys: Vec<u32> = table.column(label)?.iter().map(|&v| u32::from(v == 1)).collect();
+        let ys: Vec<u32> = table
+            .column(label)?
+            .iter()
+            .map(|&v| u32::from(v == 1))
+            .collect();
         let model = LogisticRegression::fit(
             &xs,
             &ys,
-            &LogisticOptions { epochs: 300, learning_rate: 0.5, l2: 1e-4 },
+            &LogisticOptions {
+                epochs: 300,
+                learning_rate: 0.5,
+                l2: 1e-4,
+            },
         )?;
         // record offsets/cards for the actionable subset, in order
         let mut offsets = Vec::with_capacity(actionable.len());
@@ -107,7 +115,9 @@ impl LinearIpRecourse {
         threshold: f64,
     ) -> Result<LinearIpResult> {
         if !(0.0..1.0).contains(&threshold) {
-            return Err(crate::XaiError::Invalid("threshold must be in [0,1)".into()));
+            return Err(crate::XaiError::Invalid(
+                "threshold must be in [0,1)".into(),
+            ));
         }
         if row.len() < self.n_attrs {
             return Err(crate::XaiError::Invalid("row too short".into()));
@@ -146,9 +156,16 @@ impl LinearIpRecourse {
                     continue;
                 }
                 let gain = self.model.coefficients[self.offsets[i] + v as usize] - beta_cur;
-                items.push(Item { id: v as usize, cost: 1.0, gain });
+                items.push(Item {
+                    id: v as usize,
+                    cost: 1.0,
+                    gain,
+                });
             }
-            groups.push(Group { id: a.0 as usize, items });
+            groups.push(Group {
+                id: a.0 as usize,
+                items,
+            });
         }
         match MckpSolver::new(groups, needed)?.solve() {
             Ok(sol) => {

@@ -28,7 +28,11 @@ pub struct ShapOptions {
 
 impl Default for ShapOptions {
     fn default() -> Self {
-        ShapOptions { n_background: 50, n_coalitions: 1024, exact_limit: 11 }
+        ShapOptions {
+            n_background: 50,
+            n_coalitions: 1024,
+            exact_limit: 11,
+        }
     }
 }
 
@@ -53,7 +57,11 @@ impl<'a> KernelShap<'a> {
                 "n_background > 0 and n_coalitions >= 2 required".into(),
             ));
         }
-        Ok(KernelShap { table, features: features.to_vec(), opts })
+        Ok(KernelShap {
+            table,
+            features: features.to_vec(),
+            opts,
+        })
     }
 
     /// Shapley values for `row` under the model output `score_fn`.
@@ -67,14 +75,11 @@ impl<'a> KernelShap<'a> {
         let m = self.features.len();
         // background sample
         let n_bg = self.opts.n_background.min(self.table.n_rows());
-        let bg_rows: Vec<Vec<Value>> = tabular::sample::sample_without_replacement(
-            self.table.n_rows(),
-            n_bg,
-            rng,
-        )
-        .into_iter()
-        .map(|r| self.table.row(r).expect("row in range"))
-        .collect();
+        let bg_rows: Vec<Vec<Value>> =
+            tabular::sample::sample_without_replacement(self.table.n_rows(), n_bg, rng)
+                .into_iter()
+                .map(|r| self.table.row(r).expect("row in range"))
+                .collect();
 
         let f_x = score_fn(row);
         // E[f] over the background
@@ -112,9 +117,7 @@ impl<'a> KernelShap<'a> {
             }
         } else {
             // sample coalition sizes ∝ kernel mass, then members uniformly
-            let size_mass: Vec<f64> = (1..m)
-                .map(|s| kernel_weight(m, s) * binom(m, s))
-                .collect();
+            let size_mass: Vec<f64> = (1..m).map(|s| kernel_weight(m, s) * binom(m, s)).collect();
             let total_mass: f64 = size_mass.iter().sum();
             for _ in 0..self.opts.n_coalitions {
                 let mut r: f64 = rng.gen::<f64>() * total_mass;
@@ -127,8 +130,7 @@ impl<'a> KernelShap<'a> {
                     r -= mass;
                     s = i + 1;
                 }
-                let chosen =
-                    tabular::sample::sample_without_replacement(m, s, rng);
+                let chosen = tabular::sample::sample_without_replacement(m, s, rng);
                 let mut mask = vec![false; m];
                 for c in chosen {
                     mask[c] = true;
@@ -246,7 +248,10 @@ mod tests {
         let shap = KernelShap::new(
             &t,
             &[AttrId(0), AttrId(1), AttrId(2)],
-            ShapOptions { n_background: 40, ..ShapOptions::default() },
+            ShapOptions {
+                n_background: 40,
+                ..ShapOptions::default()
+            },
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(8);
@@ -259,11 +264,13 @@ mod tests {
     #[test]
     fn efficiency_constraint_holds() {
         let t = setup();
-        let score =
-            |row: &[Value]| f64::from(row[0] & row[1]) + 0.3 * f64::from(row[2]);
-        let shap =
-            KernelShap::new(&t, &[AttrId(0), AttrId(1), AttrId(2)], ShapOptions::default())
-                .unwrap();
+        let score = |row: &[Value]| f64::from(row[0] & row[1]) + 0.3 * f64::from(row[2]);
+        let shap = KernelShap::new(
+            &t,
+            &[AttrId(0), AttrId(1), AttrId(2)],
+            ShapOptions::default(),
+        )
+        .unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let row = [1, 0, 1];
         let phis = shap.explain(&row, &score, &mut rng).unwrap();
@@ -277,8 +284,7 @@ mod tests {
         // f = a AND b: at (1,1), symmetry forces φ_a = φ_b.
         let t = setup();
         let score = |row: &[Value]| f64::from(row[0] & row[1]);
-        let shap =
-            KernelShap::new(&t, &[AttrId(0), AttrId(1)], ShapOptions::default()).unwrap();
+        let shap = KernelShap::new(&t, &[AttrId(0), AttrId(1)], ShapOptions::default()).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         let phis = shap.explain(&[1, 1, 0], &score, &mut rng).unwrap();
         assert!(
@@ -310,7 +316,11 @@ mod tests {
         let sampled = KernelShap::new(
             &t,
             &features,
-            ShapOptions { exact_limit: 1, n_coalitions: 4000, ..ShapOptions::default() },
+            ShapOptions {
+                exact_limit: 1,
+                n_coalitions: 4000,
+                ..ShapOptions::default()
+            },
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(6);
@@ -325,9 +335,12 @@ mod tests {
     fn global_importance_ranks_features() {
         let t = setup();
         let score = |row: &[Value]| 2.0 * f64::from(row[1]) + 0.1 * f64::from(row[0]);
-        let shap =
-            KernelShap::new(&t, &[AttrId(0), AttrId(1), AttrId(2)], ShapOptions::default())
-                .unwrap();
+        let shap = KernelShap::new(
+            &t,
+            &[AttrId(0), AttrId(1), AttrId(2)],
+            ShapOptions::default(),
+        )
+        .unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let imps = shap.global_importance(&score, 10, &mut rng).unwrap();
         assert!(imps[1].1 > imps[0].1, "b dominates a");
@@ -343,7 +356,10 @@ mod tests {
         assert!(KernelShap::new(
             &t,
             &[AttrId(0)],
-            ShapOptions { n_background: 0, ..ShapOptions::default() }
+            ShapOptions {
+                n_background: 0,
+                ..ShapOptions::default()
+            }
         )
         .is_err());
     }

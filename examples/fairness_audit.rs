@@ -29,7 +29,10 @@ fn main() {
         &xs,
         &labels,
         2,
-        &ForestParams { n_trees: 50, ..ForestParams::default() },
+        &ForestParams {
+            n_trees: 50,
+            ..ForestParams::default()
+        },
         5,
     )
     .expect("forest trains");
@@ -69,7 +72,10 @@ fn main() {
         let c = engine
             .contextual(CompasDataset::PRIORS, &ctx)
             .expect("contextual");
-        println!("  race = {label:<6}  SUF(priors) = {:.3}", c.scores.sufficiency);
+        println!(
+            "  race = {label:<6}  SUF(priors) = {:.3}",
+            c.scores.sufficiency
+        );
     }
     println!("\nsufficiency of juvenile felony count by race:");
     for (code, label) in [(0u32, "white"), (1u32, "black")] {
@@ -77,6 +83,9 @@ fn main() {
         let c = engine
             .contextual(CompasDataset::JUV_FEL, &ctx)
             .expect("contextual");
-        println!("  race = {label:<6}  SUF(juv_fel) = {:.3}", c.scores.sufficiency);
+        println!(
+            "  race = {label:<6}  SUF(juv_fel) = {:.3}",
+            c.scores.sufficiency
+        );
     }
 }

@@ -53,13 +53,16 @@ fn main() {
     }
 
     // 3. Discover the structure from data alone with the PC algorithm.
-    let cpdag = pc_algorithm(table, table.schema().len(), &PcOptions::default())
-        .expect("discovery runs");
+    let cpdag =
+        pc_algorithm(table, table.schema().len(), &PcOptions::default()).expect("discovery runs");
     println!("\nPC discovery:");
     for (x, y) in cpdag.directed_edges() {
         println!("  {} -> {}", names[x], names[y]);
     }
     for (x, y) in cpdag.undirected_edges() {
-        println!("  {} -- {}  (direction not identifiable)", names[x], names[y]);
+        println!(
+            "  {} -- {}  (direction not identifiable)",
+            names[x], names[y]
+        );
     }
 }

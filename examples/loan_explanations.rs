@@ -24,7 +24,10 @@ fn main() {
         &xs,
         &labels,
         2,
-        &ForestParams { n_trees: 50, ..ForestParams::default() },
+        &ForestParams {
+            n_trees: 50,
+            ..ForestParams::default()
+        },
         11,
     )
     .expect("forest trains");
@@ -48,10 +51,7 @@ fn main() {
         let row = table.row(idx).unwrap();
         let local = engine.local(&row).expect("local explanation");
         println!("--- {story} (row {idx}) ---");
-        println!(
-            "{:<28}  {:>6}  {:>6}",
-            "attribute = value", "-ve", "+ve"
-        );
+        println!("{:<28}  {:>6}  {:>6}", "attribute = value", "-ve", "+ve");
         for c in local.contributions.iter().take(8) {
             println!(
                 "{:<28}  {:>6.3}  {:>6.3}",

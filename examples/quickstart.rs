@@ -35,7 +35,10 @@ fn main() {
         &xs,
         &labels,
         2,
-        &ForestParams { n_trees: 40, ..ForestParams::default() },
+        &ForestParams {
+            n_trees: 40,
+            ..ForestParams::default()
+        },
         7,
     )
     .expect("forest trains");
@@ -62,7 +65,10 @@ fn main() {
         .expect("global request yields a global response");
 
     println!("Global explanation (who drives the model's approvals?)\n");
-    println!("{:<10}  {:>7}  {:>7}  {:>7}", "attribute", "Nec", "Suf", "NeSuf");
+    println!(
+        "{:<10}  {:>7}  {:>7}  {:>7}",
+        "attribute", "Nec", "Suf", "NeSuf"
+    );
     for attr in &global.attributes {
         println!(
             "{:<10}  {:>7.3}  {:>7.3}  {:>7.3}",

@@ -31,7 +31,10 @@ fn main() {
         &xs,
         &labels,
         2,
-        &ForestParams { n_trees: 40, ..ForestParams::default() },
+        &ForestParams {
+            n_trees: 40,
+            ..ForestParams::default()
+        },
         3,
     )
     .expect("forest trains");

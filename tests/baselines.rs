@@ -39,13 +39,25 @@ fn german_syn_pipe(n: usize, seed: u64) -> (Pipe, lewis::causal::Scm) {
         &xs,
         &labels,
         2,
-        &ForestParams { n_trees: 25, ..ForestParams::default() },
+        &ForestParams {
+            n_trees: 25,
+            ..ForestParams::default()
+        },
         seed,
     )
     .unwrap();
     let bb = ClassifierBox::new(forest.clone(), encoder.clone());
     let pred = label_table(&mut table, &bb, "pred").unwrap();
-    (Pipe { table, pred, features, forest, encoder }, scm)
+    (
+        Pipe {
+            table,
+            pred,
+            features,
+            forest,
+            encoder,
+        },
+        scm,
+    )
 }
 
 fn proba(p: &Pipe, row: &[Value]) -> f64 {
@@ -75,7 +87,10 @@ fn shap_misses_indirect_influence_lewis_captures() {
     let shap = KernelShap::new(
         &p.table,
         &p.features,
-        ShapOptions { n_background: 30, ..ShapOptions::default() },
+        ShapOptions {
+            n_background: 30,
+            ..ShapOptions::default()
+        },
     )
     .unwrap();
     let imp = shap
@@ -151,12 +166,10 @@ fn permutation_importance_runs_on_model_predictions() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(43);
     let forest = p.forest.clone();
     let encoder = p.encoder.clone();
-    let model = move |row: &[Value]| {
-        ClassifierBox::new(forest.clone(), encoder.clone()).predict(row)
-    };
+    let model =
+        move |row: &[Value]| ClassifierBox::new(forest.clone(), encoder.clone()).predict(row);
     let scorer = accuracy_scorer(&model, p.pred);
-    let imps =
-        xai::permutation_importance(&p.table, &p.features, &scorer, 2, &mut rng).unwrap();
+    let imps = xai::permutation_importance(&p.table, &p.features, &scorer, 2, &mut rng).unwrap();
     let of = |attr: AttrId| imps.iter().find(|&&(a, _)| a == attr).unwrap().1;
     assert!(
         of(GermanSynDataset::STATUS) > of(GermanSynDataset::SEX),
@@ -189,5 +202,8 @@ fn linear_ip_gives_up_where_lewis_persists() {
         .unwrap();
     let row = table.row(neg).unwrap();
     let extreme = linear.recourse(&table, pred, &row, 0.9999999);
-    assert!(extreme.is_err(), "near-1 threshold must be infeasible for LinearIP");
+    assert!(
+        extreme.is_err(),
+        "near-1 threshold must be infeasible for LinearIP"
+    );
 }

@@ -120,7 +120,10 @@ fn german_pipeline(n: usize, seed: u64) -> (Table, AttrId, Vec<AttrId>, lewis::c
         &xs,
         &labels,
         2,
-        &ForestParams { n_trees: 15, ..ForestParams::default() },
+        &ForestParams {
+            n_trees: 15,
+            ..ForestParams::default()
+        },
         seed,
     )
     .unwrap();
@@ -151,7 +154,10 @@ fn parallel_explanations_deterministic_across_thread_counts() {
     }
     rayon::set_num_threads_for_test(0);
     for g in &globals[1..] {
-        assert_eq!(&globals[0], g, "global explanation varies with thread count");
+        assert_eq!(
+            &globals[0], g,
+            "global explanation varies with thread count"
+        );
     }
     for l in &locals[1..] {
         assert_eq!(&locals[0], l, "local explanation varies with thread count");
@@ -165,7 +171,11 @@ fn parallel_explanations_deterministic_across_thread_counts() {
 fn batch_matches_sequential_on_real_pipeline() {
     let (table, pred, _features, scm) = german_pipeline(3_000, 11);
     let est = ScoreEstimator::new(&table, Some(scm.graph()), pred, 1, 0.25).unwrap();
-    for attr in [GermanSynDataset::STATUS, GermanSynDataset::SAVING, GermanSynDataset::HOUSING] {
+    for attr in [
+        GermanSynDataset::STATUS,
+        GermanSynDataset::SAVING,
+        GermanSynDataset::HOUSING,
+    ] {
         let card = table.schema().cardinality(attr).unwrap() as u32;
         let mut contrasts = Vec::new();
         for hi in 0..card {

@@ -16,14 +16,16 @@ fn rf_pipeline(dataset: lewis::datasets::Dataset, seed: u64) -> (Table, AttrId, 
     let mut table = dataset.table;
     let labels: Vec<u32> = table.column(dataset.outcome).unwrap().to_vec();
     let n_classes = table.schema().cardinality(dataset.outcome).unwrap();
-    let encoder =
-        TableEncoder::new(table.schema(), &dataset.features, Encoding::Ordinal).unwrap();
+    let encoder = TableEncoder::new(table.schema(), &dataset.features, Encoding::Ordinal).unwrap();
     let xs = encoder.encode_table(&table);
     let forest = RandomForestClassifier::fit(
         &xs,
         &labels,
         n_classes,
-        &ForestParams { n_trees: 25, ..ForestParams::default() },
+        &ForestParams {
+            n_trees: 25,
+            ..ForestParams::default()
+        },
         seed,
     )
     .unwrap();
@@ -98,7 +100,10 @@ fn drug_multiclass_pipeline_via_binarize() {
     let gbdt = GradientBoostedTrees::fit(
         &xs,
         &labels,
-        &GbdtParams { n_rounds: 25, ..GbdtParams::default() },
+        &GbdtParams {
+            n_rounds: 25,
+            ..GbdtParams::default()
+        },
         3,
     )
     .unwrap();
@@ -139,7 +144,11 @@ fn neural_network_black_box_is_explainable() {
         &xs,
         &labels,
         2,
-        &NnParams { hidden: vec![16], epochs: 10, ..NnParams::default() },
+        &NnParams {
+            hidden: vec![16],
+            epochs: 10,
+            ..NnParams::default()
+        },
         4,
     )
     .unwrap();

@@ -102,7 +102,10 @@ fn german_engine(n: usize, seed: u64) -> Engine {
         &xs,
         &labels,
         2,
-        &ForestParams { n_trees: 15, ..ForestParams::default() },
+        &ForestParams {
+            n_trees: 15,
+            ..ForestParams::default()
+        },
         seed,
     )
     .unwrap();
@@ -168,7 +171,10 @@ fn concurrent_queries_match_single_threaded() {
         }
     }
     let stats = engine.cache_stats();
-    assert!(stats.hits > 0, "threads must share counting passes: {stats:?}");
+    assert!(
+        stats.hits > 0,
+        "threads must share counting passes: {stats:?}"
+    );
 }
 
 /// `run_batch` must agree with `run`, positionally.
@@ -185,7 +191,9 @@ fn run_batch_agrees_with_individual_runs() {
             k: Context::of([(GermanSynDataset::SEX, 0)]),
         },
         ExplainRequest::Local { row: row.clone() },
-        ExplainRequest::ContextualGlobal { k: Context::of([(GermanSynDataset::SEX, 1)]) },
+        ExplainRequest::ContextualGlobal {
+            k: Context::of([(GermanSynDataset::SEX, 1)]),
+        },
         ExplainRequest::Global,
     ];
     let batch = engine.run_batch(&requests);
@@ -230,7 +238,9 @@ fn best_pair_is_none_when_no_pair_has_support() {
     assert_eq!(unsupported.best_pair, None);
     assert_eq!(unsupported.scores, Scores::default());
     // with full support the maximizing contrast is reported
-    let supported = engine.attribute_scores(AttrId(1), &Context::empty()).unwrap();
+    let supported = engine
+        .attribute_scores(AttrId(1), &Context::empty())
+        .unwrap();
     assert_eq!(supported.best_pair, Some((1, 0)));
     assert!(supported.scores.sufficiency > 0.9);
 }

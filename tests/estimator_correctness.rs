@@ -39,13 +39,22 @@ fn fixture(n: usize, seed: u64) -> Fixture {
         &xs,
         &labels,
         2,
-        &ForestParams { n_trees: 30, ..ForestParams::default() },
+        &ForestParams {
+            n_trees: 30,
+            ..ForestParams::default()
+        },
         seed,
     )
     .unwrap();
     let bb = ClassifierBox::new(forest, encoder);
     let pred = label_table(&mut table, &bb, "pred").unwrap();
-    Fixture { table, pred, scm, features, bb }
+    Fixture {
+        table,
+        pred,
+        scm,
+        features,
+        bb,
+    }
 }
 
 #[test]
@@ -54,8 +63,11 @@ fn estimated_scores_track_exact_ground_truth() {
     let est = ScoreEstimator::new(&f.table, Some(f.scm.graph()), f.pred, 1, 0.25).unwrap();
     let gt = GroundTruth::exact(&f.scm, &f.bb, 1).unwrap();
     let k = Context::empty();
-    for attr in [GermanSynDataset::STATUS, GermanSynDataset::SAVING, GermanSynDataset::HOUSING]
-    {
+    for attr in [
+        GermanSynDataset::STATUS,
+        GermanSynDataset::SAVING,
+        GermanSynDataset::HOUSING,
+    ] {
         let card = f.table.schema().cardinality(attr).unwrap() as u32;
         let (hi, lo) = (card - 1, 0);
         let estimated = est.scores(attr, hi, lo, &k).unwrap();
@@ -91,7 +103,10 @@ fn frechet_bounds_contain_ground_truth() {
     let attr = GermanSynDataset::STATUS;
     for (kind, exact) in [
         (ScoreKind::Necessity, gt.necessity(attr, 3, 0, &k).unwrap()),
-        (ScoreKind::Sufficiency, gt.sufficiency(attr, 3, 0, &k).unwrap()),
+        (
+            ScoreKind::Sufficiency,
+            gt.sufficiency(attr, 3, 0, &k).unwrap(),
+        ),
         (
             ScoreKind::NecessityAndSufficiency,
             gt.nesuf(attr, 3, 0, &k).unwrap(),

@@ -4,9 +4,7 @@
 use lewis::causal::{is_d_separated, Dag};
 use lewis::core::report::{kendall_tau, ranks_desc, spearman_rho};
 use lewis::optim::{Group, IpError, Item, MckpSolver};
-use lewis::tabular::{
-    BinningStrategy, Binner, Context, Counter, Domain, Schema, Table,
-};
+use lewis::tabular::{Binner, BinningStrategy, Context, Counter, Domain, Schema, Table};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
@@ -189,7 +187,11 @@ fn arb_groups() -> impl Strategy<Value = Vec<Group>> {
                 items: items
                     .into_iter()
                     .enumerate()
-                    .map(|(iid, (cost, gain))| Item { id: iid, cost, gain })
+                    .map(|(iid, (cost, gain))| Item {
+                        id: iid,
+                        cost,
+                        gain,
+                    })
                     .collect(),
             })
             .collect()

@@ -32,7 +32,10 @@ fn recourse_achieves_ground_truth_sufficiency() {
         &xs,
         &labels,
         2,
-        &ForestParams { n_trees: 30, ..ForestParams::default() },
+        &ForestParams {
+            n_trees: 30,
+            ..ForestParams::default()
+        },
         31,
     )
     .unwrap();
@@ -43,7 +46,11 @@ fn recourse_achieves_ground_truth_sufficiency() {
     let engine = RecourseEngine::new(&est, &actionable).unwrap();
     let gt = GroundTruth::exact(&scm, &bb, 1).unwrap();
     let alpha = 0.9;
-    let opts = RecourseOptions { alpha, cost: CostModel::Unit, ..RecourseOptions::default() };
+    let opts = RecourseOptions {
+        alpha,
+        cost: CostModel::Unit,
+        ..RecourseOptions::default()
+    };
 
     let preds = table.column(pred).unwrap().to_vec();
     let mut produced = 0usize;
@@ -95,14 +102,17 @@ fn recourse_respects_actionability_boundaries() {
         .collect();
     let encoder = TableEncoder::new(table.schema(), &features, Encoding::Ordinal).unwrap();
     let xs = encoder.encode_table(&table);
-    let forest = RandomForestClassifier::fit(&xs, &labels, 2, &ForestParams::default(), 32)
-        .unwrap();
+    let forest =
+        RandomForestClassifier::fit(&xs, &labels, 2, &ForestParams::default(), 32).unwrap();
     let bb = ClassifierBox::new(forest, encoder);
     let pred = label_table(&mut table, &bb, "pred").unwrap();
     let est = ScoreEstimator::new(&table, Some(scm.graph()), pred, 1, 0.25).unwrap();
     // only saving is actionable
     let engine = RecourseEngine::new(&est, &[GermanSynDataset::SAVING]).unwrap();
-    let opts = RecourseOptions { alpha: 0.5, ..RecourseOptions::default() };
+    let opts = RecourseOptions {
+        alpha: 0.5,
+        ..RecourseOptions::default()
+    };
     let preds = table.column(pred).unwrap().to_vec();
     let mut any = false;
     for (idx, &p) in preds.iter().enumerate().take(2000) {
@@ -112,7 +122,11 @@ fn recourse_respects_actionability_boundaries() {
         let row = table.row(idx).unwrap();
         if let Ok(r) = engine.recourse(&row, &opts) {
             for a in &r.actions {
-                assert_eq!(a.attr, GermanSynDataset::SAVING, "touched non-actionable attr");
+                assert_eq!(
+                    a.attr,
+                    GermanSynDataset::SAVING,
+                    "touched non-actionable attr"
+                );
             }
             if !r.actions.is_empty() {
                 any = true;

@@ -1,0 +1,209 @@
+//! End-to-end contract of the serving subsystem: what comes back over
+//! a real socket is **bit-identical** to what `Engine::run` returns in
+//! process, for every query kind, singly and batched — plus the error
+//! paths a network service must get right (400/404/413).
+
+use lewis_core::{ExplainRequest, ExplainResponse, RecourseOptions};
+use lewis_serve::wire::{self, Json};
+use lewis_serve::{serve, Client, EngineRegistry, Server, ServerConfig};
+use std::sync::Arc;
+use tabular::{AttrId, Context};
+
+const ENGINE: &str = "german_syn";
+
+/// Start a server over a small german_syn engine; return it with a
+/// direct handle to the same shared engine.
+fn start() -> (Server, Arc<lewis_core::Engine>) {
+    let mut registry = EngineRegistry::new();
+    registry.load_builtin(ENGINE, 1500, 17).unwrap();
+    let engine = Arc::clone(&registry.get(ENGINE).unwrap().engine);
+    let config = ServerConfig {
+        workers: 2,
+        max_body: 64 * 1024, // small enough to exercise 413 cheaply
+        ..ServerConfig::default()
+    };
+    let server = serve(&config, Arc::new(registry)).unwrap();
+    (server, engine)
+}
+
+/// A negative (pred = 0) row of the table, for local/recourse queries.
+fn negative_row(engine: &lewis_core::Engine) -> Vec<tabular::Value> {
+    let pred = engine.estimator().pred_attr();
+    for i in 0..engine.table().n_rows() {
+        let row = engine.table().row(i).unwrap();
+        if row[pred.index()] == 0 {
+            return row;
+        }
+    }
+    panic!("no negative row in the table");
+}
+
+/// The five paper query kinds over one engine.
+fn all_kinds(engine: &lewis_core::Engine) -> Vec<ExplainRequest> {
+    let k = Context::of([(AttrId(1), 1)]); // sex = male sub-population
+    let row = negative_row(engine);
+    vec![
+        ExplainRequest::Global,
+        ExplainRequest::ContextualGlobal { k: k.clone() },
+        ExplainRequest::Contextual { attr: AttrId(2), k },
+        ExplainRequest::Local { row: row.clone() },
+        ExplainRequest::Recourse {
+            row,
+            actionable: vec![AttrId(2), AttrId(3)],
+            opts: RecourseOptions {
+                alpha: 0.5,
+                ..RecourseOptions::default()
+            },
+        },
+    ]
+}
+
+/// Serialize a response with the wire codec — the codec is f64-lossless
+/// and deterministic, so byte equality here **is** bit equality of
+/// every score, label and action.
+fn wire_bytes(response: &ExplainResponse) -> String {
+    wire::response_to_json(response).to_json()
+}
+
+#[test]
+fn over_the_wire_results_are_bit_identical_to_in_process() {
+    let (server, engine) = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let path = format!("/v1/engines/{ENGINE}/explain");
+
+    for request in all_kinds(&engine) {
+        let body = wire::request_to_json(&request).to_json();
+        let (status, answer) = client.post(&path, &body).unwrap();
+        let direct = engine.run(&request);
+        match direct {
+            Ok(direct) => {
+                assert_eq!(status, 200, "{request:?} → {answer:?}");
+                // byte-for-byte: every f64 crossed the wire losslessly
+                assert_eq!(answer.to_json(), wire_bytes(&direct), "{request:?}");
+                // and the decoded struct round-trips to the same bytes
+                let decoded = wire::response_from_json(&answer).unwrap();
+                assert_eq!(wire_bytes(&decoded), wire_bytes(&direct));
+            }
+            Err(e) => {
+                assert_eq!(status, wire::error_status(&e), "{request:?}");
+                assert_eq!(answer.to_json(), wire::error_to_json(&e).to_json());
+            }
+        }
+    }
+
+    // a second client sees the same bytes (cache hits are bit-identical)
+    let mut second = Client::connect(server.addr()).unwrap();
+    let body = wire::request_to_json(&ExplainRequest::Global).to_json();
+    let (_, a) = client.post(&path, &body).unwrap();
+    let (_, b) = second.post(&path, &body).unwrap();
+    assert_eq!(a.to_json(), b.to_json());
+
+    server.shutdown();
+}
+
+#[test]
+fn mixed_batches_match_run_batch_positionally() {
+    let (server, engine) = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let path = format!("/v1/engines/{ENGINE}/explain");
+
+    // all five kinds plus repeats, interleaved, in one body
+    let mut requests = all_kinds(&engine);
+    requests.push(ExplainRequest::Global);
+    requests.push(requests[2].clone());
+    let body = Json::obj([(
+        "batch",
+        Json::Arr(requests.iter().map(wire::request_to_json).collect()),
+    )])
+    .to_json();
+
+    let (status, answer) = client.post(&path, &body).unwrap();
+    assert_eq!(status, 200);
+    let results = answer.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), requests.len());
+
+    for (wire_result, direct) in results.iter().zip(engine.run_batch(&requests)) {
+        match direct {
+            Ok(direct) => assert_eq!(wire_result.to_json(), wire_bytes(&direct)),
+            Err(e) => {
+                assert_eq!(wire_result.to_json(), wire::error_to_json(&e).to_json())
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_json_is_a_400_with_location() {
+    let (server, _) = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let path = format!("/v1/engines/{ENGINE}/explain");
+
+    let (status, body) = client.post(&path, "{not json").unwrap();
+    assert_eq!(status, 400);
+    let error = body.get("error").unwrap();
+    assert_eq!(error.get("code").unwrap().as_str(), Some("bad_json"));
+
+    // well-formed JSON that is not a valid request is also a 400, and
+    // the message names the offending path
+    let (status, body) = client
+        .post(&path, r#"{"kind":"local","row":["x"]}"#)
+        .unwrap();
+    assert_eq!(status, 400);
+    let message = body
+        .get("error")
+        .unwrap()
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(
+        message.contains("row[0]"),
+        "locates the bad field: {message}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn unknown_engine_is_a_404() {
+    let (server, _) = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (status, body) = client
+        .post("/v1/engines/not_registered/explain", r#"{"kind":"global"}"#)
+        .unwrap();
+    assert_eq!(status, 404);
+    assert_eq!(
+        body.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("unknown_engine")
+    );
+    server.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_a_413() {
+    let (server, _) = start();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let path = format!("/v1/engines/{ENGINE}/explain");
+
+    // 64 KiB limit; announce (and send) more
+    let huge = format!(
+        r#"{{"kind":"local","row":[{}]}}"#,
+        "0,".repeat(50_000) + "0"
+    );
+    assert!(huge.len() > 64 * 1024);
+    let (status, body) = client.post(&path, &huge).unwrap();
+    assert_eq!(status, 413);
+    assert_eq!(
+        body.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("body_too_large")
+    );
+
+    // the server closed that connection (it never read the body); a
+    // fresh connection still works
+    let mut fresh = Client::connect(server.addr()).unwrap();
+    let (status, _) = fresh.get("/healthz").unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+}

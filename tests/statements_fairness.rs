@@ -15,14 +15,16 @@ fn train(dataset: lewis::datasets::Dataset, seed: u64) -> (Table, AttrId, Vec<At
     let mut table = dataset.table;
     let labels: Vec<u32> = table.column(dataset.outcome).unwrap().to_vec();
     let n_classes = table.schema().cardinality(dataset.outcome).unwrap();
-    let encoder =
-        TableEncoder::new(table.schema(), &dataset.features, Encoding::Ordinal).unwrap();
+    let encoder = TableEncoder::new(table.schema(), &dataset.features, Encoding::Ordinal).unwrap();
     let xs = encoder.encode_table(&table);
     let forest = RandomForestClassifier::fit(
         &xs,
         &labels,
         n_classes,
-        &ForestParams { n_trees: 25, ..ForestParams::default() },
+        &ForestParams {
+            n_trees: 25,
+            ..ForestParams::default()
+        },
         seed,
     )
     .unwrap();
@@ -46,15 +48,15 @@ fn figure_one_style_statement_for_rejected_applicant() {
     let preds = table.column(pred).unwrap().to_vec();
     let worst_status = *order.last().unwrap();
     let idx = (0..table.n_rows())
-        .find(|&i| {
-            preds[i] == 0 && table.get(i, GermanDataset::STATUS).unwrap() != worst_status
-        })
+        .find(|&i| preds[i] == 0 && table.get(i, GermanDataset::STATUS).unwrap() != worst_status)
         .expect("rejected applicant with improvable status");
     let row = table.row(idx).unwrap();
     let stmt = best_statement(&est, &words, &row, GermanDataset::STATUS, &order, 20)
         .unwrap()
         .expect("a statement exists");
-    assert!(stmt.text.starts_with("Your loan would have been approved with"));
+    assert!(stmt
+        .text
+        .starts_with("Your loan would have been approved with"));
     assert!(stmt.text.contains("status ="));
     assert!((0.0..=1.0).contains(&stmt.probability));
 }
@@ -70,8 +72,7 @@ fn compas_score_fails_counterfactual_fairness() {
         .alpha(0.5)
         .build()
         .unwrap();
-    let report =
-        fairness::audit(&lewis, CompasDataset::RACE, &Context::empty(), 0.05).unwrap();
+    let report = fairness::audit(&lewis, CompasDataset::RACE, &Context::empty(), 0.05).unwrap();
     assert!(
         !report.counterfactually_fair,
         "the biased score must fail the audit: {report:?}"
@@ -107,8 +108,7 @@ fn german_sex_is_closer_to_fair_than_compas_race() {
         .alpha(0.5)
         .build()
         .unwrap();
-    let g_report =
-        fairness::audit(&g_lewis, GermanDataset::SEX, &Context::empty(), 0.05).unwrap();
+    let g_report = fairness::audit(&g_lewis, GermanDataset::SEX, &Context::empty(), 0.05).unwrap();
 
     let (c_table, c_pred, c_features) = train(CompasDataset::generate(4000, 63), 63);
     let c_scm = CompasDataset::scm();
@@ -119,8 +119,7 @@ fn german_sex_is_closer_to_fair_than_compas_race() {
         .alpha(0.5)
         .build()
         .unwrap();
-    let c_report =
-        fairness::audit(&c_lewis, CompasDataset::RACE, &Context::empty(), 0.05).unwrap();
+    let c_report = fairness::audit(&c_lewis, CompasDataset::RACE, &Context::empty(), 0.05).unwrap();
 
     assert!(
         g_report.max_sufficiency < c_report.max_sufficiency,
