@@ -67,10 +67,43 @@ fn bench_row_oriented_baseline(c: &mut Criterion) {
     });
 }
 
+/// Label → code resolution on a wide categorical domain — the per-cell
+/// cost of CSV ingestion and wire decoding. `Domain::code_of` now
+/// builds a lazy hash index for wide domains; the linear baseline is
+/// what every lookup used to pay.
+fn bench_code_of_wide_domain(c: &mut Criterion) {
+    const CARD: usize = 512;
+    let labels: Vec<String> = (0..CARD).map(|i| format!("label-{i:04}")).collect();
+    let domain = Domain::categorical(labels.clone());
+    // a shuffled probe order, hitting the whole domain
+    let probes: Vec<&String> = (0..CARD).map(|i| &labels[(i * 173) % CARD]).collect();
+
+    let mut group = c.benchmark_group("code_of_512_labels");
+    group.bench_function("indexed", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for l in &probes {
+                sum += u64::from(domain.code_of(l).unwrap());
+            }
+            sum
+        })
+    });
+    group.bench_function("linear_scan_baseline", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for l in &probes {
+                sum += labels.iter().position(|x| &x == l).unwrap() as u64;
+            }
+            sum
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_counter_build, bench_conditional_probability, bench_row_filter,
-              bench_row_oriented_baseline
+              bench_row_oriented_baseline, bench_code_of_wide_domain
 }
 criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Produce the `BENCH_store.json` payload: wall-clock cold-start times
+//! for pack-restore vs CSV-rebuild+rewarm, plus file sizes, printed as
+//! JSON on stdout.
+//!
+//! Run from the repo root (release!):
+//! `cargo run --release -p bench --bin bench_store_report > BENCH_store.json`
+
+use lewis_serve::warm::warm_engine;
+use lewis_serve::{EngineRegistry, GraphSpec};
+use std::time::Instant;
+
+const ROWS: usize = 5000;
+const WARM_QUERIES: usize = 128;
+const SEED: u64 = 42;
+const ITERATIONS: usize = 7;
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("lewis-bench-store-report-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("german_syn.csv");
+    let pack = dir.join("german_syn.lewis");
+
+    // fixture: the CSV, and a pack compiled from it with a warm cache
+    let mut reg = EngineRegistry::new();
+    reg.load_builtin("german_syn", ROWS, SEED).unwrap();
+    tabular::write_csv_file(reg.get("german_syn").unwrap().engine.table(), &csv).unwrap();
+    let mut compile = EngineRegistry::new();
+    compile
+        .load_csv(
+            "engine",
+            csv.to_str().unwrap(),
+            "pred",
+            "true",
+            GraphSpec::FullyConnected,
+        )
+        .unwrap();
+    warm_engine(&compile.get("engine").unwrap().engine, WARM_QUERIES, SEED).unwrap();
+    compile.save_pack("engine", pack.to_str().unwrap()).unwrap();
+
+    let mut rebuild_ms = Vec::new();
+    let mut restore_ms = Vec::new();
+    let mut warm_entries = (0usize, 0usize);
+    for _ in 0..ITERATIONS {
+        let t0 = Instant::now();
+        let mut boot = EngineRegistry::new();
+        boot.load_csv(
+            "engine",
+            csv.to_str().unwrap(),
+            "pred",
+            "true",
+            GraphSpec::FullyConnected,
+        )
+        .unwrap();
+        let engine = &boot.get("engine").unwrap().engine;
+        warm_engine(engine, WARM_QUERIES, SEED).unwrap();
+        rebuild_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        warm_entries.0 = engine.cache_stats().entries;
+
+        let t1 = Instant::now();
+        let (restored, _) = lewis_store::load_engine(&pack).unwrap();
+        restore_ms.push(t1.elapsed().as_secs_f64() * 1e3);
+        warm_entries.1 = restored.cache_stats().entries;
+    }
+    assert_eq!(
+        warm_entries.0, warm_entries.1,
+        "both boot paths must end at the same warm cache"
+    );
+
+    let csv_size = std::fs::metadata(&csv).unwrap().len();
+    let pack_size = std::fs::metadata(&pack).unwrap().len();
+    let rebuild = median_ms(rebuild_ms);
+    let restore = median_ms(restore_ms);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!("{{");
+    println!(
+        "  \"description\": \"Cold-start benchmark: lewis-store pack restore (ready-to-serve, warm cache) vs CSV rebuild + cache rewarm on german_syn ({ROWS} rows, {WARM_QUERIES} warm queries). Acceptance: pack restore >= 5x faster.\","
+    );
+    println!("  \"environment\": {{\"cpus\": {}, \"iterations\": {ITERATIONS}, \"statistic\": \"median\"}},", std::thread::available_parallelism().map_or(1, usize::from));
+    println!("  \"results\": {{");
+    println!("    \"csv_rebuild_rewarm_ms\": {rebuild:.3},");
+    println!("    \"pack_restore_ms\": {restore:.3},");
+    println!("    \"speedup\": {:.1},", rebuild / restore);
+    println!("    \"warm_cache_entries\": {},", warm_entries.1);
+    println!("    \"csv_size_bytes\": {csv_size},");
+    println!("    \"pack_size_bytes\": {pack_size},");
+    println!(
+        "    \"pack_to_csv_size_ratio\": {:.3}",
+        pack_size as f64 / csv_size as f64
+    );
+    println!("  }}");
+    println!("}}");
+    eprintln!(
+        "csv_rebuild_rewarm {rebuild:.1} ms vs pack_restore {restore:.1} ms → {:.1}x",
+        rebuild / restore
+    );
+}

@@ -32,13 +32,13 @@ use tabular::{AttrId, Context, FxHashMap};
 /// invariants; the adjustment set is derived from graph + key but kept
 /// in the key so graph-free and graph-full engines can never alias).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct PassKey {
+pub(crate) struct PassKey {
     /// Sorted intervened attribute set.
-    xs: Vec<AttrId>,
+    pub(crate) xs: Vec<AttrId>,
     /// The query context `k`.
-    k: Context,
+    pub(crate) k: Context,
     /// The backdoor adjustment set used for the pass.
-    c_set: Vec<AttrId>,
+    pub(crate) c_set: Vec<AttrId>,
 }
 
 /// Hit/miss counters plus occupancy — exposed via
@@ -173,6 +173,50 @@ impl CountingCache {
     /// engine's lifetime, not the current residency).
     pub(crate) fn clear(&self) {
         self.inner.lock().expect("cache lock").map.clear();
+    }
+
+    /// Export the resident passes in **recency order** (least recently
+    /// touched first) together with the lifetime counters — the payload
+    /// of an engine snapshot. The `Arc`s are shared, not copied.
+    pub(crate) fn export(&self) -> (u64, u64, Vec<(PassKey, Arc<ArmTable>)>) {
+        let inner = self.inner.lock().expect("cache lock");
+        let mut entries: Vec<(u64, PassKey, Arc<ArmTable>)> = inner
+            .map
+            .iter()
+            .map(|(k, (touched, arms))| (*touched, k.clone(), Arc::clone(arms)))
+            .collect();
+        entries.sort_by_key(|(touched, _, _)| *touched);
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            entries.into_iter().map(|(_, k, a)| (k, a)).collect(),
+        )
+    }
+
+    /// Rebuild a cache from exported state. `entries` must be in
+    /// recency order (as produced by [`CountingCache::export`]): they
+    /// are re-stamped in sequence, so LRU eviction behaves exactly as
+    /// in the donor. Entries beyond `capacity` evict from the front,
+    /// mirroring what the donor's own bound would have kept.
+    pub(crate) fn restore(
+        capacity: usize,
+        hits: u64,
+        misses: u64,
+        entries: Vec<(PassKey, Arc<ArmTable>)>,
+    ) -> Self {
+        let cache = CountingCache::new(capacity);
+        {
+            let mut inner = cache.inner.lock().expect("cache lock");
+            let keep = entries.len().saturating_sub(cache.capacity);
+            for (key, arms) in entries.into_iter().skip(keep) {
+                inner.stamp += 1;
+                let stamp = inner.stamp;
+                inner.map.insert(key, (stamp, arms));
+            }
+        }
+        cache.hits.store(hits, Ordering::Relaxed);
+        cache.misses.store(misses, Ordering::Relaxed);
+        cache
     }
 }
 

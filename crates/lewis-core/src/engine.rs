@@ -34,13 +34,14 @@
 //!   batched queries — results are bit-identical to cold evaluation
 //!   (property-tested), just without the redundant table scans.
 
-use crate::cache::CountingCache;
+use crate::cache::{CountingCache, PassKey};
 use crate::explain::{
     AttributeScores, ContextualExplanation, GlobalExplanation, LocalContribution, LocalExplanation,
 };
 use crate::ordering::{infer_value_order, ordered_pairs};
 use crate::recourse::{Recourse, RecourseEngine, RecourseOptions};
-use crate::scores::{Contrast, ScoreEstimator, Scores};
+use crate::scores::{ArmTable, CellArms, Contrast, ScoreEstimator, Scores};
+use crate::snapshot::{ArmSnapshot, CacheSnapshot, CellSnapshot, EngineSnapshot, PassSnapshot};
 use crate::{LewisError, Result};
 use causal::Dag;
 use rayon::prelude::*;
@@ -314,6 +315,151 @@ impl Engine {
     /// next queries just pay their scans again).
     pub fn clear_cache(&self) {
         self.cache.clear()
+    }
+
+    /// Capture everything needed to rebuild this engine exactly —
+    /// configuration, inferred value orders, and the warm counting-pass
+    /// cache. The table and graph are shared into the snapshot, not
+    /// copied. See [`crate::snapshot`] for the fidelity guarantees and
+    /// [`Engine::restore`] for the inverse.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let (hits, misses, entries) = self.cache.export();
+        let passes = entries
+            .into_iter()
+            .map(|(key, arms)| PassSnapshot {
+                xs: key.xs,
+                context: key.k,
+                c_set: key.c_set,
+                total: arms.total,
+                cells: arms
+                    .cells
+                    .iter()
+                    .map(|(cell_key, cell)| CellSnapshot {
+                        key: cell_key.clone(),
+                        rows: cell.n,
+                        arms: cell
+                            .arms
+                            .iter()
+                            .map(|(assignment, (rows, positives))| ArmSnapshot {
+                                assignment: assignment.clone(),
+                                rows: *rows,
+                                positives: *positives,
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        EngineSnapshot {
+            table: self.est.shared_table(),
+            graph: self.est.shared_graph(),
+            pred: self.est.pred_attr(),
+            positive: self.est.positive(),
+            alpha: self.est.alpha(),
+            min_support: self.min_support,
+            cache_capacity: self.cache.stats().capacity,
+            features: self.features.clone(),
+            orders: self.orders.clone(),
+            cache: CacheSnapshot {
+                hits,
+                misses,
+                passes,
+            },
+        }
+    }
+
+    /// Rebuild an engine from a snapshot, **without** re-inferring value
+    /// orders or re-running counting passes: the restored engine answers
+    /// every query byte-for-byte like the donor (property-tested in
+    /// `tests/pack_engine.rs`).
+    ///
+    /// The snapshot is validated structurally before anything is trusted
+    /// — feature/order/cache inconsistencies against the table's schema
+    /// are reported as [`LewisError::Invalid`], never absorbed, so a
+    /// mismatched table + snapshot pairing cannot produce a garbage
+    /// engine.
+    pub fn restore(snapshot: EngineSnapshot) -> Result<Engine> {
+        let EngineSnapshot {
+            table,
+            graph,
+            pred,
+            positive,
+            alpha,
+            min_support,
+            cache_capacity,
+            features,
+            orders,
+            cache,
+        } = snapshot;
+        let est = ScoreEstimator::from_shared(table, graph, pred, positive, alpha)?;
+        let schema = est.table().schema();
+        if features.is_empty() {
+            return Err(LewisError::Invalid(
+                "snapshot: features must not be empty".into(),
+            ));
+        }
+        if features.contains(&pred) {
+            return Err(LewisError::Invalid(
+                "snapshot: features must not include the prediction".into(),
+            ));
+        }
+        for (i, &a) in features.iter().enumerate() {
+            schema.attr(a)?;
+            // any *order* is legitimate (builders take features in user
+            // order), but a duplicate would score and report the same
+            // attribute twice
+            if features[..i].contains(&a) {
+                return Err(LewisError::Invalid(format!(
+                    "snapshot: feature {a} appears more than once"
+                )));
+            }
+        }
+        if orders.len() != schema.len() {
+            return Err(LewisError::Invalid(format!(
+                "snapshot: {} value orders for a schema of {} attributes",
+                orders.len(),
+                schema.len()
+            )));
+        }
+        for (i, order) in orders.iter().enumerate() {
+            let a = AttrId(i as u32);
+            let is_feature = features.contains(&a);
+            match order {
+                None if is_feature => {
+                    return Err(LewisError::Invalid(format!(
+                        "snapshot: feature {a} has no value order"
+                    )))
+                }
+                Some(_) if !is_feature => {
+                    return Err(LewisError::Invalid(format!(
+                        "snapshot: non-feature {a} carries a value order"
+                    )))
+                }
+                Some(order) => {
+                    let card = schema.cardinality(a)?;
+                    let mut sorted = order.clone();
+                    sorted.sort_unstable();
+                    if sorted != (0..card as Value).collect::<Vec<_>>() {
+                        return Err(LewisError::Invalid(format!(
+                            "snapshot: value order of {a} is not a permutation of its domain"
+                        )));
+                    }
+                }
+                None => {}
+            }
+        }
+        let entries = cache
+            .passes
+            .into_iter()
+            .map(|pass| restore_pass(&est, pass))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Engine {
+            est,
+            features,
+            orders,
+            min_support,
+            cache: CountingCache::restore(cache_capacity, cache.hits, cache.misses, entries),
+        })
     }
 
     /// Answer one request.
@@ -632,6 +778,124 @@ impl Engine {
     }
 }
 
+/// Validate one snapshotted counting pass against the engine's schema
+/// and freeze it back into the cache's internal representation. Every
+/// structural invariant the scorer relies on (sortedness, arity,
+/// domain-valid codes, consistent counts) is checked here, so a
+/// snapshot that disagrees with its table can never be served from.
+fn restore_pass(est: &ScoreEstimator, pass: PassSnapshot) -> Result<(PassKey, Arc<ArmTable>)> {
+    let schema = est.table().schema();
+    let invalid = |msg: String| LewisError::Invalid(format!("snapshot cache: {msg}"));
+    let check_attr_set = |attrs: &[AttrId], what: &str| -> Result<()> {
+        if attrs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(invalid(format!("{what} is not strictly ascending")));
+        }
+        for &a in attrs {
+            schema.attr(a)?;
+        }
+        Ok(())
+    };
+    if pass.xs.is_empty() {
+        return Err(invalid("pass intervenes on no attributes".into()));
+    }
+    check_attr_set(&pass.xs, "intervened set")?;
+    check_attr_set(&pass.c_set, "adjustment set")?;
+    for &x in &pass.xs {
+        if x == est.pred_attr() {
+            return Err(invalid(format!("pass intervenes on the prediction {x}")));
+        }
+        if pass.context.constrains(x) {
+            return Err(invalid(format!("context constrains intervened {x}")));
+        }
+    }
+    for (a, v) in pass.context.iter() {
+        schema.check_value(a, v)?;
+    }
+    let mut cells = Vec::with_capacity(pass.cells.len());
+    let mut total = 0u64;
+    let mut prev_key: Option<&[Value]> = None;
+    for cell in &pass.cells {
+        if cell.key.len() != pass.c_set.len() {
+            return Err(invalid(format!(
+                "cell key has {} values for an adjustment set of {}",
+                cell.key.len(),
+                pass.c_set.len()
+            )));
+        }
+        if prev_key.is_some_and(|p| p >= cell.key.as_slice()) {
+            return Err(invalid("cells are not strictly sorted".into()));
+        }
+        prev_key = Some(&cell.key);
+        for (&a, &v) in pass.c_set.iter().zip(&cell.key) {
+            schema.check_value(a, v)?;
+        }
+        let mut arms = Vec::with_capacity(cell.arms.len());
+        let mut arm_rows = 0u64;
+        let mut prev_arm: Option<&[Value]> = None;
+        for arm in &cell.arms {
+            if arm.assignment.len() != pass.xs.len() {
+                return Err(invalid(format!(
+                    "arm has {} values for an intervened set of {}",
+                    arm.assignment.len(),
+                    pass.xs.len()
+                )));
+            }
+            if prev_arm.is_some_and(|p| p >= arm.assignment.as_slice()) {
+                return Err(invalid("arms are not strictly sorted".into()));
+            }
+            prev_arm = Some(&arm.assignment);
+            for (&a, &v) in pass.xs.iter().zip(&arm.assignment) {
+                schema.check_value(a, v)?;
+            }
+            if arm.positives > arm.rows {
+                return Err(invalid(format!(
+                    "arm counts {} positives out of {} rows",
+                    arm.positives, arm.rows
+                )));
+            }
+            // checked: crafted u64 counts must fail typed, not wrap
+            // (release) or panic (debug) past the consistency checks
+            arm_rows = arm_rows
+                .checked_add(arm.rows)
+                .ok_or_else(|| invalid("arm row counts overflow".into()))?;
+            arms.push((arm.assignment.clone(), (arm.rows, arm.positives)));
+        }
+        if arm_rows != cell.rows {
+            return Err(invalid(format!(
+                "cell rows {} disagree with its arms' total {arm_rows}",
+                cell.rows
+            )));
+        }
+        total = total
+            .checked_add(cell.rows)
+            .ok_or_else(|| invalid("cell row counts overflow".into()))?;
+        cells.push((cell.key.clone(), CellArms { n: cell.rows, arms }));
+    }
+    if total != pass.total {
+        return Err(invalid(format!(
+            "pass total {} disagrees with its cells' total {total}",
+            pass.total
+        )));
+    }
+    if total > est.table().n_rows() as u64 {
+        return Err(invalid(format!(
+            "pass counts {total} rows but the table has only {}",
+            est.table().n_rows()
+        )));
+    }
+    Ok((
+        PassKey {
+            xs: pass.xs,
+            k: pass.context,
+            c_set: pass.c_set,
+        },
+        Arc::new(ArmTable {
+            cells,
+            total: pass.total,
+        }),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -943,6 +1207,120 @@ mod tests {
             (Err(d), Err(r)) => assert_eq!(format!("{d}"), format!("{r}")),
             (d, r) => panic!("direct {d:?} vs batch {r:?}"),
         }
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_and_keeps_the_cache_warm() {
+        let donor = engine(5000);
+        // warm the donor with a realistic mix
+        let k = Context::of([(AttrId(0), 1)]);
+        let _ = donor.global().unwrap();
+        let _ = donor.contextual_global(&k).unwrap();
+        let row = donor.table().row(0).unwrap();
+        let _ = donor.local(&row).unwrap();
+        let donor_stats = donor.cache_stats();
+        assert!(donor_stats.entries > 0, "warm-up must populate the cache");
+
+        let restored = Engine::restore(donor.snapshot()).unwrap();
+        // cache state carried over: entries resident, counters continue
+        let restored_stats = restored.cache_stats();
+        assert_eq!(restored_stats.entries, donor_stats.entries);
+        assert_eq!(restored_stats.hits, donor_stats.hits);
+        assert_eq!(restored_stats.misses, donor_stats.misses);
+        assert_eq!(restored_stats.capacity, donor_stats.capacity);
+
+        // every query kind answers identically, to the bit
+        let g_d = donor.global().unwrap();
+        let g_r = restored.global().unwrap();
+        assert_eq!(g_d, g_r);
+        for (d, r) in g_d.attributes.iter().zip(&g_r.attributes) {
+            assert_eq!(d.scores.nesuf.to_bits(), r.scores.nesuf.to_bits());
+            assert_eq!(d.scores.necessity.to_bits(), r.scores.necessity.to_bits());
+            assert_eq!(
+                d.scores.sufficiency.to_bits(),
+                r.scores.sufficiency.to_bits()
+            );
+        }
+        assert_eq!(
+            donor.contextual(AttrId(1), &k).unwrap(),
+            restored.contextual(AttrId(1), &k).unwrap()
+        );
+        assert_eq!(donor.local(&row).unwrap(), restored.local(&row).unwrap());
+        // the restored cache *hits* on the donor's warm keys
+        let before = restored.cache_stats().hits;
+        let _ = restored.contextual_global(&k).unwrap();
+        assert!(
+            restored.cache_stats().hits > before,
+            "restored cache must serve warm keys without re-scanning"
+        );
+        // and a snapshot of the restored engine round-trips the cache
+        let again = donor.snapshot();
+        let re_snap = restored.snapshot();
+        assert_eq!(again.cache.passes.len(), donor_stats.entries);
+        assert_eq!(re_snap.orders, again.orders);
+        assert_eq!(re_snap.features, again.features);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let donor = engine(500);
+        let _ = donor.global().unwrap();
+        let base = donor.snapshot();
+
+        // empty features
+        let mut s = base.clone();
+        s.features.clear();
+        s.orders = vec![None; s.orders.len()];
+        assert!(Engine::restore(s).is_err());
+
+        // order missing for a feature
+        let mut s = base.clone();
+        s.orders[0] = None;
+        assert!(Engine::restore(s).is_err());
+
+        // order that is not a permutation of the domain
+        let mut s = base.clone();
+        s.orders[0] = Some(vec![0, 0, 1]);
+        assert!(Engine::restore(s).is_err());
+
+        // order arity mismatching the schema
+        let mut s = base.clone();
+        s.orders.pop();
+        assert!(Engine::restore(s).is_err());
+
+        // a cache pass with out-of-domain codes
+        let mut s = base.clone();
+        if let Some(pass) = s.cache.passes.first_mut() {
+            if let Some(cell) = pass.cells.first_mut() {
+                if let Some(arm) = cell.arms.first_mut() {
+                    arm.assignment[0] = 99;
+                }
+            }
+            assert!(Engine::restore(s).is_err());
+        }
+
+        // a duplicated feature (would score the same attribute twice)
+        let mut s = base.clone();
+        s.features.push(s.features[0]);
+        assert!(Engine::restore(s).is_err());
+
+        // a non-finite smoothing constant from an untrusted config
+        let mut s = base.clone();
+        s.alpha = f64::NAN;
+        assert!(Engine::restore(s).is_err());
+        let mut s = base.clone();
+        s.alpha = f64::INFINITY;
+        assert!(Engine::restore(s).is_err());
+
+        // a cache pass with inconsistent counts
+        let mut s = base.clone();
+        if let Some(pass) = s.cache.passes.first_mut() {
+            pass.total += 1;
+            assert!(Engine::restore(s).is_err());
+        }
+
+        // the untouched snapshot still restores fine
+        assert!(Engine::restore(base).is_ok());
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod ordering;
 pub mod recourse;
 pub mod report;
 pub mod scores;
+pub mod snapshot;
 pub mod statements;
 
 pub use blackbox::{BlackBox, ClassifierBox, RegressorThresholdBox};
@@ -53,6 +54,7 @@ pub use explain::{ContextualExplanation, GlobalExplanation, LocalExplanation};
 pub use ordering::infer_value_order;
 pub use recourse::{Action, CostModel, Recourse, RecourseOptions};
 pub use scores::{Contrast, ScoreEstimator, ScoreKind, Scores};
+pub use snapshot::EngineSnapshot;
 pub use statements::{OutcomeWords, Statement};
 
 /// Errors surfaced by LEWIS computations.

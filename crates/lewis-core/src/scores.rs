@@ -102,20 +102,31 @@ impl Contrast {
 /// intervened attributes (the "arms"). One of these is built per
 /// counting pass and then shared by every contrast over the same
 /// attribute set — the core of [`ScoreEstimator::scores_batch`].
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub(crate) struct CellArms {
     /// Rows in this adjustment cell (all arms).
-    n: u64,
-    /// Per `x`-assignment: `(rows, rows with positive outcome)`.
-    arms: tabular::FxHashMap<Vec<Value>, (u64, u64)>,
+    pub(crate) n: u64,
+    /// Per `x`-assignment: `(rows, rows with positive outcome)`,
+    /// sorted by assignment.
+    pub(crate) arms: Vec<(Vec<Value>, (u64, u64))>,
 }
 
 /// All adjustment cells from one counting pass over `(C…, X…, pred)`.
 /// Immutable once built, so one instance can be shared across threads
 /// and across queries (the unit the [`crate::Engine`] cache stores).
+///
+/// Cells and arms are **sorted vectors**, not hash maps: iteration order
+/// (and therefore the floating-point summation order in
+/// [`ScoreEstimator::scores_from_arms`]) depends only on the counted
+/// data, never on a hasher or insertion history. That determinism is
+/// what makes a snapshot-restored pass answer bit-for-bit like its
+/// donor (`engine::snapshot` / `engine::restore`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct ArmTable {
-    cells: tabular::FxHashMap<Vec<Value>, CellArms>,
-    total: u64,
+    /// `(adjustment-cell key, its arms)`, sorted by key.
+    pub(crate) cells: Vec<(Vec<Value>, CellArms)>,
+    /// Rows matching the build context (all cells, all arms).
+    pub(crate) total: u64,
 }
 
 /// Estimates explanation scores from a labelled table.
@@ -196,8 +207,12 @@ impl ScoreEstimator {
                 )));
             }
         }
-        if alpha < 0.0 {
-            return Err(LewisError::Invalid("smoothing must be >= 0".into()));
+        // is_finite first: NaN fails every comparison, and estimators
+        // can now be built from deserialized (untrusted) pack configs
+        if !alpha.is_finite() || alpha < 0.0 {
+            return Err(LewisError::Invalid(
+                "smoothing must be finite and >= 0".into(),
+            ));
         }
         Ok(ScoreEstimator {
             table,
@@ -236,6 +251,11 @@ impl ScoreEstimator {
     /// The causal diagram, if one was supplied.
     pub fn graph(&self) -> Option<&Dag> {
         self.graph.as_deref()
+    }
+
+    /// The Laplace pseudo-count used for the inner conditionals.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
     }
 
     /// Default backdoor adjustment set for an intervention on `xs`:
@@ -428,9 +448,14 @@ impl ScoreEstimator {
         let nc = c_set.len();
         let nx = xs.len();
         let o = self.positive;
-        let mut cells: tabular::FxHashMap<Vec<Value>, CellArms> = tabular::FxHashMap::default();
+        #[derive(Default)]
+        struct CellAcc {
+            n: u64,
+            arms: tabular::FxHashMap<Vec<Value>, (u64, u64)>,
+        }
+        let mut acc: tabular::FxHashMap<Vec<Value>, CellAcc> = tabular::FxHashMap::default();
         counter.for_each_nonzero(|values, n| {
-            let cell = cells.entry(values[..nc].to_vec()).or_default();
+            let cell = acc.entry(values[..nc].to_vec()).or_default();
             cell.n += n;
             let x_vals = &values[nc..nc + nx];
             if let Some((hi_vals, lo_vals)) = keep {
@@ -444,6 +469,18 @@ impl ScoreEstimator {
                 arm.1 += n;
             }
         });
+        // Freeze the accumulators into sorted vectors: the hash maps
+        // above are only a build-time convenience, the shared (and
+        // snapshottable) pass must be hasher-independent.
+        let mut cells: Vec<(Vec<Value>, CellArms)> = acc
+            .into_iter()
+            .map(|(key, cell)| {
+                let mut arms: Vec<(Vec<Value>, (u64, u64))> = cell.arms.into_iter().collect();
+                arms.sort_unstable();
+                (key, CellArms { n: cell.n, arms })
+            })
+            .collect();
+        cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         Ok(ArmTable {
             cells,
             total: counter.total(),
@@ -459,13 +496,16 @@ impl ScoreEstimator {
         lo_vals: &[Value],
     ) -> Result<Scores> {
         let arm_of = |cell: &CellArms, vals: &[Value]| -> (u64, u64) {
-            cell.arms.get(vals).copied().unwrap_or((0, 0))
+            cell.arms
+                .binary_search_by(|(a, _)| a.as_slice().cmp(vals))
+                .map(|i| cell.arms[i].1)
+                .unwrap_or((0, 0))
         };
         let mut n_hi = 0u64;
         let mut n_hi_o = 0u64;
         let mut n_lo = 0u64;
         let mut n_lo_o = 0u64;
-        for cell in arms.cells.values() {
+        for (_, cell) in &arms.cells {
             let (h, ho) = arm_of(cell, hi_vals);
             let (l, lo_o) = arm_of(cell, lo_vals);
             n_hi += h;
@@ -503,7 +543,7 @@ impl ScoreEstimator {
         let mut w_suf = 0.0f64;
         let mut sum_ate = 0.0f64; // Σ_c [Pr(o|hi,c,k) − Pr(o|lo,c,k)] Pr(c|k)
         let mut w_ate = 0.0f64;
-        for cell in arms.cells.values() {
+        for (_, cell) in &arms.cells {
             let (cell_n_hi, cell_n_hi_o) = arm_of(cell, hi_vals);
             let (cell_n_lo, cell_n_lo_o) = arm_of(cell, lo_vals);
             let p_hi_c = cond(cell_n_hi_o, cell_n_hi);

@@ -1,0 +1,111 @@
+//! Warm engine snapshots: everything needed to rebuild an [`Engine`]
+//! *exactly*, without re-parsing data, re-inferring value orders or
+//! re-warming the counting-pass cache.
+//!
+//! The snapshot is plain data — shared table and graph handles, the
+//! engine configuration, the inferred per-feature value orders, and the
+//! cache's resident counting passes in recency order. It exists so a
+//! serving process can persist a hot engine (see the `lewis-store`
+//! crate's `.lewis` packs) and a restarted process can come back
+//! **observably identical**: a restored engine answers every query kind
+//! byte-for-byte like its donor, because
+//!
+//! * scoring reads counting passes whose cells are *sorted vectors*
+//!   (see [`crate::scores`]), so floating-point summation order depends
+//!   only on the counted data — the restored pass iterates exactly like
+//!   the donor's;
+//! * value orders are carried, not re-derived, so tie-breaks cannot
+//!   drift;
+//! * the cache is restored with the donor's recency order and lifetime
+//!   counters, so LRU eviction and `/metrics` continue seamlessly.
+//!
+//! Build one with [`Engine::snapshot`]; rebuild with
+//! [`Engine::restore`].
+//!
+//! [`Engine`]: crate::Engine
+//! [`Engine::snapshot`]: crate::Engine::snapshot
+//! [`Engine::restore`]: crate::Engine::restore
+
+use causal::Dag;
+use std::sync::Arc;
+use tabular::{AttrId, Context, Table, Value};
+
+/// One arm of a counting pass: the rows holding one assignment of the
+/// intervened attributes within one adjustment cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmSnapshot {
+    /// The intervened attributes' values, aligned with
+    /// [`PassSnapshot::xs`].
+    pub assignment: Vec<Value>,
+    /// Rows in this cell holding the assignment.
+    pub rows: u64,
+    /// Of those, rows with the positive prediction.
+    pub positives: u64,
+}
+
+/// One adjustment cell of a counting pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSnapshot {
+    /// The adjustment attributes' values, aligned with
+    /// [`PassSnapshot::c_set`].
+    pub key: Vec<Value>,
+    /// Rows in this cell (all arms, including unmaterialized ones).
+    pub rows: u64,
+    /// The observed arms, sorted by assignment.
+    pub arms: Vec<ArmSnapshot>,
+}
+
+/// One resident counting pass: the cache key plus the aggregated scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassSnapshot {
+    /// Sorted intervened attribute set.
+    pub xs: Vec<AttrId>,
+    /// The query context the pass was built under.
+    pub context: Context,
+    /// The backdoor adjustment set used for the pass.
+    pub c_set: Vec<AttrId>,
+    /// Rows matching the context (all cells).
+    pub total: u64,
+    /// The adjustment cells, sorted by key.
+    pub cells: Vec<CellSnapshot>,
+}
+
+/// The counting-pass cache: lifetime counters plus resident passes in
+/// recency order (least recently used first).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Lookups answered from the cache over the donor's lifetime.
+    pub hits: u64,
+    /// Lookups that ran a counting pass over the donor's lifetime.
+    pub misses: u64,
+    /// Resident passes, least recently used first.
+    pub passes: Vec<PassSnapshot>,
+}
+
+/// Everything needed to rebuild an [`crate::Engine`] exactly — see the
+/// module docs for the fidelity guarantees.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    /// The labelled table (shared, not copied).
+    pub table: Arc<Table>,
+    /// The causal diagram, if the donor had one.
+    pub graph: Option<Arc<Dag>>,
+    /// The black box's binary prediction column.
+    pub pred: AttrId,
+    /// The favourable outcome code.
+    pub positive: Value,
+    /// Laplace pseudo-count for the inner conditionals.
+    pub alpha: f64,
+    /// Minimum matching rows for local-context back-off.
+    pub min_support: usize,
+    /// Bound on resident counting passes.
+    pub cache_capacity: usize,
+    /// The explained features.
+    pub features: Vec<AttrId>,
+    /// Inferred ascending value order per schema attribute (`Some` for
+    /// every feature, `None` elsewhere) — carried verbatim so restored
+    /// tie-breaks match the donor's.
+    pub orders: Vec<Option<Vec<Value>>>,
+    /// The warm counting-pass cache.
+    pub cache: CacheSnapshot,
+}

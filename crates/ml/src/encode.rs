@@ -10,7 +10,7 @@
 //! * **one-hot** — each categorical level becomes an indicator column;
 //!   better suited to the neural network and linear models.
 
-use tabular::{AttrId, Domain, Schema, Table, Value};
+use tabular::{AttrId, Schema, Table, Value};
 
 /// How a table row becomes a feature vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,14 +40,11 @@ impl TableEncoder {
         for &a in inputs {
             let dom = schema.domain(a)?;
             cards.push(dom.cardinality());
-            midpoints.push(match dom {
-                Domain::Binned { .. } => Some(
-                    dom.values()
-                        .map(|v| dom.bin_midpoint(v).expect("binned"))
-                        .collect(),
-                ),
-                Domain::Categorical { .. } => None,
-            });
+            midpoints.push(dom.is_binned().then(|| {
+                dom.values()
+                    .map(|v| dom.bin_midpoint(v).expect("binned"))
+                    .collect()
+            }));
         }
         let n_features = match encoding {
             Encoding::Ordinal => inputs.len(),

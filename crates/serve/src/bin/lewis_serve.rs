@@ -1,7 +1,7 @@
 //! The `lewis-serve` binary: load engines, bind, serve until asked to
 //! stop (`POST /admin/shutdown`).
 
-use lewis_serve::{serve, EngineRegistry, ServerConfig, BUILTINS};
+use lewis_serve::{serve, EngineRegistry, GraphSpec, ServerConfig, BUILTINS};
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -15,10 +15,15 @@ OPTIONS:
     --workers N            worker threads (default 4)
     --builtin NAME=ROWS    register a built-in dataset engine (repeatable);
                            NAME ∈ {german_syn, german, adult, compas, drug}
-    --csv NAME=PATH=PRED=POSITIVE
+    --csv NAME=PATH=PRED=POSITIVE[=discover]
                            register an engine from a CSV file: PRED is the
                            binary prediction column, POSITIVE its favourable
-                           label (repeatable)
+                           label; append =discover to learn a causal graph
+                           with the PC algorithm instead of the §6
+                           no-graph fallback (repeatable)
+    --pack NAME=PATH       register an engine from a .lewis pack written by
+                           lewis-pack — instant start, warm cache included
+                           (repeatable)
     --seed N               generation seed for built-ins (default 42)
     --max-body BYTES       request body limit (default 1048576)
     -h, --help             this text
@@ -46,7 +51,8 @@ fn main() {
     };
     let mut seed = 42u64;
     let mut builtins: Vec<(String, usize)> = Vec::new();
-    let mut csvs: Vec<(String, String, String, String)> = Vec::new();
+    let mut csvs: Vec<(String, String, String, String, bool)> = Vec::new();
+    let mut packs: Vec<(String, String)> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -88,21 +94,33 @@ fn main() {
             "--csv" => {
                 let spec = value("--csv");
                 let parts: Vec<&str> = spec.split('=').collect();
-                let [name, path, pred, positive] = parts.as_slice() else {
-                    fail(&format!("--csv {spec:?}: expected NAME=PATH=PRED=POSITIVE"));
+                let (name, path, pred, positive, discover) = match parts.as_slice() {
+                    [name, path, pred, positive] => (name, path, pred, positive, false),
+                    [name, path, pred, positive, "discover"] => (name, path, pred, positive, true),
+                    _ => fail(&format!(
+                        "--csv {spec:?}: expected NAME=PATH=PRED=POSITIVE[=discover]"
+                    )),
                 };
                 csvs.push((
                     name.to_string(),
                     path.to_string(),
                     pred.to_string(),
                     positive.to_string(),
+                    discover,
                 ));
+            }
+            "--pack" => {
+                let spec = value("--pack");
+                let Some((name, path)) = spec.split_once('=') else {
+                    fail(&format!("--pack {spec:?}: expected NAME=PATH"));
+                };
+                packs.push((name.to_string(), path.to_string()));
             }
             other => fail(&format!("unknown argument {other:?}")),
         }
     }
 
-    if builtins.is_empty() && csvs.is_empty() {
+    if builtins.is_empty() && csvs.is_empty() && packs.is_empty() {
         builtins.push(("german_syn".to_string(), 5000));
     }
 
@@ -113,9 +131,21 @@ fn main() {
             fail(&e.to_string());
         }
     }
-    for (name, path, pred, positive) in &csvs {
-        eprintln!("loading csv {name} from {path}...");
-        if let Err(e) = registry.load_csv(name, path, pred, positive) {
+    for (name, path, pred, positive, discover) in &csvs {
+        let graph = if *discover {
+            eprintln!("loading csv {name} from {path} (discovering a causal graph)...");
+            GraphSpec::Discovered(Default::default())
+        } else {
+            eprintln!("loading csv {name} from {path}...");
+            GraphSpec::FullyConnected
+        };
+        if let Err(e) = registry.load_csv(name, path, pred, positive, graph) {
+            fail(&e.to_string());
+        }
+    }
+    for (name, path) in &packs {
+        eprintln!("loading pack {name} from {path}...");
+        if let Err(e) = registry.load_pack(name, path) {
             fail(&e.to_string());
         }
     }

@@ -130,4 +130,14 @@ fn main() {
         // an all-error run is a failed run, whatever the throughput
         std::process::exit(2);
     }
+    if report.other_errors > 0 {
+        // expected 422s (unsupported contexts, no recourse) are part of
+        // a random workload; anything else failing means the server or
+        // the protocol is broken — fail the run (and the CI smoke)
+        eprintln!(
+            "loadgen: {} unexpected errors (beyond {} expected unsupported-by-data)",
+            report.other_errors, report.unsupported
+        );
+        std::process::exit(3);
+    }
 }

@@ -58,11 +58,12 @@ pub mod loadgen;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod warm;
 pub mod wire;
 
 pub use client::Client;
 pub use metrics::{Metrics, Route};
-pub use registry::{EngineEntry, EngineRegistry, BUILTINS};
+pub use registry::{EngineEntry, EngineRegistry, GraphSpec, BUILTINS};
 pub use server::{serve, Server, ServerConfig};
 pub use wire::Json;
 
@@ -75,6 +76,8 @@ pub enum ServeError {
     Lewis(lewis_core::LewisError),
     /// A data-layer error (CSV loading, schema lookups).
     Tabular(tabular::TabularError),
+    /// A `.lewis` pack error (corrupt file, mismatched snapshot).
+    Store(lewis_store::StoreError),
     /// A socket-level error.
     Io(std::io::Error),
 }
@@ -85,6 +88,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Config(msg) => write!(f, "configuration error: {msg}"),
             ServeError::Lewis(e) => write!(f, "engine error: {e}"),
             ServeError::Tabular(e) => write!(f, "data error: {e}"),
+            ServeError::Store(e) => write!(f, "pack error: {e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -101,6 +105,12 @@ impl From<lewis_core::LewisError> for ServeError {
 impl From<tabular::TabularError> for ServeError {
     fn from(e: tabular::TabularError) -> Self {
         ServeError::Tabular(e)
+    }
+}
+
+impl From<lewis_store::StoreError> for ServeError {
+    fn from(e: lewis_store::StoreError) -> Self {
+        ServeError::Store(e)
     }
 }
 

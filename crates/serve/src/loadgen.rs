@@ -90,8 +90,14 @@ impl Default for LoadgenConfig {
 pub struct LoadReport {
     /// Queries answered with 2xx (batch bodies count each inner query).
     pub ok: u64,
-    /// Queries answered with an error status or an embedded error.
-    pub errors: u64,
+    /// Queries the data could not answer — `LewisError::Unsupported` /
+    /// `NoRecourse` 422s. A randomly synthesized workload is *expected*
+    /// to produce some of these (rows landing in unpopulated contexts),
+    /// so they are tracked apart from real failures.
+    pub unsupported: u64,
+    /// Everything else that went wrong: protocol errors, 4xx/5xx other
+    /// than expected 422s, malformed bodies. A healthy run has zero.
+    pub other_errors: u64,
     /// HTTP round-trips performed.
     pub round_trips: u64,
     /// Wall-clock time actually spent.
@@ -111,18 +117,25 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
+    /// All non-2xx-equivalent outcomes, expected or not.
+    pub fn errors(&self) -> u64 {
+        self.unsupported + self.other_errors
+    }
+
     /// Human-oriented multi-line summary.
     pub fn render(&self) -> String {
         format!(
             "{} queries in {:.2}s over {} round-trips → {:.0} q/s \
-             ({} ok, {} errors)\nlatency per round-trip: p50 {}µs, p95 {}µs, \
+             ({} ok, {} unsupported-by-data, {} other errors)\nlatency per round-trip: \
+             p50 {}µs, p95 {}µs, \
              p99 {}µs, max {}µs\nmix sent: {} global / {} contextual / {} local / {} recourse",
-            self.ok + self.errors,
+            self.ok + self.errors(),
             self.wall.as_secs_f64(),
             self.round_trips,
             self.qps,
             self.ok,
-            self.errors,
+            self.unsupported,
+            self.other_errors,
             self.p50_us,
             self.p95_us,
             self.p99_us,
@@ -164,7 +177,9 @@ impl LoadReport {
                 Json::obj([
                     ("qps", Json::Num(self.qps)),
                     ("ok", Json::num(self.ok as f64)),
-                    ("errors", Json::num(self.errors as f64)),
+                    ("errors", Json::num(self.errors() as f64)),
+                    ("unsupported", Json::num(self.unsupported as f64)),
+                    ("other_errors", Json::num(self.other_errors as f64)),
                     ("round_trips", Json::num(self.round_trips as f64)),
                     ("wall_s", Json::Num(self.wall.as_secs_f64())),
                     ("p50_us", Json::num(self.p50_us as f64)),
@@ -236,15 +251,16 @@ fn discover(addr: SocketAddr, engine: &str) -> std::io::Result<EngineShape> {
     })
 }
 
-/// xorshift64* — tiny, seedable, good enough to spread queries.
-struct Rng(u64);
+/// xorshift64* — tiny, seedable, good enough to spread queries (also
+/// drives the `warm` module's pre-run mixes).
+pub(crate) struct Rng(u64);
 
 impl Rng {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
     }
 
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         let mut x = self.0;
         x ^= x >> 12;
         x ^= x << 25;
@@ -253,7 +269,7 @@ impl Rng {
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
-    fn below(&mut self, n: u32) -> u32 {
+    pub(crate) fn below(&mut self, n: u32) -> u32 {
         (self.next() % u64::from(n.max(1))) as u32
     }
 }
@@ -314,24 +330,46 @@ fn synth_query(shape: &EngineShape, mix: &Mix, rng: &mut Rng) -> (Json, usize) {
     (json, kind)
 }
 
-/// Count a response against (ok, errors). Batch bodies are unpacked.
-fn tally(status: u16, body: &Json, queries: u64, ok: &mut u64, errors: &mut u64) {
+/// Whether an embedded error is the *expected* "the data cannot answer
+/// this" outcome (`LewisError::Unsupported` / `NoRecourse`, both 422
+/// over the wire) as opposed to a real failure.
+fn is_expected_code(code: Option<&str>) -> bool {
+    matches!(code, Some("unsupported") | Some("no_recourse"))
+}
+
+/// Count a response against the ok / unsupported / other-error
+/// counters. Batch bodies are unpacked per inner result.
+fn tally(status: u16, body: &Json, queries: u64, stats: &mut Tally) {
+    let code_of =
+        |j: &Json| -> Option<String> { j.get("error")?.get("code")?.as_str().map(str::to_string) };
     if status != 200 {
-        *errors += queries;
+        if status == 422 && is_expected_code(code_of(body).as_deref()) {
+            stats.unsupported += queries;
+        } else {
+            stats.other_errors += queries;
+        }
         return;
     }
     match body.get("results").and_then(Json::as_arr) {
         Some(results) => {
             for r in results {
-                if r.get("error").is_some() {
-                    *errors += 1;
-                } else {
-                    *ok += 1;
+                match code_of(r) {
+                    None => stats.ok += 1,
+                    Some(code) if is_expected_code(Some(&code)) => stats.unsupported += 1,
+                    Some(_) => stats.other_errors += 1,
                 }
             }
         }
-        None => *ok += queries,
+        None => stats.ok += queries,
     }
+}
+
+/// The three outcome counters `tally` fills in.
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    unsupported: u64,
+    other_errors: u64,
 }
 
 /// Run the workload and gather the report.
@@ -368,7 +406,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
                     let (status, answer) = client.post(&path, &body)?;
                     let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                     stats.latencies_us.push(us);
-                    tally(status, &answer, n as u64, &mut stats.ok, &mut stats.errors);
+                    tally(status, &answer, n as u64, &mut stats.tally);
                 }
                 Ok(stats)
             },
@@ -380,8 +418,9 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         let stats = h
             .join()
             .map_err(|_| std::io::Error::other("loadgen worker panicked"))??;
-        merged.ok += stats.ok;
-        merged.errors += stats.errors;
+        merged.tally.ok += stats.tally.ok;
+        merged.tally.unsupported += stats.tally.unsupported;
+        merged.tally.other_errors += stats.tally.other_errors;
         merged.latencies_us.extend(stats.latencies_us);
         for (into, from) in merged.sent_by_kind.iter_mut().zip(stats.sent_by_kind) {
             *into += from;
@@ -398,10 +437,11 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
             .clamp(1, merged.latencies_us.len());
         merged.latencies_us[rank - 1]
     };
-    let total = merged.ok + merged.errors;
+    let total = merged.tally.ok + merged.tally.unsupported + merged.tally.other_errors;
     Ok(LoadReport {
-        ok: merged.ok,
-        errors: merged.errors,
+        ok: merged.tally.ok,
+        unsupported: merged.tally.unsupported,
+        other_errors: merged.tally.other_errors,
         round_trips: merged.latencies_us.len() as u64,
         wall,
         qps: total as f64 / wall.as_secs_f64().max(1e-9),
@@ -415,8 +455,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
 
 #[derive(Default)]
 struct WorkerStats {
-    ok: u64,
-    errors: u64,
+    tally: Tally,
     latencies_us: Vec<u64>,
     sent_by_kind: [u64; 4],
 }
@@ -474,22 +513,46 @@ mod tests {
 
     #[test]
     fn tally_unpacks_batches_and_statuses() {
-        let (mut ok, mut errors) = (0u64, 0u64);
-        tally(
-            200,
-            &Json::obj([("kind", Json::str("global"))]),
-            1,
-            &mut ok,
-            &mut errors,
-        );
-        assert_eq!((ok, errors), (1, 0));
+        let mut t = Tally::default();
+        tally(200, &Json::obj([("kind", Json::str("global"))]), 1, &mut t);
+        assert_eq!((t.ok, t.unsupported, t.other_errors), (1, 0, 0));
         let batch =
             Json::parse(r#"{"results":[{"kind":"global"},{"error":{"code":"x","message":""}}]}"#)
                 .unwrap();
-        tally(200, &batch, 2, &mut ok, &mut errors);
-        assert_eq!((ok, errors), (2, 1));
-        tally(422, &Json::Null, 3, &mut ok, &mut errors);
-        assert_eq!((ok, errors), (2, 4));
+        tally(200, &batch, 2, &mut t);
+        assert_eq!((t.ok, t.unsupported, t.other_errors), (2, 0, 1));
+        // a bare 422 without a recognizable code is a real failure
+        tally(422, &Json::Null, 3, &mut t);
+        assert_eq!((t.ok, t.unsupported, t.other_errors), (2, 0, 4));
+    }
+
+    #[test]
+    fn tally_separates_expected_422s_from_real_failures() {
+        let mut t = Tally::default();
+        // single-request 422 with the unsupported code → expected
+        let unsupported =
+            Json::parse(r#"{"error":{"code":"unsupported","message":"no rows"}}"#).unwrap();
+        tally(422, &unsupported, 1, &mut t);
+        // no-recourse is expected too
+        let no_recourse =
+            Json::parse(r#"{"error":{"code":"no_recourse","message":"none"}}"#).unwrap();
+        tally(422, &no_recourse, 1, &mut t);
+        assert_eq!((t.ok, t.unsupported, t.other_errors), (0, 2, 0));
+        // batch bodies classify per inner result
+        let batch = Json::parse(
+            r#"{"results":[
+                {"kind":"global"},
+                {"error":{"code":"unsupported","message":""}},
+                {"error":{"code":"invalid","message":""}}
+            ]}"#,
+        )
+        .unwrap();
+        tally(200, &batch, 3, &mut t);
+        assert_eq!((t.ok, t.unsupported, t.other_errors), (1, 3, 1));
+        // protocol-level failures are never "expected"
+        tally(500, &Json::Null, 2, &mut t);
+        tally(404, &unsupported, 1, &mut t);
+        assert_eq!((t.ok, t.unsupported, t.other_errors), (1, 3, 4));
     }
 
     #[test]

@@ -18,11 +18,21 @@
 //!   binary prediction column, loaded via [`tabular::read_csv_file`].
 //!   This is the hook for explaining a real model: score your data
 //!   offline, write the predictions as a column, point the server at
-//!   the file.
+//!   the file. A [`GraphSpec`] decides the causal diagram: the §6
+//!   no-graph fallback, or a CPDAG discovered on the spot with the PC
+//!   algorithm;
+//! * **`.lewis` packs** ([`EngineRegistry::load_pack`]) — pre-compiled
+//!   engines (table + graph + config + warm cache) written by
+//!   `lewis-pack` or [`EngineRegistry::save_pack`]. Pack boot skips CSV
+//!   parsing, order inference *and* cache warm-up, and the restored
+//!   engine is byte-identical to its donor.
 
 use crate::ServeError;
+use causal::discovery::{pc_algorithm, Cpdag, PcOptions};
+use causal::Dag;
 use lewis_core::blackbox::label_table;
 use lewis_core::Engine;
+use lewis_store::{Pack, PackMeta};
 use std::sync::Arc;
 use tabular::AttrId;
 
@@ -34,12 +44,32 @@ const SERVE_CACHE_CAPACITY: usize = 1024;
 /// Name of the prediction column appended to built-in datasets.
 const PRED_COLUMN: &str = "pred";
 
+/// Which causal graph to pair with a user CSV (the paper assumes the
+/// diagram is background knowledge; user data rarely comes with one).
+#[derive(Debug, Clone, Default)]
+pub enum GraphSpec {
+    /// No diagram: the §6 fallback, which conditions on nothing and so
+    /// behaves as if every pair of features could be directly connected.
+    /// This was the silent default for every user CSV before packs.
+    #[default]
+    FullyConnected,
+    /// Discover a CPDAG with the PC algorithm over the CSV itself
+    /// (§6's "diagrams can be learned from data"), then orient it into
+    /// a DAG for backdoor adjustment. Edges touching the prediction
+    /// column are dropped — the prediction is the *output* being
+    /// explained, never a cause.
+    Discovered(PcOptions),
+}
+
 /// One registered engine plus its provenance.
 pub struct EngineEntry {
     /// The shared engine.
     pub engine: Arc<Engine>,
     /// Where it came from (`"builtin:german_syn"`, `"csv:data.csv"`).
     pub source: String,
+    /// Which causal graph the engine adjusts with (`"fully-connected
+    /// (§6 no-graph fallback)"`, `"discovered: pc …"`, `"builtin scm …"`).
+    pub graph: String,
     /// The prediction column's display name.
     pub pred_name: String,
     /// The favourable outcome code.
@@ -98,6 +128,19 @@ impl EngineRegistry {
     /// Generate a built-in dataset, label it with its oracle decision
     /// rule and register the resulting engine under the dataset's name.
     pub fn load_builtin(&mut self, name: &str, rows: usize, seed: u64) -> Result<(), ServeError> {
+        self.load_builtin_as(name, name, rows, seed)
+    }
+
+    /// [`EngineRegistry::load_builtin`] registering under a caller-chosen
+    /// name (used by `lewis-pack`, whose single engine is always called
+    /// `"engine"` regardless of the source dataset).
+    pub fn load_builtin_as(
+        &mut self,
+        register_as: &str,
+        name: &str,
+        rows: usize,
+        seed: u64,
+    ) -> Result<(), ServeError> {
         let Some(&(_, pivot)) = BUILTINS.iter().find(|(n, _)| *n == name) else {
             let known: Vec<&str> = BUILTINS.iter().map(|&(n, _)| n).collect();
             return Err(ServeError::Config(format!(
@@ -122,6 +165,11 @@ impl EngineRegistry {
         } = dataset;
         let oracle = move |row: &[tabular::Value]| u32::from(row[outcome.index()] >= pivot);
         let pred = label_table(&mut t, &oracle, PRED_COLUMN)?;
+        let graph = format!(
+            "builtin scm ({} nodes, {} edges)",
+            scm.graph().n_nodes(),
+            scm.graph().n_edges()
+        );
         let engine = Engine::builder(t)
             .graph(scm.graph())
             .prediction(pred, 1)
@@ -129,10 +177,11 @@ impl EngineRegistry {
             .cache_capacity(SERVE_CACHE_CAPACITY)
             .build()?;
         self.insert(
-            name,
+            register_as,
             EngineEntry {
                 engine: Arc::new(engine),
                 source: format!("builtin:{name} ({rows} rows, seed {seed})"),
+                graph,
                 pred_name: PRED_COLUMN.to_string(),
                 positive: 1,
             },
@@ -142,14 +191,17 @@ impl EngineRegistry {
     /// Load a CSV file (see [`tabular::read_csv_file`]'s inference
     /// rules), take `pred_col` as the binary prediction column with
     /// `positive_label` as the favourable value, and register the
-    /// engine under `name`. All other columns become features; no
-    /// causal graph is assumed (the paper's §6 fallback).
+    /// engine under `name`. All other columns become features; the
+    /// causal diagram is chosen by `graph` — the §6 fallback, or a
+    /// PC-discovered CPDAG oriented into a DAG (opt-in, no longer a
+    /// silent assumption).
     pub fn load_csv(
         &mut self,
         name: &str,
         path: &str,
         pred_col: &str,
         positive_label: &str,
+        graph: GraphSpec,
     ) -> Result<(), ServeError> {
         let table = tabular::read_csv_file(path)?;
         let pred = table.schema().require(pred_col)?;
@@ -163,20 +215,106 @@ impl EngineRegistry {
                 ))
             })?;
         let features: Vec<AttrId> = table.schema().attr_ids().filter(|&a| a != pred).collect();
-        let engine = Engine::builder(table)
+        let (dag, graph_desc) = match graph {
+            GraphSpec::FullyConnected => {
+                (None, "fully-connected (§6 no-graph fallback)".to_string())
+            }
+            GraphSpec::Discovered(opts) => {
+                let cpdag = pc_algorithm(&table, table.schema().len(), &opts)
+                    .map_err(lewis_core::LewisError::from)?;
+                let (dag, order_oriented) = Self::orient_cpdag(&cpdag, pred);
+                let desc = format!(
+                    "discovered: pc ({} edges, {} of them order-oriented)",
+                    dag.n_edges(),
+                    order_oriented
+                );
+                (Some(dag), desc)
+            }
+        };
+        let mut builder = Engine::builder(table)
             .prediction(pred, positive)
             .features(&features)
-            .cache_capacity(SERVE_CACHE_CAPACITY)
-            .build()?;
+            .cache_capacity(SERVE_CACHE_CAPACITY);
+        if let Some(dag) = dag {
+            builder = builder.graph(&dag);
+        }
+        let engine = builder.build()?;
         self.insert(
             name,
             EngineEntry {
                 engine: Arc::new(engine),
                 source: format!("csv:{path}"),
+                graph: graph_desc,
                 pred_name: pred_col.to_string(),
                 positive,
             },
         )
+    }
+
+    /// Load a pre-compiled `.lewis` pack (written by `lewis-pack` or
+    /// [`EngineRegistry::save_pack`]) and register its engine under
+    /// `name`. No CSV parsing, no value-order inference, no cache
+    /// warm-up — the engine arrives exactly as its donor was
+    /// snapshotted, warm cache included.
+    pub fn load_pack(&mut self, name: &str, path: &str) -> Result<(), ServeError> {
+        let (engine, meta) = lewis_store::load_engine(path)?;
+        let pred = engine.estimator().pred_attr();
+        let pred_name = engine.table().schema().name(pred).to_string();
+        let positive = engine.estimator().positive();
+        self.insert(
+            name,
+            EngineEntry {
+                engine: Arc::new(engine),
+                source: format!("pack:{path} ({})", meta.source),
+                graph: meta.graph,
+                pred_name,
+                positive,
+            },
+        )
+    }
+
+    /// Snapshot the named engine (warm cache included) into a `.lewis`
+    /// pack at `path`. The pack records the entry's provenance, so a
+    /// registry restored from it lists where the data originally came
+    /// from.
+    pub fn save_pack(&self, name: &str, path: &str) -> Result<(), ServeError> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| ServeError::Config(format!("no engine named {name:?}")))?;
+        let meta = PackMeta {
+            source: entry.source.clone(),
+            graph: entry.graph.clone(),
+        };
+        Pack::from_engine(&entry.engine, meta).write_file(path)?;
+        Ok(())
+    }
+
+    /// Orient a discovered CPDAG into a DAG usable for backdoor
+    /// adjustment: directed edges are kept; each undirected edge is
+    /// oriented from the lower to the higher attribute id unless that
+    /// would close a cycle (then the reverse is tried); edges incident
+    /// to the prediction column are dropped entirely — the prediction
+    /// is the output being explained, never a cause. Returns the DAG
+    /// plus how many undirected edges actually made it in (for the
+    /// published provenance — dropped edges must not be counted).
+    fn orient_cpdag(cpdag: &Cpdag, pred: AttrId) -> (Dag, usize) {
+        let p = pred.index();
+        let mut dag = Dag::new(cpdag.n_nodes());
+        for (x, y) in cpdag.directed_edges() {
+            if x != p && y != p {
+                // v-structure conflicts can, on noisy data, imply a cycle
+                // across several edges; adjustment only needs *a* DAG of
+                // the equivalence class, so the late edge loses
+                let _ = dag.add_edge(x, y);
+            }
+        }
+        let mut order_oriented = 0usize;
+        for (x, y) in cpdag.undirected_edges() {
+            if x != p && y != p && (dag.add_edge(x, y).is_ok() || dag.add_edge(y, x).is_ok()) {
+                order_oriented += 1;
+            }
+        }
+        (dag, order_oriented)
     }
 
     /// Look up an engine by name.
@@ -238,6 +376,7 @@ mod tests {
             EngineEntry {
                 engine: Arc::clone(&e.engine),
                 source: e.source.clone(),
+                graph: e.graph.clone(),
                 pred_name: e.pred_name.clone(),
                 positive: e.positive,
             }
@@ -259,10 +398,21 @@ mod tests {
         let path = dir.join("export.csv");
         tabular::write_csv_file(table, &path).unwrap();
 
-        reg.load_csv("from_csv", path.to_str().unwrap(), "pred", "true")
-            .unwrap();
+        reg.load_csv(
+            "from_csv",
+            path.to_str().unwrap(),
+            "pred",
+            "true",
+            GraphSpec::FullyConnected,
+        )
+        .unwrap();
         let entry = reg.get("from_csv").unwrap();
         assert_eq!(entry.engine.table().n_rows(), 600);
+        assert!(
+            entry.graph.contains("fully-connected"),
+            "graph provenance is recorded: {}",
+            entry.graph
+        );
         // CSV inference maps boolean "true" to whatever code it was
         // first seen as — the registry resolves it by label
         let g = entry
@@ -280,7 +430,13 @@ mod tests {
         let mut reg = EngineRegistry::new();
         // missing file → tabular Io error
         assert!(matches!(
-            reg.load_csv("x", "/definitely/missing.csv", "pred", "1"),
+            reg.load_csv(
+                "x",
+                "/definitely/missing.csv",
+                "pred",
+                "1",
+                GraphSpec::FullyConnected
+            ),
             Err(ServeError::Tabular(tabular::TabularError::Io { .. }))
         ));
         // missing column / label → config-ish errors with context
@@ -289,9 +445,96 @@ mod tests {
         let path = dir.join("tiny.csv");
         std::fs::write(&path, "a,b\n0,1\n1,0\n").unwrap();
         let p = path.to_str().unwrap();
-        assert!(reg.load_csv("x", p, "nope", "1").is_err());
-        let err = reg.load_csv("x", p, "b", "yes").unwrap_err();
+        assert!(reg
+            .load_csv("x", p, "nope", "1", GraphSpec::FullyConnected)
+            .is_err());
+        let err = reg
+            .load_csv("x", p, "b", "yes", GraphSpec::FullyConnected)
+            .unwrap_err();
         assert!(err.to_string().contains("yes"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn discovered_graphs_are_opt_in_and_reported() {
+        // export a built-in table whose SCM has real structure, then
+        // reload it with PC discovery switched on
+        let mut reg = EngineRegistry::new();
+        reg.load_builtin("german_syn", 2000, 5).unwrap();
+        let table = reg.get("german_syn").unwrap().engine.table();
+        let dir = std::env::temp_dir().join(format!("lewis-serve-disc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("discover.csv");
+        tabular::write_csv_file(table, &path).unwrap();
+
+        reg.load_csv(
+            "discovered",
+            path.to_str().unwrap(),
+            "pred",
+            "true",
+            GraphSpec::Discovered(PcOptions::default()),
+        )
+        .unwrap();
+        let entry = reg.get("discovered").unwrap();
+        assert!(
+            entry.graph.starts_with("discovered: pc"),
+            "provenance names the discovery: {}",
+            entry.graph
+        );
+        let engine = &entry.engine;
+        let g = engine.graph().expect("discovery must attach a graph");
+        assert!(g.n_edges() > 0, "german_syn has discoverable structure");
+        // the prediction column is never part of the diagram
+        let pred = engine.estimator().pred_attr();
+        for (from, to) in g.edges() {
+            assert_ne!(from, pred.index());
+            assert_ne!(to, pred.index());
+        }
+        // and the engine still answers queries
+        assert!(engine.run(&ExplainRequest::Global).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_and_load_pack_round_trips_an_engine() {
+        let dir = std::env::temp_dir().join(format!("lewis-serve-pack-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.lewis");
+        let p = path.to_str().unwrap();
+
+        let mut reg = EngineRegistry::new();
+        reg.load_builtin("german_syn", 800, 7).unwrap();
+        // warm the donor so the pack carries cache state
+        let donor = Arc::clone(&reg.get("german_syn").unwrap().engine);
+        let donor_g = donor.run(&ExplainRequest::Global).unwrap();
+        assert!(donor.cache_stats().entries > 0);
+        reg.save_pack("german_syn", p).unwrap();
+
+        let mut reg2 = EngineRegistry::new();
+        reg2.load_pack("from_pack", p).unwrap();
+        let entry = reg2.get("from_pack").unwrap();
+        assert!(entry.source.starts_with("pack:"), "{}", entry.source);
+        assert!(
+            entry.source.contains("builtin:german_syn"),
+            "original provenance survives: {}",
+            entry.source
+        );
+        assert!(entry.graph.contains("builtin scm"), "{}", entry.graph);
+        assert_eq!(entry.pred_name, "pred");
+        // the restored engine arrives warm and answers identically
+        let restored = &entry.engine;
+        assert_eq!(restored.cache_stats().entries, donor.cache_stats().entries);
+        let restored_g = restored.run(&ExplainRequest::Global).unwrap();
+        assert_eq!(format!("{donor_g:?}"), format!("{restored_g:?}"));
+
+        // saving an unknown engine is a config error
+        assert!(reg.save_pack("nope", p).is_err());
+        // loading garbage is a typed store error
+        std::fs::write(&path, b"not a pack").unwrap();
+        assert!(matches!(
+            reg2.load_pack("bad", p),
+            Err(ServeError::Store(lewis_store::StoreError::BadMagic))
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

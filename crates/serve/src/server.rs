@@ -351,6 +351,7 @@ fn list_engines(state: &ServerState) -> HttpResponse {
             Json::obj([
                 ("name", Json::str(name)),
                 ("source", Json::str(&entry.source)),
+                ("graph", Json::str(&entry.graph)),
                 ("n_rows", Json::num(engine.table().n_rows() as u32)),
                 (
                     "prediction",
@@ -462,6 +463,15 @@ mod tests {
         assert_eq!(engines.len(), 1);
         assert_eq!(engines[0].get("name").unwrap().as_str(), Some("german_syn"));
         assert_eq!(engines[0].get("n_rows").unwrap().as_f64(), Some(500.0));
+        assert!(
+            engines[0]
+                .get("graph")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("builtin scm"),
+            "the served graph provenance is published"
+        );
         assert!(!engines[0]
             .get("attributes")
             .unwrap()

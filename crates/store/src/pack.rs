@@ -1,0 +1,714 @@
+//! The `.lewis` pack: a versioned, checksummed container bundling a
+//! dictionary-encoded columnar table, its schema and domains, the
+//! causal graph, the engine configuration, the inferred value orders,
+//! and (optionally) a pre-warmed counting-cache snapshot.
+//!
+//! ## Layout
+//!
+//! ```text
+//! magic    8 bytes   b"LEWISPAK"
+//! version  u32 LE    FORMAT_VERSION
+//! section* —         until end of file
+//!
+//! section := tag u8 · payload_len u64 LE · payload · crc32 u32 LE
+//! ```
+//!
+//! Each section's payload carries its own CRC-32, so truncation and
+//! bit-flips surface as typed [`StoreError`]s — [`StoreError::Truncated`],
+//! [`StoreError::ChecksumMismatch`] — never as a garbage engine. All
+//! integers are little-endian; `f64`s travel as raw IEEE-754 bits, so
+//! domains and smoothing survive bit-for-bit.
+//!
+//! Table columns are width-packed: a column whose domain has ≤ 256
+//! values spends one byte per cell (≤ 65 536 → two), which is what
+//! makes packs markedly smaller than the label-expanded CSV they were
+//! compiled from (see `BENCH_store.json`).
+
+use crate::bytes::{crc32, Cursor, CursorError, WriteBytes};
+use crate::{Result, StoreError};
+use lewis_core::snapshot::{
+    ArmSnapshot, CacheSnapshot, CellSnapshot, EngineSnapshot, PassSnapshot,
+};
+use lewis_core::Engine;
+use std::path::Path;
+use std::sync::Arc;
+use tabular::{AttrId, Context, Domain, Schema, Table, Value};
+
+/// The pack file magic.
+pub const MAGIC: [u8; 8] = *b"LEWISPAK";
+
+/// The current format version. Readers reject anything newer with
+/// [`StoreError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section tags, in the order the writer emits them.
+const TAG_META: u8 = 1;
+const TAG_SCHEMA: u8 = 2;
+const TAG_TABLE: u8 = 3;
+const TAG_GRAPH: u8 = 4;
+const TAG_CONFIG: u8 = 5;
+const TAG_ORDERS: u8 = 6;
+const TAG_CACHE: u8 = 7;
+
+pub(crate) fn section_name(tag: u8) -> &'static str {
+    match tag {
+        TAG_META => "meta",
+        TAG_SCHEMA => "schema",
+        TAG_TABLE => "table",
+        TAG_GRAPH => "graph",
+        TAG_CONFIG => "config",
+        TAG_ORDERS => "orders",
+        TAG_CACHE => "cache",
+        _ => "unknown",
+    }
+}
+
+/// Human-oriented provenance carried inside a pack.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PackMeta {
+    /// Where the data came from (`"csv:data.csv"`, `"builtin:german_syn"`).
+    pub source: String,
+    /// Which causal graph the engine uses (`"none (§6 fallback)"`,
+    /// `"discovered: pc"`, `"builtin scm"`).
+    pub graph: String,
+}
+
+/// A fully materialized pack: provenance plus a restorable engine
+/// snapshot. Build one from a warm engine with [`Pack::from_engine`],
+/// persist with [`Pack::write_file`], and bring it back with
+/// [`Pack::read_file`] + [`Pack::restore_engine`].
+#[derive(Debug, Clone)]
+pub struct Pack {
+    /// Provenance strings, surfaced by `lewis-serve`'s engine listing.
+    pub meta: PackMeta,
+    /// The engine state — see [`EngineSnapshot`] for fidelity guarantees.
+    pub snapshot: EngineSnapshot,
+}
+
+impl Pack {
+    /// Snapshot `engine` (including its warm cache) under the given
+    /// provenance.
+    pub fn from_engine(engine: &Engine, meta: PackMeta) -> Pack {
+        Pack {
+            meta,
+            snapshot: engine.snapshot(),
+        }
+    }
+
+    /// Rebuild the engine. Consumes the pack (the table and graph move
+    /// into the engine without copying). Snapshot/table inconsistencies
+    /// surface as [`StoreError::Mismatch`].
+    pub fn restore_engine(self) -> Result<(Engine, PackMeta)> {
+        let engine =
+            Engine::restore(self.snapshot).map_err(|e| StoreError::Mismatch(e.to_string()))?;
+        Ok((engine, self.meta))
+    }
+
+    /// Drop the pre-warmed cache (the pack then restores a cold engine;
+    /// configuration and value orders are still carried).
+    pub fn strip_cache(&mut self) {
+        self.snapshot.cache = CacheSnapshot::default();
+    }
+
+    /// Serialize to the `.lewis` byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.put_u32(FORMAT_VERSION);
+        write_section(&mut out, TAG_META, encode_meta(&self.meta));
+        write_section(
+            &mut out,
+            TAG_SCHEMA,
+            encode_schema(self.snapshot.table.schema()),
+        );
+        write_section(&mut out, TAG_TABLE, encode_table(&self.snapshot.table));
+        write_section(
+            &mut out,
+            TAG_GRAPH,
+            encode_graph(self.snapshot.graph.as_deref()),
+        );
+        write_section(&mut out, TAG_CONFIG, encode_config(&self.snapshot));
+        write_section(&mut out, TAG_ORDERS, encode_orders(&self.snapshot.orders));
+        write_section(&mut out, TAG_CACHE, encode_cache(&self.snapshot.cache));
+        out
+    }
+
+    /// Parse a `.lewis` byte buffer. Every defect is a typed error:
+    /// wrong magic, future version, truncation, per-section checksum
+    /// mismatches, unknown or duplicate sections, and cross-section
+    /// inconsistencies ([`StoreError::Mismatch`]).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Pack> {
+        // Magic first: a foreign file is "not a pack", not a truncated
+        // one, even when it is shorter than our header.
+        let magic_prefix = bytes.len().min(MAGIC.len());
+        if bytes[..magic_prefix] != MAGIC[..magic_prefix] {
+            return Err(StoreError::BadMagic);
+        }
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(StoreError::Truncated {
+                offset: 0,
+                detail: format!("{} bytes is smaller than the pack header", bytes.len()),
+            });
+        }
+        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if version == 0 || version > FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+
+        // Walk the sections, checksum-verifying each payload before any
+        // of its content is decoded.
+        let mut sections: Vec<(u8, &[u8])> = Vec::new();
+        let mut pos = MAGIC.len() + 4;
+        while pos < bytes.len() {
+            let header_end = pos + 1 + 8;
+            if header_end > bytes.len() {
+                return Err(StoreError::Truncated {
+                    offset: pos,
+                    detail: "section header cut off".into(),
+                });
+            }
+            let tag = bytes[pos];
+            let len = u64::from_le_bytes(bytes[pos + 1..header_end].try_into().expect("8 bytes"));
+            let Ok(len) = usize::try_from(len) else {
+                return Err(StoreError::Truncated {
+                    offset: pos,
+                    detail: format!("section {} announces {len} bytes", section_name(tag)),
+                });
+            };
+            let payload_end = header_end.checked_add(len).and_then(|e| e.checked_add(4));
+            let Some(payload_end) = payload_end.filter(|&e| e <= bytes.len()) else {
+                return Err(StoreError::Truncated {
+                    offset: pos,
+                    detail: format!(
+                        "section {} announces {len} bytes, {} remain",
+                        section_name(tag),
+                        bytes.len() - header_end
+                    ),
+                });
+            };
+            let payload = &bytes[header_end..header_end + len];
+            let stored =
+                u32::from_le_bytes(bytes[header_end + len..payload_end].try_into().expect("4"));
+            if crc32(payload) != stored {
+                return Err(StoreError::ChecksumMismatch {
+                    section: section_name(tag),
+                });
+            }
+            if section_name(tag) == "unknown" {
+                return Err(StoreError::Corrupt {
+                    section: "unknown",
+                    detail: format!("unknown section tag {tag}"),
+                });
+            }
+            if sections.iter().any(|&(t, _)| t == tag) {
+                return Err(StoreError::DuplicateSection {
+                    section: section_name(tag),
+                });
+            }
+            sections.push((tag, payload));
+            pos = payload_end;
+        }
+
+        let require = |tag: u8| -> Result<&[u8]> {
+            sections
+                .iter()
+                .find(|&&(t, _)| t == tag)
+                .map(|&(_, p)| p)
+                .ok_or(StoreError::MissingSection {
+                    section: section_name(tag),
+                })
+        };
+
+        let meta = decode_meta(require(TAG_META)?)?;
+        let schema = decode_schema(require(TAG_SCHEMA)?)?;
+        let n_attrs = schema.len();
+        let table = decode_table(require(TAG_TABLE)?, schema)?;
+        let graph = decode_graph(require(TAG_GRAPH)?, n_attrs)?;
+        let config = decode_config(require(TAG_CONFIG)?)?;
+        let orders = decode_orders(require(TAG_ORDERS)?)?;
+        let cache = match sections.iter().find(|&&(t, _)| t == TAG_CACHE) {
+            Some(&(_, payload)) => decode_cache(payload)?,
+            None => CacheSnapshot::default(),
+        };
+
+        Ok(Pack {
+            meta,
+            snapshot: EngineSnapshot {
+                table: Arc::new(table),
+                graph: graph.map(Arc::new),
+                pred: config.pred,
+                positive: config.positive,
+                alpha: config.alpha,
+                min_support: config.min_support,
+                cache_capacity: config.cache_capacity,
+                features: config.features,
+                orders,
+                cache,
+            },
+        })
+    }
+
+    /// Write the pack to `path`.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_bytes()).map_err(|e| StoreError::io(path, e))
+    }
+
+    /// Read a pack from `path`.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Pack> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
+        Pack::from_bytes(&bytes)
+    }
+}
+
+/// Read a pack file and restore its engine in one step.
+pub fn load_engine(path: impl AsRef<Path>) -> Result<(Engine, PackMeta)> {
+    Pack::read_file(path)?.restore_engine()
+}
+
+fn write_section(out: &mut Vec<u8>, tag: u8, payload: Vec<u8>) {
+    out.put_u8(tag);
+    out.put_u64(payload.len() as u64);
+    let crc = crc32(&payload);
+    out.extend_from_slice(&payload);
+    out.put_u32(crc);
+}
+
+/// Wrap a cursor-level failure with its section name.
+fn corrupt(section: &'static str) -> impl Fn(CursorError) -> StoreError {
+    move |e| StoreError::Corrupt {
+        section,
+        detail: e.to_string(),
+    }
+}
+
+/// Clamp a decoded element count before it becomes a `Vec` capacity.
+/// `Cursor::count` bounds counts by the *payload* bytes remaining, but
+/// in-memory elements (structs, `String`s) are larger than their wire
+/// form, so a crafted file could otherwise amplify its own size many
+/// times over in one reservation. Past the clamp the vector grows
+/// normally — decoding still fails fast when the payload runs out.
+fn cap(n: usize) -> usize {
+    n.min(1024)
+}
+
+// ---- meta ----
+
+fn encode_meta(meta: &PackMeta) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_string(&meta.source);
+    out.put_string(&meta.graph);
+    out
+}
+
+fn decode_meta(payload: &[u8]) -> Result<PackMeta> {
+    let at = corrupt("meta");
+    let mut c = Cursor::new(payload);
+    let source = c.string().map_err(&at)?;
+    let graph = c.string().map_err(&at)?;
+    c.finish().map_err(&at)?;
+    Ok(PackMeta { source, graph })
+}
+
+// ---- schema ----
+
+const DOMAIN_CATEGORICAL: u8 = 0;
+const DOMAIN_BINNED: u8 = 1;
+
+fn encode_schema(schema: &Schema) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u32(schema.len() as u32);
+    for a in schema.attr_ids() {
+        let attr = schema.attr(a).expect("attr in range");
+        out.put_string(&attr.name);
+        if let Some(labels) = attr.domain.labels() {
+            out.put_u8(DOMAIN_CATEGORICAL);
+            out.put_u32(labels.len() as u32);
+            for l in labels {
+                out.put_string(l);
+            }
+        } else {
+            let edges = attr.domain.edges().expect("categorical or binned");
+            out.put_u8(DOMAIN_BINNED);
+            out.put_u32(edges.len() as u32);
+            for &e in edges {
+                out.put_f64_bits(e);
+            }
+        }
+    }
+    out
+}
+
+fn decode_schema(payload: &[u8]) -> Result<Schema> {
+    let at = corrupt("schema");
+    let mut c = Cursor::new(payload);
+    let n = c.count(2).map_err(&at)?;
+    let mut schema = Schema::new();
+    for _ in 0..n {
+        let name = c.string().map_err(&at)?;
+        if schema.attr_by_name(&name).is_some() {
+            // Schema::push panics on duplicates (library misuse); from a
+            // file that's data corruption, so fail typed instead.
+            return Err(StoreError::Corrupt {
+                section: "schema",
+                detail: format!("duplicate attribute name {name:?}"),
+            });
+        }
+        let kind = c.u8().map_err(&at)?;
+        let domain = match kind {
+            DOMAIN_CATEGORICAL => {
+                let n_labels = c.count(4).map_err(&at)?;
+                let mut labels = Vec::with_capacity(cap(n_labels));
+                for _ in 0..n_labels {
+                    labels.push(c.string().map_err(&at)?);
+                }
+                Domain::categorical(labels)
+            }
+            DOMAIN_BINNED => {
+                let n_edges = c.count(8).map_err(&at)?;
+                let mut edges = Vec::with_capacity(n_edges);
+                for _ in 0..n_edges {
+                    edges.push(c.f64_bits().map_err(&at)?);
+                }
+                // Domain::binned asserts on malformed edges; check first
+                // so corruption cannot panic.
+                if edges.len() < 2
+                    || edges
+                        .windows(2)
+                        .any(|w| !matches!(w[0].partial_cmp(&w[1]), Some(std::cmp::Ordering::Less)))
+                {
+                    return Err(StoreError::Corrupt {
+                        section: "schema",
+                        detail: format!("attribute {name:?} has malformed bin edges"),
+                    });
+                }
+                Domain::binned(edges)
+            }
+            other => {
+                return Err(StoreError::Corrupt {
+                    section: "schema",
+                    detail: format!("unknown domain kind {other}"),
+                })
+            }
+        };
+        schema.push(name, domain);
+    }
+    c.finish().map_err(&at)?;
+    Ok(schema)
+}
+
+// ---- table ----
+
+/// Bytes per cell for a domain of the given cardinality.
+fn column_width(cardinality: usize) -> usize {
+    if cardinality <= 1 << 8 {
+        1
+    } else if cardinality <= 1 << 16 {
+        2
+    } else {
+        4
+    }
+}
+
+fn encode_table(table: &Table) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u64(table.n_rows() as u64);
+    out.put_u32(table.n_attrs() as u32);
+    for (i, col) in table.columns().iter().enumerate() {
+        let card = table
+            .schema()
+            .cardinality(AttrId(i as u32))
+            .expect("attr in range");
+        let width = column_width(card);
+        out.put_u8(width as u8);
+        match width {
+            1 => out.extend(col.iter().map(|&v| v as u8)),
+            2 => {
+                for &v in col {
+                    out.extend_from_slice(&(v as u16).to_le_bytes());
+                }
+            }
+            _ => {
+                for &v in col {
+                    out.put_u32(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn decode_table(payload: &[u8], schema: Schema) -> Result<Table> {
+    let at = corrupt("table");
+    let mut c = Cursor::new(payload);
+    let n_rows = c.u64().map_err(&at)?;
+    let Ok(n_rows) = usize::try_from(n_rows) else {
+        return Err(StoreError::Corrupt {
+            section: "table",
+            detail: format!("{n_rows} rows do not fit in memory"),
+        });
+    };
+    let n_cols = c.count(1).map_err(&at)?;
+    let mut columns = Vec::with_capacity(cap(n_cols));
+    for _ in 0..n_cols {
+        let width = c.u8().map_err(&at)? as usize;
+        if !matches!(width, 1 | 2 | 4) {
+            return Err(StoreError::Corrupt {
+                section: "table",
+                detail: format!("invalid column width {width}"),
+            });
+        }
+        let bytes = c
+            .take(n_rows.checked_mul(width).ok_or(StoreError::Corrupt {
+                section: "table",
+                detail: "column size overflows".into(),
+            })?)
+            .map_err(&at)?;
+        let col: Vec<Value> = match width {
+            1 => bytes.iter().map(|&b| Value::from(b)).collect(),
+            2 => bytes
+                .chunks_exact(2)
+                .map(|b| Value::from(u16::from_le_bytes([b[0], b[1]])))
+                .collect(),
+            _ => bytes
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .collect(),
+        };
+        columns.push(col);
+    }
+    c.finish().map_err(&at)?;
+    // from_columns re-validates arity and every code against its domain:
+    // a table section that disagrees with the schema section is a
+    // cross-section mismatch, not a usable table.
+    Table::from_columns(schema, columns).map_err(|e| StoreError::Mismatch(e.to_string()))
+}
+
+// ---- graph ----
+
+fn encode_graph(graph: Option<&causal::Dag>) -> Vec<u8> {
+    let mut out = Vec::new();
+    match graph {
+        None => out.put_u8(0),
+        Some(g) => {
+            out.put_u8(1);
+            out.put_u32(g.n_nodes() as u32);
+            let edges = g.edges();
+            out.put_u32(edges.len() as u32);
+            for (from, to) in edges {
+                out.put_u32(from as u32);
+                out.put_u32(to as u32);
+            }
+        }
+    }
+    out
+}
+
+fn decode_graph(payload: &[u8], n_attrs: usize) -> Result<Option<causal::Dag>> {
+    let at = corrupt("graph");
+    let mut c = Cursor::new(payload);
+    let present = c.u8().map_err(&at)?;
+    let graph = match present {
+        0 => None,
+        1 => {
+            let n_nodes = c.u32().map_err(&at)? as usize;
+            // The node count carries no per-node payload, so the
+            // cursor's count() guard cannot bound it — check it against
+            // the schema (engines require n_nodes ≤ attributes) before
+            // Dag::new allocates adjacency lists for a crafted 4-billion
+            // node graph.
+            if n_nodes > n_attrs {
+                return Err(StoreError::Corrupt {
+                    section: "graph",
+                    detail: format!("{n_nodes} nodes for a schema of {n_attrs} attributes"),
+                });
+            }
+            let n_edges = c.count(8).map_err(&at)?;
+            let mut g = causal::Dag::new(n_nodes);
+            for _ in 0..n_edges {
+                let from = c.u32().map_err(&at)? as usize;
+                let to = c.u32().map_err(&at)? as usize;
+                // out-of-range nodes and cycles are rejected by the Dag
+                // itself; surface them as corruption, never a panic
+                g.add_edge(from, to).map_err(|e| StoreError::Corrupt {
+                    section: "graph",
+                    detail: e.to_string(),
+                })?;
+            }
+            Some(g)
+        }
+        other => {
+            return Err(StoreError::Corrupt {
+                section: "graph",
+                detail: format!("invalid presence flag {other}"),
+            })
+        }
+    };
+    c.finish().map_err(&at)?;
+    Ok(graph)
+}
+
+// ---- config ----
+
+struct Config {
+    pred: AttrId,
+    positive: Value,
+    alpha: f64,
+    min_support: usize,
+    cache_capacity: usize,
+    features: Vec<AttrId>,
+}
+
+fn encode_config(snapshot: &EngineSnapshot) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u32(snapshot.pred.0);
+    out.put_u32(snapshot.positive);
+    out.put_f64_bits(snapshot.alpha);
+    out.put_u64(snapshot.min_support as u64);
+    out.put_u64(snapshot.cache_capacity as u64);
+    out.put_u32_vec(&snapshot.features.iter().map(|a| a.0).collect::<Vec<_>>());
+    out
+}
+
+fn decode_config(payload: &[u8]) -> Result<Config> {
+    let at = corrupt("config");
+    let mut c = Cursor::new(payload);
+    let pred = AttrId(c.u32().map_err(&at)?);
+    let positive = c.u32().map_err(&at)?;
+    let alpha = c.f64_bits().map_err(&at)?;
+    let min_support = c.u64().map_err(&at)? as usize;
+    let cache_capacity = c.u64().map_err(&at)? as usize;
+    let features = c.u32_vec().map_err(&at)?.into_iter().map(AttrId).collect();
+    c.finish().map_err(&at)?;
+    Ok(Config {
+        pred,
+        positive,
+        alpha,
+        min_support,
+        cache_capacity,
+        features,
+    })
+}
+
+// ---- orders ----
+
+fn encode_orders(orders: &[Option<Vec<Value>>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u32(orders.len() as u32);
+    for order in orders {
+        match order {
+            None => out.put_u8(0),
+            Some(o) => {
+                out.put_u8(1);
+                out.put_u32_vec(o);
+            }
+        }
+    }
+    out
+}
+
+fn decode_orders(payload: &[u8]) -> Result<Vec<Option<Vec<Value>>>> {
+    let at = corrupt("orders");
+    let mut c = Cursor::new(payload);
+    let n = c.count(1).map_err(&at)?;
+    let mut orders = Vec::with_capacity(cap(n));
+    for _ in 0..n {
+        orders.push(match c.u8().map_err(&at)? {
+            0 => None,
+            1 => Some(c.u32_vec().map_err(&at)?),
+            other => {
+                return Err(StoreError::Corrupt {
+                    section: "orders",
+                    detail: format!("invalid presence flag {other}"),
+                })
+            }
+        });
+    }
+    c.finish().map_err(&at)?;
+    Ok(orders)
+}
+
+// ---- cache ----
+
+fn encode_cache(cache: &CacheSnapshot) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u64(cache.hits);
+    out.put_u64(cache.misses);
+    out.put_u32(cache.passes.len() as u32);
+    for pass in &cache.passes {
+        out.put_u32_vec(&pass.xs.iter().map(|a| a.0).collect::<Vec<_>>());
+        out.put_u32(pass.context.len() as u32);
+        for (a, v) in pass.context.iter() {
+            out.put_u32(a.0);
+            out.put_u32(v);
+        }
+        out.put_u32_vec(&pass.c_set.iter().map(|a| a.0).collect::<Vec<_>>());
+        out.put_u64(pass.total);
+        out.put_u32(pass.cells.len() as u32);
+        for cell in &pass.cells {
+            out.put_u32_vec(&cell.key);
+            out.put_u64(cell.rows);
+            out.put_u32(cell.arms.len() as u32);
+            for arm in &cell.arms {
+                out.put_u32_vec(&arm.assignment);
+                out.put_u64(arm.rows);
+                out.put_u64(arm.positives);
+            }
+        }
+    }
+    out
+}
+
+fn decode_cache(payload: &[u8]) -> Result<CacheSnapshot> {
+    let at = corrupt("cache");
+    let mut c = Cursor::new(payload);
+    let hits = c.u64().map_err(&at)?;
+    let misses = c.u64().map_err(&at)?;
+    let n_passes = c.count(4).map_err(&at)?;
+    let mut passes = Vec::with_capacity(cap(n_passes));
+    for _ in 0..n_passes {
+        let xs: Vec<AttrId> = c.u32_vec().map_err(&at)?.into_iter().map(AttrId).collect();
+        let n_ctx = c.count(8).map_err(&at)?;
+        let mut context = Context::empty();
+        for _ in 0..n_ctx {
+            let a = AttrId(c.u32().map_err(&at)?);
+            let v = c.u32().map_err(&at)?;
+            context.set(a, v);
+        }
+        let c_set: Vec<AttrId> = c.u32_vec().map_err(&at)?.into_iter().map(AttrId).collect();
+        let total = c.u64().map_err(&at)?;
+        let n_cells = c.count(4).map_err(&at)?;
+        let mut cells = Vec::with_capacity(cap(n_cells));
+        for _ in 0..n_cells {
+            let key = c.u32_vec().map_err(&at)?;
+            let rows = c.u64().map_err(&at)?;
+            let n_arms = c.count(4).map_err(&at)?;
+            let mut arms = Vec::with_capacity(cap(n_arms));
+            for _ in 0..n_arms {
+                arms.push(ArmSnapshot {
+                    assignment: c.u32_vec().map_err(&at)?,
+                    rows: c.u64().map_err(&at)?,
+                    positives: c.u64().map_err(&at)?,
+                });
+            }
+            cells.push(CellSnapshot { key, rows, arms });
+        }
+        passes.push(PassSnapshot {
+            xs,
+            context,
+            c_set,
+            total,
+            cells,
+        });
+    }
+    c.finish().map_err(&at)?;
+    Ok(CacheSnapshot {
+        hits,
+        misses,
+        passes,
+    })
+}

@@ -1,0 +1,402 @@
+//! Pack corruption coverage: every defect class yields its own typed
+//! [`StoreError`], and no corruption — not a single byte, anywhere —
+//! can make the reader panic or hand back an engine built from bad
+//! data.
+
+use lewis_core::{Engine, ExplainRequest};
+use lewis_store::{Pack, PackMeta, StoreError, FORMAT_VERSION};
+use proptest::prelude::*;
+use tabular::{AttrId, Domain, Schema, Table};
+
+/// A small but structurally rich engine: categorical + binned domains,
+/// a causal graph, and a warm cache with several resident passes.
+fn donor() -> Engine {
+    let mut schema = Schema::new();
+    schema.push("status", Domain::categorical(["bad", "ok", "good"]));
+    schema.push("age", Domain::binned(vec![0.0, 30.0, 60.0, 99.0]));
+    schema.push("savings", Domain::boolean());
+    schema.push("pred", Domain::boolean());
+    let mut t = Table::new(schema);
+    // deterministic pseudo-random fill
+    let mut x = 9u32;
+    for _ in 0..400 {
+        x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+        let status = (x >> 3) % 3;
+        let age = (x >> 7) % 3;
+        let savings = (x >> 11) % 2;
+        let pred = u32::from(status + savings >= 2);
+        t.push_row(&[status, age, savings, pred]).unwrap();
+    }
+    let mut g = causal::Dag::new(3);
+    g.add_edge(0, 2).unwrap();
+    let engine = Engine::builder(t)
+        .graph(&g)
+        .prediction(AttrId(3), 1)
+        .features(&[AttrId(0), AttrId(1), AttrId(2)])
+        .build()
+        .unwrap();
+    // warm: several distinct passes resident
+    let _ = engine.run(&ExplainRequest::Global).unwrap();
+    let _ = engine
+        .run(&ExplainRequest::ContextualGlobal {
+            k: tabular::Context::of([(AttrId(2), 1)]),
+        })
+        .unwrap();
+    assert!(engine.cache_stats().entries >= 3);
+    engine
+}
+
+fn donor_bytes() -> Vec<u8> {
+    Pack::from_engine(
+        &donor(),
+        PackMeta {
+            source: "test:donor".into(),
+            graph: "handmade dag".into(),
+        },
+    )
+    .to_bytes()
+}
+
+#[test]
+fn truncation_at_every_prefix_is_typed() {
+    let bytes = donor_bytes();
+    // The cache section is optional by design, so the one prefix ending
+    // exactly where it starts parses as a cache-less pack. Locate that
+    // boundary by walking the section headers.
+    let mut cache_boundary = None;
+    let mut pos = 12usize;
+    while pos < bytes.len() {
+        let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap()) as usize;
+        if bytes[pos] == 7 {
+            cache_boundary = Some(pos);
+        }
+        pos = pos + 1 + 8 + len + 4;
+    }
+    let cache_boundary = cache_boundary.expect("donor pack carries a cache section");
+
+    // every other strict prefix must fail with a *typed* error, never
+    // panic, and never produce a pack
+    for cut in 0..bytes.len() {
+        match Pack::from_bytes(&bytes[..cut]) {
+            Ok(pack) => {
+                assert_eq!(cut, cache_boundary, "unexpected parse at cut {cut}");
+                assert!(pack.snapshot.cache.passes.is_empty());
+            }
+            Err(
+                StoreError::Truncated { .. }
+                | StoreError::BadMagic
+                | StoreError::MissingSection { .. },
+            ) => {}
+            Err(other) => panic!("prefix of {cut} bytes: unexpected {other:?}"),
+        }
+    }
+    // the full file still parses
+    assert!(Pack::from_bytes(&bytes).is_ok());
+}
+
+#[test]
+fn flipped_checksum_byte_is_a_checksum_mismatch() {
+    let mut bytes = donor_bytes();
+    // the first section starts right after the 12-byte header:
+    // tag(1) + len(8) + payload(len) + crc(4) — flip a crc byte
+    let len = u64::from_le_bytes(bytes[13..21].try_into().unwrap()) as usize;
+    let crc_at = 12 + 1 + 8 + len;
+    bytes[crc_at] ^= 0xFF;
+    match Pack::from_bytes(&bytes).unwrap_err() {
+        StoreError::ChecksumMismatch { section } => assert_eq!(section, "meta"),
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn flipped_payload_byte_is_a_checksum_mismatch() {
+    let mut bytes = donor_bytes();
+    bytes[12 + 1 + 8] ^= 0x01; // first payload byte of the meta section
+    assert!(matches!(
+        Pack::from_bytes(&bytes).unwrap_err(),
+        StoreError::ChecksumMismatch { section: "meta" }
+    ));
+}
+
+#[test]
+fn wrong_magic_is_bad_magic() {
+    let mut bytes = donor_bytes();
+    bytes[0] ^= 0x20;
+    assert_eq!(Pack::from_bytes(&bytes).unwrap_err(), StoreError::BadMagic);
+    // entirely foreign files too
+    assert_eq!(
+        Pack::from_bytes(b"PK\x03\x04 definitely a zip file").unwrap_err(),
+        StoreError::BadMagic
+    );
+}
+
+#[test]
+fn future_format_version_is_rejected() {
+    let mut bytes = donor_bytes();
+    let future = (FORMAT_VERSION + 1).to_le_bytes();
+    bytes[8..12].copy_from_slice(&future);
+    assert_eq!(
+        Pack::from_bytes(&bytes).unwrap_err(),
+        StoreError::UnsupportedVersion {
+            found: FORMAT_VERSION + 1,
+            supported: FORMAT_VERSION
+        }
+    );
+}
+
+#[test]
+fn missing_and_duplicate_sections_are_typed() {
+    let bytes = donor_bytes();
+    // drop everything after the header: first missing section is meta
+    assert!(matches!(
+        Pack::from_bytes(&bytes[..12]).unwrap_err(),
+        StoreError::MissingSection { section: "meta" }
+    ));
+    // duplicate the first section wholesale
+    let len = u64::from_le_bytes(bytes[13..21].try_into().unwrap()) as usize;
+    let section_end = 12 + 1 + 8 + len + 4;
+    let mut dup = bytes.clone();
+    dup.extend_from_slice(&bytes[12..section_end]);
+    assert!(matches!(
+        Pack::from_bytes(&dup).unwrap_err(),
+        StoreError::DuplicateSection { section: "meta" }
+    ));
+}
+
+#[test]
+fn schema_mismatch_on_restore_is_typed() {
+    // a snapshot whose cache/config disagree with the (valid) table —
+    // build it by pairing the donor's sections with a doctored snapshot
+    let engine = donor();
+    let mut pack = Pack::from_engine(&engine, PackMeta::default());
+
+    // features pointing outside the schema
+    let mut bad = pack.clone();
+    bad.snapshot.features = vec![AttrId(99)];
+    bad.snapshot.orders = vec![None; bad.snapshot.table.schema().len()];
+    let err = Pack::from_bytes(&bad.to_bytes())
+        .unwrap()
+        .restore_engine()
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, StoreError::Mismatch(_)), "{err:?}");
+
+    // a value order that is not a permutation of its domain
+    let mut bad = pack.clone();
+    bad.snapshot.orders[0] = Some(vec![0, 0, 1]);
+    let err = Pack::from_bytes(&bad.to_bytes())
+        .unwrap()
+        .restore_engine()
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, StoreError::Mismatch(_)), "{err:?}");
+
+    // a cache pass with counts that cannot come from this table
+    if let Some(pass) = pack.snapshot.cache.passes.first_mut() {
+        pass.total = pass.total.wrapping_add(7);
+        let err = Pack::from_bytes(&pack.to_bytes())
+            .unwrap()
+            .restore_engine()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Mismatch(_)), "{err:?}");
+    }
+}
+
+#[test]
+fn crafted_giant_graph_section_is_rejected_without_allocating() {
+    // CRC is an integrity check, not a MAC: an attacker can re-checksum
+    // a doctored section. A graph section announcing 2^32-1 nodes must
+    // fail typed *before* Dag::new allocates ~200 GB of adjacency lists.
+    let bytes = donor_bytes();
+    let mut out = bytes[..12].to_vec();
+    let mut pos = 12usize;
+    while pos < bytes.len() {
+        let tag = bytes[pos];
+        let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap()) as usize;
+        let end = pos + 1 + 8 + len + 4;
+        if tag == 4 {
+            // replace the graph payload: present=1, n_nodes=u32::MAX,
+            // n_edges=0, with a freshly computed (valid!) CRC-32
+            let mut payload = vec![1u8];
+            payload.extend_from_slice(&u32::MAX.to_le_bytes());
+            payload.extend_from_slice(&0u32.to_le_bytes());
+            out.push(4);
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            let crc = {
+                // IEEE CRC-32, same as the writer
+                let mut crc = 0xFFFF_FFFFu32;
+                for &b in &payload {
+                    crc ^= u32::from(b);
+                    for _ in 0..8 {
+                        crc = if crc & 1 != 0 {
+                            (crc >> 1) ^ 0xEDB8_8320
+                        } else {
+                            crc >> 1
+                        };
+                    }
+                }
+                !crc
+            };
+            out.extend_from_slice(&payload);
+            out.extend_from_slice(&crc.to_le_bytes());
+        } else {
+            out.extend_from_slice(&bytes[pos..end]);
+        }
+        pos = end;
+    }
+    match Pack::from_bytes(&out).map(|_| ()).unwrap_err() {
+        StoreError::Corrupt { section, detail } => {
+            assert_eq!(section, "graph");
+            assert!(detail.contains("4294967295"), "{detail}");
+        }
+        other => panic!("expected Corrupt graph, got {other:?}"),
+    }
+}
+
+#[test]
+fn overflowing_cache_counts_fail_typed_not_wrapping() {
+    // u64::MAX + 2 wraps to 1 — a crafted pass whose cell total
+    // "checks out" after wraparound must still be rejected (the sums
+    // are checked_add on restore), in debug and release alike.
+    let engine = donor();
+    let mut pack = Pack::from_engine(&engine, PackMeta::default());
+    let pass = pack
+        .snapshot
+        .cache
+        .passes
+        .iter_mut()
+        .find(|p| p.cells.iter().any(|c| c.arms.len() >= 2))
+        .expect("donor has a multi-arm pass");
+    let cell = pass
+        .cells
+        .iter_mut()
+        .find(|c| c.arms.len() >= 2)
+        .expect("multi-arm cell");
+    cell.arms[0].rows = u64::MAX;
+    cell.arms[0].positives = 0;
+    cell.arms[1].rows = 2;
+    cell.arms[1].positives = 0;
+    cell.rows = 1; // what the wrapped sum would be
+    let err = Pack::from_bytes(&pack.to_bytes())
+        .unwrap()
+        .restore_engine()
+        .map(|_| ())
+        .unwrap_err();
+    match err {
+        StoreError::Mismatch(detail) => {
+            assert!(detail.contains("overflow"), "{detail}")
+        }
+        other => panic!("expected Mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn cache_counts_exceeding_the_table_are_rejected() {
+    // internally consistent counts that still cannot come from this
+    // table (more rows than the table has) must not restore
+    let engine = donor();
+    let mut pack = Pack::from_engine(&engine, PackMeta::default());
+    let n_rows = pack.snapshot.table.n_rows() as u64;
+    let pass = pack.snapshot.cache.passes.first_mut().unwrap();
+    for cell in &mut pass.cells {
+        for arm in &mut cell.arms {
+            arm.rows += n_rows;
+        }
+        cell.rows += n_rows * cell.arms.len() as u64;
+    }
+    pass.total = pass.cells.iter().map(|c| c.rows).sum();
+    let err = Pack::from_bytes(&pack.to_bytes())
+        .unwrap()
+        .restore_engine()
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, StoreError::Mismatch(_)), "{err:?}");
+}
+
+#[test]
+fn round_trip_is_lossless() {
+    let engine = donor();
+    let meta = PackMeta {
+        source: "test:donor".into(),
+        graph: "handmade dag".into(),
+    };
+    let pack = Pack::from_engine(&engine, meta.clone());
+    let bytes = pack.to_bytes();
+    let back = Pack::from_bytes(&bytes).unwrap();
+    assert_eq!(back.meta, meta);
+    assert_eq!(*back.snapshot.table, *pack.snapshot.table);
+    assert_eq!(
+        back.snapshot.graph.as_deref(),
+        pack.snapshot.graph.as_deref()
+    );
+    assert_eq!(back.snapshot.orders, pack.snapshot.orders);
+    assert_eq!(back.snapshot.cache, pack.snapshot.cache);
+    assert_eq!(back.snapshot.alpha.to_bits(), pack.snapshot.alpha.to_bits());
+    // and the re-serialization is byte-identical (deterministic format)
+    assert_eq!(back.to_bytes(), bytes);
+}
+
+#[test]
+fn strip_cache_restores_a_cold_engine() {
+    let engine = donor();
+    let mut pack = Pack::from_engine(&engine, PackMeta::default());
+    pack.strip_cache();
+    let (cold, _) = Pack::from_bytes(&pack.to_bytes())
+        .unwrap()
+        .restore_engine()
+        .unwrap();
+    assert_eq!(cold.cache_stats().entries, 0);
+    // still answers identically, it just re-scans
+    assert_eq!(
+        format!("{:?}", cold.run(&ExplainRequest::Global).unwrap()),
+        format!("{:?}", engine.run(&ExplainRequest::Global).unwrap()),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single flipped byte anywhere in the file either leaves the
+    /// pack readable (flips in dead header space cannot happen — every
+    /// byte is covered by magic, version, section headers or checksums)
+    /// or yields a typed error. It must never panic, and a "successful"
+    /// parse after corruption is only acceptable if it decodes to the
+    /// donor's exact content (e.g. flipping a bit that the CRC itself
+    /// compensates — impossible for single flips, so success means the
+    /// reader caught nothing because nothing material changed).
+    #[test]
+    fn single_byte_corruption_never_panics(
+        offset in 0usize..=usize::MAX,
+        flip in 1u8..=255u8,
+    ) {
+        // cache the donor bytes across cases via a thread-local
+        thread_local! {
+            static BYTES: Vec<u8> = donor_bytes();
+        }
+        BYTES.with(|bytes| {
+            let mut corrupted = bytes.clone();
+            let at = offset % corrupted.len();
+            corrupted[at] ^= flip;
+            match Pack::from_bytes(&corrupted) {
+                // CRC-32 detects all single-byte flips in payloads;
+                // header flips hit magic/version/len/tag checks. A
+                // clean parse is impossible because every byte of the
+                // file is load-bearing.
+                Ok(_) => prop_assert!(false, "corruption at {at} went unnoticed"),
+                Err(
+                    StoreError::BadMagic
+                    | StoreError::UnsupportedVersion { .. }
+                    | StoreError::Truncated { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::Corrupt { .. }
+                    | StoreError::MissingSection { .. }
+                    | StoreError::DuplicateSection { .. }
+                    | StoreError::Mismatch(_),
+                ) => {}
+                Err(other) => prop_assert!(false, "untyped failure at {at}: {other:?}"),
+            }
+            Ok(())
+        })?;
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The paper assumes continuous domains are binned (§2). A [`Binner`] is
 //! fitted on raw `f64` samples with a [`BinningStrategy`] and yields a
-//! [`Domain::Binned`] plus the code vector for the fitted data.
+//! binned [`Domain`] plus the code vector for the fitted data.
 
 use crate::domain::{Domain, Value};
 use crate::error::TabularError;

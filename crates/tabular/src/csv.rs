@@ -97,7 +97,7 @@ pub fn read_csv_str(input: &str) -> Result<Table> {
         } else {
             ls.clone()
         };
-        schema.push(name.clone(), Domain::Categorical { labels: ls });
+        schema.push(name.clone(), Domain::categorical(ls));
     }
     let mut table = Table::with_capacity(schema, records.len());
     let mut row = vec![0u32; n_cols];

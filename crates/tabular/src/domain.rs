@@ -9,7 +9,9 @@
 //! natural order exists the order can be *inferred* from the black box
 //! (handled upstream in `lewis-core`).
 
+use crate::hash::FxHashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Index of an attribute within a [`crate::Schema`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,17 +34,58 @@ impl fmt::Display for AttrId {
 /// A dictionary code identifying one value of an attribute's domain.
 pub type Value = u32;
 
-/// The finite domain of an attribute.
+/// Categorical domains up to this cardinality answer [`Domain::code_of`]
+/// with a plain linear scan; wider domains build (once, lazily) a
+/// label → code hash index. Small domains stay index-free because the
+/// scan beats the hash on a handful of labels and most domains are tiny.
+const LINEAR_SCAN_MAX: usize = 16;
+
+/// The two shapes a domain can take. Kept private so the cached label
+/// index can ride along without leaking into the public API.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Domain {
+enum DomainKind {
     /// Named categorical levels; code `i` maps to `labels[i]`.
-    ///
-    /// Declare ordinal categories in ascending order of "goodness" so the
-    /// code order is the natural order.
     Categorical { labels: Vec<String> },
     /// A binned numeric domain: bin `i` covers `[edges[i], edges[i+1])`
     /// (the last bin is closed above). Always ordered by construction.
     Binned { edges: Vec<f64> },
+}
+
+/// The finite domain of an attribute.
+///
+/// Construct with [`Domain::categorical`], [`Domain::binned`] or
+/// [`Domain::boolean`]; inspect with [`Domain::labels`] /
+/// [`Domain::edges`]. Declare ordinal categories in ascending order of
+/// "goodness" so the code order is the natural order.
+pub struct Domain {
+    kind: DomainKind,
+    /// Lazily-built label → code index for wide categorical domains.
+    /// Purely a cache: never serialized, never compared, dropped on
+    /// clone (the clone rebuilds it on first use).
+    index: OnceLock<FxHashMap<String, Value>>,
+}
+
+impl Clone for Domain {
+    fn clone(&self) -> Self {
+        Domain {
+            kind: self.kind.clone(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Domain {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+impl fmt::Debug for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as the kind alone so the cache never shows up in
+        // assertion diffs or logs.
+        self.kind.fmt(f)
+    }
 }
 
 impl Domain {
@@ -52,8 +95,11 @@ impl Domain {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Domain::Categorical {
-            labels: labels.into_iter().map(Into::into).collect(),
+        Domain {
+            kind: DomainKind::Categorical {
+                labels: labels.into_iter().map(Into::into).collect(),
+            },
+            index: OnceLock::new(),
         }
     }
 
@@ -67,7 +113,10 @@ impl Domain {
             edges.windows(2).all(|w| w[0] < w[1]),
             "bin edges must be strictly increasing"
         );
-        Domain::Binned { edges }
+        Domain {
+            kind: DomainKind::Binned { edges },
+            index: OnceLock::new(),
+        }
     }
 
     /// A boolean domain (`false`, `true`), common for binary outcomes.
@@ -75,11 +124,32 @@ impl Domain {
         Domain::categorical(["false", "true"])
     }
 
+    /// The categorical labels in code order, or `None` for binned domains.
+    pub fn labels(&self) -> Option<&[String]> {
+        match &self.kind {
+            DomainKind::Categorical { labels } => Some(labels),
+            DomainKind::Binned { .. } => None,
+        }
+    }
+
+    /// The ascending bin edges, or `None` for categorical domains.
+    pub fn edges(&self) -> Option<&[f64]> {
+        match &self.kind {
+            DomainKind::Categorical { .. } => None,
+            DomainKind::Binned { edges } => Some(edges),
+        }
+    }
+
+    /// Whether this is a binned numeric domain.
+    pub fn is_binned(&self) -> bool {
+        matches!(self.kind, DomainKind::Binned { .. })
+    }
+
     /// Number of distinct values in this domain.
     pub fn cardinality(&self) -> usize {
-        match self {
-            Domain::Categorical { labels } => labels.len(),
-            Domain::Binned { edges } => edges.len() - 1,
+        match &self.kind {
+            DomainKind::Categorical { labels } => labels.len(),
+            DomainKind::Binned { edges } => edges.len() - 1,
         }
     }
 
@@ -96,12 +166,12 @@ impl Domain {
 
     /// Human-readable label for code `v`.
     pub fn label(&self, v: Value) -> String {
-        match self {
-            Domain::Categorical { labels } => labels
+        match &self.kind {
+            DomainKind::Categorical { labels } => labels
                 .get(v as usize)
                 .cloned()
                 .unwrap_or_else(|| format!("<invalid:{v}>")),
-            Domain::Binned { edges } => {
+            DomainKind::Binned { edges } => {
                 let i = v as usize;
                 if i + 1 < edges.len() {
                     format!("[{}, {})", edges[i], edges[i + 1])
@@ -113,22 +183,37 @@ impl Domain {
     }
 
     /// Find the code of a categorical label, if present.
+    ///
+    /// Narrow domains answer with a linear scan; wide ones go through a
+    /// label → code index built lazily on the first lookup, so bulk
+    /// decoding (CSV ingestion, wire decodes) is O(1) per cell instead
+    /// of O(cardinality).
     pub fn code_of(&self, label: &str) -> Option<Value> {
-        match self {
-            Domain::Categorical { labels } => {
-                labels.iter().position(|l| l == label).map(|i| i as Value)
-            }
-            Domain::Binned { .. } => None,
+        let DomainKind::Categorical { labels } = &self.kind else {
+            return None;
+        };
+        if labels.len() <= LINEAR_SCAN_MAX {
+            return labels.iter().position(|l| l == label).map(|i| i as Value);
         }
+        self.index
+            .get_or_init(|| {
+                labels
+                    .iter()
+                    .enumerate()
+                    .map(|(i, l)| (l.clone(), i as Value))
+                    .collect()
+            })
+            .get(label)
+            .copied()
     }
 
     /// Map a raw numeric value to its bin code (clamping to the outer bins).
     ///
     /// Returns `None` for categorical domains.
     pub fn bin_of(&self, x: f64) -> Option<Value> {
-        match self {
-            Domain::Categorical { .. } => None,
-            Domain::Binned { edges } => {
+        match &self.kind {
+            DomainKind::Categorical { .. } => None,
+            DomainKind::Binned { edges } => {
                 let n_bins = edges.len() - 1;
                 if x < edges[0] {
                     return Some(0);
@@ -155,9 +240,9 @@ impl Domain {
     /// Representative numeric value of bin `v` (its midpoint), used when a
     /// model needs a numeric feature from a binned code.
     pub fn bin_midpoint(&self, v: Value) -> Option<f64> {
-        match self {
-            Domain::Categorical { .. } => None,
-            Domain::Binned { edges } => {
+        match &self.kind {
+            DomainKind::Categorical { .. } => None,
+            DomainKind::Binned { edges } => {
                 let i = v as usize;
                 (i + 1 < edges.len()).then(|| (edges[i] + edges[i + 1]) / 2.0)
             }
@@ -179,6 +264,13 @@ mod tests {
         assert_eq!(d.code_of("high"), Some(2));
         assert_eq!(d.code_of("absent"), None);
         assert_eq!(d.values().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            d.labels().map(<[String]>::len),
+            Some(3),
+            "labels accessor exposes code order"
+        );
+        assert!(d.edges().is_none());
+        assert!(!d.is_binned());
     }
 
     #[test]
@@ -192,6 +284,9 @@ mod tests {
         assert_eq!(d.bin_of(39.9), Some(2));
         assert_eq!(d.bin_of(40.0), Some(2)); // clamped above
         assert_eq!(d.bin_of(1e9), Some(2));
+        assert_eq!(d.edges().map(<[f64]>::len), Some(4));
+        assert!(d.labels().is_none());
+        assert!(d.is_binned());
     }
 
     #[test]
@@ -220,5 +315,46 @@ mod tests {
     fn invalid_label_is_marked() {
         let d = Domain::categorical(["a"]);
         assert!(d.label(5).contains("invalid"));
+    }
+
+    #[test]
+    fn wide_domains_index_lookups() {
+        // wide enough to take the indexed path
+        let labels: Vec<String> = (0..1000).map(|i| format!("label-{i}")).collect();
+        let d = Domain::categorical(labels.clone());
+        // every label resolves to its code, repeatedly (warm index)
+        for (i, l) in labels.iter().enumerate() {
+            assert_eq!(d.code_of(l), Some(i as Value));
+            assert_eq!(d.code_of(l), Some(i as Value));
+        }
+        assert_eq!(d.code_of("label-1000"), None);
+        assert_eq!(d.code_of(""), None);
+        // a clone answers identically (its cache rebuilds on demand)
+        let c = d.clone();
+        assert_eq!(c.code_of("label-999"), Some(999));
+        assert_eq!(c, d, "equality ignores the cache");
+    }
+
+    #[test]
+    fn narrow_and_wide_agree_at_the_boundary() {
+        // one domain just under the linear-scan cutoff, one just over —
+        // both must behave identically from the outside
+        for n in [LINEAR_SCAN_MAX, LINEAR_SCAN_MAX + 1] {
+            let labels: Vec<String> = (0..n).map(|i| format!("v{i}")).collect();
+            let d = Domain::categorical(labels);
+            for i in 0..n {
+                assert_eq!(d.code_of(&format!("v{i}")), Some(i as Value), "n={n}");
+            }
+            assert_eq!(d.code_of("missing"), None, "n={n}");
+        }
+    }
+
+    #[test]
+    fn debug_hides_the_cache() {
+        let d = Domain::categorical(["a", "b"]);
+        let _ = d.code_of("a");
+        let text = format!("{d:?}");
+        assert!(text.contains("Categorical"), "{text}");
+        assert!(!text.contains("OnceLock"), "{text}");
     }
 }

@@ -40,6 +40,50 @@ impl Table {
         }
     }
 
+    /// Rebuild a table directly from full columns (one `Vec<Value>` per
+    /// schema attribute, in schema order) — the bulk counterpart of
+    /// [`Table::push_row`] used when deserializing columnar storage.
+    /// Validates column count, equal lengths and every code against its
+    /// domain, so a corrupt column set can never become a table.
+    pub fn from_columns(schema: Schema, columns: Vec<Vec<Value>>) -> Result<Table> {
+        if columns.len() != schema.len() {
+            return Err(TabularError::ArityMismatch {
+                expected: schema.len(),
+                got: columns.len(),
+            });
+        }
+        let n_rows = columns.first().map_or(0, Vec::len);
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != n_rows {
+                return Err(TabularError::ArityMismatch {
+                    expected: n_rows,
+                    got: col.len(),
+                });
+            }
+            let dom = schema.domain(AttrId(i as u32))?;
+            for &v in col {
+                if !dom.contains(v) {
+                    return Err(TabularError::ValueOutOfDomain {
+                        attr: i as u32,
+                        value: v,
+                        cardinality: dom.cardinality(),
+                    });
+                }
+            }
+        }
+        Ok(Table {
+            schema,
+            columns,
+            n_rows,
+        })
+    }
+
+    /// All columns in schema order (each one row-aligned with the rest) —
+    /// the zero-copy accessor columnar serializers iterate.
+    pub fn columns(&self) -> &[Vec<Value>] {
+        &self.columns
+    }
+
     /// Move the table into shared ownership for engines that serve
     /// concurrent readers (`Table` is `Send + Sync`; an `Arc<Table>` is
     /// the idiomatic handle for sharing it without copying columns).
@@ -411,6 +455,31 @@ mod tests {
         let ctx = t.row_context(3).unwrap();
         assert!(ctx.matches_row(&t.row(3).unwrap()));
         assert_eq!(t.filter(&ctx), vec![3, 5]); // rows 3 and 5 are identical
+    }
+
+    #[test]
+    fn from_columns_round_trips_and_validates() {
+        let t = table();
+        let rebuilt = Table::from_columns(t.schema().clone(), t.columns().to_vec()).unwrap();
+        assert_eq!(rebuilt, t);
+        // wrong column count
+        assert!(matches!(
+            Table::from_columns(t.schema().clone(), vec![vec![0, 1]]),
+            Err(TabularError::ArityMismatch { .. })
+        ));
+        // ragged columns
+        assert!(matches!(
+            Table::from_columns(t.schema().clone(), vec![vec![0, 1], vec![0]]),
+            Err(TabularError::ArityMismatch { .. })
+        ));
+        // out-of-domain code
+        assert!(matches!(
+            Table::from_columns(t.schema().clone(), vec![vec![7], vec![0]]),
+            Err(TabularError::ValueOutOfDomain { .. })
+        ));
+        // zero-row tables are fine
+        let empty = Table::from_columns(t.schema().clone(), vec![Vec::new(), Vec::new()]).unwrap();
+        assert_eq!(empty.n_rows(), 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@ proptest! {
         }
         prop_assume!(uniq.len() >= 2);
         let mut schema = Schema::new();
-        schema.push("col", Domain::Categorical { labels: uniq.clone() });
+        schema.push("col", Domain::categorical(uniq.clone()));
         let mut t = Table::new(schema);
         for r in rows {
             t.push_row(&[(r % uniq.len()) as u32]).unwrap();

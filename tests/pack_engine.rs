@@ -1,0 +1,205 @@
+//! Acceptance: a restored engine is **observably identical** to its
+//! donor. All five query kinds — global, contextual, local, recourse,
+//! and batch — must return byte-identical `ExplainResponse`s after a
+//! snapshot → pack-bytes → restore round-trip, across seeds.
+//!
+//! "Byte-identical" is checked two ways: the deterministic wire codec
+//! (`lewis_serve::wire`, which serializes every finite `f64` with
+//! shortest-round-trip precision) must produce equal strings, and spot
+//! checks compare raw `f64` bit patterns.
+
+use datasets::GermanSynDataset;
+use lewis_core::blackbox::label_table;
+use lewis_core::{Engine, ExplainRequest, ExplainResponse, LewisError, RecourseOptions};
+use lewis_serve::warm::{warm_engine, warm_requests};
+use lewis_serve::wire;
+use lewis_store::{Pack, PackMeta};
+use proptest::prelude::*;
+use tabular::Context;
+
+/// A german_syn engine labelled with the paper's oracle rule.
+fn engine(rows: usize, seed: u64) -> Engine {
+    let dataset = GermanSynDataset::standard().generate(rows, seed);
+    let datasets::Dataset {
+        table: mut t,
+        scm,
+        outcome,
+        features,
+        ..
+    } = dataset;
+    let oracle = move |row: &[tabular::Value]| u32::from(row[outcome.index()] >= 5);
+    let pred = label_table(&mut t, &oracle, "pred").unwrap();
+    Engine::builder(t)
+        .graph(scm.graph())
+        .prediction(pred, 1)
+        .features(&features)
+        .build()
+        .unwrap()
+}
+
+/// Render one engine answer into comparable bytes; errors render too,
+/// because a restored engine must reproduce even the donor's failures.
+fn response_bytes(result: &Result<ExplainResponse, LewisError>) -> String {
+    match result {
+        Ok(response) => wire::response_to_json(response).to_json(),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+/// The five query kinds, aimed at real table rows so most of them have
+/// support (plus one context that usually does not, to pin error
+/// equality as well).
+fn probe_requests(engine: &Engine, seed: u64) -> Vec<ExplainRequest> {
+    let table = engine.table();
+    let features = engine.features();
+    let a = features[seed as usize % features.len()];
+    let b = features[(seed as usize + 1) % features.len()];
+    let row0 = table.row(seed as usize % table.n_rows()).unwrap();
+    let row1 = table.row((seed as usize * 7 + 3) % table.n_rows()).unwrap();
+    let mut requests = vec![
+        ExplainRequest::Global,
+        ExplainRequest::ContextualGlobal {
+            k: Context::of([(a, row0[a.index()])]),
+        },
+        ExplainRequest::Contextual {
+            attr: b,
+            k: Context::of([(a, row1[a.index()])]),
+        },
+        ExplainRequest::Local { row: row0.clone() },
+        ExplainRequest::Recourse {
+            row: row1.clone(),
+            actionable: vec![a, b],
+            opts: RecourseOptions::default(),
+        },
+    ];
+    // a deliberately tight context, likely unsupported: restored
+    // engines must reproduce errors bit-for-bit too
+    requests.push(ExplainRequest::Contextual {
+        attr: b,
+        k: Context::of(
+            features
+                .iter()
+                .filter(|f| **f != b)
+                .map(|&f| (f, row0[f.index()])),
+        ),
+    });
+    requests
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn restored_engines_answer_all_query_kinds_byte_identically(seed in 0u64..1000) {
+        let donor = engine(1500, seed);
+        // realistic warm-up so the snapshot carries a non-trivial cache
+        warm_engine(&donor, 48, seed).unwrap();
+
+        let bytes = Pack::from_engine(&donor, PackMeta::default()).to_bytes();
+        let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
+
+        // single-shot: every kind, byte for byte
+        let requests = probe_requests(&donor, seed);
+        for (i, request) in requests.iter().enumerate() {
+            let d = donor.run(request);
+            let r = restored.run(request);
+            prop_assert_eq!(
+                response_bytes(&d),
+                response_bytes(&r),
+                "request #{} diverged (seed {})",
+                i,
+                seed
+            );
+        }
+
+        // batch: positionally aligned, byte for byte — including the
+        // recourse grouping path
+        let d_batch = donor.run_batch(&requests);
+        let r_batch = restored.run_batch(&requests);
+        prop_assert_eq!(d_batch.len(), r_batch.len());
+        for (i, (d, r)) in d_batch.iter().zip(&r_batch).enumerate() {
+            prop_assert_eq!(
+                response_bytes(d),
+                response_bytes(r),
+                "batch slot #{} diverged (seed {})",
+                i,
+                seed
+            );
+        }
+
+        // a fresh warm stream served by both answers identically too
+        // (exercises cache hits *and* post-restore cold misses)
+        for request in warm_requests(&donor, 24, seed ^ 0xABCD) {
+            prop_assert_eq!(
+                response_bytes(&donor.run(&request)),
+                response_bytes(&restored.run(&request))
+            );
+        }
+    }
+}
+
+#[test]
+fn restored_scores_match_to_the_bit() {
+    let donor = engine(2000, 11);
+    warm_engine(&donor, 32, 11).unwrap();
+    let bytes = Pack::from_engine(&donor, PackMeta::default()).to_bytes();
+    let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
+    let d = donor.global().unwrap();
+    let r = restored.global().unwrap();
+    assert_eq!(d.attributes.len(), r.attributes.len());
+    for (x, y) in d.attributes.iter().zip(&r.attributes) {
+        assert_eq!(x.attr, y.attr);
+        assert_eq!(x.scores.necessity.to_bits(), y.scores.necessity.to_bits());
+        assert_eq!(
+            x.scores.sufficiency.to_bits(),
+            y.scores.sufficiency.to_bits()
+        );
+        assert_eq!(x.scores.nesuf.to_bits(), y.scores.nesuf.to_bits());
+        assert_eq!(x.best_pair, y.best_pair);
+    }
+    // the restored engine served that global from its warm cache
+    assert!(restored.cache_stats().hits > 0);
+}
+
+#[test]
+fn restored_engine_value_orders_are_carried_not_recomputed() {
+    // orders are part of the snapshot: even if the donor's orders were
+    // perturbed (legal permutations), restore must carry them verbatim
+    let donor = engine(800, 3);
+    let mut snapshot = donor.snapshot();
+    let a = donor.features()[0];
+    let order = snapshot.orders[a.index()].as_mut().unwrap();
+    order.reverse();
+    let expected = order.clone();
+    let restored = Engine::restore(snapshot).unwrap();
+    assert_eq!(
+        restored.value_order(a).unwrap(),
+        expected.as_slice(),
+        "restore must trust the snapshot's orders"
+    );
+}
+
+#[test]
+fn pack_files_round_trip_through_disk() {
+    let donor = engine(600, 5);
+    warm_engine(&donor, 16, 5).unwrap();
+    let dir = std::env::temp_dir().join(format!("lewis-pack-engine-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine.lewis");
+    Pack::from_engine(
+        &donor,
+        PackMeta {
+            source: "test".into(),
+            graph: "scm".into(),
+        },
+    )
+    .write_file(&path)
+    .unwrap();
+    let (restored, meta) = lewis_store::load_engine(&path).unwrap();
+    assert_eq!(meta.source, "test");
+    assert_eq!(
+        response_bytes(&donor.run(&ExplainRequest::Global)),
+        response_bytes(&restored.run(&ExplainRequest::Global))
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
