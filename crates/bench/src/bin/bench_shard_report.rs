@@ -1,0 +1,139 @@
+//! Produce the `BENCH_shard.json` payload: per-shard counting-pass
+//! throughput vs the unsharded baseline on the seeded 1M-row
+//! `german_syn_scaled` workload, plus engine-level cold-query times,
+//! printed as JSON on stdout.
+//!
+//! Run from the repo root (release!):
+//! `cargo run --release -p bench --bin bench_shard_report > BENCH_shard.json`
+
+use lewis_core::blackbox::label_table;
+use lewis_core::Engine;
+use std::sync::Arc;
+use std::time::Instant;
+use tabular::{Context, Counter, ShardedTable};
+
+const ROWS: usize = 1_000_000;
+const SEED: u64 = 42;
+const ITERATIONS: usize = 7;
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let threads = rayon::current_num_threads();
+
+    let t0 = Instant::now();
+    let mut d = datasets::german_syn_scaled(ROWS, SEED);
+    let generate_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let outcome = d.outcome;
+    let pred = label_table(
+        &mut d.table,
+        &|row: &[tabular::Value]| u32::from(row[outcome.index()] >= 5),
+        "pred",
+    )
+    .unwrap();
+    let table = Arc::new(d.table);
+
+    // representative counting pass: adjustment cell × intervened × pred
+    let attrs = [
+        datasets::GermanSynDataset::AGE,
+        datasets::GermanSynDataset::STATUS,
+        pred,
+    ];
+    let ctx = Context::empty();
+    let baseline = Counter::build(&table, &attrs, &ctx).unwrap();
+
+    let mut unsharded_ms = Vec::new();
+    for _ in 0..ITERATIONS {
+        let t = Instant::now();
+        let c = Counter::build(&table, &attrs, &ctx).unwrap();
+        unsharded_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(c.total(), ROWS as u64);
+    }
+    let unsharded = median_ms(unsharded_ms);
+
+    let mut sharded: Vec<(usize, f64)> = Vec::new();
+    for n_shards in [2usize, 4, 8] {
+        let st = ShardedTable::from_shared(Arc::clone(&table), n_shards);
+        // parity first: the merged pass equals the single scan exactly
+        let merged = Counter::build_sharded(&st, &attrs, &ctx).unwrap();
+        assert_eq!(merged.total(), baseline.total());
+        assert_eq!(merged.nonzero_groups(), baseline.nonzero_groups());
+        let mut ms = Vec::new();
+        for _ in 0..ITERATIONS {
+            let t = Instant::now();
+            let c = Counter::build_sharded(&st, &attrs, &ctx).unwrap();
+            ms.push(t.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(c.total(), ROWS as u64);
+        }
+        sharded.push((n_shards, median_ms(ms)));
+    }
+
+    // engine level: cold global query, sharded vs not — and byte parity
+    let features = d.features.clone();
+    let graph = d.scm.graph().clone();
+    let build_engine = |n_shards: usize| {
+        Engine::builder(Arc::clone(&table))
+            .graph(&graph)
+            .prediction(pred, 1)
+            .features(&features)
+            .shards(n_shards)
+            .build()
+            .unwrap()
+    };
+    let t_build = Instant::now();
+    let e1 = build_engine(1);
+    let engine_build_ms = t_build.elapsed().as_secs_f64() * 1e3;
+    let e4 = build_engine(4);
+    let g1 = e1.global().unwrap();
+    let g4 = e4.global().unwrap();
+    assert_eq!(
+        format!("{g1:?}"),
+        format!("{g4:?}"),
+        "sharded engine must answer byte-identically"
+    );
+    let mut global_ms = Vec::new();
+    for engine in [&e1, &e4] {
+        let mut ms = Vec::new();
+        for _ in 0..ITERATIONS {
+            engine.clear_cache();
+            let t = Instant::now();
+            let g = engine.global().unwrap();
+            ms.push(t.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(g.attributes.len(), features.len());
+        }
+        global_ms.push(median_ms(ms));
+    }
+
+    let throughput = |ms: f64| (ROWS as f64 / (ms / 1e3)) / 1e6;
+    println!("{{");
+    println!(
+        "  \"description\": \"Row-sharded counting on the seeded 1M-row german_syn_scaled workload: per-shard counting-pass throughput vs the unsharded baseline, plus engine-level cold global queries. Sharded and unsharded results are bit-identical by construction (asserted before timing).\","
+    );
+    println!(
+        "  \"environment\": {{\"cpus\": {threads}, \"iterations\": {ITERATIONS}, \"statistic\": \"median\"}},"
+    );
+    println!("  \"command\": \"cargo run --release -p bench --bin bench_shard_report\",");
+    println!("  \"workload\": {{\"rows\": {ROWS}, \"seed\": {SEED}, \"generate_ms\": {generate_ms:.1}, \"engine_build_ms\": {engine_build_ms:.1}}},");
+    println!("  \"counting_pass\": {{");
+    println!(
+        "    \"unsharded\": {{\"ms\": {unsharded:.2}, \"mrows_per_s\": {:.1}}},",
+        throughput(unsharded)
+    );
+    for (i, (n, ms)) in sharded.iter().enumerate() {
+        let comma = if i + 1 == sharded.len() { "" } else { "," };
+        println!(
+            "    \"sharded_{n}\": {{\"ms\": {ms:.2}, \"mrows_per_s\": {:.1}, \"speedup_vs_unsharded\": {:.2}}}{comma}",
+            throughput(*ms),
+            unsharded / ms
+        );
+    }
+    println!("  }},");
+    println!(
+        "  \"cold_global_query\": {{\"shards_1_ms\": {:.1}, \"shards_4_ms\": {:.1}}}",
+        global_ms[0], global_ms[1]
+    );
+    println!("}}");
+}

@@ -26,6 +26,7 @@ pub mod german;
 pub mod german_syn;
 pub mod mech;
 pub mod scalable;
+pub mod scaled_syn;
 
 pub use adult::AdultDataset;
 pub use compas::CompasDataset;
@@ -33,6 +34,7 @@ pub use drug::DrugDataset;
 pub use german::GermanDataset;
 pub use german_syn::GermanSynDataset;
 pub use scalable::ScalableDataset;
+pub use scaled_syn::german_syn_scaled;
 
 /// A generated dataset bundle: schema-bearing table, the SCM that
 /// produced it, and bookkeeping about attribute roles.

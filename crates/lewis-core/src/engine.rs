@@ -57,6 +57,19 @@ const DEFAULT_ALPHA: f64 = 1.0;
 /// Default bound on resident counting passes.
 const DEFAULT_CACHE_CAPACITY: usize = 256;
 
+/// The default shard count for new engines: 1 (a single contiguous
+/// counting pass), unless the `LEWIS_TEST_SHARDS` environment variable
+/// overrides it. The override exists so CI can run the *entire* test
+/// suite under a non-trivial shard count — sharded and unsharded
+/// engines are bit-identical by construction, so every test must pass
+/// under any value. [`EngineBuilder::shards`] always wins over the env.
+fn default_shards() -> usize {
+    std::env::var("LEWIS_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
+}
+
 /// One explanation query, ready to be answered by [`Engine::run`].
 ///
 /// The variants mirror the paper's query taxonomy (§3.2): the context
@@ -152,6 +165,7 @@ pub struct EngineBuilder {
     alpha: f64,
     min_support: usize,
     cache_capacity: usize,
+    shards: usize,
 }
 
 impl EngineBuilder {
@@ -165,6 +179,7 @@ impl EngineBuilder {
             alpha: DEFAULT_ALPHA,
             min_support: DEFAULT_MIN_SUPPORT,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            shards: default_shards(),
         }
     }
 
@@ -223,6 +238,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Fan every counting pass over `shards` fixed-boundary row shards
+    /// (default 1, or `LEWIS_TEST_SHARDS` when set; clamped to at
+    /// least 1). Results are **bit-identical** for every shard count —
+    /// per-shard counts are integers merged in shard-index order, so
+    /// the merged pass equals a single contiguous scan exactly
+    /// (property-tested in `tests/shard_parity.rs`). Sharding only
+    /// changes wall-clock: on multi-core machines the shards count in
+    /// parallel via the rayon shim.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Validate the configuration and build the engine (infers the
     /// per-feature value orderings up front, like the paper's offline
     /// phase).
@@ -242,7 +271,8 @@ impl EngineBuilder {
             ));
         }
         let est =
-            ScoreEstimator::from_shared(self.table, self.graph, pred, self.positive, self.alpha)?;
+            ScoreEstimator::from_shared(self.table, self.graph, pred, self.positive, self.alpha)?
+                .with_shards(self.shards);
         let mut orders = vec![None; est.table().schema().len()];
         for &a in &features {
             let order = infer_value_order(est.table(), a, pred, self.positive)?;
@@ -299,6 +329,11 @@ impl Engine {
     /// Minimum matching rows for local-context back-off.
     pub fn min_support(&self) -> usize {
         self.min_support
+    }
+
+    /// Row shards every counting pass fans over (1 = single pass).
+    pub fn shards(&self) -> usize {
+        self.est.shards()
     }
 
     /// The inferred (ascending) value order of a feature.
@@ -358,6 +393,7 @@ impl Engine {
             alpha: self.est.alpha(),
             min_support: self.min_support,
             cache_capacity: self.cache.stats().capacity,
+            shards: self.est.shards(),
             features: self.features.clone(),
             orders: self.orders.clone(),
             cache: CacheSnapshot {
@@ -387,11 +423,22 @@ impl Engine {
             alpha,
             min_support,
             cache_capacity,
+            shards,
             features,
             orders,
             cache,
         } = snapshot;
-        let est = ScoreEstimator::from_shared(table, graph, pred, positive, alpha)?;
+        // An out-of-range shard count can only come from a hand-crafted
+        // (or corrupted) snapshot: reject it rather than silently
+        // clamping — a crafted count must never size an allocation.
+        if shards == 0 || shards > tabular::MAX_SHARDS {
+            return Err(LewisError::Invalid(format!(
+                "snapshot: shard count {shards} outside [1, {}]",
+                tabular::MAX_SHARDS
+            )));
+        }
+        let est =
+            ScoreEstimator::from_shared(table, graph, pred, positive, alpha)?.with_shards(shards);
         let schema = est.table().schema();
         if features.is_empty() {
             return Err(LewisError::Invalid(
@@ -1004,11 +1051,41 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(e.table().n_rows(), t.n_rows());
+        // the estimator holds one handle, plus one inside its cached
+        // shard layout when sharding is on — all shallow Arc clones,
+        // never a copy of the column data
+        let expected = if e.shards() > 1 { 3 } else { 2 };
         assert_eq!(
             Arc::strong_count(&t),
-            2,
+            expected,
             "builder must not deep-copy the Arc'd table"
         );
+    }
+
+    #[test]
+    fn shard_setting_threads_through_build_snapshot_restore() {
+        let (t, pred) = setup(500);
+        let e = Engine::builder(t)
+            .prediction(pred, 1)
+            .features(&[AttrId(0), AttrId(1)])
+            .shards(4)
+            .build()
+            .unwrap();
+        assert_eq!(e.shards(), 4);
+        let snap = e.snapshot();
+        assert_eq!(snap.shards, 4);
+        let restored = Engine::restore(snap).unwrap();
+        assert_eq!(restored.shards(), 4);
+        // zero clamps to one at the builder (a layout setting, not an
+        // untrusted input)
+        let (t, pred) = setup(100);
+        let e1 = Engine::builder(t)
+            .prediction(pred, 1)
+            .features(&[AttrId(0)])
+            .shards(0)
+            .build()
+            .unwrap();
+        assert_eq!(e1.shards(), 1);
     }
 
     #[test]
@@ -1302,6 +1379,16 @@ mod tests {
         // a duplicated feature (would score the same attribute twice)
         let mut s = base.clone();
         s.features.push(s.features[0]);
+        assert!(Engine::restore(s).is_err());
+
+        // an out-of-range shard count (only reachable from a crafted
+        // snapshot — with_shards clamps; restore must reject, not size
+        // allocations from it)
+        let mut s = base.clone();
+        s.shards = 0;
+        assert!(Engine::restore(s).is_err());
+        let mut s = base.clone();
+        s.shards = tabular::MAX_SHARDS + 1;
         assert!(Engine::restore(s).is_err());
 
         // a non-finite smoothing constant from an untrusted config

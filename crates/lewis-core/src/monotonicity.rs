@@ -13,7 +13,7 @@
 
 use crate::scores::ScoreEstimator;
 use crate::Result;
-use tabular::{AttrId, Context, Counter, Value};
+use tabular::{AttrId, Context, Value};
 
 /// Observable monotonicity-violation proxy for the contrast `x_hi > x_lo`
 /// in context `k`: the adjustment-cell-averaged positive part of
@@ -32,7 +32,7 @@ pub fn empirical_violation(
     let mut attrs = c_set.clone();
     attrs.push(attr);
     attrs.push(est.pred_attr());
-    let counter = Counter::build(est.table(), &attrs, k)?;
+    let counter = est.counting_pass(&attrs, k)?;
     let nc = c_set.len();
     let o = est.positive();
 

@@ -26,7 +26,7 @@ use crate::cache::CountingCache;
 use crate::{LewisError, Result};
 use causal::Dag;
 use std::sync::Arc;
-use tabular::{AttrId, Context, Counter, Table, Value};
+use tabular::{AttrId, Context, Counter, ShardedTable, Table, Value};
 
 /// Which of the three explanation scores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,6 +145,13 @@ pub struct ScoreEstimator {
     pred: AttrId,
     positive: Value,
     alpha: f64,
+    /// Row shards every counting pass fans over (1 = single pass).
+    shards: usize,
+    /// The precomputed shard layout when `shards > 1` — boundaries are
+    /// a pure function of `(n_rows, shards)`, both fixed for the
+    /// estimator's lifetime, so they are computed once here instead of
+    /// per counting pass (the hottest path in the system).
+    sharded: Option<ShardedTable>,
 }
 
 impl ScoreEstimator {
@@ -220,7 +227,40 @@ impl ScoreEstimator {
             pred,
             positive,
             alpha,
+            shards: 1,
+            sharded: None,
         })
+    }
+
+    /// Fan every counting pass over `shards` fixed-boundary row shards
+    /// (clamped into `[1, tabular::MAX_SHARDS]`). Shard results are
+    /// merged in shard-index order, and the merged counts are *exactly*
+    /// those of a single contiguous pass — scores are bit-identical for
+    /// any shard count (see [`tabular::Counter::build_sharded`]); the
+    /// fan-out only buys wall-clock on multi-core machines.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.clamp(1, tabular::MAX_SHARDS);
+        self.sharded = (self.shards > 1)
+            .then(|| ShardedTable::from_shared(Arc::clone(&self.table), self.shards));
+        self
+    }
+
+    /// Row shards every counting pass fans over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// One counting pass over `attrs` within `k`, honoring the
+    /// estimator's shard setting — the single chokepoint every
+    /// diagnostic and score in this crate counts through, so "fans over
+    /// shards" holds for all of them, not just the arm-table path.
+    pub(crate) fn counting_pass(&self, attrs: &[AttrId], k: &Context) -> Result<Counter> {
+        let counter = match &self.sharded {
+            Some(sharded) => Counter::build_sharded(sharded, attrs, k)?,
+            None => Counter::build(&self.table, attrs, k)?,
+        };
+        Ok(counter)
     }
 
     /// The labelled table.
@@ -439,7 +479,7 @@ impl ScoreEstimator {
         let mut attrs: Vec<AttrId> = c_set.to_vec();
         attrs.extend(xs);
         attrs.push(self.pred);
-        let counter = Counter::build(&self.table, &attrs, k)?;
+        let counter = self.counting_pass(&attrs, k)?;
         if counter.total() == 0 {
             return Err(LewisError::Unsupported(
                 "no rows match the context; relax the context or add data".into(),

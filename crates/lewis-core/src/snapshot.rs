@@ -100,6 +100,10 @@ pub struct EngineSnapshot {
     pub min_support: usize,
     /// Bound on resident counting passes.
     pub cache_capacity: usize,
+    /// Row shards every counting pass fans over (≥ 1; results are
+    /// shard-count-invariant, so this is a layout/performance setting,
+    /// carried so a restored engine keeps its donor's fan-out).
+    pub shards: usize,
     /// The explained features.
     pub features: Vec<AttrId>,
     /// Inferred ascending value order per schema attribute (`Some` for

@@ -21,11 +21,14 @@ COMPILE OPTIONS:
     --pred COL            the CSV's binary prediction column
     --positive LABEL      the favourable label of --pred
     --builtin NAME=ROWS   source a built-in dataset instead of a CSV;
-                          NAME ∈ {german_syn, german, adult, compas, drug}
+                          NAME ∈ {german_syn, german_syn_scaled, german,
+                          adult, compas, drug}
     --discover            learn a causal graph from the CSV with the PC
                           algorithm instead of the §6 no-graph fallback
     --warm N              pre-run N seeded queries so the pack ships with
                           a warm counting cache (default 256; 0 = cold)
+    --shards N            fan counting passes over N row shards (recorded
+                          in the pack; answers are identical for any N)
     --seed N              seed for --warm and --builtin generation
                           (default 42)
 
@@ -116,6 +119,7 @@ fn compile(mut args: std::iter::Skip<std::env::Args>) {
     let mut builtin: Option<(String, usize)> = None;
     let mut discover = false;
     let mut warm = 256usize;
+    let mut shards: Option<usize> = None;
     let mut seed = 42u64;
 
     while let Some(arg) = args.next() {
@@ -148,6 +152,13 @@ fn compile(mut args: std::iter::Skip<std::env::Args>) {
                     .parse()
                     .unwrap_or_else(|_| fail("--warm expects an integer"))
             }
+            "--shards" => {
+                shards = Some(
+                    value("--shards")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--shards expects an integer")),
+                )
+            }
             "--seed" => {
                 seed = value("--seed")
                     .parse()
@@ -162,6 +173,9 @@ fn compile(mut args: std::iter::Skip<std::env::Args>) {
     };
     const NAME: &str = "engine";
     let mut registry = EngineRegistry::new();
+    if let Some(shards) = shards {
+        registry.set_default_shards(shards);
+    }
     match (&csv, &builtin) {
         (Some(_), Some(_)) => fail("--csv and --builtin are mutually exclusive"),
         (None, None) => fail("one of --csv or --builtin is required"),
@@ -232,12 +246,13 @@ fn inspect(path: &str) {
         schema.len()
     );
     println!(
-        "engine: pred={} positive={} alpha={} min_support={} features={}",
+        "engine: pred={} positive={} alpha={} min_support={} features={} shards={}",
         schema.name(s.pred),
         s.positive,
         s.alpha,
         s.min_support,
         s.features.len(),
+        s.shards,
     );
     println!(
         "cache:  {} resident passes, {} lifetime hits / {} misses (capacity {})",

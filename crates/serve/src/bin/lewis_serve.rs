@@ -14,7 +14,8 @@ OPTIONS:
     --listen ADDR          bind address (default 127.0.0.1:7878; port 0 = ephemeral)
     --workers N            worker threads (default 4)
     --builtin NAME=ROWS    register a built-in dataset engine (repeatable);
-                           NAME ∈ {german_syn, german, adult, compas, drug}
+                           NAME ∈ {german_syn, german_syn_scaled, german,
+                           adult, compas, drug}
     --csv NAME=PATH=PRED=POSITIVE[=discover]
                            register an engine from a CSV file: PRED is the
                            binary prediction column, POSITIVE its favourable
@@ -25,6 +26,9 @@ OPTIONS:
                            lewis-pack — instant start, warm cache included
                            (repeatable)
     --seed N               generation seed for built-ins (default 42)
+    --shards N             fan counting passes over N row shards for
+                           builtin/CSV engines (answers are identical for
+                           any N; pack engines keep their packed layout)
     --max-body BYTES       request body limit (default 1048576)
     -h, --help             this text
 
@@ -50,6 +54,7 @@ fn main() {
         ..ServerConfig::default()
     };
     let mut seed = 42u64;
+    let mut shards: Option<usize> = None;
     let mut builtins: Vec<(String, usize)> = Vec::new();
     let mut csvs: Vec<(String, String, String, String, bool)> = Vec::new();
     let mut packs: Vec<(String, String)> = Vec::new();
@@ -80,6 +85,13 @@ fn main() {
                 seed = value("--seed")
                     .parse()
                     .unwrap_or_else(|_| fail("--seed expects an integer"))
+            }
+            "--shards" => {
+                shards = Some(
+                    value("--shards")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--shards expects an integer")),
+                )
             }
             "--builtin" => {
                 let spec = value("--builtin");
@@ -125,6 +137,9 @@ fn main() {
     }
 
     let mut registry = EngineRegistry::new();
+    if let Some(shards) = shards {
+        registry.set_default_shards(shards);
+    }
     for (name, rows) in &builtins {
         eprintln!("loading builtin {name} ({rows} rows, seed {seed})...");
         if let Err(e) = registry.load_builtin(name, *rows, seed) {

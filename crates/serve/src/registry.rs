@@ -81,23 +81,36 @@ pub struct EngineEntry {
 #[derive(Default)]
 pub struct EngineRegistry {
     entries: Vec<(String, EngineEntry)>,
+    /// Row shards for engines built here (`None` = the engine builder's
+    /// default). Pack-loaded engines keep their donor's layout instead.
+    shards: Option<usize>,
 }
 
 /// The built-in dataset names [`EngineRegistry::load_builtin`] accepts,
 /// with the pivot applied to their outcome column (favourable =
 /// `outcome ≥ pivot`).
 pub const BUILTINS: &[(&str, u32)] = &[
-    ("german_syn", 5), // credit score ≥ 0.5 of 10 bins
-    ("german", 1),     // good credit risk
-    ("adult", 1),      // income > 50K
-    ("compas", 1),     // high COMPAS score
-    ("drug", 1),       // used in the last decade or earlier
+    ("german_syn", 5),        // credit score ≥ 0.5 of 10 bins
+    ("german_syn_scaled", 5), // same pivot, chunk-parallel generator for millions of rows
+    ("german", 1),            // good credit risk
+    ("adult", 1),             // income > 50K
+    ("compas", 1),            // high COMPAS score
+    ("drug", 1),              // used in the last decade or earlier
 ];
 
 impl EngineRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Build every subsequent builtin/CSV engine with `shards` row
+    /// shards (clamped to at least 1). Answers are bit-identical for
+    /// any shard count — sharding only fans the counting passes across
+    /// cores. Engines loaded from packs keep the layout recorded in the
+    /// pack instead.
+    pub fn set_default_shards(&mut self, shards: usize) {
+        self.shards = Some(shards.max(1));
     }
 
     /// Register `engine` under `name`. Names are unique.
@@ -150,6 +163,7 @@ impl EngineRegistry {
         };
         let dataset = match name {
             "german_syn" => datasets::GermanSynDataset::standard().generate(rows, seed),
+            "german_syn_scaled" => datasets::german_syn_scaled(rows, seed),
             "german" => datasets::GermanDataset::generate(rows, seed),
             "adult" => datasets::AdultDataset::generate(rows, seed),
             "compas" => datasets::CompasDataset::generate(rows, seed),
@@ -170,12 +184,15 @@ impl EngineRegistry {
             scm.graph().n_nodes(),
             scm.graph().n_edges()
         );
-        let engine = Engine::builder(t)
+        let mut builder = Engine::builder(t)
             .graph(scm.graph())
             .prediction(pred, 1)
             .features(&features)
-            .cache_capacity(SERVE_CACHE_CAPACITY)
-            .build()?;
+            .cache_capacity(SERVE_CACHE_CAPACITY);
+        if let Some(shards) = self.shards {
+            builder = builder.shards(shards);
+        }
+        let engine = builder.build()?;
         self.insert(
             register_as,
             EngineEntry {
@@ -235,6 +252,9 @@ impl EngineRegistry {
             .prediction(pred, positive)
             .features(&features)
             .cache_capacity(SERVE_CACHE_CAPACITY);
+        if let Some(shards) = self.shards {
+            builder = builder.shards(shards);
+        }
         if let Some(dag) = dag {
             builder = builder.graph(&dag);
         }
@@ -354,6 +374,35 @@ mod tests {
         // the engine answers a query end to end
         let g = entry.engine.run(&ExplainRequest::Global).unwrap();
         assert!(g.into_global().is_some());
+    }
+
+    #[test]
+    fn scaled_builtin_loads_with_default_shards() {
+        let mut reg = EngineRegistry::new();
+        reg.set_default_shards(4);
+        reg.load_builtin("german_syn_scaled", 2000, 7).unwrap();
+        let entry = reg.get("german_syn_scaled").unwrap();
+        assert_eq!(entry.engine.shards(), 4);
+        assert_eq!(entry.engine.table().n_rows(), 2000);
+        // same pivot and schema as german_syn: answers a query end to end
+        let g = entry
+            .engine
+            .run(&ExplainRequest::Global)
+            .unwrap()
+            .into_global()
+            .unwrap();
+        assert!(!g.attributes.is_empty());
+        // a sharded engine's answers equal an unsharded twin's, byte
+        // for byte
+        let mut plain = EngineRegistry::new();
+        plain.load_builtin("german_syn_scaled", 2000, 7).unwrap();
+        let p = plain
+            .get("german_syn_scaled")
+            .unwrap()
+            .engine
+            .run(&ExplainRequest::Global)
+            .unwrap();
+        assert_eq!(format!("{g:?}"), format!("{:?}", p.into_global().unwrap()));
     }
 
     #[test]

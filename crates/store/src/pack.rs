@@ -38,8 +38,16 @@ use tabular::{AttrId, Context, Domain, Schema, Table, Value};
 pub const MAGIC: [u8; 8] = *b"LEWISPAK";
 
 /// The current format version. Readers reject anything newer with
-/// [`StoreError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+/// [`StoreError::UnsupportedVersion`] and keep reading every older
+/// version.
+///
+/// * **v1** — the original layout.
+/// * **v2** — the config section additionally records the engine's
+///   **row-shard count** (appended at the end, so a v1 config is a
+///   strict prefix). Shard *boundaries* are canonical in the count
+///   (`tabular::shard_boundaries`), so the count alone restores the
+///   donor's exact layout; v1 packs restore with 1 shard.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Section tags, in the order the writer emits them.
 const TAG_META: u8 = 1;
@@ -227,7 +235,7 @@ impl Pack {
         let n_attrs = schema.len();
         let table = decode_table(require(TAG_TABLE)?, schema)?;
         let graph = decode_graph(require(TAG_GRAPH)?, n_attrs)?;
-        let config = decode_config(require(TAG_CONFIG)?)?;
+        let config = decode_config(require(TAG_CONFIG)?, version)?;
         let orders = decode_orders(require(TAG_ORDERS)?)?;
         let cache = match sections.iter().find(|&&(t, _)| t == TAG_CACHE) {
             Some(&(_, payload)) => decode_cache(payload)?,
@@ -244,6 +252,7 @@ impl Pack {
                 alpha: config.alpha,
                 min_support: config.min_support,
                 cache_capacity: config.cache_capacity,
+                shards: config.shards,
                 features: config.features,
                 orders,
                 cache,
@@ -561,6 +570,7 @@ struct Config {
     min_support: usize,
     cache_capacity: usize,
     features: Vec<AttrId>,
+    shards: usize,
 }
 
 fn encode_config(snapshot: &EngineSnapshot) -> Vec<u8> {
@@ -571,10 +581,13 @@ fn encode_config(snapshot: &EngineSnapshot) -> Vec<u8> {
     out.put_u64(snapshot.min_support as u64);
     out.put_u64(snapshot.cache_capacity as u64);
     out.put_u32_vec(&snapshot.features.iter().map(|a| a.0).collect::<Vec<_>>());
+    // v2: the shard count rides at the end, so a v1 config is a strict
+    // prefix of a v2 one
+    out.put_u64(snapshot.shards as u64);
     out
 }
 
-fn decode_config(payload: &[u8]) -> Result<Config> {
+fn decode_config(payload: &[u8], version: u32) -> Result<Config> {
     let at = corrupt("config");
     let mut c = Cursor::new(payload);
     let pred = AttrId(c.u32().map_err(&at)?);
@@ -583,6 +596,24 @@ fn decode_config(payload: &[u8]) -> Result<Config> {
     let min_support = c.u64().map_err(&at)? as usize;
     let cache_capacity = c.u64().map_err(&at)? as usize;
     let features = c.u32_vec().map_err(&at)?.into_iter().map(AttrId).collect();
+    // v1 predates sharding: those engines ran one contiguous pass
+    let shards = if version >= 2 {
+        let raw = c.u64().map_err(&at)?;
+        // A pack's CRCs only catch *accidental* damage; a deliberately
+        // crafted count would otherwise size per-pass allocations and
+        // work, so anything outside the engine's legal range is
+        // corruption — writers can never produce it (with_shards
+        // clamps into the same range).
+        if raw == 0 || raw > tabular::MAX_SHARDS as u64 {
+            return Err(StoreError::Corrupt {
+                section: "config",
+                detail: format!("shard count {raw} outside [1, {}]", tabular::MAX_SHARDS),
+            });
+        }
+        raw as usize
+    } else {
+        1
+    };
     c.finish().map_err(&at)?;
     Ok(Config {
         pred,
@@ -591,6 +622,7 @@ fn decode_config(payload: &[u8]) -> Result<Config> {
         min_support,
         cache_capacity,
         features,
+        shards,
     })
 }
 
@@ -711,4 +743,117 @@ fn decode_cache(payload: &[u8]) -> Result<CacheSnapshot> {
         misses,
         passes,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lewis_core::ExplainRequest;
+
+    fn tiny_engine() -> Engine {
+        let mut schema = Schema::new();
+        schema.push("savings", Domain::categorical(["low", "high"]));
+        schema.push("pred", Domain::boolean());
+        let mut table = Table::new(schema);
+        for row in [[0, 0], [0, 0], [0, 1], [1, 1], [1, 1], [1, 0]] {
+            table.push_row(&row).unwrap();
+        }
+        Engine::builder(table)
+            .prediction(AttrId(1), 1)
+            .features(&[AttrId(0)])
+            .shards(3)
+            .build()
+            .unwrap()
+    }
+
+    /// Re-emit a pack byte stream with `version` in the header and the
+    /// config section's payload passed through `rewrite` (all other
+    /// sections are copied verbatim, CRCs recomputed) — the one place
+    /// the tests below encode the section framing.
+    fn rewrite_config(bytes: &[u8], version: u32, rewrite: impl Fn(Vec<u8>) -> Vec<u8>) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.put_u32(version);
+        let mut pos = MAGIC.len() + 4;
+        while pos < bytes.len() {
+            let tag = bytes[pos];
+            let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap()) as usize;
+            let mut payload = bytes[pos + 9..pos + 9 + len].to_vec();
+            if tag == TAG_CONFIG {
+                payload = rewrite(payload);
+            }
+            write_section(&mut out, tag, payload);
+            pos += 9 + len + 4;
+        }
+        out
+    }
+
+    /// Overwrite the trailing shard count of a v2 config payload.
+    fn with_shard_count(count: u64) -> impl Fn(Vec<u8>) -> Vec<u8> {
+        move |mut payload: Vec<u8>| {
+            let n = payload.len();
+            payload[n - 8..].copy_from_slice(&count.to_le_bytes());
+            payload
+        }
+    }
+
+    #[test]
+    fn v2_packs_round_trip_the_shard_count() {
+        let engine = tiny_engine();
+        let bytes = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
+        assert_eq!(restored.shards(), 3, "pack must carry the shard layout");
+        let a = engine.run(&ExplainRequest::Global).unwrap();
+        let b = restored.run(&ExplainRequest::Global).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn v1_packs_still_read_and_restore_with_one_shard() {
+        let engine = tiny_engine();
+        let v2 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        // v1 configs are a strict prefix of v2 ones: drop the trailing
+        // shard count and stamp the old version
+        let v1 = rewrite_config(&v2, 1, |payload| {
+            let keep = payload.len() - 8;
+            payload[..keep].to_vec()
+        });
+        let (restored, _) = Pack::from_bytes(&v1).unwrap().restore_engine().unwrap();
+        assert_eq!(restored.shards(), 1, "v1 engines ran one contiguous pass");
+        // and the answers still match (shard count never changes results)
+        let a = engine.run(&ExplainRequest::Global).unwrap();
+        let b = restored.run(&ExplainRequest::Global).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn out_of_range_shard_counts_are_corrupt_not_clamped() {
+        let engine = tiny_engine();
+        let bytes = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        // rewrite the config section's shard count with each hostile
+        // value: zero, just past the cap, and an allocation-amplifier
+        // sized count — all with valid CRCs, so only the range check
+        // stands between the file and the engine
+        for hostile in [0u64, tabular::MAX_SHARDS as u64 + 1, 1 << 61, u64::MAX] {
+            let out = rewrite_config(&bytes, FORMAT_VERSION, with_shard_count(hostile));
+            assert!(
+                matches!(
+                    Pack::from_bytes(&out),
+                    Err(StoreError::Corrupt {
+                        section: "config",
+                        ..
+                    })
+                ),
+                "shard count {hostile} must be rejected as corruption"
+            );
+        }
+        // the legal maximum itself still reads fine
+        let out = rewrite_config(
+            &bytes,
+            FORMAT_VERSION,
+            with_shard_count(tabular::MAX_SHARDS as u64),
+        );
+        let (restored, _) = Pack::from_bytes(&out).unwrap().restore_engine().unwrap();
+        assert_eq!(restored.shards(), tabular::MAX_SHARDS);
+    }
 }

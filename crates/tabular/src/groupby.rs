@@ -14,8 +14,10 @@ use crate::context::Context;
 use crate::domain::{AttrId, Value};
 use crate::error::TabularError;
 use crate::hash::FxHashMap;
+use crate::shard::ShardedTable;
 use crate::table::Table;
 use crate::Result;
+use std::ops::Range;
 
 /// Mixed-radix packed group key.
 pub type GroupKey = u64;
@@ -44,6 +46,25 @@ impl Counter {
     /// Count all rows of `table` (optionally restricted to rows matching
     /// `ctx`) grouped by `attrs`.
     pub fn build(table: &Table, attrs: &[AttrId], ctx: &Context) -> Result<Self> {
+        Self::build_range(table, attrs, ctx, 0..table.n_rows())
+    }
+
+    /// [`Counter::build`] restricted to the contiguous row range `rows`
+    /// — the per-shard unit of a sharded counting pass.
+    pub fn build_range(
+        table: &Table,
+        attrs: &[AttrId],
+        ctx: &Context,
+        rows: Range<usize>,
+    ) -> Result<Self> {
+        if rows.start > rows.end || rows.end > table.n_rows() {
+            return Err(TabularError::InvalidArgument(format!(
+                "row range {}..{} out of table of {} rows",
+                rows.start,
+                rows.end,
+                table.n_rows()
+            )));
+        }
         let mut radices = Vec::with_capacity(attrs.len());
         for &a in attrs {
             radices.push(table.schema().cardinality(a)? as u64);
@@ -81,7 +102,7 @@ impl Counter {
             .map(|(a, v)| table.column(a).map(|c| (c, v)))
             .collect::<Result<_>>()?;
 
-        'rows: for r in 0..table.n_rows() {
+        'rows: for r in rows {
             for &(col, want) in &ctx_cols {
                 if col[r] != want {
                     continue 'rows;
@@ -95,6 +116,73 @@ impl Counter {
             counter.total += 1;
         }
         Ok(counter)
+    }
+
+    /// One counting pass fanned across the shards of `sharded` (via the
+    /// rayon shim) and reduced **in shard-index order**.
+    ///
+    /// Counts are unsigned integers and merging is addition, so the
+    /// result is *exactly* — not approximately — the counter a single
+    /// contiguous [`Counter::build`] would produce, for **any** shard
+    /// count (including 1, which takes the single-pass path verbatim).
+    /// Downstream floating-point estimates computed from a sharded pass
+    /// are therefore bit-identical to the unsharded ones.
+    pub fn build_sharded(sharded: &ShardedTable, attrs: &[AttrId], ctx: &Context) -> Result<Self> {
+        use rayon::prelude::*;
+        let table = sharded.table().as_ref();
+        if sharded.n_shards() == 1 {
+            return Counter::build(table, attrs, ctx);
+        }
+        let indices: Vec<usize> = (0..sharded.n_shards()).collect();
+        let partials: Vec<Result<Counter>> = indices
+            .par_iter()
+            .map(|&i| Counter::build_range(table, attrs, ctx, sharded.shard(i).rows()))
+            .collect();
+        // Fixed-order reduce: shard 0 is the accumulator, shards 1..
+        // merge into it in index order. Integer merges commute, but the
+        // fixed order keeps the reduction auditable and makes the
+        // determinism argument trivial.
+        let mut merged: Option<Counter> = None;
+        for partial in partials {
+            let partial = partial?;
+            match &mut merged {
+                None => merged = Some(partial),
+                Some(m) => m.merge_from(&partial)?,
+            }
+        }
+        merged.ok_or_else(|| TabularError::InvalidArgument("zero shards".into()))
+    }
+
+    /// Add another counter's counts into this one. Both counters must
+    /// group the same attribute tuple over the same domains (they then
+    /// share grid, strides and storage kind by construction).
+    pub fn merge_from(&mut self, other: &Counter) -> Result<()> {
+        if self.attrs != other.attrs || self.radices != other.radices {
+            return Err(TabularError::InvalidArgument(
+                "cannot merge counters over different attribute grids".into(),
+            ));
+        }
+        match (&mut self.storage, &other.storage) {
+            (Storage::Dense(a), Storage::Dense(b)) => {
+                for (x, &y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+            }
+            (Storage::Sparse(a), Storage::Sparse(b)) => {
+                for (&key, &n) in b {
+                    *a.entry(key).or_insert(0) += n;
+                }
+            }
+            // storage kind is a pure function of the grid size, which
+            // the radices check above already pinned equal
+            _ => {
+                return Err(TabularError::InvalidArgument(
+                    "cannot merge counters with different storage kinds".into(),
+                ))
+            }
+        }
+        self.total += other.total;
+        Ok(())
     }
 
     #[inline]
@@ -336,6 +424,46 @@ mod tests {
         let mut sorted = groups.clone();
         sorted.sort();
         assert_eq!(groups, sorted);
+    }
+
+    #[test]
+    fn range_builds_partition_the_full_count() {
+        let t = table();
+        let attrs = [AttrId(0), AttrId(1), AttrId(2)];
+        let full = Counter::build(&t, &attrs, &Context::empty()).unwrap();
+        let mut merged = Counter::build_range(&t, &attrs, &Context::empty(), 0..3).unwrap();
+        let rest = Counter::build_range(&t, &attrs, &Context::empty(), 3..7).unwrap();
+        merged.merge_from(&rest).unwrap();
+        assert_eq!(merged.total(), full.total());
+        assert_eq!(merged.nonzero_groups(), full.nonzero_groups());
+        // invalid ranges are typed errors
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = 5..3;
+        assert!(Counter::build_range(&t, &attrs, &Context::empty(), reversed).is_err());
+        assert!(Counter::build_range(&t, &attrs, &Context::empty(), 0..8).is_err());
+        // mismatched grids refuse to merge
+        let other = Counter::build(&t, &[AttrId(0)], &Context::empty()).unwrap();
+        assert!(merged.merge_from(&other).is_err());
+    }
+
+    #[test]
+    fn sharded_build_equals_single_pass_for_any_shard_count() {
+        let t = table();
+        let attrs = [AttrId(0), AttrId(1), AttrId(2)];
+        let contexts = [Context::empty(), Context::of([(AttrId(0), 1)])];
+        for ctx in &contexts {
+            let full = Counter::build(&t, &attrs, ctx).unwrap();
+            for n_shards in [1usize, 2, 3, 7, 16] {
+                let sharded = ShardedTable::from_shared(std::sync::Arc::new(t.clone()), n_shards);
+                let c = Counter::build_sharded(&sharded, &attrs, ctx).unwrap();
+                assert_eq!(c.total(), full.total(), "{n_shards} shards");
+                assert_eq!(
+                    c.nonzero_groups(),
+                    full.nonzero_groups(),
+                    "{n_shards} shards"
+                );
+            }
+        }
     }
 
     #[test]

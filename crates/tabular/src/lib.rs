@@ -44,6 +44,7 @@ pub mod groupby;
 pub mod hash;
 pub mod sample;
 pub mod schema;
+pub mod shard;
 pub mod table;
 
 pub use binning::{Binner, BinningStrategy};
@@ -55,6 +56,7 @@ pub use groupby::{Counter, GroupKey};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use sample::{bootstrap_indices, train_test_split};
 pub use schema::{Attribute, Schema};
+pub use shard::{shard_boundaries, RowShard, ShardedTable, MAX_SHARDS};
 pub use table::Table;
 
 /// Convenience result alias used throughout the crate.

@@ -1,0 +1,262 @@
+//! Row sharding: fixed-boundary horizontal partitions of a [`Table`].
+//!
+//! The counting engine's unit of work is one sequential pass over the
+//! table's columns. A [`ShardedTable`] splits the row range into `n`
+//! contiguous shards with **canonical boundaries** — a pure function of
+//! `(n_rows, n_shards)`, so two processes that agree on those two
+//! numbers agree on every shard edge — and hands out zero-copy
+//! [`RowShard`] views over the same dictionary-encoded columns.
+//!
+//! Because per-shard counts are unsigned integers and merging is
+//! addition, a counting pass fanned over shards and reduced **in
+//! shard-index order** produces *exactly* the counts of a single
+//! contiguous pass — not approximately, not modulo float re-association:
+//! identically, for any shard count. That is the property the
+//! `lewis-core` engine's determinism guarantee rests on (see
+//! [`crate::Counter::build_sharded`]).
+//!
+//! ```
+//! use tabular::{Domain, Schema, Table, shard::ShardedTable};
+//!
+//! let mut schema = Schema::new();
+//! schema.push("x", Domain::boolean());
+//! let mut table = Table::new(schema);
+//! for v in [0, 1, 1, 0, 1, 0, 1] {
+//!     table.push_row(&[v]).unwrap();
+//! }
+//!
+//! // three fixed-boundary shards over the same columns, zero copies
+//! let sharded = table.into_shards(3);
+//! assert_eq!(sharded.n_shards(), 3);
+//! let sizes: Vec<usize> = sharded.shards().map(|s| s.n_rows()).collect();
+//! assert_eq!(sizes.iter().sum::<usize>(), 7);
+//! // canonical boundaries: sizes differ by at most one row
+//! assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+//!
+//! // a shard view reads straight out of the shared columns
+//! let first = sharded.shard(0);
+//! assert_eq!(first.rows(), 0..2); // floor(i·7/3) boundaries: 0,2,4,7
+//! ```
+
+use crate::domain::{AttrId, Value};
+use crate::table::Table;
+use crate::Result;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// The most shards any table can be split into. Shards exist to map
+/// counting work onto cores, so counts beyond this are configuration
+/// nonsense — and, from untrusted inputs (a crafted `.lewis` pack), a
+/// would-be allocation amplifier: each boundary costs a `usize` and
+/// each shard a per-pass unit of work, so the cap keeps both bounded.
+/// [`shard_boundaries`] clamps into `[1, MAX_SHARDS]`; deserializers
+/// reject out-of-range counts as corruption instead.
+pub const MAX_SHARDS: usize = 65_536;
+
+/// Canonical fixed shard boundaries for `n_rows` rows split `n_shards`
+/// ways: `n_shards + 1` offsets where shard `i` covers rows
+/// `[boundaries[i], boundaries[i + 1])`. Shard `i` starts at
+/// `floor(i · n_rows / n_shards)`, so sizes differ by at most one row
+/// and the layout is a pure function of the two inputs — the property
+/// that lets a `.lewis` pack record just the shard *count* and still
+/// restore the exact layout.
+///
+/// `n_shards` is clamped into `[1, MAX_SHARDS]`; more shards than rows
+/// simply yields empty tail shards (still well-formed views).
+pub fn shard_boundaries(n_rows: usize, n_shards: usize) -> Vec<usize> {
+    let n_shards = n_shards.clamp(1, MAX_SHARDS);
+    (0..=n_shards)
+        .map(|i| {
+            // u128 intermediate: i * n_rows cannot overflow even for
+            // pathological shard counts
+            ((i as u128 * n_rows as u128) / n_shards as u128) as usize
+        })
+        .collect()
+}
+
+/// A zero-copy view of one contiguous row range of a shared [`Table`].
+#[derive(Clone)]
+pub struct RowShard<'a> {
+    table: &'a Table,
+    index: usize,
+    rows: Range<usize>,
+}
+
+impl<'a> RowShard<'a> {
+    /// The shard's position in its [`ShardedTable`] (merge order).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The row range this shard covers in the underlying table.
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// Rows in this shard.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the shard covers no rows (possible when there are more
+    /// shards than rows).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &'a Table {
+        self.table
+    }
+
+    /// This shard's slice of attribute `attr`'s column — a direct
+    /// sub-slice of the shared column, no copying.
+    pub fn column(&self, attr: AttrId) -> Result<&'a [Value]> {
+        Ok(&self.table.column(attr)?[self.rows.clone()])
+    }
+}
+
+/// A [`Table`] plus a canonical fixed-boundary row partition.
+///
+/// Shares the table behind an [`Arc`]; cloning the sharded table or
+/// taking [`RowShard`] views never copies column data.
+#[derive(Clone)]
+pub struct ShardedTable {
+    table: Arc<Table>,
+    boundaries: Vec<usize>,
+}
+
+impl ShardedTable {
+    /// Partition an already-shared table into `n_shards` fixed-boundary
+    /// row shards (clamped into `[1, MAX_SHARDS]`).
+    pub fn from_shared(table: Arc<Table>, n_shards: usize) -> ShardedTable {
+        let boundaries = shard_boundaries(table.n_rows(), n_shards);
+        ShardedTable { table, boundaries }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// The shard boundaries: `n_shards() + 1` row offsets.
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// The shared underlying table.
+    pub fn table(&self) -> &Arc<Table> {
+        &self.table
+    }
+
+    /// The `i`-th shard view.
+    ///
+    /// # Panics
+    /// Panics if `i >= n_shards()`.
+    pub fn shard(&self, i: usize) -> RowShard<'_> {
+        assert!(i < self.n_shards(), "shard {i} out of {}", self.n_shards());
+        RowShard {
+            table: &self.table,
+            index: i,
+            rows: self.boundaries[i]..self.boundaries[i + 1],
+        }
+    }
+
+    /// Iterate all shards in index (merge) order.
+    pub fn shards(&self) -> impl Iterator<Item = RowShard<'_>> {
+        (0..self.n_shards()).map(|i| self.shard(i))
+    }
+}
+
+impl Table {
+    /// Move the table into shared ownership partitioned into `n_shards`
+    /// canonical fixed-boundary row shards (see [`shard_boundaries`]).
+    /// Zero copying: every shard is a view over the same columns.
+    pub fn into_shards(self, n_shards: usize) -> ShardedTable {
+        ShardedTable::from_shared(Arc::new(self), n_shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::schema::Schema;
+
+    fn table(n: usize) -> Table {
+        let mut s = Schema::new();
+        s.push("x", Domain::categorical(["a", "b", "c"]));
+        s.push("y", Domain::boolean());
+        let mut t = Table::new(s);
+        for i in 0..n {
+            t.push_row(&[(i % 3) as Value, (i % 2) as Value]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn boundaries_are_canonical_and_cover_everything() {
+        for n_rows in [0usize, 1, 2, 7, 100, 101] {
+            for n_shards in [1usize, 2, 3, 7, 16, 200] {
+                let b = shard_boundaries(n_rows, n_shards);
+                assert_eq!(b.len(), n_shards + 1);
+                assert_eq!(b[0], 0);
+                assert_eq!(*b.last().unwrap(), n_rows);
+                assert!(b.windows(2).all(|w| w[0] <= w[1]), "monotone: {b:?}");
+                // balanced: sizes differ by at most one
+                let sizes: Vec<usize> = b.windows(2).map(|w| w[1] - w[0]).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced: {sizes:?}");
+                // canonical: recomputing gives the identical partition
+                assert_eq!(b, shard_boundaries(n_rows, n_shards));
+            }
+        }
+        // clamped to one shard below, MAX_SHARDS above — a crafted
+        // shard count must never become an allocation amplifier
+        assert_eq!(shard_boundaries(5, 0), vec![0, 5]);
+        assert_eq!(shard_boundaries(5, usize::MAX).len(), MAX_SHARDS + 1);
+        let st = ShardedTable::from_shared(std::sync::Arc::new(table(3)), usize::MAX);
+        assert_eq!(st.n_shards(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn shard_views_are_zero_copy_slices() {
+        let t = table(10);
+        let full_x = t.column(AttrId(0)).unwrap().to_vec();
+        let sharded = t.into_shards(3);
+        let mut rebuilt = Vec::new();
+        for shard in sharded.shards() {
+            let slice = shard.column(AttrId(0)).unwrap();
+            // the slice points into the shared column
+            let col = sharded.table().column(AttrId(0)).unwrap();
+            assert_eq!(slice.as_ptr(), col[shard.rows()].as_ptr());
+            rebuilt.extend_from_slice(slice);
+        }
+        assert_eq!(rebuilt, full_x, "shards cover each row exactly once");
+    }
+
+    #[test]
+    fn more_shards_than_rows_yields_empty_tails() {
+        let t = table(2);
+        let sharded = t.into_shards(5);
+        assert_eq!(sharded.n_shards(), 5);
+        let total: usize = sharded.shards().map(|s| s.n_rows()).sum();
+        assert_eq!(total, 2);
+        assert!(sharded.shards().any(|s| s.is_empty()));
+        // empty shards still answer column queries
+        for shard in sharded.shards() {
+            assert_eq!(shard.column(AttrId(1)).unwrap().len(), shard.n_rows());
+        }
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_table() {
+        let t = table(7);
+        let sharded = t.into_shards(1);
+        assert_eq!(sharded.n_shards(), 1);
+        let s = sharded.shard(0);
+        assert_eq!(s.rows(), 0..7);
+        assert_eq!(s.index(), 0);
+        assert_eq!(s.table().n_rows(), 7);
+    }
+}

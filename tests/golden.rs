@@ -1,0 +1,185 @@
+//! Golden conformance suite: end-to-end `ExplainResponse` JSON for a
+//! fixed query mix over every builtin dataset, pinned to checked-in
+//! golden files. Any future refactor that silently changes a score —
+//! a re-ordered float sum, a tweaked tie-break, a "harmless" estimator
+//! cleanup — fails this suite loudly instead of shipping drift.
+//!
+//! The pinned bytes go through the deterministic wire codec
+//! (`lewis_serve::wire`), which serializes every finite f64 with
+//! shortest-round-trip precision, so the goldens capture scores to the
+//! bit. Errors are pinned too (as `err:<message>` lines): changing an
+//! error message or variant for a fixed input is also an observable
+//! behavior change.
+//!
+//! Regenerate deliberately with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use lewis_core::{ExplainRequest, ExplainResponse, LewisError, RecourseOptions};
+use lewis_serve::wire;
+use lewis_serve::EngineRegistry;
+use std::path::PathBuf;
+use tabular::Context;
+
+/// Rows per dataset: small enough to build every engine in seconds,
+/// large enough that every query kind has support somewhere.
+const ROWS: usize = 400;
+const SEED: u64 = 42;
+
+/// The original five paper datasets plus the scaled generator — every
+/// name `lewis-serve --builtin` accepts ships a golden.
+const DATASETS: [&str; 6] = [
+    "german_syn",
+    "german_syn_scaled",
+    "german",
+    "adult",
+    "compas",
+    "drug",
+];
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("goldens")
+}
+
+fn render(result: &Result<ExplainResponse, LewisError>) -> String {
+    match result {
+        Ok(response) => wire::response_to_json(response).to_json(),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+/// The fixed query mix: every kind, deterministic targets, plus one
+/// deliberately unsupported context.
+fn golden_queries(engine: &lewis_core::Engine) -> Vec<(String, ExplainRequest)> {
+    let table = engine.table();
+    let features = engine.features();
+    let a = features[0];
+    let b = features[1 % features.len()];
+    let row0 = table.row(0).unwrap();
+    let row7 = table.row(7 % table.n_rows()).unwrap();
+    vec![
+        ("global".to_string(), ExplainRequest::Global),
+        (
+            "contextual_global".to_string(),
+            ExplainRequest::ContextualGlobal {
+                k: Context::of([(a, row0[a.index()])]),
+            },
+        ),
+        (
+            "contextual".to_string(),
+            ExplainRequest::Contextual {
+                attr: b,
+                k: Context::of([(a, row7[a.index()])]),
+            },
+        ),
+        (
+            "local".to_string(),
+            ExplainRequest::Local { row: row0.clone() },
+        ),
+        (
+            "recourse".to_string(),
+            ExplainRequest::Recourse {
+                row: row7,
+                actionable: vec![a, b],
+                opts: RecourseOptions::default(),
+            },
+        ),
+        (
+            "tight_context".to_string(),
+            ExplainRequest::Contextual {
+                attr: b,
+                k: Context::of(
+                    features
+                        .iter()
+                        .filter(|f| **f != b)
+                        .map(|&f| (f, row0[f.index()])),
+                ),
+            },
+        ),
+    ]
+}
+
+fn actual_for(name: &str) -> String {
+    let mut registry = EngineRegistry::new();
+    registry.load_builtin(name, ROWS, SEED).unwrap();
+    let engine = &registry.get(name).unwrap().engine;
+    let mut out = String::new();
+    for (label, request) in golden_queries(engine) {
+        out.push_str(&label);
+        out.push('\t');
+        out.push_str(&render(&engine.run(&request)));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn explain_responses_match_checked_in_goldens() {
+    let update = std::env::var("UPDATE_GOLDENS").ok().as_deref() == Some("1");
+    let dir = goldens_dir();
+    if update {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut failures = Vec::new();
+    for name in DATASETS {
+        let actual = actual_for(name);
+        let path = dir.join(format!("{name}.golden"));
+        if update {
+            std::fs::write(&path, &actual).unwrap();
+            eprintln!("wrote {}", path.display());
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); regenerate with UPDATE_GOLDENS=1 cargo test --test golden",
+                path.display()
+            )
+        });
+        if actual != expected {
+            // name the first diverging line so the failure is readable
+            let diverged = actual
+                .lines()
+                .zip(expected.lines())
+                .find(|(a, e)| a != e)
+                .map(|(a, e)| format!("\n  actual:   {a}\n  expected: {e}"))
+                .unwrap_or_else(|| "\n  (line counts differ)".to_string());
+            failures.push(format!("{name}: first divergence:{diverged}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatch — a score-visible behavior changed. If intentional, \
+         regenerate with UPDATE_GOLDENS=1 and review the diff.\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The goldens must be shard-count-invariant: CI's shard matrix runs
+/// this same suite under `LEWIS_TEST_SHARDS=4`, and a sharded engine
+/// answering differently from the golden would mean the determinism
+/// contract broke. This test makes the invariance explicit locally.
+#[test]
+fn goldens_are_shard_invariant() {
+    for name in ["german_syn", "compas"] {
+        let mut plain = EngineRegistry::new();
+        plain.load_builtin(name, ROWS, SEED).unwrap();
+        let mut sharded = EngineRegistry::new();
+        sharded.set_default_shards(3);
+        sharded.load_builtin(name, ROWS, SEED).unwrap();
+        let e_plain = &plain.get(name).unwrap().engine;
+        let e_sharded = &sharded.get(name).unwrap().engine;
+        for (label, request) in golden_queries(e_plain) {
+            assert_eq!(
+                render(&e_plain.run(&request)),
+                render(&e_sharded.run(&request)),
+                "{name}/{label} diverged between 1 and 3 shards"
+            );
+        }
+    }
+}
