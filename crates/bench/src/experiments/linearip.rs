@@ -91,7 +91,7 @@ mod tests {
                 (i, ((p.score)(&r) - 0.5).abs())
             })
             .collect();
-        negatives.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        negatives.sort_by(|a, b| a.1.total_cmp(&b.1));
         let feasible = negatives.iter().take(10).any(|&(i, _)| {
             let r = p.table.row(i).unwrap();
             linear.recourse(&p.table, p.pred, &r, 0.6).is_ok()

@@ -150,6 +150,9 @@ impl CountingCache {
         while inner.map.len() > self.capacity {
             let oldest = inner
                 .map
+                // lint:allow(ordered-iteration): recency stamps are unique
+                // (a monotone counter), so min_by_key has a single answer
+                // regardless of visit order.
                 .iter()
                 .min_by_key(|(_, (touched, _))| *touched)
                 .map(|(k, _)| k.clone())
@@ -182,6 +185,9 @@ impl CountingCache {
         let inner = self.inner.lock().expect("cache lock");
         let mut entries: Vec<(u64, PassKey, Arc<ArmTable>)> = inner
             .map
+            // lint:allow(ordered-iteration): the collected entries are
+            // sorted by their unique recency stamp two lines down, which
+            // erases the hash visit order.
             .iter()
             .map(|(k, (touched, arms))| (*touched, k.clone(), Arc::clone(arms)))
             .collect();

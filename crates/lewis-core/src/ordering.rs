@@ -33,8 +33,17 @@ pub fn infer_value_order(
         };
         scored.push((score, v));
     }
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
-    Ok(scored.into_iter().map(|(_, v)| v).collect())
+    Ok(rank(scored))
+}
+
+/// Sort `(score, value)` pairs ascending by score (ties by code) and
+/// strip the scores. `total_cmp` gives a total, panic-free order even
+/// if a black box ever leaks a NaN score: NaN ranks above +inf, so a
+/// poisoned value lands at the "best" end instead of aborting the
+/// explanation pipeline.
+fn rank(mut scored: Vec<(f64, Value)>) -> Vec<Value> {
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().map(|(_, v)| v).collect()
 }
 
 /// All ordered pairs `(hi, lo)` with `hi` ranked strictly above `lo` in
@@ -96,6 +105,22 @@ mod tests {
         t.push_row(&[1, 1]).unwrap();
         let order = infer_value_order(&t, x, p, 1).unwrap();
         assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn nan_scores_rank_highest_without_panicking() {
+        // A NaN score must not abort ranking (the old comparator used
+        // partial_cmp + expect). Under total_cmp, NaN > +inf, so the
+        // poisoned value pins to the very top; everything else keeps
+        // its ascending-score order and ties still break by code.
+        let order = rank(vec![
+            (0.5, 0),
+            (f64::NAN, 1),
+            (f64::INFINITY, 2),
+            (-1.0, 3),
+            (0.5, 4),
+        ]);
+        assert_eq!(order, vec![3, 0, 4, 2, 1]);
     }
 
     #[test]

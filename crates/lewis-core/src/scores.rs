@@ -513,8 +513,12 @@ impl ScoreEstimator {
         // above are only a build-time convenience, the shared (and
         // snapshottable) pass must be hasher-independent.
         let mut cells: Vec<(Vec<Value>, CellArms)> = acc
+            // lint:allow(ordered-iteration): the drained cells are sorted
+            // by key at the end of this expression (`cells.sort_unstable_by`
+            // below), which erases the hash visit order.
             .into_iter()
             .map(|(key, cell)| {
+                // lint:allow(ordered-iteration): sorted on the next line.
                 let mut arms: Vec<(Vec<Value>, (u64, u64))> = cell.arms.into_iter().collect();
                 arms.sort_unstable();
                 (key, CellArms { n: cell.n, arms })

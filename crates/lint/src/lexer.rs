@@ -1,0 +1,435 @@
+//! A hand-rolled Rust lexer, in the same spirit as the serve crate's
+//! wire codec: small, std-only, and explicit about every byte.
+//!
+//! The lexer exists so that the rule engine is never fooled by text
+//! inside string literals or comments — `"call .unwrap() here"` and
+//! `// partial_cmp would panic` must not trip a rule. It recognises:
+//!
+//! - line comments (`//`, `///`, `//!`) and block comments (`/* */`,
+//!   including *nested* block comments, which Rust allows),
+//! - string literals with escapes, raw strings (`r"…"`, `r#"…"#`, any
+//!   number of `#`s), byte strings (`b"…"`, `br#"…"#`) and C strings
+//!   (`c"…"`),
+//! - char and byte-char literals (`'a'`, `'\n'`, `b'x'`, `'\u{1F600}'`)
+//!   disambiguated from lifetimes (`'a`, `'static`),
+//! - raw identifiers (`r#match` lexes as the identifier `match`),
+//! - numbers (including floats with exponents, without eating `..`),
+//! - `::` as a single token, and every other punctuation char as-is.
+//!
+//! Positions are 1-based (line, column) counted in characters, matching
+//! what editors display.
+
+/// A lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: Kind,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+/// Token kinds. Literal *content* is dropped (rules never need it);
+/// identifier and comment text is kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Kind {
+    /// An identifier or keyword (`r#ident` is unescaped to `ident`).
+    Ident(String),
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Any numeric literal.
+    Num,
+    /// A (byte/C) string literal, escaped form.
+    Str,
+    /// A raw (byte) string literal, `r"…"` / `br#"…"#`.
+    RawStr,
+    /// A char or byte-char literal.
+    Char,
+    /// The path separator `::`.
+    ColonColon,
+    /// A single punctuation character.
+    Punct(char),
+    /// A `//` comment; text excludes the leading slashes.
+    LineComment(String),
+    /// A `/* */` comment (possibly nested); text excludes delimiters.
+    BlockComment(String),
+}
+
+impl Kind {
+    /// Convenience: is this an identifier equal to `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, Kind::Ident(s) if s == name)
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consume a line comment (caller sits on the first `/`).
+    fn line_comment(&mut self) -> Kind {
+        self.bump_n(2);
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        Kind::LineComment(text)
+    }
+
+    /// Consume a block comment with nesting (caller sits on the `/`).
+    fn block_comment(&mut self) -> Kind {
+        self.bump_n(2);
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump_n(2);
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump_n(2);
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: tolerate, rustc rejects it
+            }
+        }
+        Kind::BlockComment(text)
+    }
+
+    /// Consume a `"…"` string (escaped form); caller sits on the quote.
+    fn string(&mut self) -> Kind {
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.bump_n(2),
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        Kind::Str
+    }
+
+    /// Consume `r##"…"##` with `hashes` `#`s; caller sits past the
+    /// prefix, on the opening quote.
+    fn raw_string(&mut self, hashes: usize) -> Kind {
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some('#') {
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(1 + hashes);
+                break;
+            }
+            self.bump();
+        }
+        Kind::RawStr
+    }
+
+    /// Consume a char/byte-char literal; caller sits on the `'`.
+    fn char_literal(&mut self) -> Kind {
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.bump_n(2),
+                '\'' => {
+                    self.bump();
+                    break;
+                }
+                '\n' => break, // malformed; don't run away
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        Kind::Char
+    }
+
+    fn ident(&mut self) -> Kind {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Kind::Ident(text)
+    }
+
+    fn number(&mut self) -> Kind {
+        // Digits, `_`, type suffixes and hex digits; a `.` only when a
+        // digit follows (so `0..n` and `1.max(2)` are left intact);
+        // exponent signs only right after `e`/`E` in a decimal literal.
+        let mut prev = '\0';
+        while let Some(c) = self.peek(0) {
+            let continues = c.is_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                || ((c == '+' || c == '-') && (prev == 'e' || prev == 'E'));
+            if !continues {
+                break;
+            }
+            prev = c;
+            self.bump();
+        }
+        Kind::Num
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// Lex `source` into a token stream. Never fails: malformed input
+/// degrades to punctuation tokens (rustc is the arbiter of validity —
+/// the linter only runs on code that already compiles).
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        let kind = match c {
+            _ if c.is_whitespace() => {
+                lx.bump();
+                continue;
+            }
+            '/' if lx.peek(1) == Some('/') => lx.line_comment(),
+            '/' if lx.peek(1) == Some('*') => lx.block_comment(),
+            '"' => lx.string(),
+            'b' | 'c' | 'r' if starts_string_prefix(&lx, c) => lex_prefixed(&mut lx, c),
+            '\'' => {
+                // Lifetime iff `'ident` NOT closed by a quote right
+                // after one character (`'a'` is a char literal).
+                let one = lx.peek(1);
+                if one.is_some_and(is_ident_start) && lx.peek(2) != Some('\'') {
+                    lx.bump(); // '
+                    lx.ident();
+                    Kind::Lifetime
+                } else {
+                    lx.char_literal()
+                }
+            }
+            _ if is_ident_start(c) => lx.ident(),
+            _ if c.is_ascii_digit() => lx.number(),
+            ':' if lx.peek(1) == Some(':') => {
+                lx.bump_n(2);
+                Kind::ColonColon
+            }
+            _ => {
+                lx.bump();
+                Kind::Punct(c)
+            }
+        };
+        out.push(Token { kind, line, col });
+    }
+    out
+}
+
+/// Does the `b`/`c`/`r` at the cursor open a string-ish literal (rather
+/// than a plain identifier such as `broken` or `result`)?
+fn starts_string_prefix(lx: &Lexer, c: char) -> bool {
+    match c {
+        // b"…", b'…', br"…", br#"…"#
+        'b' => matches!(lx.peek(1), Some('"') | Some('\'')) || raw_follows(lx, 1),
+        // c"…" (Rust 1.77 C strings)
+        'c' => lx.peek(1) == Some('"'),
+        // r"…", r#"…"#, and raw identifiers r#ident
+        'r' => {
+            raw_follows(lx, 0)
+                || (lx.peek(1) == Some('#') && lx.peek(2).is_some_and(is_ident_start))
+        }
+        _ => false,
+    }
+}
+
+/// Is there `r #* "` starting `at` characters past the cursor?
+fn raw_follows(lx: &Lexer, at: usize) -> bool {
+    if lx.peek(at) != Some('r') {
+        return false;
+    }
+    let mut j = at + 1;
+    while lx.peek(j) == Some('#') {
+        j += 1;
+    }
+    lx.peek(j) == Some('"')
+}
+
+/// Lex a literal or raw identifier opened by prefix char `c` (already
+/// validated by [`starts_string_prefix`]).
+fn lex_prefixed(lx: &mut Lexer, c: char) -> Kind {
+    match c {
+        'b' if lx.peek(1) == Some('"') => {
+            lx.bump();
+            lx.string()
+        }
+        'b' if lx.peek(1) == Some('\'') => {
+            lx.bump();
+            lx.char_literal()
+        }
+        'b' => {
+            // br#*"…"
+            lx.bump_n(2);
+            let mut hashes = 0;
+            while lx.peek(0) == Some('#') {
+                hashes += 1;
+                lx.bump();
+            }
+            lx.raw_string(hashes)
+        }
+        'c' => {
+            lx.bump();
+            lx.string()
+        }
+        _ => {
+            // r"…", r#"…"# or r#ident
+            if lx.peek(1) == Some('#') && lx.peek(2).is_some_and(is_ident_start) {
+                lx.bump_n(2);
+                return lx.ident(); // raw identifier: keep the name
+            }
+            lx.bump();
+            let mut hashes = 0;
+            while lx.peek(0) == Some('#') {
+                hashes += 1;
+                lx.bump();
+            }
+            lx.raw_string(hashes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Kind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "call .unwrap() now";
+            // also .unwrap() here
+            /* and /* nested .unwrap() */ here too */
+            let b = r#"raw .unwrap()"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "unwrap"), "ids: {ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = toks.iter().filter(|t| t.kind == Kind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == Kind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn char_escapes_do_not_derail() {
+        let toks = lex(r"let q = '\''; let u = '\u{1F600}'; done");
+        assert!(toks.iter().any(|t| t.kind.is_ident("done")));
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Char).count(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_unescape() {
+        assert!(idents("r#match").contains(&"match".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = lex("for i in 0..10 { x = 1.5e-3.min(2.0); }");
+        // `..` survives as two dots, `min` survives as an ident
+        let dots = toks.iter().filter(|t| t.kind == Kind::Punct('.')).count();
+        assert!(dots >= 3, "dots: {dots}");
+        assert!(toks.iter().any(|t| t.kind.is_ident("min")));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn byte_strings_and_c_strings() {
+        let src = r####"let a = b"unwrap()"; let b2 = br##"expect()"##; let c3 = c"todo!";"####;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|s| s == "unwrap" || s == "expect" || s == "todo"));
+    }
+
+    #[test]
+    fn colon_colon_is_one_token() {
+        let toks = lex("std::time::Instant::now()");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == Kind::ColonColon).count(),
+            3
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! `lewis-lint` — a std-only invariant linter for the LEWIS workspace.
+//!
+//! The reproduction's two foundational guarantees exist at the source
+//! level only as conventions: **bit-identical results** under
+//! sharding/caching/pack round-trips (counterfactual scores must not
+//! drift with thread count or restore), and **panic-freedom on
+//! untrusted bytes** in the serve/store parsers. The property tests
+//! probe both dynamically; this crate mechanizes them statically, so a
+//! regression is caught at the offending line rather than (maybe) by a
+//! downstream suite.
+//!
+//! It is hand-rolled in the same spirit as the serve crate's wire
+//! codec: a real lexer (nested block comments, raw strings, char
+//! literals vs lifetimes) feeding a token-stream rule engine, so rules
+//! are never fooled by text inside strings or comments. See
+//! [`policy::RULES`] for the rule catalogue and where each applies,
+//! and the `lewis-lint` binary for the CLI (`--format human|json`,
+//! nonzero exit on findings).
+//!
+//! Suppressions are explicit and auditable: a finding is silenced only
+//! by an allow comment **with a mandatory reason** on (or directly
+//! above) the offending line, and the linter errors on *unused* allows
+//! so suppressions cannot rot. The grammar, spelled with doubled
+//! slashes here so this documentation does not itself create an allow:
+//! `lint:allow(rule-name): <reason>` after `//`.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//! fn rank(v: &mut Vec<(f64, u32)>) {
+//!     v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+//! }
+//! "#;
+//! let findings = lewis_lint::lint_source("crates/lewis-core/src/ordering.rs", src);
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "total-cmp");
+//! assert_eq!((findings[0].line, findings[0].col), (3, 26));
+//!
+//! // The same comparator via total_cmp is clean:
+//! let fixed = src.replace(".partial_cmp(&b.0).unwrap()", ".total_cmp(&b.0)");
+//! assert!(lewis_lint::lint_source("crates/lewis-core/src/ordering.rs", &fixed).is_empty());
+//! ```
+
+pub mod lexer;
+pub mod policy;
+pub mod report;
+mod rules;
+mod workspace;
+
+use std::io;
+use std::path::Path;
+
+pub use report::{render_human, render_json, Finding};
+pub use workspace::{find_workspace_root, workspace_source_files};
+
+/// Lint a single source text as if it lived at the workspace-relative
+/// `path` (which drives the per-rule path policy). Returns findings
+/// sorted by position.
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    rules::check_file(path, source)
+}
+
+/// Lint every workspace member's `src/` tree under `root`. Findings
+/// are sorted by (path, line, col).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for (rel, abs) in workspace_source_files(root)? {
+        let source = std::fs::read_to_string(&abs)?;
+        findings.extend(lint_source(&rel, &source));
+    }
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(findings)
+}

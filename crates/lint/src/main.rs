@@ -1,0 +1,94 @@
+//! `lewis-lint` CLI: lint the workspace, print findings, exit nonzero
+//! when anything is found (the CI gate).
+//!
+//! ```text
+//! lewis-lint [--root DIR] [--format human|json]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/io error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: lewis-lint [--root DIR] [--format human|json]\n\
+     \n\
+     Lints every workspace member's src/ tree against the LEWIS\n\
+     invariant rules (see crates/lint). Exit codes: 0 clean,\n\
+     1 findings, 2 usage/io error.\n"
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = String::from("human");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = "human".into(),
+                Some("json") => format = "json".into(),
+                other => {
+                    eprintln!(
+                        "--format must be human or json (got {other:?})\n{}",
+                        usage()
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cannot read current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match lewis_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no [workspace] Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let findings = match lewis_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = if format == "json" {
+        lewis_lint::render_json(&findings)
+    } else {
+        lewis_lint::render_human(&findings)
+    };
+    print!("{rendered}");
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,118 @@
+//! Findings and their two output formats (human and JSON).
+
+use std::fmt;
+
+/// One linter finding, anchored to a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`total-cmp`, …, or the meta rules `bad-allow` /
+    /// `unused-allow`).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (characters).
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+/// `path:line:col: [rule] message` — the grep/editor-friendly form.
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Render findings as human-readable lines plus a summary.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str("lewis-lint: clean (0 findings)\n");
+    } else {
+        out.push_str(&format!("lewis-lint: {} finding(s)\n", findings.len()));
+    }
+    out
+}
+
+/// Render findings as a JSON document:
+/// `{"count": N, "findings": [{"rule": …, "path": …, "line": …,
+/// "col": …, "message": …}, …]}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"count\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str(", \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(&f.message)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Vec<Finding> {
+        vec![Finding {
+            rule: "total-cmp",
+            path: "crates/x/src/a.rs".into(),
+            line: 3,
+            col: 9,
+            message: "say \"no\"".into(),
+        }]
+    }
+
+    #[test]
+    fn human_form_is_greppable() {
+        let text = render_human(&demo());
+        assert!(text.contains("crates/x/src/a.rs:3:9: [total-cmp]"));
+        assert!(text.contains("1 finding(s)"));
+        assert!(render_human(&[]).contains("clean"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let text = render_json(&demo());
+        assert!(text.contains("\"count\": 1"));
+        assert!(text.contains("say \\\"no\\\""));
+        assert!(render_json(&[]).contains("\"count\": 0"));
+    }
+}

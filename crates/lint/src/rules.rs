@@ -1,0 +1,818 @@
+//! The token-stream rule engine.
+//!
+//! Works on the [`crate::lexer`] token stream, so string literals and
+//! comments can never trip a rule. Three preparatory passes feed the
+//! rules:
+//!
+//! 1. **Test masking** — `#[test]` functions and `#[cfg(test)]` items
+//!    (the attribute, plus the whole item body up to its matching
+//!    closing brace) are skipped: the invariants protect production
+//!    code, and tests legitimately `unwrap()`.
+//! 2. **Allow collection** — `// lint:allow(rule-name): reason`
+//!    comments. The reason is mandatory; a malformed or unknown allow
+//!    is itself a finding (`bad-allow`), and an allow that suppresses
+//!    nothing is a finding (`unused-allow`) so suppressions cannot
+//!    rot. Doc comments (`///`, `//!`) are never parsed as allows, so
+//!    documentation may quote the grammar freely.
+//! 3. **Hash-binding inference** (for `ordered-iteration`) — a
+//!    file-local scan that records names bound to `HashMap`/`HashSet`
+//!    (and their `FxHashMap`/`FxHashSet` aliases) via `let` bindings,
+//!    `name: Type` fields/params, and patterns of enum variants that
+//!    wrap a hash container (e.g. `Storage::Sparse(m)`).
+
+use crate::lexer::{lex, Kind, Token};
+use crate::policy::{self, Rule, BAD_ALLOW, UNUSED_ALLOW};
+use crate::report::Finding;
+use std::collections::HashSet;
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+const SORT_FNS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_cached_key",
+    "binary_search_by",
+    "min_by",
+    "max_by",
+];
+const ITER_FNS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Lint one file's source. `path` is the workspace-relative path used
+/// for policy decisions (see [`crate::policy`]); the file need not
+/// exist on disk.
+pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
+    let tokens = lex(source);
+    let mut code: Vec<Token> = Vec::new();
+    let mut comments: Vec<Token> = Vec::new();
+    for t in tokens {
+        match t.kind {
+            Kind::LineComment(_) | Kind::BlockComment(_) => comments.push(t),
+            _ => code.push(t),
+        }
+    }
+    let in_test = test_mask(&code);
+    let (mut allows, mut meta) = collect_allows(path, &comments, &code, &in_test);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    for rule in policy::RULES {
+        if !policy::rule_applies(rule, path) {
+            continue;
+        }
+        match rule.id {
+            "total-cmp" => rule_total_cmp(rule, path, &code, &in_test, &mut raw),
+            "ordered-iteration" => rule_ordered_iteration(rule, path, &code, &in_test, &mut raw),
+            "no-panic-on-input" => rule_no_panic(rule, path, &code, &in_test, &mut raw),
+            "safety-comment" => {
+                rule_safety_comment(rule, path, &code, &in_test, &comments, &mut raw)
+            }
+            "no-silent-default" => rule_no_silent_default(rule, path, &code, &in_test, &mut raw),
+            "no-wall-clock" => rule_no_wall_clock(rule, path, &code, &in_test, &mut raw),
+            _ => {}
+        }
+    }
+
+    // Apply suppressions: an allow matches a finding of its rule on its
+    // target line.
+    let mut out: Vec<Finding> = Vec::new();
+    for f in raw {
+        match allows
+            .iter_mut()
+            .find(|a| a.rule == f.rule && a.target == Some(f.line))
+        {
+            Some(a) => a.used = true,
+            None => out.push(f),
+        }
+    }
+    for a in &allows {
+        if !a.used {
+            out.push(Finding {
+                rule: UNUSED_ALLOW,
+                path: path.to_string(),
+                line: a.line,
+                col: a.col,
+                message: format!(
+                    "lint:allow({}) suppresses nothing on its target line; delete it",
+                    a.rule
+                ),
+            });
+        }
+    }
+    out.append(&mut meta);
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+// ---- token helpers ----
+
+fn is_punct(code: &[Token], i: usize, c: char) -> bool {
+    matches!(code.get(i), Some(t) if t.kind == Kind::Punct(c))
+}
+
+fn ident_at(code: &[Token], i: usize) -> Option<&str> {
+    match code.get(i) {
+        Some(Token {
+            kind: Kind::Ident(s),
+            ..
+        }) => Some(s),
+        _ => None,
+    }
+}
+
+fn is_path_sep(code: &[Token], i: usize) -> bool {
+    matches!(code.get(i), Some(t) if t.kind == Kind::ColonColon)
+}
+
+/// Index of the `close` matching the `open` at `open_idx` (which must
+/// hold `open`). Falls back to the last token on malformed input.
+fn matching(code: &[Token], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    let mut i = open_idx;
+    while i < code.len() {
+        if let Kind::Punct(c) = code[i].kind {
+            if c == open {
+                depth += 1;
+            } else if c == close {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+// ---- test-region masking ----
+
+fn test_mask(code: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if is_punct(code, i, '#') && is_punct(code, i + 1, '[') {
+            let close = matching(code, i + 1, '[', ']');
+            let is_test = code[i + 2..close].iter().any(|t| t.kind.is_ident("test"));
+            if is_test {
+                let end = item_end(code, close + 1).min(mask.len() - 1);
+                for m in &mut mask[i..=end] {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// The index ending the item that starts at `start` (further attributes
+/// are skipped): the matching `}` of the item's body, or a terminating
+/// `;` for brace-less items (`mod tests;`, `use …;`).
+fn item_end(code: &[Token], start: usize) -> usize {
+    let mut i = start;
+    while is_punct(code, i, '#') && is_punct(code, i + 1, '[') {
+        i = matching(code, i + 1, '[', ']') + 1;
+    }
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while i < code.len() {
+        match code[i].kind {
+            Kind::Punct('(') => paren += 1,
+            Kind::Punct(')') => paren -= 1,
+            Kind::Punct('[') => bracket += 1,
+            Kind::Punct(']') => bracket -= 1,
+            Kind::Punct('{') if paren == 0 && bracket == 0 => {
+                return matching(code, i, '{', '}');
+            }
+            Kind::Punct(';') if paren == 0 && bracket == 0 => return i,
+            Kind::Punct('}') if paren == 0 && bracket == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+// ---- allow comments ----
+
+struct Allow {
+    rule: &'static str,
+    /// Line the allow applies to (same line if the comment trails code,
+    /// else the next line holding code). `None`: nothing to target.
+    target: Option<u32>,
+    line: u32,
+    col: u32,
+    used: bool,
+}
+
+fn collect_allows(
+    path: &str,
+    comments: &[Token],
+    code: &[Token],
+    in_test: &[bool],
+) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut meta = Vec::new();
+    for c in comments {
+        let Kind::LineComment(text) = &c.kind else {
+            continue;
+        };
+        // `///` and `//!` doc comments are documentation, not
+        // annotations — never parsed (they may quote the grammar).
+        if text.starts_with('/') || text.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = text.find("lint:allow") else {
+            continue;
+        };
+        let mut bad = |message: String| {
+            meta.push(Finding {
+                rule: BAD_ALLOW,
+                path: path.to_string(),
+                line: c.line,
+                col: c.col,
+                message,
+            });
+        };
+        let rest = &text[pos + "lint:allow".len()..];
+        let Some(inner) = rest.strip_prefix('(') else {
+            bad("malformed lint:allow — expected `lint:allow(rule-name): reason`".into());
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            bad("malformed lint:allow — missing `)`".into());
+            continue;
+        };
+        let name = inner[..close].trim();
+        let Some(rule) = policy::rule_by_id(name) else {
+            let known: Vec<&str> = policy::RULES.iter().map(|r| r.id).collect();
+            bad(format!(
+                "unknown lint rule {name:?} in lint:allow (known: {})",
+                known.join(", ")
+            ));
+            continue;
+        };
+        let after = inner[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad(format!(
+                "lint:allow({name}) needs a reason: `lint:allow({name}): <why this is sound>`"
+            ));
+            continue;
+        }
+        // Resolve the target line: code on the same line, else the
+        // next line that holds code. Allows inside test regions are
+        // inert (the rules don't run there).
+        let idx = code
+            .iter()
+            .position(|t| t.line == c.line)
+            .or_else(|| code.iter().position(|t| t.line > c.line));
+        let target = match idx {
+            Some(i) if in_test.get(i).copied().unwrap_or(false) => continue,
+            Some(i) => Some(code[i].line),
+            None => None,
+        };
+        allows.push(Allow {
+            rule: rule.id,
+            target,
+            line: c.line,
+            col: c.col,
+            used: false,
+        });
+    }
+    (allows, meta)
+}
+
+// ---- rule: total-cmp ----
+
+fn rule_total_cmp(
+    rule: &Rule,
+    path: &str,
+    code: &[Token],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    for (i, &masked) in in_test.iter().enumerate().skip(1) {
+        if masked {
+            continue;
+        }
+        let Some(name) = ident_at(code, i) else {
+            continue;
+        };
+        if !SORT_FNS.contains(&name) || !is_punct(code, i - 1, '.') || !is_punct(code, i + 1, '(') {
+            continue;
+        }
+        let close = matching(code, i + 1, '(', ')');
+        for j in i + 2..close {
+            if ident_at(code, j) == Some("partial_cmp") {
+                out.push(Finding {
+                    rule: rule.id,
+                    path: path.to_string(),
+                    line: code[j].line,
+                    col: code[j].col,
+                    message: format!(
+                        "`partial_cmp` inside `{name}`: use `total_cmp` for a \
+                         deterministic, panic-free total order"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---- rule: ordered-iteration ----
+
+fn hash_bound_names(code: &[Token]) -> HashSet<String> {
+    let mut bound: HashSet<String> = HashSet::new();
+
+    // (a) `let [mut] name … ;` whose initializer/type mentions a hash type
+    for i in 0..code.len() {
+        if !code[i].kind.is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if ident_at(code, j) == Some("mut") {
+            j += 1;
+        }
+        let Some(name) = ident_at(code, j) else {
+            continue;
+        };
+        let (mut p, mut b, mut br) = (0i32, 0i32, 0i32);
+        let mut saw_hash = false;
+        let mut k = j;
+        while k < code.len() {
+            match &code[k].kind {
+                Kind::Ident(s) if HASH_TYPES.contains(&s.as_str()) => saw_hash = true,
+                Kind::Punct('(') => p += 1,
+                Kind::Punct(')') => {
+                    p -= 1;
+                    if p < 0 {
+                        break;
+                    }
+                }
+                Kind::Punct('[') => b += 1,
+                Kind::Punct(']') => b -= 1,
+                Kind::Punct('{') => br += 1,
+                Kind::Punct('}') => {
+                    br -= 1;
+                    if br < 0 {
+                        break;
+                    }
+                }
+                Kind::Punct(';') if p == 0 && b == 0 && br == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if saw_hash {
+            bound.insert(name.to_string());
+        }
+    }
+
+    // (b) `name: …Hash…` struct fields and fn params
+    for i in 0..code.len().saturating_sub(2) {
+        let Some(name) = ident_at(code, i) else {
+            continue;
+        };
+        if !is_punct(code, i + 1, ':') {
+            continue;
+        }
+        let (mut p, mut b) = (0i32, 0i32);
+        let mut saw_hash = false;
+        let mut k = i + 2;
+        while k < code.len() {
+            match &code[k].kind {
+                Kind::Ident(s) if HASH_TYPES.contains(&s.as_str()) => saw_hash = true,
+                Kind::Punct('(') => p += 1,
+                Kind::Punct(')') => {
+                    p -= 1;
+                    if p < 0 {
+                        break;
+                    }
+                }
+                Kind::Punct('[') => b += 1,
+                Kind::Punct(']') => b -= 1,
+                Kind::Punct(',' | ';' | '=' | '{' | '}') if p == 0 && b == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if saw_hash {
+            bound.insert(name.to_string());
+        }
+    }
+
+    // (c) enum variants wrapping a hash container, then their pattern
+    // bindings: `Sparse(FxHashMap<…>)` declares, `Sparse(m)` binds `m`.
+    let mut wrapping: HashSet<String> = HashSet::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].kind.is_ident("enum") {
+            i += 1;
+            continue;
+        }
+        let Some(open_rel) = code[i..].iter().position(|t| t.kind == Kind::Punct('{')) else {
+            break;
+        };
+        let open = i + open_rel;
+        let close = matching(code, open, '{', '}');
+        let mut k = open + 1;
+        while k < close {
+            if let Some(vname) = ident_at(code, k) {
+                if is_punct(code, k + 1, '(') {
+                    let vclose = matching(code, k + 1, '(', ')');
+                    let has_hash = code[k + 2..vclose].iter().any(
+                        |t| matches!(&t.kind, Kind::Ident(s) if HASH_TYPES.contains(&s.as_str())),
+                    );
+                    if has_hash {
+                        wrapping.insert(vname.to_string());
+                    }
+                    k = vclose + 1;
+                    continue;
+                }
+            }
+            k += 1;
+        }
+        i = close + 1;
+    }
+    if !wrapping.is_empty() {
+        for i in 0..code.len() {
+            let Some(v) = ident_at(code, i) else {
+                continue;
+            };
+            if !wrapping.contains(v) || !is_punct(code, i + 1, '(') {
+                continue;
+            }
+            let mut k = i + 2;
+            while is_punct(code, k, '&') || matches!(ident_at(code, k), Some("ref" | "mut")) {
+                k += 1;
+            }
+            if let Some(name) = ident_at(code, k) {
+                if is_punct(code, k + 1, ')') && !HASH_TYPES.contains(&name) {
+                    bound.insert(name.to_string());
+                }
+            }
+        }
+    }
+    bound
+}
+
+fn rule_ordered_iteration(
+    rule: &Rule,
+    path: &str,
+    code: &[Token],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    let bound = hash_bound_names(code);
+    let hashy = |s: &str| HASH_TYPES.contains(&s) || bound.contains(s);
+
+    // `.iter()`-family calls whose receiver chain reaches a hash name
+    for i in 1..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        let Some(m) = ident_at(code, i) else {
+            continue;
+        };
+        if !ITER_FNS.contains(&m) || !is_punct(code, i - 1, '.') || !is_punct(code, i + 1, '(') {
+            continue;
+        }
+        let mut hit = false;
+        let mut depth = 0i32;
+        let mut j = i as isize - 2;
+        while j >= 0 {
+            let t = &code[j as usize];
+            match &t.kind {
+                Kind::Punct(')' | ']') => depth += 1,
+                Kind::Punct('(' | '[') => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                Kind::Ident(s) => {
+                    if hashy(s) {
+                        hit = true;
+                    }
+                }
+                Kind::ColonColon | Kind::Punct('.' | '&' | '*' | '?') => {}
+                _ if depth > 0 => {}
+                _ => break,
+            }
+            j -= 1;
+        }
+        if hit {
+            out.push(Finding {
+                rule: rule.id,
+                path: path.to_string(),
+                line: code[i].line,
+                col: code[i].col,
+                message: format!(
+                    "`.{m}()` over a hash container in a determinism-critical \
+                     module: iteration order is arbitrary — iterate sorted data, \
+                     or justify order-independence with a lint:allow"
+                ),
+            });
+        }
+    }
+
+    // `for … in <expr containing a hash name> {`
+    for i in 0..code.len() {
+        if in_test[i] || !code[i].kind.is_ident("for") {
+            continue;
+        }
+        // `for<'a>` HRTB and `impl Trait for Type` are not loops.
+        if is_punct(code, i + 1, '<') {
+            continue;
+        }
+        if i > 0 {
+            let prev_is_gt = is_punct(code, i - 1, '>');
+            let arm_arrow = prev_is_gt && i >= 2 && is_punct(code, i - 2, '=');
+            if matches!(code[i - 1].kind, Kind::Ident(_)) || (prev_is_gt && !arm_arrow) {
+                continue;
+            }
+        }
+        // locate `in`, then the iterated expression up to the body `{`
+        let (mut p, mut b) = (0i32, 0i32);
+        let mut k = i + 1;
+        let mut in_idx = None;
+        while k < code.len() {
+            match &code[k].kind {
+                Kind::Ident(s) if s == "in" && p == 0 && b == 0 => {
+                    in_idx = Some(k);
+                    break;
+                }
+                Kind::Punct('(') => p += 1,
+                Kind::Punct(')') => p -= 1,
+                Kind::Punct('[') => b += 1,
+                Kind::Punct(']') => b -= 1,
+                Kind::Punct('{') if p == 0 && b == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(start) = in_idx else {
+            continue;
+        };
+        let (mut p, mut b) = (0i32, 0i32);
+        let mut k = start + 1;
+        let mut flagged = false;
+        while k < code.len() {
+            match &code[k].kind {
+                Kind::Punct('(') => p += 1,
+                Kind::Punct(')') => p -= 1,
+                Kind::Punct('[') => b += 1,
+                Kind::Punct(']') => b -= 1,
+                Kind::Punct('{') if p == 0 && b == 0 => break,
+                // An ident followed by `.` is a projection base, not the
+                // iterated value (`for c in &arms.cells` iterates `cells`);
+                // the chain end is its own ident here, and method chains
+                // ending in `.iter()`-family are the receiver walk's job.
+                Kind::Ident(s) if hashy(s) && !flagged && !is_punct(code, k + 1, '.') => {
+                    flagged = true;
+                    out.push(Finding {
+                        rule: rule.id,
+                        path: path.to_string(),
+                        line: code[i].line,
+                        col: code[i].col,
+                        message: "`for` over a hash container in a determinism-critical \
+                                  module: iteration order is arbitrary — iterate sorted \
+                                  data, or justify order-independence with a lint:allow"
+                            .to_string(),
+                    });
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+}
+
+// ---- rule: no-panic-on-input ----
+
+fn rule_no_panic(
+    rule: &Rule,
+    path: &str,
+    code: &[Token],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        let Some(name) = ident_at(code, i) else {
+            continue;
+        };
+        let method = PANIC_METHODS.contains(&name)
+            && i > 0
+            && (is_punct(code, i - 1, '.') || is_path_sep(code, i - 1))
+            && is_punct(code, i + 1, '(');
+        let mac = PANIC_MACROS.contains(&name) && is_punct(code, i + 1, '!');
+        if method || mac {
+            let shown = if mac {
+                format!("{name}!")
+            } else {
+                format!(".{name}()")
+            };
+            out.push(Finding {
+                rule: rule.id,
+                path: path.to_string(),
+                line: code[i].line,
+                col: code[i].col,
+                message: format!(
+                    "`{shown}` on an untrusted-input path: a crafted request or a \
+                     corrupt pack must surface as a typed error, never a panic"
+                ),
+            });
+        }
+    }
+}
+
+// ---- rule: safety-comment ----
+
+fn rule_safety_comment(
+    rule: &Rule,
+    path: &str,
+    code: &[Token],
+    in_test: &[bool],
+    comments: &[Token],
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..code.len() {
+        if in_test[i] || !code[i].kind.is_ident("unsafe") {
+            continue;
+        }
+        let line = code[i].line;
+        let documented = comments.iter().any(|c| {
+            let text = match &c.kind {
+                Kind::LineComment(t) | Kind::BlockComment(t) => t,
+                _ => return false,
+            };
+            text.contains("SAFETY:") && c.line + 3 >= line && c.line <= line
+        });
+        if !documented {
+            out.push(Finding {
+                rule: rule.id,
+                path: path.to_string(),
+                line,
+                col: code[i].col,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment explaining \
+                          why the invariants hold"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---- rule: no-silent-default ----
+
+fn rule_no_silent_default(
+    rule: &Rule,
+    path: &str,
+    code: &[Token],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    for i in 1..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        if ident_at(code, i) == Some("unwrap_or_default")
+            && is_punct(code, i - 1, '.')
+            && is_punct(code, i + 1, '(')
+        {
+            out.push(Finding {
+                rule: rule.id,
+                path: path.to_string(),
+                line: code[i].line,
+                col: code[i].col,
+                message: "`unwrap_or_default()` silently converts a failure into a \
+                          default value: handle the None/Err case explicitly"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---- rule: no-wall-clock ----
+
+fn rule_no_wall_clock(
+    rule: &Rule,
+    path: &str,
+    code: &[Token],
+    in_test: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..code.len() {
+        if in_test[i] {
+            continue;
+        }
+        let Some(ty) = ident_at(code, i) else {
+            continue;
+        };
+        if (ty == "SystemTime" || ty == "Instant")
+            && is_path_sep(code, i + 1)
+            && ident_at(code, i + 2) == Some("now")
+        {
+            out.push(Finding {
+                rule: rule.id,
+                path: path.to_string(),
+                line: code[i].line,
+                col: code[i].col,
+                message: format!(
+                    "`{ty}::now()` in an engine crate: results and artifacts must \
+                     not depend on wall-clock time (timing belongs in serve/bench)"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+        check_file(path, src)
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let src = "fn main() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { x.unwrap(); v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n\
+                   }\n";
+        assert!(rules_of("crates/serve/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_bad_and_does_not_suppress() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                       // lint:allow(no-panic-on-input)\n\
+                       x.unwrap()\n\
+                   }\n";
+        let rules = rules_of("crates/serve/src/wire.rs", src);
+        assert!(rules.contains(&(BAD_ALLOW, 2)), "{rules:?}");
+        assert!(rules.contains(&("no-panic-on-input", 3)), "{rules:?}");
+    }
+
+    #[test]
+    fn used_allow_suppresses_and_unused_allow_is_flagged() {
+        let good = "fn f(x: Option<u32>) -> u32 {\n\
+                        // lint:allow(no-panic-on-input): startup-only invariant\n\
+                        x.unwrap()\n\
+                    }\n";
+        assert!(rules_of("crates/serve/src/wire.rs", good).is_empty());
+        let stale = "// lint:allow(no-panic-on-input): nothing here anymore\n\
+                     fn f() -> u32 { 3 }\n";
+        assert_eq!(
+            rules_of("crates/serve/src/wire.rs", stale),
+            vec![(UNUSED_ALLOW, 1)]
+        );
+    }
+
+    #[test]
+    fn enum_variant_patterns_bind_hash_names() {
+        let src = "enum Storage { Dense(Vec<u64>), Sparse(FxHashMap<u64, u64>) }\n\
+                   fn visit(s: &Storage) {\n\
+                       match s {\n\
+                           Storage::Dense(v) => { for x in v {} }\n\
+                           Storage::Sparse(m) => { for kv in m {} }\n\
+                       }\n\
+                   }\n";
+        let rules = rules_of("crates/tabular/src/groupby.rs", src);
+        assert_eq!(rules, vec![("ordered-iteration", 5)], "{rules:?}");
+    }
+
+    #[test]
+    fn receiver_chains_reach_struct_fields() {
+        let src = "struct Inner { map: FxHashMap<u32, u32> }\n\
+                   fn f(inner: &Inner) -> Vec<u32> {\n\
+                       inner.map.keys().copied().collect()\n\
+                   }\n";
+        let rules = rules_of("crates/lewis-core/src/cache.rs", src);
+        assert_eq!(rules, vec![("ordered-iteration", 3)]);
+        // same file, Vec receiver: clean
+        let clean = "fn f(v: &Vec<u32>) -> Vec<u32> { v.iter().copied().collect() }\n";
+        assert!(rules_of("crates/lewis-core/src/cache.rs", clean).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Workspace discovery: find the root `Cargo.toml`, read its member
+//! list, and collect every member's `src/**/*.rs` (plus the root
+//! package's own `src/`).
+//!
+//! Integration-test directories (`tests/`), benches and examples are
+//! intentionally not collected — see [`crate::policy`].
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Walk upward from `start` to the nearest directory whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir: Option<&Path> = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d.to_path_buf());
+                }
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Extract the `members = [ "…", … ]` entries from a workspace
+/// manifest. A deliberately small hand parser (like everything in this
+/// crate): scans to the `members` key, then collects every quoted
+/// string up to the closing `]`.
+pub fn parse_members(manifest: &str) -> Vec<String> {
+    let Some(key) = manifest.find("members") else {
+        return Vec::new();
+    };
+    let rest = &manifest[key..];
+    let Some(open) = rest.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = rest[open..].find(']') else {
+        return Vec::new();
+    };
+    let list = &rest[open + 1..open + close];
+    let mut members = Vec::new();
+    let mut chars = list.chars();
+    while let Some(c) = chars.next() {
+        if c != '"' {
+            continue;
+        }
+        let mut name = String::new();
+        for c in chars.by_ref() {
+            if c == '"' {
+                break;
+            }
+            name.push(c);
+        }
+        members.push(name);
+    }
+    members
+}
+
+/// Every linted source file in the workspace rooted at `root`, as
+/// `(workspace-relative path with / separators, absolute path)`,
+/// sorted by relative path for deterministic reports.
+pub fn workspace_source_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut dirs: Vec<PathBuf> = vec![root.join("src")];
+    for member in parse_members(&manifest) {
+        dirs.push(root.join(member).join("src"));
+    }
+    let mut files = Vec::new();
+    for dir in dirs {
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    let mut out: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .filter_map(|abs| {
+            let rel = abs.strip_prefix(root).ok()?;
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            Some((rel, abs))
+        })
+        .collect();
+    out.sort();
+    out.dedup_by(|a, b| a.0 == b.0);
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_parse_from_a_real_manifest() {
+        let manifest = r#"
+[workspace]
+resolver = "2"
+members = [
+    "crates/tabular",
+    "crates/shims/rand",
+]
+"#;
+        assert_eq!(
+            parse_members(manifest),
+            vec!["crates/tabular", "crates/shims/rand"]
+        );
+        assert!(parse_members("[package]\nname = \"x\"").is_empty());
+    }
+
+    #[test]
+    fn finds_this_workspace_and_lints_itself() {
+        let here = std::env::current_dir().unwrap();
+        let root = find_workspace_root(&here).expect("workspace root");
+        let files = workspace_source_files(&root).unwrap();
+        assert!(files
+            .iter()
+            .any(|(rel, _)| rel == "crates/lint/src/workspace.rs"));
+        // tests/ dirs are not collected
+        assert!(!files.iter().any(|(rel, _)| rel.contains("/tests/")));
+    }
+}

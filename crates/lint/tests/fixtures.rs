@@ -1,0 +1,297 @@
+//! Fixture conformance suite for `lewis-lint`.
+//!
+//! For every rule: a violating fixture (position asserted down to the
+//! column), a clean twin, and a suppressed twin with a reasoned
+//! `lint:allow`. Plus the lexer edge cases that would fool a
+//! regex-based linter: identifiers hidden in raw strings, nested block
+//! comments, and the allow-grammar failure modes (missing reason,
+//! stale allow).
+
+use lewis_lint::{lint_source, Finding};
+
+/// Path where every rule applies (untrusted-input ∩ determinism-critical).
+const PACK: &str = "crates/store/src/pack.rs";
+const WIRE: &str = "crates/serve/src/wire.rs";
+const SCORES: &str = "crates/lewis-core/src/scores.rs";
+
+fn at(findings: &[Finding], rule: &str, line: u32, col: u32) -> bool {
+    findings
+        .iter()
+        .any(|f| f.rule == rule && f.line == line && f.col == col)
+}
+
+fn only_rule(findings: &[Finding], rule: &str) {
+    assert!(
+        !findings.is_empty() && findings.iter().all(|f| f.rule == rule),
+        "expected only {rule} findings, got {findings:?}"
+    );
+}
+
+// ---- R1 total-cmp ----
+
+#[test]
+fn total_cmp_violation_clean_allowed() {
+    let bad = "fn order(v: &mut Vec<f64>) {\n\
+               \x20   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+               }\n";
+    // R1 applies everywhere, even outside the named policy files.
+    let f = lint_source("crates/ml/src/metrics.rs", bad);
+    only_rule(&f, "total-cmp");
+    assert!(at(&f, "total-cmp", 2, 24), "{f:?}");
+
+    let clean = bad.replace(".partial_cmp(b).unwrap()", ".total_cmp(b)");
+    assert!(lint_source("crates/ml/src/metrics.rs", &clean).is_empty());
+
+    // partial_cmp *outside* a sort comparator is legitimate (e.g.
+    // NaN-rejecting validation) and must not be flagged.
+    let validation = "fn finite_and_positive(x: f64) -> bool {\n\
+                      \x20   matches!(x.partial_cmp(&0.0), Some(std::cmp::Ordering::Greater))\n\
+                      }\n";
+    assert!(lint_source("crates/ml/src/metrics.rs", validation).is_empty());
+
+    let allowed = "fn order(v: &mut Vec<f64>) {\n\
+                   \x20   // lint:allow(total-cmp): inputs pre-validated finite by caller\n\
+                   \x20   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                   }\n";
+    assert!(lint_source("crates/ml/src/metrics.rs", allowed).is_empty());
+}
+
+// ---- R2 ordered-iteration ----
+
+#[test]
+fn ordered_iteration_violation_clean_allowed() {
+    let bad = "use std::collections::HashMap;\n\
+               fn dump(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+               \x20   m.iter().map(|(_, v)| *v).collect()\n\
+               }\n";
+    let f = lint_source(SCORES, bad);
+    only_rule(&f, "ordered-iteration");
+    assert!(at(&f, "ordered-iteration", 3, 7), "{f:?}");
+
+    // Same source in a module outside the determinism-critical set: clean.
+    assert!(lint_source("crates/serve/src/metrics.rs", bad).is_empty());
+
+    // Iterating a Vec named like a plain value is clean even in scope.
+    let vec_iter = "fn dump(v: &[u32]) -> Vec<u32> { v.iter().copied().collect() }\n";
+    assert!(lint_source(SCORES, vec_iter).is_empty());
+
+    let allowed = "use std::collections::HashMap;\n\
+                   fn total(m: &HashMap<u32, u64>) -> u64 {\n\
+                   \x20   // lint:allow(ordered-iteration): u64 sum is commutative\n\
+                   \x20   m.values().sum()\n\
+                   }\n";
+    assert!(lint_source(SCORES, allowed).is_empty(), "allow consumed");
+}
+
+#[test]
+fn ordered_iteration_sees_for_loops_and_projections() {
+    let bad = "use std::collections::HashMap;\n\
+               fn f(m: &HashMap<u32, u32>) {\n\
+               \x20   for (k, v) in m {\n\
+               \x20       println!(\"{k} {v}\");\n\
+               \x20   }\n\
+               }\n";
+    let f = lint_source(SCORES, bad);
+    only_rule(&f, "ordered-iteration");
+    assert!(at(&f, "ordered-iteration", 3, 5), "{f:?}");
+
+    // `for c in &holder.cells` iterates the Vec field, not the hash
+    // container the struct also owns — must stay clean.
+    let projection = "use std::collections::HashMap;\n\
+                      struct Holder { index: HashMap<u32, u32>, cells: Vec<u32> }\n\
+                      fn f(holder: &Holder) -> u32 {\n\
+                      \x20   let mut s = 0;\n\
+                      \x20   for c in &holder.cells {\n\
+                      \x20       s += *c;\n\
+                      \x20   }\n\
+                      \x20   s + holder.index.len() as u32\n\
+                      }\n";
+    assert!(lint_source(SCORES, projection).is_empty());
+}
+
+// ---- R3 no-panic-on-input ----
+
+#[test]
+fn no_panic_violation_clean_allowed() {
+    let bad = "fn parse(b: &[u8]) -> u32 {\n\
+               \x20   let n = std::str::from_utf8(b).unwrap();\n\
+               \x20   n.parse().expect(\"digits\")\n\
+               }\n";
+    let f = lint_source(WIRE, bad);
+    only_rule(&f, "no-panic-on-input");
+    assert!(at(&f, "no-panic-on-input", 2, 36), "{f:?}");
+    assert!(at(&f, "no-panic-on-input", 3, 15), "{f:?}");
+    assert_eq!(f.len(), 2);
+
+    // Macros too, including `unreachable!`.
+    let mac = "fn f(x: u8) -> u8 {\n\
+               \x20   match x { 0 => 1, _ => unreachable!(\"checked\") }\n\
+               }\n";
+    only_rule(&lint_source(WIRE, mac), "no-panic-on-input");
+
+    // A user-defined method that happens to be called `expect` is not a
+    // panic site when invoked through a path with arguments like a parser
+    // combinator — but `.expect(` is; the rename in wire.rs relies on
+    // `expect_byte` not matching.
+    let renamed = "fn f(p: &mut P) -> Result<(), E> { p.expect_byte(b':') }\n";
+    assert!(lint_source(WIRE, renamed).is_empty());
+
+    let typed = "fn parse(b: &[u8]) -> Result<u32, E> {\n\
+                 \x20   let n = std::str::from_utf8(b).map_err(E::utf8)?;\n\
+                 \x20   n.parse().map_err(E::num)\n\
+                 }\n";
+    assert!(lint_source(WIRE, typed).is_empty());
+
+    let allowed = "fn f(m: &std::sync::Mutex<u32>) -> u32 {\n\
+                   \x20   // lint:allow(no-panic-on-input): poisoning implies a prior panic\n\
+                   \x20   *m.lock().expect(\"poisoned\")\n\
+                   }\n";
+    assert!(lint_source(WIRE, allowed).is_empty());
+
+    // Outside the untrusted-input file set the same code is clean.
+    assert!(lint_source("crates/lewis-core/src/engine.rs", bad).is_empty());
+}
+
+// ---- R4 safety-comment ----
+
+#[test]
+fn safety_comment_violation_clean() {
+    let bad = "fn f(p: *const u8) -> u8 {\n\
+               \x20   unsafe { *p }\n\
+               }\n";
+    let f = lint_source("crates/tabular/src/table.rs", bad);
+    only_rule(&f, "safety-comment");
+    assert!(at(&f, "safety-comment", 2, 5), "{f:?}");
+
+    let documented = "fn f(p: *const u8) -> u8 {\n\
+                      \x20   // SAFETY: caller guarantees p is valid for reads\n\
+                      \x20   unsafe { *p }\n\
+                      }\n";
+    assert!(lint_source("crates/tabular/src/table.rs", documented).is_empty());
+}
+
+// ---- R5 no-silent-default ----
+
+#[test]
+fn no_silent_default_violation_clean_allowed() {
+    let bad = "fn f(x: Option<String>) -> String { x.unwrap_or_default() }\n";
+    let f = lint_source("crates/serve/src/metrics.rs", bad);
+    only_rule(&f, "no-silent-default");
+    assert!(at(&f, "no-silent-default", 1, 39), "{f:?}");
+
+    let explicit = "fn f(x: Option<String>) -> String { x.unwrap_or_else(String::new) }\n";
+    assert!(lint_source("crates/serve/src/metrics.rs", explicit).is_empty());
+
+    let allowed = "fn f(x: Option<String>) -> String {\n\
+                   \x20   // lint:allow(no-silent-default): empty string is the documented fallback\n\
+                   \x20   x.unwrap_or_default()\n\
+                   }\n";
+    assert!(lint_source("crates/serve/src/metrics.rs", allowed).is_empty());
+}
+
+// ---- R6 no-wall-clock ----
+
+#[test]
+fn no_wall_clock_violation_clean_by_location() {
+    let bad = "fn stamp() -> std::time::Instant { std::time::Instant::now() }\n";
+    let f = lint_source("crates/lewis-core/src/engine.rs", bad);
+    only_rule(&f, "no-wall-clock");
+    assert!(at(&f, "no-wall-clock", 1, 47), "{f:?}");
+
+    let sys = "fn f() -> u64 {\n\
+               \x20   SystemTime::now().duration_since(UNIX_EPOCH).unwrap().as_secs()\n\
+               }\n";
+    only_rule(
+        &lint_source("crates/datasets/src/gen.rs", sys),
+        "no-wall-clock",
+    );
+
+    // Timing belongs in serve/bench: same code there is clean.
+    assert!(lint_source("crates/serve/src/server.rs", bad).is_empty());
+    assert!(lint_source("crates/bench/src/lib.rs", bad).is_empty());
+}
+
+// ---- lexer edge cases through the full pipeline ----
+
+#[test]
+fn raw_strings_hide_panic_identifiers() {
+    // `.unwrap()` and `partial_cmp` appear only inside string literals;
+    // a regex linter would flag all of them.
+    let src = "fn doc() -> (&'static str, &'static str) {\n\
+               \x20   let a = r#\"x.unwrap() and v.sort_by(|a, b| a.partial_cmp(b))\"#;\n\
+               \x20   let b = \"panic!(\\\"boom\\\") unreachable!()\";\n\
+               \x20   (a, b)\n\
+               }\n";
+    assert!(lint_source(WIRE, src).is_empty());
+    assert!(lint_source("crates/ml/src/tree.rs", src).is_empty());
+}
+
+#[test]
+fn nested_block_comments_stay_comments() {
+    let src = "/* outer /* inner x.unwrap() */ still comment v.sort_by(|a, b| \
+               a.partial_cmp(b).unwrap()) */\n\
+               fn ok() -> u32 { 3 }\n";
+    assert!(lint_source(WIRE, src).is_empty());
+}
+
+#[test]
+fn allow_with_missing_reason_is_rejected() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               \x20   // lint:allow(no-panic-on-input):\n\
+               \x20   x.unwrap()\n\
+               }\n";
+    let f = lint_source(WIRE, src);
+    // The malformed allow is itself a finding AND fails to suppress.
+    assert!(at(&f, "bad-allow", 2, 5), "{f:?}");
+    assert!(f.iter().any(|x| x.rule == "no-panic-on-input"), "{f:?}");
+}
+
+#[test]
+fn allow_for_unknown_rule_is_rejected() {
+    let src = "// lint:allow(no-such-rule): misspelled\n\
+               fn f() -> u32 { 3 }\n";
+    let f = lint_source(WIRE, src);
+    only_rule(&f, "bad-allow");
+    assert!(
+        f[0].message.contains("no-such-rule"),
+        "names the bad rule: {f:?}"
+    );
+}
+
+#[test]
+fn unused_allow_is_flagged() {
+    let src = "fn f() -> u32 {\n\
+               \x20   // lint:allow(no-panic-on-input): left over from a refactor\n\
+               \x20   3\n\
+               }\n";
+    let f = lint_source(WIRE, src);
+    only_rule(&f, "unused-allow");
+    assert!(at(&f, "unused-allow", 2, 5), "{f:?}");
+}
+
+#[test]
+fn doc_comments_may_quote_the_grammar() {
+    // `///` and `//!` are documentation: quoting an allow (or a rule
+    // name) there must create neither a suppression nor a bad-allow.
+    let src = "//! Suppress with `// lint:allow(total-cmp): reason`.\n\
+               /// See `lint:allow(ordered-iteration)` for the grammar.\n\
+               fn f() -> u32 { 3 }\n";
+    assert!(lint_source(SCORES, src).is_empty());
+}
+
+#[test]
+fn findings_in_one_file_are_position_sorted() {
+    let src = "fn f(x: Option<u32>, v: &mut Vec<f64>) -> u32 {\n\
+               \x20   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+               \x20   x.unwrap()\n\
+               }\n";
+    let f = lint_source(PACK, src);
+    let positions: Vec<(u32, u32)> = f.iter().map(|x| (x.line, x.col)).collect();
+    let mut sorted = positions.clone();
+    sorted.sort_unstable();
+    assert_eq!(positions, sorted);
+    // line 2 carries both the comparator finding and the unwrap finding
+    assert!(at(&f, "total-cmp", 2, 24), "{f:?}");
+    assert!(at(&f, "no-panic-on-input", 2, 39), "{f:?}");
+    assert!(at(&f, "no-panic-on-input", 3, 7), "{f:?}");
+}

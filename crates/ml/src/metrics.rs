@@ -31,7 +31,7 @@ pub fn roc_auc(probs: &[f64], truth: &[u32]) -> f64 {
         return 0.5;
     }
     let mut pairs: Vec<(f64, u32)> = probs.iter().copied().zip(truth.iter().copied()).collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN scores"));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Assign average ranks across score ties.
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0usize;

@@ -254,7 +254,7 @@ fn grow<R: Rng>(
     for &f in &features {
         order.clear();
         order.extend_from_slice(indices);
-        order.sort_unstable_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).expect("no NaN features"));
+        order.sort_unstable_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
         let mut left = Stats::new(target);
         let mut right = stats.clone();
         for pos in 0..order.len() - 1 {

@@ -118,12 +118,7 @@ impl MckpSolver {
             .into_iter()
             .map(|g| {
                 let mut items: Vec<Item> = g.items.into_iter().filter(|it| it.gain > 0.0).collect();
-                items.sort_by(|a, b| {
-                    a.cost
-                        .partial_cmp(&b.cost)
-                        .expect("finite")
-                        .then(b.gain.partial_cmp(&a.gain).expect("finite"))
-                });
+                items.sort_by(|a, b| a.cost.total_cmp(&b.cost).then(b.gain.total_cmp(&a.gain)));
                 Group { id: g.id, items }
             })
             .filter(|g| !g.items.is_empty())
@@ -133,7 +128,7 @@ impl MckpSolver {
         pruned.sort_by(|a, b| {
             let ga = a.items.iter().map(|i| i.gain).fold(0.0, f64::max);
             let gb = b.items.iter().map(|i| i.gain).fold(0.0, f64::max);
-            gb.partial_cmp(&ga).expect("finite")
+            gb.total_cmp(&ga)
         });
 
         let n = pruned.len();
@@ -150,7 +145,7 @@ impl MckpSolver {
             pool.sort_by(|a, b| {
                 let ra = a.cost / a.gain;
                 let rb = b.cost / b.gain;
-                ra.partial_cmp(&rb).expect("finite")
+                ra.total_cmp(&rb)
             });
             suffix_pool[i] = pool;
         }

@@ -168,7 +168,14 @@ impl EngineRegistry {
             "adult" => datasets::AdultDataset::generate(rows, seed),
             "compas" => datasets::CompasDataset::generate(rows, seed),
             "drug" => datasets::DrugDataset::generate(rows, seed),
-            _ => unreachable!("matched against BUILTINS"),
+            // BUILTINS membership was checked above, but a table/match
+            // drift must degrade to a config error, not a panic, on what
+            // is ultimately a request-supplied name
+            _ => {
+                return Err(ServeError::Config(format!(
+                    "built-in dataset {name:?} has no generator wired up"
+                )))
+            }
         };
         let datasets::Dataset {
             table: mut t,

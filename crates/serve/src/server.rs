@@ -111,13 +111,17 @@ pub fn serve(config: &ServerConfig, registry: Arc<EngineRegistry>) -> std::io::R
             std::thread::Builder::new()
                 .name(format!("lewis-serve-worker-{i}"))
                 .spawn(move || loop {
-                    let stream = match rx.lock().expect("worker queue lock").recv() {
-                        Ok(s) => s,
-                        Err(_) => break, // acceptor gone: drain and stop
+                    let stream = {
+                        // a poisoned queue mutex means a sibling worker
+                        // panicked mid-recv; stop serving, don't unwind
+                        let Ok(queue) = rx.lock() else { break };
+                        match queue.recv() {
+                            Ok(s) => s,
+                            Err(_) => break, // acceptor gone: drain and stop
+                        }
                     };
                     handle_connection(stream, &state, read_timeout);
-                })
-                .expect("spawn worker"),
+                })?,
         );
     }
 
@@ -143,8 +147,7 @@ pub fn serve(config: &ServerConfig, registry: Arc<EngineRegistry>) -> std::io::R
                         }
                     }
                     // dropping tx lets the workers drain and exit
-                })
-                .expect("spawn acceptor"),
+                })?,
         );
     }
 
@@ -331,6 +334,9 @@ fn list_engines(state: &ServerState) -> HttpResponse {
             let attributes: Vec<Json> = schema
                 .attr_ids()
                 .map(|a| {
+                    // lint:allow(no-panic-on-input): `a` comes from the
+                    // schema's own attr_ids iterator, not from the request;
+                    // an out-of-range id here is an engine-construction bug.
                     let domain = schema.domain(a).expect("attr in range");
                     Json::obj([
                         ("attr", Json::num(a.0)),

@@ -255,7 +255,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), WireError> {
         if self.bytes.get(self.pos) == Some(&b) {
             self.pos += 1;
             Ok(())
@@ -308,7 +308,7 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     let key = self.string()?;
                     self.skip_ws();
-                    self.expect(b':')?;
+                    self.expect_byte(b':')?;
                     self.skip_ws();
                     let val = self.value(depth + 1)?;
                     pairs.push((key, val));
@@ -337,7 +337,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, WireError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bytes.get(self.pos) {
@@ -393,11 +393,14 @@ impl<'a> Parser<'a> {
                 }
                 Some(&b) if b < 0x20 => return Err(self.error("raw control character in string")),
                 Some(_) => {
-                    // consume one UTF-8 scalar (input is a &str, so the
-                    // bytes are valid UTF-8 by construction)
+                    // consume one UTF-8 scalar; the input arrived as a
+                    // &str so this cannot fail today, but a parser over
+                    // untrusted bytes never gets to assume that
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).expect("input was a &str");
-                    let c = s.chars().next().expect("non-empty");
+                    let c = std::str::from_utf8(rest)
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| self.error("invalid UTF-8 in string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -457,7 +460,8 @@ impl<'a> Parser<'a> {
                 return Err(self.error("expected digits in exponent"));
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("non-ASCII byte in number"))?;
         let n: f64 = text
             .parse()
             .map_err(|_| self.error(format!("unparseable number {text:?}")))?;

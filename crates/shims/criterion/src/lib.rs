@@ -182,7 +182,7 @@ fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
         f(&mut b);
         samples.push(b.elapsed.as_secs_f64() / iters as f64);
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples.sort_by(|a, b| a.total_cmp(b));
     let min = samples[0];
     let median = samples[samples.len() / 2];
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;

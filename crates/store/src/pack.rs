@@ -179,7 +179,14 @@ impl Pack {
                 });
             }
             let tag = bytes[pos];
-            let len = u64::from_le_bytes(bytes[pos + 1..header_end].try_into().expect("8 bytes"));
+            let len_bytes: [u8; 8] =
+                bytes[pos + 1..header_end]
+                    .try_into()
+                    .map_err(|_| StoreError::Truncated {
+                        offset: pos,
+                        detail: "section header cut off".into(),
+                    })?;
+            let len = u64::from_le_bytes(len_bytes);
             let Ok(len) = usize::try_from(len) else {
                 return Err(StoreError::Truncated {
                     offset: pos,
@@ -198,8 +205,14 @@ impl Pack {
                 });
             };
             let payload = &bytes[header_end..header_end + len];
-            let stored =
-                u32::from_le_bytes(bytes[header_end + len..payload_end].try_into().expect("4"));
+            let stored_bytes: [u8; 4] =
+                bytes[header_end + len..payload_end]
+                    .try_into()
+                    .map_err(|_| StoreError::Truncated {
+                        offset: header_end + len,
+                        detail: "section checksum cut off".into(),
+                    })?;
+            let stored = u32::from_le_bytes(stored_bytes);
             if crc32(payload) != stored {
                 return Err(StoreError::ChecksumMismatch {
                     section: section_name(tag),
@@ -332,6 +345,9 @@ fn encode_schema(schema: &Schema) -> Vec<u8> {
     let mut out = Vec::new();
     out.put_u32(schema.len() as u32);
     for a in schema.attr_ids() {
+        // lint:allow(no-panic-on-input): encode runs on the in-memory
+        // engine being saved, not on pack bytes; `a` is the schema's own
+        // iterator so the lookup cannot miss.
         let attr = schema.attr(a).expect("attr in range");
         out.put_string(&attr.name);
         if let Some(labels) = attr.domain.labels() {
@@ -341,6 +357,9 @@ fn encode_schema(schema: &Schema) -> Vec<u8> {
                 out.put_string(l);
             }
         } else {
+            // lint:allow(no-panic-on-input): a Domain is categorical or
+            // binned by construction (labels() returned None just above),
+            // and this is the trusted save path, not the parser.
             let edges = attr.domain.edges().expect("categorical or binned");
             out.put_u8(DOMAIN_BINNED);
             out.put_u32(edges.len() as u32);
@@ -431,6 +450,8 @@ fn encode_table(table: &Table) -> Vec<u8> {
         let card = table
             .schema()
             .cardinality(AttrId(i as u32))
+            // lint:allow(no-panic-on-input): trusted save path; the column
+            // index enumerates the table's own schema.
             .expect("attr in range");
         let width = column_width(card);
         out.put_u8(width as u8);

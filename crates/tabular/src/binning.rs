@@ -65,7 +65,7 @@ impl Binner {
                     return Err(TabularError::EmptySelection("no samples to bin".into()));
                 }
                 let mut sorted = samples.to_vec();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in binned data"));
+                sorted.sort_by(|a, b| a.total_cmp(b));
                 let mut e = Vec::with_capacity(n_bins + 1);
                 for i in 0..=n_bins {
                     let q = i as f64 / n_bins as f64;

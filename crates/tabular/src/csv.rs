@@ -14,35 +14,52 @@ use crate::Result;
 use std::path::Path;
 
 /// Serialize a table to CSV with a header row of attribute names.
-pub fn write_csv_string(table: &Table) -> String {
+///
+/// A cell whose stored code falls outside its column's domain — possible
+/// only if table invariants were broken, since [`Table::push_row`]
+/// validates every cell — surfaces as a located [`TabularError::Cell`]
+/// instead of silently writing an empty or placeholder field.
+pub fn write_csv_string(table: &Table) -> Result<String> {
     let schema = table.schema();
     let mut out = String::new();
     let header: Vec<String> = schema.attr_ids().map(|a| escape(schema.name(a))).collect();
     out.push_str(&header.join(","));
     out.push('\n');
-    for row in table.rows() {
-        let fields: Vec<String> = schema
-            .attr_ids()
-            .zip(&row)
-            .map(|(a, &v)| {
-                let label = schema
-                    .attr(a)
-                    .map(|at| at.domain.label(v))
-                    .unwrap_or_default();
-                escape(&label)
-            })
-            .collect();
+    for (r, row) in table.rows().enumerate() {
+        let mut fields: Vec<String> = Vec::with_capacity(row.len());
+        for (a, &v) in schema.attr_ids().zip(&row) {
+            fields.push(escape(&cell_label(schema, r, a, v)?));
+        }
         out.push_str(&fields.join(","));
         out.push('\n');
     }
-    out
+    Ok(out)
+}
+
+/// Decode one cell to its label, or say exactly which cell is corrupt.
+fn cell_label(
+    schema: &Schema,
+    row: usize,
+    attr: crate::AttrId,
+    value: crate::Value,
+) -> Result<String> {
+    let at = schema.attr(attr)?;
+    if !at.domain.contains(value) {
+        return Err(TabularError::Cell {
+            row,
+            attr: attr.0,
+            value,
+            cardinality: at.domain.cardinality(),
+        });
+    }
+    Ok(at.domain.label(value))
 }
 
 /// Write a table to a CSV file (see [`write_csv_string`] for the format).
 /// Filesystem failures surface as [`TabularError::Io`] with the path.
 pub fn write_csv_file(table: &Table, path: impl AsRef<Path>) -> Result<()> {
     let path = path.as_ref();
-    std::fs::write(path, write_csv_string(table)).map_err(|e| TabularError::io(path, e))
+    std::fs::write(path, write_csv_string(table)?).map_err(|e| TabularError::io(path, e))
 }
 
 /// Read a table from a CSV file (see [`read_csv_str`] for the inference
@@ -202,7 +219,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_cells() {
         let t = demo_table();
-        let csv = write_csv_string(&t);
+        let csv = write_csv_string(&t).unwrap();
         let back = read_csv_str(&csv).unwrap();
         assert_eq!(back.n_rows(), 3);
         assert_eq!(back.schema().name(AttrId(0)), "color");
@@ -265,6 +282,31 @@ mod tests {
         assert!(matches!(
             write_csv_file(&demo_table(), unwritable),
             Err(TabularError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_cell_is_located_not_defaulted() {
+        // Out-of-domain cells cannot be built through the public API
+        // (push_row validates), so exercise the decode helper directly:
+        // the old code silently wrote "" for them, now the error names
+        // the exact cell.
+        let mut s = Schema::new();
+        s.push("x", Domain::categorical(["a", "b"]));
+        let err = cell_label(&s, 3, AttrId(0), 7).unwrap_err();
+        assert_eq!(
+            err,
+            TabularError::Cell {
+                row: 3,
+                attr: 0,
+                value: 7,
+                cardinality: 2
+            }
+        );
+        assert_eq!(cell_label(&s, 0, AttrId(0), 1).unwrap(), "b");
+        assert!(matches!(
+            cell_label(&s, 0, AttrId(9), 0),
+            Err(TabularError::UnknownAttribute { .. })
         ));
     }
 

@@ -19,6 +19,15 @@ pub enum TabularError {
         value: u32,
         cardinality: usize,
     },
+    /// A stored cell held a code its column's domain cannot label —
+    /// broken table invariants surfaced during export, located by row
+    /// and column so the corruption can be found.
+    Cell {
+        row: usize,
+        attr: u32,
+        value: u32,
+        cardinality: usize,
+    },
     /// A row had the wrong number of fields.
     ArityMismatch { expected: usize, got: usize },
     /// Two tables/schemas that must match do not.
@@ -64,6 +73,16 @@ impl fmt::Display for TabularError {
             } => write!(
                 f,
                 "value code {value} out of domain for attribute {attr} (cardinality {cardinality})"
+            ),
+            TabularError::Cell {
+                row,
+                attr,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "cell at row {row}, attribute {attr} holds code {value} \
+                 outside its domain (cardinality {cardinality})"
             ),
             TabularError::ArityMismatch { expected, got } => {
                 write!(

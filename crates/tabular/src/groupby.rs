@@ -163,14 +163,17 @@ impl Counter {
             ));
         }
         match (&mut self.storage, &other.storage) {
-            (Storage::Dense(a), Storage::Dense(b)) => {
-                for (x, &y) in a.iter_mut().zip(b) {
+            (Storage::Dense(dst), Storage::Dense(src)) => {
+                for (x, &y) in dst.iter_mut().zip(src) {
                     *x += y;
                 }
             }
-            (Storage::Sparse(a), Storage::Sparse(b)) => {
-                for (&key, &n) in b {
-                    *a.entry(key).or_insert(0) += n;
+            (Storage::Sparse(sink), Storage::Sparse(other)) => {
+                // lint:allow(ordered-iteration): u64 addition into an entry
+                // keyed by packed value codes is commutative, so the merged
+                // counts are identical for every visit order.
+                for (&key, &n) in other {
+                    *sink.entry(key).or_insert(0) += n;
                 }
             }
             // storage kind is a pure function of the grid size, which
@@ -271,6 +274,9 @@ impl Counter {
             }
             Storage::Sparse(m) => {
                 let mut values = vec![0 as Value; self.attrs.len()];
+                // lint:allow(ordered-iteration): callers that need an order
+                // (scores.rs freezing passes) sort what they build from this
+                // visit; the closure contract promises no order.
                 for (&key, &n) in m {
                     self.unpack_into(key, &mut values);
                     f(&values, n);

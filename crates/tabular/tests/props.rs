@@ -30,7 +30,7 @@ proptest! {
         for r in rows {
             t.push_row(&[(r % uniq.len()) as u32]).unwrap();
         }
-        let csv = write_csv_string(&t);
+        let csv = write_csv_string(&t).expect("valid table exports");
         let back = read_csv_str(&csv).unwrap();
         prop_assert_eq!(back.n_rows(), t.n_rows());
         for r in 0..t.n_rows() {
