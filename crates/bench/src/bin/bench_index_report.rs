@@ -1,0 +1,200 @@
+//! Produce the `BENCH_index.json` payload: bitmap-index counting vs row
+//! scans on the seeded 1M-row `german_syn_scaled` workload — cold
+//! counting-pass latency, support-probe latency, index build cost and
+//! memory, and engine-level cold local-query percentiles — printed as
+//! JSON on stdout.
+//!
+//! Run from the repo root (release!):
+//! `cargo run --release -p bench --bin bench_index_report > BENCH_index.json`
+
+use lewis_core::blackbox::label_table;
+use lewis_core::{Engine, ExplainRequest};
+use lewis_index::TableIndex;
+use std::sync::Arc;
+use std::time::Instant;
+use tabular::{Context, Counter};
+
+const ROWS: usize = 1_000_000;
+const SEED: u64 = 42;
+const ITERATIONS: usize = 7;
+const LOCAL_QUERIES: usize = 20;
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn percentile(mut samples: Vec<f64>, p: f64) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
+fn main() {
+    let threads = rayon::current_num_threads();
+
+    let t0 = Instant::now();
+    let mut d = datasets::german_syn_scaled(ROWS, SEED);
+    let generate_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let outcome = d.outcome;
+    let pred = label_table(
+        &mut d.table,
+        &|row: &[tabular::Value]| u32::from(row[outcome.index()] >= 5),
+        "pred",
+    )
+    .unwrap();
+    let table = Arc::new(d.table);
+
+    let t_build = Instant::now();
+    let index = TableIndex::build(&table, 4).unwrap();
+    let index_build_ms = t_build.elapsed().as_secs_f64() * 1e3;
+    let index_bytes = index.memory_bytes();
+
+    // representative counting pass: adjustment cell × intervened × pred
+    let attrs = [
+        datasets::GermanSynDataset::AGE,
+        datasets::GermanSynDataset::STATUS,
+        pred,
+    ];
+    let ctx = Context::empty();
+    let probe = Context::of([(datasets::GermanSynDataset::STATUS, 1), (pred, 1)]);
+
+    // parity first: the indexed pass equals the scan exactly
+    let scanned = Counter::build(&table, &attrs, &ctx).unwrap();
+    let indexed = index
+        .counting_pass(&table, &attrs, &ctx)
+        .unwrap()
+        .expect("small grid routes through the index");
+    assert_eq!(indexed.total(), scanned.total());
+    assert_eq!(indexed.nonzero_groups(), scanned.nonzero_groups());
+    assert_eq!(index.count(&probe), Some(table.count(&probe) as u64));
+
+    let mut scan_ms = Vec::new();
+    let mut index_ms = Vec::new();
+    for _ in 0..ITERATIONS {
+        let t = Instant::now();
+        let c = Counter::build(&table, &attrs, &ctx).unwrap();
+        scan_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(c.total(), ROWS as u64);
+        let t = Instant::now();
+        let c = index.counting_pass(&table, &attrs, &ctx).unwrap().unwrap();
+        index_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(c.total(), ROWS as u64);
+    }
+    let scan_pass = median(scan_ms);
+    let index_pass = median(index_ms);
+
+    let mut scan_probe_us = Vec::new();
+    let mut index_probe_us = Vec::new();
+    for _ in 0..ITERATIONS {
+        let t = Instant::now();
+        let n = table.count(&probe);
+        scan_probe_us.push(t.elapsed().as_secs_f64() * 1e6);
+        let t = Instant::now();
+        let m = index.count(&probe).unwrap();
+        index_probe_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(m, n as u64);
+    }
+    let scan_probe = median(scan_probe_us);
+    let index_probe = median(index_probe_us);
+
+    // engine level: cold local queries — the context back-off makes many
+    // support probes per query, none of which hit the pass cache
+    let features = d.features.clone();
+    let graph = d.scm.graph().clone();
+    let build_engine = |enabled: bool| {
+        Engine::builder(Arc::clone(&table))
+            .graph(&graph)
+            .prediction(pred, 1)
+            .features(&features)
+            .shards(4)
+            .index(enabled)
+            .build()
+            .unwrap()
+    };
+    let scan_engine = build_engine(false);
+    let index_engine = build_engine(true);
+
+    let requests: Vec<ExplainRequest> = (0..LOCAL_QUERIES)
+        .map(|i| ExplainRequest::Local {
+            row: table.row(i * (ROWS / LOCAL_QUERIES) + 17).unwrap(),
+        })
+        .collect();
+    let mut local = Vec::new(); // (engine label, p50, p95) rows
+    for (label, engine) in [("scan", &scan_engine), ("index", &index_engine)] {
+        let mut ms = Vec::new();
+        let mut answers = Vec::new();
+        for request in &requests {
+            engine.clear_cache();
+            let t = Instant::now();
+            let a = engine.run(request);
+            ms.push(t.elapsed().as_secs_f64() * 1e3);
+            answers.push(format!("{a:?}"));
+        }
+        local.push((
+            label,
+            percentile(ms.clone(), 0.50),
+            percentile(ms, 0.95),
+            answers,
+        ));
+    }
+    assert_eq!(
+        local[0].3, local[1].3,
+        "indexed engine must answer byte-identically"
+    );
+
+    // cold global too, for continuity with BENCH_shard.json
+    let mut global_ms = Vec::new();
+    for engine in [&scan_engine, &index_engine] {
+        let mut ms = Vec::new();
+        for _ in 0..ITERATIONS {
+            engine.clear_cache();
+            let t = Instant::now();
+            let g = engine.global().unwrap();
+            ms.push(t.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(g.attributes.len(), features.len());
+        }
+        global_ms.push(median(ms));
+    }
+
+    let throughput = |ms: f64| (ROWS as f64 / (ms / 1e3)) / 1e6;
+    println!("{{");
+    println!(
+        "  \"description\": \"Per-(feature, code) bitmap indexes on the seeded 1M-row german_syn_scaled workload: cold counting passes and support probes as AND+popcount vs row scans, plus engine-level cold local and global queries. Indexed and scanned results are bit-identical by construction (asserted before timing).\","
+    );
+    println!(
+        "  \"environment\": {{\"cpus\": {threads}, \"iterations\": {ITERATIONS}, \"statistic\": \"median\"}},"
+    );
+    println!("  \"command\": \"cargo run --release -p bench --bin bench_index_report\",");
+    println!("  \"workload\": {{\"rows\": {ROWS}, \"seed\": {SEED}, \"generate_ms\": {generate_ms:.1}}},");
+    println!(
+        "  \"index\": {{\"shards\": 4, \"build_ms\": {index_build_ms:.1}, \"memory_bytes\": {index_bytes}}},"
+    );
+    println!("  \"counting_pass\": {{");
+    println!(
+        "    \"scan\": {{\"ms\": {scan_pass:.3}, \"mrows_per_s\": {:.1}}},",
+        throughput(scan_pass)
+    );
+    println!(
+        "    \"index\": {{\"ms\": {index_pass:.3}, \"mrows_per_s\": {:.1}, \"speedup_vs_scan\": {:.1}}}",
+        throughput(index_pass),
+        scan_pass / index_pass
+    );
+    println!("  }},");
+    println!("  \"support_probe\": {{");
+    println!("    \"scan\": {{\"us\": {scan_probe:.1}}},");
+    println!(
+        "    \"index\": {{\"us\": {index_probe:.1}, \"speedup_vs_scan\": {:.1}}}",
+        scan_probe / index_probe
+    );
+    println!("  }},");
+    println!(
+        "  \"cold_local_query\": {{\"queries\": {LOCAL_QUERIES}, \"scan\": {{\"p50_ms\": {:.1}, \"p95_ms\": {:.1}}}, \"index\": {{\"p50_ms\": {:.2}, \"p95_ms\": {:.2}}}}},",
+        local[0].1, local[0].2, local[1].1, local[1].2
+    );
+    println!(
+        "  \"cold_global_query\": {{\"scan_ms\": {:.1}, \"index_ms\": {:.1}}}",
+        global_ms[0], global_ms[1]
+    );
+    println!("}}");
+}

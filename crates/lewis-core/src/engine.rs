@@ -70,6 +70,16 @@ fn default_shards() -> usize {
         .map_or(1, |n| n.max(1))
 }
 
+/// Whether new engines build a bitmap index by default: no, unless the
+/// `LEWIS_TEST_INDEX` environment variable is set to `1`. Like
+/// [`default_shards`], the override exists so CI can run the entire
+/// test suite with indexed counting — indexed and scanned passes are
+/// bit-identical by construction, so every test must pass either way.
+/// [`EngineBuilder::index`] always wins over the env.
+fn default_index() -> bool {
+    std::env::var("LEWIS_TEST_INDEX").is_ok_and(|v| v == "1")
+}
+
 /// One explanation query, ready to be answered by [`Engine::run`].
 ///
 /// The variants mirror the paper's query taxonomy (§3.2): the context
@@ -166,6 +176,7 @@ pub struct EngineBuilder {
     min_support: usize,
     cache_capacity: usize,
     shards: usize,
+    index: bool,
 }
 
 impl EngineBuilder {
@@ -180,6 +191,7 @@ impl EngineBuilder {
             min_support: DEFAULT_MIN_SUPPORT,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             shards: default_shards(),
+            index: default_index(),
         }
     }
 
@@ -252,6 +264,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Build a per-(feature, code) bitmap index at construction time
+    /// (default off, or on when `LEWIS_TEST_INDEX=1` is set). With an
+    /// index, counting passes and support probes become word-level
+    /// `AND` + popcount intersections whenever the index's cost model
+    /// says that is cheaper than a row scan. Results are
+    /// **bit-identical** with and without the index (property-tested in
+    /// `tests/index_parity.rs`); only cold-query wall-clock changes.
+    #[must_use]
+    pub fn index(mut self, enabled: bool) -> Self {
+        self.index = enabled;
+        self
+    }
+
     /// Validate the configuration and build the engine (infers the
     /// per-feature value orderings up front, like the paper's offline
     /// phase).
@@ -272,7 +297,8 @@ impl EngineBuilder {
         }
         let est =
             ScoreEstimator::from_shared(self.table, self.graph, pred, self.positive, self.alpha)?
-                .with_shards(self.shards);
+                .with_shards(self.shards)
+                .with_index(self.index)?;
         let mut orders = vec![None; est.table().schema().len()];
         for &a in &features {
             let order = infer_value_order(est.table(), a, pred, self.positive)?;
@@ -334,6 +360,16 @@ impl Engine {
     /// Row shards every counting pass fans over (1 = single pass).
     pub fn shards(&self) -> usize {
         self.est.shards()
+    }
+
+    /// Whether a per-(feature, code) bitmap index is installed.
+    pub fn index_enabled(&self) -> bool {
+        self.est.index().is_some()
+    }
+
+    /// Heap bytes held by the bitmap index (0 without one).
+    pub fn index_memory_bytes(&self) -> u64 {
+        self.est.index().map_or(0, |i| i.memory_bytes())
     }
 
     /// The inferred (ascending) value order of a feature.
@@ -401,6 +437,7 @@ impl Engine {
                 misses,
                 passes,
             },
+            index: self.est.index().map(Arc::clone),
         }
     }
 
@@ -427,6 +464,7 @@ impl Engine {
             features,
             orders,
             cache,
+            index,
         } = snapshot;
         // An out-of-range shard count can only come from a hand-crafted
         // (or corrupted) snapshot: reject it rather than silently
@@ -437,8 +475,19 @@ impl Engine {
                 tabular::MAX_SHARDS
             )));
         }
-        let est =
+        let mut est =
             ScoreEstimator::from_shared(table, graph, pred, positive, alpha)?.with_shards(shards);
+        // An index that disagrees with the table (row count or
+        // per-attribute cardinalities) can only come from a mismatched
+        // pairing: reject it rather than serve wrong counts.
+        if let Some(index) = index {
+            if !index.matches(est.table()) {
+                return Err(LewisError::Invalid(
+                    "snapshot: bitmap index does not match the table".into(),
+                ));
+            }
+            est.install_index(index);
+        }
         let schema = est.table().schema();
         if features.is_empty() {
             return Err(LewisError::Invalid(
@@ -1086,6 +1135,56 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(e1.shards(), 1);
+    }
+
+    #[test]
+    fn index_setting_threads_through_build_snapshot_restore() {
+        let (t, pred) = setup(500);
+        let e = Engine::builder(t)
+            .prediction(pred, 1)
+            .features(&[AttrId(0), AttrId(1)])
+            .index(true)
+            .build()
+            .unwrap();
+        assert!(e.index_enabled());
+        assert!(e.index_memory_bytes() > 0);
+        let snap = e.snapshot();
+        assert!(snap.index.is_some());
+        let restored = Engine::restore(snap).unwrap();
+        assert!(restored.index_enabled());
+        assert_eq!(e.global().unwrap(), restored.global().unwrap());
+        // an index paired with the wrong table is rejected, not served
+        let mut bad = e.snapshot();
+        let (other, _) = setup(123);
+        bad.table = Arc::new(other);
+        assert!(Engine::restore(bad).is_err());
+    }
+
+    #[test]
+    fn indexed_engines_answer_bit_identically() {
+        let (t, pred) = setup(3000);
+        let t = Arc::new(t);
+        let build = |indexed: bool| {
+            Engine::builder(Arc::clone(&t))
+                .prediction(pred, 1)
+                .features(&[AttrId(0), AttrId(1), AttrId(2)])
+                .index(indexed)
+                .build()
+                .unwrap()
+        };
+        let plain = build(false);
+        let indexed = build(true);
+        // the builder setting wins over any LEWIS_TEST_INDEX env value
+        assert!(!plain.index_enabled());
+        assert!(indexed.index_enabled());
+        assert_eq!(plain.global().unwrap(), indexed.global().unwrap());
+        let row = t.row(0).unwrap();
+        assert_eq!(plain.local(&row).unwrap(), indexed.local(&row).unwrap());
+        let k = Context::of([(AttrId(0), 1)]);
+        assert_eq!(
+            plain.contextual(AttrId(1), &k).unwrap(),
+            indexed.contextual(AttrId(1), &k).unwrap()
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use crate::cache::CountingCache;
 use crate::{LewisError, Result};
 use causal::Dag;
+use lewis_index::TableIndex;
 use std::sync::Arc;
 use tabular::{AttrId, Context, Counter, ShardedTable, Table, Value};
 
@@ -152,6 +153,11 @@ pub struct ScoreEstimator {
     /// estimator's lifetime, so they are computed once here instead of
     /// per counting pass (the hottest path in the system).
     sharded: Option<ShardedTable>,
+    /// Per-(attribute, code) bitmap index, when enabled. Counting
+    /// passes and support probes route through it whenever its cost
+    /// model says the popcount walk is cheaper than a scan; both paths
+    /// are bit-identical, so the routing never changes a result.
+    index: Option<Arc<TableIndex>>,
 }
 
 impl ScoreEstimator {
@@ -229,6 +235,7 @@ impl ScoreEstimator {
             alpha,
             shards: 1,
             sharded: None,
+            index: None,
         })
     }
 
@@ -251,11 +258,62 @@ impl ScoreEstimator {
         self.shards
     }
 
+    /// Build (or drop) the per-(attribute, code) bitmap index. The
+    /// index is sharded along the same boundaries as the counting
+    /// passes, so call this **after** [`ScoreEstimator::with_shards`].
+    /// Indexed counting passes and support probes are bit-identical to
+    /// their scan equivalents (property-tested in
+    /// `tests/index_parity.rs`); the index only changes wall-clock.
+    pub fn with_index(mut self, enabled: bool) -> Result<Self> {
+        self.index = if enabled {
+            Some(Arc::new(
+                TableIndex::build(&self.table, self.shards).map_err(LewisError::from)?,
+            ))
+        } else {
+            None
+        };
+        Ok(self)
+    }
+
+    /// Install an already-built index (the snapshot-restore path).
+    /// Callers must have validated `index.matches(table)` first.
+    pub(crate) fn install_index(&mut self, index: Arc<TableIndex>) {
+        self.index = Some(index);
+    }
+
+    /// The bitmap index, when one is enabled.
+    pub fn index(&self) -> Option<&Arc<TableIndex>> {
+        self.index.as_ref()
+    }
+
+    /// `|rows matching ctx|`, served from the bitmap index when one is
+    /// present (word-level AND + popcount per shard, summed in shard
+    /// order) and from a table scan otherwise. Both paths count the
+    /// same integer — this is the support probe under every
+    /// local-context back-off step and Fréchet bound.
+    pub(crate) fn support_count(&self, ctx: &Context) -> usize {
+        if let Some(index) = &self.index {
+            if let Some(n) = index.count(ctx) {
+                return n as usize;
+            }
+        }
+        self.table.count(ctx)
+    }
+
     /// One counting pass over `attrs` within `k`, honoring the
     /// estimator's shard setting — the single chokepoint every
     /// diagnostic and score in this crate counts through, so "fans over
     /// shards" holds for all of them, not just the arm-table path.
     pub(crate) fn counting_pass(&self, attrs: &[AttrId], k: &Context) -> Result<Counter> {
+        // The bitmap index gets first refusal: when its cost model says
+        // the popcount walk is cheaper than a row scan it returns the
+        // bit-identical counter without touching the rows; otherwise it
+        // returns `None` and the pass falls through to the scan below.
+        if let Some(index) = &self.index {
+            if let Some(counter) = index.counting_pass(&self.table, attrs, k)? {
+                return Ok(counter);
+            }
+        }
         let counter = match &self.sharded {
             Some(sharded) => Counter::build_sharded(sharded, attrs, k)?,
             None => Counter::build(&self.table, attrs, k)?,
@@ -683,12 +741,12 @@ impl ScoreEstimator {
             .map_err(LewisError::from)
         };
         // joint probabilities within k
-        let n_k = self.table.count(k) as f64;
+        let n_k = self.support_count(k) as f64;
         if n_k == 0.0 {
             return Err(LewisError::Unsupported("no rows match the context".into()));
         }
         let joint = |x_val: Value, out: Value| -> f64 {
-            self.table.count(&k.with(attr, x_val).with(self.pred, out)) as f64 / n_k
+            self.support_count(&k.with(attr, x_val).with(self.pred, out)) as f64 / n_k
         };
 
         let (lower, upper) = match kind {
@@ -779,7 +837,7 @@ impl ScoreEstimator {
         let mut kept = candidates;
         loop {
             let ctx = Context::of(kept.iter().map(|a| (*a, row[a.index()])));
-            if kept.is_empty() || self.table.count(&ctx) >= min_support {
+            if kept.is_empty() || self.support_count(&ctx) >= min_support {
                 return ctx;
             }
             kept.pop();

@@ -27,6 +27,7 @@
 //! [`Engine::restore`]: crate::Engine::restore
 
 use causal::Dag;
+use lewis_index::TableIndex;
 use std::sync::Arc;
 use tabular::{AttrId, Context, Table, Value};
 
@@ -112,4 +113,9 @@ pub struct EngineSnapshot {
     pub orders: Vec<Option<Vec<Value>>>,
     /// The warm counting-pass cache.
     pub cache: CacheSnapshot,
+    /// The per-(attribute, code) bitmap index, when the donor had one
+    /// (shared, not copied). Restore validates it against the table and
+    /// installs it verbatim, so a restored engine skips the index
+    /// rebuild just like it skips re-warming the cache.
+    pub index: Option<Arc<TableIndex>>,
 }

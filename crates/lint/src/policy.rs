@@ -43,6 +43,7 @@ const UNTRUSTED_INPUT_FILES: &[&str] = &[
     "crates/serve/src/registry.rs",
     "crates/store/src/bytes.rs",
     "crates/store/src/pack.rs",
+    "crates/index/src/codec.rs",
 ];
 
 /// Modules where f64 summation order or serialized byte order could
@@ -57,6 +58,8 @@ const DETERMINISM_CRITICAL_FILES: &[&str] = &[
     "crates/lewis-core/src/cache.rs",
     "crates/lewis-core/src/snapshot.rs",
     "crates/store/src/pack.rs",
+    "crates/index/src/lib.rs",
+    "crates/index/src/codec.rs",
 ];
 
 /// Crates doing pure computation: wall-clock reads here would make
@@ -71,6 +74,7 @@ const ENGINE_CRATE_PREFIXES: &[&str] = &[
     "crates/optim/",
     "crates/datasets/",
     "crates/store/",
+    "crates/index/",
 ];
 
 /// The rule catalogue. Ids are the names accepted by

@@ -29,6 +29,10 @@ COMPILE OPTIONS:
                           a warm counting cache (default 256; 0 = cold)
     --shards N            fan counting passes over N row shards (recorded
                           in the pack; answers are identical for any N)
+    --index               build per-(feature, code) bitmap indexes and ship
+                          them in the pack: cold counting queries become
+                          popcount intersections instead of row scans
+                          (answers are identical either way)
     --seed N              seed for --warm and --builtin generation
                           (default 42)
 
@@ -120,6 +124,7 @@ fn compile(mut args: std::iter::Skip<std::env::Args>) {
     let mut discover = false;
     let mut warm = 256usize;
     let mut shards: Option<usize> = None;
+    let mut index = false;
     let mut seed = 42u64;
 
     while let Some(arg) = args.next() {
@@ -159,6 +164,7 @@ fn compile(mut args: std::iter::Skip<std::env::Args>) {
                         .unwrap_or_else(|_| fail("--shards expects an integer")),
                 )
             }
+            "--index" => index = true,
             "--seed" => {
                 seed = value("--seed")
                     .parse()
@@ -175,6 +181,9 @@ fn compile(mut args: std::iter::Skip<std::env::Args>) {
     let mut registry = EngineRegistry::new();
     if let Some(shards) = shards {
         registry.set_default_shards(shards);
+    }
+    if index {
+        registry.set_default_index(true);
     }
     match (&csv, &builtin) {
         (Some(_), Some(_)) => fail("--csv and --builtin are mutually exclusive"),
@@ -231,8 +240,16 @@ fn compile(mut args: std::iter::Skip<std::env::Args>) {
 }
 
 fn inspect(path: &str) {
-    let pack = match Pack::read_file(path) {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let pack = match Pack::from_bytes(&bytes) {
         Ok(p) => p,
+        Err(e) => fail(&e.to_string()),
+    };
+    let sections = match lewis_store::section_sizes(&bytes) {
+        Ok(s) => s,
         Err(e) => fail(&e.to_string()),
     };
     let s = &pack.snapshot;
@@ -261,4 +278,23 @@ fn inspect(path: &str) {
         s.cache.misses,
         s.cache_capacity,
     );
+    match &s.index {
+        Some(index) => println!(
+            "index:  enabled, {} bitmaps over {} rows ({} bytes resident)",
+            index.cardinalities().iter().map(|&c| c as u64).sum::<u64>(),
+            index.n_rows(),
+            index.memory_bytes(),
+        ),
+        None => println!("index:  none"),
+    }
+    let has = |name: &str| sections.iter().any(|&(n, _)| n == name);
+    println!(
+        "sections ({} total, optional: cache={} index={}):",
+        sections.len(),
+        if has("cache") { "present" } else { "absent" },
+        if has("index") { "present" } else { "absent" },
+    );
+    for (name, size) in &sections {
+        println!("  {name:<12} {size} bytes");
+    }
 }

@@ -29,6 +29,11 @@ OPTIONS:
     --shards N             fan counting passes over N row shards for
                            builtin/CSV engines (answers are identical for
                            any N; pack engines keep their packed layout)
+    --index                build per-(feature, code) bitmap indexes for
+                           builtin/CSV engines: cold counting queries become
+                           popcount intersections instead of row scans
+                           (answers are identical either way; pack engines
+                           keep their packed setting)
     --max-body BYTES       request body limit (default 1048576)
     -h, --help             this text
 
@@ -55,6 +60,7 @@ fn main() {
     };
     let mut seed = 42u64;
     let mut shards: Option<usize> = None;
+    let mut index = false;
     let mut builtins: Vec<(String, usize)> = Vec::new();
     let mut csvs: Vec<(String, String, String, String, bool)> = Vec::new();
     let mut packs: Vec<(String, String)> = Vec::new();
@@ -93,6 +99,7 @@ fn main() {
                         .unwrap_or_else(|_| fail("--shards expects an integer")),
                 )
             }
+            "--index" => index = true,
             "--builtin" => {
                 let spec = value("--builtin");
                 let Some((name, rows)) = spec.split_once('=') else {
@@ -139,6 +146,9 @@ fn main() {
     let mut registry = EngineRegistry::new();
     if let Some(shards) = shards {
         registry.set_default_shards(shards);
+    }
+    if index {
+        registry.set_default_index(true);
     }
     for (name, rows) in &builtins {
         eprintln!("loading builtin {name} ({rows} rows, seed {seed})...");

@@ -85,6 +85,24 @@ impl Default for LoadgenConfig {
     }
 }
 
+/// Query-kind display names, in `sent_by_kind` order.
+pub const KIND_NAMES: [&str; 4] = ["global", "contextual", "local", "recourse"];
+
+/// Latency percentiles for one query kind (microseconds).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KindLatency {
+    /// Round-trips of this kind.
+    pub count: u64,
+    /// Median latency.
+    pub p50_us: u64,
+    /// 95th percentile latency.
+    pub p95_us: u64,
+    /// 99th percentile latency.
+    pub p99_us: u64,
+    /// Worst observed latency.
+    pub max_us: u64,
+}
+
 /// What one run measured.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -114,6 +132,11 @@ pub struct LoadReport {
     pub max_us: u64,
     /// `(global, contextual, local, recourse)` queries sent.
     pub sent_by_kind: [u64; 4],
+    /// Per-query-kind latency percentiles, in `sent_by_kind` order.
+    /// Only populated when `batch == 1`: with one query per HTTP body a
+    /// round-trip latency belongs to exactly one kind; batched bodies
+    /// mix kinds and have no per-kind attribution.
+    pub by_kind: Option<[KindLatency; 4]>,
 }
 
 impl LoadReport {
@@ -124,7 +147,7 @@ impl LoadReport {
 
     /// Human-oriented multi-line summary.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "{} queries in {:.2}s over {} round-trips → {:.0} q/s \
              ({} ok, {} unsupported-by-data, {} other errors)\nlatency per round-trip: \
              p50 {}µs, p95 {}µs, \
@@ -144,11 +167,44 @@ impl LoadReport {
             self.sent_by_kind[1],
             self.sent_by_kind[2],
             self.sent_by_kind[3],
-        )
+        );
+        if let Some(by_kind) = &self.by_kind {
+            for (name, k) in KIND_NAMES.iter().zip(by_kind) {
+                if k.count == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "\n  {name:<10} {} round-trips: p50 {}µs, p95 {}µs, p99 {}µs, max {}µs",
+                    k.count, k.p50_us, k.p95_us, k.p99_us, k.max_us,
+                ));
+            }
+        }
+        out
     }
 
     /// Machine-readable report (the `BENCH_serve.json` payload).
     pub fn to_json(&self, config: &LoadgenConfig) -> Json {
+        let by_kind = match &self.by_kind {
+            None => Json::Null,
+            Some(kinds) => Json::Obj(
+                KIND_NAMES
+                    .iter()
+                    .zip(kinds)
+                    .map(|(name, k)| {
+                        (
+                            name.to_string(),
+                            Json::obj([
+                                ("count", Json::num(k.count as f64)),
+                                ("p50_us", Json::num(k.p50_us as f64)),
+                                ("p95_us", Json::num(k.p95_us as f64)),
+                                ("p99_us", Json::num(k.p99_us as f64)),
+                                ("max_us", Json::num(k.max_us as f64)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        };
         Json::obj([
             (
                 "config",
@@ -186,6 +242,7 @@ impl LoadReport {
                     ("p95_us", Json::num(self.p95_us as f64)),
                     ("p99_us", Json::num(self.p99_us as f64)),
                     ("max_us", Json::num(self.max_us as f64)),
+                    ("latency_by_kind", by_kind),
                 ]),
             ),
         ])
@@ -392,9 +449,11 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
                 while Instant::now() < deadline {
                     let n = config.batch.max(1);
                     let mut queries = Vec::with_capacity(n);
+                    let mut single_kind = 0usize;
                     for _ in 0..n {
                         let (q, kind) = synth_query(&shape, &config.mix, &mut rng);
                         stats.sent_by_kind[kind] += 1;
+                        single_kind = kind;
                         queries.push(q);
                     }
                     let body = if n == 1 {
@@ -406,6 +465,9 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
                     let (status, answer) = client.post(&path, &body)?;
                     let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                     stats.latencies_us.push(us);
+                    if n == 1 {
+                        stats.latencies_by_kind[single_kind].push(us);
+                    }
                     tally(status, &answer, n as u64, &mut stats.tally);
                 }
                 Ok(stats)
@@ -422,6 +484,13 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         merged.tally.unsupported += stats.tally.unsupported;
         merged.tally.other_errors += stats.tally.other_errors;
         merged.latencies_us.extend(stats.latencies_us);
+        for (into, from) in merged
+            .latencies_by_kind
+            .iter_mut()
+            .zip(stats.latencies_by_kind)
+        {
+            into.extend(from);
+        }
         for (into, from) in merged.sent_by_kind.iter_mut().zip(stats.sent_by_kind) {
             *into += from;
         }
@@ -429,14 +498,21 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
     let wall = started.elapsed();
 
     merged.latencies_us.sort_unstable();
-    let quantile = |q: f64| -> u64 {
-        if merged.latencies_us.is_empty() {
-            return 0;
+    let quantile = |q: f64| quantile_of(&merged.latencies_us, q);
+    let by_kind = (config.batch.max(1) == 1).then(|| {
+        let mut kinds = [KindLatency::default(); 4];
+        for (k, lat) in kinds.iter_mut().zip(&mut merged.latencies_by_kind) {
+            lat.sort_unstable();
+            *k = KindLatency {
+                count: lat.len() as u64,
+                p50_us: quantile_of(lat, 0.50),
+                p95_us: quantile_of(lat, 0.95),
+                p99_us: quantile_of(lat, 0.99),
+                max_us: lat.last().copied().unwrap_or(0),
+            };
         }
-        let rank = ((q * merged.latencies_us.len() as f64).ceil() as usize)
-            .clamp(1, merged.latencies_us.len());
-        merged.latencies_us[rank - 1]
-    };
+        kinds
+    });
     let total = merged.tally.ok + merged.tally.unsupported + merged.tally.other_errors;
     Ok(LoadReport {
         ok: merged.tally.ok,
@@ -450,7 +526,17 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         p99_us: quantile(0.99),
         max_us: merged.latencies_us.last().copied().unwrap_or(0),
         sent_by_kind: merged.sent_by_kind,
+        by_kind,
     })
+}
+
+/// Nearest-rank quantile over an ascending-sorted sample (0 when empty).
+fn quantile_of(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 #[derive(Default)]
@@ -458,6 +544,7 @@ struct WorkerStats {
     tally: Tally,
     latencies_us: Vec<u64>,
     sent_by_kind: [u64; 4],
+    latencies_by_kind: [Vec<u64>; 4],
 }
 
 #[cfg(test)]
@@ -553,6 +640,69 @@ mod tests {
         tally(500, &Json::Null, 2, &mut t);
         tally(404, &unsupported, 1, &mut t);
         assert_eq!((t.ok, t.unsupported, t.other_errors), (1, 3, 4));
+    }
+
+    #[test]
+    fn nearest_rank_quantiles_are_exact_on_small_samples() {
+        assert_eq!(quantile_of(&[], 0.5), 0);
+        let sorted = [10, 20, 30, 40, 100];
+        assert_eq!(quantile_of(&sorted, 0.50), 30);
+        assert_eq!(quantile_of(&sorted, 0.95), 100);
+        assert_eq!(quantile_of(&sorted, 0.0), 10, "rank clamps to 1");
+        assert_eq!(quantile_of(&sorted, 1.0), 100);
+    }
+
+    #[test]
+    fn per_kind_percentiles_render_and_serialize() {
+        let mut by_kind = [KindLatency::default(); 4];
+        by_kind[1] = KindLatency {
+            count: 7,
+            p50_us: 120,
+            p95_us: 900,
+            p99_us: 1500,
+            max_us: 1700,
+        };
+        let report = LoadReport {
+            ok: 7,
+            unsupported: 0,
+            other_errors: 0,
+            round_trips: 7,
+            wall: Duration::from_secs(1),
+            qps: 7.0,
+            p50_us: 120,
+            p95_us: 900,
+            p99_us: 1500,
+            max_us: 1700,
+            sent_by_kind: [0, 7, 0, 0],
+            by_kind: Some(by_kind),
+        };
+        let rendered = report.render();
+        assert!(
+            rendered.contains("contextual") && rendered.contains("p95 900µs"),
+            "per-kind line present: {rendered}"
+        );
+        assert!(
+            !rendered.contains("recourse   0 round-trips"),
+            "zero-count kinds are elided from the per-kind lines"
+        );
+        let json = report.to_json(&LoadgenConfig::default());
+        let kinds = json.get("results").unwrap().get("latency_by_kind").unwrap();
+        let ctx = kinds.get("contextual").unwrap();
+        assert_eq!(ctx.get("count").unwrap().as_f64(), Some(7.0));
+        assert_eq!(ctx.get("p99_us").unwrap().as_f64(), Some(1500.0));
+        // batched runs have no per-kind attribution
+        let batched = LoadReport {
+            by_kind: None,
+            ..report
+        };
+        assert_eq!(
+            batched
+                .to_json(&LoadgenConfig::default())
+                .get("results")
+                .unwrap()
+                .get("latency_by_kind"),
+            Some(&Json::Null)
+        );
     }
 
     #[test]

@@ -231,16 +231,28 @@ impl Metrics {
                 let stats = entry.engine.cache_stats();
                 (
                     name.to_string(),
-                    Json::obj([(
-                        "counting_cache",
-                        Json::obj([
-                            ("hits", Json::num(stats.hits as f64)),
-                            ("misses", Json::num(stats.misses as f64)),
-                            ("hit_rate", Json::Num(stats.hit_rate())),
-                            ("entries", Json::num(stats.entries as f64)),
-                            ("capacity", Json::num(stats.capacity as f64)),
-                        ]),
-                    )]),
+                    Json::obj([
+                        (
+                            "counting_cache",
+                            Json::obj([
+                                ("hits", Json::num(stats.hits as f64)),
+                                ("misses", Json::num(stats.misses as f64)),
+                                ("hit_rate", Json::Num(stats.hit_rate())),
+                                ("entries", Json::num(stats.entries as f64)),
+                                ("capacity", Json::num(stats.capacity as f64)),
+                            ]),
+                        ),
+                        (
+                            "index",
+                            Json::obj([
+                                ("enabled", Json::Bool(entry.engine.index_enabled())),
+                                (
+                                    "memory_bytes",
+                                    Json::num(entry.engine.index_memory_bytes() as f64),
+                                ),
+                            ]),
+                        ),
+                    ]),
                 )
             })
             .collect();

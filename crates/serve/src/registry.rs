@@ -84,6 +84,10 @@ pub struct EngineRegistry {
     /// Row shards for engines built here (`None` = the engine builder's
     /// default). Pack-loaded engines keep their donor's layout instead.
     shards: Option<usize>,
+    /// Whether engines built here get a bitmap index (`None` = the
+    /// engine builder's default). Pack-loaded engines keep their
+    /// donor's setting instead.
+    index: Option<bool>,
 }
 
 /// The built-in dataset names [`EngineRegistry::load_builtin`] accepts,
@@ -111,6 +115,15 @@ impl EngineRegistry {
     /// pack instead.
     pub fn set_default_shards(&mut self, shards: usize) {
         self.shards = Some(shards.max(1));
+    }
+
+    /// Build every subsequent builtin/CSV engine with (or without) a
+    /// per-(feature, code) bitmap index. Indexed engines answer cold
+    /// counting queries via popcount intersections instead of row
+    /// scans; answers are bit-identical either way. Engines loaded
+    /// from packs keep the setting recorded in the pack instead.
+    pub fn set_default_index(&mut self, enabled: bool) {
+        self.index = Some(enabled);
     }
 
     /// Register `engine` under `name`. Names are unique.
@@ -199,6 +212,9 @@ impl EngineRegistry {
         if let Some(shards) = self.shards {
             builder = builder.shards(shards);
         }
+        if let Some(index) = self.index {
+            builder = builder.index(index);
+        }
         let engine = builder.build()?;
         self.insert(
             register_as,
@@ -261,6 +277,9 @@ impl EngineRegistry {
             .cache_capacity(SERVE_CACHE_CAPACITY);
         if let Some(shards) = self.shards {
             builder = builder.shards(shards);
+        }
+        if let Some(index) = self.index {
+            builder = builder.index(index);
         }
         if let Some(dag) = dag {
             builder = builder.graph(&dag);
@@ -410,6 +429,26 @@ mod tests {
             .run(&ExplainRequest::Global)
             .unwrap();
         assert_eq!(format!("{g:?}"), format!("{:?}", p.into_global().unwrap()));
+    }
+
+    #[test]
+    fn index_default_applies_to_built_engines() {
+        let mut reg = EngineRegistry::new();
+        reg.set_default_index(true);
+        reg.load_builtin("german_syn", 500, 7).unwrap();
+        let entry = reg.get("german_syn").unwrap();
+        assert!(entry.engine.index_enabled());
+        assert!(entry.engine.index_memory_bytes() > 0);
+        // an indexed engine's answers equal an unindexed twin's, byte
+        // for byte
+        let mut plain = EngineRegistry::new();
+        plain.set_default_index(false);
+        plain.load_builtin("german_syn", 500, 7).unwrap();
+        let plain_entry = plain.get("german_syn").unwrap();
+        assert!(!plain_entry.engine.index_enabled());
+        let a = entry.engine.run(&ExplainRequest::Global).unwrap();
+        let b = plain_entry.engine.run(&ExplainRequest::Global).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

@@ -359,6 +359,17 @@ fn list_engines(state: &ServerState) -> HttpResponse {
                 ("source", Json::str(&entry.source)),
                 ("graph", Json::str(&entry.graph)),
                 ("n_rows", Json::num(engine.table().n_rows() as u32)),
+                ("shards", Json::num(engine.shards() as u32)),
+                (
+                    "index",
+                    Json::obj([
+                        ("enabled", Json::Bool(engine.index_enabled())),
+                        (
+                            "memory_bytes",
+                            Json::num(engine.index_memory_bytes() as f64),
+                        ),
+                    ]),
+                ),
                 (
                     "prediction",
                     Json::obj([

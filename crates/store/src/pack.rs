@@ -30,6 +30,7 @@ use lewis_core::snapshot::{
     ArmSnapshot, CacheSnapshot, CellSnapshot, EngineSnapshot, PassSnapshot,
 };
 use lewis_core::Engine;
+use lewis_index::TableIndex;
 use std::path::Path;
 use std::sync::Arc;
 use tabular::{AttrId, Context, Domain, Schema, Table, Value};
@@ -47,7 +48,13 @@ pub const MAGIC: [u8; 8] = *b"LEWISPAK";
 ///   strict prefix). Shard *boundaries* are canonical in the count
 ///   (`tabular::shard_boundaries`), so the count alone restores the
 ///   donor's exact layout; v1 packs restore with 1 shard.
-pub const FORMAT_VERSION: u32 = 2;
+/// * **v3** — the config grows a trailing **index-enabled** flag (again
+///   appended, so a v2 config is a strict prefix) and an optional,
+///   CRC'd `index` section carries the engine's per-(attribute, code)
+///   bitmap index verbatim. The flag without the section means "rebuild
+///   the index from the table on restore" — writers that strip the
+///   section stay loadable; v1/v2 packs restore without an index.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Section tags, in the order the writer emits them.
 const TAG_META: u8 = 1;
@@ -57,6 +64,7 @@ const TAG_GRAPH: u8 = 4;
 const TAG_CONFIG: u8 = 5;
 const TAG_ORDERS: u8 = 6;
 const TAG_CACHE: u8 = 7;
+const TAG_INDEX: u8 = 8;
 
 pub(crate) fn section_name(tag: u8) -> &'static str {
     match tag {
@@ -67,6 +75,7 @@ pub(crate) fn section_name(tag: u8) -> &'static str {
         TAG_CONFIG => "config",
         TAG_ORDERS => "orders",
         TAG_CACHE => "cache",
+        TAG_INDEX => "index",
         _ => "unknown",
     }
 }
@@ -91,6 +100,10 @@ pub struct Pack {
     pub meta: PackMeta,
     /// The engine state — see [`EngineSnapshot`] for fidelity guarantees.
     pub snapshot: EngineSnapshot,
+    /// Write the config's index-enabled flag *without* an index section
+    /// (set by [`Pack::strip_index`]): readers rebuild the index from
+    /// the table instead of deserializing it.
+    rebuild_index: bool,
 }
 
 impl Pack {
@@ -100,6 +113,7 @@ impl Pack {
         Pack {
             meta,
             snapshot: engine.snapshot(),
+            rebuild_index: false,
         }
     }
 
@@ -116,6 +130,16 @@ impl Pack {
     /// configuration and value orders are still carried).
     pub fn strip_cache(&mut self) {
         self.snapshot.cache = CacheSnapshot::default();
+    }
+
+    /// Drop the serialized bitmap index but keep the engine's
+    /// index-enabled setting: a reader of the resulting bytes rebuilds
+    /// the index from the table (paying the build once) instead of
+    /// reading it. Shrinks the pack; never changes any answer.
+    pub fn strip_index(&mut self) {
+        if self.snapshot.index.take().is_some() {
+            self.rebuild_index = true;
+        }
     }
 
     /// Serialize to the `.lewis` byte format.
@@ -135,9 +159,19 @@ impl Pack {
             TAG_GRAPH,
             encode_graph(self.snapshot.graph.as_deref()),
         );
-        write_section(&mut out, TAG_CONFIG, encode_config(&self.snapshot));
+        write_section(
+            &mut out,
+            TAG_CONFIG,
+            encode_config(
+                &self.snapshot,
+                self.snapshot.index.is_some() || self.rebuild_index,
+            ),
+        );
         write_section(&mut out, TAG_ORDERS, encode_orders(&self.snapshot.orders));
         write_section(&mut out, TAG_CACHE, encode_cache(&self.snapshot.cache));
+        if let Some(index) = &self.snapshot.index {
+            write_section(&mut out, TAG_INDEX, index.to_bytes());
+        }
         out
     }
 
@@ -146,92 +180,7 @@ impl Pack {
     /// mismatches, unknown or duplicate sections, and cross-section
     /// inconsistencies ([`StoreError::Mismatch`]).
     pub fn from_bytes(bytes: &[u8]) -> Result<Pack> {
-        // Magic first: a foreign file is "not a pack", not a truncated
-        // one, even when it is shorter than our header.
-        let magic_prefix = bytes.len().min(MAGIC.len());
-        if bytes[..magic_prefix] != MAGIC[..magic_prefix] {
-            return Err(StoreError::BadMagic);
-        }
-        if bytes.len() < MAGIC.len() + 4 {
-            return Err(StoreError::Truncated {
-                offset: 0,
-                detail: format!("{} bytes is smaller than the pack header", bytes.len()),
-            });
-        }
-        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
-        if version == 0 || version > FORMAT_VERSION {
-            return Err(StoreError::UnsupportedVersion {
-                found: version,
-                supported: FORMAT_VERSION,
-            });
-        }
-
-        // Walk the sections, checksum-verifying each payload before any
-        // of its content is decoded.
-        let mut sections: Vec<(u8, &[u8])> = Vec::new();
-        let mut pos = MAGIC.len() + 4;
-        while pos < bytes.len() {
-            let header_end = pos + 1 + 8;
-            if header_end > bytes.len() {
-                return Err(StoreError::Truncated {
-                    offset: pos,
-                    detail: "section header cut off".into(),
-                });
-            }
-            let tag = bytes[pos];
-            let len_bytes: [u8; 8] =
-                bytes[pos + 1..header_end]
-                    .try_into()
-                    .map_err(|_| StoreError::Truncated {
-                        offset: pos,
-                        detail: "section header cut off".into(),
-                    })?;
-            let len = u64::from_le_bytes(len_bytes);
-            let Ok(len) = usize::try_from(len) else {
-                return Err(StoreError::Truncated {
-                    offset: pos,
-                    detail: format!("section {} announces {len} bytes", section_name(tag)),
-                });
-            };
-            let payload_end = header_end.checked_add(len).and_then(|e| e.checked_add(4));
-            let Some(payload_end) = payload_end.filter(|&e| e <= bytes.len()) else {
-                return Err(StoreError::Truncated {
-                    offset: pos,
-                    detail: format!(
-                        "section {} announces {len} bytes, {} remain",
-                        section_name(tag),
-                        bytes.len() - header_end
-                    ),
-                });
-            };
-            let payload = &bytes[header_end..header_end + len];
-            let stored_bytes: [u8; 4] =
-                bytes[header_end + len..payload_end]
-                    .try_into()
-                    .map_err(|_| StoreError::Truncated {
-                        offset: header_end + len,
-                        detail: "section checksum cut off".into(),
-                    })?;
-            let stored = u32::from_le_bytes(stored_bytes);
-            if crc32(payload) != stored {
-                return Err(StoreError::ChecksumMismatch {
-                    section: section_name(tag),
-                });
-            }
-            if section_name(tag) == "unknown" {
-                return Err(StoreError::Corrupt {
-                    section: "unknown",
-                    detail: format!("unknown section tag {tag}"),
-                });
-            }
-            if sections.iter().any(|&(t, _)| t == tag) {
-                return Err(StoreError::DuplicateSection {
-                    section: section_name(tag),
-                });
-            }
-            sections.push((tag, payload));
-            pos = payload_end;
-        }
+        let (version, sections) = parse_sections(bytes)?;
 
         let require = |tag: u8| -> Result<&[u8]> {
             sections
@@ -254,6 +203,42 @@ impl Pack {
             Some(&(_, payload)) => decode_cache(payload)?,
             None => CacheSnapshot::default(),
         };
+        let index = match sections.iter().find(|&&(t, _)| t == TAG_INDEX) {
+            Some(&(_, payload)) => {
+                if !config.index_enabled {
+                    return Err(StoreError::Mismatch(
+                        "index section present but the config disables the index".into(),
+                    ));
+                }
+                let index = TableIndex::from_bytes(payload).map_err(|e| StoreError::Corrupt {
+                    section: "index",
+                    detail: e.detail,
+                })?;
+                // The section is internally consistent; now it must
+                // also belong to *this* table (row count and
+                // per-attribute cardinalities), or its popcounts would
+                // silently disagree with scans.
+                if !index.matches(&table) {
+                    return Err(StoreError::Mismatch(format!(
+                        "index covers {} rows over {} attributes, table has {} rows over {}",
+                        index.n_rows(),
+                        index.cardinalities().len(),
+                        table.n_rows(),
+                        table.n_attrs()
+                    )));
+                }
+                Some(Arc::new(index))
+            }
+            // Index-enabled without a section (a writer stripped it):
+            // rebuild from the table so the engine still serves indexed.
+            // The build only fails on a table/schema disagreement, which
+            // from_columns has already ruled out.
+            None if config.index_enabled => Some(Arc::new(
+                TableIndex::build(&table, config.shards)
+                    .map_err(|e| StoreError::Mismatch(e.to_string()))?,
+            )),
+            None => None,
+        };
 
         Ok(Pack {
             meta,
@@ -269,7 +254,9 @@ impl Pack {
                 features: config.features,
                 orders,
                 cache,
+                index,
             },
+            rebuild_index: false,
         })
     }
 
@@ -290,6 +277,116 @@ impl Pack {
 /// Read a pack file and restore its engine in one step.
 pub fn load_engine(path: impl AsRef<Path>) -> Result<(Engine, PackMeta)> {
     Pack::read_file(path)?.restore_engine()
+}
+
+/// Each section's `(tag, payload)`, in file order.
+type TaggedSections<'a> = Vec<(u8, &'a [u8])>;
+
+/// Validate a pack byte stream's framing (magic, version, per-section
+/// CRCs, no unknown/duplicate tags) and return the version plus each
+/// section's `(tag, payload)` in file order. Shared by
+/// [`Pack::from_bytes`] and [`section_sizes`].
+fn parse_sections(bytes: &[u8]) -> Result<(u32, TaggedSections<'_>)> {
+    // Magic first: a foreign file is "not a pack", not a truncated
+    // one, even when it is shorter than our header.
+    let magic_prefix = bytes.len().min(MAGIC.len());
+    if bytes[..magic_prefix] != MAGIC[..magic_prefix] {
+        return Err(StoreError::BadMagic);
+    }
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(StoreError::Truncated {
+            offset: 0,
+            detail: format!("{} bytes is smaller than the pack header", bytes.len()),
+        });
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+
+    // Walk the sections, checksum-verifying each payload before any
+    // of its content is decoded.
+    let mut sections: Vec<(u8, &[u8])> = Vec::new();
+    let mut pos = MAGIC.len() + 4;
+    while pos < bytes.len() {
+        let header_end = pos + 1 + 8;
+        if header_end > bytes.len() {
+            return Err(StoreError::Truncated {
+                offset: pos,
+                detail: "section header cut off".into(),
+            });
+        }
+        let tag = bytes[pos];
+        let len_bytes: [u8; 8] =
+            bytes[pos + 1..header_end]
+                .try_into()
+                .map_err(|_| StoreError::Truncated {
+                    offset: pos,
+                    detail: "section header cut off".into(),
+                })?;
+        let len = u64::from_le_bytes(len_bytes);
+        let Ok(len) = usize::try_from(len) else {
+            return Err(StoreError::Truncated {
+                offset: pos,
+                detail: format!("section {} announces {len} bytes", section_name(tag)),
+            });
+        };
+        let payload_end = header_end.checked_add(len).and_then(|e| e.checked_add(4));
+        let Some(payload_end) = payload_end.filter(|&e| e <= bytes.len()) else {
+            return Err(StoreError::Truncated {
+                offset: pos,
+                detail: format!(
+                    "section {} announces {len} bytes, {} remain",
+                    section_name(tag),
+                    bytes.len() - header_end
+                ),
+            });
+        };
+        let payload = &bytes[header_end..header_end + len];
+        let stored_bytes: [u8; 4] =
+            bytes[header_end + len..payload_end]
+                .try_into()
+                .map_err(|_| StoreError::Truncated {
+                    offset: header_end + len,
+                    detail: "section checksum cut off".into(),
+                })?;
+        let stored = u32::from_le_bytes(stored_bytes);
+        if crc32(payload) != stored {
+            return Err(StoreError::ChecksumMismatch {
+                section: section_name(tag),
+            });
+        }
+        if section_name(tag) == "unknown" {
+            return Err(StoreError::Corrupt {
+                section: "unknown",
+                detail: format!("unknown section tag {tag}"),
+            });
+        }
+        if sections.iter().any(|&(t, _)| t == tag) {
+            return Err(StoreError::DuplicateSection {
+                section: section_name(tag),
+            });
+        }
+        sections.push((tag, payload));
+        pos = payload_end;
+    }
+    Ok((version, sections))
+}
+
+/// Per-section layout of a pack byte stream: `(section name, payload
+/// bytes)` in file order. Walks the same checksummed framing as
+/// [`Pack::from_bytes`] without decoding any payload, so tooling
+/// (`lewis-pack inspect`) can report sizes and the presence of the
+/// optional sections (`cache`, `index`) cheaply.
+pub fn section_sizes(bytes: &[u8]) -> Result<Vec<(&'static str, u64)>> {
+    let (_, sections) = parse_sections(bytes)?;
+    Ok(sections
+        .iter()
+        .map(|&(tag, payload)| (section_name(tag), payload.len() as u64))
+        .collect())
 }
 
 fn write_section(out: &mut Vec<u8>, tag: u8, payload: Vec<u8>) {
@@ -592,9 +689,10 @@ struct Config {
     cache_capacity: usize,
     features: Vec<AttrId>,
     shards: usize,
+    index_enabled: bool,
 }
 
-fn encode_config(snapshot: &EngineSnapshot) -> Vec<u8> {
+fn encode_config(snapshot: &EngineSnapshot, index_enabled: bool) -> Vec<u8> {
     let mut out = Vec::new();
     out.put_u32(snapshot.pred.0);
     out.put_u32(snapshot.positive);
@@ -605,6 +703,9 @@ fn encode_config(snapshot: &EngineSnapshot) -> Vec<u8> {
     // v2: the shard count rides at the end, so a v1 config is a strict
     // prefix of a v2 one
     out.put_u64(snapshot.shards as u64);
+    // v3: the index-enabled flag rides after that, extending the prefix
+    // property one more version
+    out.put_u8(u8::from(index_enabled));
     out
 }
 
@@ -635,6 +736,21 @@ fn decode_config(payload: &[u8], version: u32) -> Result<Config> {
     } else {
         1
     };
+    // v1/v2 predate bitmap indexes: those engines always scanned
+    let index_enabled = if version >= 3 {
+        match c.u8().map_err(&at)? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(StoreError::Corrupt {
+                    section: "config",
+                    detail: format!("invalid index flag {other}"),
+                })
+            }
+        }
+    } else {
+        false
+    };
     c.finish().map_err(&at)?;
     Ok(Config {
         pred,
@@ -644,6 +760,7 @@ fn decode_config(payload: &[u8], version: u32) -> Result<Config> {
         cache_capacity,
         features,
         shards,
+        index_enabled,
     })
 }
 
@@ -783,6 +900,9 @@ mod tests {
             .prediction(AttrId(1), 1)
             .features(&[AttrId(0)])
             .shards(3)
+            // pinned off regardless of LEWIS_TEST_INDEX: these tests
+            // exercise the unindexed pack shape specifically
+            .index(false)
             .build()
             .unwrap()
     }
@@ -809,17 +929,18 @@ mod tests {
         out
     }
 
-    /// Overwrite the trailing shard count of a v2 config payload.
+    /// Overwrite the shard count of a v3 config payload (it sits just
+    /// before the trailing index flag).
     fn with_shard_count(count: u64) -> impl Fn(Vec<u8>) -> Vec<u8> {
         move |mut payload: Vec<u8>| {
             let n = payload.len();
-            payload[n - 8..].copy_from_slice(&count.to_le_bytes());
+            payload[n - 9..n - 1].copy_from_slice(&count.to_le_bytes());
             payload
         }
     }
 
     #[test]
-    fn v2_packs_round_trip_the_shard_count() {
+    fn v3_packs_round_trip_the_shard_count() {
         let engine = tiny_engine();
         let bytes = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
         let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
@@ -832,19 +953,102 @@ mod tests {
     #[test]
     fn v1_packs_still_read_and_restore_with_one_shard() {
         let engine = tiny_engine();
-        let v2 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
-        // v1 configs are a strict prefix of v2 ones: drop the trailing
-        // shard count and stamp the old version
-        let v1 = rewrite_config(&v2, 1, |payload| {
-            let keep = payload.len() - 8;
+        let v3 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        // v1 configs are a strict prefix of v3 ones: drop the trailing
+        // index flag and shard count and stamp the old version
+        let v1 = rewrite_config(&v3, 1, |payload| {
+            let keep = payload.len() - 9;
             payload[..keep].to_vec()
         });
         let (restored, _) = Pack::from_bytes(&v1).unwrap().restore_engine().unwrap();
         assert_eq!(restored.shards(), 1, "v1 engines ran one contiguous pass");
+        assert!(!restored.index_enabled(), "v1 engines always scanned");
         // and the answers still match (shard count never changes results)
         let a = engine.run(&ExplainRequest::Global).unwrap();
         let b = restored.run(&ExplainRequest::Global).unwrap();
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn v2_packs_still_read_and_restore_without_an_index() {
+        let engine = tiny_engine();
+        let v3 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        // v2 configs are a strict prefix of v3 ones: drop the trailing
+        // index flag and stamp the old version
+        let v2 = rewrite_config(&v3, 2, |payload| {
+            let keep = payload.len() - 1;
+            payload[..keep].to_vec()
+        });
+        let (restored, _) = Pack::from_bytes(&v2).unwrap().restore_engine().unwrap();
+        assert_eq!(restored.shards(), 3, "v2 packs carry the shard layout");
+        assert!(!restored.index_enabled(), "v2 engines always scanned");
+        let a = engine.run(&ExplainRequest::Global).unwrap();
+        let b = restored.run(&ExplainRequest::Global).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    fn indexed_engine() -> Engine {
+        let mut schema = Schema::new();
+        schema.push("savings", Domain::categorical(["low", "high"]));
+        schema.push("pred", Domain::boolean());
+        let mut table = Table::new(schema);
+        for row in [[0, 0], [0, 0], [0, 1], [1, 1], [1, 1], [1, 0]] {
+            table.push_row(&row).unwrap();
+        }
+        Engine::builder(table)
+            .prediction(AttrId(1), 1)
+            .features(&[AttrId(0)])
+            .shards(2)
+            .index(true)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn v3_packs_round_trip_the_bitmap_index() {
+        let engine = indexed_engine();
+        let bytes = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        let sizes = section_sizes(&bytes).unwrap();
+        assert!(
+            sizes.iter().any(|&(name, n)| name == "index" && n > 0),
+            "indexed packs must carry an index section: {sizes:?}"
+        );
+        let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
+        assert!(restored.index_enabled(), "index must arrive installed");
+        assert_eq!(restored.index_memory_bytes(), engine.index_memory_bytes());
+        let a = engine.run(&ExplainRequest::Global).unwrap();
+        let b = restored.run(&ExplainRequest::Global).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn stripped_index_packs_rebuild_the_index_on_read() {
+        let engine = indexed_engine();
+        let mut pack = Pack::from_engine(&engine, PackMeta::default());
+        pack.strip_index();
+        let bytes = pack.to_bytes();
+        let sizes = section_sizes(&bytes).unwrap();
+        assert!(
+            !sizes.iter().any(|&(name, _)| name == "index"),
+            "stripped packs must omit the index section: {sizes:?}"
+        );
+        let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
+        assert!(
+            restored.index_enabled(),
+            "the config flag without a section must rebuild from the table"
+        );
+        let a = engine.run(&ExplainRequest::Global).unwrap();
+        let b = restored.run(&ExplainRequest::Global).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn unindexed_packs_omit_the_index_section() {
+        let bytes = Pack::from_engine(&tiny_engine(), PackMeta::default()).to_bytes();
+        let sizes = section_sizes(&bytes).unwrap();
+        assert!(!sizes.iter().any(|&(name, _)| name == "index"));
+        let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
+        assert!(!restored.index_enabled());
     }
 
     #[test]

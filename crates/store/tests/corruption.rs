@@ -33,6 +33,9 @@ fn donor() -> Engine {
         .graph(&g)
         .prediction(AttrId(3), 1)
         .features(&[AttrId(0), AttrId(1), AttrId(2)])
+        // pinned off regardless of LEWIS_TEST_INDEX: these tests reason
+        // about the unindexed pack layout; indexed_donor covers the rest
+        .index(false)
         .build()
         .unwrap();
     // warm: several distinct passes resident
@@ -59,39 +62,48 @@ fn donor_bytes() -> Vec<u8> {
 
 #[test]
 fn truncation_at_every_prefix_is_typed() {
-    let bytes = donor_bytes();
-    // The cache section is optional by design, so the one prefix ending
-    // exactly where it starts parses as a cache-less pack. Locate that
-    // boundary by walking the section headers.
-    let mut cache_boundary = None;
-    let mut pos = 12usize;
-    while pos < bytes.len() {
-        let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap()) as usize;
-        if bytes[pos] == 7 {
-            cache_boundary = Some(pos);
-        }
-        pos = pos + 1 + 8 + len + 4;
-    }
-    let cache_boundary = cache_boundary.expect("donor pack carries a cache section");
-
-    // every other strict prefix must fail with a *typed* error, never
-    // panic, and never produce a pack
-    for cut in 0..bytes.len() {
-        match Pack::from_bytes(&bytes[..cut]) {
-            Ok(pack) => {
-                assert_eq!(cut, cache_boundary, "unexpected parse at cut {cut}");
-                assert!(pack.snapshot.cache.passes.is_empty());
+    // The cache (tag 7) and index (tag 8) sections are optional by
+    // design, so a prefix ending exactly where one starts parses as a
+    // pack without it (an index-enabled config rebuilds from the
+    // table). Locate those boundaries by walking the section headers.
+    for bytes in [donor_bytes(), indexed_donor_bytes()] {
+        let mut optional_boundaries = Vec::new();
+        let mut pos = 12usize;
+        while pos < bytes.len() {
+            let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap()) as usize;
+            if bytes[pos] == 7 || bytes[pos] == 8 {
+                optional_boundaries.push(pos);
             }
-            Err(
-                StoreError::Truncated { .. }
-                | StoreError::BadMagic
-                | StoreError::MissingSection { .. },
-            ) => {}
-            Err(other) => panic!("prefix of {cut} bytes: unexpected {other:?}"),
+            pos = pos + 1 + 8 + len + 4;
         }
+        assert!(
+            !optional_boundaries.is_empty(),
+            "donor pack carries an optional section"
+        );
+
+        // every other strict prefix must fail with a *typed* error,
+        // never panic, and never produce a pack
+        for cut in 0..bytes.len() {
+            match Pack::from_bytes(&bytes[..cut]) {
+                Ok(pack) => {
+                    assert!(
+                        optional_boundaries.contains(&cut),
+                        "unexpected parse at cut {cut}"
+                    );
+                    // whatever survived must still restore cleanly
+                    pack.restore_engine().unwrap();
+                }
+                Err(
+                    StoreError::Truncated { .. }
+                    | StoreError::BadMagic
+                    | StoreError::MissingSection { .. },
+                ) => {}
+                Err(other) => panic!("prefix of {cut} bytes: unexpected {other:?}"),
+            }
+        }
+        // the full file still parses
+        assert!(Pack::from_bytes(&bytes).is_ok());
     }
-    // the full file still parses
-    assert!(Pack::from_bytes(&bytes).is_ok());
 }
 
 #[test]
@@ -314,6 +326,227 @@ fn cache_counts_exceeding_the_table_are_rejected() {
     assert!(matches!(err, StoreError::Mismatch(_)), "{err:?}");
 }
 
+/// The donor again, but carrying the v3 bitmap-index section.
+fn indexed_donor() -> Engine {
+    let mut schema = Schema::new();
+    schema.push("status", Domain::categorical(["bad", "ok", "good"]));
+    schema.push("age", Domain::binned(vec![0.0, 30.0, 60.0, 99.0]));
+    schema.push("savings", Domain::boolean());
+    schema.push("pred", Domain::boolean());
+    let mut t = Table::new(schema);
+    let mut x = 9u32;
+    for _ in 0..400 {
+        x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+        let status = (x >> 3) % 3;
+        let age = (x >> 7) % 3;
+        let savings = (x >> 11) % 2;
+        let pred = u32::from(status + savings >= 2);
+        t.push_row(&[status, age, savings, pred]).unwrap();
+    }
+    let engine = Engine::builder(t)
+        .prediction(AttrId(3), 1)
+        .features(&[AttrId(0), AttrId(1), AttrId(2)])
+        .shards(3)
+        .index(true)
+        .build()
+        .unwrap();
+    let _ = engine.run(&ExplainRequest::Global).unwrap();
+    engine
+}
+
+fn indexed_donor_bytes() -> Vec<u8> {
+    Pack::from_engine(&indexed_donor(), PackMeta::default()).to_bytes()
+}
+
+/// IEEE CRC-32, matching the pack writer — crafted sections get valid
+/// checksums so corruption reaches the *decoder*, not the CRC check.
+fn crc32(payload: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in payload {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+/// Rewrite the section with `tag`: `None` removes it wholesale,
+/// `Some(payload)` swaps the payload in with a freshly valid CRC.
+fn rewrite_section(bytes: &[u8], tag: u8, payload: Option<&[u8]>) -> Vec<u8> {
+    let mut out = bytes[..12].to_vec();
+    let mut pos = 12usize;
+    let mut found = false;
+    while pos < bytes.len() {
+        let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap()) as usize;
+        let end = pos + 1 + 8 + len + 4;
+        if bytes[pos] == tag {
+            found = true;
+            if let Some(payload) = payload {
+                out.push(tag);
+                out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                out.extend_from_slice(payload);
+                out.extend_from_slice(&crc32(payload).to_le_bytes());
+            }
+        } else {
+            out.extend_from_slice(&bytes[pos..end]);
+        }
+        pos = end;
+    }
+    assert!(found, "donor pack lacks section tag {tag}");
+    out
+}
+
+/// Return the payload of the section with `tag`.
+fn section_payload(bytes: &[u8], tag: u8) -> Vec<u8> {
+    let mut pos = 12usize;
+    while pos < bytes.len() {
+        let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap()) as usize;
+        if bytes[pos] == tag {
+            return bytes[pos + 9..pos + 9 + len].to_vec();
+        }
+        pos = pos + 1 + 8 + len + 4;
+    }
+    panic!("donor pack lacks section tag {tag}");
+}
+
+const TAG_CONFIG: u8 = 5;
+const TAG_INDEX: u8 = 8;
+
+#[test]
+fn flipped_index_payload_byte_is_a_checksum_mismatch() {
+    let bytes = indexed_donor_bytes();
+    // locate the index section and flip a payload byte
+    let mut pos = 12usize;
+    loop {
+        assert!(pos < bytes.len(), "donor pack lacks an index section");
+        let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap()) as usize;
+        if bytes[pos] == TAG_INDEX {
+            let mut corrupt = bytes.clone();
+            corrupt[pos + 9 + len / 2] ^= 0x10;
+            assert!(matches!(
+                Pack::from_bytes(&corrupt).unwrap_err(),
+                StoreError::ChecksumMismatch { section: "index" }
+            ));
+            return;
+        }
+        pos = pos + 1 + 8 + len + 4;
+    }
+}
+
+#[test]
+fn crafted_giant_index_header_is_rejected_without_allocating() {
+    // a re-checksummed index section announcing max shards over zero
+    // rows with wide cardinalities would demand millions of bitmap
+    // allocations; it must die typed in the codec's pre-allocation
+    // sizing, not OOM
+    let bytes = indexed_donor_bytes();
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_le_bytes()); // n_rows
+    payload.extend_from_slice(&1024u32.to_le_bytes()); // n_shards
+    payload.extend_from_slice(&2u32.to_le_bytes()); // n_attrs
+    payload.extend_from_slice(&1000u32.to_le_bytes());
+    payload.extend_from_slice(&1000u32.to_le_bytes());
+    let crafted = rewrite_section(&bytes, TAG_INDEX, Some(&payload));
+    match Pack::from_bytes(&crafted).map(|_| ()).unwrap_err() {
+        StoreError::Corrupt { section, detail } => {
+            assert_eq!(section, "index");
+            assert!(detail.contains("bitmaps"), "{detail}");
+        }
+        other => panic!("expected Corrupt index, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_index_payload_with_valid_crc_is_corrupt() {
+    // chop the tail off the index payload and re-checksum: the CRC
+    // passes, so the codec's header-vs-length check must catch it
+    let bytes = indexed_donor_bytes();
+    let payload = section_payload(&bytes, TAG_INDEX);
+    let cut = rewrite_section(&bytes, TAG_INDEX, Some(&payload[..payload.len() - 8]));
+    match Pack::from_bytes(&cut).map(|_| ()).unwrap_err() {
+        StoreError::Corrupt { section, detail } => {
+            assert_eq!(section, "index");
+            assert!(detail.contains("header declares"), "{detail}");
+        }
+        other => panic!("expected Corrupt index, got {other:?}"),
+    }
+}
+
+#[test]
+fn index_of_a_different_table_is_a_mismatch() {
+    // a structurally valid index whose dimensions disagree with the
+    // table: swap in the index of a thinner table, re-checksummed
+    let bytes = indexed_donor_bytes();
+    let mut schema = Schema::new();
+    schema.push("a", Domain::boolean());
+    schema.push("pred", Domain::boolean());
+    let mut t = Table::new(schema);
+    for i in 0..10u32 {
+        t.push_row(&[i % 2, (i / 2) % 2]).unwrap();
+    }
+    let foreign = lewis_index::TableIndex::build(&t, 3).unwrap();
+    let swapped = rewrite_section(&bytes, TAG_INDEX, Some(&foreign.to_bytes()));
+    let err = Pack::from_bytes(&swapped).map(|_| ()).unwrap_err();
+    assert!(matches!(err, StoreError::Mismatch(_)), "{err:?}");
+}
+
+#[test]
+fn index_section_with_the_flag_off_is_a_mismatch() {
+    // flip the config's trailing index-enabled byte to 0 (re-CRC'd)
+    // while the index section stays: the pack contradicts itself
+    let bytes = indexed_donor_bytes();
+    let mut config = section_payload(&bytes, TAG_CONFIG);
+    let last = config.len() - 1;
+    assert_eq!(config[last], 1, "donor config has the index flag set");
+    config[last] = 0;
+    let contradicted = rewrite_section(&bytes, TAG_CONFIG, Some(&config));
+    match Pack::from_bytes(&contradicted).map(|_| ()).unwrap_err() {
+        StoreError::Mismatch(detail) => {
+            assert!(detail.contains("disables the index"), "{detail}")
+        }
+        other => panic!("expected Mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_index_flag_byte_is_corrupt() {
+    let bytes = indexed_donor_bytes();
+    let mut config = section_payload(&bytes, TAG_CONFIG);
+    let last = config.len() - 1;
+    config[last] = 7; // neither 0 nor 1
+    let bad = rewrite_section(&bytes, TAG_CONFIG, Some(&config));
+    match Pack::from_bytes(&bad).map(|_| ()).unwrap_err() {
+        StoreError::Corrupt { section, detail } => {
+            assert_eq!(section, "config");
+            assert!(detail.contains("index flag"), "{detail}");
+        }
+        other => panic!("expected Corrupt config, got {other:?}"),
+    }
+}
+
+#[test]
+fn dropping_the_index_section_still_restores_an_indexed_engine() {
+    // flag on, section gone (e.g. written by `strip_index`): the reader
+    // rebuilds the index from the table — answers identical, bit for bit
+    let donor = indexed_donor();
+    let bytes = Pack::from_engine(&donor, PackMeta::default()).to_bytes();
+    let stripped = rewrite_section(&bytes, TAG_INDEX, None);
+    let (restored, _) = Pack::from_bytes(&stripped)
+        .unwrap()
+        .restore_engine()
+        .unwrap();
+    assert!(restored.index_enabled(), "rebuilt from the table");
+    assert_eq!(
+        format!("{:?}", restored.run(&ExplainRequest::Global).unwrap()),
+        format!("{:?}", donor.run(&ExplainRequest::Global).unwrap()),
+    );
+}
+
 #[test]
 fn round_trip_is_lossless() {
     let engine = donor();
@@ -383,6 +616,40 @@ proptest! {
                 // header flips hit magic/version/len/tag checks. A
                 // clean parse is impossible because every byte of the
                 // file is load-bearing.
+                Ok(_) => prop_assert!(false, "corruption at {at} went unnoticed"),
+                Err(
+                    StoreError::BadMagic
+                    | StoreError::UnsupportedVersion { .. }
+                    | StoreError::Truncated { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::Corrupt { .. }
+                    | StoreError::MissingSection { .. }
+                    | StoreError::DuplicateSection { .. }
+                    | StoreError::Mismatch(_),
+                ) => {}
+                Err(other) => prop_assert!(false, "untyped failure at {at}: {other:?}"),
+            }
+            Ok(())
+        })?;
+    }
+
+    /// The same guarantee for v3 packs carrying the bitmap-index
+    /// section: every byte (index words included) is covered by a
+    /// checksum or a header check, so single flips never pass and
+    /// never panic.
+    #[test]
+    fn single_byte_corruption_of_indexed_packs_never_panics(
+        offset in 0usize..=usize::MAX,
+        flip in 1u8..=255u8,
+    ) {
+        thread_local! {
+            static BYTES: Vec<u8> = indexed_donor_bytes();
+        }
+        BYTES.with(|bytes| {
+            let mut corrupted = bytes.clone();
+            let at = offset % corrupted.len();
+            corrupted[at] ^= flip;
+            match Pack::from_bytes(&corrupted) {
                 Ok(_) => prop_assert!(false, "corruption at {at} went unnoticed"),
                 Err(
                     StoreError::BadMagic

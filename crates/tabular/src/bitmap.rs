@@ -1,0 +1,477 @@
+//! Fixed-length row bitmaps: the building block of bitmap indexes.
+//!
+//! A [`Bitmap`] is a set of row positions over a fixed row range,
+//! packed 64 rows per `u64` word. Conjunctive row predicates over
+//! dictionary-coded columns — exactly the shape of every LEWIS
+//! counting query — reduce to word-wise `AND` plus `popcount`, which
+//! is why the `lewis-index` crate stores one bitmap per
+//! `(attribute, code)` pair.
+//!
+//! Bit `i` of word `i / 64` (bit position `i % 64`) corresponds to row
+//! `i` of the covered range. Trailing bits past `len` are always zero —
+//! an invariant [`Bitmap::from_words`] enforces on untrusted input so
+//! popcounts can never over-report.
+
+use crate::domain::Value;
+use crate::error::TabularError;
+use crate::Result;
+
+/// A fixed-length bit set over row positions `0..len`, packed into
+/// `u64` words (least-significant bit first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// Number of `u64` words needed to hold `len` bits.
+pub fn words_for(len: usize) -> usize {
+    len.div_ceil(64)
+}
+
+impl Bitmap {
+    /// An all-zero bitmap over `len` rows.
+    pub fn zeros(len: usize) -> Bitmap {
+        Bitmap {
+            words: vec![0u64; words_for(len)],
+            len,
+        }
+    }
+
+    /// An all-one bitmap over `len` rows (trailing bits zero).
+    pub fn ones(len: usize) -> Bitmap {
+        let mut b = Bitmap {
+            words: vec![u64::MAX; words_for(len)],
+            len,
+        };
+        b.clear_tail();
+        b
+    }
+
+    /// Reassemble a bitmap from raw words (the deserialization path).
+    /// Rejects a word count that does not match `len` and any set bit
+    /// past `len` — both would silently corrupt downstream popcounts.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Result<Bitmap> {
+        if words.len() != words_for(len) {
+            return Err(TabularError::InvalidArgument(format!(
+                "bitmap of {len} rows needs {} words, got {}",
+                words_for(len),
+                words.len()
+            )));
+        }
+        let b = Bitmap { words, len };
+        if let Some(&last) = b.words.last() {
+            let used = b.len - (b.words.len() - 1) * 64;
+            if used < 64 && last >> used != 0 {
+                return Err(TabularError::InvalidArgument(
+                    "bitmap has set bits past its row count".into(),
+                ));
+            }
+        }
+        Ok(b)
+    }
+
+    /// Number of rows covered (bits, not set bits).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed words, least-significant bit = lowest row.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Set the bit for row `i`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `i >= len` — construction code controls `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len, "bit {i} out of {} rows", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether the bit for row `i` is set (`false` past the end).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        if hw_popcnt() {
+            // SAFETY: `hw_popcnt` verified the `popcnt` CPU feature the
+            // callee is compiled for.
+            return unsafe { kernels::count_ones(&self.words) };
+        }
+        count_ones_body(&self.words)
+    }
+
+    /// `self &= other`. Both bitmaps must cover the same row range.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len, "AND over mismatched row ranges");
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// Write `self & other` into `out` (reusing its allocation) and
+    /// return the intersection's popcount — one pass over the words
+    /// where `clone` + `and_assign` + `count_ones` would take three.
+    /// This is the inner-node primitive of the index's grid walk.
+    ///
+    /// All three bitmaps must cover the same row range; `out`'s previous
+    /// contents are overwritten.
+    pub fn and_into(&self, other: &Bitmap, out: &mut Bitmap) -> u64 {
+        debug_assert_eq!(self.len, other.len, "AND over mismatched row ranges");
+        debug_assert_eq!(self.len, out.len, "AND into a mismatched row range");
+        #[cfg(target_arch = "x86_64")]
+        if hw_popcnt() {
+            // SAFETY: `hw_popcnt` verified the `popcnt` CPU feature the
+            // callee is compiled for.
+            return unsafe { kernels::and_into(&self.words, &other.words, &mut out.words) };
+        }
+        and_into_body(&self.words, &other.words, &mut out.words)
+    }
+
+    /// Fused two-level intersection counts: returns
+    /// `popcount(self & other)` and writes
+    /// `popcount(self & other & thirds[j])` into `out[j]`, all in one
+    /// pass over the words with no intermediate bitmap. This is the
+    /// second-to-last-level kernel of the index's grid walk, where
+    /// `thirds` are the leaf attribute's code bitmaps: visiting the
+    /// `(self & other)` word once and AND-ing each leaf word against it
+    /// in registers replaces a materialized intersection plus one full
+    /// re-read per leaf code.
+    ///
+    /// All bitmaps must cover the same row range; `out` must have
+    /// `thirds.len()` slots and is overwritten.
+    pub fn and_count_multi(&self, other: &Bitmap, thirds: &[Bitmap], out: &mut [u64]) -> u64 {
+        debug_assert_eq!(self.len, other.len, "AND over mismatched row ranges");
+        debug_assert_eq!(thirds.len(), out.len(), "one count slot per third bitmap");
+        for t in thirds {
+            debug_assert_eq!(self.len, t.len(), "AND over mismatched row ranges");
+        }
+        match (thirds, out) {
+            // no leaf codes to split out: a plain fused AND-popcount
+            ([], _) => self.and_count(other),
+            // one third (binary leaf attributes — the prediction column
+            // — land here): branch-free zip the optimizer can unroll
+            ([t], [o]) => {
+                #[cfg(target_arch = "x86_64")]
+                if hw_popcnt() {
+                    // SAFETY: `hw_popcnt` verified the `popcnt` CPU
+                    // feature the callee is compiled for.
+                    let (total, n) =
+                        unsafe { kernels::and_count_pair(&self.words, &other.words, &t.words) };
+                    *o = n;
+                    return total;
+                }
+                let (total, n) = and_count_pair_body(&self.words, &other.words, &t.words);
+                *o = n;
+                total
+            }
+            // wider leaves: word-major with zero-word skipping, which
+            // pays off once several popcounts hang off each word
+            (thirds, out) => {
+                #[cfg(target_arch = "x86_64")]
+                if hw_popcnt() {
+                    // SAFETY: `hw_popcnt` verified the `popcnt` CPU
+                    // feature the callee is compiled for.
+                    return unsafe {
+                        kernels::and_count_fan(&self.words, &other.words, thirds, out)
+                    };
+                }
+                and_count_fan_body(&self.words, &other.words, thirds, out)
+            }
+        }
+    }
+
+    /// `popcount(self & other)` without materializing the intersection.
+    pub fn and_count(&self, other: &Bitmap) -> u64 {
+        debug_assert_eq!(self.len, other.len, "AND over mismatched row ranges");
+        #[cfg(target_arch = "x86_64")]
+        if hw_popcnt() {
+            // SAFETY: `hw_popcnt` verified the `popcnt` CPU feature the
+            // callee is compiled for.
+            return unsafe { kernels::and_count(&self.words, &other.words) };
+        }
+        and_count_body(&self.words, &other.words)
+    }
+
+    /// Whether no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Visit the row position of every set bit, in ascending order.
+    pub fn for_each_set<F: FnMut(usize)>(&self, mut f: F) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                f(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Heap bytes held by the packed words.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    fn clear_tail(&mut self) {
+        let n_words = self.words.len();
+        if let Some(last) = self.words.last_mut() {
+            let used = self.len - (n_words - 1) * 64;
+            if used < 64 {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+    }
+}
+
+/// Whether the CPU executes the `popcnt` instruction (std caches the
+/// CPUID probe, so this is an atomic load after the first call). The
+/// portable `u64::count_ones` lowers to a ~12-op bit-twiddling sequence
+/// under the baseline x86-64 target; the counting kernels dispatch to
+/// [`kernels`] twins compiled with the feature enabled when it is
+/// actually there. Both sides run the *same* `_body` code, so dispatch
+/// can only change latency, never a count.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn hw_popcnt() -> bool {
+    std::arch::is_x86_feature_detected!("popcnt")
+}
+
+#[inline(always)]
+fn count_ones_body(words: &[u64]) -> u64 {
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+#[inline(always)]
+fn and_count_body(a: &[u64], b: &[u64]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| u64::from((x & y).count_ones()))
+        .sum()
+}
+
+#[inline(always)]
+fn and_into_body(a: &[u64], b: &[u64], out: &mut [u64]) -> u64 {
+    let mut count = 0u64;
+    for ((&x, &y), w) in a.iter().zip(b).zip(out) {
+        let v = x & y;
+        *w = v;
+        count += u64::from(v.count_ones());
+    }
+    count
+}
+
+#[inline(always)]
+fn and_count_pair_body(a: &[u64], b: &[u64], c: &[u64]) -> (u64, u64) {
+    let mut total = 0u64;
+    let mut n = 0u64;
+    for ((&x, &y), &z) in a.iter().zip(b).zip(c) {
+        let v = x & y;
+        total += u64::from(v.count_ones());
+        n += u64::from((v & z).count_ones());
+    }
+    (total, n)
+}
+
+#[inline(always)]
+fn and_count_fan_body(a: &[u64], b: &[u64], thirds: &[Bitmap], out: &mut [u64]) -> u64 {
+    out.fill(0);
+    let mut total = 0u64;
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let v = x & y;
+        if v == 0 {
+            continue;
+        }
+        total += u64::from(v.count_ones());
+        for (t, o) in thirds.iter().zip(out.iter_mut()) {
+            *o += u64::from((v & t.words[i]).count_ones());
+        }
+    }
+    total
+}
+
+/// The counting kernels recompiled with the `popcnt` target feature, so
+/// every `count_ones` lowers to the single instruction. Calling one is
+/// `unsafe` (undefined on CPUs without the feature); the only call
+/// sites sit behind [`hw_popcnt`].
+#[cfg(target_arch = "x86_64")]
+mod kernels {
+    use super::Bitmap;
+
+    #[target_feature(enable = "popcnt")]
+    pub fn count_ones(words: &[u64]) -> u64 {
+        super::count_ones_body(words)
+    }
+
+    #[target_feature(enable = "popcnt")]
+    pub fn and_count(a: &[u64], b: &[u64]) -> u64 {
+        super::and_count_body(a, b)
+    }
+
+    #[target_feature(enable = "popcnt")]
+    pub fn and_into(a: &[u64], b: &[u64], out: &mut [u64]) -> u64 {
+        super::and_into_body(a, b, out)
+    }
+
+    #[target_feature(enable = "popcnt")]
+    pub fn and_count_pair(a: &[u64], b: &[u64], c: &[u64]) -> (u64, u64) {
+        super::and_count_pair_body(a, b, c)
+    }
+
+    #[target_feature(enable = "popcnt")]
+    pub fn and_count_fan(a: &[u64], b: &[u64], thirds: &[Bitmap], out: &mut [u64]) -> u64 {
+        super::and_count_fan_body(a, b, thirds, out)
+    }
+}
+
+/// One bitmap per dictionary code of a column slice: `out[code]` has
+/// bit `i` set iff `col[i] == code`. This is the per-(attribute, code)
+/// index build primitive; passing a [`crate::shard::RowShard`] column
+/// slice yields one shard's index set.
+///
+/// Codes at or above `cardinality` (impossible in a validated
+/// [`crate::Table`], whose push path checks domains) are reported as a
+/// typed error rather than dropped, so an index can never silently
+/// under-count.
+pub fn column_bitmaps(col: &[Value], cardinality: usize) -> Result<Vec<Bitmap>> {
+    let mut out = vec![Bitmap::zeros(col.len()); cardinality];
+    for (row, &code) in col.iter().enumerate() {
+        let Some(bitmap) = out.get_mut(code as usize) else {
+            return Err(TabularError::InvalidArgument(format!(
+                "code {code} at row {row} exceeds cardinality {cardinality}"
+            )));
+        };
+        bitmap.set(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count_roundtrip() {
+        let mut b = Bitmap::zeros(130);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            b.set(i);
+            assert!(b.get(i));
+        }
+        assert!(!b.get(2));
+        assert_eq!(b.count_ones(), 8);
+        assert_eq!(b.words().len(), 3);
+    }
+
+    #[test]
+    fn ones_clears_the_tail() {
+        let b = Bitmap::ones(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!(!b.get(70));
+        let full = Bitmap::ones(128);
+        assert_eq!(full.count_ones(), 128);
+        let empty = Bitmap::ones(0);
+        assert_eq!(empty.count_ones(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn and_matches_set_intersection() {
+        let mut a = Bitmap::zeros(100);
+        let mut b = Bitmap::zeros(100);
+        for i in 0..100 {
+            if i % 2 == 0 {
+                a.set(i);
+            }
+            if i % 3 == 0 {
+                b.set(i);
+            }
+        }
+        assert_eq!(a.and_count(&b), 17); // multiples of 6 in 0..100
+        let mut c = a.clone();
+        c.and_assign(&b);
+        assert_eq!(c.count_ones(), 17);
+        // the fused single-pass variant agrees and overwrites out
+        let mut out = Bitmap::ones(100);
+        assert_eq!(a.and_into(&b, &mut out), 17);
+        assert_eq!(out, c);
+        // the two-level kernel agrees with chained and_counts
+        let mut d = Bitmap::zeros(100);
+        let mut e = Bitmap::zeros(100);
+        for i in 0..100 {
+            if i % 5 == 0 {
+                d.set(i);
+            }
+            if i % 4 == 0 {
+                e.set(i);
+            }
+        }
+        let mut counts = [7u64, 7u64];
+        let total = a.and_count_multi(&b, &[d.clone(), e.clone()], &mut counts);
+        assert_eq!(total, 17);
+        assert_eq!(counts[0], c.and_count(&d)); // multiples of 30
+        assert_eq!(counts[1], c.and_count(&e)); // multiples of 12
+        assert_eq!(counts, [4, 9]);
+        // every specialized arity agrees
+        let mut one = [0u64];
+        assert_eq!(
+            a.and_count_multi(&b, std::slice::from_ref(&d), &mut one),
+            17
+        );
+        assert_eq!(one, [4]);
+        assert_eq!(a.and_count_multi(&b, &[], &mut []), 17);
+        assert!(c.get(6) && !c.get(2) && !c.get(3));
+        assert!(!c.is_zero());
+        let mut collected = Vec::new();
+        c.for_each_set(|i| collected.push(i));
+        assert_eq!(
+            collected,
+            (0..100).filter(|i| i % 6 == 0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn from_words_validates_shape_and_tail() {
+        let b = Bitmap::ones(70);
+        let rebuilt = Bitmap::from_words(b.words().to_vec(), 70).unwrap();
+        assert_eq!(rebuilt, b);
+        // wrong word count
+        assert!(Bitmap::from_words(vec![0u64; 3], 70).is_err());
+        // set bit past len
+        assert!(Bitmap::from_words(vec![u64::MAX, u64::MAX], 70).is_err());
+        // exact multiple of 64: no tail to check
+        assert!(Bitmap::from_words(vec![u64::MAX, u64::MAX], 128).is_ok());
+        assert!(Bitmap::from_words(Vec::new(), 0).is_ok());
+    }
+
+    #[test]
+    fn column_bitmaps_partition_the_rows() {
+        let col: Vec<Value> = vec![2, 0, 1, 2, 2, 0];
+        let maps = column_bitmaps(&col, 3).unwrap();
+        assert_eq!(maps.len(), 3);
+        assert_eq!(maps[0].count_ones(), 2);
+        assert_eq!(maps[1].count_ones(), 1);
+        assert_eq!(maps[2].count_ones(), 3);
+        // every row in exactly one bitmap
+        let total: u64 = maps.iter().map(Bitmap::count_ones).sum();
+        assert_eq!(total, 6);
+        assert_eq!(maps[0].and_count(&maps[2]), 0);
+        // out-of-domain code is a typed error, not a silent drop
+        assert!(column_bitmaps(&col, 2).is_err());
+        // empty slice works
+        assert!(column_bitmaps(&[], 4).unwrap().iter().all(Bitmap::is_zero));
+    }
+}

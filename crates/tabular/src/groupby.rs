@@ -118,6 +118,60 @@ impl Counter {
         Ok(counter)
     }
 
+    /// Assemble a counter directly from a dense per-cell count vector —
+    /// the bitmap-index path's exit door back into the scan world.
+    ///
+    /// `counts` must be keyed exactly like [`Counter::build`] keys its
+    /// dense storage: mixed-radix row-major over `attrs` (last attribute
+    /// fastest), one `u64` per grid cell. Because the index produces the
+    /// same unsigned integers a scan would and this constructor stores
+    /// them in the same dense layout, a counter built here is
+    /// indistinguishable from — not just equal to — its scanned twin.
+    ///
+    /// Only dense-range grids are accepted: past the dense cell limit a scan
+    /// would have used sparse storage, so an index path producing a
+    /// dense vector there would break the storage-kind invariant
+    /// [`Counter::merge_from`] relies on.
+    pub fn from_dense(table: &Table, attrs: &[AttrId], counts: Vec<u64>) -> Result<Self> {
+        let mut radices = Vec::with_capacity(attrs.len());
+        for &a in attrs {
+            radices.push(table.schema().cardinality(a)? as u64);
+        }
+        let mut strides = vec![1u64; attrs.len()];
+        let mut grid: u64 = 1;
+        for i in (0..attrs.len()).rev() {
+            strides[i] = grid;
+            grid = grid.checked_mul(radices[i]).ok_or_else(|| {
+                TabularError::InvalidArgument("group-by grid overflows u64".into())
+            })?;
+        }
+        if grid > DENSE_LIMIT {
+            return Err(TabularError::InvalidArgument(format!(
+                "grid of {grid} cells exceeds the dense storage limit {DENSE_LIMIT}"
+            )));
+        }
+        if counts.len() as u64 != grid {
+            return Err(TabularError::InvalidArgument(format!(
+                "dense counts of {} cells do not cover the {grid}-cell grid",
+                counts.len()
+            )));
+        }
+        let mut total: u64 = 0;
+        for &n in &counts {
+            total = total
+                .checked_add(n)
+                .ok_or_else(|| TabularError::InvalidArgument("dense counts overflow u64".into()))?;
+        }
+        Ok(Counter {
+            attrs: attrs.to_vec(),
+            radices,
+            strides,
+            grid,
+            total,
+            storage: Storage::Dense(counts),
+        })
+    }
+
     /// One counting pass fanned across the shards of `sharded` (via the
     /// rayon shim) and reduced **in shard-index order**.
     ///
@@ -470,6 +524,25 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn from_dense_equals_a_scan_built_counter() {
+        let t = table();
+        let attrs = [AttrId(0), AttrId(1), AttrId(2)];
+        let scanned = Counter::build(&t, &attrs, &Context::empty()).unwrap();
+        // rebuild the dense vector a scan would produce, cell by cell
+        let mut counts = vec![0u64; scanned.grid_size() as usize];
+        scanned.for_each_nonzero(|values, n| counts[scanned.key_of(values) as usize] = n);
+        let assembled = Counter::from_dense(&t, &attrs, counts).unwrap();
+        assert_eq!(assembled.total(), scanned.total());
+        assert_eq!(assembled.nonzero_groups(), scanned.nonzero_groups());
+        // and it merges with scan-built counters (same storage kind)
+        let mut merged = assembled.clone();
+        merged.merge_from(&scanned).unwrap();
+        assert_eq!(merged.total(), 14);
+        // wrong-length vectors are typed errors
+        assert!(Counter::from_dense(&t, &attrs, vec![0; 3]).is_err());
     }
 
     #[test]

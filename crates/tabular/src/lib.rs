@@ -36,6 +36,7 @@
 //! ```
 
 pub mod binning;
+pub mod bitmap;
 pub mod context;
 pub mod csv;
 pub mod domain;
@@ -48,6 +49,7 @@ pub mod shard;
 pub mod table;
 
 pub use binning::{Binner, BinningStrategy};
+pub use bitmap::{column_bitmaps, words_for, Bitmap};
 pub use context::Context;
 pub use csv::{read_csv_file, read_csv_str, write_csv_file, write_csv_string};
 pub use domain::{AttrId, Domain, Value};
