@@ -1,0 +1,252 @@
+//! Produce the `BENCH_recourse.json` payload: recourse at 1M rows.
+//!
+//! Three measurements on the seeded 1M-row `german_syn_scaled` workload:
+//!
+//! 1. **Cold surrogate fit, before vs after** — the legacy path
+//!    (materialize a dense one-hot design, 300 epochs of full-batch
+//!    gradient descent) against the engine path (sparse one-hot Newton
+//!    over borrowed columns, labels from the bitmap index, gradient
+//!    sums fanned over the shard count). The acceptance gate is ≥5×.
+//! 2. **Warm recourse** — with surrogates precompiled, a recourse query
+//!    answers without any fitting pass.
+//! 3. **Mixed serving with the async job lane** — an in-process
+//!    `lewis-serve` over the same engine, hammered with a
+//!    recourse-inclusive mix (10:55:25:10) where recourse rides the job
+//!    lane (`?mode=async` → poll). Gates: zero unexpected errors and
+//!    sub-10ms p99 for every synchronous query kind.
+//!
+//! Run from the repo root (release!):
+//! `cargo run --release -p bench --bin bench_recourse_report > BENCH_recourse.json`
+
+use lewis_core::blackbox::label_table;
+use lewis_core::{Engine, ExplainRequest, RecourseOptions};
+use lewis_serve::loadgen::{run as run_loadgen, LoadgenConfig, Mix};
+use lewis_serve::warm::warm_engine;
+use lewis_serve::{serve, EngineEntry, EngineRegistry, ServerConfig};
+use ml::linear::{LogisticOptions, LogisticRegression};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tabular::AttrId;
+
+const ROWS: usize = 1_000_000;
+const SEED: u64 = 42;
+const ENGINE_NAME: &str = "german_syn_scaled";
+const SPEEDUP_FLOOR: f64 = 5.0;
+const SYNC_P99_CEILING_US: u64 = 10_000;
+
+fn gate(ok: bool, what: &str) {
+    if !ok {
+        eprintln!("bench_recourse_report: GATE FAILED: {what}");
+        std::process::exit(3);
+    }
+}
+
+fn main() {
+    let threads = rayon::current_num_threads();
+
+    let t0 = Instant::now();
+    let mut d = datasets::german_syn_scaled(ROWS, SEED);
+    let generate_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let outcome = d.outcome;
+    let pred = label_table(
+        &mut d.table,
+        &|row: &[tabular::Value]| u32::from(row[outcome.index()] >= 5),
+        "pred",
+    )
+    .unwrap();
+    let table = Arc::new(d.table);
+    let features = d.features.clone();
+    let graph = d.scm.graph().clone();
+
+    let t_build = Instant::now();
+    let engine = Arc::new(
+        Engine::builder(Arc::clone(&table))
+            .graph(&graph)
+            .prediction(pred, 1)
+            .features(&features)
+            .shards(4)
+            .index(true)
+            .cache_capacity(1024)
+            .build()
+            .unwrap(),
+    );
+    let engine_build_ms = t_build.elapsed().as_secs_f64() * 1e3;
+
+    // --- 1. cold fit: legacy dense GD vs the engine's sharded Newton ---
+    let actionable = [
+        datasets::GermanSynDataset::AGE,
+        datasets::GermanSynDataset::STATUS,
+    ];
+    let context: Vec<AttrId> = features
+        .iter()
+        .copied()
+        .filter(|a| !actionable.contains(a))
+        .collect();
+
+    // the legacy path, reproduced: labels by column compare, a dense
+    // one-hot (actionable) + ordinal (context) row per table row, and
+    // 300 full-batch GD epochs
+    let t_dense = Instant::now();
+    let ys: Vec<u32> = table
+        .column(pred)
+        .unwrap()
+        .iter()
+        .map(|&v| u32::from(v == 1))
+        .collect();
+    let schema = table.schema();
+    let cards: Vec<usize> = actionable
+        .iter()
+        .map(|&a| schema.cardinality(a).unwrap())
+        .collect();
+    let onehot_width: usize = cards.iter().sum();
+    let width = onehot_width + context.len();
+    let mut xs = vec![vec![0.0f64; width]; ROWS];
+    let mut offset = 0usize;
+    for (&a, &card) in actionable.iter().zip(&cards) {
+        for (x, &code) in xs.iter_mut().zip(table.column(a).unwrap()) {
+            x[offset + code as usize] = 1.0;
+        }
+        offset += card;
+    }
+    for (j, &a) in context.iter().enumerate() {
+        for (x, &code) in xs.iter_mut().zip(table.column(a).unwrap()) {
+            x[onehot_width + j] = f64::from(code);
+        }
+    }
+    let dense = LogisticRegression::fit(
+        &xs,
+        &ys,
+        &LogisticOptions {
+            epochs: 300,
+            learning_rate: 0.5,
+            l2: 1e-4,
+        },
+    )
+    .unwrap();
+    let dense_gd_ms = t_dense.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        dense.intercept.is_finite() && dense.coefficients.iter().all(|c| c.is_finite()),
+        "the dense baseline must converge to finite coefficients"
+    );
+    drop(xs);
+
+    // the engine path: first prepare is the cold fit
+    let t_newton = Instant::now();
+    engine.prepare_surrogate(&actionable).unwrap();
+    let engine_newton_ms = t_newton.elapsed().as_secs_f64() * 1e3;
+    let speedup = dense_gd_ms / engine_newton_ms;
+
+    // --- 2. warm recourse: precompile singletons, then query ---
+    let t_singles = Instant::now();
+    for &f in engine.features() {
+        engine.prepare_surrogate(&[f]).unwrap();
+    }
+    let precompile_singletons_ms = t_singles.elapsed().as_secs_f64() * 1e3;
+
+    let row = table.row(7).unwrap();
+    let request = ExplainRequest::Recourse {
+        row,
+        actionable: actionable.to_vec(),
+        opts: RecourseOptions::default(),
+    };
+    let hits_before = engine.surrogate_stats().hits;
+    let t_warm = Instant::now();
+    let _ = engine.run(&request); // Ok or a typed NoRecourse — both count
+    let warm_recourse_ms = t_warm.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        engine.surrogate_stats().hits > hits_before,
+        "the warm recourse query must hit the surrogate cache"
+    );
+
+    // --- 3. mixed serving with the job lane ---
+    let warmed = warm_engine(&engine, 256, SEED).unwrap();
+    let mut registry = EngineRegistry::new();
+    registry
+        .insert(
+            ENGINE_NAME,
+            EngineEntry {
+                engine: Arc::clone(&engine),
+                source: format!("builtin:{ENGINE_NAME} ({ROWS} rows, seed {SEED})"),
+                graph: "builtin scm".to_string(),
+                pred_name: "pred".to_string(),
+                positive: 1,
+            },
+        )
+        .unwrap();
+    let server = serve(&ServerConfig::default(), Arc::new(registry)).unwrap();
+    let loadgen_config = LoadgenConfig {
+        addr: server.addr(),
+        engine: ENGINE_NAME.to_string(),
+        duration: Duration::from_secs(10),
+        concurrency: 2,
+        mix: Mix {
+            global: 10,
+            contextual: 55,
+            local: 25,
+            recourse: 10,
+        },
+        batch: 1,
+        seed: SEED,
+        job_lane: true,
+    };
+    let report = run_loadgen(&loadgen_config).unwrap();
+    server.shutdown();
+
+    // --- gates ---
+    gate(
+        speedup >= SPEEDUP_FLOOR,
+        &format!(
+            "cold-fit speedup {speedup:.1}x < {SPEEDUP_FLOOR}x \
+             (dense {dense_gd_ms:.0}ms vs newton {engine_newton_ms:.0}ms)"
+        ),
+    );
+    gate(
+        report.other_errors == 0,
+        &format!("{} unexpected loadgen errors", report.other_errors),
+    );
+    let by_kind = report.by_kind.expect("batch=1 runs attribute per kind");
+    for (name, k) in lewis_serve::loadgen::KIND_NAMES.iter().zip(&by_kind) {
+        if *name == "recourse" {
+            continue; // async submit→poll latency is reported, not gated
+        }
+        gate(
+            k.count > 0 && k.p99_us < SYNC_P99_CEILING_US,
+            &format!(
+                "sync kind {name}: p99 {}µs over {} round-trips (ceiling {SYNC_P99_CEILING_US}µs)",
+                k.p99_us, k.count
+            ),
+        );
+    }
+
+    // --- report ---
+    println!("{{");
+    println!(
+        "  \"description\": \"Recourse at 1M rows (german_syn_scaled): cold surrogate fit before/after (dense one-hot + 300-epoch GD vs sparse sharded Newton with bitmap-index labels), warm precompiled recourse, and a 10s mixed serving run (10:55:25:10) with recourse on the async job lane. All gates asserted before printing.\","
+    );
+    println!("  \"command\": \"cargo run --release -p bench --bin bench_recourse_report\",");
+    println!("  \"environment\": {{\"cpus\": {threads}, \"shards\": 4, \"index\": true}},");
+    println!(
+        "  \"workload\": {{\"rows\": {ROWS}, \"seed\": {SEED}, \"generate_ms\": {generate_ms:.1}, \"engine_build_ms\": {engine_build_ms:.1}}},"
+    );
+    println!("  \"cold_fit\": {{");
+    println!("    \"actionable\": [\"age\", \"status\"],");
+    println!("    \"dense_gd_300_epochs_ms\": {dense_gd_ms:.1},");
+    println!("    \"engine_sharded_newton_ms\": {engine_newton_ms:.1},");
+    println!("    \"speedup\": {speedup:.1},");
+    println!("    \"gate\": \"speedup >= {SPEEDUP_FLOOR}\"");
+    println!("  }},");
+    println!("  \"warm_recourse\": {{");
+    println!("    \"precompile_singletons_ms\": {precompile_singletons_ms:.1},");
+    println!("    \"query_ms\": {warm_recourse_ms:.3},");
+    println!("    \"surrogate_cache\": \"{}\",", engine.surrogate_stats());
+    println!("    \"counting_warmup_queries\": {}", warmed.0 + warmed.1);
+    println!("  }},");
+    println!(
+        "  \"serving\": {},",
+        report.to_json(&loadgen_config).to_json()
+    );
+    println!(
+        "  \"gates\": {{\"other_errors\": 0, \"sync_kind_p99_us_ceiling\": {SYNC_P99_CEILING_US}, \"cold_fit_speedup_floor\": {SPEEDUP_FLOOR}}}"
+    );
+    println!("}}");
+}

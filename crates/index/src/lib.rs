@@ -218,6 +218,31 @@ impl TableIndex {
         Some(total)
     }
 
+    /// Materialize 0/1 labels for `attr == code` over every row,
+    /// assembled from the per-shard code bitmaps in shard-index order —
+    /// `labels[r] == 1` iff row `r` holds `code` in `attr`, exactly the
+    /// vector a column scan comparing against `code` would produce.
+    /// This is how the recourse surrogate sources its training labels
+    /// when an index is installed: one word-walk of the prediction
+    /// attribute's bitmap instead of a full-column compare.
+    ///
+    /// Returns `None` when `attr` is outside the indexed schema (the
+    /// caller's scan path owns that case); a code outside the
+    /// attribute's domain labels every row 0, as a scan would.
+    pub fn labels(&self, attr: AttrId, code: tabular::Value) -> Option<Vec<u32>> {
+        if attr.index() >= self.cardinalities.len() {
+            return None;
+        }
+        let mut labels = vec![0u32; self.n_rows];
+        for (si, shard) in self.shards.iter().enumerate() {
+            let base = self.boundaries[si];
+            if let Some(bits) = shard.attrs[attr.index()].get(code as usize) {
+                bits.for_each_set(|i| labels[base + i] = 1);
+            }
+        }
+        Some(labels)
+    }
+
     /// One shard's contribution to [`TableIndex::count`].
     fn shard_count(shard: &ShardIndex, pairs: &[(usize, usize)]) -> u64 {
         let ((a0, c0), rest) = match pairs.split_first() {
@@ -606,6 +631,32 @@ mod tests {
         );
         // attribute 7 is not in the schema: defer to the scan path
         assert_eq!(idx.count(&Context::of([(AttrId(7), 0)])), None);
+    }
+
+    #[test]
+    fn labels_match_a_column_scan_for_any_shard_count() {
+        let t = table(101);
+        for n_shards in [1usize, 2, 4, 7] {
+            let idx = TableIndex::build(&t, n_shards).unwrap();
+            for attr in [AttrId(0), AttrId(2)] {
+                for code in 0..4u32 {
+                    let scanned: Vec<u32> = t
+                        .column(attr)
+                        .unwrap()
+                        .iter()
+                        .map(|&v| u32::from(v == code))
+                        .collect();
+                    assert_eq!(
+                        idx.labels(attr, code),
+                        Some(scanned),
+                        "{attr:?}={code} over {n_shards} shards"
+                    );
+                }
+            }
+            // out-of-domain code labels nothing; unknown attr defers
+            assert_eq!(idx.labels(AttrId(1), 9), Some(vec![0u32; 101]));
+            assert_eq!(idx.labels(AttrId(7), 0), None);
+        }
     }
 
     #[test]

@@ -39,9 +39,13 @@ use crate::explain::{
     AttributeScores, ContextualExplanation, GlobalExplanation, LocalContribution, LocalExplanation,
 };
 use crate::ordering::{infer_value_order, ordered_pairs};
-use crate::recourse::{Recourse, RecourseEngine, RecourseOptions};
+use crate::recourse::{fit_surrogate, Recourse, RecourseEngine, RecourseOptions, SurrogateFit};
 use crate::scores::{ArmTable, CellArms, Contrast, ScoreEstimator, Scores};
-use crate::snapshot::{ArmSnapshot, CacheSnapshot, CellSnapshot, EngineSnapshot, PassSnapshot};
+use crate::snapshot::{
+    ArmSnapshot, CacheSnapshot, CellSnapshot, EngineSnapshot, PassSnapshot, SurrogateCacheSnapshot,
+    SurrogateSnapshot,
+};
+use crate::surrogates::SurrogateCache;
 use crate::{LewisError, Result};
 use causal::Dag;
 use rayon::prelude::*;
@@ -56,6 +60,12 @@ const DEFAULT_MIN_SUPPORT: usize = 30;
 const DEFAULT_ALPHA: f64 = 1.0;
 /// Default bound on resident counting passes.
 const DEFAULT_CACHE_CAPACITY: usize = 256;
+/// Default bound on resident fitted recourse surrogates. Real traffic
+/// repeats a handful of actionable sets, so a small bound captures the
+/// working set while capping memory for adversarial mixes. Public so
+/// pack readers can apply the same default to pre-v4 packs, which
+/// predate the surrogate cache.
+pub const DEFAULT_SURROGATE_CAPACITY: usize = 32;
 
 /// The default shard count for new engines: 1 (a single contiguous
 /// counting pass), unless the `LEWIS_TEST_SHARDS` environment variable
@@ -175,6 +185,7 @@ pub struct EngineBuilder {
     alpha: f64,
     min_support: usize,
     cache_capacity: usize,
+    surrogate_capacity: usize,
     shards: usize,
     index: bool,
 }
@@ -190,6 +201,7 @@ impl EngineBuilder {
             alpha: DEFAULT_ALPHA,
             min_support: DEFAULT_MIN_SUPPORT,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            surrogate_capacity: DEFAULT_SURROGATE_CAPACITY,
             shards: default_shards(),
             index: default_index(),
         }
@@ -247,6 +259,16 @@ impl EngineBuilder {
     #[must_use]
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Maximum fitted recourse surrogates kept resident (default 32;
+    /// clamped to at least 1). Each entry is one actionable set's
+    /// logit-linear surrogate — the expensive full-table fit recourse
+    /// queries would otherwise repeat.
+    #[must_use]
+    pub fn surrogate_capacity(mut self, capacity: usize) -> Self {
+        self.surrogate_capacity = capacity;
         self
     }
 
@@ -310,6 +332,7 @@ impl EngineBuilder {
             orders,
             min_support: self.min_support,
             cache: CountingCache::new(self.cache_capacity),
+            surrogates: SurrogateCache::new(self.surrogate_capacity),
         })
     }
 }
@@ -323,6 +346,7 @@ pub struct Engine {
     orders: Vec<Option<Vec<Value>>>,
     min_support: usize,
     cache: CountingCache,
+    surrogates: SurrogateCache,
 }
 
 impl Engine {
@@ -382,6 +406,25 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// Recourse-surrogate cache counters (hits / misses / residency).
+    pub fn surrogate_stats(&self) -> CacheStats {
+        self.surrogates.stats()
+    }
+
+    /// Fit (or reuse) the recourse surrogate for `actionable` so later
+    /// recourse queries over the same set answer from warm
+    /// coefficients. Pack compilation uses this to pre-warm the cache
+    /// the snapshot will carry.
+    pub fn prepare_surrogate(&self, actionable: &[AttrId]) -> Result<()> {
+        self.surrogate_for(actionable).map(|_| ())
+    }
+
+    /// The cached (or freshly fitted) surrogate for one actionable set.
+    fn surrogate_for(&self, actionable: &[AttrId]) -> Result<Arc<SurrogateFit>> {
+        self.surrogates
+            .get_or_build(actionable, || fit_surrogate(&self.est, actionable))
+    }
+
     /// Drop all cached counting passes (results are unaffected — the
     /// next queries just pay their scans again).
     pub fn clear_cache(&self) {
@@ -394,6 +437,16 @@ impl Engine {
     /// copied. See [`crate::snapshot`] for the fidelity guarantees and
     /// [`Engine::restore`] for the inverse.
     pub fn snapshot(&self) -> EngineSnapshot {
+        let (s_hits, s_misses, s_entries) = self.surrogates.export();
+        let fits = s_entries
+            .into_iter()
+            .map(|(actionable, fit)| SurrogateSnapshot {
+                actionable,
+                intercept: fit.intercept,
+                coefficients: fit.coefficients.clone(),
+                orders: fit.orders.clone(),
+            })
+            .collect();
         let (hits, misses, entries) = self.cache.export();
         let passes = entries
             .into_iter()
@@ -437,6 +490,12 @@ impl Engine {
                 misses,
                 passes,
             },
+            surrogate_capacity: self.surrogates.stats().capacity,
+            surrogates: SurrogateCacheSnapshot {
+                hits: s_hits,
+                misses: s_misses,
+                fits,
+            },
             index: self.est.index().map(Arc::clone),
         }
     }
@@ -464,6 +523,8 @@ impl Engine {
             features,
             orders,
             cache,
+            surrogate_capacity,
+            surrogates,
             index,
         } = snapshot;
         // An out-of-range shard count can only come from a hand-crafted
@@ -549,12 +610,36 @@ impl Engine {
             .into_iter()
             .map(|pass| restore_pass(&est, pass))
             .collect::<Result<Vec<_>>>()?;
+        // Each surrogate must fit this engine's layout exactly — the
+        // same shape checks a warm lookup would apply. A fit from a
+        // foreign engine (different schema, graph or actionable set)
+        // is rejected typed, never served.
+        let fits = surrogates
+            .fits
+            .into_iter()
+            .map(|s| {
+                let fit = Arc::new(SurrogateFit {
+                    intercept: s.intercept,
+                    coefficients: s.coefficients,
+                    orders: s.orders,
+                });
+                RecourseEngine::with_fit(&est, &s.actionable, Arc::clone(&fit))
+                    .map_err(|e| LewisError::Invalid(format!("snapshot surrogate: {e}")))?;
+                Ok((s.actionable, fit))
+            })
+            .collect::<Result<Vec<_>>>()?;
         Ok(Engine {
             est,
             features,
             orders,
             min_support,
             cache: CountingCache::restore(cache_capacity, cache.hits, cache.misses, entries),
+            surrogates: SurrogateCache::restore(
+                surrogate_capacity,
+                surrogates.hits,
+                surrogates.misses,
+                fits,
+            ),
         })
     }
 
@@ -606,7 +691,10 @@ impl Engine {
             }
         }
         for (actionable, idxs) in recourse_groups {
-            match RecourseEngine::new(&self.est, &actionable) {
+            let build = self
+                .surrogate_for(&actionable)
+                .and_then(|fit| RecourseEngine::with_fit(&self.est, &actionable, fit));
+            match build {
                 Ok(engine) => {
                     for i in idxs {
                         let ExplainRequest::Recourse { row, opts, .. } = &requests[i] else {
@@ -787,17 +875,19 @@ impl Engine {
         })
     }
 
-    /// Minimal-cost actionable recourse for `row` (§4.2). Fits the
-    /// logit-linear surrogate for `actionable` on the spot; use
-    /// [`Engine::run_batch`] to amortize that fit over many individuals
-    /// with the same actionable set.
+    /// Minimal-cost actionable recourse for `row` (§4.2). The
+    /// logit-linear surrogate for `actionable` is served from the
+    /// engine's surrogate cache — only the first query over a set pays
+    /// the full-table fit; repeats (and pack-restored warm sets) reuse
+    /// the coefficients bit-identically.
     pub fn recourse(
         &self,
         row: &[Value],
         actionable: &[AttrId],
         opts: &RecourseOptions,
     ) -> Result<Recourse> {
-        RecourseEngine::new(&self.est, actionable)?.recourse(row, opts)
+        let fit = self.surrogate_for(actionable)?;
+        RecourseEngine::with_fit(&self.est, actionable, fit)?.recourse(row, opts)
     }
 
     /// One attribute's local contribution (the §3.2 rules; see

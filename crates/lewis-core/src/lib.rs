@@ -45,6 +45,7 @@ pub mod report;
 pub mod scores;
 pub mod snapshot;
 pub mod statements;
+pub(crate) mod surrogates;
 
 pub use blackbox::{BlackBox, ClassifierBox, RegressorThresholdBox};
 pub use engine::{CacheStats, Engine, EngineBuilder, ExplainRequest, ExplainResponse};
@@ -52,7 +53,7 @@ pub use engine::{CacheStats, Engine, EngineBuilder, ExplainRequest, ExplainRespo
 pub use explain::Lewis;
 pub use explain::{ContextualExplanation, GlobalExplanation, LocalExplanation};
 pub use ordering::infer_value_order;
-pub use recourse::{Action, CostModel, Recourse, RecourseOptions};
+pub use recourse::{surrogate_width, Action, CostModel, Recourse, RecourseOptions, SurrogateFit};
 pub use scores::{Contrast, ScoreEstimator, ScoreKind, Scores};
 pub use snapshot::EngineSnapshot;
 pub use statements::{OutcomeWords, Statement};

@@ -25,9 +25,14 @@
 use crate::ordering::infer_value_order;
 use crate::scores::ScoreEstimator;
 use crate::{LewisError, Result};
-use ml::linear::{logit, LogisticOptions, LogisticRegression};
+use causal::Dag;
+use ml::linalg::dot;
+use ml::linear::{
+    logit, sigmoid, LogisticRegression, NewtonOptions, OneHotBlock, OneHotDesign, OrdinalFeature,
+};
 use optim::{Group, IpError, Item, MckpSolver};
-use tabular::{AttrId, Context, Value};
+use std::sync::Arc;
+use tabular::{AttrId, Context, Table, Value};
 
 /// Cost model `φ_A(a, â)` for changing an actionable attribute.
 #[derive(Debug, Clone)]
@@ -130,129 +135,263 @@ pub struct Recourse {
     pub n_constraints: usize,
 }
 
+/// A fitted recourse surrogate for one *ordered* actionable set: the
+/// logit-linear coefficients over the `[one-hot per actionable attr
+/// ...][ordinal context]` layout (the order of `actionable` fixes the
+/// layout, so the fit is only valid for that exact order), plus the
+/// inferred value orders the cost model ranks against. Plain data —
+/// cacheable on the engine, exportable through snapshots and `.lewis`
+/// packs, so a restored server answers recourse from warm coefficients
+/// without refitting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateFit {
+    /// Surrogate intercept.
+    pub intercept: f64,
+    /// Coefficients over the one-hot + ordinal-context layout.
+    pub coefficients: Vec<f64>,
+    /// Inferred value order per actionable attribute.
+    pub orders: Vec<Vec<Value>>,
+}
+
+/// The surrogate's feature layout for one actionable set — derivable
+/// from schema + graph alone, no table scan.
+pub(crate) struct SurrogatePlan {
+    /// One-hot start slot per actionable attribute.
+    offsets: Vec<usize>,
+    /// Ordinal context attributes appended after the one-hot block.
+    context_attrs: Vec<AttrId>,
+    /// First ordinal slot.
+    ctx_base: usize,
+    /// Total feature width.
+    width: usize,
+}
+
+/// Derive the surrogate feature layout: one-hot slots for each
+/// actionable attribute, then one ordinal slot per context attribute
+/// (`K` = the non-descendants of `A` per §4.2; with no graph, every
+/// non-prediction non-actionable attribute).
+pub(crate) fn surrogate_plan(
+    table: &Table,
+    graph: Option<&Dag>,
+    pred: AttrId,
+    actionable: &[AttrId],
+) -> Result<SurrogatePlan> {
+    // K = non-descendants of every actionable attribute (derived
+    // columns outside the graph are excluded — they may leak the
+    // outcome).
+    let context_attrs: Vec<AttrId> = match graph {
+        Some(g) => table
+            .schema()
+            .attr_ids()
+            .filter(|&a| {
+                a != pred
+                    && a.index() < g.n_nodes()
+                    && !actionable.contains(&a)
+                    && !actionable
+                        .iter()
+                        .any(|&x| g.is_strict_descendant(a.index(), x.index()))
+            })
+            .collect(),
+        None => table
+            .schema()
+            .attr_ids()
+            .filter(|&a| a != pred && !actionable.contains(&a))
+            .collect(),
+    };
+    let mut offsets = Vec::with_capacity(actionable.len());
+    let mut width = 0usize;
+    for &a in actionable {
+        offsets.push(width);
+        width += table.schema().cardinality(a)?;
+    }
+    let ctx_base = width;
+    width += context_attrs.len();
+    Ok(SurrogatePlan {
+        offsets,
+        context_attrs,
+        ctx_base,
+        width,
+    })
+}
+
+/// The surrogate's feature width for `actionable` on this table/graph —
+/// what `coefficients.len()` of a valid [`SurrogateFit`] must equal.
+/// The pack reader uses this to reject foreign-engine surrogate
+/// sections (typed `Mismatch`) before anything is restored.
+pub fn surrogate_width(
+    table: &Table,
+    graph: Option<&Dag>,
+    pred: AttrId,
+    actionable: &[AttrId],
+) -> Result<usize> {
+    validate_parts(table, graph, pred, actionable)?;
+    Ok(surrogate_plan(table, graph, pred, actionable)?.width)
+}
+
+/// The configuration checks shared by [`RecourseEngine::new`] and the
+/// pack/snapshot validators.
+fn validate_parts(
+    table: &Table,
+    graph: Option<&Dag>,
+    pred: AttrId,
+    actionable: &[AttrId],
+) -> Result<()> {
+    if actionable.is_empty() {
+        return Err(LewisError::Invalid("no actionable attributes".into()));
+    }
+    for &a in actionable {
+        if a == pred {
+            return Err(LewisError::Invalid(
+                "prediction column is not actionable".into(),
+            ));
+        }
+        if a.index() >= table.schema().len() {
+            return Err(LewisError::Invalid(format!(
+                "actionable attribute {a} is not in the schema"
+            )));
+        }
+    }
+    if let Some(g) = graph {
+        for &a in actionable {
+            if a.index() >= g.n_nodes() {
+                return Err(LewisError::Invalid(format!(
+                    "actionable attribute {a} is not a causal-graph node"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fit the logit-linear surrogate `Pr(o | a, k)` (eq. 28) for one
+/// actionable set: a sparse one-hot + ordinal design borrowed straight
+/// from the table's columns (no dense matrix), labels taken from the
+/// prediction attribute's bitmap when an index is installed (a word
+/// walk instead of a column compare), and a Newton/IRLS fit whose
+/// gradient/Hessian sums fan over the engine's shard count — the
+/// coefficients are bit-identical for any shard count.
+pub(crate) fn fit_surrogate(est: &ScoreEstimator, actionable: &[AttrId]) -> Result<SurrogateFit> {
+    RecourseEngine::validate(est, actionable)?;
+    let table = est.table();
+    let pred = est.pred_attr();
+    let plan = surrogate_plan(table, est.graph(), pred, actionable)?;
+    let ys: Vec<u32> = match est.index().and_then(|ix| ix.labels(pred, est.positive())) {
+        Some(labels) => labels,
+        None => table
+            .column(pred)?
+            .iter()
+            .map(|&v| u32::from(v == est.positive()))
+            .collect(),
+    };
+    let mut blocks = Vec::with_capacity(actionable.len());
+    for (i, &a) in actionable.iter().enumerate() {
+        blocks.push(OneHotBlock {
+            offset: plan.offsets[i],
+            cardinality: table.schema().cardinality(a)?,
+            codes: table.column(a)?,
+        });
+    }
+    let mut ordinals = Vec::with_capacity(plan.context_attrs.len());
+    for (j, &a) in plan.context_attrs.iter().enumerate() {
+        ordinals.push(OrdinalFeature {
+            slot: plan.ctx_base + j,
+            values: table.column(a)?,
+        });
+    }
+    let design = OneHotDesign {
+        width: plan.width,
+        n_rows: table.n_rows(),
+        blocks,
+        ordinals,
+    };
+    let model = LogisticRegression::fit_onehot_newton(
+        &design,
+        &ys,
+        &NewtonOptions::default(),
+        est.shards(),
+    )?;
+    let mut orders = Vec::with_capacity(actionable.len());
+    for &a in actionable {
+        orders.push(infer_value_order(table, a, pred, est.positive())?);
+    }
+    Ok(SurrogateFit {
+        intercept: model.intercept,
+        coefficients: model.coefficients,
+        orders,
+    })
+}
+
 /// The recourse generator.
 pub struct RecourseEngine<'a> {
     est: &'a ScoreEstimator,
     actionable: Vec<AttrId>,
-    surrogate: LogisticRegression,
+    fit: Arc<SurrogateFit>,
     /// one-hot feature offsets: per actionable attr, start index
     offsets: Vec<usize>,
     /// context attributes appended after the one-hot block
     context_attrs: Vec<AttrId>,
-    orders: Vec<Vec<Value>>,
 }
 
 impl<'a> RecourseEngine<'a> {
-    /// Build an engine for a fixed set of actionable attributes.
-    ///
-    /// Fits the logit-linear surrogate `Pr(o | a, k)` on the labelled
-    /// table: one-hot features for each actionable attribute plus ordinal
-    /// features for the non-descendant context attributes (`K` = the
-    /// non-descendants of `A`, per §4.2).
+    /// Build an engine for a fixed set of actionable attributes,
+    /// fitting the surrogate fresh (see the private `fit_surrogate`'s
+    /// docs for the sharded-fit determinism guarantee). Engines with a
+    /// surrogate cache go through [`RecourseEngine::with_fit`] instead.
     pub fn new(est: &'a ScoreEstimator, actionable: &[AttrId]) -> Result<Self> {
+        let fit = Arc::new(fit_surrogate(est, actionable)?);
+        Self::with_fit(est, actionable, fit)
+    }
+
+    /// Assemble the generator from an already-fitted surrogate (the
+    /// engine's surrogate cache, or coefficients restored from a
+    /// `.lewis` pack). Validates the fit's shape against this
+    /// estimator's layout, so a foreign engine's fit is rejected as
+    /// `Invalid` rather than silently mis-indexed.
+    pub fn with_fit(
+        est: &'a ScoreEstimator,
+        actionable: &[AttrId],
+        fit: Arc<SurrogateFit>,
+    ) -> Result<Self> {
         Self::validate(est, actionable)?;
         let table = est.table();
-        let pred = est.pred_attr();
-        // K = non-descendants of every actionable attribute (derived
-        // columns outside the graph are excluded — they may leak the
-        // outcome).
-        let context_attrs: Vec<AttrId> = match est.graph() {
-            Some(g) => table
-                .schema()
-                .attr_ids()
-                .filter(|&a| {
-                    a != pred
-                        && a.index() < g.n_nodes()
-                        && !actionable.contains(&a)
-                        && !actionable
-                            .iter()
-                            .any(|&x| g.is_strict_descendant(a.index(), x.index()))
-                })
-                .collect(),
-            None => table
-                .schema()
-                .attr_ids()
-                .filter(|&a| a != pred && !actionable.contains(&a))
-                .collect(),
-        };
-
-        // feature layout: [one-hot per actionable attr ...][ordinal context]
-        let mut offsets = Vec::with_capacity(actionable.len());
-        let mut width = 0usize;
-        for &a in actionable {
-            offsets.push(width);
-            width += table.schema().cardinality(a)?;
+        let plan = surrogate_plan(table, est.graph(), est.pred_attr(), actionable)?;
+        if fit.coefficients.len() != plan.width {
+            return Err(LewisError::Invalid(format!(
+                "surrogate has {} coefficients, layout needs {}",
+                fit.coefficients.len(),
+                plan.width
+            )));
         }
-        let ctx_base = width;
-        width += context_attrs.len();
-
-        let mut xs: Vec<Vec<f64>> = Vec::with_capacity(table.n_rows());
-        for r in 0..table.n_rows() {
-            let mut feat = vec![0.0f64; width];
-            for (i, &a) in actionable.iter().enumerate() {
-                let code = table.get(r, a)? as usize;
-                feat[offsets[i] + code] = 1.0;
-            }
-            for (j, &a) in context_attrs.iter().enumerate() {
-                feat[ctx_base + j] = f64::from(table.get(r, a)?);
-            }
-            xs.push(feat);
+        if fit.orders.len() != actionable.len() {
+            return Err(LewisError::Invalid(format!(
+                "surrogate has {} value orders for {} actionable attributes",
+                fit.orders.len(),
+                actionable.len()
+            )));
         }
-        let ys: Vec<u32> = table
-            .column(pred)?
-            .iter()
-            .map(|&v| u32::from(v == est.positive()))
-            .collect();
-        let surrogate = LogisticRegression::fit(
-            &xs,
-            &ys,
-            &LogisticOptions {
-                epochs: 300,
-                learning_rate: 0.5,
-                l2: 1e-4,
-            },
-        )?;
-
-        let mut orders = Vec::with_capacity(actionable.len());
-        for &a in actionable {
-            orders.push(infer_value_order(table, a, pred, est.positive())?);
+        for (&a, order) in actionable.iter().zip(&fit.orders) {
+            let card = table.schema().cardinality(a)?;
+            if order.len() != card || (0..card as Value).any(|v| !order.contains(&v)) {
+                return Err(LewisError::Invalid(format!(
+                    "surrogate value order for attribute {a} is not a permutation of its domain"
+                )));
+            }
         }
         Ok(RecourseEngine {
             est,
             actionable: actionable.to_vec(),
-            surrogate,
-            offsets,
-            context_attrs,
-            orders,
+            fit,
+            offsets: plan.offsets,
+            context_attrs: plan.context_attrs,
         })
     }
 
     /// The cheap configuration checks [`RecourseEngine::new`] performs
-    /// before paying for the feature matrix and the surrogate fit.
-    /// `Engine::run_batch` uses this to re-derive a failed group's
-    /// build error per request without repeating the expensive work.
+    /// before paying for the surrogate fit. `Engine::run_batch` uses
+    /// this to re-derive a failed group's build error per request
+    /// without repeating the expensive work.
     pub(crate) fn validate(est: &ScoreEstimator, actionable: &[AttrId]) -> Result<()> {
-        if actionable.is_empty() {
-            return Err(LewisError::Invalid("no actionable attributes".into()));
-        }
-        let pred = est.pred_attr();
-        for &a in actionable {
-            if a == pred {
-                return Err(LewisError::Invalid(
-                    "prediction column is not actionable".into(),
-                ));
-            }
-        }
-        if let Some(g) = est.graph() {
-            for &a in actionable {
-                if a.index() >= g.n_nodes() {
-                    return Err(LewisError::Invalid(format!(
-                        "actionable attribute {a} is not a causal-graph node"
-                    )));
-                }
-            }
-        }
-        Ok(())
+        validate_parts(est.table(), est.graph(), est.pred_attr(), actionable)
     }
 
     /// The actionable attributes.
@@ -266,15 +405,13 @@ impl<'a> RecourseEngine<'a> {
         self.actionable.len() + 1
     }
 
+    /// The surrogate's positive probability for a feature vector.
+    fn predict(&self, feat: &[f64]) -> f64 {
+        sigmoid(self.fit.intercept + dot(&self.fit.coefficients, feat))
+    }
+
     fn features_for(&self, row: &[Value], overrides: &[(AttrId, Value)]) -> Vec<f64> {
-        let width = self.offsets.last().unwrap()
-            + self
-                .est
-                .table()
-                .schema()
-                .cardinality(*self.actionable.last().unwrap())
-                .expect("validated")
-            + self.context_attrs.len();
+        let width = self.fit.coefficients.len();
         let mut feat = vec![0.0f64; width];
         let value_of = |a: AttrId| -> Value {
             overrides
@@ -306,9 +443,7 @@ impl<'a> RecourseEngine<'a> {
         // Recourse targets negative decisions (§3.2); a positive
         // individual needs no action — constraint (25) holds with δ = 0.
         if row[self.est.pred_attr().index()] == self.est.positive() {
-            let p = self
-                .surrogate
-                .predict_proba_one(&self.features_for(row, &[]));
+            let p = self.predict(&self.features_for(row, &[]));
             return Ok(Recourse {
                 actions: Vec::new(),
                 total_cost: 0.0,
@@ -324,7 +459,7 @@ impl<'a> RecourseEngine<'a> {
 
         // Current surrogate probability and required target (eq. 28).
         let base_feat = self.features_for(row, &[]);
-        let p_cur = self.surrogate.predict_proba_one(&base_feat);
+        let p_cur = self.predict(&base_feat);
         let target_p = (p_cur + opts.alpha * (1.0 - p_cur)).min(1.0 - 1e-6);
         let required_gain = logit(target_p) - logit(p_cur);
         if required_gain <= 0.0 {
@@ -343,8 +478,8 @@ impl<'a> RecourseEngine<'a> {
         for (i, &a) in self.actionable.iter().enumerate() {
             let card = table.schema().cardinality(a)?;
             let current = row[a.index()];
-            let beta_cur = self.surrogate.coefficients[self.offsets[i] + current as usize];
-            let order = &self.orders[i];
+            let beta_cur = self.fit.coefficients[self.offsets[i] + current as usize];
+            let order = &self.fit.orders[i];
             let rank_of = |v: Value| order.iter().position(|&o| o == v).unwrap_or(0);
             let cur_rank = rank_of(current);
             let mut items = Vec::with_capacity(card.saturating_sub(1));
@@ -352,7 +487,7 @@ impl<'a> RecourseEngine<'a> {
                 if v == current {
                     continue;
                 }
-                let gain = self.surrogate.coefficients[self.offsets[i] + v as usize] - beta_cur;
+                let gain = self.fit.coefficients[self.offsets[i] + v as usize] - beta_cur;
                 let cost = opts.cost.cost(a, cur_rank, rank_of(v));
                 items.push(Item {
                     id: v as usize,
@@ -433,7 +568,7 @@ impl<'a> RecourseEngine<'a> {
                             let to = vid as Value;
                             let dom = table.schema().attr(attr).expect("valid").domain.clone();
                             let i = self.actionable.iter().position(|&a| a == attr).unwrap();
-                            let order = &self.orders[i];
+                            let order = &self.fit.orders[i];
                             let rank_of =
                                 |v: Value| order.iter().position(|&o| o == v).unwrap_or(0);
                             Action {
@@ -449,9 +584,7 @@ impl<'a> RecourseEngine<'a> {
                         .collect();
                     let overrides: Vec<(AttrId, Value)> =
                         actions.iter().map(|a| (a.attr, a.to)).collect();
-                    let p_new = self
-                        .surrogate
-                        .predict_proba_one(&self.features_for(row, &overrides));
+                    let p_new = self.predict(&self.features_for(row, &overrides));
                     return Ok(Recourse {
                         actions,
                         total_cost: solution.total_cost,
@@ -524,12 +657,18 @@ impl<'a> RecourseEngine<'a> {
 
     /// The individual's context on non-descendants of the actionable set,
     /// greedily backed off to keep at least `min_support` matching rows.
+    /// Support probes go through the per-(feature, code) bitmap index
+    /// when one is installed, falling back to a table scan otherwise.
     fn context_with_support(&self, row: &[Value], min_support: usize) -> Context {
         let table = self.est.table();
+        let index = self.est.index();
         let mut ctx = Context::empty();
         for &a in &self.context_attrs {
             let trial = ctx.with(a, row[a.index()]);
-            if table.count(&trial) >= min_support {
+            let support = index
+                .and_then(|ix| ix.count(&trial))
+                .map_or_else(|| table.count(&trial), |c| c as usize);
+            if support >= min_support {
                 ctx = trial;
             }
         }

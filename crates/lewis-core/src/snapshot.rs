@@ -83,6 +83,33 @@ pub struct CacheSnapshot {
     pub passes: Vec<PassSnapshot>,
 }
 
+/// One resident fitted recourse surrogate (see
+/// [`crate::SurrogateFit`]): the cache key — the exact *ordered*
+/// actionable set, which fixes the coefficient layout — plus the fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateSnapshot {
+    /// The ordered actionable set the surrogate was fitted for.
+    pub actionable: Vec<AttrId>,
+    /// Surrogate intercept.
+    pub intercept: f64,
+    /// Coefficients over the one-hot + ordinal-context layout.
+    pub coefficients: Vec<f64>,
+    /// Inferred value order per actionable attribute.
+    pub orders: Vec<Vec<Value>>,
+}
+
+/// The recourse-surrogate cache: lifetime counters plus resident fits
+/// in recency order (least recently used first).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SurrogateCacheSnapshot {
+    /// Lookups answered from the cache over the donor's lifetime.
+    pub hits: u64,
+    /// Lookups that ran a surrogate fit over the donor's lifetime.
+    pub misses: u64,
+    /// Resident fits, least recently used first.
+    pub fits: Vec<SurrogateSnapshot>,
+}
+
 /// Everything needed to rebuild an [`crate::Engine`] exactly — see the
 /// module docs for the fidelity guarantees.
 #[derive(Debug, Clone)]
@@ -113,6 +140,12 @@ pub struct EngineSnapshot {
     pub orders: Vec<Option<Vec<Value>>>,
     /// The warm counting-pass cache.
     pub cache: CacheSnapshot,
+    /// Bound on resident fitted recourse surrogates.
+    pub surrogate_capacity: usize,
+    /// The warm recourse-surrogate cache — carried so a restored engine
+    /// answers recourse over the donor's actionable sets from warm
+    /// coefficients, without refitting.
+    pub surrogates: SurrogateCacheSnapshot,
     /// The per-(attribute, code) bitmap index, when the donor had one
     /// (shared, not copied). Restore validates it against the table and
     /// installs it verbatim, so a restored engine skips the index

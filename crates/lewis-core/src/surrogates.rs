@@ -1,0 +1,271 @@
+//! Bounded, thread-safe cache of fitted recourse surrogates.
+//!
+//! Every recourse query over the same actionable set needs the same
+//! logit-linear surrogate (eq. 28) — the one genuinely expensive part
+//! of answering recourse, a full-table Newton fit. Real traffic repeats
+//! actionable sets constantly (a product exposes a handful of "what can
+//! the user change" configurations), so the [`crate::Engine`] keeps the
+//! fitted coefficients here and rebuilds the per-row generator from
+//! warm coefficients in microseconds.
+//!
+//! Properties mirror [`crate::cache`]'s counting cache:
+//! * **bit-identical results** — a hit returns the very
+//!   [`SurrogateFit`] a cold fit would have produced (the sharded
+//!   Newton fit is deterministic for any shard count), so cached
+//!   recourse equals uncached recourse bit for bit;
+//! * **bounded** — at most `capacity` entries, evicting the least
+//!   recently used;
+//! * **thread-safe** — a single mutex guards the map; the fit itself
+//!   runs outside the lock, so concurrent misses fit in parallel (a
+//!   rare duplicate fit inserts an equivalent surrogate — harmless);
+//! * **exportable** — entries round-trip through engine snapshots and
+//!   `.lewis` pack format v4, so a restored server answers recourse
+//!   from warm coefficients without refitting.
+
+use crate::cache::CacheStats;
+use crate::recourse::SurrogateFit;
+use crate::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tabular::{AttrId, FxHashMap};
+
+/// The bounded LRU map itself. Keyed by the exact *ordered* actionable
+/// set — the order fixes the surrogate's coefficient layout, so two
+/// orderings of the same attributes are distinct (and both valid)
+/// entries. Interior-mutable so the engine can stay `&self` everywhere.
+pub(crate) struct SurrogateCache {
+    inner: Mutex<SurrogateInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// `export`'s payload: lifetime hits, lifetime misses, and the resident
+/// fits least-recently-touched first.
+pub(crate) type SurrogateExport = (u64, u64, Vec<(Vec<AttrId>, Arc<SurrogateFit>)>);
+
+#[derive(Default)]
+struct SurrogateInner {
+    /// Value: `(last-touched stamp, shared fit)`.
+    map: FxHashMap<Vec<AttrId>, (u64, Arc<SurrogateFit>)>,
+    /// Monotone counter driving LRU recency.
+    stamp: u64,
+}
+
+impl SurrogateCache {
+    /// An empty cache holding at most `capacity` fits (`capacity` is
+    /// clamped to at least 1 — a zero-size cache would still be correct
+    /// but would turn every lookup into a miss plus bookkeeping).
+    pub(crate) fn new(capacity: usize) -> Self {
+        SurrogateCache {
+            inner: Mutex::new(SurrogateInner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Return the cached fit for `actionable` or run `build` and cache
+    /// its result. Errors are returned without being cached, so an
+    /// invalid actionable set does not poison later lookups.
+    pub(crate) fn get_or_build(
+        &self,
+        actionable: &[AttrId],
+        build: impl FnOnce() -> Result<SurrogateFit>,
+    ) -> Result<Arc<SurrogateFit>> {
+        {
+            let mut inner = self.inner.lock().expect("surrogate cache lock");
+            inner.stamp += 1;
+            let stamp = inner.stamp;
+            if let Some((touched, fit)) = inner.map.get_mut(actionable) {
+                *touched = stamp;
+                let fit = Arc::clone(fit);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(fit);
+            }
+        }
+        // Miss: fit outside the lock so other queries keep flowing.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fit = Arc::new(build()?);
+        let mut inner = self.inner.lock().expect("surrogate cache lock");
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        inner
+            .map
+            .entry(actionable.to_vec())
+            .or_insert((stamp, Arc::clone(&fit)));
+        while inner.map.len() > self.capacity {
+            let oldest = inner
+                .map
+                // lint:allow(ordered-iteration): recency stamps are a unique monotone counter, so min_by_key has one answer in any visit order
+                .iter()
+                .min_by_key(|(_, (touched, _))| *touched)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over capacity");
+            inner.map.remove(&oldest);
+        }
+        Ok(fit)
+    }
+
+    /// Current counters and occupancy (same shape as the counting
+    /// cache's stats, so `/metrics` reports both uniformly).
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("surrogate cache lock").map.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Export the resident fits in **recency order** (least recently
+    /// touched first) together with the lifetime counters — the payload
+    /// of an engine snapshot. The `Arc`s are shared, not copied.
+    pub(crate) fn export(&self) -> SurrogateExport {
+        let inner = self.inner.lock().expect("surrogate cache lock");
+        let mut entries: Vec<(u64, Vec<AttrId>, Arc<SurrogateFit>)> = inner
+            .map
+            // lint:allow(ordered-iteration): the collected entries are sorted by their unique recency stamp below, erasing the hash visit order
+            .iter()
+            .map(|(k, (touched, fit))| (*touched, k.clone(), Arc::clone(fit)))
+            .collect();
+        entries.sort_by_key(|(touched, _, _)| *touched);
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            entries.into_iter().map(|(_, k, f)| (k, f)).collect(),
+        )
+    }
+
+    /// Rebuild a cache from exported state. `entries` must be in
+    /// recency order (as produced by [`SurrogateCache::export`]): they
+    /// are re-stamped in sequence, so LRU eviction behaves exactly as
+    /// in the donor. Entries beyond `capacity` evict from the front,
+    /// mirroring what the donor's own bound would have kept.
+    pub(crate) fn restore(
+        capacity: usize,
+        hits: u64,
+        misses: u64,
+        entries: Vec<(Vec<AttrId>, Arc<SurrogateFit>)>,
+    ) -> Self {
+        let cache = SurrogateCache::new(capacity);
+        {
+            let mut inner = cache.inner.lock().expect("surrogate cache lock");
+            let keep = entries.len().saturating_sub(cache.capacity);
+            for (key, fit) in entries.into_iter().skip(keep) {
+                inner.stamp += 1;
+                let stamp = inner.stamp;
+                inner.map.insert(key, (stamp, fit));
+            }
+        }
+        cache.hits.store(hits, Ordering::Relaxed);
+        cache.misses.store(misses, Ordering::Relaxed);
+        cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LewisError;
+
+    fn fit_of(v: f64) -> SurrogateFit {
+        SurrogateFit {
+            intercept: v,
+            coefficients: vec![v; 3],
+            orders: vec![vec![0, 1, 2]],
+        }
+    }
+
+    #[test]
+    fn hit_returns_same_fit_and_counts() {
+        let cache = SurrogateCache::new(8);
+        let key = vec![AttrId(1), AttrId(2)];
+        let a = cache.get_or_build(&key, || Ok(fit_of(1.0))).unwrap();
+        let b = cache
+            .get_or_build(&key, || panic!("must not refit on a hit"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the cached fit");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn key_order_matters() {
+        // [1, 2] and [2, 1] have different coefficient layouts: both
+        // must be resident, neither may answer for the other.
+        let cache = SurrogateCache::new(8);
+        cache
+            .get_or_build(&[AttrId(1), AttrId(2)], || Ok(fit_of(1.0)))
+            .unwrap();
+        let b = cache
+            .get_or_build(&[AttrId(2), AttrId(1)], || Ok(fit_of(2.0)))
+            .unwrap();
+        assert_eq!(b.intercept, 2.0, "reversed set must fit fresh");
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn capacity_bounds_residency_lru() {
+        let cache = SurrogateCache::new(2);
+        for v in 0..4u32 {
+            cache
+                .get_or_build(&[AttrId(v)], || Ok(fit_of(f64::from(v))))
+                .unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 2, "LRU must evict down to capacity");
+        assert_eq!(s.misses, 4);
+        // the two newest keys survive
+        cache
+            .get_or_build(&[AttrId(3)], || panic!("3 must be resident"))
+            .unwrap();
+        cache
+            .get_or_build(&[AttrId(2)], || panic!("2 must be resident"))
+            .unwrap();
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = SurrogateCache::new(2);
+        for _ in 0..2 {
+            let r = cache.get_or_build(&[AttrId(0)], || Err(LewisError::Invalid("bad set".into())));
+            assert!(r.is_err());
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.misses, 2, "both lookups must have tried to fit");
+    }
+
+    #[test]
+    fn export_restore_round_trips_in_recency_order() {
+        let cache = SurrogateCache::new(4);
+        for v in 0..3u32 {
+            cache
+                .get_or_build(&[AttrId(v)], || Ok(fit_of(f64::from(v))))
+                .unwrap();
+        }
+        // touch 0 so it becomes most recent
+        cache
+            .get_or_build(&[AttrId(0)], || panic!("resident"))
+            .unwrap();
+        let (hits, misses, entries) = cache.export();
+        assert_eq!((hits, misses), (1, 3));
+        let keys: Vec<_> = entries.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(
+            keys,
+            vec![vec![AttrId(1)], vec![AttrId(2)], vec![AttrId(0)]],
+            "least recently touched first"
+        );
+        // restoring into a smaller cache keeps the most recent entries
+        let small = SurrogateCache::restore(2, hits, misses, entries);
+        assert_eq!(small.stats().entries, 2);
+        small
+            .get_or_build(&[AttrId(0)], || panic!("most recent must survive"))
+            .unwrap();
+        small
+            .get_or_build(&[AttrId(2)], || panic!("second most recent must survive"))
+            .unwrap();
+    }
+}

@@ -44,6 +44,7 @@ const UNTRUSTED_INPUT_FILES: &[&str] = &[
     "crates/store/src/bytes.rs",
     "crates/store/src/pack.rs",
     "crates/index/src/codec.rs",
+    "crates/jobs/src/lib.rs",
 ];
 
 /// Modules where f64 summation order or serialized byte order could
@@ -57,6 +58,7 @@ const DETERMINISM_CRITICAL_FILES: &[&str] = &[
     "crates/lewis-core/src/scores.rs",
     "crates/lewis-core/src/cache.rs",
     "crates/lewis-core/src/snapshot.rs",
+    "crates/lewis-core/src/surrogates.rs",
     "crates/store/src/pack.rs",
     "crates/index/src/lib.rs",
     "crates/index/src/codec.rs",

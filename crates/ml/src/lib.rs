@@ -36,7 +36,9 @@ pub use encode::TableEncoder;
 pub use forest::{RandomForestClassifier, RandomForestRegressor};
 pub use gbdt::GradientBoostedTrees;
 pub use linalg::Matrix;
-pub use linear::{LinearRegression, LogisticRegression};
+pub use linear::{
+    LinearRegression, LogisticRegression, NewtonOptions, OneHotBlock, OneHotDesign, OrdinalFeature,
+};
 pub use nn::NeuralNetwork;
 pub use tree::{DecisionTreeClassifier, DecisionTreeRegressor};
 

@@ -27,6 +27,10 @@ COMPILE OPTIONS:
                           algorithm instead of the §6 no-graph fallback
     --warm N              pre-run N seeded queries so the pack ships with
                           a warm counting cache (default 256; 0 = cold)
+    --warm-recourse       pre-fit one recourse surrogate per feature (the
+                          singleton actionable sets) so the pack ships
+                          with precompiled recourse: a restored engine
+                          answers those sets without a fitting pass
     --shards N            fan counting passes over N row shards (recorded
                           in the pack; answers are identical for any N)
     --index               build per-(feature, code) bitmap indexes and ship
@@ -123,6 +127,7 @@ fn compile(mut args: std::iter::Skip<std::env::Args>) {
     let mut builtin: Option<(String, usize)> = None;
     let mut discover = false;
     let mut warm = 256usize;
+    let mut warm_recourse = false;
     let mut shards: Option<usize> = None;
     let mut index = false;
     let mut seed = 42u64;
@@ -157,6 +162,7 @@ fn compile(mut args: std::iter::Skip<std::env::Args>) {
                     .parse()
                     .unwrap_or_else(|_| fail("--warm expects an integer"))
             }
+            "--warm-recourse" => warm_recourse = true,
             "--shards" => {
                 shards = Some(
                     value("--shards")
@@ -230,6 +236,18 @@ fn compile(mut args: std::iter::Skip<std::env::Args>) {
             Err(e) => fail(&format!("warm-up failed: {e}")),
         }
     }
+    if warm_recourse {
+        for &feature in engine.features() {
+            if let Err(e) = engine.prepare_surrogate(&[feature]) {
+                fail(&format!("surrogate pre-fit failed: {e}"));
+            }
+        }
+        eprintln!(
+            "precompiled {} recourse surrogates (one per feature); cache {}",
+            engine.features().len(),
+            engine.surrogate_stats()
+        );
+    }
     if let Err(e) = registry.save_pack(NAME, &out) {
         fail(&e.to_string());
     }
@@ -278,6 +296,13 @@ fn inspect(path: &str) {
         s.cache.misses,
         s.cache_capacity,
     );
+    println!(
+        "recourse: {} precompiled surrogates, {} lifetime hits / {} misses (capacity {})",
+        s.surrogates.fits.len(),
+        s.surrogates.hits,
+        s.surrogates.misses,
+        s.surrogate_capacity,
+    );
     match &s.index {
         Some(index) => println!(
             "index:  enabled, {} bitmaps over {} rows ({} bytes resident)",
@@ -289,10 +314,15 @@ fn inspect(path: &str) {
     }
     let has = |name: &str| sections.iter().any(|&(n, _)| n == name);
     println!(
-        "sections ({} total, optional: cache={} index={}):",
+        "sections ({} total, optional: cache={} index={} surrogates={}):",
         sections.len(),
         if has("cache") { "present" } else { "absent" },
         if has("index") { "present" } else { "absent" },
+        if has("surrogates") {
+            "present"
+        } else {
+            "absent"
+        },
     );
     for (name, size) in &sections {
         println!("  {name:<12} {size} bytes");

@@ -20,6 +20,9 @@ OPTIONS:
     --batch N           queries per HTTP body; >1 uses {\"batch\": [...]}
                         (default 1)
     --seed N            workload seed (default 42)
+    --job-lane          send single recourse queries through the async
+                        job lane (submit → 202 → poll /v1/jobs/{id});
+                        latency then measures submit→terminal
     --json PATH         also write the report as JSON to PATH
     -h, --help          this text
 ";
@@ -99,13 +102,14 @@ fn main() {
                     fail("--mix weights must not all be zero");
                 }
             }
+            "--job-lane" => config.job_lane = true,
             "--json" => json_path = Some(value("--json")),
             other => fail(&format!("unknown argument {other:?}")),
         }
     }
 
     eprintln!(
-        "loadgen: {} for {:.1}s, {} connections, batch {}, mix {}:{}:{}:{}",
+        "loadgen: {} for {:.1}s, {} connections, batch {}, mix {}:{}:{}:{}{}",
         config.engine,
         config.duration.as_secs_f64(),
         config.concurrency,
@@ -114,6 +118,11 @@ fn main() {
         config.mix.contextual,
         config.mix.local,
         config.mix.recourse,
+        if config.job_lane {
+            ", recourse via job lane"
+        } else {
+            ""
+        },
     );
     let report = match run(&config) {
         Ok(r) => r,

@@ -69,6 +69,12 @@ pub struct LoadgenConfig {
     pub batch: usize,
     /// Workload RNG seed.
     pub seed: u64,
+    /// Route single recourse queries through the async job lane:
+    /// `POST …?mode=async` → 202 → poll `/v1/jobs/{id}` until terminal.
+    /// The recorded latency is submit→terminal, so the report measures
+    /// what a ticket-holding client actually waits. Only applies when
+    /// `batch == 1` (batch bodies mix kinds and stay synchronous).
+    pub job_lane: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -81,6 +87,7 @@ impl Default for LoadgenConfig {
             mix: Mix::default(),
             batch: 1,
             seed: 42,
+            job_lane: false,
         }
     }
 }
@@ -226,6 +233,7 @@ impl LoadReport {
                     // through u32 would truncate large seeds and break
                     // replay-from-report
                     ("seed", Json::Num(config.seed as f64)),
+                    ("job_lane", Json::Bool(config.job_lane)),
                 ]),
             ),
             (
@@ -387,6 +395,48 @@ fn synth_query(shape: &EngineShape, mix: &Mix, rng: &mut Rng) -> (Json, usize) {
     (json, kind)
 }
 
+/// Drive one query through the async job lane: submit with
+/// `?mode=async`, then poll the ticket until it is terminal. Returns
+/// the replayed `(status, body)` so the caller tallies it exactly like
+/// a synchronous answer; anything short of a clean replay (a dropped
+/// ticket, a panicked job, a malformed view) degrades to a synthetic
+/// non-200 status and lands in `other_errors`.
+fn post_job(client: &mut Client, submit_path: &str, body: &str) -> std::io::Result<(u16, Json)> {
+    let (status, answer) = client.post(submit_path, body)?;
+    if status != 202 {
+        // a 429 (queue full) or any other refusal tallies as-is
+        return Ok((status, answer));
+    }
+    let Some(id) = answer.get("job_id").and_then(Json::as_str) else {
+        return Ok((500, answer.clone()));
+    };
+    let poll = format!("/v1/jobs/{id}");
+    // bounded so a stuck job fails the run instead of hanging it; 30s
+    // dwarfs any legitimate explain latency
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, view) = client.get(&poll)?;
+        if status != 200 {
+            return Ok((status, view));
+        }
+        match view.get("state").and_then(Json::as_str) {
+            Some("done") => {
+                let Some(replayed) = view.get("status").and_then(Json::as_f64) else {
+                    return Ok((500, view.clone()));
+                };
+                let result = view.get("result").cloned().unwrap_or(Json::Null);
+                return Ok((replayed as u16, result));
+            }
+            // a failed (panicked) job is a server-side defect
+            Some("failed") => return Ok((500, view.clone())),
+            Some("queued") | Some("running") if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            _ => return Ok((500, view.clone())),
+        }
+    }
+}
+
 /// Whether an embedded error is the *expected* "the data cannot answer
 /// this" outcome (`LewisError::Unsupported` / `NoRecourse`, both 422
 /// over the wire) as opposed to a real failure.
@@ -446,6 +496,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
                 let mut client = Client::connect(config.addr)?;
                 let mut stats = WorkerStats::default();
                 let path = format!("/v1/engines/{}/explain", config.engine);
+                let async_path = format!("{path}?mode=async");
                 while Instant::now() < deadline {
                     let n = config.batch.max(1);
                     let mut queries = Vec::with_capacity(n);
@@ -462,7 +513,11 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
                         Json::obj([("batch", Json::Arr(queries))]).to_json()
                     };
                     let sent = Instant::now();
-                    let (status, answer) = client.post(&path, &body)?;
+                    let (status, answer) = if config.job_lane && n == 1 && single_kind == 3 {
+                        post_job(&mut client, &async_path, &body)?
+                    } else {
+                        client.post(&path, &body)?
+                    };
                     let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                     stats.latencies_us.push(us);
                     if n == 1 {

@@ -25,6 +25,8 @@ const N_BUCKETS: usize = 38;
 pub enum Route {
     /// `POST /v1/engines/{name}/explain`
     Explain,
+    /// `GET /v1/jobs/{id}` and `POST …/explain?mode=async` submissions.
+    Jobs,
     /// `GET /v1/engines`
     Engines,
     /// `GET /healthz`
@@ -39,8 +41,9 @@ pub enum Route {
 
 impl Route {
     /// Every route, in display order.
-    pub const ALL: [Route; 6] = [
+    pub const ALL: [Route; 7] = [
         Route::Explain,
+        Route::Jobs,
         Route::Engines,
         Route::Healthz,
         Route::Metrics,
@@ -51,11 +54,12 @@ impl Route {
     fn index(self) -> usize {
         match self {
             Route::Explain => 0,
-            Route::Engines => 1,
-            Route::Healthz => 2,
-            Route::Metrics => 3,
-            Route::Admin => 4,
-            Route::Other => 5,
+            Route::Jobs => 1,
+            Route::Engines => 2,
+            Route::Healthz => 3,
+            Route::Metrics => 4,
+            Route::Admin => 5,
+            Route::Other => 6,
         }
     }
 
@@ -63,6 +67,7 @@ impl Route {
     pub fn name(self) -> &'static str {
         match self {
             Route::Explain => "explain",
+            Route::Jobs => "jobs",
             Route::Engines => "engines",
             Route::Healthz => "healthz",
             Route::Metrics => "metrics",
@@ -148,7 +153,7 @@ impl EndpointMetrics {
 
 /// All serving metrics; shared across worker threads behind an `Arc`.
 pub struct Metrics {
-    endpoints: [EndpointMetrics; 6],
+    endpoints: [EndpointMetrics; 7],
     started: Instant,
 }
 
@@ -229,6 +234,7 @@ impl Metrics {
             .iter()
             .map(|(name, entry)| {
                 let stats = entry.engine.cache_stats();
+                let surrogates = entry.engine.surrogate_stats();
                 (
                     name.to_string(),
                     Json::obj([
@@ -240,6 +246,16 @@ impl Metrics {
                                 ("hit_rate", Json::Num(stats.hit_rate())),
                                 ("entries", Json::num(stats.entries as f64)),
                                 ("capacity", Json::num(stats.capacity as f64)),
+                            ]),
+                        ),
+                        (
+                            "surrogate_cache",
+                            Json::obj([
+                                ("hits", Json::num(surrogates.hits as f64)),
+                                ("misses", Json::num(surrogates.misses as f64)),
+                                ("hit_rate", Json::Num(surrogates.hit_rate())),
+                                ("entries", Json::num(surrogates.entries as f64)),
+                                ("capacity", Json::num(surrogates.capacity as f64)),
                             ]),
                         ),
                         (

@@ -23,13 +23,25 @@
 //! | `GET /healthz` | liveness + engine count |
 //! | `GET /v1/engines` | every engine with its full schema |
 //! | `POST /v1/engines/{name}/explain` | one request or `{"batch": [...]}` |
-//! | `GET /metrics` | counters, latency quantiles, cache stats |
+//! | `POST /v1/engines/{name}/explain?mode=async` | `202 {job_id}`; result via the job lane |
+//! | `GET /v1/jobs/{id}` | job state; the finished result replays the sync answer |
+//! | `GET /metrics` | counters, latency quantiles, cache and job-lane stats |
 //! | `POST /admin/shutdown` | graceful stop (for tests/automation) |
+//!
+//! The async lane exists for work that should not pin an HTTP worker —
+//! a cold recourse fit over a million rows takes seconds, and holding
+//! the connection open for it starves the cheap queries behind it.
+//! `?mode=async` enqueues the same work on a bounded [`lewis_jobs`]
+//! queue and answers `202` immediately (or a typed `429` when the
+//! queue is full); polling `GET /v1/jobs/{id}` returns the exact
+//! status and body the synchronous route would have produced.
 
 use crate::http::{read_request, write_response, HttpRequest, HttpResponse, ReadOutcome};
 use crate::metrics::{Metrics, Route};
 use crate::registry::EngineRegistry;
 use crate::wire::{self, Json};
+use lewis_core::Engine;
+use lewis_jobs::{JobConfig, JobId, JobManager, JobState};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -51,6 +63,15 @@ pub struct ServerConfig {
     /// Idle read timeout on keep-alive connections; bounds how long a
     /// silent client can pin a worker (and how long shutdown waits).
     pub read_timeout: Duration,
+    /// Most `?mode=async` jobs allowed to sit queued; past that,
+    /// submissions get a typed `429`. `0` disables the lane.
+    pub job_capacity: usize,
+    /// Threads draining the job queue (separate from the HTTP workers,
+    /// so a long fit never blocks request handling).
+    pub job_workers: usize,
+    /// How long a finished job stays pollable before its ticket
+    /// expires (expired tickets answer `404`).
+    pub job_ttl: Duration,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +81,9 @@ impl Default for ServerConfig {
             workers: 4,
             max_body: 1 << 20,
             read_timeout: Duration::from_secs(5),
+            job_capacity: 64,
+            job_workers: 2,
+            job_ttl: Duration::from_secs(300),
         }
     }
 }
@@ -71,6 +95,9 @@ const MAX_BATCH: usize = 256;
 struct ServerState {
     registry: Arc<EngineRegistry>,
     metrics: Metrics,
+    /// The async explain lane: jobs carry the exact (status, body)
+    /// pair the synchronous route would have answered with.
+    jobs: JobManager<(u16, Json)>,
     shutdown: AtomicBool,
     addr: SocketAddr,
     max_body: usize,
@@ -91,6 +118,11 @@ pub fn serve(config: &ServerConfig, registry: Arc<EngineRegistry>) -> std::io::R
     let state = Arc::new(ServerState {
         registry,
         metrics: Metrics::new(),
+        jobs: JobManager::new(JobConfig {
+            capacity: config.job_capacity,
+            workers: config.job_workers,
+            ttl: config.job_ttl,
+        }),
         shutdown: AtomicBool::new(false),
         addr,
         max_body: config.max_body,
@@ -273,7 +305,11 @@ fn error_response(status: u16, code: &str, message: &str) -> HttpResponse {
 
 /// Dispatch one request; returns the metrics route and the response.
 fn route(request: &HttpRequest, state: &ServerState) -> (Route, HttpResponse) {
-    let path = request.path.as_str();
+    // split the query string off the routing path
+    let (path, query) = request
+        .path
+        .split_once('?')
+        .unwrap_or((request.path.as_str(), ""));
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => (
             Route::Healthz,
@@ -286,10 +322,22 @@ fn route(request: &HttpRequest, state: &ServerState) -> (Route, HttpResponse) {
             ),
         ),
         ("GET", "/v1/engines") => (Route::Engines, list_engines(state)),
-        ("GET", "/metrics") => (
-            Route::Metrics,
-            HttpResponse::json(200, &state.metrics.to_json(&state.registry)),
-        ),
+        ("GET", "/metrics") => {
+            let mut body = state.metrics.to_json(&state.registry);
+            let counters = state.jobs.counters();
+            let lane = Json::obj([
+                ("depth", Json::num(state.jobs.depth() as f64)),
+                ("submitted", Json::num(counters.submitted as f64)),
+                ("completed", Json::num(counters.completed as f64)),
+                ("failed", Json::num(counters.failed as f64)),
+                ("rejected", Json::num(counters.rejected as f64)),
+                ("expired", Json::num(counters.expired as f64)),
+            ]);
+            if let Json::Obj(fields) = &mut body {
+                fields.push(("job_lane".to_string(), lane));
+            }
+            (Route::Metrics, HttpResponse::json(200, &body))
+        }
         ("POST", "/admin/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
             // poke the acceptor so it observes the flag promptly
@@ -311,7 +359,22 @@ fn route(request: &HttpRequest, state: &ServerState) -> (Route, HttpResponse) {
                         error_response(405, "method_not_allowed", "use POST"),
                     );
                 }
-                return (Route::Explain, explain(name, &request.body, state));
+                return match explain_mode(query) {
+                    Ok(ExplainMode::Sync) => (Route::Explain, explain(name, &request.body, state)),
+                    Ok(ExplainMode::Async) => {
+                        (Route::Jobs, submit_explain(name, &request.body, state))
+                    }
+                    Err(response) => (Route::Explain, response),
+                };
+            }
+            if let Some(id) = path.strip_prefix("/v1/jobs/") {
+                if method != "GET" {
+                    return (
+                        Route::Jobs,
+                        error_response(405, "method_not_allowed", "use GET"),
+                    );
+                }
+                return (Route::Jobs, job_status(id, state));
             }
             (
                 Route::Other,
@@ -319,6 +382,41 @@ fn route(request: &HttpRequest, state: &ServerState) -> (Route, HttpResponse) {
             )
         }
     }
+}
+
+enum ExplainMode {
+    Sync,
+    Async,
+}
+
+/// Parse the explain route's query string: empty or `mode=sync` keep
+/// the synchronous path, `mode=async` submits to the job lane, and
+/// anything else is a typed `400` (a silently ignored typo would make
+/// the caller believe they got the async contract).
+fn explain_mode(query: &str) -> Result<ExplainMode, HttpResponse> {
+    let mut mode = ExplainMode::Sync;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match (key, value) {
+            ("mode", "sync") => mode = ExplainMode::Sync,
+            ("mode", "async") => mode = ExplainMode::Async,
+            ("mode", other) => {
+                return Err(error_response(
+                    400,
+                    "bad_request",
+                    &format!("mode: expected \"sync\" or \"async\", got {other:?}"),
+                ))
+            }
+            (other, _) => {
+                return Err(error_response(
+                    400,
+                    "bad_request",
+                    &format!("unknown query parameter {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(mode)
 }
 
 /// `GET /v1/engines`: every engine, its provenance and its full schema
@@ -395,23 +493,41 @@ fn explain(name: &str, body: &[u8], state: &ServerState) -> HttpResponse {
     let Some(entry) = state.registry.get(name) else {
         return error_response(404, "unknown_engine", &format!("no engine named {name:?}"));
     };
+    let (status, json) = explain_payload(&entry.engine, body);
+    HttpResponse::json(status, &json)
+}
+
+/// The status code and body JSON for one explain body against one
+/// engine — the shared core of the synchronous route and the job lane,
+/// so an async job's stored result replays the sync answer exactly.
+fn explain_payload(engine: &Engine, body: &[u8]) -> (u16, Json) {
+    fn error_payload(status: u16, code: &str, message: &str) -> (u16, Json) {
+        (
+            status,
+            Json::obj([(
+                "error",
+                Json::obj([("code", Json::str(code)), ("message", Json::str(message))]),
+            )]),
+        )
+    }
+
     let Ok(text) = std::str::from_utf8(body) else {
-        return error_response(400, "bad_json", "body is not UTF-8");
+        return error_payload(400, "bad_json", "body is not UTF-8");
     };
     let json = match Json::parse(text) {
         Ok(j) => j,
-        Err(e) => return error_response(400, "bad_json", &e.to_string()),
+        Err(e) => return error_payload(400, "bad_json", &e.to_string()),
     };
 
     if let Some(batch) = json.get("batch") {
         let Some(items) = batch.as_arr() else {
-            return error_response(400, "bad_request", "batch: expected an array");
+            return error_payload(400, "bad_request", "batch: expected an array");
         };
         // A body-size limit alone does not bound *work*: a 1 MiB body
         // can hold tens of thousands of cheap-to-parse, expensive-to-
         // answer queries, pinning a worker for minutes. Cap the batch.
         if items.len() > MAX_BATCH {
-            return error_response(
+            return error_payload(
                 400,
                 "batch_too_large",
                 &format!("batch of {} exceeds the limit of {MAX_BATCH}", items.len()),
@@ -421,11 +537,10 @@ fn explain(name: &str, body: &[u8], state: &ServerState) -> HttpResponse {
         for (i, item) in items.iter().enumerate() {
             match wire::request_from_json(item) {
                 Ok(r) => requests.push(r),
-                Err(e) => return error_response(400, "bad_request", &format!("batch[{i}].{e}")),
+                Err(e) => return error_payload(400, "bad_request", &format!("batch[{i}].{e}")),
             }
         }
-        let results: Vec<Json> = entry
-            .engine
+        let results: Vec<Json> = engine
             .run_batch(&requests)
             .iter()
             .map(|r| match r {
@@ -433,17 +548,78 @@ fn explain(name: &str, body: &[u8], state: &ServerState) -> HttpResponse {
                 Err(e) => wire::error_to_json(e),
             })
             .collect();
-        return HttpResponse::json(200, &Json::obj([("results", Json::Arr(results))]));
+        return (200, Json::obj([("results", Json::Arr(results))]));
     }
 
     let request = match wire::request_from_json(&json) {
         Ok(r) => r,
-        Err(e) => return error_response(400, "bad_request", &e.to_string()),
+        Err(e) => return error_payload(400, "bad_request", &e.to_string()),
     };
-    match entry.engine.run(&request) {
-        Ok(response) => HttpResponse::json(200, &wire::response_to_json(&response)),
-        Err(e) => HttpResponse::json(wire::error_status(&e), &wire::error_to_json(&e)),
+    match engine.run(&request) {
+        Ok(response) => (200, wire::response_to_json(&response)),
+        Err(e) => (wire::error_status(&e), wire::error_to_json(&e)),
     }
+}
+
+/// `POST /v1/engines/{name}/explain?mode=async`: queue the work and
+/// answer `202` with the ticket. Unknown engines still 404 *here* —
+/// admission errors must not cost the client a round of polling.
+fn submit_explain(name: &str, body: &[u8], state: &ServerState) -> HttpResponse {
+    let Some(entry) = state.registry.get(name) else {
+        return error_response(404, "unknown_engine", &format!("no engine named {name:?}"));
+    };
+    // resolve the Arc before moving into the closure: jobs hold the
+    // engine alive, never the registry or the server state
+    let engine = Arc::clone(&entry.engine);
+    let body = body.to_vec();
+    match state.jobs.submit(move || explain_payload(&engine, &body)) {
+        Ok(id) => HttpResponse::json(
+            202,
+            &Json::obj([
+                ("job_id", Json::str(id.to_string())),
+                ("poll", Json::str(format!("/v1/jobs/{id}"))),
+            ]),
+        ),
+        Err(lewis_jobs::QueueFull) => error_response(
+            429,
+            "queue_full",
+            "the async job queue is at capacity; retry later or use the synchronous route",
+        ),
+    }
+}
+
+/// `GET /v1/jobs/{id}`: the job's state, timings, and — once done —
+/// the exact status and body the synchronous route would have
+/// produced. Unknown and expired tickets both answer `404`.
+fn job_status(id: &str, state: &ServerState) -> HttpResponse {
+    let Ok(id) = id.parse::<JobId>() else {
+        return error_response(404, "unknown_job", &format!("malformed job id {id:?}"));
+    };
+    let Some(view) = state.jobs.status(id) else {
+        return error_response(404, "unknown_job", &format!("no job {id} (or it expired)"));
+    };
+    let mut fields = vec![
+        ("id".to_string(), Json::str(id.to_string())),
+        ("state".to_string(), Json::str(view.state.name())),
+        (
+            "waited_us".to_string(),
+            Json::num(view.waited.as_micros() as f64),
+        ),
+    ];
+    if let Some(ran) = view.ran {
+        fields.push(("ran_us".to_string(), Json::num(ran.as_micros() as f64)));
+    }
+    match view.state {
+        JobState::Done((status, result)) => {
+            fields.push(("status".to_string(), Json::num(f64::from(status))));
+            fields.push(("result".to_string(), result));
+        }
+        JobState::Failed(detail) => {
+            fields.push(("error".to_string(), Json::str(&detail)));
+        }
+        JobState::Queued | JobState::Running => {}
+    }
+    HttpResponse::json(200, &Json::Obj(fields))
 }
 
 #[cfg(test)]

@@ -27,7 +27,8 @@
 use crate::bytes::{crc32, Cursor, CursorError, WriteBytes};
 use crate::{Result, StoreError};
 use lewis_core::snapshot::{
-    ArmSnapshot, CacheSnapshot, CellSnapshot, EngineSnapshot, PassSnapshot,
+    ArmSnapshot, CacheSnapshot, CellSnapshot, EngineSnapshot, PassSnapshot, SurrogateCacheSnapshot,
+    SurrogateSnapshot,
 };
 use lewis_core::Engine;
 use lewis_index::TableIndex;
@@ -54,7 +55,15 @@ pub const MAGIC: [u8; 8] = *b"LEWISPAK";
 ///   bitmap index verbatim. The flag without the section means "rebuild
 ///   the index from the table on restore" — writers that strip the
 ///   section stay loadable; v1/v2 packs restore without an index.
-pub const FORMAT_VERSION: u32 = 3;
+/// * **v4** — the config grows a trailing **surrogates** flag and the
+///   surrogate-cache **capacity** (appended, so a v3 config is a strict
+///   prefix) and an optional, CRC'd `surrogates` section carries the
+///   engine's fitted recourse surrogates. The flag without the section
+///   means "refit lazily" (the restored engine starts with an empty
+///   surrogate cache) — writers that strip the section stay loadable; a
+///   section without the flag is a [`StoreError::Mismatch`]. v1–v3
+///   packs restore with an empty cache at the default capacity.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Section tags, in the order the writer emits them.
 const TAG_META: u8 = 1;
@@ -65,6 +74,7 @@ const TAG_CONFIG: u8 = 5;
 const TAG_ORDERS: u8 = 6;
 const TAG_CACHE: u8 = 7;
 const TAG_INDEX: u8 = 8;
+const TAG_SURROGATES: u8 = 9;
 
 pub(crate) fn section_name(tag: u8) -> &'static str {
     match tag {
@@ -76,6 +86,7 @@ pub(crate) fn section_name(tag: u8) -> &'static str {
         TAG_ORDERS => "orders",
         TAG_CACHE => "cache",
         TAG_INDEX => "index",
+        TAG_SURROGATES => "surrogates",
         _ => "unknown",
     }
 }
@@ -104,6 +115,10 @@ pub struct Pack {
     /// (set by [`Pack::strip_index`]): readers rebuild the index from
     /// the table instead of deserializing it.
     rebuild_index: bool,
+    /// Write the config's surrogates flag *without* a surrogates
+    /// section (set by [`Pack::strip_surrogates`]): readers start with
+    /// an empty surrogate cache and refit lazily.
+    refit_surrogates: bool,
 }
 
 impl Pack {
@@ -114,6 +129,7 @@ impl Pack {
             meta,
             snapshot: engine.snapshot(),
             rebuild_index: false,
+            refit_surrogates: false,
         }
     }
 
@@ -142,6 +158,18 @@ impl Pack {
         }
     }
 
+    /// Drop the fitted recourse surrogates but keep the config's
+    /// surrogates flag: a reader of the resulting bytes starts with an
+    /// empty surrogate cache and refits lazily on the first recourse
+    /// query per actionable set. Shrinks the pack; never changes any
+    /// answer (the refit is deterministic).
+    pub fn strip_surrogates(&mut self) {
+        if !self.snapshot.surrogates.fits.is_empty() {
+            self.snapshot.surrogates.fits.clear();
+            self.refit_surrogates = true;
+        }
+    }
+
     /// Serialize to the `.lewis` byte format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -165,12 +193,20 @@ impl Pack {
             encode_config(
                 &self.snapshot,
                 self.snapshot.index.is_some() || self.rebuild_index,
+                !self.snapshot.surrogates.fits.is_empty() || self.refit_surrogates,
             ),
         );
         write_section(&mut out, TAG_ORDERS, encode_orders(&self.snapshot.orders));
         write_section(&mut out, TAG_CACHE, encode_cache(&self.snapshot.cache));
         if let Some(index) = &self.snapshot.index {
             write_section(&mut out, TAG_INDEX, index.to_bytes());
+        }
+        if !self.snapshot.surrogates.fits.is_empty() {
+            write_section(
+                &mut out,
+                TAG_SURROGATES,
+                encode_surrogates(&self.snapshot.surrogates),
+            );
         }
         out
     }
@@ -239,6 +275,44 @@ impl Pack {
             )),
             None => None,
         };
+        let surrogates = match sections.iter().find(|&&(t, _)| t == TAG_SURROGATES) {
+            Some(&(_, payload)) => {
+                if !config.surrogates_flag {
+                    return Err(StoreError::Mismatch(
+                        "surrogates section present but the config carries no surrogates".into(),
+                    ));
+                }
+                let surrogates = decode_surrogates(payload)?;
+                // The section is internally consistent; each fit must
+                // also belong to *this* engine — its coefficient count
+                // must equal the surrogate feature width the table,
+                // graph and prediction column imply for its actionable
+                // set, or the restored engine would mis-index warm
+                // coefficients. (Engine::restore re-validates the value
+                // orders too.)
+                for fit in &surrogates.fits {
+                    let width = lewis_core::surrogate_width(
+                        &table,
+                        graph.as_ref(),
+                        config.pred,
+                        &fit.actionable,
+                    )
+                    .map_err(|e| StoreError::Mismatch(format!("surrogates: {e}")))?;
+                    if fit.coefficients.len() != width {
+                        return Err(StoreError::Mismatch(format!(
+                            "surrogate for {:?} has {} coefficients, this engine needs {width}",
+                            fit.actionable,
+                            fit.coefficients.len()
+                        )));
+                    }
+                }
+                surrogates
+            }
+            // Surrogates flag without a section (a writer stripped it):
+            // start with an empty cache and refit lazily per actionable
+            // set. Pre-v4 packs land here too via the flag default.
+            None => SurrogateCacheSnapshot::default(),
+        };
 
         Ok(Pack {
             meta,
@@ -254,9 +328,12 @@ impl Pack {
                 features: config.features,
                 orders,
                 cache,
+                surrogate_capacity: config.surrogate_capacity,
+                surrogates,
                 index,
             },
             rebuild_index: false,
+            refit_surrogates: false,
         })
     }
 
@@ -690,9 +767,11 @@ struct Config {
     features: Vec<AttrId>,
     shards: usize,
     index_enabled: bool,
+    surrogates_flag: bool,
+    surrogate_capacity: usize,
 }
 
-fn encode_config(snapshot: &EngineSnapshot, index_enabled: bool) -> Vec<u8> {
+fn encode_config(snapshot: &EngineSnapshot, index_enabled: bool, surrogates: bool) -> Vec<u8> {
     let mut out = Vec::new();
     out.put_u32(snapshot.pred.0);
     out.put_u32(snapshot.positive);
@@ -706,6 +785,10 @@ fn encode_config(snapshot: &EngineSnapshot, index_enabled: bool) -> Vec<u8> {
     // v3: the index-enabled flag rides after that, extending the prefix
     // property one more version
     out.put_u8(u8::from(index_enabled));
+    // v4: the surrogates flag and the surrogate-cache capacity ride at
+    // the end, extending the prefix property one more version
+    out.put_u8(u8::from(surrogates));
+    out.put_u64(snapshot.surrogate_capacity as u64);
     out
 }
 
@@ -751,6 +834,22 @@ fn decode_config(payload: &[u8], version: u32) -> Result<Config> {
     } else {
         false
     };
+    // v1–v3 predate the surrogate cache: those engines refit per query
+    let (surrogates_flag, surrogate_capacity) = if version >= 4 {
+        let flag = match c.u8().map_err(&at)? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(StoreError::Corrupt {
+                    section: "config",
+                    detail: format!("invalid surrogates flag {other}"),
+                })
+            }
+        };
+        (flag, c.u64().map_err(&at)? as usize)
+    } else {
+        (false, lewis_core::engine::DEFAULT_SURROGATE_CAPACITY)
+    };
     c.finish().map_err(&at)?;
     Ok(Config {
         pred,
@@ -761,6 +860,8 @@ fn decode_config(payload: &[u8], version: u32) -> Result<Config> {
         features,
         shards,
         index_enabled,
+        surrogates_flag,
+        surrogate_capacity,
     })
 }
 
@@ -883,6 +984,59 @@ fn decode_cache(payload: &[u8]) -> Result<CacheSnapshot> {
     })
 }
 
+// ---- surrogates ----
+
+fn encode_surrogates(surrogates: &SurrogateCacheSnapshot) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u64(surrogates.hits);
+    out.put_u64(surrogates.misses);
+    out.put_u32(surrogates.fits.len() as u32);
+    for fit in &surrogates.fits {
+        out.put_u32_vec(&fit.actionable.iter().map(|a| a.0).collect::<Vec<_>>());
+        out.put_f64_bits(fit.intercept);
+        out.put_u32(fit.coefficients.len() as u32);
+        for &w in &fit.coefficients {
+            out.put_f64_bits(w);
+        }
+        out.put_u32(fit.orders.len() as u32);
+        for order in &fit.orders {
+            out.put_u32_vec(order);
+        }
+    }
+    out
+}
+
+fn decode_surrogates(payload: &[u8]) -> Result<SurrogateCacheSnapshot> {
+    let at = corrupt("surrogates");
+    let mut c = Cursor::new(payload);
+    let hits = c.u64().map_err(&at)?;
+    let misses = c.u64().map_err(&at)?;
+    let n_fits = c.count(4).map_err(&at)?;
+    let mut fits = Vec::with_capacity(cap(n_fits));
+    for _ in 0..n_fits {
+        let actionable: Vec<AttrId> = c.u32_vec().map_err(&at)?.into_iter().map(AttrId).collect();
+        let intercept = c.f64_bits().map_err(&at)?;
+        let n_coefs = c.count(8).map_err(&at)?;
+        let mut coefficients = Vec::with_capacity(n_coefs);
+        for _ in 0..n_coefs {
+            coefficients.push(c.f64_bits().map_err(&at)?);
+        }
+        let n_orders = c.count(4).map_err(&at)?;
+        let mut orders = Vec::with_capacity(cap(n_orders));
+        for _ in 0..n_orders {
+            orders.push(c.u32_vec().map_err(&at)?);
+        }
+        fits.push(SurrogateSnapshot {
+            actionable,
+            intercept,
+            coefficients,
+            orders,
+        });
+    }
+    c.finish().map_err(&at)?;
+    Ok(SurrogateCacheSnapshot { hits, misses, fits })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -929,18 +1083,19 @@ mod tests {
         out
     }
 
-    /// Overwrite the shard count of a v3 config payload (it sits just
-    /// before the trailing index flag).
+    /// Overwrite the shard count of a v4 config payload (it sits just
+    /// before the trailing index flag, surrogates flag and surrogate
+    /// capacity).
     fn with_shard_count(count: u64) -> impl Fn(Vec<u8>) -> Vec<u8> {
         move |mut payload: Vec<u8>| {
             let n = payload.len();
-            payload[n - 9..n - 1].copy_from_slice(&count.to_le_bytes());
+            payload[n - 18..n - 10].copy_from_slice(&count.to_le_bytes());
             payload
         }
     }
 
     #[test]
-    fn v3_packs_round_trip_the_shard_count() {
+    fn v4_packs_round_trip_the_shard_count() {
         let engine = tiny_engine();
         let bytes = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
         let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
@@ -953,11 +1108,12 @@ mod tests {
     #[test]
     fn v1_packs_still_read_and_restore_with_one_shard() {
         let engine = tiny_engine();
-        let v3 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
-        // v1 configs are a strict prefix of v3 ones: drop the trailing
-        // index flag and shard count and stamp the old version
-        let v1 = rewrite_config(&v3, 1, |payload| {
-            let keep = payload.len() - 9;
+        let v4 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        // v1 configs are a strict prefix of v4 ones: drop the trailing
+        // surrogate fields, index flag and shard count and stamp the
+        // old version
+        let v1 = rewrite_config(&v4, 1, |payload| {
+            let keep = payload.len() - 18;
             payload[..keep].to_vec()
         });
         let (restored, _) = Pack::from_bytes(&v1).unwrap().restore_engine().unwrap();
@@ -972,11 +1128,11 @@ mod tests {
     #[test]
     fn v2_packs_still_read_and_restore_without_an_index() {
         let engine = tiny_engine();
-        let v3 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
-        // v2 configs are a strict prefix of v3 ones: drop the trailing
-        // index flag and stamp the old version
-        let v2 = rewrite_config(&v3, 2, |payload| {
-            let keep = payload.len() - 1;
+        let v4 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        // v2 configs are a strict prefix of v4 ones: drop the trailing
+        // surrogate fields and index flag and stamp the old version
+        let v2 = rewrite_config(&v4, 2, |payload| {
+            let keep = payload.len() - 10;
             payload[..keep].to_vec()
         });
         let (restored, _) = Pack::from_bytes(&v2).unwrap().restore_engine().unwrap();
@@ -985,6 +1141,144 @@ mod tests {
         let a = engine.run(&ExplainRequest::Global).unwrap();
         let b = restored.run(&ExplainRequest::Global).unwrap();
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn v3_packs_still_read_and_restore_with_a_cold_surrogate_cache() {
+        let engine = tiny_engine();
+        // warm a surrogate so the v4 writer would have carried it — the
+        // v3 rewrite must drop it cleanly
+        engine.prepare_surrogate(&[AttrId(0)]).unwrap();
+        let v4 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        // v3 configs are a strict prefix of v4 ones: drop the trailing
+        // surrogates flag + capacity and stamp the old version (also
+        // drop the v4-only surrogates section — v3 readers never wrote
+        // one)
+        let v3 = rewrite_config(&strip_section(&v4, TAG_SURROGATES), 3, |payload| {
+            let keep = payload.len() - 9;
+            payload[..keep].to_vec()
+        });
+        let (restored, _) = Pack::from_bytes(&v3).unwrap().restore_engine().unwrap();
+        assert_eq!(restored.shards(), 3, "v3 packs carry the shard layout");
+        let s = restored.surrogate_stats();
+        assert_eq!(s.entries, 0, "v3 engines predate the surrogate cache");
+        assert_eq!(
+            s.capacity,
+            lewis_core::engine::DEFAULT_SURROGATE_CAPACITY,
+            "pre-v4 packs restore at the default surrogate capacity"
+        );
+        let a = engine.run(&ExplainRequest::Global).unwrap();
+        let b = restored.run(&ExplainRequest::Global).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    /// Re-emit a pack byte stream without the sections carrying `tag`
+    /// (CRCs of the surviving sections are copied verbatim).
+    fn strip_section(bytes: &[u8], strip: u8) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&bytes[..MAGIC.len() + 4]);
+        let mut pos = MAGIC.len() + 4;
+        while pos < bytes.len() {
+            let tag = bytes[pos];
+            let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap()) as usize;
+            let end = pos + 9 + len + 4;
+            if tag != strip {
+                out.extend_from_slice(&bytes[pos..end]);
+            }
+            pos = end;
+        }
+        out
+    }
+
+    #[test]
+    fn warm_surrogates_round_trip_and_skip_the_refit() {
+        let engine = tiny_engine();
+        engine.prepare_surrogate(&[AttrId(0)]).unwrap();
+        let donor_stats = engine.surrogate_stats();
+        assert_eq!((donor_stats.entries, donor_stats.misses), (1, 1));
+        let bytes = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        let sizes = section_sizes(&bytes).unwrap();
+        assert!(
+            sizes.iter().any(|&(name, n)| name == "surrogates" && n > 0),
+            "warm packs must carry a surrogates section: {sizes:?}"
+        );
+        let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
+        let s = restored.surrogate_stats();
+        assert_eq!(s.entries, 1, "the warm fit must arrive resident");
+        assert_eq!(s.misses, donor_stats.misses, "counters continue");
+        // a recourse query over the warm set must hit, not refit
+        let before = restored.surrogate_stats();
+        let r = restored.run(&ExplainRequest::Recourse {
+            row: vec![0, 0],
+            actionable: vec![AttrId(0)],
+            opts: Default::default(),
+        });
+        let after = restored.surrogate_stats();
+        assert_eq!(after.misses, before.misses, "warm set must not refit");
+        assert_eq!(after.hits, before.hits + 1);
+        // and the answer matches the donor's, error or not
+        let d = engine.run(&ExplainRequest::Recourse {
+            row: vec![0, 0],
+            actionable: vec![AttrId(0)],
+            opts: Default::default(),
+        });
+        assert_eq!(format!("{d:?}"), format!("{r:?}"));
+    }
+
+    #[test]
+    fn stripped_surrogate_packs_refit_lazily() {
+        let engine = tiny_engine();
+        engine.prepare_surrogate(&[AttrId(0)]).unwrap();
+        let mut pack = Pack::from_engine(&engine, PackMeta::default());
+        pack.strip_surrogates();
+        let bytes = pack.to_bytes();
+        let sizes = section_sizes(&bytes).unwrap();
+        assert!(
+            !sizes.iter().any(|&(name, _)| name == "surrogates"),
+            "stripped packs must omit the surrogates section: {sizes:?}"
+        );
+        let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
+        assert_eq!(restored.surrogate_stats().entries, 0);
+        // the flag without a section means lazy refit, not an error:
+        // the first recourse query fits fresh
+        let _ = restored.run(&ExplainRequest::Recourse {
+            row: vec![0, 0],
+            actionable: vec![AttrId(0)],
+            opts: Default::default(),
+        });
+        assert_eq!(restored.surrogate_stats().entries, 1);
+    }
+
+    #[test]
+    fn surrogate_section_without_the_flag_is_a_mismatch() {
+        let engine = tiny_engine();
+        engine.prepare_surrogate(&[AttrId(0)]).unwrap();
+        let bytes = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        // clear the config's surrogates flag while keeping the section
+        let cleared = rewrite_config(&bytes, FORMAT_VERSION, |mut payload| {
+            let n = payload.len();
+            payload[n - 9] = 0;
+            payload
+        });
+        assert!(
+            matches!(Pack::from_bytes(&cleared), Err(StoreError::Mismatch(_))),
+            "a surrogates section the config does not announce must be a mismatch"
+        );
+    }
+
+    #[test]
+    fn foreign_surrogates_are_a_mismatch() {
+        let engine = tiny_engine();
+        engine.prepare_surrogate(&[AttrId(0)]).unwrap();
+        let mut pack = Pack::from_engine(&engine, PackMeta::default());
+        // widen the warm fit beyond this engine's layout: a surrogate
+        // fitted against some other schema must never be served
+        pack.snapshot.surrogates.fits[0].coefficients.push(0.25);
+        let bytes = pack.to_bytes();
+        assert!(
+            matches!(Pack::from_bytes(&bytes), Err(StoreError::Mismatch(m)) if m.contains("surrogate")),
+            "a foreign-width surrogate must be a mismatch"
+        );
     }
 
     fn indexed_engine() -> Engine {

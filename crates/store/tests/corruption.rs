@@ -62,16 +62,21 @@ fn donor_bytes() -> Vec<u8> {
 
 #[test]
 fn truncation_at_every_prefix_is_typed() {
-    // The cache (tag 7) and index (tag 8) sections are optional by
-    // design, so a prefix ending exactly where one starts parses as a
-    // pack without it (an index-enabled config rebuilds from the
-    // table). Locate those boundaries by walking the section headers.
-    for bytes in [donor_bytes(), indexed_donor_bytes()] {
+    // The cache (tag 7), index (tag 8) and surrogates (tag 9) sections
+    // are optional by design, so a prefix ending exactly where one
+    // starts parses as a pack without it (an index-enabled config
+    // rebuilds from the table; a surrogates-flagged config refits
+    // lazily). Locate those boundaries by walking the section headers.
+    for bytes in [
+        donor_bytes(),
+        indexed_donor_bytes(),
+        surrogate_donor_bytes(),
+    ] {
         let mut optional_boundaries = Vec::new();
         let mut pos = 12usize;
         while pos < bytes.len() {
             let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap()) as usize;
-            if bytes[pos] == 7 || bytes[pos] == 8 {
+            if bytes[pos] == 7 || bytes[pos] == 8 || bytes[pos] == 9 {
                 optional_boundaries.push(pos);
             }
             pos = pos + 1 + 8 + len + 4;
@@ -416,6 +421,93 @@ fn section_payload(bytes: &[u8], tag: u8) -> Vec<u8> {
 
 const TAG_CONFIG: u8 = 5;
 const TAG_INDEX: u8 = 8;
+const TAG_SURROGATES: u8 = 9;
+
+/// The donor again, with a warm recourse-surrogate cache so the pack
+/// carries the v4 surrogates section.
+fn surrogate_donor() -> Engine {
+    let engine = donor();
+    engine.prepare_surrogate(&[AttrId(0)]).unwrap();
+    engine.prepare_surrogate(&[AttrId(0), AttrId(2)]).unwrap();
+    engine
+}
+
+fn surrogate_donor_bytes() -> Vec<u8> {
+    Pack::from_engine(&surrogate_donor(), PackMeta::default()).to_bytes()
+}
+
+#[test]
+fn flipped_surrogate_payload_byte_is_a_checksum_mismatch() {
+    let bytes = surrogate_donor_bytes();
+    let mut pos = 12usize;
+    loop {
+        assert!(pos < bytes.len(), "donor pack lacks a surrogates section");
+        let len = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap()) as usize;
+        if bytes[pos] == TAG_SURROGATES {
+            let mut corrupt = bytes.clone();
+            corrupt[pos + 9 + len / 2] ^= 0x10;
+            assert!(matches!(
+                Pack::from_bytes(&corrupt).unwrap_err(),
+                StoreError::ChecksumMismatch {
+                    section: "surrogates"
+                }
+            ));
+            return;
+        }
+        pos = pos + 1 + 8 + len + 4;
+    }
+}
+
+#[test]
+fn truncated_surrogate_payload_with_valid_crc_is_corrupt() {
+    // chop the tail off the surrogates payload and re-checksum: the CRC
+    // passes, so the codec's cursor bounds must catch it
+    let bytes = surrogate_donor_bytes();
+    let payload = section_payload(&bytes, TAG_SURROGATES);
+    for cut in [payload.len() - 1, payload.len() - 8, 0] {
+        let short = rewrite_section(&bytes, TAG_SURROGATES, Some(&payload[..cut]));
+        match Pack::from_bytes(&short).map(|_| ()).unwrap_err() {
+            StoreError::Corrupt { section, .. } => assert_eq!(section, "surrogates"),
+            other => panic!("cut {cut}: expected Corrupt surrogates, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn crafted_giant_surrogate_header_is_rejected_without_allocating() {
+    // a re-checksummed surrogates section announcing u32::MAX fits must
+    // die typed in the codec's element-size accounting, not OOM
+    let bytes = surrogate_donor_bytes();
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_le_bytes()); // hits
+    payload.extend_from_slice(&0u64.to_le_bytes()); // misses
+    payload.extend_from_slice(&u32::MAX.to_le_bytes()); // n_fits
+    let crafted = rewrite_section(&bytes, TAG_SURROGATES, Some(&payload));
+    match Pack::from_bytes(&crafted).map(|_| ()).unwrap_err() {
+        StoreError::Corrupt { section, .. } => assert_eq!(section, "surrogates"),
+        other => panic!("expected Corrupt surrogates, got {other:?}"),
+    }
+}
+
+#[test]
+fn foreign_schema_surrogate_section_is_a_mismatch() {
+    // a structurally valid surrogates section fitted against some other
+    // engine: transplant the warm section into a pack whose config does
+    // not announce it, and into one whose schema gives it a different
+    // coefficient width
+    let warm = surrogate_donor_bytes();
+    let cold = donor_bytes();
+    // splice the warm surrogates section into the cold pack (its config
+    // flag says "no surrogates"): self-contradictory → Mismatch
+    let warm_payload = section_payload(&warm, TAG_SURROGATES);
+    let mut spliced = cold.clone();
+    spliced.push(TAG_SURROGATES);
+    spliced.extend_from_slice(&(warm_payload.len() as u64).to_le_bytes());
+    spliced.extend_from_slice(&warm_payload);
+    spliced.extend_from_slice(&crc32(&warm_payload).to_le_bytes());
+    let err = Pack::from_bytes(&spliced).map(|_| ()).unwrap_err();
+    assert!(matches!(err, StoreError::Mismatch(_)), "{err:?}");
+}
 
 #[test]
 fn flipped_index_payload_byte_is_a_checksum_mismatch() {
@@ -495,15 +587,19 @@ fn index_of_a_different_table_is_a_mismatch() {
     assert!(matches!(err, StoreError::Mismatch(_)), "{err:?}");
 }
 
+/// Offset of the index flag from the end of a v4 config payload: the
+/// surrogates flag (1 byte) and surrogate capacity (8 bytes) trail it.
+const INDEX_FLAG_FROM_END: usize = 10;
+
 #[test]
 fn index_section_with_the_flag_off_is_a_mismatch() {
-    // flip the config's trailing index-enabled byte to 0 (re-CRC'd)
-    // while the index section stays: the pack contradicts itself
+    // flip the config's index-enabled byte to 0 (re-CRC'd) while the
+    // index section stays: the pack contradicts itself
     let bytes = indexed_donor_bytes();
     let mut config = section_payload(&bytes, TAG_CONFIG);
-    let last = config.len() - 1;
-    assert_eq!(config[last], 1, "donor config has the index flag set");
-    config[last] = 0;
+    let at = config.len() - INDEX_FLAG_FROM_END;
+    assert_eq!(config[at], 1, "donor config has the index flag set");
+    config[at] = 0;
     let contradicted = rewrite_section(&bytes, TAG_CONFIG, Some(&config));
     match Pack::from_bytes(&contradicted).map(|_| ()).unwrap_err() {
         StoreError::Mismatch(detail) => {
@@ -517,13 +613,29 @@ fn index_section_with_the_flag_off_is_a_mismatch() {
 fn invalid_index_flag_byte_is_corrupt() {
     let bytes = indexed_donor_bytes();
     let mut config = section_payload(&bytes, TAG_CONFIG);
-    let last = config.len() - 1;
-    config[last] = 7; // neither 0 nor 1
+    let at = config.len() - INDEX_FLAG_FROM_END;
+    config[at] = 7; // neither 0 nor 1
     let bad = rewrite_section(&bytes, TAG_CONFIG, Some(&config));
     match Pack::from_bytes(&bad).map(|_| ()).unwrap_err() {
         StoreError::Corrupt { section, detail } => {
             assert_eq!(section, "config");
             assert!(detail.contains("index flag"), "{detail}");
+        }
+        other => panic!("expected Corrupt config, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_surrogates_flag_byte_is_corrupt() {
+    let bytes = donor_bytes();
+    let mut config = section_payload(&bytes, TAG_CONFIG);
+    let at = config.len() - 9; // just before the trailing capacity u64
+    config[at] = 3; // neither 0 nor 1
+    let bad = rewrite_section(&bytes, TAG_CONFIG, Some(&config));
+    match Pack::from_bytes(&bad).map(|_| ()).unwrap_err() {
+        StoreError::Corrupt { section, detail } => {
+            assert_eq!(section, "config");
+            assert!(detail.contains("surrogates flag"), "{detail}");
         }
         other => panic!("expected Corrupt config, got {other:?}"),
     }
@@ -616,6 +728,39 @@ proptest! {
                 // header flips hit magic/version/len/tag checks. A
                 // clean parse is impossible because every byte of the
                 // file is load-bearing.
+                Ok(_) => prop_assert!(false, "corruption at {at} went unnoticed"),
+                Err(
+                    StoreError::BadMagic
+                    | StoreError::UnsupportedVersion { .. }
+                    | StoreError::Truncated { .. }
+                    | StoreError::ChecksumMismatch { .. }
+                    | StoreError::Corrupt { .. }
+                    | StoreError::MissingSection { .. }
+                    | StoreError::DuplicateSection { .. }
+                    | StoreError::Mismatch(_),
+                ) => {}
+                Err(other) => prop_assert!(false, "untyped failure at {at}: {other:?}"),
+            }
+            Ok(())
+        })?;
+    }
+
+    /// The same guarantee for packs carrying the v4 surrogates section:
+    /// every byte (coefficient bits included) is covered by a checksum
+    /// or a header check, so single flips never pass and never panic.
+    #[test]
+    fn single_byte_corruption_of_surrogate_packs_never_panics(
+        offset in 0usize..=usize::MAX,
+        flip in 1u8..=255u8,
+    ) {
+        thread_local! {
+            static BYTES: Vec<u8> = surrogate_donor_bytes();
+        }
+        BYTES.with(|bytes| {
+            let mut corrupted = bytes.clone();
+            let at = offset % corrupted.len();
+            corrupted[at] ^= flip;
+            match Pack::from_bytes(&corrupted) {
                 Ok(_) => prop_assert!(false, "corruption at {at} went unnoticed"),
                 Err(
                     StoreError::BadMagic

@@ -160,6 +160,63 @@ fn explain_responses_match_checked_in_goldens() {
     );
 }
 
+/// The async job lane is part of the conformance surface too: the
+/// golden recourse query for `drug`, submitted with `?mode=async` and
+/// polled to completion over a real socket, must replay exactly the
+/// pinned golden bytes — the ticket carries the same serialized answer
+/// the synchronous route (and the golden) pins.
+#[test]
+fn the_job_lane_replays_the_golden_recourse_answer() {
+    use lewis_serve::{serve, Client, ServerConfig};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let name = "drug";
+    let mut registry = EngineRegistry::new();
+    registry.load_builtin(name, ROWS, SEED).unwrap();
+    let engine = Arc::clone(&registry.get(name).unwrap().engine);
+    let server = serve(&ServerConfig::default(), Arc::new(registry)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let (_, request) = golden_queries(&engine)
+        .into_iter()
+        .find(|(label, _)| label == "recourse")
+        .unwrap();
+    let body = wire::request_to_json(&request).to_json();
+    let (status, answer) = client
+        .post(&format!("/v1/engines/{name}/explain?mode=async"), &body)
+        .unwrap();
+    assert_eq!(status, 202, "submission: {answer:?}");
+    let id = answer.get("job_id").unwrap().as_str().unwrap().to_string();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let view = loop {
+        let (status, view) = client.get(&format!("/v1/jobs/{id}")).unwrap();
+        assert_eq!(status, 200, "poll: {view:?}");
+        match view.get("state").unwrap().as_str() {
+            Some("done") | Some("failed") => break view,
+            _ => {
+                assert!(Instant::now() < deadline, "job {id} never finished");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    };
+    assert_eq!(view.get("state").unwrap().as_str(), Some("done"));
+    assert_eq!(view.get("status").unwrap().as_f64(), Some(200.0));
+
+    let golden = std::fs::read_to_string(goldens_dir().join(format!("{name}.golden"))).unwrap();
+    let want = golden
+        .lines()
+        .find_map(|l| l.strip_prefix("recourse\t"))
+        .expect("the golden has a recourse line");
+    assert_eq!(
+        view.get("result").unwrap().to_json(),
+        want,
+        "the async replay matches the pinned golden bytes"
+    );
+    server.shutdown();
+}
+
 /// The goldens must be shard-count-invariant: CI's shard matrix runs
 /// this same suite under `LEWIS_TEST_SHARDS=4`, and a sharded engine
 /// answering differently from the golden would mean the determinism

@@ -1,0 +1,273 @@
+//! The async job lane over a real socket: `?mode=async` answers `202`
+//! with a ticket, polling replays the exact synchronous answer, the
+//! queue bound is a typed `429`, and tickets expire into `404`s.
+
+use lewis_serve::loadgen::{run, LoadgenConfig, Mix};
+use lewis_serve::wire::Json;
+use lewis_serve::{serve, Client, EngineRegistry, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ENGINE: &str = "german_syn";
+
+fn start(config: ServerConfig) -> Server {
+    let mut registry = EngineRegistry::new();
+    registry.load_builtin(ENGINE, 1200, 17).unwrap();
+    serve(&config, Arc::new(registry)).unwrap()
+}
+
+/// A recourse body over the schema the server publishes: the all-zeros
+/// row (code 0 is valid in every domain) with the first two features
+/// actionable. Whatever the engine answers — actions, "no recourse",
+/// "already favourable" — the async lane must replay it exactly.
+fn recourse_body(client: &mut Client) -> String {
+    let (_, list) = client.get("/v1/engines").unwrap();
+    let engine = &list.get("engines").unwrap().as_arr().unwrap()[0];
+    let features = engine.get("features").unwrap().as_arr().unwrap();
+    let actionable: Vec<Json> = features.iter().take(2).cloned().collect();
+    let n_attrs = engine.get("attributes").unwrap().as_arr().unwrap().len();
+    let row: Vec<Json> = (0..n_attrs).map(|_| Json::num(0u32)).collect();
+    Json::obj([
+        ("kind", Json::str("recourse")),
+        ("row", Json::Arr(row)),
+        ("actionable", Json::Arr(actionable)),
+    ])
+    .to_json()
+}
+
+/// Poll `/v1/jobs/{id}` until the job is terminal (bounded, so a
+/// regression hangs the assertion, not the suite).
+fn poll_until_terminal(client: &mut Client, id: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = client.get(&format!("/v1/jobs/{id}")).unwrap();
+        assert_eq!(status, 200, "poll failed: {body:?}");
+        let state = body.get("state").unwrap().as_str().unwrap().to_string();
+        match state.as_str() {
+            "done" | "failed" => return body,
+            "queued" | "running" => {
+                assert!(Instant::now() < deadline, "job {id} never finished");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            other => panic!("unknown job state {other:?}"),
+        }
+    }
+}
+
+/// Submit `body` async; return (ticket, poll path).
+fn submit(client: &mut Client, body: &str) -> String {
+    let (status, answer) = client
+        .post(&format!("/v1/engines/{ENGINE}/explain?mode=async"), body)
+        .unwrap();
+    assert_eq!(status, 202, "submission failed: {answer:?}");
+    let id = answer.get("job_id").unwrap().as_str().unwrap().to_string();
+    assert_eq!(
+        answer.get("poll").unwrap().as_str().unwrap(),
+        format!("/v1/jobs/{id}"),
+        "the 202 carries the poll path"
+    );
+    id
+}
+
+#[test]
+fn async_jobs_replay_the_sync_answer_exactly() {
+    let server = start(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let path = format!("/v1/engines/{ENGINE}/explain");
+
+    // one cheap query and one recourse query, sync first
+    for body in [
+        r#"{"kind":"global"}"#.to_string(),
+        recourse_body(&mut client),
+    ] {
+        let (sync_status, sync_answer) = client.post(&path, &body).unwrap();
+        let id = submit(&mut client, &body);
+        let view = poll_until_terminal(&mut client, &id);
+        assert_eq!(view.get("state").unwrap().as_str(), Some("done"));
+        assert_eq!(
+            view.get("status").unwrap().as_f64(),
+            Some(f64::from(sync_status)),
+            "the stored status replays the sync one"
+        );
+        assert_eq!(
+            view.get("result").unwrap().to_json(),
+            sync_answer.to_json(),
+            "the stored body replays the sync one byte for byte"
+        );
+        assert!(view.get("waited_us").unwrap().as_f64().is_some());
+        assert!(view.get("ran_us").unwrap().as_f64().is_some());
+    }
+
+    // error parity too: a malformed body answers 400 on both lanes
+    let bad = r#"{"kind":"nonsense"}"#;
+    let (sync_status, sync_answer) = client.post(&path, bad).unwrap();
+    assert_eq!(sync_status, 400);
+    let id = submit(&mut client, bad);
+    let view = poll_until_terminal(&mut client, &id);
+    assert_eq!(view.get("state").unwrap().as_str(), Some("done"));
+    assert_eq!(view.get("status").unwrap().as_f64(), Some(400.0));
+    assert_eq!(view.get("result").unwrap().to_json(), sync_answer.to_json());
+
+    // the lane shows up in /metrics
+    let (_, metrics) = client.get("/metrics").unwrap();
+    let lane = metrics.get("job_lane").unwrap();
+    assert!(lane.get("submitted").unwrap().as_f64().unwrap() >= 3.0);
+    assert!(lane.get("completed").unwrap().as_f64().unwrap() >= 3.0);
+    assert_eq!(lane.get("failed").unwrap().as_f64(), Some(0.0));
+    let jobs_route = metrics.get("routes").unwrap().get("jobs").unwrap();
+    assert!(jobs_route.get("requests").unwrap().as_f64().unwrap() >= 3.0);
+    let surrogate = metrics
+        .get("engines")
+        .unwrap()
+        .get(ENGINE)
+        .unwrap()
+        .get("surrogate_cache")
+        .unwrap();
+    assert!(
+        surrogate.get("misses").unwrap().as_f64().unwrap() >= 1.0,
+        "the recourse queries fitted (and cached) a surrogate"
+    );
+    assert!(
+        surrogate.get("hits").unwrap().as_f64().unwrap() >= 1.0,
+        "the repeated actionable set hit the surrogate cache"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn loadgen_routes_recourse_through_the_lane_cleanly() {
+    let server = start(ServerConfig::default());
+    let config = LoadgenConfig {
+        addr: server.addr(),
+        engine: ENGINE.to_string(),
+        duration: Duration::from_millis(400),
+        concurrency: 2,
+        mix: Mix {
+            global: 1,
+            contextual: 1,
+            local: 1,
+            recourse: 5,
+        },
+        batch: 1,
+        seed: 7,
+        job_lane: true,
+    };
+    let report = run(&config).unwrap();
+    assert!(report.sent_by_kind[3] > 0, "recourse was exercised");
+    assert!(report.ok > 0, "queries succeeded: {report:?}");
+    assert_eq!(
+        report.other_errors, 0,
+        "a job-lane run is as clean as a sync one: {report:?}"
+    );
+    // the lane really was used: submissions show up in /metrics
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (_, metrics) = client.get("/metrics").unwrap();
+    let lane = metrics.get("job_lane").unwrap();
+    assert!(
+        lane.get("submitted").unwrap().as_f64().unwrap() >= 1.0,
+        "recourse queries went through the lane: {lane:?}"
+    );
+    assert_eq!(lane.get("failed").unwrap().as_f64(), Some(0.0));
+    server.shutdown();
+}
+
+#[test]
+fn a_full_queue_is_a_typed_429() {
+    // capacity 0: every submission rejected, deterministically
+    let server = start(ServerConfig {
+        job_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (status, answer) = client
+        .post(
+            &format!("/v1/engines/{ENGINE}/explain?mode=async"),
+            r#"{"kind":"global"}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 429);
+    assert_eq!(
+        answer.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("queue_full")
+    );
+    // the synchronous route is unaffected
+    let (status, _) = client
+        .post(
+            &format!("/v1/engines/{ENGINE}/explain"),
+            r#"{"kind":"global"}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 200);
+    let (_, metrics) = client.get("/metrics").unwrap();
+    assert_eq!(
+        metrics
+            .get("job_lane")
+            .unwrap()
+            .get("rejected")
+            .unwrap()
+            .as_f64(),
+        Some(1.0)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn finished_tickets_expire_into_404s() {
+    let server = start(ServerConfig {
+        job_ttl: Duration::from_millis(50),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    let id = submit(&mut client, r#"{"kind":"global"}"#);
+    let view = poll_until_terminal(&mut client, &id);
+    assert_eq!(view.get("state").unwrap().as_str(), Some("done"));
+    std::thread::sleep(Duration::from_millis(120));
+    let (status, answer) = client.get(&format!("/v1/jobs/{id}")).unwrap();
+    assert_eq!(status, 404, "expired tickets read as unknown: {answer:?}");
+    assert_eq!(
+        answer.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("unknown_job")
+    );
+    server.shutdown();
+}
+
+#[test]
+fn unknown_jobs_engines_and_modes_fail_typed() {
+    let server = start(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    for bogus in ["999999", "banana", "-1"] {
+        let (status, answer) = client.get(&format!("/v1/jobs/{bogus}")).unwrap();
+        assert_eq!(status, 404, "{bogus}: {answer:?}");
+        assert_eq!(
+            answer.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("unknown_job")
+        );
+    }
+
+    // submissions against unknown engines fail at submit time
+    let (status, answer) = client
+        .post(
+            "/v1/engines/missing/explain?mode=async",
+            r#"{"kind":"global"}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 404);
+    assert_eq!(
+        answer.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("unknown_engine")
+    );
+
+    // a typo'd mode is a 400, not silently-sync
+    let (status, answer) = client
+        .post(
+            &format!("/v1/engines/{ENGINE}/explain?mode=later"),
+            r#"{"kind":"global"}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 400, "{answer:?}");
+    // and POSTing the poll route is a 405
+    let (status, _) = client.post("/v1/jobs/0", "").unwrap();
+    assert_eq!(status, 405);
+    server.shutdown();
+}
