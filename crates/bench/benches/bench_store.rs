@@ -38,7 +38,7 @@ fn fixture() -> Fixture {
 
     let mut reg = EngineRegistry::new();
     reg.load_builtin("german_syn", ROWS, SEED).unwrap();
-    tabular::write_csv_file(reg.get("german_syn").unwrap().engine.table(), &csv).unwrap();
+    tabular::write_csv_file(reg.get("german_syn").unwrap().engine().table(), &csv).unwrap();
 
     let mut compile = EngineRegistry::new();
     compile
@@ -50,7 +50,7 @@ fn fixture() -> Fixture {
             GraphSpec::FullyConnected,
         )
         .unwrap();
-    warm_engine(&compile.get("engine").unwrap().engine, WARM_QUERIES, SEED).unwrap();
+    warm_engine(&compile.get("engine").unwrap().engine(), WARM_QUERIES, SEED).unwrap();
     compile.save_pack("engine", pack.to_str().unwrap()).unwrap();
     Fixture { dir, csv, pack }
 }
@@ -69,8 +69,8 @@ fn csv_rebuild_rewarm(csv: &std::path::Path) -> usize {
         GraphSpec::FullyConnected,
     )
     .unwrap();
-    let engine = &reg.get("engine").unwrap().engine;
-    warm_engine(engine, WARM_QUERIES, SEED).unwrap();
+    let engine = reg.get("engine").unwrap().engine();
+    warm_engine(&engine, WARM_QUERIES, SEED).unwrap();
     engine.cache_stats().entries
 }
 

@@ -1,0 +1,235 @@
+//! Produce the `BENCH_live.json` payload: streaming appends at 1M rows.
+//!
+//! Two measurements on the seeded 1M-row `german_syn_scaled` workload:
+//!
+//! 1. **Append vs cold rebuild** — appending a 1k-row batch to the live
+//!    table (incremental counts, precise cache invalidation, delta
+//!    shard) against rebuilding the whole engine over the concatenated
+//!    table. The acceptance gate is ≥50×, with a byte-parity check that
+//!    the cheap path answers exactly like the expensive one.
+//! 2. **Mixed read+append serving** — an in-process `lewis-serve` over
+//!    the same engine, hammered with a read mix while the loadgen
+//!    writer lane appends 10k rows in 256-row batches, enough to arm
+//!    the background compactor at its default 8192-row threshold at
+//!    least once mid-run. Gates: zero unexpected read errors, zero
+//!    rejected append batches, ≥1 compaction armed, and sub-10ms p99
+//!    for every exercised query kind.
+//!
+//! Run from the repo root (release!):
+//! `cargo run --release -p bench --bin bench_live_report > BENCH_live.json`
+
+use lewis_core::blackbox::label_table;
+use lewis_core::{Engine, ExplainRequest};
+use lewis_live::{LiveEngine, DEFAULT_COMPACTION_THRESHOLD};
+use lewis_serve::loadgen::{run as run_loadgen, AppendMix, LoadgenConfig, Mix};
+use lewis_serve::warm::warm_engine;
+use lewis_serve::{serve, wire, EngineEntry, EngineRegistry, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tabular::{Context, Table};
+
+const ROWS: usize = 1_000_000;
+const APPEND_BATCH: usize = 1_000;
+const SEED: u64 = 42;
+const ENGINE_NAME: &str = "german_syn_scaled";
+const SPEEDUP_FLOOR: f64 = 50.0;
+const READ_P99_CEILING_US: u64 = 10_000;
+const WRITER_ROWS: u64 = 10_000;
+const WRITER_BATCH: usize = 256;
+
+fn gate(ok: bool, what: &str) {
+    if !ok {
+        eprintln!("bench_live_report: GATE FAILED: {what}");
+        std::process::exit(3);
+    }
+}
+
+/// The first `rows` rows of `table`, as a fresh table over the same
+/// schema — the frozen base the append stream grows back to `table`.
+fn prefix(table: &Table, rows: usize) -> Table {
+    let mut out = Table::new(table.schema().clone());
+    for i in 0..rows {
+        out.push_row(&table.row(i).unwrap()).unwrap();
+    }
+    out
+}
+
+fn main() {
+    let threads = rayon::current_num_threads();
+
+    // one generation covers both worlds: the base engine sees the first
+    // 1M rows, the 1k tail is the batch the live table appends and the
+    // cold rebuild absorbs
+    let t0 = Instant::now();
+    let mut d = datasets::german_syn_scaled(ROWS + APPEND_BATCH, SEED);
+    let generate_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let outcome = d.outcome;
+    let pred = label_table(
+        &mut d.table,
+        &|row: &[tabular::Value]| u32::from(row[outcome.index()] >= 5),
+        "pred",
+    )
+    .unwrap();
+    let full = Arc::new(d.table);
+    let features = d.features.clone();
+    let graph = d.scm.graph().clone();
+    let build = |table: Table| {
+        Engine::builder(table)
+            .graph(&graph)
+            .prediction(pred, 1)
+            .features(&features)
+            .shards(4)
+            .index(true)
+            .cache_capacity(1024)
+            .build()
+            .unwrap()
+    };
+
+    let t_base = Instant::now();
+    let engine = Arc::new(build(prefix(&full, ROWS)));
+    let base_build_ms = t_base.elapsed().as_secs_f64() * 1e3;
+
+    // --- 1. the 1k-row append vs the cold rebuild it replaces ---
+    let batch: Vec<Vec<tabular::Value>> = (ROWS..ROWS + APPEND_BATCH)
+        .map(|i| full.row(i).unwrap())
+        .collect();
+    let live = LiveEngine::new(Arc::clone(&engine));
+    let t_append = Instant::now();
+    let receipt = live.append_rows(&batch).unwrap();
+    let append_ms = t_append.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(receipt.appended, APPEND_BATCH);
+
+    let t_rebuild = Instant::now();
+    let rebuilt = build(prefix(&full, ROWS + APPEND_BATCH));
+    let cold_rebuild_ms = t_rebuild.elapsed().as_secs_f64() * 1e3;
+    let speedup = cold_rebuild_ms / append_ms;
+
+    // the cheap path must be the same engine, not a cheaper answer: the
+    // overlaid table answers a global and a contextual probe byte-for-
+    // byte like the rebuild
+    let overlaid = live.engine();
+    let k = Context::of([(features[0], 1)]);
+    for request in [
+        ExplainRequest::Global,
+        ExplainRequest::ContextualGlobal { k },
+    ] {
+        let want = wire::response_to_json(&rebuilt.run(&request).unwrap()).to_json();
+        let got = wire::response_to_json(&overlaid.run(&request).unwrap()).to_json();
+        assert_eq!(want, got, "append parity broke on {request:?}");
+    }
+    drop(rebuilt);
+    drop(overlaid);
+    drop(live);
+
+    // --- 2. mixed read+append serving through a background compaction ---
+    let warmed = warm_engine(&engine, 256, SEED).unwrap();
+    let mut registry = EngineRegistry::new();
+    registry
+        .insert(
+            ENGINE_NAME,
+            EngineEntry::from_engine(
+                Arc::clone(&engine),
+                format!("builtin:{ENGINE_NAME} ({ROWS} rows, seed {SEED})"),
+                "builtin scm".to_string(),
+                "pred".to_string(),
+                1,
+            ),
+        )
+        .unwrap();
+    let server = serve(&ServerConfig::default(), Arc::new(registry)).unwrap();
+    let loadgen_config = LoadgenConfig {
+        addr: server.addr(),
+        engine: ENGINE_NAME.to_string(),
+        duration: Duration::from_secs(10),
+        concurrency: 2,
+        mix: Mix {
+            global: 10,
+            contextual: 60,
+            local: 30,
+            recourse: 0,
+        },
+        batch: 1,
+        seed: SEED,
+        job_lane: false,
+        append_mix: Some(AppendMix {
+            rows: WRITER_ROWS,
+            batch: WRITER_BATCH,
+        }),
+    };
+    let report = run_loadgen(&loadgen_config).unwrap();
+    server.shutdown();
+
+    // --- gates ---
+    gate(
+        speedup >= SPEEDUP_FLOOR,
+        &format!(
+            "append speedup {speedup:.1}x < {SPEEDUP_FLOOR}x \
+             (rebuild {cold_rebuild_ms:.0}ms vs append {append_ms:.1}ms)"
+        ),
+    );
+    gate(
+        report.other_errors == 0,
+        &format!(
+            "{} unexpected read errors during the append run",
+            report.other_errors
+        ),
+    );
+    let append = report.append.expect("the writer lane ran");
+    gate(
+        append.append_errors == 0,
+        &format!("{} append batches rejected", append.append_errors),
+    );
+    gate(
+        append.appended_rows == WRITER_ROWS,
+        &format!(
+            "writer lane appended {} of {WRITER_ROWS} rows",
+            append.appended_rows
+        ),
+    );
+    gate(
+        append.compactions_armed >= 1,
+        "the run never armed a background compaction",
+    );
+    let by_kind = report.by_kind.expect("batch=1 runs attribute per kind");
+    for (name, k) in lewis_serve::loadgen::KIND_NAMES.iter().zip(&by_kind) {
+        if k.count == 0 {
+            continue; // recourse is weighted out of this mix
+        }
+        gate(
+            k.p99_us < READ_P99_CEILING_US,
+            &format!(
+                "read kind {name}: p99 {}µs over {} round-trips (ceiling {READ_P99_CEILING_US}µs)",
+                k.p99_us, k.count
+            ),
+        );
+    }
+
+    // --- report ---
+    println!("{{");
+    println!(
+        "  \"description\": \"Streaming appends at 1M rows (german_syn_scaled): a 1k-row append to the live table (incremental counts + precise invalidation, byte-parity asserted against the rebuild) vs a cold engine rebuild, then a 10s mixed read+append serving run (writer lane: 10k rows in 256-row batches, arming the 8192-row background compactor mid-run). All gates asserted before printing.\","
+    );
+    println!("  \"command\": \"cargo run --release -p bench --bin bench_live_report\",");
+    println!("  \"environment\": {{\"cpus\": {threads}, \"shards\": 4, \"index\": true}},");
+    println!(
+        "  \"workload\": {{\"rows\": {ROWS}, \"seed\": {SEED}, \"generate_ms\": {generate_ms:.1}, \"base_build_ms\": {base_build_ms:.1}}},"
+    );
+    println!("  \"append_vs_rebuild\": {{");
+    println!("    \"batch_rows\": {APPEND_BATCH},");
+    println!("    \"append_ms\": {append_ms:.2},");
+    println!("    \"cold_rebuild_ms\": {cold_rebuild_ms:.1},");
+    println!("    \"speedup\": {speedup:.1},");
+    println!("    \"parity\": \"global + contextual answers byte-identical to the rebuild\",");
+    println!("    \"gate\": \"speedup >= {SPEEDUP_FLOOR}\"");
+    println!("  }},");
+    println!("  \"compaction_threshold_rows\": {DEFAULT_COMPACTION_THRESHOLD},");
+    println!("  \"counting_warmup_queries\": {},", warmed.0 + warmed.1);
+    println!(
+        "  \"serving\": {},",
+        report.to_json(&loadgen_config).to_json()
+    );
+    println!(
+        "  \"gates\": {{\"read_p99_us_ceiling\": {READ_P99_CEILING_US}, \"append_speedup_floor\": {SPEEDUP_FLOOR}, \"other_errors\": 0, \"append_errors\": 0, \"compactions_armed_min\": 1}}"
+    );
+    println!("}}");
+}

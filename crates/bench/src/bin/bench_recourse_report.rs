@@ -164,13 +164,13 @@ fn main() {
     registry
         .insert(
             ENGINE_NAME,
-            EngineEntry {
-                engine: Arc::clone(&engine),
-                source: format!("builtin:{ENGINE_NAME} ({ROWS} rows, seed {SEED})"),
-                graph: "builtin scm".to_string(),
-                pred_name: "pred".to_string(),
-                positive: 1,
-            },
+            EngineEntry::from_engine(
+                Arc::clone(&engine),
+                format!("builtin:{ENGINE_NAME} ({ROWS} rows, seed {SEED})"),
+                "builtin scm".to_string(),
+                "pred".to_string(),
+                1,
+            ),
         )
         .unwrap();
     let server = serve(&ServerConfig::default(), Arc::new(registry)).unwrap();
@@ -188,6 +188,7 @@ fn main() {
         batch: 1,
         seed: SEED,
         job_lane: true,
+        append_mix: None,
     };
     let report = run_loadgen(&loadgen_config).unwrap();
     server.shutdown();

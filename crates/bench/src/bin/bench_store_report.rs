@@ -28,7 +28,7 @@ fn main() {
     // fixture: the CSV, and a pack compiled from it with a warm cache
     let mut reg = EngineRegistry::new();
     reg.load_builtin("german_syn", ROWS, SEED).unwrap();
-    tabular::write_csv_file(reg.get("german_syn").unwrap().engine.table(), &csv).unwrap();
+    tabular::write_csv_file(reg.get("german_syn").unwrap().engine().table(), &csv).unwrap();
     let mut compile = EngineRegistry::new();
     compile
         .load_csv(
@@ -39,7 +39,7 @@ fn main() {
             GraphSpec::FullyConnected,
         )
         .unwrap();
-    warm_engine(&compile.get("engine").unwrap().engine, WARM_QUERIES, SEED).unwrap();
+    warm_engine(&compile.get("engine").unwrap().engine(), WARM_QUERIES, SEED).unwrap();
     compile.save_pack("engine", pack.to_str().unwrap()).unwrap();
 
     let mut rebuild_ms = Vec::new();
@@ -56,8 +56,8 @@ fn main() {
             GraphSpec::FullyConnected,
         )
         .unwrap();
-        let engine = &boot.get("engine").unwrap().engine;
-        warm_engine(engine, WARM_QUERIES, SEED).unwrap();
+        let engine = boot.get("engine").unwrap().engine();
+        warm_engine(&engine, WARM_QUERIES, SEED).unwrap();
         rebuild_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         warm_entries.0 = engine.cache_stats().entries;
 

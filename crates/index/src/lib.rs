@@ -72,7 +72,7 @@ mod codec;
 pub use codec::IndexError;
 
 use tabular::shard::shard_boundaries;
-use tabular::{column_bitmaps, words_for, AttrId, Bitmap, Context, Counter, Table};
+use tabular::{column_bitmaps, words_for, AttrId, Bitmap, Context, Counter, Table, Value};
 
 /// Group grids larger than this always fall back to the scan path:
 /// past it the intersection walk visits more cells than a scan visits
@@ -575,6 +575,155 @@ impl TableIndex {
     }
 }
 
+/// Append-only per-(attribute, code) bit vectors over a **delta** table
+/// — the write-side growth companion to [`TableIndex`].
+///
+/// A frozen [`TableIndex`] cannot grow (its bitmaps are sized and
+/// sharded at build time), so a live engine keeps its base index
+/// untouched and accumulates appended rows here: bit `i` of
+/// `(attr, code)` is set iff delta row `i` holds `code` in `attr`.
+/// Support probes over the live table are then
+/// `base_index.count(ctx) + delta.count(ctx)` — two word-level
+/// AND+popcount walks summed base-then-delta, exactly the integer one
+/// scan over the concatenated table would count.
+///
+/// Word vectors grow lazily: a code's vector only extends when one of
+/// its rows lands in a new word, and rows past a vector's end read as
+/// zero. [`DeltaBitmaps::count`] mirrors [`TableIndex::count`]'s
+/// contract — `None` defers out-of-schema attributes to the caller's
+/// scan path, out-of-domain codes count zero rows.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBitmaps {
+    n_rows: usize,
+    cardinalities: Vec<u32>,
+    /// `attrs[a][c]`: packed words over delta rows (missing tail words
+    /// are all-zero).
+    attrs: Vec<Vec<Vec<u64>>>,
+}
+
+impl DeltaBitmaps {
+    /// An empty delta index over a schema described by its per-attribute
+    /// cardinalities (use `TableIndex::cardinalities()`'s layout).
+    pub fn new(cardinalities: Vec<u32>) -> DeltaBitmaps {
+        let attrs = cardinalities
+            .iter()
+            .map(|&card| vec![Vec::new(); card as usize])
+            .collect();
+        DeltaBitmaps {
+            n_rows: 0,
+            cardinalities,
+            attrs,
+        }
+    }
+
+    /// Index every row of `table` — the rebuild-from-a-delta-shard path
+    /// (restores, and engines overlaying a fresh batch).
+    pub fn from_table(table: &Table) -> tabular::Result<DeltaBitmaps> {
+        let schema = table.schema();
+        let mut cardinalities = Vec::with_capacity(schema.len());
+        for a in schema.attr_ids() {
+            cardinalities.push(schema.cardinality(a)? as u32);
+        }
+        let mut delta = DeltaBitmaps::new(cardinalities);
+        for (ai, a) in schema.attr_ids().enumerate() {
+            for (r, &code) in table.column(a)?.iter().enumerate() {
+                delta.set_bit(ai, code, r);
+            }
+        }
+        delta.n_rows = table.n_rows();
+        Ok(delta)
+    }
+
+    /// Append one row (codes in schema order). The caller validates
+    /// codes against the schema first — the table the delta shard
+    /// mirrors rejects out-of-domain rows before they reach here.
+    pub fn append_row(&mut self, row: &[Value]) -> tabular::Result<()> {
+        if row.len() < self.cardinalities.len() {
+            return Err(tabular::TabularError::ArityMismatch {
+                expected: self.cardinalities.len(),
+                got: row.len(),
+            });
+        }
+        for (a, (&code, &card)) in row.iter().zip(&self.cardinalities).enumerate() {
+            if code >= card {
+                return Err(tabular::TabularError::ValueOutOfDomain {
+                    attr: a as u32,
+                    value: code,
+                    cardinality: card as usize,
+                });
+            }
+        }
+        let r = self.n_rows;
+        for (a, &code) in row.iter().take(self.cardinalities.len()).enumerate() {
+            self.set_bit(a, code, r);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    fn set_bit(&mut self, attr: usize, code: Value, row: usize) {
+        let words = &mut self.attrs[attr][code as usize];
+        let w = row / 64;
+        if words.len() <= w {
+            words.resize(w + 1, 0);
+        }
+        words[w] |= 1u64 << (row % 64);
+    }
+
+    /// Delta rows indexed so far.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Count delta rows matching `ctx`: AND the context's code word
+    /// vectors and popcount. Equals a scan of the delta shard exactly.
+    /// `None` when `ctx` names an attribute outside the indexed schema
+    /// (the caller's scan path owns the error behavior); out-of-domain
+    /// codes match zero rows.
+    pub fn count(&self, ctx: &Context) -> Option<u64> {
+        let mut vecs: Vec<&[u64]> = Vec::new();
+        for (a, v) in ctx.iter() {
+            if a.index() >= self.cardinalities.len() {
+                return None;
+            }
+            match self.attrs[a.index()].get(v as usize) {
+                Some(words) => vecs.push(words),
+                None => return Some(0), // out-of-domain code
+            }
+        }
+        if vecs.is_empty() {
+            return Some(self.n_rows as u64);
+        }
+        let n_words = words_for(self.n_rows);
+        let mut total = 0u64;
+        for w in 0..n_words {
+            let mut acc = match vecs[0].get(w) {
+                Some(&x) => x,
+                None => continue,
+            };
+            for words in &vecs[1..] {
+                acc &= words.get(w).copied().unwrap_or(0);
+                if acc == 0 {
+                    break;
+                }
+            }
+            total += u64::from(acc.count_ones());
+        }
+        Some(total)
+    }
+
+    /// Heap bytes held by the packed words.
+    pub fn memory_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for maps in &self.attrs {
+            for words in maps {
+                total += (words.capacity() * 8) as u64;
+            }
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -749,5 +898,75 @@ mod tests {
             .unwrap()
             .expect("grid of 3 cells");
         assert_eq!(pass.total(), 0);
+    }
+
+    #[test]
+    fn delta_counts_equal_scans_as_rows_append() {
+        let t = table(150);
+        let mut delta = DeltaBitmaps::new(vec![3, 2, 4]);
+        let contexts = [
+            Context::empty(),
+            Context::of([(AttrId(0), 1)]),
+            Context::of([(AttrId(0), 2), (AttrId(1), 0)]),
+            Context::of([(AttrId(0), 0), (AttrId(1), 1), (AttrId(2), 3)]),
+        ];
+        let mut grown = Table::new(t.schema().clone());
+        for r in 0..t.n_rows() {
+            let row = t.row(r).unwrap();
+            delta.append_row(&row).unwrap();
+            grown.push_row(&row).unwrap();
+            if r % 37 == 0 || r + 1 == t.n_rows() {
+                for ctx in &contexts {
+                    assert_eq!(
+                        delta.count(ctx),
+                        Some(grown.count(ctx) as u64),
+                        "after {} rows, {ctx:?}",
+                        r + 1
+                    );
+                }
+            }
+        }
+        assert_eq!(delta.n_rows(), 150);
+    }
+
+    #[test]
+    fn delta_from_table_equals_incremental_appends() {
+        let t = table(101);
+        let built = DeltaBitmaps::from_table(&t).unwrap();
+        let mut appended = DeltaBitmaps::new(vec![3, 2, 4]);
+        for row in t.rows() {
+            appended.append_row(&row).unwrap();
+        }
+        let contexts = [
+            Context::empty(),
+            Context::of([(AttrId(1), 1)]),
+            Context::of([(AttrId(0), 2), (AttrId(2), 1)]),
+        ];
+        for ctx in &contexts {
+            assert_eq!(built.count(ctx), appended.count(ctx), "{ctx:?}");
+            assert_eq!(built.count(ctx), Some(t.count(ctx) as u64), "{ctx:?}");
+        }
+    }
+
+    #[test]
+    fn delta_mirrors_the_index_edge_contract() {
+        let t = table(20);
+        let delta = DeltaBitmaps::from_table(&t).unwrap();
+        // out-of-domain code: zero rows, exactly as a scan finds
+        assert_eq!(delta.count(&Context::of([(AttrId(1), 9)])), Some(0));
+        assert_eq!(
+            delta.count(&Context::of([(AttrId(0), 1), (AttrId(1), 9)])),
+            Some(0)
+        );
+        // out-of-schema attribute: defer to the caller's scan path
+        assert_eq!(delta.count(&Context::of([(AttrId(7), 0)])), None);
+        // malformed appends are typed errors, not silent corruption
+        let mut d = DeltaBitmaps::new(vec![3, 2, 4]);
+        assert!(d.append_row(&[0, 1]).is_err());
+        assert!(d.append_row(&[0, 5, 0]).is_err());
+        assert_eq!(d.n_rows(), 0);
+        // empty deltas count zero everywhere and hold no words
+        assert_eq!(d.count(&Context::empty()), Some(0));
+        assert_eq!(d.memory_bytes(), 0);
     }
 }

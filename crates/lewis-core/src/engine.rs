@@ -38,7 +38,7 @@ use crate::cache::{CountingCache, PassKey};
 use crate::explain::{
     AttributeScores, ContextualExplanation, GlobalExplanation, LocalContribution, LocalExplanation,
 };
-use crate::ordering::{infer_value_order, ordered_pairs};
+use crate::ordering::{infer_value_order_from_stats, ordered_pairs};
 use crate::recourse::{fit_surrogate, Recourse, RecourseEngine, RecourseOptions, SurrogateFit};
 use crate::scores::{ArmTable, CellArms, Contrast, ScoreEstimator, Scores};
 use crate::snapshot::{
@@ -322,9 +322,11 @@ impl EngineBuilder {
                 .with_shards(self.shards)
                 .with_index(self.index)?;
         let mut orders = vec![None; est.table().schema().len()];
+        let mut base_stats = Vec::with_capacity(features.len());
         for &a in &features {
-            let order = infer_value_order(est.table(), a, pred, self.positive)?;
-            orders[a.index()] = Some(order);
+            let stats = est.base_order_stats(a)?;
+            orders[a.index()] = Some(infer_value_order_from_stats(&stats));
+            base_stats.push(stats);
         }
         Ok(Engine {
             est,
@@ -333,6 +335,7 @@ impl EngineBuilder {
             min_support: self.min_support,
             cache: CountingCache::new(self.cache_capacity),
             surrogates: SurrogateCache::new(self.surrogate_capacity),
+            base_order_stats: Some(base_stats),
         })
     }
 }
@@ -347,6 +350,13 @@ pub struct Engine {
     min_support: usize,
     cache: CountingCache,
     surrogates: SurrogateCache,
+    /// Per-feature `(rows, positives)`-per-value stats over the **base**
+    /// table (`base_order_stats[i]` aligned with `features[i]`). Base
+    /// stats are append-invariant, so [`Engine::with_delta`] merges each
+    /// delta's cheap scan on top of them instead of re-counting the base
+    /// per batch. `None` until the first append needs them — restored
+    /// and freshly compacted engines start lazy.
+    base_order_stats: Option<Vec<Vec<(u64, u64)>>>,
 }
 
 impl Engine {
@@ -389,6 +399,23 @@ impl Engine {
     /// Whether a per-(feature, code) bitmap index is installed.
     pub fn index_enabled(&self) -> bool {
         self.est.index().is_some()
+    }
+
+    /// Rows in the write-side delta shard (0 for frozen engines).
+    pub fn delta_rows(&self) -> usize {
+        self.est.delta_rows()
+    }
+
+    /// The write-side delta shard itself, when one is overlaid. A live
+    /// ingestion layer restoring a mid-stream engine reads this to pick
+    /// up appending exactly where the pack's watermark left off.
+    pub fn delta_table(&self) -> Option<&Arc<Table>> {
+        self.est.delta_table()
+    }
+
+    /// Base rows plus delta rows — the logical size of the served table.
+    pub fn total_rows(&self) -> usize {
+        self.est.n_total_rows()
     }
 
     /// Heap bytes held by the bitmap index (0 without one).
@@ -497,6 +524,7 @@ impl Engine {
                 fits,
             },
             index: self.est.index().map(Arc::clone),
+            delta: self.est.delta_table().cloned(),
         }
     }
 
@@ -526,6 +554,7 @@ impl Engine {
             surrogate_capacity,
             surrogates,
             index,
+            delta,
         } = snapshot;
         // An out-of-range shard count can only come from a hand-crafted
         // (or corrupted) snapshot: reject it rather than silently
@@ -548,6 +577,13 @@ impl Engine {
                 ));
             }
             est.install_index(index);
+        }
+        // Overlay a live donor's delta shard before anything downstream
+        // validates row counts: its passes may legitimately count more
+        // rows than the base table alone holds. The overlay re-checks
+        // the schema pairing and rebuilds the delta bitmaps.
+        if let Some(delta) = delta {
+            est = est.with_delta_overlay(delta)?;
         }
         let schema = est.table().schema();
         if features.is_empty() {
@@ -640,6 +676,132 @@ impl Engine {
                 surrogates.misses,
                 fits,
             ),
+            base_order_stats: None,
+        })
+    }
+
+    /// A new engine over the same base artifacts with `delta` overlaid
+    /// as the write-side shard — the live-table append path.
+    ///
+    /// `delta` carries **all** rows appended since the base table froze
+    /// (a live table keeps one growing shard); `appended` is just the
+    /// batch appended by *this* call, used for precise cache
+    /// invalidation. Everything the returned engine answers is
+    /// bit-identical to a cold build over the concatenated table:
+    ///
+    /// * counting passes and support probes merge the delta's partial
+    ///   counts after the base shards (integer addition, shard-index
+    ///   order — see [`crate::scores`]);
+    /// * value orders re-rank from merged per-value integer stats; the
+    ///   base half is append-invariant and computed at most once per
+    ///   engine lineage, so a batch costs one scan of the delta only;
+    /// * the counting-pass cache keeps exactly the entries whose context
+    ///   matches **no** appended row — such passes never read the new
+    ///   rows, so their arms already equal the concatenated table's;
+    ///   every other entry is dropped, and lifetime hit/miss counters
+    ///   carry on;
+    /// * resident surrogate fits are marked stale per actionable set
+    ///   (every fit reads every row) instead of being flushed: the keys
+    ///   stay resident and refit lazily, over base + delta, on their
+    ///   next lookup.
+    pub fn with_delta(&self, delta: Arc<Table>, appended: &[Vec<Value>]) -> Result<Engine> {
+        let est = self.est.with_delta_overlay(delta)?;
+        let base_stats = match &self.base_order_stats {
+            Some(stats) => stats.clone(),
+            None => self
+                .features
+                .iter()
+                .map(|&a| self.est.base_order_stats(a))
+                .collect::<Result<Vec<_>>>()?,
+        };
+        let mut orders = vec![None; est.table().schema().len()];
+        for (stats, &a) in base_stats.iter().zip(&self.features) {
+            let merged: Vec<(u64, u64)> = stats
+                .iter()
+                .zip(est.delta_order_stats(a)?)
+                .map(|(&(n, pos), (dn, dpos))| (n + dn, pos + dpos))
+                .collect();
+            orders[a.index()] = Some(infer_value_order_from_stats(&merged));
+        }
+        let (hits, misses, entries) = self.cache.export();
+        let retained: Vec<_> = entries
+            .into_iter()
+            .filter(|(key, _)| !appended.iter().any(|row| key.k.matches_row(row)))
+            .collect();
+        let (s_hits, s_misses, fits) = self.surrogates.export_full();
+        let fits = if appended.is_empty() {
+            fits
+        } else {
+            fits.into_iter().map(|(k, _, fit)| (k, true, fit)).collect()
+        };
+        Ok(Engine {
+            est,
+            features: self.features.clone(),
+            orders,
+            min_support: self.min_support,
+            cache: CountingCache::restore(self.cache.stats().capacity, hits, misses, retained),
+            surrogates: SurrogateCache::restore_full(
+                self.surrogates.stats().capacity,
+                s_hits,
+                s_misses,
+                fits,
+            ),
+            base_order_stats: Some(base_stats),
+        })
+    }
+
+    /// Fold the delta shard into the base: a new engine over the
+    /// concatenated table with the shard layout and bitmap index
+    /// rebuilt, and everything else — value orders, warm counting
+    /// passes, surrogate fits *and their staleness*, lifetime counters —
+    /// carried verbatim. The concatenated table holds exactly the rows
+    /// this engine was already answering over, so every carried artifact
+    /// stays exact; only the physical layout changes. Compaction
+    /// therefore never changes an answer (property-tested in
+    /// `tests/live_parity.rs`). Without a delta this just re-materializes
+    /// the engine over its existing base.
+    pub fn compacted(&self) -> Result<Engine> {
+        let folded = match self.est.delta_table().filter(|d| d.n_rows() > 0) {
+            None => self.est.shared_table(),
+            Some(delta) => {
+                let base = self.est.table();
+                let schema = base.schema();
+                let mut cols = Vec::with_capacity(schema.len());
+                for i in 0..schema.len() {
+                    let a = AttrId(i as u32);
+                    let mut col = base.column(a)?.to_vec();
+                    col.extend_from_slice(delta.column(a)?);
+                    cols.push(col);
+                }
+                Arc::new(Table::from_columns(schema.clone(), cols)?)
+            }
+        };
+        let mut est = ScoreEstimator::from_shared(
+            folded,
+            self.est.shared_graph(),
+            self.est.pred_attr(),
+            self.est.positive(),
+            self.est.alpha(),
+        )?
+        .with_shards(self.est.shards());
+        if self.est.index().is_some() {
+            est = est.with_index(true)?;
+        }
+        let (hits, misses, entries) = self.cache.export();
+        let (s_hits, s_misses, fits) = self.surrogates.export_full();
+        Ok(Engine {
+            est,
+            features: self.features.clone(),
+            orders: self.orders.clone(),
+            min_support: self.min_support,
+            cache: CountingCache::restore(self.cache.stats().capacity, hits, misses, entries),
+            surrogates: SurrogateCache::restore_full(
+                self.surrogates.stats().capacity,
+                s_hits,
+                s_misses,
+                fits,
+            ),
+            base_order_stats: None,
         })
     }
 
@@ -1063,10 +1225,10 @@ fn restore_pass(est: &ScoreEstimator, pass: PassSnapshot) -> Result<(PassKey, Ar
             pass.total
         )));
     }
-    if total > est.table().n_rows() as u64 {
+    if total > est.n_total_rows() as u64 {
         return Err(invalid(format!(
             "pass counts {total} rows but the table has only {}",
-            est.table().n_rows()
+            est.n_total_rows()
         )));
     }
     Ok((
@@ -1597,6 +1759,217 @@ mod tests {
 
         // the untouched snapshot still restores fine
         assert!(Engine::restore(base).is_ok());
+    }
+
+    /// Split a labelled table into a frozen base and a delta of appended
+    /// rows (same schema), returning the appended rows as batch input.
+    fn split(full: &Table, n_base: usize) -> (Table, Table, Vec<Vec<Value>>) {
+        let mut base = Table::new(full.schema().clone());
+        let mut delta = Table::new(full.schema().clone());
+        let mut appended = Vec::new();
+        for r in 0..full.n_rows() {
+            let row = full.row(r).unwrap();
+            if r < n_base {
+                base.push_row(&row).unwrap();
+            } else {
+                delta.push_row(&row).unwrap();
+                appended.push(row);
+            }
+        }
+        (base, delta, appended)
+    }
+
+    #[test]
+    fn with_delta_answers_like_a_cold_build_over_the_concatenated_table() {
+        let (full, pred) = setup(3000);
+        let (base, delta, appended) = split(&full, 2500);
+        let scm = world();
+        for (shards, index) in [(1, false), (4, true)] {
+            let build = |t: Table| {
+                Engine::builder(t)
+                    .graph(scm.graph())
+                    .prediction(pred, 1)
+                    .features(&[AttrId(0), AttrId(1), AttrId(2)])
+                    .alpha(0.0)
+                    .shards(shards)
+                    .index(index)
+                    .build()
+                    .unwrap()
+            };
+            let cold = build(full.clone());
+            let live = build(base.clone())
+                .with_delta(Arc::new(delta.clone()), &appended)
+                .unwrap();
+            assert_eq!(live.total_rows(), cold.table().n_rows());
+            assert_eq!(live.delta_rows(), appended.len());
+            for &a in cold.features() {
+                assert_eq!(live.value_order(a), cold.value_order(a), "order of {a}");
+            }
+            // every query kind, bit for bit
+            assert_eq!(live.global().unwrap(), cold.global().unwrap());
+            let k = Context::of([(AttrId(0), 1)]);
+            assert_eq!(
+                live.contextual_global(&k).unwrap(),
+                cold.contextual_global(&k).unwrap()
+            );
+            assert_eq!(
+                live.contextual(AttrId(1), &k).unwrap(),
+                cold.contextual(AttrId(1), &k).unwrap()
+            );
+            let row = full.row(7).unwrap();
+            assert_eq!(live.local(&row).unwrap(), cold.local(&row).unwrap());
+            let opts = RecourseOptions::default();
+            assert_eq!(
+                live.recourse(&row, &[AttrId(0), AttrId(1)], &opts).unwrap(),
+                cold.recourse(&row, &[AttrId(0), AttrId(1)], &opts).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn with_delta_invalidates_cache_precisely_and_keeps_surrogates_resident() {
+        let e = engine(1000);
+        // Appended rows all hold status = 0, so passes under status = 2
+        // never read them and must stay resident; passes under status = 0
+        // (and the context-free global pass) must be dropped.
+        let k_miss = Context::of([(AttrId(0), 2)]);
+        let k_hit = Context::of([(AttrId(0), 0)]);
+        let _ = e.global().unwrap();
+        let _ = e.contextual_global(&k_miss).unwrap();
+        let _ = e.contextual_global(&k_hit).unwrap();
+        e.prepare_surrogate(&[AttrId(0)]).unwrap();
+        let warm = e.cache_stats();
+        let s_warm = e.surrogate_stats();
+
+        let mut delta = Table::new(e.table().schema().clone());
+        let mut appended = Vec::new();
+        for row in [[0, 0, 1, 0], [0, 1, 0, 0]] {
+            delta.push_row(&row).unwrap();
+            appended.push(row.to_vec());
+        }
+        let live = e.with_delta(Arc::new(delta), &appended).unwrap();
+
+        // lifetime counters carry; only the unaffected entry survives
+        let stats = live.cache_stats();
+        assert_eq!(stats.hits, warm.hits);
+        assert_eq!(stats.misses, warm.misses);
+        assert!(stats.entries < warm.entries, "matching passes must drop");
+        let before = live.cache_stats();
+        let _ = live.contextual_global(&k_miss).unwrap();
+        assert!(
+            live.cache_stats().hits > before.hits,
+            "passes no appended row matches must still answer warm"
+        );
+        assert_eq!(
+            live.cache_stats().misses,
+            before.misses,
+            "passes no appended row matches must not re-count"
+        );
+        let before = live.cache_stats();
+        let _ = live.contextual_global(&k_hit).unwrap();
+        assert!(
+            live.cache_stats().misses > before.misses,
+            "passes an appended row matches must re-count"
+        );
+
+        // the surrogate key stayed resident but stale: next lookup refits
+        assert_eq!(live.surrogate_stats().entries, s_warm.entries);
+        let before = live.surrogate_stats();
+        live.prepare_surrogate(&[AttrId(0)]).unwrap();
+        assert_eq!(
+            live.surrogate_stats().misses,
+            before.misses + 1,
+            "stale surrogate must refit over base + delta"
+        );
+        let after = live.surrogate_stats();
+        live.prepare_surrogate(&[AttrId(0)]).unwrap();
+        assert_eq!(
+            live.surrogate_stats().hits,
+            after.hits + 1,
+            "refitted surrogate is fresh again"
+        );
+    }
+
+    #[test]
+    fn compaction_folds_the_delta_without_changing_answers() {
+        let (full, pred) = setup(1500);
+        let (base, delta, appended) = split(&full, 1200);
+        let scm = world();
+        let live = Engine::builder(base)
+            .graph(scm.graph())
+            .prediction(pred, 1)
+            .features(&[AttrId(0), AttrId(1), AttrId(2)])
+            .alpha(0.0)
+            .index(true)
+            .build()
+            .unwrap()
+            .with_delta(Arc::new(delta), &appended)
+            .unwrap();
+        let k = Context::of([(AttrId(0), 1)]);
+        let g = live.global().unwrap();
+        let c = live.contextual_global(&k).unwrap();
+        let warm = live.cache_stats();
+
+        let folded = live.compacted().unwrap();
+        assert_eq!(folded.delta_rows(), 0);
+        assert_eq!(folded.total_rows(), live.total_rows());
+        assert_eq!(folded.table().n_rows(), full.n_rows());
+        assert!(folded.index_enabled(), "compaction rebuilds the index");
+        // warm artifacts carried verbatim, and they still answer warm
+        assert_eq!(folded.cache_stats().entries, warm.entries);
+        assert_eq!(folded.cache_stats().hits, warm.hits);
+        let before = folded.cache_stats();
+        assert_eq!(folded.global().unwrap(), g);
+        assert_eq!(folded.contextual_global(&k).unwrap(), c);
+        assert!(
+            folded.cache_stats().hits > before.hits,
+            "compaction must not cool the cache"
+        );
+        assert_eq!(
+            folded.cache_stats().misses,
+            before.misses,
+            "warm passes must not re-count after compaction"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_a_live_engine_mid_stream() {
+        let (full, pred) = setup(1500);
+        let (base, delta, appended) = split(&full, 1200);
+        let scm = world();
+        let live = Engine::builder(base)
+            .graph(scm.graph())
+            .prediction(pred, 1)
+            .features(&[AttrId(0), AttrId(1), AttrId(2)])
+            .alpha(0.0)
+            .index(true)
+            .build()
+            .unwrap()
+            .with_delta(Arc::new(delta), &appended)
+            .unwrap();
+        let k = Context::of([(AttrId(0), 1)]);
+        let _ = live.global().unwrap();
+        let _ = live.contextual_global(&k).unwrap();
+
+        let snap = live.snapshot();
+        assert!(snap.delta.is_some(), "snapshot must carry the delta shard");
+        let restored = Engine::restore(snap).unwrap();
+        assert_eq!(restored.delta_rows(), live.delta_rows());
+        assert_eq!(restored.total_rows(), live.total_rows());
+        assert_eq!(restored.cache_stats().entries, live.cache_stats().entries);
+        assert_eq!(restored.global().unwrap(), live.global().unwrap());
+        assert_eq!(
+            restored.contextual_global(&k).unwrap(),
+            live.contextual_global(&k).unwrap()
+        );
+        let row = full.row(3).unwrap();
+        assert_eq!(restored.local(&row).unwrap(), live.local(&row).unwrap());
+
+        // a delta that disagrees with the base schema is rejected
+        let mut bad = live.snapshot();
+        let (other, _) = setup(50);
+        bad.delta = Some(Arc::new(other));
+        assert!(Engine::restore(bad).is_err());
     }
 
     #[test]

@@ -22,18 +22,41 @@ pub fn infer_value_order(
     positive: Value,
 ) -> tabular::Result<Vec<Value>> {
     let card = table.schema().cardinality(attr)?;
-    let mut scored: Vec<(f64, Value)> = Vec::with_capacity(card);
+    let mut stats: Vec<(u64, u64)> = Vec::with_capacity(card);
     for v in 0..card as Value {
         let ctx = Context::of([(attr, v)]);
         let n = table.count(&ctx);
-        let score = if n == 0 {
-            -1.0 // unobserved: no evidence it helps
-        } else {
-            table.conditional_probability(pred, positive, &ctx, 0.0)?
-        };
-        scored.push((score, v));
+        let pos = table.count(&ctx.with(pred, positive));
+        stats.push((n as u64, pos as u64));
     }
-    Ok(rank(scored))
+    Ok(infer_value_order_from_stats(&stats))
+}
+
+/// [`infer_value_order`] from pre-counted per-value statistics:
+/// `stats[v] = (rows with attr = v, of those, rows predicted positive)`.
+///
+/// The score of an observed value is `positives / rows` — exactly the
+/// unsmoothed `Pr(pred = positive | attr = v)` the table-scan path
+/// computes (`(pos + 0.0) / (n + 0.0)` with `α = 0` is bit-identical to
+/// `pos / n`), so any caller that supplies the same integers gets the
+/// same order. This is the live-table entry point: an engine carrying a
+/// delta shard merges base and delta counts (integer addition, in shard
+/// order) and ranks here, matching a cold build over the concatenated
+/// table bit for bit.
+pub fn infer_value_order_from_stats(stats: &[(u64, u64)]) -> Vec<Value> {
+    let scored = stats
+        .iter()
+        .enumerate()
+        .map(|(v, &(n, pos))| {
+            let score = if n == 0 {
+                -1.0 // unobserved: no evidence it helps
+            } else {
+                pos as f64 / n as f64
+            };
+            (score, v as Value)
+        })
+        .collect();
+    rank(scored)
 }
 
 /// Sort `(score, value)` pairs ascending by score (ties by code) and

@@ -22,7 +22,6 @@
 //! excluded and the search continues (a lazy no-good cut), escalating the
 //! covering target if the surrogate was too optimistic.
 
-use crate::ordering::infer_value_order;
 use crate::scores::ScoreEstimator;
 use crate::{LewisError, Result};
 use causal::Dag;
@@ -270,12 +269,20 @@ fn validate_parts(
 /// walk instead of a column compare), and a Newton/IRLS fit whose
 /// gradient/Hessian sums fan over the engine's shard count — the
 /// coefficients are bit-identical for any shard count.
+///
+/// On a **live** estimator (a delta shard of appended rows overlaid on
+/// the frozen base), the design covers base rows first and delta rows
+/// after — exactly the concatenated table's row order — so the fit is
+/// bit-identical to a cold fit over the concatenated table: same 0/1
+/// labels, same column values, same row chunking (a pure function of
+/// the total row count and shard count).
 pub(crate) fn fit_surrogate(est: &ScoreEstimator, actionable: &[AttrId]) -> Result<SurrogateFit> {
     RecourseEngine::validate(est, actionable)?;
     let table = est.table();
     let pred = est.pred_attr();
     let plan = surrogate_plan(table, est.graph(), pred, actionable)?;
-    let ys: Vec<u32> = match est.index().and_then(|ix| ix.labels(pred, est.positive())) {
+    let delta = est.delta_table().filter(|d| d.n_rows() > 0);
+    let mut ys: Vec<u32> = match est.index().and_then(|ix| ix.labels(pred, est.positive())) {
         Some(labels) => labels,
         None => table
             .column(pred)?
@@ -283,24 +290,57 @@ pub(crate) fn fit_surrogate(est: &ScoreEstimator, actionable: &[AttrId]) -> Resu
             .map(|&v| u32::from(v == est.positive()))
             .collect(),
     };
+    let n_rows = table.n_rows() + delta.map_or(0, |d| d.n_rows());
+    // The design borrows column slices; with a delta overlaid, the
+    // needed attributes ([actionable…, context…]) are materialized as
+    // owned base+delta concatenations instead.
+    let needed: Vec<AttrId> = actionable
+        .iter()
+        .chain(plan.context_attrs.iter())
+        .copied()
+        .collect();
+    let owned: Option<Vec<Vec<Value>>> = match delta {
+        Some(d) => {
+            ys.extend(
+                d.column(pred)?
+                    .iter()
+                    .map(|&v| u32::from(v == est.positive())),
+            );
+            let mut cols = Vec::with_capacity(needed.len());
+            for &a in &needed {
+                let mut col = Vec::with_capacity(n_rows);
+                col.extend_from_slice(table.column(a)?);
+                col.extend_from_slice(d.column(a)?);
+                cols.push(col);
+            }
+            Some(cols)
+        }
+        None => None,
+    };
+    let col_of = |slot: usize, a: AttrId| -> Result<&[Value]> {
+        match &owned {
+            Some(cols) => Ok(cols[slot].as_slice()),
+            None => Ok(table.column(a)?),
+        }
+    };
     let mut blocks = Vec::with_capacity(actionable.len());
     for (i, &a) in actionable.iter().enumerate() {
         blocks.push(OneHotBlock {
             offset: plan.offsets[i],
             cardinality: table.schema().cardinality(a)?,
-            codes: table.column(a)?,
+            codes: col_of(i, a)?,
         });
     }
     let mut ordinals = Vec::with_capacity(plan.context_attrs.len());
     for (j, &a) in plan.context_attrs.iter().enumerate() {
         ordinals.push(OrdinalFeature {
             slot: plan.ctx_base + j,
-            values: table.column(a)?,
+            values: col_of(actionable.len() + j, a)?,
         });
     }
     let design = OneHotDesign {
         width: plan.width,
-        n_rows: table.n_rows(),
+        n_rows,
         blocks,
         ordinals,
     };
@@ -312,7 +352,9 @@ pub(crate) fn fit_surrogate(est: &ScoreEstimator, actionable: &[AttrId]) -> Resu
     )?;
     let mut orders = Vec::with_capacity(actionable.len());
     for &a in actionable {
-        orders.push(infer_value_order(table, a, pred, est.positive())?);
+        // Through the counting chokepoint: index-accelerated and
+        // delta-aware, bit-identical to the table-scan inference.
+        orders.push(est.infer_order(a)?);
     }
     Ok(SurrogateFit {
         intercept: model.intercept,
@@ -657,18 +699,16 @@ impl<'a> RecourseEngine<'a> {
 
     /// The individual's context on non-descendants of the actionable set,
     /// greedily backed off to keep at least `min_support` matching rows.
-    /// Support probes go through the per-(feature, code) bitmap index
-    /// when one is installed, falling back to a table scan otherwise.
+    /// Support probes go through the estimator's chokepoint — the
+    /// per-(feature, code) bitmap index when one is installed, a table
+    /// scan otherwise, plus the delta shard on live tables — so the
+    /// back-off sees the same integers a scan of the (concatenated)
+    /// table would.
     fn context_with_support(&self, row: &[Value], min_support: usize) -> Context {
-        let table = self.est.table();
-        let index = self.est.index();
         let mut ctx = Context::empty();
         for &a in &self.context_attrs {
             let trial = ctx.with(a, row[a.index()]);
-            let support = index
-                .and_then(|ix| ix.count(&trial))
-                .map_or_else(|| table.count(&trial), |c| c as usize);
-            if support >= min_support {
+            if self.est.support_count(&trial) >= min_support {
                 ctx = trial;
             }
         }

@@ -25,9 +25,38 @@
 use crate::cache::CountingCache;
 use crate::{LewisError, Result};
 use causal::Dag;
-use lewis_index::TableIndex;
+use lewis_index::{DeltaBitmaps, TableIndex};
 use std::sync::Arc;
 use tabular::{AttrId, Context, Counter, ShardedTable, Table, Value};
+
+/// A write-side delta shard overlaid on a frozen estimator: rows
+/// appended after the base table (and its shard layout, bitmap index,
+/// …) were built. Counting passes scan the base exactly as before and
+/// then merge the delta's partial counts **after** the base shards —
+/// shard-index order, so the merged integers equal a cold pass over the
+/// concatenated table, and every downstream float is bit-identical.
+#[derive(Clone)]
+pub(crate) struct DeltaOverlay {
+    /// The appended rows, dictionary-coded against the base schema.
+    table: Arc<Table>,
+    /// Append-only per-(attribute, code) bitmaps over the delta rows,
+    /// present iff the base estimator carries a [`TableIndex`] — support
+    /// probes then stay on the popcount path end to end.
+    bitmaps: Option<Arc<DeltaBitmaps>>,
+}
+
+impl DeltaOverlay {
+    /// `|delta rows matching ctx|` — bitmaps when present, else a scan
+    /// of the (small) delta shard. Both count the same integer.
+    fn count(&self, ctx: &Context) -> usize {
+        if let Some(bitmaps) = &self.bitmaps {
+            if let Some(n) = bitmaps.count(ctx) {
+                return n as usize;
+            }
+        }
+        self.table.count(ctx)
+    }
+}
 
 /// Which of the three explanation scores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -140,6 +169,7 @@ pub(crate) struct ArmTable {
 /// Sync`, has no borrowed lifetime, and can be shared freely across
 /// threads (clone the `Arc`s via [`ScoreEstimator::from_shared`] to
 /// avoid copying the data itself).
+#[derive(Clone)]
 pub struct ScoreEstimator {
     table: Arc<Table>,
     graph: Option<Arc<Dag>>,
@@ -158,6 +188,9 @@ pub struct ScoreEstimator {
     /// model says the popcount walk is cheaper than a scan; both paths
     /// are bit-identical, so the routing never changes a result.
     index: Option<Arc<TableIndex>>,
+    /// Rows appended after the base artifacts froze (live tables).
+    /// `None` for the ordinary cold-built estimator.
+    delta: Option<DeltaOverlay>,
 }
 
 impl ScoreEstimator {
@@ -236,6 +269,7 @@ impl ScoreEstimator {
             shards: 1,
             sharded: None,
             index: None,
+            delta: None,
         })
     }
 
@@ -286,25 +320,94 @@ impl ScoreEstimator {
         self.index.as_ref()
     }
 
+    /// Overlay a delta shard of appended rows on this estimator. The
+    /// delta must be coded against the base schema (same attributes,
+    /// same domains). When the base carries a bitmap index, append-only
+    /// delta bitmaps are built alongside so support probes stay on the
+    /// popcount path; the base index keeps serving the base rows
+    /// untouched (it still `matches` the base table).
+    ///
+    /// Every count the returned estimator produces equals a cold count
+    /// over the concatenated table: base shards merge first, the delta's
+    /// partial counts merge last — shard-index order, integer addition.
+    pub(crate) fn with_delta_overlay(&self, delta: Arc<Table>) -> Result<ScoreEstimator> {
+        if delta.schema() != self.table.schema() {
+            return Err(LewisError::Invalid(
+                "delta shard schema differs from the base table's".into(),
+            ));
+        }
+        let bitmaps = match &self.index {
+            Some(_) => Some(Arc::new(
+                DeltaBitmaps::from_table(&delta).map_err(LewisError::from)?,
+            )),
+            None => None,
+        };
+        let mut est = self.clone();
+        est.delta = Some(DeltaOverlay {
+            table: delta,
+            bitmaps,
+        });
+        Ok(est)
+    }
+
+    /// The overlaid delta shard, when this estimator serves a live table.
+    pub(crate) fn delta_table(&self) -> Option<&Arc<Table>> {
+        self.delta.as_ref().map(|d| &d.table)
+    }
+
+    /// Rows appended on top of the base table (0 for frozen estimators).
+    pub fn delta_rows(&self) -> usize {
+        self.delta.as_ref().map_or(0, |d| d.table.n_rows())
+    }
+
+    /// Base rows plus delta rows — the logical size of the served table.
+    pub fn n_total_rows(&self) -> usize {
+        self.table.n_rows() + self.delta_rows()
+    }
+
     /// `|rows matching ctx|`, served from the bitmap index when one is
     /// present (word-level AND + popcount per shard, summed in shard
-    /// order) and from a table scan otherwise. Both paths count the
-    /// same integer — this is the support probe under every
-    /// local-context back-off step and Fréchet bound.
+    /// order) and from a table scan otherwise, plus the delta shard's
+    /// matches when one is overlaid. All paths count the same integer —
+    /// this is the support probe under every local-context back-off
+    /// step and Fréchet bound.
     pub(crate) fn support_count(&self, ctx: &Context) -> usize {
-        if let Some(index) = &self.index {
-            if let Some(n) = index.count(ctx) {
-                return n as usize;
+        let base = 'base: {
+            if let Some(index) = &self.index {
+                if let Some(n) = index.count(ctx) {
+                    break 'base n as usize;
+                }
             }
+            self.table.count(ctx)
+        };
+        match &self.delta {
+            Some(delta) => base + delta.count(ctx),
+            None => base,
         }
-        self.table.count(ctx)
     }
 
     /// One counting pass over `attrs` within `k`, honoring the
     /// estimator's shard setting — the single chokepoint every
     /// diagnostic and score in this crate counts through, so "fans over
-    /// shards" holds for all of them, not just the arm-table path.
+    /// shards" holds for all of them, not just the arm-table path. With
+    /// a delta overlay, the delta's partial counts merge in **after**
+    /// the base shards (shard-index order, integer addition), so the
+    /// result equals a cold pass over the concatenated table exactly.
     pub(crate) fn counting_pass(&self, attrs: &[AttrId], k: &Context) -> Result<Counter> {
+        let mut counter = self.base_counting_pass(attrs, k)?;
+        if let Some(delta) = &self.delta {
+            if delta.table.n_rows() > 0 {
+                // Same attrs over the same domains: grid, strides and
+                // storage kind all match the base counter by
+                // construction, so the merge cannot fail on shape.
+                counter.merge_from(&Counter::build(&delta.table, attrs, k)?)?;
+            }
+        }
+        Ok(counter)
+    }
+
+    /// The base-table half of [`ScoreEstimator::counting_pass`].
+    fn base_counting_pass(&self, attrs: &[AttrId], k: &Context) -> Result<Counter> {
         // The bitmap index gets first refusal: when its cost model says
         // the popcount walk is cheaper than a row scan it returns the
         // bit-identical counter without touching the rows; otherwise it
@@ -319,6 +422,70 @@ impl ScoreEstimator {
             None => Counter::build(&self.table, attrs, k)?,
         };
         Ok(counter)
+    }
+
+    /// Infer the value order of `attr` (ascending positive rate, see
+    /// [`crate::ordering::infer_value_order`]) through the counting
+    /// chokepoint: one grouped pass over `(attr, pred)` supplies every
+    /// per-value count, so the order is index-accelerated when an index
+    /// is installed and **delta-aware** when a shard is overlaid —
+    /// bit-identical to the table-scan inference over the (concatenated)
+    /// table in both cases, because the pass emits the same integers.
+    pub(crate) fn infer_order(&self, attr: AttrId) -> Result<Vec<Value>> {
+        let card = self
+            .table
+            .schema()
+            .cardinality(attr)
+            .map_err(LewisError::from)?;
+        let counter = self.counting_pass(&[attr, self.pred], &Context::empty())?;
+        let stats = Self::order_stats_from(&counter, card, self.positive);
+        Ok(crate::ordering::infer_value_order_from_stats(&stats))
+    }
+
+    /// Per-value `(rows, positives)` of `attr` over the **base** table
+    /// only (index-accelerated when an index is installed). Base stats
+    /// are append-invariant, so a live engine computes them once and
+    /// merges each batch's [`ScoreEstimator::delta_order_stats`] on top
+    /// — integer addition, identical to re-counting the concatenated
+    /// table from scratch.
+    pub(crate) fn base_order_stats(&self, attr: AttrId) -> Result<Vec<(u64, u64)>> {
+        let card = self
+            .table
+            .schema()
+            .cardinality(attr)
+            .map_err(LewisError::from)?;
+        let counter = self.base_counting_pass(&[attr, self.pred], &Context::empty())?;
+        Ok(Self::order_stats_from(&counter, card, self.positive))
+    }
+
+    /// Per-value `(rows, positives)` of `attr` over the delta shard only
+    /// (all zeros without one) — one scan of just the appended rows.
+    pub(crate) fn delta_order_stats(&self, attr: AttrId) -> Result<Vec<(u64, u64)>> {
+        let card = self
+            .table
+            .schema()
+            .cardinality(attr)
+            .map_err(LewisError::from)?;
+        match self.delta.as_ref().filter(|d| d.table.n_rows() > 0) {
+            None => Ok(vec![(0, 0); card]),
+            Some(delta) => {
+                let counter = Counter::build(&delta.table, &[attr, self.pred], &Context::empty())?;
+                Ok(Self::order_stats_from(&counter, card, self.positive))
+            }
+        }
+    }
+
+    /// Collect `(rows, positives)` per value of the first grouped
+    /// attribute from an `(attr, pred)` counter.
+    fn order_stats_from(counter: &Counter, card: usize, positive: Value) -> Vec<(u64, u64)> {
+        (0..card as Value)
+            .map(|v| {
+                (
+                    counter.marginal_count(&[Some(v), None]),
+                    counter.count(&[v, positive]),
+                )
+            })
+            .collect()
     }
 
     /// The labelled table.
@@ -715,6 +882,11 @@ impl ScoreEstimator {
     /// *without* the monotonicity assumption. Interventional terms
     /// `Pr(o | do(x), k)` are estimated by backdoor adjustment over the
     /// default adjustment set.
+    ///
+    /// Bounds are a diagnostic outside the engine's query surface
+    /// (`Engine::run` never reaches here): the adjusted terms read the
+    /// **base** table directly, so on a live estimator they describe the
+    /// frozen base, not base + delta. Compaction folds the delta in.
     pub fn bounds(
         &self,
         kind: ScoreKind,
@@ -740,13 +912,23 @@ impl ScoreEstimator {
             )
             .map_err(LewisError::from)
         };
-        // joint probabilities within k
-        let n_k = self.support_count(k) as f64;
+        // joint probabilities within k — over the base table only, the
+        // same rows the adjusted terms above read, so the bound stays
+        // internally consistent on a live estimator
+        let base_support = |ctx: &Context| -> usize {
+            if let Some(index) = &self.index {
+                if let Some(n) = index.count(ctx) {
+                    return n as usize;
+                }
+            }
+            self.table.count(ctx)
+        };
+        let n_k = base_support(k) as f64;
         if n_k == 0.0 {
             return Err(LewisError::Unsupported("no rows match the context".into()));
         }
         let joint = |x_val: Value, out: Value| -> f64 {
-            self.support_count(&k.with(attr, x_val).with(self.pred, out)) as f64 / n_k
+            base_support(&k.with(attr, x_val).with(self.pred, out)) as f64 / n_k
         };
 
         let (lower, upper) = match kind {

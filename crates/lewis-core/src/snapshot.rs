@@ -151,4 +151,12 @@ pub struct EngineSnapshot {
     /// installs it verbatim, so a restored engine skips the index
     /// rebuild just like it skips re-warming the cache.
     pub index: Option<Arc<TableIndex>>,
+    /// The write-side delta shard, when the donor was serving a live
+    /// table mid-stream: rows appended after `table` (and its index)
+    /// froze, coded against the same schema. Restore overlays it
+    /// verbatim — delta bitmaps are rebuilt from these rows — so a
+    /// restored engine resumes the stream exactly where the donor
+    /// stood, answering as a cold build over the concatenated table
+    /// would. `None` for frozen engines and freshly compacted ones.
+    pub delta: Option<Arc<Table>>,
 }

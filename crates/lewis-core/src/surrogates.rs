@@ -41,13 +41,28 @@ pub(crate) struct SurrogateCache {
 }
 
 /// `export`'s payload: lifetime hits, lifetime misses, and the resident
-/// fits least-recently-touched first.
+/// **fresh** fits least-recently-touched first.
 pub(crate) type SurrogateExport = (u64, u64, Vec<(Vec<AttrId>, Arc<SurrogateFit>)>);
+
+/// [`SurrogateCache::export_full`]'s payload: like [`SurrogateExport`]
+/// but carrying every entry with its staleness flag — the live-table
+/// hand-off between engine generations.
+pub(crate) type SurrogateFullExport = (u64, u64, Vec<(Vec<AttrId>, bool, Arc<SurrogateFit>)>);
+
+/// One resident fit with its recency stamp and staleness.
+struct SurrogateSlot {
+    /// Last-touched stamp (monotone, drives LRU eviction).
+    touched: u64,
+    /// A stale fit was trained before rows were appended: the key stays
+    /// resident (the actionable set is known traffic) but the next
+    /// lookup refits over the live rows instead of answering from it.
+    stale: bool,
+    fit: Arc<SurrogateFit>,
+}
 
 #[derive(Default)]
 struct SurrogateInner {
-    /// Value: `(last-touched stamp, shared fit)`.
-    map: FxHashMap<Vec<AttrId>, (u64, Arc<SurrogateFit>)>,
+    map: FxHashMap<Vec<AttrId>, SurrogateSlot>,
     /// Monotone counter driving LRU recency.
     stamp: u64,
 }
@@ -66,8 +81,12 @@ impl SurrogateCache {
     }
 
     /// Return the cached fit for `actionable` or run `build` and cache
-    /// its result. Errors are returned without being cached, so an
-    /// invalid actionable set does not poison later lookups.
+    /// its result. A **stale** resident entry is treated as a miss: the
+    /// refit runs outside the lock and replaces the entry fresh (the
+    /// fit is a pure function of the live rows, so a concurrent refit
+    /// inserts the identical coefficients — harmless). Errors are
+    /// returned without being cached, so an invalid actionable set does
+    /// not poison later lookups.
     pub(crate) fn get_or_build(
         &self,
         actionable: &[AttrId],
@@ -77,30 +96,36 @@ impl SurrogateCache {
             let mut inner = self.inner.lock().expect("surrogate cache lock");
             inner.stamp += 1;
             let stamp = inner.stamp;
-            if let Some((touched, fit)) = inner.map.get_mut(actionable) {
-                *touched = stamp;
-                let fit = Arc::clone(fit);
-                drop(inner);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(fit);
+            if let Some(slot) = inner.map.get_mut(actionable) {
+                if !slot.stale {
+                    slot.touched = stamp;
+                    let fit = Arc::clone(&slot.fit);
+                    drop(inner);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(fit);
+                }
             }
         }
-        // Miss: fit outside the lock so other queries keep flowing.
+        // Miss (or stale): fit outside the lock so queries keep flowing.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let fit = Arc::new(build()?);
         let mut inner = self.inner.lock().expect("surrogate cache lock");
         inner.stamp += 1;
         let stamp = inner.stamp;
-        inner
-            .map
-            .entry(actionable.to_vec())
-            .or_insert((stamp, Arc::clone(&fit)));
+        inner.map.insert(
+            actionable.to_vec(),
+            SurrogateSlot {
+                touched: stamp,
+                stale: false,
+                fit: Arc::clone(&fit),
+            },
+        );
         while inner.map.len() > self.capacity {
             let oldest = inner
                 .map
                 // lint:allow(ordered-iteration): recency stamps are a unique monotone counter, so min_by_key has one answer in any visit order
                 .iter()
-                .min_by_key(|(_, (touched, _))| *touched)
+                .min_by_key(|(_, slot)| slot.touched)
                 .map(|(k, _)| k.clone())
                 .expect("non-empty over capacity");
             inner.map.remove(&oldest);
@@ -119,44 +144,89 @@ impl SurrogateCache {
         }
     }
 
-    /// Export the resident fits in **recency order** (least recently
-    /// touched first) together with the lifetime counters — the payload
-    /// of an engine snapshot. The `Arc`s are shared, not copied.
+    /// Export the resident **fresh** fits in recency order (least
+    /// recently touched first) together with the lifetime counters —
+    /// the payload of an engine snapshot. Stale fits are omitted: they
+    /// describe rows that no longer exist alone, and a restored engine
+    /// refits them lazily (deterministically, to the same coefficients
+    /// a resident refit would produce). The `Arc`s are shared, not
+    /// copied.
     pub(crate) fn export(&self) -> SurrogateExport {
-        let inner = self.inner.lock().expect("surrogate cache lock");
-        let mut entries: Vec<(u64, Vec<AttrId>, Arc<SurrogateFit>)> = inner
-            .map
-            // lint:allow(ordered-iteration): the collected entries are sorted by their unique recency stamp below, erasing the hash visit order
-            .iter()
-            .map(|(k, (touched, fit))| (*touched, k.clone(), Arc::clone(fit)))
-            .collect();
-        entries.sort_by_key(|(touched, _, _)| *touched);
+        let (hits, misses, entries) = self.export_full();
         (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-            entries.into_iter().map(|(_, k, f)| (k, f)).collect(),
+            hits,
+            misses,
+            entries
+                .into_iter()
+                .filter(|(_, stale, _)| !stale)
+                .map(|(k, _, f)| (k, f))
+                .collect(),
         )
     }
 
-    /// Rebuild a cache from exported state. `entries` must be in
-    /// recency order (as produced by [`SurrogateCache::export`]): they
-    /// are re-stamped in sequence, so LRU eviction behaves exactly as
-    /// in the donor. Entries beyond `capacity` evict from the front,
-    /// mirroring what the donor's own bound would have kept.
+    /// Export every resident fit — fresh and stale — in recency order,
+    /// the hand-off between live-engine generations ([`crate::Engine`]'s
+    /// delta overlay and compaction paths carry staleness across).
+    pub(crate) fn export_full(&self) -> SurrogateFullExport {
+        let inner = self.inner.lock().expect("surrogate cache lock");
+        let mut entries: Vec<(u64, Vec<AttrId>, bool, Arc<SurrogateFit>)> = inner
+            .map
+            // lint:allow(ordered-iteration): the collected entries are sorted by their unique recency stamp below, erasing the hash visit order
+            .iter()
+            .map(|(k, slot)| (slot.touched, k.clone(), slot.stale, Arc::clone(&slot.fit)))
+            .collect();
+        entries.sort_by_key(|(touched, _, _, _)| *touched);
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            entries.into_iter().map(|(_, k, s, f)| (k, s, f)).collect(),
+        )
+    }
+
+    /// Rebuild a cache from exported state, everything fresh. `entries`
+    /// must be in recency order (as produced by
+    /// [`SurrogateCache::export`]): they are re-stamped in sequence, so
+    /// LRU eviction behaves exactly as in the donor. Entries beyond
+    /// `capacity` evict from the front, mirroring what the donor's own
+    /// bound would have kept.
     pub(crate) fn restore(
         capacity: usize,
         hits: u64,
         misses: u64,
         entries: Vec<(Vec<AttrId>, Arc<SurrogateFit>)>,
     ) -> Self {
+        Self::restore_full(
+            capacity,
+            hits,
+            misses,
+            entries.into_iter().map(|(k, f)| (k, false, f)).collect(),
+        )
+    }
+
+    /// [`SurrogateCache::restore`] with per-entry staleness — the
+    /// live-table hand-off. A stale entry keeps its key resident (and
+    /// its LRU position) but answers the next lookup by refitting.
+    pub(crate) fn restore_full(
+        capacity: usize,
+        hits: u64,
+        misses: u64,
+        entries: Vec<(Vec<AttrId>, bool, Arc<SurrogateFit>)>,
+    ) -> Self {
         let cache = SurrogateCache::new(capacity);
         {
             let mut inner = cache.inner.lock().expect("surrogate cache lock");
             let keep = entries.len().saturating_sub(cache.capacity);
-            for (key, fit) in entries.into_iter().skip(keep) {
+            for (key, stale, fit) in entries.into_iter().skip(keep) {
                 inner.stamp += 1;
                 let stamp = inner.stamp;
-                inner.map.insert(key, (stamp, fit));
+                inner.map.insert(
+                    key,
+                    SurrogateSlot {
+                        touched: stamp,
+                        stale,
+                        fit,
+                    },
+                );
             }
         }
         cache.hits.store(hits, Ordering::Relaxed);
@@ -267,5 +337,39 @@ mod tests {
         small
             .get_or_build(&[AttrId(2)], || panic!("second most recent must survive"))
             .unwrap();
+    }
+
+    #[test]
+    fn stale_entries_refit_in_place_and_stay_resident() {
+        let cache = SurrogateCache::new(4);
+        for v in 0..2u32 {
+            cache
+                .get_or_build(&[AttrId(v)], || Ok(fit_of(f64::from(v))))
+                .unwrap();
+        }
+        // mark everything stale, as an append does
+        let (hits, misses, entries) = cache.export_full();
+        let stale = SurrogateCache::restore_full(
+            4,
+            hits,
+            misses,
+            entries.into_iter().map(|(k, _, f)| (k, true, f)).collect(),
+        );
+        assert_eq!(stale.stats().entries, 2, "keys stay resident");
+        // a stale lookup refits (a miss) and replaces the entry fresh
+        let refit = stale
+            .get_or_build(&[AttrId(0)], || Ok(fit_of(10.0)))
+            .unwrap();
+        assert_eq!(refit.intercept, 10.0, "stale entry must refit");
+        stale
+            .get_or_build(&[AttrId(0)], || panic!("refit entry is fresh"))
+            .unwrap();
+        // snapshots carry only fresh fits; full exports carry both
+        let (_, _, fresh) = stale.export();
+        assert_eq!(fresh.len(), 1, "stale fit of AttrId(1) is omitted");
+        assert_eq!(fresh[0].0, vec![AttrId(0)]);
+        let (_, _, full) = stale.export_full();
+        assert_eq!(full.len(), 2);
+        assert!(full.iter().any(|(k, s, _)| k == &[AttrId(1)] && *s));
     }
 }

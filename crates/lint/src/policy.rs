@@ -62,6 +62,7 @@ const DETERMINISM_CRITICAL_FILES: &[&str] = &[
     "crates/store/src/pack.rs",
     "crates/index/src/lib.rs",
     "crates/index/src/codec.rs",
+    "crates/live/src/lib.rs",
 ];
 
 /// Crates doing pure computation: wall-clock reads here would make
@@ -77,6 +78,7 @@ const ENGINE_CRATE_PREFIXES: &[&str] = &[
     "crates/datasets/",
     "crates/store/",
     "crates/index/",
+    "crates/live/",
 ];
 
 /// The rule catalogue. Ids are the names accepted by
@@ -160,7 +162,10 @@ mod tests {
         assert!(!rule_applies(r3, "crates/serve/src/metrics.rs"));
         let r6 = rule_by_id("no-wall-clock").unwrap();
         assert!(rule_applies(r6, "crates/ml/src/tree.rs"));
+        assert!(rule_applies(r6, "crates/live/src/lib.rs"));
         assert!(!rule_applies(r6, "crates/serve/src/server.rs"));
+        let r2 = rule_by_id("ordered-iteration").unwrap();
+        assert!(rule_applies(r2, "crates/live/src/lib.rs"));
         let r1 = rule_by_id("total-cmp").unwrap();
         assert!(rule_applies(r1, "src/lib.rs"));
     }

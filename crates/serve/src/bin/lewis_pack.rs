@@ -5,7 +5,6 @@
 use lewis_serve::warm::warm_engine;
 use lewis_serve::{EngineRegistry, GraphSpec};
 use lewis_store::Pack;
-use std::sync::Arc;
 
 const USAGE: &str = "\
 lewis-pack — compile data into .lewis packs for instant engine cold-starts
@@ -108,15 +107,11 @@ fn export_csv(mut args: std::iter::Skip<std::env::Args>) {
     if let Err(e) = registry.load_builtin_as("engine", &name, rows, seed) {
         fail(&e.to_string());
     }
-    let table = registry
-        .get("engine")
-        .expect("just registered")
-        .engine
-        .table();
-    if let Err(e) = tabular::write_csv_file(table, &out) {
+    let engine = registry.get("engine").expect("just registered").engine();
+    if let Err(e) = tabular::write_csv_file(engine.table(), &out) {
         fail(&e.to_string());
     }
-    println!("wrote {out} ({} rows)", table.n_rows());
+    println!("wrote {out} ({} rows)", engine.table().n_rows());
 }
 
 fn compile(mut args: std::iter::Skip<std::env::Args>) {
@@ -219,7 +214,7 @@ fn compile(mut args: std::iter::Skip<std::env::Args>) {
     }
 
     let entry = registry.get(NAME).expect("just registered");
-    let engine = Arc::clone(&entry.engine);
+    let engine = entry.engine();
     eprintln!(
         "engine built: {} rows, {} features, graph: {}",
         engine.table().n_rows(),
@@ -270,9 +265,15 @@ fn inspect(path: &str) {
         Ok(s) => s,
         Err(e) => fail(&e.to_string()),
     };
+    let (version, watermark) = match lewis_store::version_info(&bytes) {
+        Ok(v) => v,
+        Err(e) => fail(&e.to_string()),
+    };
     let s = &pack.snapshot;
     let schema = s.table.schema();
+    let delta_rows = s.delta.as_ref().map_or(0, |d| d.n_rows());
     println!("pack: {path}");
+    println!("format: v{version}");
     println!("source: {}", pack.meta.source);
     println!("graph:  {}", pack.meta.graph);
     println!(
@@ -280,6 +281,13 @@ fn inspect(path: &str) {
         s.table.n_rows(),
         schema.len()
     );
+    match watermark {
+        Some(w) => println!(
+            "live:   watermark {w} ({} base + {delta_rows} delta rows)",
+            s.table.n_rows()
+        ),
+        None => println!("live:   no watermark (pre-v5 pack, frozen table)"),
+    }
     println!(
         "engine: pred={} positive={} alpha={} min_support={} features={} shards={}",
         schema.name(s.pred),
@@ -314,7 +322,7 @@ fn inspect(path: &str) {
     }
     let has = |name: &str| sections.iter().any(|&(n, _)| n == name);
     println!(
-        "sections ({} total, optional: cache={} index={} surrogates={}):",
+        "sections ({} total, optional: cache={} index={} surrogates={} delta={}):",
         sections.len(),
         if has("cache") { "present" } else { "absent" },
         if has("index") { "present" } else { "absent" },
@@ -323,6 +331,7 @@ fn inspect(path: &str) {
         } else {
             "absent"
         },
+        if has("delta") { "present" } else { "absent" },
     );
     for (name, size) in &sections {
         println!("  {name:<12} {size} bytes");

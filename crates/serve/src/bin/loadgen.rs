@@ -1,7 +1,7 @@
 //! The `loadgen` binary: hammer a running `lewis-serve` with a mixed
 //! workload and print throughput + tail latencies.
 
-use lewis_serve::loadgen::{run, LoadgenConfig, Mix};
+use lewis_serve::loadgen::{run, AppendMix, LoadgenConfig, Mix};
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -23,6 +23,10 @@ OPTIONS:
     --job-lane          send single recourse queries through the async
                         job lane (submit → 202 → poll /v1/jobs/{id});
                         latency then measures submit→terminal
+    --append-mix R:B    also run a writer lane: append R synthesized
+                        rows in batches of B (≤256, the server cap) via
+                        POST /v1/engines/{name}/rows, paced across the
+                        run; reports append p50/p95/p99 and errors
     --json PATH         also write the report as JSON to PATH
     -h, --help          this text
 ";
@@ -103,6 +107,25 @@ fn main() {
                 }
             }
             "--job-lane" => config.job_lane = true,
+            "--append-mix" => {
+                let spec = value("--append-mix");
+                let Some((rows, batch)) = spec.split_once(':') else {
+                    fail(&format!("--append-mix {spec:?}: expected ROWS:BATCH"));
+                };
+                let rows: u64 = rows
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--append-mix {spec:?}: bad row count")));
+                let batch: usize = batch
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--append-mix {spec:?}: bad batch size")));
+                if rows == 0 || batch == 0 {
+                    fail("--append-mix needs positive ROWS and BATCH");
+                }
+                if batch > 256 {
+                    fail("--append-mix batch exceeds the server's 256-row body cap");
+                }
+                config.append_mix = Some(AppendMix { rows, batch });
+            }
             "--json" => json_path = Some(value("--json")),
             other => fail(&format!("unknown argument {other:?}")),
         }
@@ -124,6 +147,12 @@ fn main() {
             ""
         },
     );
+    if let Some(am) = &config.append_mix {
+        eprintln!(
+            "loadgen: writer lane appending {} rows in batches of {}",
+            am.rows, am.batch
+        );
+    }
     let report = match run(&config) {
         Ok(r) => r,
         Err(e) => fail(&format!("load generation failed: {e}")),
@@ -148,5 +177,13 @@ fn main() {
             report.other_errors, report.unsupported
         );
         std::process::exit(3);
+    }
+    if let Some(append) = &report.append {
+        // writer-lane rows are synthesized inside the published domains,
+        // so a healthy server accepts every batch
+        if append.append_errors > 0 {
+            eprintln!("loadgen: {} append batches rejected", append.append_errors);
+            std::process::exit(3);
+        }
     }
 }

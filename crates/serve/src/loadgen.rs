@@ -50,6 +50,18 @@ impl Mix {
     }
 }
 
+/// The writer lane: append `rows` synthesized rows in batches of
+/// `batch` via `POST /v1/engines/{name}/rows`, paced evenly across the
+/// run so writes (and any compaction they arm) overlap the read
+/// workload instead of trailing it.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendMix {
+    /// Total rows to append over the run.
+    pub rows: u64,
+    /// Rows per append body (the server caps bodies at 256 rows).
+    pub batch: usize,
+}
+
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
@@ -75,6 +87,10 @@ pub struct LoadgenConfig {
     /// what a ticket-holding client actually waits. Only applies when
     /// `batch == 1` (batch bodies mix kinds and stay synchronous).
     pub job_lane: bool,
+    /// Optional writer lane: a dedicated thread appending synthesized
+    /// rows to the live table while the readers run. `None` keeps the
+    /// workload read-only.
+    pub append_mix: Option<AppendMix>,
 }
 
 impl Default for LoadgenConfig {
@@ -88,6 +104,7 @@ impl Default for LoadgenConfig {
             batch: 1,
             seed: 42,
             job_lane: false,
+            append_mix: None,
         }
     }
 }
@@ -107,6 +124,31 @@ pub struct KindLatency {
     /// 99th percentile latency.
     pub p99_us: u64,
     /// Worst observed latency.
+    pub max_us: u64,
+}
+
+/// What the writer lane measured, when one ran.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppendReport {
+    /// Rows the server acknowledged appending.
+    pub appended_rows: u64,
+    /// Append bodies posted.
+    pub batches: u64,
+    /// Non-200 append responses. The live table's append path never
+    /// blocks on compaction, so a healthy run has zero — any failure
+    /// here means a batch was rejected or the server broke mid-stream.
+    pub append_errors: u64,
+    /// Receipts that reported `compaction_armed` — appends whose
+    /// pending-delta depth crossed the server's threshold and kicked
+    /// off a background fold.
+    pub compactions_armed: u64,
+    /// Median append latency, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile append latency.
+    pub p95_us: u64,
+    /// 99th percentile append latency.
+    pub p99_us: u64,
+    /// Worst observed append latency.
     pub max_us: u64,
 }
 
@@ -144,6 +186,10 @@ pub struct LoadReport {
     /// round-trip latency belongs to exactly one kind; batched bodies
     /// mix kinds and have no per-kind attribution.
     pub by_kind: Option<[KindLatency; 4]>,
+    /// Writer-lane outcome; present exactly when `append_mix` was
+    /// configured. Read errors during compaction still land in
+    /// `other_errors` — this tracks the write side only.
+    pub append: Option<AppendReport>,
 }
 
 impl LoadReport {
@@ -186,6 +232,20 @@ impl LoadReport {
                 ));
             }
         }
+        if let Some(a) = &self.append {
+            out.push_str(&format!(
+                "\nappends: {} rows over {} batches ({} errors, {} compactions armed): \
+                 p50 {}µs, p95 {}µs, p99 {}µs, max {}µs",
+                a.appended_rows,
+                a.batches,
+                a.append_errors,
+                a.compactions_armed,
+                a.p50_us,
+                a.p95_us,
+                a.p99_us,
+                a.max_us,
+            ));
+        }
         out
     }
 
@@ -212,6 +272,26 @@ impl LoadReport {
                     .collect(),
             ),
         };
+        let append = match &self.append {
+            None => Json::Null,
+            Some(a) => Json::obj([
+                ("appended_rows", Json::num(a.appended_rows as f64)),
+                ("batches", Json::num(a.batches as f64)),
+                ("append_errors", Json::num(a.append_errors as f64)),
+                ("compactions_armed", Json::num(a.compactions_armed as f64)),
+                ("p50_us", Json::num(a.p50_us as f64)),
+                ("p95_us", Json::num(a.p95_us as f64)),
+                ("p99_us", Json::num(a.p99_us as f64)),
+                ("max_us", Json::num(a.max_us as f64)),
+            ]),
+        };
+        let append_mix = match &config.append_mix {
+            None => Json::Null,
+            Some(am) => Json::obj([
+                ("rows", Json::num(am.rows as f64)),
+                ("batch", Json::num(am.batch as u32)),
+            ]),
+        };
         Json::obj([
             (
                 "config",
@@ -234,6 +314,7 @@ impl LoadReport {
                     // replay-from-report
                     ("seed", Json::Num(config.seed as f64)),
                     ("job_lane", Json::Bool(config.job_lane)),
+                    ("append_mix", append_mix),
                 ]),
             ),
             (
@@ -251,6 +332,7 @@ impl LoadReport {
                     ("p99_us", Json::num(self.p99_us as f64)),
                     ("max_us", Json::num(self.max_us as f64)),
                     ("latency_by_kind", by_kind),
+                    ("append", append),
                 ]),
             ),
         ])
@@ -339,6 +421,18 @@ impl Rng {
     }
 }
 
+/// One full in-domain row (every attribute, schema order) — shared by
+/// local/recourse query synthesis and the writer lane's append bodies.
+fn synth_row(shape: &EngineShape, rng: &mut Rng) -> Json {
+    Json::Arr(
+        shape
+            .cardinalities
+            .iter()
+            .map(|&card| Json::num(rng.below(card)))
+            .collect(),
+    )
+}
+
 /// Build one query of the mixed workload. Returns the JSON plus the
 /// kind index (0 global, 1 contextual, 2 local, 3 recourse).
 fn synth_query(shape: &EngineShape, mix: &Mix, rng: &mut Rng) -> (Json, usize) {
@@ -354,15 +448,7 @@ fn synth_query(shape: &EngineShape, mix: &Mix, rng: &mut Rng) -> (Json, usize) {
     };
     let random_feature =
         |rng: &mut Rng| shape.features[rng.below(shape.features.len() as u32) as usize];
-    let random_row = |rng: &mut Rng| {
-        Json::Arr(
-            shape
-                .cardinalities
-                .iter()
-                .map(|&card| Json::num(rng.below(card)))
-                .collect(),
-        )
-    };
+    let random_row = |rng: &mut Rng| synth_row(shape, rng);
     let json = match kind {
         0 => Json::obj([("kind", Json::str("global"))]),
         1 => {
@@ -479,12 +565,67 @@ struct Tally {
     other_errors: u64,
 }
 
+/// The writer lane: one dedicated connection appending `mix.rows`
+/// synthesized rows in batches of `mix.batch`, paced evenly across the
+/// run so writes overlap the read workload (and any compaction they arm
+/// lands mid-run, not after it). Rows are drawn from the engine's own
+/// published domains, so a healthy server accepts every batch.
+fn run_writer(
+    config: &LoadgenConfig,
+    mix: AppendMix,
+    shape: &EngineShape,
+    started: Instant,
+    deadline: Instant,
+) -> std::io::Result<WriterStats> {
+    let mut rng = Rng::new(config.seed ^ 0xA99E_17D5_C0FF_EE11);
+    let mut client = Client::connect(config.addr)?;
+    let path = format!("/v1/engines/{}/rows", config.engine);
+    let batch = mix.batch.max(1) as u64;
+    let n_batches = mix.rows.div_ceil(batch);
+    let mut stats = WriterStats::default();
+    let mut sent_rows = 0u64;
+    for i in 0..n_batches {
+        let due = started + config.duration.mul_f64(i as f64 / n_batches as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        let n = batch.min(mix.rows - sent_rows) as usize;
+        let rows: Vec<Json> = (0..n).map(|_| synth_row(shape, &mut rng)).collect();
+        let body = Json::obj([("rows", Json::Arr(rows))]).to_json();
+        let sent = Instant::now();
+        let (status, answer) = client.post(&path, &body)?;
+        let us = sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        stats.latencies_us.push(us);
+        stats.batches += 1;
+        if status == 200 {
+            let appended = answer.get("appended").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            stats.appended_rows += appended;
+            if answer.get("compaction_armed") == Some(&Json::Bool(true)) {
+                stats.compactions_armed += 1;
+            }
+        } else {
+            stats.append_errors += 1;
+        }
+        sent_rows += n as u64;
+    }
+    Ok(stats)
+}
+
 /// Run the workload and gather the report.
 pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
     let shape = discover(config.addr, &config.engine)?;
     let shape = std::sync::Arc::new(shape);
     let started = Instant::now();
     let deadline = started + config.duration;
+    let writer = config.append_mix.map(|mix| {
+        let shape = std::sync::Arc::clone(&shape);
+        let config = config.clone();
+        std::thread::spawn(move || run_writer(&config, mix, &shape, started, deadline))
+    });
     let workers = config.concurrency.max(1);
     let mut handles = Vec::with_capacity(workers);
     for w in 0..workers {
@@ -550,6 +691,25 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
             *into += from;
         }
     }
+    let append = match writer {
+        None => None,
+        Some(h) => {
+            let mut stats = h
+                .join()
+                .map_err(|_| std::io::Error::other("loadgen writer panicked"))??;
+            stats.latencies_us.sort_unstable();
+            Some(AppendReport {
+                appended_rows: stats.appended_rows,
+                batches: stats.batches,
+                append_errors: stats.append_errors,
+                compactions_armed: stats.compactions_armed,
+                p50_us: quantile_of(&stats.latencies_us, 0.50),
+                p95_us: quantile_of(&stats.latencies_us, 0.95),
+                p99_us: quantile_of(&stats.latencies_us, 0.99),
+                max_us: stats.latencies_us.last().copied().unwrap_or(0),
+            })
+        }
+    };
     let wall = started.elapsed();
 
     merged.latencies_us.sort_unstable();
@@ -582,6 +742,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         max_us: merged.latencies_us.last().copied().unwrap_or(0),
         sent_by_kind: merged.sent_by_kind,
         by_kind,
+        append,
     })
 }
 
@@ -600,6 +761,17 @@ struct WorkerStats {
     latencies_us: Vec<u64>,
     sent_by_kind: [u64; 4],
     latencies_by_kind: [Vec<u64>; 4],
+}
+
+/// Raw writer-lane counters, reduced to an [`AppendReport`] at the end
+/// of the run.
+#[derive(Default)]
+struct WriterStats {
+    appended_rows: u64,
+    batches: u64,
+    append_errors: u64,
+    compactions_armed: u64,
+    latencies_us: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -730,6 +902,7 @@ mod tests {
             max_us: 1700,
             sent_by_kind: [0, 7, 0, 0],
             by_kind: Some(by_kind),
+            append: None,
         };
         let rendered = report.render();
         assert!(
@@ -758,6 +931,99 @@ mod tests {
                 .get("latency_by_kind"),
             Some(&Json::Null)
         );
+    }
+
+    #[test]
+    fn append_reports_render_and_serialize() {
+        let base = LoadReport {
+            ok: 3,
+            unsupported: 0,
+            other_errors: 0,
+            round_trips: 3,
+            wall: Duration::from_secs(1),
+            qps: 3.0,
+            p50_us: 80,
+            p95_us: 90,
+            p99_us: 95,
+            max_us: 99,
+            sent_by_kind: [3, 0, 0, 0],
+            by_kind: None,
+            append: Some(AppendReport {
+                appended_rows: 1000,
+                batches: 4,
+                append_errors: 0,
+                compactions_armed: 1,
+                p50_us: 210,
+                p95_us: 340,
+                p99_us: 400,
+                max_us: 512,
+            }),
+        };
+        let rendered = base.render();
+        assert!(
+            rendered.contains("appends: 1000 rows over 4 batches")
+                && rendered.contains("1 compactions armed")
+                && rendered.contains("p99 400µs"),
+            "writer-lane line present: {rendered}"
+        );
+        let config = LoadgenConfig {
+            append_mix: Some(AppendMix {
+                rows: 1000,
+                batch: 250,
+            }),
+            ..LoadgenConfig::default()
+        };
+        let json = base.to_json(&config);
+        let mix = json.get("config").unwrap().get("append_mix").unwrap();
+        assert_eq!(mix.get("rows").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(mix.get("batch").unwrap().as_f64(), Some(250.0));
+        let append = json.get("results").unwrap().get("append").unwrap();
+        assert_eq!(append.get("appended_rows").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(append.get("p99_us").unwrap().as_f64(), Some(400.0));
+        // read-only runs serialize the absent lane as null
+        let read_only = LoadReport {
+            append: None,
+            ..base
+        };
+        let json = read_only.to_json(&LoadgenConfig::default());
+        assert_eq!(
+            json.get("config").unwrap().get("append_mix"),
+            Some(&Json::Null)
+        );
+        assert_eq!(
+            json.get("results").unwrap().get("append"),
+            Some(&Json::Null)
+        );
+        assert!(!read_only.render().contains("appends:"));
+    }
+
+    #[test]
+    fn the_writer_lane_appends_while_readers_run() {
+        let mut reg = crate::EngineRegistry::new();
+        reg.load_builtin("german_syn", 300, 5).unwrap();
+        let server = crate::serve(&crate::ServerConfig::default(), std::sync::Arc::new(reg))
+            .expect("server starts");
+        let config = LoadgenConfig {
+            addr: server.addr(),
+            engine: "german_syn".to_string(),
+            duration: Duration::from_millis(400),
+            concurrency: 2,
+            batch: 1,
+            seed: 9,
+            append_mix: Some(AppendMix { rows: 40, batch: 8 }),
+            ..LoadgenConfig::default()
+        };
+        let report = run(&config).unwrap();
+        server.shutdown();
+        let append = report.append.expect("writer lane ran");
+        assert_eq!(append.appended_rows, 40, "every synthesized row lands");
+        assert_eq!(append.batches, 5);
+        assert_eq!(append.append_errors, 0);
+        assert_eq!(
+            report.other_errors, 0,
+            "reads stay clean while the table grows"
+        );
+        assert!(append.max_us > 0 && append.p50_us <= append.p99_us);
     }
 
     #[test]

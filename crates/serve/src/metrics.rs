@@ -25,6 +25,9 @@ const N_BUCKETS: usize = 38;
 pub enum Route {
     /// `POST /v1/engines/{name}/explain`
     Explain,
+    /// `POST /v1/engines/{name}/rows` and `POST …/compact` — the live
+    /// table's write lane.
+    Append,
     /// `GET /v1/jobs/{id}` and `POST …/explain?mode=async` submissions.
     Jobs,
     /// `GET /v1/engines`
@@ -41,8 +44,9 @@ pub enum Route {
 
 impl Route {
     /// Every route, in display order.
-    pub const ALL: [Route; 7] = [
+    pub const ALL: [Route; 8] = [
         Route::Explain,
+        Route::Append,
         Route::Jobs,
         Route::Engines,
         Route::Healthz,
@@ -54,12 +58,13 @@ impl Route {
     fn index(self) -> usize {
         match self {
             Route::Explain => 0,
-            Route::Jobs => 1,
-            Route::Engines => 2,
-            Route::Healthz => 3,
-            Route::Metrics => 4,
-            Route::Admin => 5,
-            Route::Other => 6,
+            Route::Append => 1,
+            Route::Jobs => 2,
+            Route::Engines => 3,
+            Route::Healthz => 4,
+            Route::Metrics => 5,
+            Route::Admin => 6,
+            Route::Other => 7,
         }
     }
 
@@ -67,6 +72,7 @@ impl Route {
     pub fn name(self) -> &'static str {
         match self {
             Route::Explain => "explain",
+            Route::Append => "append",
             Route::Jobs => "jobs",
             Route::Engines => "engines",
             Route::Healthz => "healthz",
@@ -153,7 +159,7 @@ impl EndpointMetrics {
 
 /// All serving metrics; shared across worker threads behind an `Arc`.
 pub struct Metrics {
-    endpoints: [EndpointMetrics; 7],
+    endpoints: [EndpointMetrics; 8],
     started: Instant,
 }
 
@@ -233,8 +239,10 @@ impl Metrics {
         let engines: Vec<(String, Json)> = registry
             .iter()
             .map(|(name, entry)| {
-                let stats = entry.engine.cache_stats();
-                let surrogates = entry.engine.surrogate_stats();
+                let engine = entry.engine();
+                let live = entry.live.status();
+                let stats = engine.cache_stats();
+                let surrogates = engine.surrogate_stats();
                 (
                     name.to_string(),
                     Json::obj([
@@ -261,11 +269,24 @@ impl Metrics {
                         (
                             "index",
                             Json::obj([
-                                ("enabled", Json::Bool(entry.engine.index_enabled())),
+                                ("enabled", Json::Bool(engine.index_enabled())),
                                 (
                                     "memory_bytes",
-                                    Json::num(entry.engine.index_memory_bytes() as f64),
+                                    Json::num(engine.index_memory_bytes() as f64),
                                 ),
+                            ]),
+                        ),
+                        (
+                            "live",
+                            Json::obj([
+                                ("n_rows", Json::num(live.total_rows as f64)),
+                                ("table_version", Json::num(live.version as f64)),
+                                ("base_rows", Json::num(live.base_rows as f64)),
+                                (
+                                    "pending_delta_rows",
+                                    Json::num(live.pending_delta_rows as f64),
+                                ),
+                                ("compacting", Json::Bool(live.compacting)),
                             ]),
                         ),
                     ]),

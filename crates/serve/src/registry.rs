@@ -32,6 +32,7 @@ use causal::discovery::{pc_algorithm, Cpdag, PcOptions};
 use causal::Dag;
 use lewis_core::blackbox::label_table;
 use lewis_core::Engine;
+use lewis_live::LiveEngine;
 use lewis_store::{Pack, PackMeta};
 use std::sync::Arc;
 use tabular::AttrId;
@@ -63,8 +64,11 @@ pub enum GraphSpec {
 
 /// One registered engine plus its provenance.
 pub struct EngineEntry {
-    /// The shared engine.
-    pub engine: Arc<Engine>,
+    /// The live table wrapping the engine: readers clone the current
+    /// generation via [`EngineEntry::engine`], the append route feeds
+    /// rows through [`LiveEngine::append_rows`], and the background
+    /// compactor folds deltas behind the same handle.
+    pub live: Arc<LiveEngine>,
     /// Where it came from (`"builtin:german_syn"`, `"csv:data.csv"`).
     pub source: String,
     /// Which causal graph the engine adjusts with (`"fully-connected
@@ -74,6 +78,31 @@ pub struct EngineEntry {
     pub pred_name: String,
     /// The favourable outcome code.
     pub positive: tabular::Value,
+}
+
+impl EngineEntry {
+    /// Wrap `engine` in a fresh live table.
+    pub fn from_engine(
+        engine: impl Into<Arc<Engine>>,
+        source: String,
+        graph: String,
+        pred_name: String,
+        positive: tabular::Value,
+    ) -> EngineEntry {
+        EngineEntry {
+            live: Arc::new(LiveEngine::new(engine.into())),
+            source,
+            graph,
+            pred_name,
+            positive,
+        }
+    }
+
+    /// The current engine generation. The handle is immutable: queries
+    /// against it are unaffected by concurrent appends or compaction.
+    pub fn engine(&self) -> Arc<Engine> {
+        self.live.engine()
+    }
 }
 
 /// A name → engine map with deterministic iteration order (insertion
@@ -218,13 +247,13 @@ impl EngineRegistry {
         let engine = builder.build()?;
         self.insert(
             register_as,
-            EngineEntry {
-                engine: Arc::new(engine),
-                source: format!("builtin:{name} ({rows} rows, seed {seed})"),
+            EngineEntry::from_engine(
+                engine,
+                format!("builtin:{name} ({rows} rows, seed {seed})"),
                 graph,
-                pred_name: PRED_COLUMN.to_string(),
-                positive: 1,
-            },
+                PRED_COLUMN.to_string(),
+                1,
+            ),
         )
     }
 
@@ -287,13 +316,13 @@ impl EngineRegistry {
         let engine = builder.build()?;
         self.insert(
             name,
-            EngineEntry {
-                engine: Arc::new(engine),
-                source: format!("csv:{path}"),
-                graph: graph_desc,
-                pred_name: pred_col.to_string(),
+            EngineEntry::from_engine(
+                engine,
+                format!("csv:{path}"),
+                graph_desc,
+                pred_col.to_string(),
                 positive,
-            },
+            ),
         )
     }
 
@@ -309,13 +338,13 @@ impl EngineRegistry {
         let positive = engine.estimator().positive();
         self.insert(
             name,
-            EngineEntry {
-                engine: Arc::new(engine),
-                source: format!("pack:{path} ({})", meta.source),
-                graph: meta.graph,
+            EngineEntry::from_engine(
+                engine,
+                format!("pack:{path} ({})", meta.source),
+                meta.graph,
                 pred_name,
                 positive,
-            },
+            ),
         )
     }
 
@@ -331,7 +360,7 @@ impl EngineRegistry {
             source: entry.source.clone(),
             graph: entry.graph.clone(),
         };
-        Pack::from_engine(&entry.engine, meta).write_file(path)?;
+        Pack::from_engine(&entry.engine(), meta).write_file(path)?;
         Ok(())
     }
 
@@ -395,10 +424,10 @@ mod tests {
         reg.load_builtin("german_syn", 800, 7).unwrap();
         assert_eq!(reg.len(), 1);
         let entry = reg.get("german_syn").unwrap();
-        assert_eq!(entry.engine.table().n_rows(), 800);
+        assert_eq!(entry.engine().table().n_rows(), 800);
         assert!(entry.source.contains("builtin:german_syn"));
         // the engine answers a query end to end
-        let g = entry.engine.run(&ExplainRequest::Global).unwrap();
+        let g = entry.engine().run(&ExplainRequest::Global).unwrap();
         assert!(g.into_global().is_some());
     }
 
@@ -408,11 +437,11 @@ mod tests {
         reg.set_default_shards(4);
         reg.load_builtin("german_syn_scaled", 2000, 7).unwrap();
         let entry = reg.get("german_syn_scaled").unwrap();
-        assert_eq!(entry.engine.shards(), 4);
-        assert_eq!(entry.engine.table().n_rows(), 2000);
+        assert_eq!(entry.engine().shards(), 4);
+        assert_eq!(entry.engine().table().n_rows(), 2000);
         // same pivot and schema as german_syn: answers a query end to end
         let g = entry
-            .engine
+            .engine()
             .run(&ExplainRequest::Global)
             .unwrap()
             .into_global()
@@ -425,7 +454,7 @@ mod tests {
         let p = plain
             .get("german_syn_scaled")
             .unwrap()
-            .engine
+            .engine()
             .run(&ExplainRequest::Global)
             .unwrap();
         assert_eq!(format!("{g:?}"), format!("{:?}", p.into_global().unwrap()));
@@ -437,17 +466,17 @@ mod tests {
         reg.set_default_index(true);
         reg.load_builtin("german_syn", 500, 7).unwrap();
         let entry = reg.get("german_syn").unwrap();
-        assert!(entry.engine.index_enabled());
-        assert!(entry.engine.index_memory_bytes() > 0);
+        assert!(entry.engine().index_enabled());
+        assert!(entry.engine().index_memory_bytes() > 0);
         // an indexed engine's answers equal an unindexed twin's, byte
         // for byte
         let mut plain = EngineRegistry::new();
         plain.set_default_index(false);
         plain.load_builtin("german_syn", 500, 7).unwrap();
         let plain_entry = plain.get("german_syn").unwrap();
-        assert!(!plain_entry.engine.index_enabled());
-        let a = entry.engine.run(&ExplainRequest::Global).unwrap();
-        let b = plain_entry.engine.run(&ExplainRequest::Global).unwrap();
+        assert!(!plain_entry.engine().index_enabled());
+        let a = entry.engine().run(&ExplainRequest::Global).unwrap();
+        let b = plain_entry.engine().run(&ExplainRequest::Global).unwrap();
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
@@ -469,7 +498,7 @@ mod tests {
         let entry_of = |reg: &EngineRegistry| {
             let e = reg.get("german_syn").unwrap();
             EngineEntry {
-                engine: Arc::clone(&e.engine),
+                live: Arc::clone(&e.live),
                 source: e.source.clone(),
                 graph: e.graph.clone(),
                 pred_name: e.pred_name.clone(),
@@ -487,11 +516,11 @@ mod tests {
         // export a labelled built-in table, reload it as a "user" CSV
         let mut reg = EngineRegistry::new();
         reg.load_builtin("german_syn", 600, 3).unwrap();
-        let table = reg.get("german_syn").unwrap().engine.table();
+        let engine = reg.get("german_syn").unwrap().engine();
         let dir = std::env::temp_dir().join(format!("lewis-serve-reg-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("export.csv");
-        tabular::write_csv_file(table, &path).unwrap();
+        tabular::write_csv_file(engine.table(), &path).unwrap();
 
         reg.load_csv(
             "from_csv",
@@ -502,7 +531,7 @@ mod tests {
         )
         .unwrap();
         let entry = reg.get("from_csv").unwrap();
-        assert_eq!(entry.engine.table().n_rows(), 600);
+        assert_eq!(entry.engine().table().n_rows(), 600);
         assert!(
             entry.graph.contains("fully-connected"),
             "graph provenance is recorded: {}",
@@ -511,7 +540,7 @@ mod tests {
         // CSV inference maps boolean "true" to whatever code it was
         // first seen as — the registry resolves it by label
         let g = entry
-            .engine
+            .engine()
             .run(&ExplainRequest::Global)
             .unwrap()
             .into_global()
@@ -556,11 +585,11 @@ mod tests {
         // reload it with PC discovery switched on
         let mut reg = EngineRegistry::new();
         reg.load_builtin("german_syn", 2000, 5).unwrap();
-        let table = reg.get("german_syn").unwrap().engine.table();
+        let engine = reg.get("german_syn").unwrap().engine();
         let dir = std::env::temp_dir().join(format!("lewis-serve-disc-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("discover.csv");
-        tabular::write_csv_file(table, &path).unwrap();
+        tabular::write_csv_file(engine.table(), &path).unwrap();
 
         reg.load_csv(
             "discovered",
@@ -576,7 +605,7 @@ mod tests {
             "provenance names the discovery: {}",
             entry.graph
         );
-        let engine = &entry.engine;
+        let engine = entry.engine();
         let g = engine.graph().expect("discovery must attach a graph");
         assert!(g.n_edges() > 0, "german_syn has discoverable structure");
         // the prediction column is never part of the diagram
@@ -600,7 +629,7 @@ mod tests {
         let mut reg = EngineRegistry::new();
         reg.load_builtin("german_syn", 800, 7).unwrap();
         // warm the donor so the pack carries cache state
-        let donor = Arc::clone(&reg.get("german_syn").unwrap().engine);
+        let donor = reg.get("german_syn").unwrap().engine();
         let donor_g = donor.run(&ExplainRequest::Global).unwrap();
         assert!(donor.cache_stats().entries > 0);
         reg.save_pack("german_syn", p).unwrap();
@@ -617,7 +646,7 @@ mod tests {
         assert!(entry.graph.contains("builtin scm"), "{}", entry.graph);
         assert_eq!(entry.pred_name, "pred");
         // the restored engine arrives warm and answers identically
-        let restored = &entry.engine;
+        let restored = entry.engine();
         assert_eq!(restored.cache_stats().entries, donor.cache_stats().entries);
         let restored_g = restored.run(&ExplainRequest::Global).unwrap();
         assert_eq!(format!("{donor_g:?}"), format!("{restored_g:?}"));

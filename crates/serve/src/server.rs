@@ -21,12 +21,22 @@
 //! | route | answer |
 //! |---|---|
 //! | `GET /healthz` | liveness + engine count |
-//! | `GET /v1/engines` | every engine with its full schema |
+//! | `GET /v1/engines` | every engine with its full schema and live-table state |
 //! | `POST /v1/engines/{name}/explain` | one request or `{"batch": [...]}` |
 //! | `POST /v1/engines/{name}/explain?mode=async` | `202 {job_id}`; result via the job lane |
+//! | `POST /v1/engines/{name}/rows` | append `{"rows": [[codes…], …]}` to the live table |
+//! | `POST /v1/engines/{name}/compact` | fold the delta into the base now |
 //! | `GET /v1/jobs/{id}` | job state; the finished result replays the sync answer |
 //! | `GET /metrics` | counters, latency quantiles, cache and job-lane stats |
 //! | `POST /admin/shutdown` | graceful stop (for tests/automation) |
+//!
+//! The append lane validates a whole batch (arity and domain of every
+//! row) before any row lands — a bad row rejects the batch with a `400`
+//! and the table is untouched. Accepted rows are visible to the very
+//! next explain: the registry entry swaps in a new engine generation
+//! whose merged counts equal a cold build over the concatenated table.
+//! Once the delta outgrows its threshold a background compactor folds
+//! it into the sharded base; readers never block on the fold.
 //!
 //! The async lane exists for work that should not pin an HTTP worker —
 //! a cold recourse fit over a million rows takes seconds, and holding
@@ -367,6 +377,30 @@ fn route(request: &HttpRequest, state: &ServerState) -> (Route, HttpResponse) {
                     Err(response) => (Route::Explain, response),
                 };
             }
+            if let Some(name) = path
+                .strip_prefix("/v1/engines/")
+                .and_then(|rest| rest.strip_suffix("/rows"))
+            {
+                if method != "POST" {
+                    return (
+                        Route::Append,
+                        error_response(405, "method_not_allowed", "use POST"),
+                    );
+                }
+                return (Route::Append, append_rows(name, &request.body, state));
+            }
+            if let Some(name) = path
+                .strip_prefix("/v1/engines/")
+                .and_then(|rest| rest.strip_suffix("/compact"))
+            {
+                if method != "POST" {
+                    return (
+                        Route::Append,
+                        error_response(405, "method_not_allowed", "use POST"),
+                    );
+                }
+                return (Route::Append, compact(name, state));
+            }
             if let Some(id) = path.strip_prefix("/v1/jobs/") {
                 if method != "GET" {
                     return (
@@ -427,7 +461,8 @@ fn list_engines(state: &ServerState) -> HttpResponse {
         .registry
         .iter()
         .map(|(name, entry)| {
-            let engine = &entry.engine;
+            let engine = entry.engine();
+            let live = entry.live.status();
             let schema = engine.table().schema();
             let attributes: Vec<Json> = schema
                 .attr_ids()
@@ -456,7 +491,13 @@ fn list_engines(state: &ServerState) -> HttpResponse {
                 ("name", Json::str(name)),
                 ("source", Json::str(&entry.source)),
                 ("graph", Json::str(&entry.graph)),
-                ("n_rows", Json::num(engine.table().n_rows() as u32)),
+                ("n_rows", Json::num(live.total_rows as f64)),
+                ("table_version", Json::num(live.version as f64)),
+                ("base_rows", Json::num(live.base_rows as f64)),
+                (
+                    "pending_delta_rows",
+                    Json::num(live.pending_delta_rows as f64),
+                ),
                 ("shards", Json::num(engine.shards() as u32)),
                 (
                     "index",
@@ -493,8 +534,113 @@ fn explain(name: &str, body: &[u8], state: &ServerState) -> HttpResponse {
     let Some(entry) = state.registry.get(name) else {
         return error_response(404, "unknown_engine", &format!("no engine named {name:?}"));
     };
-    let (status, json) = explain_payload(&entry.engine, body);
+    let (status, json) = explain_payload(&entry.engine(), body);
     HttpResponse::json(status, &json)
+}
+
+/// `POST /v1/engines/{name}/rows`: append a batch of dictionary-coded
+/// rows (`{"rows": [[codes…], …]}`, schema order including the
+/// prediction column) to the live table. The whole batch is validated
+/// before any row lands — arity or domain violations answer `400` and
+/// leave the table untouched. Accepting the batch may arm a background
+/// compaction; the append itself never waits for one.
+fn append_rows(name: &str, body: &[u8], state: &ServerState) -> HttpResponse {
+    let Some(entry) = state.registry.get(name) else {
+        return error_response(404, "unknown_engine", &format!("no engine named {name:?}"));
+    };
+    let Ok(text) = std::str::from_utf8(body) else {
+        return error_response(400, "bad_json", "body is not UTF-8");
+    };
+    let json = match Json::parse(text) {
+        Ok(j) => j,
+        Err(e) => return error_response(400, "bad_json", &e.to_string()),
+    };
+    let Some(rows_json) = json.get("rows") else {
+        return error_response(400, "bad_request", "missing field \"rows\"");
+    };
+    let Some(items) = rows_json.as_arr() else {
+        return error_response(400, "bad_request", "rows: expected an array of rows");
+    };
+    if items.len() > MAX_BATCH {
+        return error_response(
+            400,
+            "batch_too_large",
+            &format!(
+                "batch of {} rows exceeds the limit of {MAX_BATCH}",
+                items.len()
+            ),
+        );
+    }
+    let mut rows = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let Some(codes) = item.as_arr() else {
+            return error_response(
+                400,
+                "bad_request",
+                &format!("rows[{i}]: expected an array of codes"),
+            );
+        };
+        let mut row = Vec::with_capacity(codes.len());
+        for (j, code) in codes.iter().enumerate() {
+            match code.as_f64() {
+                Some(v) if v.fract() == 0.0 && (0.0..=f64::from(u32::MAX)).contains(&v) => {
+                    row.push(v as u32);
+                }
+                _ => {
+                    return error_response(
+                        400,
+                        "bad_request",
+                        &format!("rows[{i}][{j}]: expected a non-negative integer code"),
+                    )
+                }
+            }
+        }
+        rows.push(row);
+    }
+    match entry.live.append_rows(&rows) {
+        Ok(receipt) => {
+            let compaction_armed = entry.live.maybe_spawn_compaction();
+            HttpResponse::json(
+                200,
+                &Json::obj([
+                    ("appended", Json::num(receipt.appended as f64)),
+                    ("total_rows", Json::num(receipt.total_rows as f64)),
+                    ("table_version", Json::num(receipt.version as f64)),
+                    (
+                        "pending_delta_rows",
+                        Json::num(receipt.pending_delta_rows as f64),
+                    ),
+                    ("compaction_armed", Json::Bool(compaction_armed)),
+                ]),
+            )
+        }
+        // every rejection here is a data problem with the batch (the
+        // schema arity and domain checks run before any row lands)
+        Err(e) => error_response(400, "bad_rows", &e.to_string()),
+    }
+}
+
+/// `POST /v1/engines/{name}/compact`: fold the live table's delta into
+/// the sharded base synchronously. Answers what the fold did; when a
+/// background fold is already running, reports `skipped`.
+fn compact(name: &str, state: &ServerState) -> HttpResponse {
+    let Some(entry) = state.registry.get(name) else {
+        return error_response(404, "unknown_engine", &format!("no engine named {name:?}"));
+    };
+    match entry.live.compact() {
+        Ok(receipt) => HttpResponse::json(
+            200,
+            &Json::obj([
+                ("folded_rows", Json::num(receipt.folded_rows as f64)),
+                (
+                    "pending_delta_rows",
+                    Json::num(receipt.pending_delta_rows as f64),
+                ),
+                ("skipped", Json::Bool(receipt.skipped)),
+            ]),
+        ),
+        Err(e) => error_response(500, "compaction_failed", &e.to_string()),
+    }
 }
 
 /// The status code and body JSON for one explain body against one
@@ -569,8 +715,8 @@ fn submit_explain(name: &str, body: &[u8], state: &ServerState) -> HttpResponse 
         return error_response(404, "unknown_engine", &format!("no engine named {name:?}"));
     };
     // resolve the Arc before moving into the closure: jobs hold the
-    // engine alive, never the registry or the server state
-    let engine = Arc::clone(&entry.engine);
+    // engine generation alive, never the registry or the server state
+    let engine = entry.engine();
     let body = body.to_vec();
     match state.jobs.submit(move || explain_payload(&engine, &body)) {
         Ok(id) => HttpResponse::json(
@@ -762,6 +908,127 @@ mod tests {
             answer.get("results").unwrap().as_arr().unwrap().len(),
             MAX_BATCH
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn append_rows_feed_the_next_explain_and_compaction_keeps_answers() {
+        let server = test_server();
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        // a valid row in schema order, including the prediction column
+        let (_, list) = client.get("/v1/engines").unwrap();
+        let engine = &list.get("engines").unwrap().as_arr().unwrap()[0];
+        let n_attrs = engine.get("attributes").unwrap().as_arr().unwrap().len();
+        let row: Vec<Json> = (0..n_attrs).map(|_| Json::num(0u32)).collect();
+        let body = Json::obj([("rows", Json::Arr(vec![Json::Arr(row.clone()); 3]))]).to_json();
+
+        let (status, before) = client
+            .post("/v1/engines/german_syn/explain", r#"{"kind":"global"}"#)
+            .unwrap();
+        assert_eq!(status, 200);
+
+        let (status, receipt) = client.post("/v1/engines/german_syn/rows", &body).unwrap();
+        assert_eq!(status, 200, "{receipt:?}");
+        assert_eq!(receipt.get("appended").unwrap().as_f64(), Some(3.0));
+        assert_eq!(receipt.get("total_rows").unwrap().as_f64(), Some(503.0));
+        assert_eq!(receipt.get("table_version").unwrap().as_f64(), Some(503.0));
+        assert_eq!(
+            receipt.get("pending_delta_rows").unwrap().as_f64(),
+            Some(3.0)
+        );
+
+        // the very next explain sees the appended rows
+        let (status, after) = client
+            .post("/v1/engines/german_syn/explain", r#"{"kind":"global"}"#)
+            .unwrap();
+        assert_eq!(status, 200);
+        assert_ne!(format!("{before:?}"), format!("{after:?}"));
+
+        // listings and metrics expose the live-table state
+        let (_, list) = client.get("/v1/engines").unwrap();
+        let engine = &list.get("engines").unwrap().as_arr().unwrap()[0];
+        assert_eq!(engine.get("n_rows").unwrap().as_f64(), Some(503.0));
+        assert_eq!(engine.get("table_version").unwrap().as_f64(), Some(503.0));
+        assert_eq!(engine.get("base_rows").unwrap().as_f64(), Some(500.0));
+        assert_eq!(
+            engine.get("pending_delta_rows").unwrap().as_f64(),
+            Some(3.0)
+        );
+        let (_, metrics) = client.get("/metrics").unwrap();
+        let live = metrics
+            .get("engines")
+            .unwrap()
+            .get("german_syn")
+            .unwrap()
+            .get("live")
+            .unwrap();
+        assert_eq!(live.get("n_rows").unwrap().as_f64(), Some(503.0));
+        assert_eq!(live.get("pending_delta_rows").unwrap().as_f64(), Some(3.0));
+        let append_route = metrics.get("routes").unwrap().get("append").unwrap();
+        assert_eq!(append_route.get("requests").unwrap().as_f64(), Some(1.0));
+
+        // compaction folds the delta and leaves the answers untouched
+        let (status, fold) = client.post("/v1/engines/german_syn/compact", "").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(fold.get("folded_rows").unwrap().as_f64(), Some(3.0));
+        assert_eq!(fold.get("pending_delta_rows").unwrap().as_f64(), Some(0.0));
+        let (status, compacted) = client
+            .post("/v1/engines/german_syn/explain", r#"{"kind":"global"}"#)
+            .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(format!("{after:?}"), format!("{compacted:?}"));
+        let (_, list) = client.get("/v1/engines").unwrap();
+        let engine = &list.get("engines").unwrap().as_arr().unwrap()[0];
+        assert_eq!(engine.get("base_rows").unwrap().as_f64(), Some(503.0));
+        assert_eq!(
+            engine.get("pending_delta_rows").unwrap().as_f64(),
+            Some(0.0)
+        );
+        assert_eq!(
+            engine.get("table_version").unwrap().as_f64(),
+            Some(503.0),
+            "compaction must not advance the version"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_append_batches_are_rejected_atomically() {
+        let server = test_server();
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        let cases = [
+            (r#"{"rows": [[0,0],[0]]}"#, "ragged arity"),
+            (r#"{"rows": [[0,0,99999]]}"#, "code outside every domain"),
+            (r#"{"rows": [0]}"#, "row is not an array"),
+            (r#"{"rows": [[0.5]]}"#, "fractional code"),
+            (r#"{"rows": [[-1]]}"#, "negative code"),
+            (r#"{"nope": []}"#, "missing rows field"),
+            ("not json", "malformed body"),
+        ];
+        for (body, why) in cases {
+            let (status, answer) = client.post("/v1/engines/german_syn/rows", body).unwrap();
+            assert_eq!(status, 400, "{why}: {answer:?}");
+        }
+        // nothing landed
+        let (_, list) = client.get("/v1/engines").unwrap();
+        let engine = &list.get("engines").unwrap().as_arr().unwrap()[0];
+        assert_eq!(engine.get("n_rows").unwrap().as_f64(), Some(500.0));
+        assert_eq!(
+            engine.get("pending_delta_rows").unwrap().as_f64(),
+            Some(0.0)
+        );
+
+        // unknown engines 404; GET on the write lane is 405
+        let (status, _) = client
+            .post("/v1/engines/missing/rows", r#"{"rows":[]}"#)
+            .unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client.post("/v1/engines/missing/compact", "").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client.get("/v1/engines/german_syn/rows").unwrap();
+        assert_eq!(status, 405);
         server.shutdown();
     }
 

@@ -77,7 +77,7 @@ mod tests {
     fn engine() -> std::sync::Arc<Engine> {
         let mut reg = EngineRegistry::new();
         reg.load_builtin("german_syn", 600, 3).unwrap();
-        std::sync::Arc::clone(&reg.get("german_syn").unwrap().engine)
+        reg.get("german_syn").unwrap().engine()
     }
 
     #[test]

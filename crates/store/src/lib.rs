@@ -58,7 +58,7 @@ pub mod pack;
 
 mod bytes;
 
-pub use pack::{load_engine, section_sizes, Pack, PackMeta, FORMAT_VERSION, MAGIC};
+pub use pack::{load_engine, section_sizes, version_info, Pack, PackMeta, FORMAT_VERSION, MAGIC};
 
 /// Errors raised while writing, reading or restoring packs. Each defect
 /// class is a distinct variant so callers (and tests) can tell a

@@ -63,7 +63,18 @@ pub const MAGIC: [u8; 8] = *b"LEWISPAK";
 ///   surrogate cache) — writers that strip the section stay loadable; a
 ///   section without the flag is a [`StoreError::Mismatch`]. v1–v3
 ///   packs restore with an empty cache at the default capacity.
-pub const FORMAT_VERSION: u32 = 4;
+/// * **v5** — live tables. The config grows a trailing **row-version
+///   watermark** (appended, so a v4 config is a strict prefix): the
+///   logical row count — base rows plus appended delta rows — the
+///   engine had reached when it was packed. An optional, CRC'd `delta`
+///   section (same columnar codec as `table`, decoded against the same
+///   schema) carries the write-side delta shard of a live engine packed
+///   mid-stream, so a restored engine resumes the stream exactly where
+///   the donor stood. A watermark that disagrees with the base + delta
+///   row count is a [`StoreError::Mismatch`]; a delta section in a
+///   pre-v5 pack is one too. v1–v4 packs restore frozen, with the
+///   watermark assumed at the base row count.
+pub const FORMAT_VERSION: u32 = 5;
 
 /// Section tags, in the order the writer emits them.
 const TAG_META: u8 = 1;
@@ -75,6 +86,7 @@ const TAG_ORDERS: u8 = 6;
 const TAG_CACHE: u8 = 7;
 const TAG_INDEX: u8 = 8;
 const TAG_SURROGATES: u8 = 9;
+const TAG_DELTA: u8 = 10;
 
 pub(crate) fn section_name(tag: u8) -> &'static str {
     match tag {
@@ -87,6 +99,7 @@ pub(crate) fn section_name(tag: u8) -> &'static str {
         TAG_CACHE => "cache",
         TAG_INDEX => "index",
         TAG_SURROGATES => "surrogates",
+        TAG_DELTA => "delta",
         _ => "unknown",
     }
 }
@@ -208,6 +221,9 @@ impl Pack {
                 encode_surrogates(&self.snapshot.surrogates),
             );
         }
+        if let Some(delta) = self.snapshot.delta.as_ref().filter(|d| d.n_rows() > 0) {
+            write_section(&mut out, TAG_DELTA, encode_table(delta));
+        }
         out
     }
 
@@ -231,7 +247,7 @@ impl Pack {
         let meta = decode_meta(require(TAG_META)?)?;
         let schema = decode_schema(require(TAG_SCHEMA)?)?;
         let n_attrs = schema.len();
-        let table = decode_table(require(TAG_TABLE)?, schema)?;
+        let table = decode_table(require(TAG_TABLE)?, schema.clone())?;
         let graph = decode_graph(require(TAG_GRAPH)?, n_attrs)?;
         let config = decode_config(require(TAG_CONFIG)?, version)?;
         let orders = decode_orders(require(TAG_ORDERS)?)?;
@@ -313,6 +329,33 @@ impl Pack {
             // set. Pre-v4 packs land here too via the flag default.
             None => SurrogateCacheSnapshot::default(),
         };
+        let delta = match sections.iter().find(|&&(t, _)| t == TAG_DELTA) {
+            Some(&(_, payload)) => {
+                if version < 5 {
+                    return Err(StoreError::Mismatch(
+                        "delta section in a pre-v5 pack (no writer ever produced one)".into(),
+                    ));
+                }
+                // Same columnar codec as the table section, decoded
+                // against the same schema — from_columns re-validates
+                // every appended code against its domain.
+                let delta = decode_table(payload, schema)?;
+                (delta.n_rows() > 0).then(|| Arc::new(delta))
+            }
+            None => None,
+        };
+        // The watermark must equal the logical rows the sections carry:
+        // a pack whose delta was truncated or swapped against a
+        // different base must fail typed, never resume a stream at the
+        // wrong row version.
+        if let Some(watermark) = config.watermark {
+            let total = table.n_rows() as u64 + delta.as_ref().map_or(0, |d| d.n_rows() as u64);
+            if watermark != total {
+                return Err(StoreError::Mismatch(format!(
+                    "watermark records {watermark} rows, sections carry {total}"
+                )));
+            }
+        }
 
         Ok(Pack {
             meta,
@@ -331,6 +374,7 @@ impl Pack {
                 surrogate_capacity: config.surrogate_capacity,
                 surrogates,
                 index,
+                delta,
             },
             rebuild_index: false,
             refit_surrogates: false,
@@ -464,6 +508,24 @@ pub fn section_sizes(bytes: &[u8]) -> Result<Vec<(&'static str, u64)>> {
         .iter()
         .map(|&(tag, payload)| (section_name(tag), payload.len() as u64))
         .collect())
+}
+
+/// Header-level facts for tooling (`lewis-pack inspect`): the format
+/// version the pack announces and, for v5+ packs, the config's
+/// row-version watermark (`None` for pre-v5 packs, which are frozen at
+/// their base row count). Walks the checksummed framing and decodes the
+/// config section only.
+pub fn version_info(bytes: &[u8]) -> Result<(u32, Option<u64>)> {
+    let (version, sections) = parse_sections(bytes)?;
+    let payload = sections
+        .iter()
+        .find(|&&(t, _)| t == TAG_CONFIG)
+        .map(|&(_, p)| p)
+        .ok_or(StoreError::MissingSection {
+            section: section_name(TAG_CONFIG),
+        })?;
+    let config = decode_config(payload, version)?;
+    Ok((version, config.watermark))
 }
 
 fn write_section(out: &mut Vec<u8>, tag: u8, payload: Vec<u8>) {
@@ -701,7 +763,7 @@ fn encode_graph(graph: Option<&causal::Dag>) -> Vec<u8> {
         Some(g) => {
             out.put_u8(1);
             out.put_u32(g.n_nodes() as u32);
-            let edges = g.edges();
+            let edges = adjacency_preserving_edges(g);
             out.put_u32(edges.len() as u32);
             for (from, to) in edges {
                 out.put_u32(from as u32);
@@ -710,6 +772,54 @@ fn encode_graph(graph: Option<&causal::Dag>) -> Vec<u8> {
         }
     }
     out
+}
+
+/// Edges of `g` in an order whose `add_edge` replay reproduces the
+/// donor's adjacency lists **exactly** — children and parents lists in
+/// the same order, not just the same sets. The order of those lists is
+/// observable: local-explanation back-off drops context attributes in
+/// causal-proximity order, which walks `parents()` as stored, so a
+/// restored engine must get byte-identical lists or its local answers
+/// drift (a sorted edge dump loses the insertion order and did exactly
+/// that).
+///
+/// Greedy merge: an edge is emittable when it is the next unconsumed
+/// entry of both its source's children list and its target's parents
+/// list. The donor's true insertion sequence satisfies both orders, so
+/// whenever edges remain at least one is emittable (the σ-earliest
+/// remaining edge always is) and the loop drains completely.
+fn adjacency_preserving_edges(g: &causal::Dag) -> Vec<(usize, usize)> {
+    let n = g.n_nodes();
+    let mut child_pos = vec![0usize; n];
+    let mut parent_pos = vec![0usize; n];
+    let mut edges = Vec::with_capacity(g.n_edges());
+    loop {
+        let before = edges.len();
+        for (from, pos) in child_pos.iter_mut().enumerate() {
+            while let Some(&to) = g.children(from).get(*pos) {
+                if g.parents(to).get(parent_pos[to]) != Some(&from) {
+                    break;
+                }
+                edges.push((from, to));
+                *pos += 1;
+                parent_pos[to] += 1;
+            }
+        }
+        if edges.len() == before {
+            break;
+        }
+    }
+    // a consistent Dag always drains; a hypothetical inconsistency must
+    // still emit every edge (order no longer recoverable) rather than
+    // silently truncate the graph
+    if edges.len() < g.n_edges() {
+        for (from, &pos) in child_pos.iter().enumerate() {
+            for &to in &g.children(from)[pos..] {
+                edges.push((from, to));
+            }
+        }
+    }
+    edges
 }
 
 fn decode_graph(payload: &[u8], n_attrs: usize) -> Result<Option<causal::Dag>> {
@@ -769,6 +879,9 @@ struct Config {
     index_enabled: bool,
     surrogates_flag: bool,
     surrogate_capacity: usize,
+    /// v5 row-version watermark (`None` for pre-v5 packs, which predate
+    /// live tables and are frozen at their base row count).
+    watermark: Option<u64>,
 }
 
 fn encode_config(snapshot: &EngineSnapshot, index_enabled: bool, surrogates: bool) -> Vec<u8> {
@@ -789,6 +902,10 @@ fn encode_config(snapshot: &EngineSnapshot, index_enabled: bool, surrogates: boo
     // the end, extending the prefix property one more version
     out.put_u8(u8::from(surrogates));
     out.put_u64(snapshot.surrogate_capacity as u64);
+    // v5: the row-version watermark rides last — base rows plus delta
+    // rows, the logical size of the (possibly live) table being packed
+    let delta_rows = snapshot.delta.as_ref().map_or(0, |d| d.n_rows() as u64);
+    out.put_u64(snapshot.table.n_rows() as u64 + delta_rows);
     out
 }
 
@@ -850,6 +967,13 @@ fn decode_config(payload: &[u8], version: u32) -> Result<Config> {
     } else {
         (false, lewis_core::engine::DEFAULT_SURROGATE_CAPACITY)
     };
+    // v1–v4 predate live tables: those packs are frozen at their base
+    // row count, so there is no watermark to cross-check
+    let watermark = if version >= 5 {
+        Some(c.u64().map_err(&at)?)
+    } else {
+        None
+    };
     c.finish().map_err(&at)?;
     Ok(Config {
         pred,
@@ -862,6 +986,7 @@ fn decode_config(payload: &[u8], version: u32) -> Result<Config> {
         index_enabled,
         surrogates_flag,
         surrogate_capacity,
+        watermark,
     })
 }
 
@@ -1061,6 +1186,34 @@ mod tests {
             .unwrap()
     }
 
+    /// Regression: a graph whose edges were inserted out of sorted
+    /// order must round-trip with its adjacency **lists** intact, not
+    /// just its edge set — local-explanation back-off walks `parents()`
+    /// in stored order, so a sorted re-emit silently changed restored
+    /// engines' local answers.
+    #[test]
+    fn graph_round_trips_preserve_adjacency_order() {
+        let mut g = causal::Dag::new(5);
+        // node 4's parents arrive as [3, 0, 2]; node 3's as [1, 0]
+        g.add_edge(3, 4).unwrap();
+        g.add_edge(1, 3).unwrap();
+        g.add_edge(0, 4).unwrap();
+        g.add_edge(0, 3).unwrap();
+        g.add_edge(2, 4).unwrap();
+        assert_eq!(g.parents(4), &[3, 0, 2], "the fixture is out of order");
+        let decoded = decode_graph(&encode_graph(Some(&g)), 5)
+            .unwrap()
+            .expect("graph present");
+        for node in 0..5 {
+            assert_eq!(decoded.parents(node), g.parents(node), "parents of {node}");
+            assert_eq!(
+                decoded.children(node),
+                g.children(node),
+                "children of {node}"
+            );
+        }
+    }
+
     /// Re-emit a pack byte stream with `version` in the header and the
     /// config section's payload passed through `rewrite` (all other
     /// sections are copied verbatim, CRCs recomputed) — the one place
@@ -1083,19 +1236,19 @@ mod tests {
         out
     }
 
-    /// Overwrite the shard count of a v4 config payload (it sits just
-    /// before the trailing index flag, surrogates flag and surrogate
-    /// capacity).
+    /// Overwrite the shard count of a v5 config payload (it sits just
+    /// before the trailing index flag, surrogates flag, surrogate
+    /// capacity and row-version watermark).
     fn with_shard_count(count: u64) -> impl Fn(Vec<u8>) -> Vec<u8> {
         move |mut payload: Vec<u8>| {
             let n = payload.len();
-            payload[n - 18..n - 10].copy_from_slice(&count.to_le_bytes());
+            payload[n - 26..n - 18].copy_from_slice(&count.to_le_bytes());
             payload
         }
     }
 
     #[test]
-    fn v4_packs_round_trip_the_shard_count() {
+    fn v5_packs_round_trip_the_shard_count() {
         let engine = tiny_engine();
         let bytes = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
         let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
@@ -1108,12 +1261,12 @@ mod tests {
     #[test]
     fn v1_packs_still_read_and_restore_with_one_shard() {
         let engine = tiny_engine();
-        let v4 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
-        // v1 configs are a strict prefix of v4 ones: drop the trailing
-        // surrogate fields, index flag and shard count and stamp the
-        // old version
-        let v1 = rewrite_config(&v4, 1, |payload| {
-            let keep = payload.len() - 18;
+        let v5 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        // v1 configs are a strict prefix of v5 ones: drop the trailing
+        // watermark, surrogate fields, index flag and shard count and
+        // stamp the old version
+        let v1 = rewrite_config(&v5, 1, |payload| {
+            let keep = payload.len() - 26;
             payload[..keep].to_vec()
         });
         let (restored, _) = Pack::from_bytes(&v1).unwrap().restore_engine().unwrap();
@@ -1128,11 +1281,12 @@ mod tests {
     #[test]
     fn v2_packs_still_read_and_restore_without_an_index() {
         let engine = tiny_engine();
-        let v4 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
-        // v2 configs are a strict prefix of v4 ones: drop the trailing
-        // surrogate fields and index flag and stamp the old version
-        let v2 = rewrite_config(&v4, 2, |payload| {
-            let keep = payload.len() - 10;
+        let v5 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        // v2 configs are a strict prefix of v5 ones: drop the trailing
+        // watermark, surrogate fields and index flag and stamp the old
+        // version
+        let v2 = rewrite_config(&v5, 2, |payload| {
+            let keep = payload.len() - 18;
             payload[..keep].to_vec()
         });
         let (restored, _) = Pack::from_bytes(&v2).unwrap().restore_engine().unwrap();
@@ -1149,13 +1303,13 @@ mod tests {
         // warm a surrogate so the v4 writer would have carried it — the
         // v3 rewrite must drop it cleanly
         engine.prepare_surrogate(&[AttrId(0)]).unwrap();
-        let v4 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
-        // v3 configs are a strict prefix of v4 ones: drop the trailing
-        // surrogates flag + capacity and stamp the old version (also
-        // drop the v4-only surrogates section — v3 readers never wrote
-        // one)
-        let v3 = rewrite_config(&strip_section(&v4, TAG_SURROGATES), 3, |payload| {
-            let keep = payload.len() - 9;
+        let v5 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        // v3 configs are a strict prefix of v5 ones: drop the trailing
+        // watermark and surrogates flag + capacity and stamp the old
+        // version (also drop the v4-only surrogates section — v3
+        // readers never wrote one)
+        let v3 = rewrite_config(&strip_section(&v5, TAG_SURROGATES), 3, |payload| {
+            let keep = payload.len() - 17;
             payload[..keep].to_vec()
         });
         let (restored, _) = Pack::from_bytes(&v3).unwrap().restore_engine().unwrap();
@@ -1257,7 +1411,7 @@ mod tests {
         // clear the config's surrogates flag while keeping the section
         let cleared = rewrite_config(&bytes, FORMAT_VERSION, |mut payload| {
             let n = payload.len();
-            payload[n - 9] = 0;
+            payload[n - 17] = 0;
             payload
         });
         assert!(
@@ -1343,6 +1497,98 @@ mod tests {
         assert!(!sizes.iter().any(|&(name, _)| name == "index"));
         let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
         assert!(!restored.index_enabled());
+    }
+
+    #[test]
+    fn v4_packs_still_read_and_restore_frozen() {
+        let engine = tiny_engine();
+        let v5 = Pack::from_engine(&engine, PackMeta::default()).to_bytes();
+        // v4 configs are a strict prefix of v5 ones: drop the trailing
+        // watermark and stamp the old version
+        let v4 = rewrite_config(&v5, 4, |payload| {
+            let keep = payload.len() - 8;
+            payload[..keep].to_vec()
+        });
+        let (restored, _) = Pack::from_bytes(&v4).unwrap().restore_engine().unwrap();
+        assert_eq!(restored.shards(), 3, "v4 packs carry the shard layout");
+        assert_eq!(restored.delta_rows(), 0, "v4 packs predate live tables");
+        let a = engine.run(&ExplainRequest::Global).unwrap();
+        let b = restored.run(&ExplainRequest::Global).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    /// `tiny_engine` with three rows appended as a live delta shard.
+    fn live_engine() -> Engine {
+        let engine = tiny_engine();
+        let mut delta = Table::new(engine.table().schema().clone());
+        let mut appended = Vec::new();
+        for row in [[1, 1], [0, 0], [1, 0]] {
+            delta.push_row(&row).unwrap();
+            appended.push(row.to_vec());
+        }
+        engine.with_delta(Arc::new(delta), &appended).unwrap()
+    }
+
+    #[test]
+    fn v5_packs_round_trip_a_live_engine_mid_stream() {
+        let live = live_engine();
+        let _ = live.run(&ExplainRequest::Global).unwrap();
+        let bytes = Pack::from_engine(&live, PackMeta::default()).to_bytes();
+        let sizes = section_sizes(&bytes).unwrap();
+        assert!(
+            sizes.iter().any(|&(name, n)| name == "delta" && n > 0),
+            "live packs must carry a delta section: {sizes:?}"
+        );
+        let (version, watermark) = version_info(&bytes).unwrap();
+        assert_eq!(version, FORMAT_VERSION);
+        assert_eq!(watermark, Some(9), "watermark = 6 base + 3 delta rows");
+        let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
+        assert_eq!(restored.delta_rows(), 3, "the stream resumes mid-delta");
+        assert_eq!(restored.total_rows(), 9);
+        let a = live.run(&ExplainRequest::Global).unwrap();
+        let b = restored.run(&ExplainRequest::Global).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn frozen_packs_omit_the_delta_section_and_record_the_base_watermark() {
+        let bytes = Pack::from_engine(&tiny_engine(), PackMeta::default()).to_bytes();
+        let sizes = section_sizes(&bytes).unwrap();
+        assert!(!sizes.iter().any(|&(name, _)| name == "delta"));
+        assert_eq!(version_info(&bytes).unwrap(), (FORMAT_VERSION, Some(6)));
+    }
+
+    #[test]
+    fn watermark_disagreeing_with_the_sections_is_a_mismatch() {
+        let bytes = Pack::from_engine(&live_engine(), PackMeta::default()).to_bytes();
+        let tampered = rewrite_config(&bytes, FORMAT_VERSION, |mut payload| {
+            let n = payload.len();
+            payload[n - 8..].copy_from_slice(&999u64.to_le_bytes());
+            payload
+        });
+        assert!(
+            matches!(
+                Pack::from_bytes(&tampered),
+                Err(StoreError::Mismatch(m)) if m.contains("watermark")
+            ),
+            "a tampered watermark must be a mismatch"
+        );
+    }
+
+    #[test]
+    fn delta_sections_in_pre_v5_packs_are_a_mismatch() {
+        let bytes = Pack::from_engine(&live_engine(), PackMeta::default()).to_bytes();
+        // stamp v4 (dropping the watermark so the config parses) while
+        // leaving the delta section in place — no v4 writer ever
+        // produced one, so the pairing can only be crafted
+        let v4 = rewrite_config(&bytes, 4, |payload| {
+            let keep = payload.len() - 8;
+            payload[..keep].to_vec()
+        });
+        assert!(matches!(
+            Pack::from_bytes(&v4),
+            Err(StoreError::Mismatch(_))
+        ));
     }
 
     #[test]

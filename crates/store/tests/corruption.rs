@@ -587,9 +587,10 @@ fn index_of_a_different_table_is_a_mismatch() {
     assert!(matches!(err, StoreError::Mismatch(_)), "{err:?}");
 }
 
-/// Offset of the index flag from the end of a v4 config payload: the
-/// surrogates flag (1 byte) and surrogate capacity (8 bytes) trail it.
-const INDEX_FLAG_FROM_END: usize = 10;
+/// Offset of the index flag from the end of a v5 config payload: the
+/// surrogates flag (1 byte), surrogate capacity (8 bytes) and row-version
+/// watermark (8 bytes) trail it.
+const INDEX_FLAG_FROM_END: usize = 18;
 
 #[test]
 fn index_section_with_the_flag_off_is_a_mismatch() {
@@ -629,7 +630,7 @@ fn invalid_index_flag_byte_is_corrupt() {
 fn invalid_surrogates_flag_byte_is_corrupt() {
     let bytes = donor_bytes();
     let mut config = section_payload(&bytes, TAG_CONFIG);
-    let at = config.len() - 9; // just before the trailing capacity u64
+    let at = config.len() - 17; // before the trailing capacity + watermark
     config[at] = 3; // neither 0 nor 1
     let bad = rewrite_section(&bytes, TAG_CONFIG, Some(&config));
     match Pack::from_bytes(&bad).map(|_| ()).unwrap_err() {

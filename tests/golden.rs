@@ -108,9 +108,9 @@ fn golden_queries(engine: &lewis_core::Engine) -> Vec<(String, ExplainRequest)> 
 fn actual_for(name: &str) -> String {
     let mut registry = EngineRegistry::new();
     registry.load_builtin(name, ROWS, SEED).unwrap();
-    let engine = &registry.get(name).unwrap().engine;
+    let engine = registry.get(name).unwrap().engine();
     let mut out = String::new();
-    for (label, request) in golden_queries(engine) {
+    for (label, request) in golden_queries(&engine) {
         out.push_str(&label);
         out.push('\t');
         out.push_str(&render(&engine.run(&request)));
@@ -174,7 +174,7 @@ fn the_job_lane_replays_the_golden_recourse_answer() {
     let name = "drug";
     let mut registry = EngineRegistry::new();
     registry.load_builtin(name, ROWS, SEED).unwrap();
-    let engine = Arc::clone(&registry.get(name).unwrap().engine);
+    let engine = registry.get(name).unwrap().engine();
     let server = serve(&ServerConfig::default(), Arc::new(registry)).unwrap();
     let mut client = Client::connect(server.addr()).unwrap();
 
@@ -229,9 +229,9 @@ fn goldens_are_shard_invariant() {
         let mut sharded = EngineRegistry::new();
         sharded.set_default_shards(3);
         sharded.load_builtin(name, ROWS, SEED).unwrap();
-        let e_plain = &plain.get(name).unwrap().engine;
-        let e_sharded = &sharded.get(name).unwrap().engine;
-        for (label, request) in golden_queries(e_plain) {
+        let e_plain = plain.get(name).unwrap().engine();
+        let e_sharded = sharded.get(name).unwrap().engine();
+        for (label, request) in golden_queries(&e_plain) {
             assert_eq!(
                 render(&e_plain.run(&request)),
                 render(&e_sharded.run(&request)),

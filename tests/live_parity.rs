@@ -1,0 +1,281 @@
+//! Acceptance (lewis-live): a live table grown by replaying a random
+//! append stream is **byte-for-byte identical** to an engine cold-built
+//! over the concatenated table — for all six built-in datasets, shard
+//! counts {1, 4}, bitmap index on and off, every query kind (global,
+//! contextual global, contextual, local, recourse, batch), with the
+//! counting-pass cache cold *and* warm, before and after compaction —
+//! and a v5 pack saved mid-stream restores to an engine that resumes
+//! the same stream and still converges to the cold answer.
+//!
+//! Why this is exact (not approximate): appends maintain counts as
+//! integer base+delta sums merged in a fixed order, so the overlaid
+//! engine materializes literally the same `ArmTable` a contiguous scan
+//! of the concatenated table would, and compaction only re-derives that
+//! table. These tests are the fence around that argument.
+
+use lewis_core::blackbox::label_table;
+use lewis_core::{Engine, ExplainRequest, ExplainResponse, LewisError, RecourseOptions};
+use lewis_live::LiveEngine;
+use lewis_serve::{wire, BUILTINS};
+use lewis_store::{Pack, PackMeta};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tabular::{AttrId, Context, Table, Value};
+
+/// Generate a built-in dataset, oracle-labelled exactly the way the
+/// serving registry labels it (favourable = `outcome ≥ pivot`).
+fn builtin_world(name: &str, rows: usize, seed: u64) -> (Table, causal::Dag, AttrId, Vec<AttrId>) {
+    let dataset = match name {
+        "german_syn" => datasets::GermanSynDataset::standard().generate(rows, seed),
+        "german_syn_scaled" => datasets::german_syn_scaled(rows, seed),
+        "german" => datasets::GermanDataset::generate(rows, seed),
+        "adult" => datasets::AdultDataset::generate(rows, seed),
+        "compas" => datasets::CompasDataset::generate(rows, seed),
+        "drug" => datasets::DrugDataset::generate(rows, seed),
+        other => panic!("unknown built-in {other:?}"),
+    };
+    let pivot = BUILTINS
+        .iter()
+        .find(|&&(n, _)| n == name)
+        .expect("every generated name is in BUILTINS")
+        .1;
+    let datasets::Dataset {
+        table: mut t,
+        scm,
+        outcome,
+        features,
+        ..
+    } = dataset;
+    let oracle = move |row: &[Value]| u32::from(row[outcome.index()] >= pivot);
+    let pred = label_table(&mut t, &oracle, "pred").unwrap();
+    (t, scm.graph().clone(), pred, features)
+}
+
+fn build(
+    table: Table,
+    graph: &causal::Dag,
+    pred: AttrId,
+    features: &[AttrId],
+    shards: usize,
+    index: bool,
+) -> Engine {
+    Engine::builder(table)
+        .graph(graph)
+        .prediction(pred, 1)
+        .features(features)
+        .shards(shards)
+        .index(index)
+        .build()
+        .unwrap()
+}
+
+/// The first `rows` rows of `table`, as a fresh table over the same
+/// schema — the frozen base the append stream grows back to `table`.
+fn prefix(table: &Table, rows: usize) -> Table {
+    let mut out = Table::new(table.schema().clone());
+    for i in 0..rows {
+        out.push_row(&table.row(i).unwrap()).unwrap();
+    }
+    out
+}
+
+/// Render one engine answer into comparable bytes via the deterministic
+/// wire codec; errors render too — a live table must reproduce the cold
+/// build's failures exactly, not just its successes.
+fn response_bytes(result: &Result<ExplainResponse, LewisError>) -> String {
+    match result {
+        Ok(response) => wire::response_to_json(response).to_json(),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+/// Every query kind, aimed at real rows plus one likely-unsupported
+/// context so error parity is pinned too.
+fn probe_requests(engine: &Engine, seed: u64) -> Vec<ExplainRequest> {
+    let table = engine.table();
+    let features = engine.features();
+    let a = features[seed as usize % features.len()];
+    let b = features[(seed as usize + 1) % features.len()];
+    let row0 = table.row(seed as usize % table.n_rows()).unwrap();
+    let row1 = table.row((seed as usize * 7 + 3) % table.n_rows()).unwrap();
+    vec![
+        ExplainRequest::Global,
+        ExplainRequest::ContextualGlobal {
+            k: Context::of([(a, row0[a.index()])]),
+        },
+        ExplainRequest::Contextual {
+            attr: b,
+            k: Context::of([(a, row1[a.index()])]),
+        },
+        ExplainRequest::Local { row: row0.clone() },
+        ExplainRequest::Recourse {
+            row: row1,
+            actionable: vec![a, b],
+            opts: RecourseOptions::default(),
+        },
+        // a deliberately tight context, likely unsupported
+        ExplainRequest::Contextual {
+            attr: b,
+            k: Context::of(
+                features
+                    .iter()
+                    .filter(|f| **f != b)
+                    .map(|&f| (f, row0[f.index()])),
+            ),
+        },
+    ]
+}
+
+/// Run the probes cold, then again warm (all cache hits), asserting the
+/// engine is cache-stable; returns the cold bytes.
+fn sweep(engine: &Engine, requests: &[ExplainRequest]) -> Vec<String> {
+    let cold: Vec<String> = requests
+        .iter()
+        .map(|r| response_bytes(&engine.run(r)))
+        .collect();
+    let warm: Vec<String> = requests
+        .iter()
+        .map(|r| response_bytes(&engine.run(r)))
+        .collect();
+    assert_eq!(cold, warm, "answers must be cache-stable");
+    cold
+}
+
+/// Replay `full[base_rows..]` onto `live` in random-sized batches.
+fn replay(live: &LiveEngine, full: &Table, base_rows: usize, rng: &mut StdRng) {
+    let total = full.n_rows();
+    let mut i = base_rows;
+    while i < total {
+        let batch = rng.gen_range(1..8usize).min(total - i);
+        let rows: Vec<Vec<Value>> = (i..i + batch).map(|r| full.row(r).unwrap()).collect();
+        let receipt = live.append_rows(&rows).unwrap();
+        assert_eq!(receipt.appended, batch);
+        i += batch;
+    }
+    assert_eq!(live.status().total_rows, total);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline property: replaying a random append stream over any
+    /// built-in, any shard count, index on or off, answers every query
+    /// kind byte-identically to the cold build over the concatenated
+    /// table — before compaction, and again after.
+    #[test]
+    fn replayed_append_streams_match_cold_builds(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11FE);
+        let (name, _) = BUILTINS[(seed as usize) % BUILTINS.len()];
+        let shards = if seed % 2 == 0 { 1 } else { 4 };
+        let index = (seed / 2) % 2 == 1;
+        let total = rng.gen_range(120..200usize);
+        let appended = rng.gen_range(10..40usize);
+        let (full, graph, pred, features) = builtin_world(name, total, seed);
+        let total = full.n_rows();
+        let base_rows = total - appended;
+
+        let base = build(prefix(&full, base_rows), &graph, pred, &features, shards, index);
+        let live = LiveEngine::new(Arc::new(base));
+        replay(&live, &full, base_rows, &mut rng);
+
+        let cold = build(full.clone(), &graph, pred, &features, shards, index);
+        let requests = probe_requests(&cold, seed);
+        let want = sweep(&cold, &requests);
+        let overlaid = live.engine();
+        let got = sweep(&overlaid, &requests);
+        prop_assert_eq!(
+            &want, &got,
+            "{} diverged at {} shards, index {} (seed {})",
+            name, shards, index, seed
+        );
+        // the batch path shares passes across queries — same bytes
+        for (i, (w, g)) in cold
+            .run_batch(&requests)
+            .iter()
+            .zip(&overlaid.run_batch(&requests))
+            .enumerate()
+        {
+            prop_assert_eq!(
+                response_bytes(w),
+                response_bytes(g),
+                "batch slot #{} diverged ({}, seed {})",
+                i, name, seed
+            );
+        }
+
+        // compaction folds the delta without moving answers or the
+        // watermark, and the table keeps accepting appends afterwards
+        let version_before = live.status().version;
+        let receipt = live.compact().unwrap();
+        prop_assert!(!receipt.skipped);
+        prop_assert_eq!(receipt.pending_delta_rows, 0);
+        prop_assert_eq!(live.status().version, version_before);
+        let folded = live.engine();
+        prop_assert_eq!(folded.delta_rows(), 0, "compaction folded the delta");
+        let after = sweep(&folded, &requests);
+        prop_assert_eq!(
+            &want, &after,
+            "{} diverged after compaction (seed {})",
+            name, seed
+        );
+    }
+
+    /// A v5 pack written mid-stream restores to an engine that picks the
+    /// stream back up: the watermark survives the round-trip, the
+    /// resumed table accepts the remaining appends, and the final
+    /// answers are byte-identical to the cold build.
+    #[test]
+    fn a_v5_pack_saved_mid_stream_resumes_the_append_stream(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xACED);
+        let (name, _) = BUILTINS[(seed as usize + 3) % BUILTINS.len()];
+        let shards = if seed % 2 == 0 { 4 } else { 1 };
+        let index = (seed / 2) % 2 == 0;
+        let total = rng.gen_range(120..200usize);
+        let appended = rng.gen_range(12..40usize);
+        let (full, graph, pred, features) = builtin_world(name, total, seed);
+        let total = full.n_rows();
+        let base_rows = total - appended;
+        let pause_at = base_rows + appended / 2;
+
+        // first half of the stream, then freeze to pack bytes
+        let base = build(prefix(&full, base_rows), &graph, pred, &features, shards, index);
+        let live = LiveEngine::new(Arc::new(base));
+        replay(&live, &prefix(&full, pause_at), base_rows, &mut rng);
+        let bytes = Pack::from_engine(&live.engine(), PackMeta::default()).to_bytes();
+        let (version, watermark) = lewis_store::version_info(&bytes).unwrap();
+        prop_assert_eq!(version, 5);
+        prop_assert_eq!(watermark, Some(pause_at as u64), "watermark survives");
+
+        // restore and resume the second half on the revived table
+        let (restored, _) = Pack::from_bytes(&bytes).unwrap().restore_engine().unwrap();
+        prop_assert_eq!(restored.total_rows(), pause_at, "mid-stream rows survive");
+        let resumed = LiveEngine::new(Arc::new(restored));
+        prop_assert_eq!(resumed.status().version, pause_at as u64);
+        replay(&resumed, &full, pause_at, &mut rng);
+
+        let cold = build(full.clone(), &graph, pred, &features, shards, index);
+        let requests = probe_requests(&cold, seed);
+        let want = sweep(&cold, &requests);
+        let got = sweep(&resumed.engine(), &requests);
+        prop_assert_eq!(
+            &want, &got,
+            "{} diverged after pack round-trip (seed {})",
+            name, seed
+        );
+        // and the revived stream compacts cleanly too
+        resumed.compact().unwrap();
+        prop_assert_eq!(&want, &sweep(&resumed.engine(), &requests));
+    }
+}
+
+/// The CI matrix hooks: `LEWIS_TEST_SHARDS` / `LEWIS_TEST_INDEX` set
+/// builder defaults, so the parity suite above (which sets both
+/// explicitly) pins the same answers whatever the matrix leg.
+#[test]
+fn explicit_layout_beats_the_env_matrix_defaults() {
+    let (full, graph, pred, features) = builtin_world("german_syn", 150, 9);
+    let engine = build(full, &graph, pred, &features, 3, true);
+    assert_eq!(engine.shards(), 3);
+}

@@ -19,8 +19,11 @@ fn pack_served_engine_is_byte_identical_to_csv_served_engine() {
     {
         let mut seedreg = EngineRegistry::new();
         seedreg.load_builtin("german_syn", 700, 13).unwrap();
-        tabular::write_csv_file(seedreg.get("german_syn").unwrap().engine.table(), &csv_path)
-            .unwrap();
+        tabular::write_csv_file(
+            seedreg.get("german_syn").unwrap().engine().table(),
+            &csv_path,
+        )
+        .unwrap();
     }
 
     // one registry, two engines: the CSV directly, and a pack compiled
@@ -36,7 +39,7 @@ fn pack_served_engine_is_byte_identical_to_csv_served_engine() {
             GraphSpec::FullyConnected,
         )
         .unwrap();
-    warm_engine(&registry.get("from_csv").unwrap().engine, 32, 13).unwrap();
+    warm_engine(&registry.get("from_csv").unwrap().engine(), 32, 13).unwrap();
     registry
         .save_pack("from_csv", pack_path.to_str().unwrap())
         .unwrap();
@@ -134,7 +137,7 @@ fn warm_packed_metrics_expose_the_carried_cache() {
 
     let mut donor_reg = EngineRegistry::new();
     donor_reg.load_builtin("german_syn", 500, 2).unwrap();
-    warm_engine(&donor_reg.get("german_syn").unwrap().engine, 24, 2).unwrap();
+    warm_engine(&donor_reg.get("german_syn").unwrap().engine(), 24, 2).unwrap();
     donor_reg
         .save_pack("german_syn", pack_path.to_str().unwrap())
         .unwrap();

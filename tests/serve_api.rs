@@ -16,7 +16,7 @@ const ENGINE: &str = "german_syn";
 fn start() -> (Server, Arc<lewis_core::Engine>) {
     let mut registry = EngineRegistry::new();
     registry.load_builtin(ENGINE, 1500, 17).unwrap();
-    let engine = Arc::clone(&registry.get(ENGINE).unwrap().engine);
+    let engine = registry.get(ENGINE).unwrap().engine();
     let config = ServerConfig {
         workers: 2,
         max_body: 64 * 1024, // small enough to exercise 413 cheaply
