@@ -123,7 +123,7 @@ fn main() {
 
     // --- 2. mixed read+append serving through a background compaction ---
     let warmed = warm_engine(&engine, 256, SEED).unwrap();
-    let mut registry = EngineRegistry::new();
+    let registry = EngineRegistry::new();
     registry
         .insert(
             ENGINE_NAME,
@@ -155,6 +155,7 @@ fn main() {
             rows: WRITER_ROWS,
             batch: WRITER_BATCH,
         }),
+        ..LoadgenConfig::default()
     };
     let report = run_loadgen(&loadgen_config).unwrap();
     server.shutdown();

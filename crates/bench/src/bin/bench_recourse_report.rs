@@ -160,7 +160,7 @@ fn main() {
 
     // --- 3. mixed serving with the job lane ---
     let warmed = warm_engine(&engine, 256, SEED).unwrap();
-    let mut registry = EngineRegistry::new();
+    let registry = EngineRegistry::new();
     registry
         .insert(
             ENGINE_NAME,
@@ -189,6 +189,7 @@ fn main() {
         seed: SEED,
         job_lane: true,
         append_mix: None,
+        ..LoadgenConfig::default()
     };
     let report = run_loadgen(&loadgen_config).unwrap();
     server.shutdown();

@@ -41,6 +41,8 @@ const UNTRUSTED_INPUT_FILES: &[&str] = &[
     "crates/serve/src/http.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/registry.rs",
+    "crates/serve/src/router.rs",
+    "crates/serve/src/admission.rs",
     "crates/store/src/bytes.rs",
     "crates/store/src/pack.rs",
     "crates/index/src/codec.rs",

@@ -1,7 +1,7 @@
 //! The `lewis-serve` binary: load engines, bind, serve until asked to
 //! stop (`POST /admin/shutdown`).
 
-use lewis_serve::{serve, EngineRegistry, GraphSpec, ServerConfig, BUILTINS};
+use lewis_serve::{serve, AdmissionConfig, EngineRegistry, GraphSpec, ServerConfig, BUILTINS};
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -25,6 +25,13 @@ OPTIONS:
     --pack NAME=PATH       register an engine from a .lewis pack written by
                            lewis-pack — instant start, warm cache included
                            (repeatable)
+    --pack-dir DIR         register every .lewis pack found in DIR, named by
+                           file stem — how fleet replicas boot identical
+                           engine sets from a shared pack directory
+    --admission NAME=SPEC  admission control for engine NAME; SPEC is
+                           comma-separated knobs, e.g.
+                           rate:1200,inflight:64,queue:16,deadline_ms:50
+                           (rate:0 = uncapped; repeatable)
     --seed N               generation seed for built-ins (default 42)
     --shards N             fan counting passes over N row shards for
                            builtin/CSV engines (answers are identical for
@@ -44,6 +51,9 @@ ROUTES:
     GET  /v1/engines                      engines + schemas
     POST /v1/engines/{name}/explain       one request or {\"batch\": [...]}
     GET  /metrics                         counters, latency quantiles, cache stats
+    POST /admin/engines/{name}/load       hot-load a pack  {\"path\": \"...\"}
+    POST /admin/engines/{name}/swap       hot-swap a pack  {\"path\": \"...\"}
+    POST /admin/engines/{name}/unload     drop an engine
     POST /admin/shutdown                  graceful stop
 ";
 
@@ -64,6 +74,8 @@ fn main() {
     let mut builtins: Vec<(String, usize)> = Vec::new();
     let mut csvs: Vec<(String, String, String, String, bool)> = Vec::new();
     let mut packs: Vec<(String, String)> = Vec::new();
+    let mut pack_dirs: Vec<String> = Vec::new();
+    let mut admissions: Vec<(String, AdmissionConfig)> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -135,11 +147,21 @@ fn main() {
                 };
                 packs.push((name.to_string(), path.to_string()));
             }
+            "--pack-dir" => pack_dirs.push(value("--pack-dir")),
+            "--admission" => {
+                let spec = value("--admission");
+                let Some((name, knobs)) = spec.split_once('=') else {
+                    fail(&format!("--admission {spec:?}: expected NAME=SPEC"));
+                };
+                let config = AdmissionConfig::parse(knobs)
+                    .unwrap_or_else(|e| fail(&format!("--admission {spec:?}: {e}")));
+                admissions.push((name.to_string(), config));
+            }
             other => fail(&format!("unknown argument {other:?}")),
         }
     }
 
-    if builtins.is_empty() && csvs.is_empty() && packs.is_empty() {
+    if builtins.is_empty() && csvs.is_empty() && packs.is_empty() && pack_dirs.is_empty() {
         builtins.push(("german_syn".to_string(), 5000));
     }
 
@@ -172,6 +194,26 @@ fn main() {
         eprintln!("loading pack {name} from {path}...");
         if let Err(e) = registry.load_pack(name, path) {
             fail(&e.to_string());
+        }
+    }
+    for dir in &pack_dirs {
+        let found = match lewis_store::discover_packs(dir) {
+            Ok(found) => found,
+            Err(e) => fail(&e.to_string()),
+        };
+        if found.is_empty() {
+            fail(&format!("--pack-dir {dir:?}: no .lewis packs found"));
+        }
+        for (name, path) in found {
+            eprintln!("loading pack {name} from {}...", path.display());
+            if let Err(e) = registry.load_pack(&name, &path.to_string_lossy()) {
+                fail(&e.to_string());
+            }
+        }
+    }
+    for (name, admission) in &admissions {
+        if let Err(e) = registry.set_admission(name, admission.clone()) {
+            fail(&format!("--admission {name}: {e}"));
         }
     }
 

@@ -12,6 +12,15 @@ USAGE:
 
 OPTIONS:
     --addr ADDR         server address (default 127.0.0.1:7878)
+    --target ADDR       additional fleet target (repeatable); when given,
+                        worker i drives target[i mod N] — point several
+                        workers at several replicas, or at one router
+    --ramp SECS         stagger worker starts across SECS (default 0:
+                        all at once) — a slope instead of a step
+    --window SECS       soak mode: bucket outcomes and latencies into
+                        fixed windows of SECS and report the series
+    --backoff           honor shed responses: sleep retry_after_ms
+                        (capped at 20ms) after a typed 429
     --engine NAME       registered engine to query (default german_syn)
     --duration SECS     run length in seconds, fractional ok (default 10)
     --concurrency N     concurrent connections (default 2)
@@ -57,6 +66,28 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail("--addr expects host:port"))
             }
+            "--target" => {
+                let addr = value("--target")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--target expects host:port"));
+                config.targets.push(addr);
+            }
+            "--ramp" => {
+                let secs: f64 = value("--ramp")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--ramp expects seconds"));
+                config.ramp = Duration::from_secs_f64(secs);
+            }
+            "--window" => {
+                let secs: f64 = value("--window")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--window expects seconds"));
+                if secs <= 0.0 {
+                    fail("--window must be positive");
+                }
+                config.window = Some(Duration::from_secs_f64(secs));
+            }
+            "--backoff" => config.backoff = true,
             "--engine" => config.engine = value("--engine"),
             "--duration" => {
                 let secs: f64 = value("--duration")

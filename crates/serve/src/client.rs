@@ -15,6 +15,8 @@ use std::time::Duration;
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Headers of the most recent response (names lower-cased).
+    last_headers: Vec<(String, String)>,
 }
 
 impl Client {
@@ -28,7 +30,18 @@ impl Client {
         Ok(Client {
             writer,
             reader: BufReader::new(stream),
+            last_headers: Vec::new(),
         })
+    }
+
+    /// A header of the most recent response (name case-insensitive),
+    /// e.g. `x-engine-generation`.
+    pub fn response_header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.last_headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// `GET path` → `(status, parsed JSON body)`.
@@ -78,6 +91,7 @@ impl Client {
                 )
             })?;
         let mut content_length = 0usize;
+        self.last_headers.clear();
         loop {
             let mut line = String::new();
             self.reader.read_line(&mut line)?;
@@ -86,11 +100,14 @@ impl Client {
                 break;
             }
             if let Some((name, value)) = line.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().map_err(|_| {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| {
                         std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
                     })?;
                 }
+                self.last_headers.push((name, value.to_string()));
             }
         }
         let mut body = vec![0u8; content_length];

@@ -197,6 +197,9 @@ pub struct HttpResponse {
     pub body: Vec<u8>,
     /// Whether to close the connection after writing.
     pub close: bool,
+    /// Extra response headers (`x-engine-generation`, `retry-after`, …).
+    /// Names must be lower-case tokens; values must be header-safe.
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl HttpResponse {
@@ -207,6 +210,7 @@ impl HttpResponse {
             content_type: "application/json",
             body: body.to_json().into_bytes(),
             close: false,
+            headers: Vec::new(),
         }
     }
 
@@ -217,6 +221,7 @@ impl HttpResponse {
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
             close: false,
+            headers: Vec::new(),
         }
     }
 
@@ -224,6 +229,13 @@ impl HttpResponse {
     #[must_use]
     pub fn closing(mut self) -> Self {
         self.close = true;
+        self
+    }
+
+    /// Attach one extra response header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
         self
     }
 }
@@ -236,6 +248,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
@@ -254,6 +267,12 @@ pub fn write_response(writer: &mut impl Write, response: &HttpResponse) -> std::
         response.content_type,
         response.body.len()
     );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
     if response.close {
         head.push_str("connection: close\r\n");
     }
@@ -344,5 +363,19 @@ mod tests {
         assert!(text.contains("content-length: 4\r\n"));
         assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\nnope"));
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_body() {
+        let mut out = Vec::new();
+        let resp = HttpResponse::text(200, "ok")
+            .with_header("x-engine-generation", "7")
+            .with_header("retry-after", "1");
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("x-engine-generation: 7\r\n"), "{text}");
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("x-engine-generation").unwrap() < head_end);
     }
 }

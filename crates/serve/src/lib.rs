@@ -22,15 +22,24 @@
 //! * [`metrics`] — lock-free request/error counters, per-route latency
 //!   histograms (p50/p95/p99) and engine cache stats for
 //!   `GET /metrics`;
+//! * [`admission`] — per-engine QoS: token-bucket rate caps, bounded
+//!   in-flight/queue gates and typed `429` load shedding, so one hot
+//!   engine never starves the pool;
 //! * [`server`] — the `TcpListener` + bounded worker pool with
-//!   keep-alive, request-size limits and graceful shutdown;
+//!   keep-alive, request-size limits, graceful shutdown and the
+//!   `/admin/engines/{name}` hot lifecycle (load/swap/unload of
+//!   `.lewis` packs with a monotonic engine generation);
+//! * [`router`] — a std-only fleet front: round-robin over N replica
+//!   processes with health-check eviction and per-replica forward
+//!   counters;
 //! * [`client`] — the minimal blocking client the tests and the
 //!   `loadgen` binary drive the server with.
 //!
-//! Two binaries ship with the crate: `lewis-serve` (the server) and
-//! `loadgen` (a mixed-workload load generator printing throughput and
-//! tail latencies — the repo's end-to-end serving benchmark, see
-//! `BENCH_serve.json`).
+//! Three binaries ship with the crate: `lewis-serve` (the server),
+//! `lewis-router` (the replica front) and `loadgen` (a mixed-workload
+//! load generator with ramp/soak profiles printing throughput and tail
+//! latencies — the repo's end-to-end serving benchmarks, see
+//! `BENCH_serve.json` and `BENCH_fleet.json`).
 //!
 //! ## The wire codec in one example
 //!
@@ -52,18 +61,22 @@
 //! assert_eq!(format!("{decoded:?}"), format!("{request:?}"));
 //! ```
 
+pub mod admission;
 pub mod client;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
 pub mod registry;
+pub mod router;
 pub mod server;
 pub mod warm;
 pub mod wire;
 
+pub use admission::{Admission, AdmissionConfig, AdmissionStats, ShedReason};
 pub use client::Client;
 pub use metrics::{Metrics, Route};
 pub use registry::{EngineEntry, EngineRegistry, GraphSpec, BUILTINS};
+pub use router::{route_serve, Router, RouterConfig};
 pub use server::{serve, Server, ServerConfig};
 pub use wire::Json;
 
@@ -72,6 +85,13 @@ pub use wire::Json;
 pub enum ServeError {
     /// Invalid configuration (bad engine name, unknown dataset, …).
     Config(String),
+    /// A lifecycle operation named an engine that is not registered
+    /// (served as a `404`).
+    UnknownEngine(String),
+    /// A hot swap offered a pack whose schema differs from the engine
+    /// it would replace (served as a `409`; the old engine keeps
+    /// serving).
+    SchemaMismatch(String),
     /// An explanation-engine error during setup.
     Lewis(lewis_core::LewisError),
     /// A data-layer error (CSV loading, schema lookups).
@@ -86,6 +106,8 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Config(msg) => write!(f, "configuration error: {msg}"),
+            ServeError::UnknownEngine(name) => write!(f, "no engine named {name:?}"),
+            ServeError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             ServeError::Lewis(e) => write!(f, "engine error: {e}"),
             ServeError::Tabular(e) => write!(f, "data error: {e}"),
             ServeError::Store(e) => write!(f, "pack error: {e}"),

@@ -67,6 +67,25 @@ pub struct AppendMix {
 pub struct LoadgenConfig {
     /// Server address.
     pub addr: SocketAddr,
+    /// Additional fleet targets. When non-empty, worker `i` connects to
+    /// `targets[i % targets.len()]` instead of `addr` (workload
+    /// discovery and the writer lane still use `addr`, which may itself
+    /// appear in the list). This is how the generator drives several
+    /// replicas — or one router — as one workload.
+    pub targets: Vec<SocketAddr>,
+    /// Stagger worker starts linearly across this span (0 = all at
+    /// once). A ramp turns the step load into a slope, which is what a
+    /// fleet's admission gates see in production.
+    pub ramp: Duration,
+    /// Soak mode: when set, outcomes and latencies are additionally
+    /// bucketed into fixed windows of this width, reported in
+    /// [`LoadReport::windows`] — the per-window series is how a soak
+    /// run proves stability (no creeping p99, no error bursts) rather
+    /// than just averages.
+    pub window: Option<Duration>,
+    /// Honor shed responses: sleep `retry_after_ms` (capped at 20ms)
+    /// after a 429 before the next query, like a well-behaved client.
+    pub backoff: bool,
     /// Which registered engine to hammer.
     pub engine: String,
     /// How long to run.
@@ -97,6 +116,10 @@ impl Default for LoadgenConfig {
     fn default() -> Self {
         LoadgenConfig {
             addr: "127.0.0.1:7878".parse().expect("valid literal"),
+            targets: Vec::new(),
+            ramp: Duration::ZERO,
+            window: None,
+            backoff: false,
             engine: "german_syn".to_string(),
             duration: Duration::from_secs(10),
             concurrency: 2,
@@ -152,6 +175,25 @@ pub struct AppendReport {
     pub max_us: u64,
 }
 
+/// One fixed-width slice of a soak run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoakWindow {
+    /// Queries answered 2xx in this window.
+    pub ok: u64,
+    /// Admission sheds (typed 429s) in this window.
+    pub shed: u64,
+    /// Expected 422s in this window.
+    pub unsupported: u64,
+    /// Real failures in this window.
+    pub other_errors: u64,
+    /// HTTP round-trips in this window.
+    pub round_trips: u64,
+    /// Median latency in this window, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile latency in this window.
+    pub p99_us: u64,
+}
+
 /// What one run measured.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
@@ -162,8 +204,15 @@ pub struct LoadReport {
     /// to produce some of these (rows landing in unpopulated contexts),
     /// so they are tracked apart from real failures.
     pub unsupported: u64,
+    /// Queries shed by admission control — typed 429s whose code is
+    /// `overloaded` / `queue_full` / `deadline_exceeded`. Sheds are the
+    /// *designed* response of a loaded fleet, so like `unsupported`
+    /// they are tracked apart from `other_errors` (every zero-error
+    /// gate in the benches and CI stays a gate on real failures).
+    pub shed: u64,
     /// Everything else that went wrong: protocol errors, 4xx/5xx other
-    /// than expected 422s, malformed bodies. A healthy run has zero.
+    /// than expected 422s/429s, malformed bodies. A healthy run has
+    /// zero.
     pub other_errors: u64,
     /// HTTP round-trips performed.
     pub round_trips: u64,
@@ -190,6 +239,8 @@ pub struct LoadReport {
     /// configured. Read errors during compaction still land in
     /// `other_errors` — this tracks the write side only.
     pub append: Option<AppendReport>,
+    /// Per-window series; present exactly when `window` was configured.
+    pub windows: Option<Vec<SoakWindow>>,
 }
 
 impl LoadReport {
@@ -202,15 +253,16 @@ impl LoadReport {
     pub fn render(&self) -> String {
         let mut out = format!(
             "{} queries in {:.2}s over {} round-trips → {:.0} q/s \
-             ({} ok, {} unsupported-by-data, {} other errors)\nlatency per round-trip: \
+             ({} ok, {} unsupported-by-data, {} shed, {} other errors)\nlatency per round-trip: \
              p50 {}µs, p95 {}µs, \
              p99 {}µs, max {}µs\nmix sent: {} global / {} contextual / {} local / {} recourse",
-            self.ok + self.errors(),
+            self.ok + self.errors() + self.shed,
             self.wall.as_secs_f64(),
             self.round_trips,
             self.qps,
             self.ok,
             self.unsupported,
+            self.shed,
             self.other_errors,
             self.p50_us,
             self.p95_us,
@@ -229,6 +281,14 @@ impl LoadReport {
                 out.push_str(&format!(
                     "\n  {name:<10} {} round-trips: p50 {}µs, p95 {}µs, p99 {}µs, max {}µs",
                     k.count, k.p50_us, k.p95_us, k.p99_us, k.max_us,
+                ));
+            }
+        }
+        if let Some(windows) = &self.windows {
+            for (i, w) in windows.iter().enumerate() {
+                out.push_str(&format!(
+                    "\n  window {i:<3} {} ok, {} shed, {} other errors: p50 {}µs, p99 {}µs",
+                    w.ok, w.shed, w.other_errors, w.p50_us, w.p99_us,
                 ));
             }
         }
@@ -292,6 +352,24 @@ impl LoadReport {
                 ("batch", Json::num(am.batch as u32)),
             ]),
         };
+        let windows = match &self.windows {
+            None => Json::Null,
+            Some(ws) => Json::Arr(
+                ws.iter()
+                    .map(|w| {
+                        Json::obj([
+                            ("ok", Json::num(w.ok as f64)),
+                            ("shed", Json::num(w.shed as f64)),
+                            ("unsupported", Json::num(w.unsupported as f64)),
+                            ("other_errors", Json::num(w.other_errors as f64)),
+                            ("round_trips", Json::num(w.round_trips as f64)),
+                            ("p50_us", Json::num(w.p50_us as f64)),
+                            ("p99_us", Json::num(w.p99_us as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        };
         Json::obj([
             (
                 "config",
@@ -315,6 +393,25 @@ impl LoadReport {
                     ("seed", Json::Num(config.seed as f64)),
                     ("job_lane", Json::Bool(config.job_lane)),
                     ("append_mix", append_mix),
+                    (
+                        "targets",
+                        Json::Arr(
+                            config
+                                .targets
+                                .iter()
+                                .map(|a| Json::str(a.to_string()))
+                                .collect(),
+                        ),
+                    ),
+                    ("ramp_s", Json::Num(config.ramp.as_secs_f64())),
+                    (
+                        "window_s",
+                        match config.window {
+                            None => Json::Null,
+                            Some(w) => Json::Num(w.as_secs_f64()),
+                        },
+                    ),
+                    ("backoff", Json::Bool(config.backoff)),
                 ]),
             ),
             (
@@ -324,6 +421,7 @@ impl LoadReport {
                     ("ok", Json::num(self.ok as f64)),
                     ("errors", Json::num(self.errors() as f64)),
                     ("unsupported", Json::num(self.unsupported as f64)),
+                    ("shed", Json::num(self.shed as f64)),
                     ("other_errors", Json::num(self.other_errors as f64)),
                     ("round_trips", Json::num(self.round_trips as f64)),
                     ("wall_s", Json::Num(self.wall.as_secs_f64())),
@@ -333,6 +431,7 @@ impl LoadReport {
                     ("max_us", Json::num(self.max_us as f64)),
                     ("latency_by_kind", by_kind),
                     ("append", append),
+                    ("windows", windows),
                 ]),
             ),
         ])
@@ -530,7 +629,16 @@ fn is_expected_code(code: Option<&str>) -> bool {
     matches!(code, Some("unsupported") | Some("no_recourse"))
 }
 
-/// Count a response against the ok / unsupported / other-error
+/// Whether an error code is an admission shed (a typed 429). Sheds are
+/// load-control doing its job, never a real failure.
+fn is_shed_code(code: Option<&str>) -> bool {
+    matches!(
+        code,
+        Some("overloaded") | Some("queue_full") | Some("deadline_exceeded")
+    )
+}
+
+/// Count a response against the ok / unsupported / shed / other-error
 /// counters. Batch bodies are unpacked per inner result.
 fn tally(status: u16, body: &Json, queries: u64, stats: &mut Tally) {
     let code_of =
@@ -538,6 +646,8 @@ fn tally(status: u16, body: &Json, queries: u64, stats: &mut Tally) {
     if status != 200 {
         if status == 422 && is_expected_code(code_of(body).as_deref()) {
             stats.unsupported += queries;
+        } else if status == 429 && is_shed_code(code_of(body).as_deref()) {
+            stats.shed += queries;
         } else {
             stats.other_errors += queries;
         }
@@ -557,12 +667,22 @@ fn tally(status: u16, body: &Json, queries: u64, stats: &mut Tally) {
     }
 }
 
-/// The three outcome counters `tally` fills in.
-#[derive(Default)]
+/// The outcome counters `tally` fills in.
+#[derive(Default, Clone, Copy)]
 struct Tally {
     ok: u64,
     unsupported: u64,
+    shed: u64,
     other_errors: u64,
+}
+
+impl Tally {
+    fn add(&mut self, other: &Tally) {
+        self.ok += other.ok;
+        self.unsupported += other.unsupported;
+        self.shed += other.shed;
+        self.other_errors += other.other_errors;
+    }
 }
 
 /// The writer lane: one dedicated connection appending `mix.rows`
@@ -578,7 +698,8 @@ fn run_writer(
     deadline: Instant,
 ) -> std::io::Result<WriterStats> {
     let mut rng = Rng::new(config.seed ^ 0xA99E_17D5_C0FF_EE11);
-    let mut client = Client::connect(config.addr)?;
+    let front = config.targets.first().copied().unwrap_or(config.addr);
+    let mut client = Client::connect(front)?;
     let path = format!("/v1/engines/{}/rows", config.engine);
     let batch = mix.batch.max(1) as u64;
     let n_batches = mix.rows.div_ceil(batch);
@@ -617,7 +738,11 @@ fn run_writer(
 
 /// Run the workload and gather the report.
 pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
-    let shape = discover(config.addr, &config.engine)?;
+    // in fleet mode the first target speaks for the fleet (replicas
+    // share a pack set, so any of them can describe the workload); the
+    // writer lane also lands there so appends hit exactly one replica
+    let front = config.targets.first().copied().unwrap_or(config.addr);
+    let shape = discover(front, &config.engine)?;
     let shape = std::sync::Arc::new(shape);
     let started = Instant::now();
     let deadline = started + config.duration;
@@ -634,7 +759,20 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         handles.push(std::thread::spawn(
             move || -> std::io::Result<WorkerStats> {
                 let mut rng = Rng::new(config.seed ^ (w as u64).wrapping_mul(0x9E37_79B9));
-                let mut client = Client::connect(config.addr)?;
+                // fleet mode: workers spread round-robin over the targets
+                let target = match config.targets.as_slice() {
+                    [] => config.addr,
+                    targets => targets[w % targets.len()],
+                };
+                // ramp: worker w joins at started + ramp * w / workers
+                if !config.ramp.is_zero() && workers > 1 {
+                    let due = started + config.ramp.mul_f64(w as f64 / workers as f64);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                }
+                let mut client = Client::connect(target)?;
                 let mut stats = WorkerStats::default();
                 let path = format!("/v1/engines/{}/explain", config.engine);
                 let async_path = format!("{path}?mode=async");
@@ -664,7 +802,25 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
                     if n == 1 {
                         stats.latencies_by_kind[single_kind].push(us);
                     }
-                    tally(status, &answer, n as u64, &mut stats.tally);
+                    let mut one = Tally::default();
+                    tally(status, &answer, n as u64, &mut one);
+                    stats.tally.add(&one);
+                    if let Some(window) = config.window {
+                        let idx = (sent.saturating_duration_since(started).as_nanos()
+                            / window.as_nanos().max(1)) as usize;
+                        if stats.windows.len() <= idx {
+                            stats.windows.resize_with(idx + 1, WindowStats::default);
+                        }
+                        stats.windows[idx].tally.add(&one);
+                        stats.windows[idx].latencies_us.push(us);
+                    }
+                    if config.backoff && status == 429 {
+                        let retry = answer
+                            .get("retry_after_ms")
+                            .and_then(Json::as_f64)
+                            .unwrap_or(1.0);
+                        std::thread::sleep(Duration::from_millis((retry as u64).clamp(1, 20)));
+                    }
                 }
                 Ok(stats)
             },
@@ -676,9 +832,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         let stats = h
             .join()
             .map_err(|_| std::io::Error::other("loadgen worker panicked"))??;
-        merged.tally.ok += stats.tally.ok;
-        merged.tally.unsupported += stats.tally.unsupported;
-        merged.tally.other_errors += stats.tally.other_errors;
+        merged.tally.add(&stats.tally);
         merged.latencies_us.extend(stats.latencies_us);
         for (into, from) in merged
             .latencies_by_kind
@@ -689,6 +843,15 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         }
         for (into, from) in merged.sent_by_kind.iter_mut().zip(stats.sent_by_kind) {
             *into += from;
+        }
+        if merged.windows.len() < stats.windows.len() {
+            merged
+                .windows
+                .resize_with(stats.windows.len(), WindowStats::default);
+        }
+        for (into, from) in merged.windows.iter_mut().zip(stats.windows) {
+            into.tally.add(&from.tally);
+            into.latencies_us.extend(from.latencies_us);
         }
     }
     let append = match writer {
@@ -728,10 +891,30 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         }
         kinds
     });
-    let total = merged.tally.ok + merged.tally.unsupported + merged.tally.other_errors;
+    let windows = config.window.map(|_| {
+        merged
+            .windows
+            .iter_mut()
+            .map(|w| {
+                w.latencies_us.sort_unstable();
+                SoakWindow {
+                    ok: w.tally.ok,
+                    shed: w.tally.shed,
+                    unsupported: w.tally.unsupported,
+                    other_errors: w.tally.other_errors,
+                    round_trips: w.latencies_us.len() as u64,
+                    p50_us: quantile_of(&w.latencies_us, 0.50),
+                    p99_us: quantile_of(&w.latencies_us, 0.99),
+                }
+            })
+            .collect()
+    });
+    let total =
+        merged.tally.ok + merged.tally.unsupported + merged.tally.shed + merged.tally.other_errors;
     Ok(LoadReport {
         ok: merged.tally.ok,
         unsupported: merged.tally.unsupported,
+        shed: merged.tally.shed,
         other_errors: merged.tally.other_errors,
         round_trips: merged.latencies_us.len() as u64,
         wall,
@@ -743,6 +926,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<LoadReport> {
         sent_by_kind: merged.sent_by_kind,
         by_kind,
         append,
+        windows,
     })
 }
 
@@ -761,6 +945,15 @@ struct WorkerStats {
     latencies_us: Vec<u64>,
     sent_by_kind: [u64; 4],
     latencies_by_kind: [Vec<u64>; 4],
+    /// Per-window buckets; only filled in soak mode.
+    windows: Vec<WindowStats>,
+}
+
+/// Raw per-window counters, reduced to [`SoakWindow`]s at the end.
+#[derive(Default)]
+struct WindowStats {
+    tally: Tally,
+    latencies_us: Vec<u64>,
 }
 
 /// Raw writer-lane counters, reduced to an [`AppendReport`] at the end
@@ -870,6 +1063,22 @@ mod tests {
     }
 
     #[test]
+    fn tally_classifies_typed_429s_as_sheds_not_failures() {
+        let mut t = Tally::default();
+        for code in ["overloaded", "queue_full", "deadline_exceeded"] {
+            let body = Json::parse(&format!(
+                r#"{{"error":{{"code":"{code}","message":"x"}},"retry_after_ms":5}}"#
+            ))
+            .unwrap();
+            tally(429, &body, 1, &mut t);
+        }
+        assert_eq!((t.ok, t.shed, t.other_errors), (0, 3, 0));
+        // an untyped 429 is NOT a shed — something else refused us
+        tally(429, &Json::Null, 1, &mut t);
+        assert_eq!((t.shed, t.other_errors), (3, 1));
+    }
+
+    #[test]
     fn nearest_rank_quantiles_are_exact_on_small_samples() {
         assert_eq!(quantile_of(&[], 0.5), 0);
         let sorted = [10, 20, 30, 40, 100];
@@ -892,6 +1101,7 @@ mod tests {
         let report = LoadReport {
             ok: 7,
             unsupported: 0,
+            shed: 0,
             other_errors: 0,
             round_trips: 7,
             wall: Duration::from_secs(1),
@@ -903,6 +1113,7 @@ mod tests {
             sent_by_kind: [0, 7, 0, 0],
             by_kind: Some(by_kind),
             append: None,
+            windows: None,
         };
         let rendered = report.render();
         assert!(
@@ -938,6 +1149,7 @@ mod tests {
         let base = LoadReport {
             ok: 3,
             unsupported: 0,
+            shed: 0,
             other_errors: 0,
             round_trips: 3,
             wall: Duration::from_secs(1),
@@ -958,6 +1170,7 @@ mod tests {
                 p99_us: 400,
                 max_us: 512,
             }),
+            windows: None,
         };
         let rendered = base.render();
         assert!(

@@ -237,15 +237,31 @@ impl Metrics {
             ));
         }
         let engines: Vec<(String, Json)> = registry
+            .snapshot()
             .iter()
             .map(|(name, entry)| {
                 let engine = entry.engine();
                 let live = entry.live.status();
                 let stats = engine.cache_stats();
                 let surrogates = engine.surrogate_stats();
+                let admission = entry.admission.stats();
                 (
                     name.to_string(),
                     Json::obj([
+                        ("generation", Json::num(entry.generation as f64)),
+                        (
+                            "admission",
+                            Json::obj([
+                                ("admitted", Json::num(admission.admitted as f64)),
+                                ("shed_total", Json::num(admission.shed_total() as f64)),
+                                ("shed_rate", Json::num(admission.shed_rate as f64)),
+                                (
+                                    "shed_queue_full",
+                                    Json::num(admission.shed_queue_full as f64),
+                                ),
+                                ("shed_deadline", Json::num(admission.shed_deadline as f64)),
+                            ]),
+                        ),
                         (
                             "counting_cache",
                             Json::obj([
@@ -295,6 +311,10 @@ impl Metrics {
             .collect();
         Json::obj([
             ("uptime_s", Json::Num(self.started.elapsed().as_secs_f64())),
+            (
+                "generation",
+                Json::num(registry.current_generation() as f64),
+            ),
             ("routes", Json::Obj(routes)),
             ("engines", Json::Obj(engines)),
         ])

@@ -1,4 +1,5 @@
-//! The engine registry: one process, many named [`Engine`]s.
+//! The engine registry: one process, many named [`Engine`]s — with a
+//! hot lifecycle.
 //!
 //! A serving deployment rarely explains a single model over a single
 //! table — the paper's own evaluation walks four datasets plus a
@@ -26,7 +27,31 @@
 //!   `lewis-pack` or [`EngineRegistry::save_pack`]. Pack boot skips CSV
 //!   parsing, order inference *and* cache warm-up, and the restored
 //!   engine is byte-identical to its donor.
+//!
+//! ## The hot lifecycle
+//!
+//! Boot-time loading takes `&mut self`; once the registry is behind the
+//! server's `Arc` the *admin* methods take over — they synchronize on
+//! an interior `RwLock`, so `POST /admin/engines/{name}/load`, `/swap`
+//! and `/unload` mutate a live registry while workers keep answering:
+//!
+//! * [`EngineRegistry::admin_load_pack`] registers a new engine from a
+//!   pack without a restart;
+//! * [`EngineRegistry::swap_pack`] atomically replaces an engine with a
+//!   pack of the **same schema** (a foreign-schema pack is rejected and
+//!   the old engine keeps serving). Requests already holding the old
+//!   entry finish against it — entries are `Arc`s, nothing is torn
+//!   down under a reader — and the entry's [`Admission`] gate (knobs
+//!   *and* shed counters) carries over to the swapped-in engine;
+//! * [`EngineRegistry::unload`] removes an engine; again, in-flight
+//!   holders finish undisturbed.
+//!
+//! Every successful load or swap stamps the entry with a registry-wide
+//! monotonically increasing **generation**, exposed in `/v1/engines`,
+//! `/metrics` and the `x-engine-generation` response header, so a
+//! client can tell exactly which engine build answered.
 
+use crate::admission::{Admission, AdmissionConfig};
 use crate::ServeError;
 use causal::discovery::{pc_algorithm, Cpdag, PcOptions};
 use causal::Dag;
@@ -34,7 +59,8 @@ use lewis_core::blackbox::label_table;
 use lewis_core::Engine;
 use lewis_live::LiveEngine;
 use lewis_store::{Pack, PackMeta};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use tabular::AttrId;
 
 /// Serving-oriented default for the engine's counting-pass cache: a
@@ -78,10 +104,18 @@ pub struct EngineEntry {
     pub pred_name: String,
     /// The favourable outcome code.
     pub positive: tabular::Value,
+    /// Registry-wide monotonic build number, stamped at registration
+    /// (and re-stamped by every [`EngineRegistry::swap_pack`]). `0`
+    /// until the entry is inserted.
+    pub generation: u64,
+    /// The per-engine admission gate. Swaps carry the same `Arc` over,
+    /// so QoS knobs and shed counters survive pack churn.
+    pub admission: Arc<Admission>,
 }
 
 impl EngineEntry {
-    /// Wrap `engine` in a fresh live table.
+    /// Wrap `engine` in a fresh live table (generation `0`, unlimited
+    /// admission; both are assigned for real at registration).
     pub fn from_engine(
         engine: impl Into<Arc<Engine>>,
         source: String,
@@ -95,6 +129,8 @@ impl EngineEntry {
             graph,
             pred_name,
             positive,
+            generation: 0,
+            admission: Arc::new(Admission::new(AdmissionConfig::unlimited())),
         }
     }
 
@@ -107,9 +143,16 @@ impl EngineEntry {
 
 /// A name → engine map with deterministic iteration order (insertion
 /// order, which for CLI-built registries is argument order).
+///
+/// Lookups and the admin lifecycle synchronize on an interior
+/// `RwLock`, so a registry behind the server's `Arc` supports hot
+/// load/swap/unload while every worker keeps reading.
 #[derive(Default)]
 pub struct EngineRegistry {
-    entries: Vec<(String, EngineEntry)>,
+    entries: RwLock<Vec<(String, Arc<EngineEntry>)>>,
+    /// The last generation number handed out; `fetch_add + 1` stamps
+    /// each registered or swapped-in entry.
+    generation: AtomicU64,
     /// Row shards for engines built here (`None` = the engine builder's
     /// default). Pack-loaded engines keep their donor's layout instead.
     shards: Option<usize>,
@@ -156,28 +199,24 @@ impl EngineRegistry {
     }
 
     /// Register `engine` under `name`. Names are unique.
-    pub fn insert(
-        &mut self,
-        name: impl Into<String>,
-        entry: EngineEntry,
-    ) -> Result<(), ServeError> {
-        let name = name.into();
-        if name.is_empty()
-            || !name
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
-        {
-            return Err(ServeError::Config(format!(
-                "engine name {name:?} must be non-empty [A-Za-z0-9_-]"
-            )));
-        }
-        if self.get(&name).is_some() {
+    pub fn insert(&self, name: impl Into<String>, entry: EngineEntry) -> Result<(), ServeError> {
+        self.insert_entry(name.into(), entry).map(|_generation| ())
+    }
+
+    /// [`EngineRegistry::insert`] returning the generation stamped onto
+    /// the new entry.
+    fn insert_entry(&self, name: String, mut entry: EngineEntry) -> Result<u64, ServeError> {
+        validate_name(&name)?;
+        let mut entries = write_entries(&self.entries);
+        if entries.iter().any(|(n, _)| *n == name) {
             return Err(ServeError::Config(format!(
                 "engine {name:?} is already registered"
             )));
         }
-        self.entries.push((name, entry));
-        Ok(())
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        entry.generation = generation;
+        entries.push((name, Arc::new(entry)));
+        Ok(generation)
     }
 
     /// Generate a built-in dataset, label it with its oracle decision
@@ -332,20 +371,106 @@ impl EngineRegistry {
     /// warm-up — the engine arrives exactly as its donor was
     /// snapshotted, warm cache included.
     pub fn load_pack(&mut self, name: &str, path: &str) -> Result<(), ServeError> {
-        let (engine, meta) = lewis_store::load_engine(path)?;
-        let pred = engine.estimator().pred_attr();
-        let pred_name = engine.table().schema().name(pred).to_string();
-        let positive = engine.estimator().positive();
-        self.insert(
-            name,
-            EngineEntry::from_engine(
-                engine,
-                format!("pack:{path} ({})", meta.source),
-                meta.graph,
-                pred_name,
-                positive,
-            ),
-        )
+        let entry = entry_from_pack(path)?;
+        self.insert(name, entry)
+    }
+
+    /// The hot-lifecycle cousin of [`EngineRegistry::load_pack`]:
+    /// `&self`, so it works through the server's `Arc` on a registry
+    /// that is already serving. Returns the new entry's generation.
+    pub fn admin_load_pack(&self, name: &str, path: &str) -> Result<u64, ServeError> {
+        let entry = entry_from_pack(path)?;
+        self.insert_entry(name.to_string(), entry)
+    }
+
+    /// Atomically replace the engine named `name` with the one in the
+    /// pack at `path`.
+    ///
+    /// The pack must carry the **same schema** as the engine it
+    /// replaces — a swap is a data/model refresh, not a contract
+    /// change; a foreign-schema pack is rejected with
+    /// [`ServeError::SchemaMismatch`] and the old engine keeps serving.
+    /// Requests that already resolved the old entry finish against it
+    /// (entries are `Arc`s); the entry's admission gate carries over so
+    /// QoS knobs and shed counters survive the swap. Returns the new
+    /// generation.
+    ///
+    /// ```
+    /// use lewis_serve::EngineRegistry;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("lewis-doc-swap-{}", std::process::id()));
+    /// std::fs::create_dir_all(&dir).unwrap();
+    /// let pack = dir.join("engine.lewis");
+    /// let pack = pack.to_str().unwrap();
+    ///
+    /// // bake a pack, then drive the hot lifecycle on a live registry
+    /// let mut donor = EngineRegistry::new();
+    /// donor.load_builtin("german_syn", 200, 7).unwrap();
+    /// donor.save_pack("german_syn", pack).unwrap();
+    ///
+    /// let reg = EngineRegistry::new(); // note: not `mut` — the hot path is `&self`
+    /// let gen1 = reg.admin_load_pack("credit", pack).unwrap();
+    /// let gen2 = reg.swap_pack("credit", pack).unwrap();
+    /// assert!(gen2 > gen1, "every swap advances the generation");
+    ///
+    /// // the swapped-in engine answers immediately
+    /// let engine = reg.get("credit").unwrap().engine();
+    /// assert!(engine.run(&lewis_core::ExplainRequest::Global).is_ok());
+    /// std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn swap_pack(&self, name: &str, path: &str) -> Result<u64, ServeError> {
+        let old = self
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownEngine(name.to_string()))?;
+        let mut entry = entry_from_pack(path)?;
+        let old_engine = old.engine();
+        let new_engine = entry.engine();
+        if new_engine.table().schema() != old_engine.table().schema() {
+            return Err(ServeError::SchemaMismatch(format!(
+                "pack {path:?} carries a different schema than engine {name:?} \
+                 (swap refreshes data, it must not change the contract; \
+                 use load under a new name instead)"
+            )));
+        }
+        entry.admission = Arc::clone(&old.admission);
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        entry.generation = generation;
+        let entry = Arc::new(entry);
+        let mut entries = write_entries(&self.entries);
+        // re-resolve under the write lock: a concurrent unload between
+        // our `get` and here must surface, not resurrect the engine
+        let Some(slot) = entries.iter_mut().find(|(n, _)| n == name) else {
+            return Err(ServeError::UnknownEngine(name.to_string()));
+        };
+        slot.1 = entry;
+        Ok(generation)
+    }
+
+    /// Remove the engine named `name`. In-flight requests holding the
+    /// entry finish against it; new lookups miss immediately.
+    pub fn unload(&self, name: &str) -> Result<(), ServeError> {
+        let mut entries = write_entries(&self.entries);
+        let Some(pos) = entries.iter().position(|(n, _)| n == name) else {
+            return Err(ServeError::UnknownEngine(name.to_string()));
+        };
+        entries.remove(pos);
+        Ok(())
+    }
+
+    /// Replace the admission knobs of the engine named `name`. Takes
+    /// effect for the next admission decision.
+    pub fn set_admission(&self, name: &str, config: AdmissionConfig) -> Result<(), ServeError> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownEngine(name.to_string()))?;
+        entry.admission.configure(config);
+        Ok(())
+    }
+
+    /// The last generation number handed out (`0` before any engine is
+    /// registered).
+    pub fn current_generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
     }
 
     /// Snapshot the named engine (warm cache included) into a `.lewis`
@@ -392,24 +517,84 @@ impl EngineRegistry {
         (dag, order_oriented)
     }
 
-    /// Look up an engine by name.
-    pub fn get(&self, name: &str) -> Option<&EngineEntry> {
-        self.entries.iter().find(|(n, _)| n == name).map(|(_, e)| e)
+    /// Look up an engine by name. The returned `Arc` stays valid across
+    /// concurrent swaps and unloads — a request answers against the
+    /// engine it resolved.
+    pub fn get(&self, name: &str) -> Option<Arc<EngineEntry>> {
+        read_entries(&self.entries)
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| Arc::clone(e))
     }
 
-    /// Iterate `(name, entry)` in registration order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &EngineEntry)> {
-        self.entries.iter().map(|(n, e)| (n.as_str(), e))
+    /// A point-in-time snapshot of `(name, entry)` in registration
+    /// order (swaps keep their slot).
+    pub fn snapshot(&self) -> Vec<(String, Arc<EngineEntry>)> {
+        read_entries(&self.entries)
+            .iter()
+            .map(|(n, e)| (n.clone(), Arc::clone(e)))
+            .collect()
     }
 
     /// Number of registered engines.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        read_entries(&self.entries).len()
     }
 
     /// Whether no engine is registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        read_entries(&self.entries).is_empty()
+    }
+}
+
+/// Engine names are path/metric-safe identifiers.
+fn validate_name(name: &str) -> Result<(), ServeError> {
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(ServeError::Config(format!(
+            "engine name {name:?} must be non-empty [A-Za-z0-9_-]"
+        )));
+    }
+    Ok(())
+}
+
+/// Restore a pack into a fresh (unregistered) entry.
+fn entry_from_pack(path: &str) -> Result<EngineEntry, ServeError> {
+    let (engine, meta) = lewis_store::load_engine(path)?;
+    let pred = engine.estimator().pred_attr();
+    let pred_name = engine.table().schema().name(pred).to_string();
+    let positive = engine.estimator().positive();
+    Ok(EngineEntry::from_engine(
+        engine,
+        format!("pack:{path} ({})", meta.source),
+        meta.graph,
+        pred_name,
+        positive,
+    ))
+}
+
+/// Read-lock the entry table, recovering from poisoning: every write
+/// path keeps the vector consistent on unwind, and a wedged registry
+/// would take the whole server down.
+fn read_entries(
+    entries: &RwLock<Vec<(String, Arc<EngineEntry>)>>,
+) -> RwLockReadGuard<'_, Vec<(String, Arc<EngineEntry>)>> {
+    match entries.read() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Write-lock the entry table (same poisoning stance as reads).
+fn write_entries(
+    entries: &RwLock<Vec<(String, Arc<EngineEntry>)>>,
+) -> RwLockWriteGuard<'_, Vec<(String, Arc<EngineEntry>)>> {
+    match entries.write() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
     }
 }
 
@@ -426,6 +611,8 @@ mod tests {
         let entry = reg.get("german_syn").unwrap();
         assert_eq!(entry.engine().table().n_rows(), 800);
         assert!(entry.source.contains("builtin:german_syn"));
+        assert_eq!(entry.generation, 1, "first registration is generation 1");
+        assert_eq!(reg.current_generation(), 1);
         // the engine answers a query end to end
         let g = entry.engine().run(&ExplainRequest::Global).unwrap();
         assert!(g.into_global().is_some());
@@ -503,6 +690,8 @@ mod tests {
                 graph: e.graph.clone(),
                 pred_name: e.pred_name.clone(),
                 positive: e.positive,
+                generation: 0,
+                admission: Arc::clone(&e.admission),
             }
         };
         let dup = entry_of(&reg);
@@ -659,6 +848,97 @@ mod tests {
             reg2.load_pack("bad", p),
             Err(ServeError::Store(lewis_store::StoreError::BadMagic))
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hot_lifecycle_load_swap_unload() {
+        let dir = std::env::temp_dir().join(format!("lewis-serve-hot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pack_a = dir.join("a.lewis");
+        let pack_b = dir.join("b.lewis");
+
+        // two packs of the same schema but different data
+        let mut donor = EngineRegistry::new();
+        donor.load_builtin("german_syn", 400, 1).unwrap();
+        donor
+            .save_pack("german_syn", pack_a.to_str().unwrap())
+            .unwrap();
+        let mut donor_b = EngineRegistry::new();
+        donor_b.load_builtin("german_syn", 500, 2).unwrap();
+        donor_b
+            .save_pack("german_syn", pack_b.to_str().unwrap())
+            .unwrap();
+
+        // the hot path works through a shared reference
+        let reg = EngineRegistry::new();
+        let gen1 = reg
+            .admin_load_pack("live", pack_a.to_str().unwrap())
+            .unwrap();
+        assert_eq!(gen1, 1);
+        let before = reg.get("live").unwrap();
+        assert_eq!(before.engine().table().n_rows(), 400);
+
+        // a reader holding the old entry survives the swap
+        let gen2 = reg.swap_pack("live", pack_b.to_str().unwrap()).unwrap();
+        assert!(gen2 > gen1);
+        assert_eq!(reg.current_generation(), gen2);
+        let after = reg.get("live").unwrap();
+        assert_eq!(after.engine().table().n_rows(), 500);
+        assert_eq!(after.generation, gen2);
+        assert_eq!(
+            before.engine().table().n_rows(),
+            400,
+            "in-flight holders keep the engine they resolved"
+        );
+        assert!(
+            Arc::ptr_eq(&before.admission, &after.admission),
+            "the admission gate carries over"
+        );
+        assert_eq!(reg.len(), 1, "swap replaces in place");
+
+        // swapping an unknown engine / unloading twice are typed misses
+        assert!(matches!(
+            reg.swap_pack("nope", pack_b.to_str().unwrap()),
+            Err(ServeError::UnknownEngine(_))
+        ));
+        reg.unload("live").unwrap();
+        assert!(reg.get("live").is_none());
+        assert!(matches!(
+            reg.unload("live"),
+            Err(ServeError::UnknownEngine(_))
+        ));
+        assert_eq!(
+            after.engine().table().n_rows(),
+            500,
+            "unload never tears the engine out from under a holder"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn swap_rejects_foreign_schema_and_keeps_serving() {
+        let dir = std::env::temp_dir().join(format!("lewis-serve-schema-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let german = dir.join("german.lewis");
+        let adult = dir.join("adult.lewis");
+        let mut donor = EngineRegistry::new();
+        donor.load_builtin("german_syn", 300, 1).unwrap();
+        donor.load_builtin("adult", 300, 1).unwrap();
+        donor
+            .save_pack("german_syn", german.to_str().unwrap())
+            .unwrap();
+        donor.save_pack("adult", adult.to_str().unwrap()).unwrap();
+
+        let reg = EngineRegistry::new();
+        let gen1 = reg
+            .admin_load_pack("live", german.to_str().unwrap())
+            .unwrap();
+        let err = reg.swap_pack("live", adult.to_str().unwrap()).unwrap_err();
+        assert!(matches!(err, ServeError::SchemaMismatch(_)), "{err}");
+        let entry = reg.get("live").unwrap();
+        assert_eq!(entry.generation, gen1, "a failed swap changes nothing");
+        assert!(entry.engine().run(&ExplainRequest::Global).is_ok());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

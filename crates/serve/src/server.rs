@@ -27,8 +27,29 @@
 //! | `POST /v1/engines/{name}/rows` | append `{"rows": [[codes…], …]}` to the live table |
 //! | `POST /v1/engines/{name}/compact` | fold the delta into the base now |
 //! | `GET /v1/jobs/{id}` | job state; the finished result replays the sync answer |
-//! | `GET /metrics` | counters, latency quantiles, cache and job-lane stats |
+//! | `GET /metrics` | counters, latency quantiles, cache, admission and job-lane stats |
+//! | `POST /admin/engines/{name}/load` | register a new engine from `{"path": "x.lewis"}` |
+//! | `POST /admin/engines/{name}/swap` | atomically replace the engine from a same-schema pack |
+//! | `POST /admin/engines/{name}/unload` | remove the engine (in-flight holders finish) |
 //! | `POST /admin/shutdown` | graceful stop (for tests/automation) |
+//!
+//! ## The hot lifecycle and admission control
+//!
+//! The `/admin/engines/{name}` routes drive the registry's hot
+//! lifecycle: engines load, swap and unload while the workers keep
+//! serving. A request that resolved an engine finishes against that
+//! engine — entries are `Arc`s, a swap replaces the registry slot but
+//! never the build a reader holds. Every load/swap stamps a registry-
+//! wide monotonic **generation**; explain/append/compact responses
+//! carry it in the `x-engine-generation` header (a header, not a body
+//! field, so answer bytes stay identical across the fleet).
+//!
+//! Each engine owns an [`Admission`](crate::admission::Admission) gate
+//! the synchronous explain passes through. When the gate sheds, the
+//! answer is a typed `429` with top-level `retry_after_ms` and a
+//! `retry-after` header; shed counts per engine appear in `/metrics`.
+//! The append/compact write lane and the async job lane (which has its
+//! own bounded queue) are not admission-gated.
 //!
 //! The append lane validates a whole batch (arity and domain of every
 //! row) before any row lands — a bad row rejects the batch with a `400`
@@ -46,10 +67,12 @@
 //! queue is full); polling `GET /v1/jobs/{id}` returns the exact
 //! status and body the synchronous route would have produced.
 
+use crate::admission::Shed;
 use crate::http::{read_request, write_response, HttpRequest, HttpResponse, ReadOutcome};
 use crate::metrics::{Metrics, Route};
 use crate::registry::EngineRegistry;
 use crate::wire::{self, Json};
+use crate::ServeError;
 use lewis_core::Engine;
 use lewis_jobs::{JobConfig, JobId, JobManager, JobState};
 use std::io::BufReader;
@@ -410,6 +433,31 @@ fn route(request: &HttpRequest, state: &ServerState) -> (Route, HttpResponse) {
                 }
                 return (Route::Jobs, job_status(id, state));
             }
+            if let Some(rest) = path.strip_prefix("/admin/engines/") {
+                let (name, action) = match rest.rsplit_once('/') {
+                    Some(pair) => pair,
+                    None => {
+                        return (
+                            Route::Admin,
+                            error_response(
+                                404,
+                                "not_found",
+                                "expected /admin/engines/{name}/{load|swap|unload}",
+                            ),
+                        )
+                    }
+                };
+                if method != "POST" {
+                    return (
+                        Route::Admin,
+                        error_response(405, "method_not_allowed", "use POST"),
+                    );
+                }
+                return (
+                    Route::Admin,
+                    admin_engine(name, action, &request.body, state),
+                );
+            }
             (
                 Route::Other,
                 error_response(404, "not_found", &format!("{method} {path}")),
@@ -459,6 +507,7 @@ fn explain_mode(query: &str) -> Result<ExplainMode, HttpResponse> {
 fn list_engines(state: &ServerState) -> HttpResponse {
     let engines: Vec<Json> = state
         .registry
+        .snapshot()
         .iter()
         .map(|(name, entry)| {
             let engine = entry.engine();
@@ -491,6 +540,7 @@ fn list_engines(state: &ServerState) -> HttpResponse {
                 ("name", Json::str(name)),
                 ("source", Json::str(&entry.source)),
                 ("graph", Json::str(&entry.graph)),
+                ("generation", Json::num(entry.generation as f64)),
                 ("n_rows", Json::num(live.total_rows as f64)),
                 ("table_version", Json::num(live.version as f64)),
                 ("base_rows", Json::num(live.base_rows as f64)),
@@ -530,12 +580,145 @@ fn list_engines(state: &ServerState) -> HttpResponse {
 /// `POST /v1/engines/{name}/explain`: a single request object, or
 /// `{"batch": [...]}` answered positionally via [`lewis_core::Engine::run_batch`]
 /// (so batched queries share counting passes and surrogate fits).
+///
+/// The request passes the engine's admission gate first; a shed is a
+/// typed `429` with `retry_after_ms`. Admitted answers carry the
+/// engine's build number in the `x-engine-generation` header.
 fn explain(name: &str, body: &[u8], state: &ServerState) -> HttpResponse {
     let Some(entry) = state.registry.get(name) else {
         return error_response(404, "unknown_engine", &format!("no engine named {name:?}"));
     };
+    // the permit spans the whole query execution: dropping it at the
+    // end of this function frees the engine's in-flight slot
+    let _permit = match entry.admission.admit() {
+        Ok(permit) => permit,
+        Err(shed) => return shed_response(&shed),
+    };
     let (status, json) = explain_payload(&entry.engine(), body);
     HttpResponse::json(status, &json)
+        .with_header("x-engine-generation", entry.generation.to_string())
+}
+
+/// The typed `429` for an admission shed: the error code names the
+/// reason (`overloaded` / `queue_full` / `deadline_exceeded`), and the
+/// top-level `retry_after_ms` (plus a `retry-after` header in whole
+/// seconds) tells the client how long to back off.
+fn shed_response(shed: &Shed) -> HttpResponse {
+    HttpResponse::json(
+        429,
+        &Json::obj([
+            (
+                "error",
+                Json::obj([
+                    ("code", Json::str(shed.reason.code())),
+                    (
+                        "message",
+                        Json::str(format!(
+                            "engine overloaded ({}); retry after {} ms",
+                            shed.reason.code(),
+                            shed.retry_after_ms
+                        )),
+                    ),
+                ]),
+            ),
+            ("retry_after_ms", Json::num(shed.retry_after_ms as f64)),
+        ]),
+    )
+    .with_header(
+        "retry-after",
+        shed.retry_after_ms.div_ceil(1000).to_string(),
+    )
+}
+
+/// `POST /admin/engines/{name}/{load|swap|unload}`: the hot engine
+/// lifecycle. `load` and `swap` take `{"path": "engine.lewis"}`;
+/// `unload` takes no body. Failures are typed and leave the registry
+/// exactly as it was — on a failed swap the old engine keeps serving.
+fn admin_engine(name: &str, action: &str, body: &[u8], state: &ServerState) -> HttpResponse {
+    match action {
+        "load" | "swap" => {
+            let path = match pack_path_from_body(body) {
+                Ok(p) => p,
+                Err(response) => return *response,
+            };
+            let result = if action == "load" {
+                state.registry.admin_load_pack(name, &path)
+            } else {
+                state.registry.swap_pack(name, &path)
+            };
+            match result {
+                Ok(generation) => HttpResponse::json(
+                    200,
+                    &Json::obj([
+                        (
+                            "status",
+                            Json::str(if action == "load" {
+                                "loaded"
+                            } else {
+                                "swapped"
+                            }),
+                        ),
+                        ("engine", Json::str(name)),
+                        ("generation", Json::num(generation as f64)),
+                    ]),
+                )
+                .with_header("x-engine-generation", generation.to_string()),
+                Err(e) => admin_error_response(&e),
+            }
+        }
+        "unload" => match state.registry.unload(name) {
+            Ok(()) => HttpResponse::json(
+                200,
+                &Json::obj([
+                    ("status", Json::str("unloaded")),
+                    ("engine", Json::str(name)),
+                ]),
+            ),
+            Err(e) => admin_error_response(&e),
+        },
+        other => error_response(
+            404,
+            "not_found",
+            &format!("unknown admin action {other:?} (use load, swap or unload)"),
+        ),
+    }
+}
+
+/// Extract the `path` field of a lifecycle request body.
+fn pack_path_from_body(body: &[u8]) -> Result<String, Box<HttpResponse>> {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Err(Box::new(error_response(
+            400,
+            "bad_json",
+            "body is not UTF-8",
+        )));
+    };
+    let json = match Json::parse(text) {
+        Ok(j) => j,
+        Err(e) => return Err(Box::new(error_response(400, "bad_json", &e.to_string()))),
+    };
+    match json.get("path").and_then(|p| p.as_str()) {
+        Some(path) if !path.is_empty() => Ok(path.to_string()),
+        _ => Err(Box::new(error_response(
+            400,
+            "bad_request",
+            "expected {\"path\": \"engine.lewis\"}",
+        ))),
+    }
+}
+
+/// Map a lifecycle error onto its wire status: unknown engines are
+/// `404`, schema mismatches `409`, bad names `400`, and unreadable or
+/// corrupt packs a typed `400` naming the store error.
+fn admin_error_response(e: &ServeError) -> HttpResponse {
+    match e {
+        ServeError::UnknownEngine(name) => {
+            error_response(404, "unknown_engine", &format!("no engine named {name:?}"))
+        }
+        ServeError::SchemaMismatch(msg) => error_response(409, "schema_mismatch", msg),
+        ServeError::Config(msg) => error_response(400, "bad_request", msg),
+        other => error_response(400, "bad_pack", &other.to_string()),
+    }
 }
 
 /// `POST /v1/engines/{name}/rows`: append a batch of dictionary-coded
@@ -613,6 +796,7 @@ fn append_rows(name: &str, body: &[u8], state: &ServerState) -> HttpResponse {
                     ("compaction_armed", Json::Bool(compaction_armed)),
                 ]),
             )
+            .with_header("x-engine-generation", entry.generation.to_string())
         }
         // every rejection here is a data problem with the batch (the
         // schema arity and domain checks run before any row lands)
@@ -638,7 +822,8 @@ fn compact(name: &str, state: &ServerState) -> HttpResponse {
                 ),
                 ("skipped", Json::Bool(receipt.skipped)),
             ]),
-        ),
+        )
+        .with_header("x-engine-generation", entry.generation.to_string()),
         Err(e) => error_response(500, "compaction_failed", &e.to_string()),
     }
 }

@@ -165,3 +165,29 @@ impl std::error::Error for StoreError {}
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// List the `.lewis` packs in `dir` as `(engine_name, path)` pairs,
+/// sorted by name. The engine name is the file stem (`german.lewis` →
+/// `german`); non-`.lewis` entries and subdirectories are skipped. This
+/// is how a serving fleet bootstraps: every replica points at the same
+/// pack directory and loads the same engines under the same names.
+pub fn discover_packs(
+    dir: impl AsRef<std::path::Path>,
+) -> Result<Vec<(String, std::path::PathBuf)>> {
+    let dir = dir.as_ref();
+    let entries = std::fs::read_dir(dir).map_err(|e| StoreError::io(dir, e))?;
+    let mut packs = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::io(dir, e))?;
+        let path = entry.path();
+        if !path.is_file() || path.extension().and_then(|e| e.to_str()) != Some("lewis") {
+            continue;
+        }
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        packs.push((stem.to_string(), path));
+    }
+    packs.sort();
+    Ok(packs)
+}

@@ -210,6 +210,131 @@ fn transport_truncation_mid_body_does_not_hang_a_worker() {
     server.shutdown();
 }
 
+// ---------------------------------------------------------------------
+// Admin lifecycle under attack: bad packs, wrong schemas, missing
+// engines. Every refusal is typed, the registry never changes, and the
+// old engine keeps serving.
+// ---------------------------------------------------------------------
+
+fn admin_error_code(body: &Json) -> String {
+    body.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or("<missing error.code>")
+        .to_string()
+}
+
+#[test]
+fn hostile_swaps_are_refused_typed_and_the_old_engine_keeps_serving() {
+    let server = start();
+    let dir = std::env::temp_dir().join(format!("lewis-adversarial-admin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let swap_path = format!("/admin/engines/{ENGINE}/swap");
+
+    // the baseline: generation 1, one engine serving
+    let (_, listing) = client.get("/v1/engines").unwrap();
+    let baseline = listing.to_json();
+
+    // a pack path that does not exist
+    let (status, body) = client
+        .post(&swap_path, r#"{"path": "/nonexistent/nowhere.lewis"}"#)
+        .unwrap();
+    assert_eq!(status, 400, "{body:?}");
+    assert_eq!(admin_error_code(&body), "bad_pack");
+
+    // a corrupt pack: real bytes with one bit flipped mid-file
+    let corrupt = dir.join("corrupt.lewis");
+    {
+        let mut donor = EngineRegistry::new();
+        donor.load_builtin(ENGINE, 200, 17).unwrap();
+        donor.save_pack(ENGINE, corrupt.to_str().unwrap()).unwrap();
+        let mut bytes = std::fs::read(&corrupt).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&corrupt, &bytes).unwrap();
+    }
+    let (status, body) = client
+        .post(
+            &swap_path,
+            &format!(
+                "{{\"path\": {}}}",
+                Json::str(corrupt.to_str().unwrap()).to_json()
+            ),
+        )
+        .unwrap();
+    assert_eq!(status, 400, "{body:?}");
+    assert_eq!(admin_error_code(&body), "bad_pack");
+
+    // a valid pack of a *different schema* (adult): typed 409, no swap
+    let foreign = dir.join("foreign.lewis");
+    {
+        let mut donor = EngineRegistry::new();
+        donor.load_builtin("adult", 200, 17).unwrap();
+        donor.save_pack("adult", foreign.to_str().unwrap()).unwrap();
+    }
+    let (status, body) = client
+        .post(
+            &swap_path,
+            &format!(
+                "{{\"path\": {}}}",
+                Json::str(foreign.to_str().unwrap()).to_json()
+            ),
+        )
+        .unwrap();
+    assert_eq!(status, 409, "{body:?}");
+    assert_eq!(admin_error_code(&body), "schema_mismatch");
+
+    // malformed bodies: wrong shape or missing path is `bad_request`,
+    // outright non-JSON is `bad_json` — all typed 400s either way
+    for (bad, code) in [
+        (r#"{"path": 7}"#, "bad_request"),
+        (r#"{"paths": "x"}"#, "bad_request"),
+        ("not json", "bad_json"),
+        ("", "bad_json"),
+    ] {
+        let (status, body) = client.post(&swap_path, bad).unwrap();
+        assert_eq!(status, 400, "{bad:?}: {body:?}");
+        assert_eq!(admin_error_code(&body), code, "{bad:?}");
+    }
+
+    // swapping an engine that was never registered
+    let (status, body) = client
+        .post(
+            "/admin/engines/ghost/swap",
+            r#"{"path": "/nonexistent/nowhere.lewis"}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 404, "{body:?}");
+    assert_eq!(admin_error_code(&body), "unknown_engine");
+
+    // unloading a nonexistent engine: 404, pool stays live
+    let (status, body) = client.post("/admin/engines/ghost/unload", "").unwrap();
+    assert_eq!(status, 404, "{body:?}");
+    assert_eq!(admin_error_code(&body), "unknown_engine");
+
+    // unknown admin actions and non-POST methods are refused
+    let (status, _) = client
+        .post(&format!("/admin/engines/{ENGINE}/explode"), "")
+        .unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client
+        .request("GET", &format!("/admin/engines/{ENGINE}/swap"), b"")
+        .unwrap();
+    assert_eq!(status, 405);
+
+    // after the whole barrage: registry unchanged, old engine serving
+    let (_, listing) = client.get("/v1/engines").unwrap();
+    assert_eq!(
+        listing.to_json(),
+        baseline,
+        "no failed admin op may mutate the registry"
+    );
+    assert_alive(&server);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn depth_limited_but_valid_batch_still_works() {
     // a legitimate request near the nesting limit must not be caught in

@@ -1,0 +1,205 @@
+//! Chaos & soak: hot pack swaps under live mixed load.
+//!
+//! One server, two `.lewis` pack generations of the same schema
+//! (different seeds → different data). Reader threads hammer the engine
+//! with the full query mix over real sockets while a background admin
+//! thread hot-swaps the engine between the two generations every few
+//! milliseconds. The storm must be invisible to clients:
+//!
+//! * **zero non-shed errors** — every response is a 200, an expected
+//!   422 (`unsupported` / `no_recourse`), or a typed shed; nothing else;
+//! * **generations are live when answered** — every response's
+//!   `x-engine-generation` header names a generation that had been
+//!   created by then, and per keep-alive connection the generation
+//!   never goes backwards (serial requests can't time-travel to an
+//!   unloaded engine);
+//! * **byte determinism after the dust settles** — post-storm answers
+//!   equal a cold build restored from the final pack, byte for byte.
+
+use lewis_serve::wire::Json;
+use lewis_serve::{serve, Client, EngineRegistry, ServerConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ENGINE: &str = "engine";
+const ROWS: usize = 400;
+const STORM: Duration = Duration::from_millis(1500);
+const SWAP_EVERY: Duration = Duration::from_millis(5);
+
+/// The mixed bodies the readers cycle through (german_syn shape:
+/// 7 attributes, features 0..=5 minus the prediction).
+const BODIES: [&str; 5] = [
+    r#"{"kind":"global"}"#,
+    r#"{"kind":"contextual","attr":2,"context":[[1,0]]}"#,
+    r#"{"kind":"contextual_global","context":[[1,1]]}"#,
+    r#"{"kind":"local","row":[1,1,2,1,1,5,1]}"#,
+    r#"{"batch":[{"kind":"global"},{"kind":"local","row":[0,1,1,1,0,3,0]}]}"#,
+];
+
+fn write_pack(dir: &std::path::Path, seed: u64) -> String {
+    let mut registry = EngineRegistry::new();
+    registry
+        .load_builtin_as(ENGINE, "german_syn", ROWS, seed)
+        .unwrap();
+    let path = dir.join(format!("gen_{seed}.lewis"));
+    let path = path.to_str().unwrap().to_string();
+    registry.save_pack(ENGINE, &path).unwrap();
+    path
+}
+
+fn is_shed(body: &Json) -> bool {
+    matches!(
+        body.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("overloaded") | Some("queue_full") | Some("deadline_exceeded")
+    )
+}
+
+fn is_expected_422(body: &Json) -> bool {
+    matches!(
+        body.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("unsupported") | Some("no_recourse")
+    )
+}
+
+#[test]
+fn hot_swap_storm_is_invisible_to_clients() {
+    let dir = std::env::temp_dir().join(format!("lewis-fleet-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let pack_a = write_pack(&dir, 31);
+    let pack_b = write_pack(&dir, 32);
+
+    let mut registry = EngineRegistry::new();
+    registry.load_pack(ENGINE, &pack_a).unwrap();
+    let server = serve(
+        &ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+        Arc::new(registry),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // highest generation created so far, updated by the swapper; readers
+    // assert every response's generation is <= this (never from the
+    // future) and non-decreasing per connection (never resurrected)
+    let latest_generation = Arc::new(AtomicU64::new(1));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let swapper = {
+        let latest = Arc::clone(&latest_generation);
+        let stop = Arc::clone(&stop);
+        let (pack_a, pack_b) = (pack_a.clone(), pack_b.clone());
+        std::thread::spawn(move || -> (u64, String) {
+            let mut admin = Client::connect(addr).unwrap();
+            let mut swaps = 0u64;
+            let mut flip = false;
+            let mut current = pack_a.clone();
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(SWAP_EVERY);
+                let target = if flip { &pack_a } else { &pack_b };
+                flip = !flip;
+                // the server bumps the generation *before* the admin
+                // response returns, so a reader can legitimately see the
+                // new generation first — announce it ahead of the swap.
+                // Only this thread performs lifecycle ops, so the next
+                // generation is exactly latest+1.
+                let announced = latest.fetch_add(1, Ordering::SeqCst) + 1;
+                let body = format!("{{\"path\": {}}}", Json::str(target.as_str()).to_json());
+                let (status, answer) = admin
+                    .post(&format!("/admin/engines/{ENGINE}/swap"), &body)
+                    .unwrap();
+                assert_eq!(status, 200, "swap #{swaps} failed: {answer:?}");
+                let generation = answer.get("generation").and_then(Json::as_f64).unwrap() as u64;
+                assert_eq!(generation, announced, "generations advance one per swap");
+                current = target.clone();
+                swaps += 1;
+            }
+            (swaps, current)
+        })
+    };
+
+    let mut readers = Vec::new();
+    for r in 0..3usize {
+        let latest = Arc::clone(&latest_generation);
+        readers.push(std::thread::spawn(move || -> (u64, u64) {
+            let mut client = Client::connect(addr).unwrap();
+            let deadline = Instant::now() + STORM;
+            let (mut ok, mut bad) = (0u64, 0u64);
+            let mut last_gen = 0u64;
+            let mut i = r; // offset so the threads interleave kinds
+            while Instant::now() < deadline {
+                let body = BODIES[i % BODIES.len()];
+                i += 1;
+                let (status, answer) = client
+                    .post(&format!("/v1/engines/{ENGINE}/explain"), body)
+                    .unwrap();
+                match status {
+                    200 => ok += 1,
+                    422 if is_expected_422(&answer) => ok += 1,
+                    429 if is_shed(&answer) => {}
+                    _ => {
+                        bad += 1;
+                        eprintln!("reader {r}: {status} {answer:?}");
+                    }
+                }
+                if status == 200 {
+                    let generation: u64 = client
+                        .response_header("x-engine-generation")
+                        .expect("every explain answer carries its generation")
+                        .parse()
+                        .expect("generation header parses");
+                    assert!(
+                        generation >= 1 && generation <= latest.load(Ordering::SeqCst),
+                        "generation {generation} was never live"
+                    );
+                    assert!(
+                        generation >= last_gen,
+                        "generation went backwards: {last_gen} then {generation}"
+                    );
+                    last_gen = generation;
+                }
+            }
+            (ok, bad)
+        }));
+    }
+
+    let mut total_ok = 0u64;
+    for reader in readers {
+        let (ok, bad) = reader.join().unwrap();
+        total_ok += ok;
+        assert_eq!(bad, 0, "non-shed errors leaked through the swap storm");
+    }
+    stop.store(true, Ordering::SeqCst);
+    let (swaps, final_pack) = swapper.join().unwrap();
+    assert!(swaps >= 20, "the storm swapped only {swaps} times");
+    assert!(total_ok >= 100, "readers answered only {total_ok} queries");
+
+    // the dust settles: the served engine now answers byte-identically
+    // to a cold registry restored from whichever pack won the last swap
+    let mut cold = EngineRegistry::new();
+    cold.load_pack(ENGINE, &final_pack).unwrap();
+    let cold_server = serve(&ServerConfig::default(), Arc::new(cold)).unwrap();
+    let mut hot = Client::connect(addr).unwrap();
+    let mut fresh = Client::connect(cold_server.addr()).unwrap();
+    for body in BODIES {
+        let path = format!("/v1/engines/{ENGINE}/explain");
+        let (hot_status, hot_answer) = hot.post(&path, body).unwrap();
+        let (cold_status, cold_answer) = fresh.post(&path, body).unwrap();
+        assert_eq!(hot_status, cold_status, "status parity for {body}");
+        assert_eq!(
+            hot_answer.to_json(),
+            cold_answer.to_json(),
+            "byte parity with the cold build for {body}"
+        );
+    }
+
+    cold_server.shutdown();
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

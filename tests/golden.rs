@@ -217,6 +217,48 @@ fn the_job_lane_replays_the_golden_recourse_answer() {
     server.shutdown();
 }
 
+/// Hot lifecycle churn must be invisible to the conformance surface:
+/// an engine packed from the golden build, then hot-loaded, swapped to
+/// the same pack, unloaded, and reloaded through the admin lifecycle,
+/// answers the pinned golden mix byte-for-byte. Generations advance at
+/// every step (the registry's monotonic counter) while the bytes stand
+/// still.
+#[test]
+fn goldens_survive_hot_lifecycle_churn() {
+    let name = "german_syn";
+    let dir = std::env::temp_dir().join(format!("lewis-golden-churn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let pack = dir.join(format!("{name}.lewis"));
+    let pack = pack.to_str().unwrap().to_string();
+
+    let mut registry = EngineRegistry::new();
+    registry.load_builtin(name, ROWS, SEED).unwrap();
+    registry.save_pack(name, &pack).unwrap();
+    let queries = golden_queries(&registry.get(name).unwrap().engine());
+
+    // load → swap (same pack) → unload → reload, watching generations
+    let g1 = registry.admin_load_pack("churn", &pack).unwrap();
+    let g2 = registry.swap_pack("churn", &pack).unwrap();
+    registry.unload("churn").unwrap();
+    let g3 = registry.admin_load_pack("churn", &pack).unwrap();
+    assert!(g1 < g2 && g2 < g3, "generations advance: {g1} {g2} {g3}");
+
+    let golden = std::fs::read_to_string(goldens_dir().join(format!("{name}.golden"))).unwrap();
+    let engine = registry.get("churn").unwrap().engine();
+    for (label, request) in queries {
+        let want = golden
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{label}\t")))
+            .unwrap_or_else(|| panic!("the golden has a {label} line"));
+        assert_eq!(
+            render(&engine.run(&request)),
+            want,
+            "{name}/{label} drifted through the load→swap→unload→reload churn"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// The goldens must be shard-count-invariant: CI's shard matrix runs
 /// this same suite under `LEWIS_TEST_SHARDS=4`, and a sharded engine
 /// answering differently from the golden would mean the determinism

@@ -152,6 +152,7 @@ fn loadgen_routes_recourse_through_the_lane_cleanly() {
         seed: 7,
         job_lane: true,
         append_mix: None,
+        ..LoadgenConfig::default()
     };
     let report = run(&config).unwrap();
     assert!(report.sent_by_kind[3] > 0, "recourse was exercised");
